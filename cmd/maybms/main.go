@@ -1,0 +1,131 @@
+// Command maybms is an interactive I-SQL shell over the MayBMS engine.
+//
+// Usage:
+//
+//	maybms [-incomplete] [-f script.isql]
+//
+// Without -f it reads statements from stdin (terminated by ';'). Besides
+// I-SQL, the shell understands the meta commands:
+//
+//	\worlds   print the full world-set
+//	\count    print the number of worlds
+//	\help     list commands
+//	\quit     exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"maybms"
+)
+
+func main() {
+	incomplete := flag.Bool("incomplete", false, "open a non-probabilistic (unweighted) database")
+	script := flag.String("f", "", "execute the statements in this file and exit")
+	flag.Parse()
+
+	var db *maybms.DB
+	if *incomplete {
+		db = maybms.OpenIncomplete()
+	} else {
+		db = maybms.Open()
+	}
+
+	if *script != "" {
+		if err := runScript(db, *script, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "maybms:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("MayBMS/Go — I-SQL shell (\\help for commands)")
+	repl(db, os.Stdin, os.Stdout)
+}
+
+// runScript executes a .isql file, printing each statement's result.
+func runScript(db *maybms.DB, path string, out io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	results, err := db.ExecScript(string(data))
+	for _, res := range results {
+		fmt.Fprint(out, res)
+	}
+	return err
+}
+
+// repl reads statements (terminated by ';') and meta commands from in,
+// writing results to out, until EOF or \quit.
+func repl(db *maybms.DB, in io.Reader, out io.Writer) {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Fprint(out, "maybms> ")
+		} else {
+			fmt.Fprint(out, "   ...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed, out) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			res, err := db.Exec(stmt)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprint(out, res)
+			}
+		}
+		prompt()
+	}
+}
+
+// meta handles backslash commands; it returns false to exit the shell.
+func meta(db *maybms.DB, cmd string, out io.Writer) bool {
+	switch strings.Fields(cmd)[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\worlds":
+		for _, w := range db.Worlds() {
+			if db.Weighted() {
+				fmt.Fprintf(out, "world %s (P = %.4f)\n", w.Name, w.Prob)
+			} else {
+				fmt.Fprintf(out, "world %s\n", w.Name)
+			}
+			for name, rel := range w.Relations {
+				fmt.Fprintf(out, "%s:\n%s", name, rel)
+			}
+		}
+	case "\\count":
+		fmt.Fprintln(out, db.WorldCount(), "world(s)")
+	case "\\help":
+		fmt.Fprintln(out, `I-SQL statements end with ';'. Meta commands:
+  \worlds  print the full world-set
+  \count   print the number of worlds
+  \quit    exit`)
+	default:
+		fmt.Fprintln(out, "unknown command; try \\help")
+	}
+	return true
+}

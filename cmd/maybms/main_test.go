@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"maybms"
+)
+
+func TestReplSessionFlow(t *testing.T) {
+	in := strings.NewReader(`create table R (A, D);
+insert into R values ('a1', 1), ('a1', 3);
+create table I as select A, D from R
+  repair by key A weight D;
+\count
+select possible D from I;
+\worlds
+\help
+\unknowncmd
+\quit
+`)
+	var out strings.Builder
+	db := maybms.Open()
+	repl(db, in, &out)
+	got := out.String()
+	for _, frag := range []string{
+		"maybms> ",        // prompt
+		"   ...> ",        // continuation prompt
+		"2 world(s)",      // \count after repair
+		"world w1.1",      // \worlds output
+		"Meta commands",   // \help
+		"unknown command", // bad meta
+		"created table I", // statement result
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("repl output missing %q:\n%s", frag, got)
+		}
+	}
+	if db.WorldCount() != 2 {
+		t.Errorf("world count after session = %d", db.WorldCount())
+	}
+}
+
+func TestReplReportsErrors(t *testing.T) {
+	in := strings.NewReader("select * from missing;\n")
+	var out strings.Builder
+	repl(maybms.Open(), in, &out)
+	if !strings.Contains(out.String(), "error:") {
+		t.Errorf("error not reported:\n%s", out.String())
+	}
+}
+
+func TestReplQuitShortForm(t *testing.T) {
+	in := strings.NewReader("\\q\nselect 1;\n")
+	var out strings.Builder
+	repl(maybms.Open(), in, &out)
+	if strings.Contains(out.String(), "col1") {
+		t.Error("statements after \\q must not run")
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "demo.isql")
+	script := `
+		create table R (A, B, C, D);
+		insert into R values
+			('a1', 10, 'c1', 2), ('a1', 15, 'c2', 6),
+			('a2', 14, 'c3', 4), ('a2', 20, 'c4', 5),
+			('a3', 20, 'c5', 6);
+		create table I as select A, B, C from R repair by key A weight D;
+		select possible sum(B) from I;
+	`
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	db := maybms.Open()
+	if err := runScript(db, path, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"44", "49", "50", "55"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("script output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunScriptErrors(t *testing.T) {
+	var out strings.Builder
+	if err := runScript(maybms.Open(), "/nonexistent/file.isql", &out); err == nil {
+		t.Error("missing file must error")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.isql")
+	if err := os.WriteFile(path, []byte("create table R (A);\nselect * from missing;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScript(maybms.Open(), path, &out); err == nil {
+		t.Error("bad statement must surface")
+	}
+	if !strings.Contains(out.String(), "created table R") {
+		t.Error("results before the failure must still print")
+	}
+}

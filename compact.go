@@ -1,0 +1,189 @@
+package maybms
+
+import (
+	"errors"
+	"math/big"
+
+	"maybms/internal/algebra"
+	"maybms/internal/core"
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+	"maybms/internal/wsd"
+)
+
+// errNotPlainSelect is returned by MaterializeQuery for non-SELECT input
+// or I-SQL constructs (the compact backend materializes plain SQL only).
+var errNotPlainSelect = errors.New("maybms: MaterializeQuery takes a plain SQL SELECT (no I-SQL constructs)")
+
+func collect(op algebra.Operator) (*relation.Relation, error) {
+	return algebra.Collect(op, nil)
+}
+
+// CompactDB is a database backed by a world-set decomposition (WSD), the
+// compact representation of MayBMS (ICDT'07/ICDE'07): the world-set is a
+// product of independent components over a certain database, so a repair
+// of n key groups with k candidates each occupies O(n·k) space while
+// representing k^n worlds. Confidence, possible and certain are computed
+// exactly without enumeration.
+//
+// CompactDB exposes the representation-level operations; asserts and
+// materializing queries merge exactly the involved components (partial
+// expansion). For full I-SQL over small world-sets, use DB; Expand bridges
+// the two.
+type CompactDB struct {
+	w *wsd.WSD
+}
+
+// OpenCompact creates an empty probabilistic compact database.
+func OpenCompact() *CompactDB { return &CompactDB{w: wsd.New(true)} }
+
+// OpenCompactIncomplete creates an empty non-probabilistic compact
+// database.
+func OpenCompactIncomplete() *CompactDB { return &CompactDB{w: wsd.New(false)} }
+
+// Register loads a complete relation from Go values (see DB.Register).
+func (db *CompactDB) Register(name string, columns []string, rows [][]any) error {
+	rel, err := BuildRelation(columns, rows)
+	if err != nil {
+		return err
+	}
+	return db.w.PutCertain(name, rel)
+}
+
+// RegisterRelation loads a prebuilt complete relation.
+func (db *CompactDB) RegisterRelation(name string, rel *Relation) error {
+	return db.w.PutCertain(name, rel)
+}
+
+// RepairByKey creates dst as the repair of the complete relation src under
+// the key columns, factorized into one component per key group. weight is
+// the optional weight column ("" for uniform).
+func (db *CompactDB) RepairByKey(src, dst string, key []string, weight string) error {
+	return db.w.RepairByKey(src, dst, key, weight)
+}
+
+// ChoiceOf creates dst as the choice-of partitioning of the complete
+// relation src on the given attributes, as a single component.
+func (db *CompactDB) ChoiceOf(src, dst string, attrs []string, weight string) error {
+	return db.w.ChoiceOf(src, dst, attrs, weight)
+}
+
+// Assert keeps only the worlds in which cond (an I-SQL-free boolean SQL
+// expression, e.g. `not exists (select * from I where C = 'c1')`) holds,
+// and renormalizes. touching must list every uncertain relation cond
+// reads; those components are merged first.
+func (db *CompactDB) Assert(cond string, touching ...string) error {
+	e, err := parseCondition(cond)
+	if err != nil {
+		return err
+	}
+	return db.w.Assert(touching, func(cat plan.Catalog) (bool, error) {
+		pred, err := plan.BuildPredicate(e, cat)
+		if err != nil {
+			return false, err
+		}
+		return pred()
+	})
+}
+
+// parseCondition parses a standalone boolean expression by wrapping it in
+// a dummy SELECT.
+func parseCondition(cond string) (sqlparse.Expr, error) {
+	stmt, err := sqlparse.Parse("select 1 where " + cond)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.(*sqlparse.SelectStmt).Where, nil
+}
+
+// MaterializeQuery evaluates a plain SQL query per world and stores the
+// answer as dst. touching must list every uncertain relation the query
+// reads (the engine merges exactly those components).
+func (db *CompactDB) MaterializeQuery(dst, query string, touching ...string) error {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return err
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok || sel.HasISQL() {
+		return errNotPlainSelect
+	}
+	return db.w.Materialize(dst, touching, func(cat plan.Catalog) (*relation.Relation, error) {
+		op, err := plan.Build(sel, cat)
+		if err != nil {
+			return nil, err
+		}
+		return collect(op)
+	})
+}
+
+// Conf returns the exact confidence of a tuple (given as Go values) in
+// relation name, computed from component independence without enumerating
+// worlds.
+func (db *CompactDB) Conf(name string, cells ...any) (float64, error) {
+	t := make(tuple.Tuple, len(cells))
+	for i, c := range cells {
+		v, err := toValue(c)
+		if err != nil {
+			return 0, err
+		}
+		t[i] = v
+	}
+	return db.w.Conf(name, t)
+}
+
+// ConfRelation returns every possible tuple of the relation extended with
+// its exact confidence.
+func (db *CompactDB) ConfRelation(name string) (*Relation, error) {
+	return db.w.ConfRelation(name)
+}
+
+// Possible returns the tuples appearing in at least one world.
+func (db *CompactDB) Possible(name string) (*Relation, error) { return db.w.Possible(name) }
+
+// Certain returns the tuples appearing in every world.
+func (db *CompactDB) Certain(name string) (*Relation, error) { return db.w.Certain(name) }
+
+// WorldCount returns the exact number of represented worlds (which can be
+// astronomically large; hence *big.Int).
+func (db *CompactDB) WorldCount() *big.Int { return db.w.WorldCount() }
+
+// ComponentCount returns the number of independent components.
+func (db *CompactDB) ComponentCount() int { return db.w.ComponentCount() }
+
+// AlternativeCount returns the representation size in alternatives.
+func (db *CompactDB) AlternativeCount() int { return db.w.AlternativeCount() }
+
+// SetMergeLimit bounds partial expansions (component merges).
+func (db *CompactDB) SetMergeLimit(n int) { db.w.MergeLimit = n }
+
+// Expand enumerates the world-set into a naive DB supporting full I-SQL.
+// It fails if more than limit worlds are represented (0 = default limit).
+func (db *CompactDB) Expand(limit int) (*DB, error) {
+	set, err := db.w.Expand(limit)
+	if err != nil {
+		return nil, err
+	}
+	out := &DB{session: core.NewSessionFromSet(set)}
+	return out, nil
+}
+
+// String summarizes the decomposition.
+func (db *CompactDB) String() string { return db.w.String() }
+
+// Compact factorizes the named relation of the naive database's current
+// world-set into a compact decomposition — the "from complete to
+// incomplete information and back" direction of the companion papers, and
+// the inverse of CompactDB.Expand. The decomposition extracts certain
+// tuples and splits statistically independent tuple groups into separate
+// components; the factorization is verified exactly before being
+// returned.
+func (db *DB) Compact(name string) (*CompactDB, error) {
+	w, err := wsd.Decompose(db.session.Set(), name)
+	if err != nil {
+		return nil, err
+	}
+	return &CompactDB{w: w}, nil
+}

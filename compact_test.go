@@ -1,0 +1,134 @@
+package maybms
+
+import (
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestCompactChoiceOf(t *testing.T) {
+	cdb := OpenCompact()
+	if err := cdb.Register("R", []string{"A", "D"}, [][]any{
+		{"a1", 2}, {"a1", 6}, {"a2", 4}, {"a2", 5}, {"a3", 6},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.ChoiceOf("R", "P", []string{"A"}, "D"); err != nil {
+		t.Fatal(err)
+	}
+	if cdb.WorldCount().Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("choice worlds = %s", cdb.WorldCount())
+	}
+	// Example 2.7 weights on the compact engine: 8/23, 9/23, 6/23.
+	c, err := cdb.Conf("P", "a1", 2)
+	if err != nil || math.Abs(c-8.0/23) > 1e-9 {
+		t.Errorf("conf = %v, %v", c, err)
+	}
+}
+
+func TestCompactRegisterRelationAndString(t *testing.T) {
+	rel, err := BuildRelation([]string{"K"}, [][]any{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cdb := OpenCompact()
+	if err := cdb.RegisterRelation("R", rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.RegisterRelation("R", rel); err == nil {
+		t.Error("duplicate register must fail")
+	}
+	if !strings.Contains(cdb.String(), "components: 0") {
+		t.Errorf("summary = %q", cdb.String())
+	}
+}
+
+func TestCompactSetMergeLimit(t *testing.T) {
+	cdb := OpenCompact()
+	rows := [][]any{}
+	for k := 0; k < 6; k++ {
+		rows = append(rows, []any{k, 0}, []any{k, 1})
+	}
+	if err := cdb.Register("R", []string{"K", "V"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	cdb.SetMergeLimit(4)
+	// 2^6 = 64 > 4: the assert's merge must be rejected.
+	if err := cdb.Assert("exists (select * from I)", "I"); err == nil {
+		t.Error("merge beyond limit must fail")
+	}
+	cdb.SetMergeLimit(1 << 10)
+	if err := cdb.Assert("exists (select * from I)", "I"); err != nil {
+		t.Errorf("merge within limit failed: %v", err)
+	}
+	// The merge collapsed six components into one with 64 alternatives.
+	if cdb.ComponentCount() != 1 || cdb.WorldCount().Cmp(big.NewInt(64)) != 0 {
+		t.Errorf("post-merge structure: %s", cdb)
+	}
+}
+
+func TestCompactExpandGuard(t *testing.T) {
+	cdb := OpenCompact()
+	rows := [][]any{}
+	for k := 0; k < 20; k++ {
+		rows = append(rows, []any{k, 0}, []any{k, 1})
+	}
+	if err := cdb.Register("R", []string{"K", "V"}, rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cdb.Expand(16); err == nil {
+		t.Error("expansion beyond limit must fail")
+	}
+}
+
+func TestCompactRegisterErrors(t *testing.T) {
+	cdb := OpenCompact()
+	if err := cdb.Register("R", []string{"K"}, [][]any{{struct{}{}}}); err == nil {
+		t.Error("bad cell type must fail")
+	}
+}
+
+func TestDBCompactRoundTrip(t *testing.T) {
+	// Naive world-set → factorized compact DB → expand → same worlds.
+	db := Open()
+	db.MustExec(`create table R (A, B, D)`)
+	db.MustExec(`insert into R values
+		('a1', 10, 2), ('a1', 15, 6), ('a2', 14, 4), ('a2', 20, 5), ('a3', 20, 6)`)
+	db.MustExec(`create table I as select A, B from R repair by key A weight D`)
+
+	cdb, err := db.Compact("I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three key groups; a3's is a singleton (certain) → 2 components.
+	if cdb.ComponentCount() != 2 {
+		t.Errorf("components = %d, want 2", cdb.ComponentCount())
+	}
+	if cdb.WorldCount().Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("worlds = %s", cdb.WorldCount())
+	}
+	c, err := cdb.Conf("I", "a1", 10)
+	if err != nil || math.Abs(c-0.25) > 1e-9 {
+		t.Errorf("conf after round trip = %v, %v", c, err)
+	}
+	// And back again to a naive DB.
+	back, err := cdb.Expand(0)
+	if err != nil || back.WorldCount() != 4 {
+		t.Errorf("expand after compact = %v, %v", back, err)
+	}
+}
+
+func TestDBCompactMissingRelation(t *testing.T) {
+	db := Open()
+	db.MustExec("create table P (A)")
+	if _, err := db.Compact("Missing"); err == nil {
+		t.Error("missing relation must fail")
+	}
+}

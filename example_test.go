@@ -1,0 +1,127 @@
+package maybms_test
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms"
+)
+
+// ExampleOpen reproduces the paper's Figure 2 workflow: repairing a dirty
+// key creates a probabilistic world-set.
+func ExampleOpen() {
+	db := maybms.Open()
+	db.MustExec(`create table R (A, B, C, D)`)
+	db.MustExec(`insert into R values
+		('a1', 10, 'c1', 2), ('a1', 15, 'c2', 6),
+		('a2', 14, 'c3', 4), ('a2', 20, 'c4', 5),
+		('a3', 20, 'c5', 6)`)
+	db.MustExec(`create table I as select A, B, C from R repair by key A weight D`)
+
+	probs := make([]float64, 0, db.WorldCount())
+	for _, w := range db.Worlds() {
+		probs = append(probs, w.Prob)
+	}
+	sort.Float64s(probs)
+	fmt.Println("worlds:", db.WorldCount())
+	for _, p := range probs {
+		fmt.Printf("%.2f\n", p)
+	}
+	// Output:
+	// worlds: 4
+	// 0.11
+	// 0.14
+	// 0.33
+	// 0.42
+}
+
+// ExampleDB_Exec_possible shows the POSSIBLE closure of Example 2.8.
+func ExampleDB_Exec_possible() {
+	db := maybms.Open()
+	db.MustExec(`create table R (A, B, D)`)
+	db.MustExec(`insert into R values
+		('a1', 10, 2), ('a1', 15, 6), ('a2', 14, 4), ('a2', 20, 5), ('a3', 20, 6)`)
+	db.MustExec(`create table I as select A, B from R repair by key A weight D`)
+
+	res, err := db.Exec(`select possible sum(B) from I`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res.First()) // relations print in canonical order
+	// Output:
+	// sum
+	// ---
+	// 44
+	// 49
+	// 50
+	// 55
+}
+
+// ExampleDB_Exec_conf computes per-tuple confidences.
+func ExampleDB_Exec_conf() {
+	db := maybms.Open()
+	db.MustExec(`create table R (A, B, D)`)
+	db.MustExec(`insert into R values ('a1', 10, 1), ('a1', 15, 3)`)
+	db.MustExec(`create table I as select A, B from R repair by key A weight D`)
+
+	res, err := db.Exec(`select B, conf from I`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(res.First())
+	// Output:
+	// B   conf
+	// --  ----
+	// 10  0.25
+	// 15  0.75
+}
+
+// ExampleOpenCompact demonstrates the world-set decomposition backend:
+// exponentially many worlds, linear space, exact confidence.
+func ExampleOpenCompact() {
+	cdb := maybms.OpenCompact()
+	rows := make([][]any, 0, 200)
+	for k := 0; k < 100; k++ {
+		rows = append(rows, []any{k, "keep", 3}, []any{k, "drop", 1})
+	}
+	if err := cdb.Register("Dirty", []string{"K", "V", "W"}, rows); err != nil {
+		panic(err)
+	}
+	if err := cdb.RepairByKey("Dirty", "Clean", []string{"K"}, "W"); err != nil {
+		panic(err)
+	}
+	fmt.Println("components:", cdb.ComponentCount())
+	fmt.Println("world count bits:", cdb.WorldCount().BitLen()) // 2^100
+	c, err := cdb.Conf("Clean", 7, "keep", 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("conf = %.2f\n", c)
+	// Output:
+	// components: 100
+	// world count bits: 101
+	// conf = 0.75
+}
+
+// ExampleOpenLineage shows U-relation lineage composing through a join.
+func ExampleOpenLineage() {
+	db := maybms.OpenLineage()
+	if err := db.RegisterRepair("Cust", []string{"CID", "City", "W"},
+		[][]any{{1, "vienna", 3}, {1, "graz", 1}}, []string{"CID"}, "W"); err != nil {
+		panic(err)
+	}
+	if err := db.RegisterCertain("Region", []string{"City", "Region"},
+		[][]any{{"vienna", "east"}, {"graz", "south"}}); err != nil {
+		panic(err)
+	}
+	if err := db.Join("Located", "Cust", "Region", "City", "City"); err != nil {
+		panic(err)
+	}
+	c, err := db.Conf("Located", 1, "vienna", 3, "vienna", "east")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("P(customer 1 in the east) = %.2f\n", c)
+	// Output:
+	// P(customer 1 in the east) = 0.75
+}

@@ -1,0 +1,47 @@
+// Data cleaning by constraints and queries (Section 3.2): social security
+// and phone numbers that may have been swapped are repaired into all
+// consistent readings, then pruned with a functional dependency.
+package main
+
+import (
+	"fmt"
+
+	"maybms"
+)
+
+func main() {
+	db := maybms.OpenIncomplete()
+
+	// Figure 5: the dirty relation R and the swap-closure S.
+	db.MustExec(`create table R (SSN, TEL)`)
+	db.MustExec(`insert into R values (123, 456), (789, 123)`)
+	db.MustExec(`create table S as
+		select SSN, TEL, SSN as "SSN'", TEL as "TEL'" from R
+		union
+		select SSN, TEL, TEL as "SSN'", SSN as "TEL'" from R`)
+	fmt.Println("swap-closure S:")
+	fmt.Println(db.MustExec(`select * from S`))
+
+	// Figure 6: one world per reading — repair the key (SSN, TEL) of S.
+	db.MustExec(`create table T as select "SSN'", "TEL'" from S repair by key SSN, TEL`)
+	fmt.Printf("possible readings: %d worlds\n\n", db.WorldCount())
+	for _, w := range db.Worlds() {
+		fmt.Printf("world %s:\n%s", w.Name, w.Relations["T"])
+	}
+
+	// Figure 7: enforce the functional dependency SSN' → TEL' — a person
+	// has one phone number. The violating reading is dropped.
+	db.MustExec(`create table U as select * from T assert not exists
+		(select 'yes' from T t1, T t2
+		 where t1."SSN'" = t2."SSN'" and t1."TEL'" <> t2."TEL'")`)
+	fmt.Printf("\nafter FD SSN' -> TEL': %d worlds\n\n", db.WorldCount())
+	for _, w := range db.Worlds() {
+		fmt.Printf("world %s:\n%s", w.Name, w.Relations["U"])
+	}
+
+	// Certain answers: which pairs survive every consistent reading?
+	fmt.Println("\ncertain cleaned pairs:")
+	fmt.Println(db.MustExec(`select certain * from U`))
+	fmt.Println("possible cleaned pairs:")
+	fmt.Println(db.MustExec(`select possible * from U`))
+}

@@ -1,0 +1,45 @@
+// Quickstart: load the paper's Figure 1 database, repair the dirty key,
+// and ask the I-SQL questions of Section 2.
+package main
+
+import (
+	"fmt"
+
+	"maybms"
+)
+
+func main() {
+	db := maybms.Open() // probabilistic database, one world
+
+	// Figure 1: relation R violates the key A (two readings for a1 and a2).
+	db.MustExec(`create table R (A, B, C, D)`)
+	db.MustExec(`insert into R values
+		('a1', 10, 'c1', 2), ('a1', 15, 'c2', 6),
+		('a2', 14, 'c3', 4), ('a2', 20, 'c4', 5),
+		('a3', 20, 'c5', 6)`)
+
+	// Example 2.4: all repairs of the key, weighted by column D. The
+	// session becomes a set of four possible worlds (Figure 2).
+	db.MustExec(`create table I as select A, B, C from R repair by key A weight D`)
+	fmt.Printf("after repair by key: %d worlds\n\n", db.WorldCount())
+	for _, w := range db.Worlds() {
+		fmt.Printf("world %s (P = %.4f):\n%s\n", w.Name, w.Prob, w.Relations["I"])
+	}
+
+	// Example 2.8: which sums of B are possible across worlds?
+	res := db.MustExec(`select possible sum(B) from I`)
+	fmt.Printf("possible sum(B):\n%s\n", res)
+
+	// Example 2.10 (mechanism): confidence that the sum of B is under 50.
+	res = db.MustExec(`select conf from I where 50 > (select sum(B) from I)`)
+	fmt.Printf("conf(sum(B) < 50):\n%s\n", res)
+
+	// Example 2.5: keep only worlds without the C-value c1; probabilities
+	// renormalize to 0.44 / 0.56.
+	db.MustExec(`create table J as select * from I
+		assert not exists(select * from I where C = 'c1')`)
+	fmt.Printf("after assert: %d worlds\n", db.WorldCount())
+	for _, w := range db.Worlds() {
+		fmt.Printf("  P(%s) = %.4f\n", w.Name, w.Prob)
+	}
+}

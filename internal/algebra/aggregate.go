@@ -1,0 +1,116 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms/internal/expr"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+)
+
+func sortSlice(rows []tuple.Tuple, less func(a, b tuple.Tuple) bool) {
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+}
+
+// Aggregate groups its input by GroupBy column indexes and computes the
+// aggregate specs per group. The output schema is the group-by columns
+// followed by one column per aggregate (named in Out).
+//
+// With no group-by columns the operator is a scalar aggregate: it emits
+// exactly one row even for empty input (count()=0, sum()=NULL), matching
+// SQL. With group-by columns, empty input yields no rows.
+type Aggregate struct {
+	Child   Operator
+	GroupBy []int
+	Specs   []expr.AggSpec
+	Out     *schema.Schema
+	rows    []tuple.Tuple
+	pos     int
+}
+
+// Schema implements Operator.
+func (a *Aggregate) Schema() *schema.Schema { return a.Out }
+
+// Open implements Operator: it drains the child and computes all groups.
+func (a *Aggregate) Open(outer *expr.Context) error {
+	if a.Out.Len() != len(a.GroupBy)+len(a.Specs) {
+		return fmt.Errorf("%w: aggregate schema %s does not cover %d group cols + %d aggs",
+			ErrExec, a.Out, len(a.GroupBy), len(a.Specs))
+	}
+	if err := a.Child.Open(outer); err != nil {
+		return err
+	}
+	defer a.Child.Close()
+
+	type group struct {
+		key  tuple.Tuple
+		accs []*expr.Accumulator
+	}
+	var order []string
+	groups := map[string]*group{}
+	newGroup := func(key tuple.Tuple) *group {
+		g := &group{key: key, accs: make([]*expr.Accumulator, len(a.Specs))}
+		for i, spec := range a.Specs {
+			g.accs[i] = expr.NewAccumulator(spec)
+		}
+		return g
+	}
+
+	childSchema := a.Child.Schema()
+	for {
+		t, ok, err := a.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k := t.KeyOn(a.GroupBy)
+		g, exists := groups[k]
+		if !exists {
+			g = newGroup(t.Project(a.GroupBy))
+			groups[k] = g
+			order = append(order, k)
+		}
+		ctx := &expr.Context{Schema: childSchema, Tuple: t, Outer: outer}
+		for _, acc := range g.accs {
+			if err := acc.Add(ctx); err != nil {
+				return fmt.Errorf("%w: %v", ErrExec, err)
+			}
+		}
+	}
+
+	if len(groups) == 0 && len(a.GroupBy) == 0 {
+		// Scalar aggregate over empty input: one row of empty-input results.
+		g := newGroup(tuple.Tuple{})
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	a.rows = a.rows[:0]
+	for _, k := range order {
+		g := groups[k]
+		row := make(tuple.Tuple, 0, a.Out.Len())
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		a.rows = append(a.rows, row)
+	}
+	a.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (a *Aggregate) Next() (tuple.Tuple, bool, error) {
+	if a.pos >= len(a.rows) {
+		return nil, false, nil
+	}
+	t := a.rows[a.pos]
+	a.pos++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (a *Aggregate) Close() error { return nil }

@@ -1,0 +1,491 @@
+// Package algebra implements the physical relational operators in the
+// classic Volcano iterator style: Scan, Filter, Project, CrossJoin,
+// HashJoin, Aggregate, Distinct, Sort, Union and Limit.
+//
+// Operators are opened with the expression context of the *enclosing* query
+// (nil at the top level), so correlated subqueries can reach outer columns
+// through expr.Context.Outer chains.
+package algebra
+
+import (
+	"errors"
+	"fmt"
+
+	"maybms/internal/expr"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+)
+
+// ErrExec is wrapped by operator execution errors.
+var ErrExec = errors.New("execution error")
+
+// Operator is a Volcano-style iterator over tuples.
+type Operator interface {
+	// Schema describes the tuples produced by Next.
+	Schema() *schema.Schema
+	// Open prepares the iterator. outer is the expression context of the
+	// enclosing query for correlated references, or nil.
+	Open(outer *expr.Context) error
+	// Next returns the next tuple; ok is false at end of stream.
+	Next() (t tuple.Tuple, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// Collect drains op into a materialized relation.
+func Collect(op Operator, outer *expr.Context) (*relation.Relation, error) {
+	if err := op.Open(outer); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := relation.New(op.Schema())
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+}
+
+// Scan iterates a materialized relation.
+type Scan struct {
+	Rel *relation.Relation
+	pos int
+}
+
+// NewScan creates a scan over rel.
+func NewScan(rel *relation.Relation) *Scan { return &Scan{Rel: rel} }
+
+// Schema implements Operator.
+func (s *Scan) Schema() *schema.Schema { return s.Rel.Schema }
+
+// Open implements Operator.
+func (s *Scan) Open(*expr.Context) error {
+	s.pos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (s *Scan) Next() (tuple.Tuple, bool, error) {
+	if s.pos >= len(s.Rel.Tuples) {
+		return nil, false, nil
+	}
+	t := s.Rel.Tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (s *Scan) Close() error { return nil }
+
+// Filter passes through tuples on which Pred is true (SQL semantics: NULL
+// and false both drop the tuple).
+type Filter struct {
+	Child Operator
+	Pred  expr.Expr
+	outer *expr.Context
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *schema.Schema { return f.Child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open(outer *expr.Context) error {
+	f.outer = outer
+	return f.Child.Open(outer)
+}
+
+// Next implements Operator.
+func (f *Filter) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		ctx := &expr.Context{Schema: f.Child.Schema(), Tuple: t, Outer: f.outer}
+		v, err := f.Pred.Eval(ctx)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: filter %s: %v", ErrExec, f.Pred, err)
+		}
+		if v.Truth() {
+			return t, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project computes an output tuple per input tuple from expressions.
+type Project struct {
+	Child Operator
+	Exprs []expr.Expr
+	Out   *schema.Schema
+	outer *expr.Context
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *schema.Schema { return p.Out }
+
+// Open implements Operator.
+func (p *Project) Open(outer *expr.Context) error {
+	if len(p.Exprs) != p.Out.Len() {
+		return fmt.Errorf("%w: project arity %d vs schema %s", ErrExec, len(p.Exprs), p.Out)
+	}
+	p.outer = outer
+	return p.Child.Open(outer)
+}
+
+// Next implements Operator.
+func (p *Project) Next() (tuple.Tuple, bool, error) {
+	t, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	ctx := &expr.Context{Schema: p.Child.Schema(), Tuple: t, Outer: p.outer}
+	out := make(tuple.Tuple, len(p.Exprs))
+	for i, e := range p.Exprs {
+		v, err := e.Eval(ctx)
+		if err != nil {
+			return nil, false, fmt.Errorf("%w: projecting %s: %v", ErrExec, e, err)
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// CrossJoin is the Cartesian product; the right side is materialized on
+// Open. FROM lists (from I i2, I i3) compile to chains of cross joins with
+// filters on top.
+type CrossJoin struct {
+	Left, Right Operator
+	out         *schema.Schema
+	right       *relation.Relation
+	cur         tuple.Tuple
+	rpos        int
+	open        bool
+}
+
+// Schema implements Operator.
+func (j *CrossJoin) Schema() *schema.Schema {
+	if j.out == nil {
+		j.out = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *CrossJoin) Open(outer *expr.Context) error {
+	if err := j.Left.Open(outer); err != nil {
+		return err
+	}
+	right, err := Collect(j.Right, outer)
+	if err != nil {
+		j.Left.Close()
+		return err
+	}
+	j.right = right
+	j.cur = nil
+	j.rpos = 0
+	j.open = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *CrossJoin) Next() (tuple.Tuple, bool, error) {
+	for {
+		if j.cur == nil {
+			t, ok, err := j.Left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = t
+			j.rpos = 0
+		}
+		if j.rpos < len(j.right.Tuples) {
+			rt := j.right.Tuples[j.rpos]
+			j.rpos++
+			return j.cur.Concat(rt), true, nil
+		}
+		j.cur = nil
+	}
+}
+
+// Close implements Operator.
+func (j *CrossJoin) Close() error {
+	if !j.open {
+		return nil
+	}
+	j.open = false
+	return j.Left.Close()
+}
+
+// HashJoin is an equi-join: LeftKeys[i] must equal RightKeys[i]. The right
+// side is hashed on Open. NULL keys never join.
+type HashJoin struct {
+	Left, Right         Operator
+	LeftKeys, RightKeys []int
+	out                 *schema.Schema
+	table               map[string][]tuple.Tuple
+	cur                 tuple.Tuple
+	matches             []tuple.Tuple
+	mpos                int
+	open                bool
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *schema.Schema {
+	if j.out == nil {
+		j.out = j.Left.Schema().Concat(j.Right.Schema())
+	}
+	return j.out
+}
+
+// Open implements Operator.
+func (j *HashJoin) Open(outer *expr.Context) error {
+	if len(j.LeftKeys) != len(j.RightKeys) || len(j.LeftKeys) == 0 {
+		return fmt.Errorf("%w: hash join needs matching non-empty key lists", ErrExec)
+	}
+	if err := j.Left.Open(outer); err != nil {
+		return err
+	}
+	right, err := Collect(j.Right, outer)
+	if err != nil {
+		j.Left.Close()
+		return err
+	}
+	j.table = make(map[string][]tuple.Tuple, right.Len())
+	for _, t := range right.Tuples {
+		if hasNullAt(t, j.RightKeys) {
+			continue
+		}
+		k := t.KeyOn(j.RightKeys)
+		j.table[k] = append(j.table[k], t)
+	}
+	j.cur, j.matches, j.mpos = nil, nil, 0
+	j.open = true
+	return nil
+}
+
+func hasNullAt(t tuple.Tuple, idx []int) bool {
+	for _, i := range idx {
+		if t[i].IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (tuple.Tuple, bool, error) {
+	for {
+		if j.mpos < len(j.matches) {
+			rt := j.matches[j.mpos]
+			j.mpos++
+			return j.cur.Concat(rt), true, nil
+		}
+		t, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if hasNullAt(t, j.LeftKeys) {
+			continue
+		}
+		j.cur = t
+		j.matches = j.table[t.KeyOn(j.LeftKeys)]
+		j.mpos = 0
+	}
+}
+
+// Close implements Operator.
+func (j *HashJoin) Close() error {
+	if !j.open {
+		return nil
+	}
+	j.open = false
+	return j.Left.Close()
+}
+
+// Distinct drops duplicate tuples, streaming, preserving first occurrences.
+type Distinct struct {
+	Child Operator
+	seen  map[string]struct{}
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *schema.Schema { return d.Child.Schema() }
+
+// Open implements Operator.
+func (d *Distinct) Open(outer *expr.Context) error {
+	d.seen = make(map[string]struct{})
+	return d.Child.Open(outer)
+}
+
+// Next implements Operator.
+func (d *Distinct) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := d.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := t.Key()
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return t, true, nil
+	}
+}
+
+// Close implements Operator.
+func (d *Distinct) Close() error { return d.Child.Close() }
+
+// Union concatenates two inputs with identical arity. Wrap in Distinct for
+// SQL UNION; use alone for UNION ALL.
+type Union struct {
+	Left, Right Operator
+	onRight     bool
+}
+
+// Schema implements Operator.
+func (u *Union) Schema() *schema.Schema { return u.Left.Schema() }
+
+// Open implements Operator.
+func (u *Union) Open(outer *expr.Context) error {
+	if u.Left.Schema().Len() != u.Right.Schema().Len() {
+		return fmt.Errorf("%w: union arity mismatch %s vs %s", ErrExec, u.Left.Schema(), u.Right.Schema())
+	}
+	u.onRight = false
+	if err := u.Left.Open(outer); err != nil {
+		return err
+	}
+	return u.Right.Open(outer)
+}
+
+// Next implements Operator.
+func (u *Union) Next() (tuple.Tuple, bool, error) {
+	if !u.onRight {
+		t, ok, err := u.Left.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return t, true, nil
+		}
+		u.onRight = true
+	}
+	return u.Right.Next()
+}
+
+// Close implements Operator.
+func (u *Union) Close() error {
+	err1 := u.Left.Close()
+	err2 := u.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// SortKey orders by a column index, optionally descending.
+type SortKey struct {
+	Index int
+	Desc  bool
+}
+
+// Sort materializes its input on Open and emits it ordered by Keys, with the
+// canonical tuple order as tie-break so results are deterministic.
+type Sort struct {
+	Child Operator
+	Keys  []SortKey
+	rows  []tuple.Tuple
+	pos   int
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *schema.Schema { return s.Child.Schema() }
+
+// Open implements Operator.
+func (s *Sort) Open(outer *expr.Context) error {
+	rel, err := Collect(s.Child, outer)
+	if err != nil {
+		return err
+	}
+	s.rows = rel.Tuples
+	sortTuples(s.rows, s.Keys)
+	s.pos = 0
+	return nil
+}
+
+func sortTuples(rows []tuple.Tuple, keys []SortKey) {
+	less := func(a, b tuple.Tuple) bool {
+		for _, k := range keys {
+			c := tupleCmpAt(a, b, k.Index)
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return tuple.Compare(a, b) < 0
+	}
+	sortSlice(rows, less)
+}
+
+func tupleCmpAt(a, b tuple.Tuple, i int) int {
+	return tuple.Compare(tuple.Tuple{a[i]}, tuple.Tuple{b[i]})
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (tuple.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error { return s.Child.Close() }
+
+// Limit caps the number of emitted tuples.
+type Limit struct {
+	Child Operator
+	N     int
+	count int
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *schema.Schema { return l.Child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open(outer *expr.Context) error {
+	l.count = 0
+	return l.Child.Open(outer)
+}
+
+// Next implements Operator.
+func (l *Limit) Next() (tuple.Tuple, bool, error) {
+	if l.count >= l.N {
+		return nil, false, nil
+	}
+	t, ok, err := l.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.count++
+	return t, true, nil
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.Child.Close() }

@@ -1,0 +1,89 @@
+package algebra
+
+// bench_test.go holds the ablation benchmarks for the physical operator
+// choices called out in DESIGN.md: the planner compiles equi-joins from
+// FROM lists as filtered cross joins (simple, always correct); HashJoin
+// exists as the asymptotically right operator. The ablation quantifies the
+// gap so the trade-off is recorded, not assumed.
+
+import (
+	"fmt"
+	"testing"
+
+	"maybms/internal/expr"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func benchRelation(n int, keyMod int) *relation.Relation {
+	r := relation.New(schema.New("K", "V"))
+	for i := 0; i < n; i++ {
+		r.MustAppend(tuple.New(value.Int(int64(i%keyMod)), value.Int(int64(i))))
+	}
+	return r
+}
+
+func BenchmarkAblationJoinCross(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			l := benchRelation(n, n/4)
+			r := benchRelation(n, n/4)
+			pred := expr.Cmp{Op: expr.CmpEq, L: expr.Column{Index: 0}, R: expr.Column{Index: 2}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := &Filter{Child: &CrossJoin{Left: NewScan(l), Right: NewScan(r)}, Pred: pred}
+				if _, err := Collect(op, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationJoinHash(b *testing.B) {
+	for _, n := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			l := benchRelation(n, n/4)
+			r := benchRelation(n, n/4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op := &HashJoin{Left: NewScan(l), Right: NewScan(r), LeftKeys: []int{0}, RightKeys: []int{0}}
+				if _, err := Collect(op, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDistinct measures the streaming dedup that backs the
+// POSSIBLE closure.
+func BenchmarkAblationDistinct(b *testing.B) {
+	r := benchRelation(4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Collect(&Distinct{Child: NewScan(r)}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationAggregate measures hash aggregation (GROUP BY), the
+// core of Example 2.8's per-world sums.
+func BenchmarkAblationAggregate(b *testing.B) {
+	r := benchRelation(4096, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := &Aggregate{
+			Child:   NewScan(r),
+			GroupBy: []int{0},
+			Specs:   []expr.AggSpec{{Kind: expr.AggSum, Arg: expr.Column{Index: 1}}},
+			Out:     schema.New("K", "sum"),
+		}
+		if _, err := Collect(op, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

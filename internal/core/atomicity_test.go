@@ -1,0 +1,64 @@
+package core
+
+// atomicity_test.go checks that failing statements never leave the session
+// half-applied — the cross-world counterpart of transactional atomicity
+// that the paper's constraint semantics (§2) requires.
+
+import (
+	"testing"
+)
+
+func TestCreateAsFailureLeavesNoPartialState(t *testing.T) {
+	s := NewSession(true)
+	mustExec(t, s, "create table P (A)")
+	mustExec(t, s, "insert into P values (1), (2)")
+	// Split so several worlds would be touched.
+	mustExec(t, s, "create table Q as select A from P choice of A")
+	if s.WorldCount() != 2 {
+		t.Fatal("setup: want 2 worlds")
+	}
+	// Duplicate output column names fail at materialization; the failure
+	// must leave every world without the new relation.
+	if _, err := s.Exec("create table Bad as select p1.A, p2.A from P p1, P p2"); err == nil {
+		t.Fatal("expected materialization failure")
+	}
+	for _, w := range s.Set().Worlds {
+		if w.Has("Bad") {
+			t.Errorf("world %s has partial Bad relation", w.Name)
+		}
+	}
+	// The world-set itself is untouched.
+	if s.WorldCount() != 2 {
+		t.Errorf("world count changed to %d", s.WorldCount())
+	}
+	if err := s.Set().CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFailedSplitLeavesSessionUntouched(t *testing.T) {
+	s := NewSession(true)
+	s.MaxWorlds = 4
+	mustExec(t, s, "create table P (K, V)")
+	mustExec(t, s, "insert into P values (1, 'a'), (1, 'b'), (2, 'a'), (2, 'b'), (3, 'a'), (3, 'b')")
+	before := snapshot(s)
+	if _, err := s.Exec("create table Q as select K, V from P repair by key K"); err == nil {
+		t.Fatal("expected MaxWorlds failure")
+	}
+	if snapshot(s) != before {
+		t.Error("failed split mutated the session")
+	}
+}
+
+func TestFailedAssertLeavesSessionUntouched(t *testing.T) {
+	s := NewSession(true)
+	loadFigure1(t, s)
+	repairFigure2(t, s)
+	before := snapshot(s)
+	if _, err := s.Exec("create table Q as select * from I assert 1 = 2"); err == nil {
+		t.Fatal("expected assert-all-gone failure")
+	}
+	if snapshot(s) != before {
+		t.Error("failed assert mutated the session")
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+// fuzz_test.go drives random I-SQL statement sequences through a session
+// and checks the global invariants after every statement:
+//
+//   - the world-set is never empty;
+//   - in weighted mode, probabilities stay in [0,1] and sum to 1;
+//   - every world contains the same relation names (homogeneous schema);
+//   - failed statements leave the session exactly as it was.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// snapshot captures a comparable view of the session.
+func snapshot(s *Session) string {
+	var b strings.Builder
+	for _, w := range s.Set().Worlds {
+		fmt.Fprintf(&b, "%s|%.12f|%x;", w.Name, w.Prob, w.Fingerprint())
+	}
+	return b.String()
+}
+
+func checkInvariants(t *testing.T, s *Session, step int, stmt string) {
+	t.Helper()
+	if err := s.Set().CheckInvariant(); err != nil {
+		t.Fatalf("step %d (%s): invariant: %v", step, stmt, err)
+	}
+	// All worlds expose the same relation names.
+	names := strings.Join(s.Set().Worlds[0].Names(), ",")
+	for _, w := range s.Set().Worlds[1:] {
+		if got := strings.Join(w.Names(), ","); got != names {
+			t.Fatalf("step %d (%s): world %s has relations %s, others have %s", step, stmt, w.Name, got, names)
+		}
+	}
+}
+
+func TestRandomStatementSequences(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 20; trial++ {
+		s := NewSession(true)
+		s.MaxWorlds = 64
+		mustExec(t, s, "create table Base (K, V, W)")
+		for k := 0; k < 3; k++ {
+			for v := 0; v < 2; v++ {
+				mustExec(t, s, fmt.Sprintf("insert into Base values (%d, %d, %d)", k, v, 1+v))
+			}
+		}
+		tableID := 0
+		created := []string{"Base"}
+		for step := 0; step < 30; step++ {
+			stmt := randomStatement(r, &tableID, &created)
+			before := snapshot(s)
+			if _, err := s.Exec(stmt); err != nil {
+				// Errors are fine (e.g. MaxWorlds, empty choice, asserts
+				// dropping everything); the session must be unchanged.
+				if got := snapshot(s); got != before {
+					t.Fatalf("trial %d step %d: failed statement %q mutated the session", trial, step, stmt)
+				}
+				continue
+			}
+			checkInvariants(t, s, step, stmt)
+		}
+	}
+}
+
+// randomStatement picks among the I-SQL operation classes.
+func randomStatement(r *rand.Rand, tableID *int, created *[]string) string {
+	pick := func() string { return (*created)[r.Intn(len(*created))] }
+	fresh := func() string {
+		*tableID++
+		name := fmt.Sprintf("T%d", *tableID)
+		*created = append(*created, name)
+		return name
+	}
+	switch r.Intn(10) {
+	case 0:
+		return fmt.Sprintf("create table %s as select K, V, W from Base repair by key K weight W", fresh())
+	case 1:
+		return fmt.Sprintf("create table %s as select K, V, W from Base repair by key K", fresh())
+	case 2:
+		return fmt.Sprintf("create table %s as select K, V, W from Base choice of K", fresh())
+	case 3:
+		return fmt.Sprintf("create table %s as select * from Base assert exists (select * from %s)", fresh(), pick())
+	case 4:
+		return fmt.Sprintf("create table %s as select * from Base assert not exists (select * from %s where K = %d and V = %d)",
+			fresh(), pick(), r.Intn(3), r.Intn(2))
+	case 5:
+		return fmt.Sprintf("insert into Base values (%d, %d, %d)", 3+r.Intn(3), r.Intn(2), 1+r.Intn(3))
+	case 6:
+		return fmt.Sprintf("delete from Base where K = %d and V = %d and W > 3", r.Intn(6), r.Intn(2))
+	case 7:
+		return fmt.Sprintf("update Base set W = W + 1 where K = %d", r.Intn(6))
+	case 8:
+		return fmt.Sprintf("select conf from %s where exists (select * from %s where V = %d)", pick(), pick(), r.Intn(2))
+	default:
+		return fmt.Sprintf("select possible count(*) from %s", pick())
+	}
+}

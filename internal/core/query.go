@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"maybms/internal/algebra"
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/sqlparse"
+	"maybms/internal/world"
+	"maybms/internal/worldset"
+)
+
+// queryEval is the outcome of evaluating a SELECT under possible-worlds
+// semantics, before any materialization: a hypothetical world list (split
+// by repair/choice, filtered by assert), the per-world answers, and — when
+// a closure (possible/certain/conf) applied — the world groups and their
+// closed answers.
+type queryEval struct {
+	worlds  []*world.World
+	results []*relation.Relation
+	// groups/closed are set iff a closure applied; groups[i] indexes into
+	// worlds, closed[i] is the group's closed answer.
+	groups [][]int
+	closed []*relation.Relation
+	// weighted mirrors the session mode.
+	weighted bool
+}
+
+// evalQuery runs the full I-SQL SELECT pipeline:
+//
+//	per-world FROM/WHERE → repair/choice world split → rest of the query in
+//	each (child) world → assert filter + renormalize → group-worlds-by →
+//	possible/certain/conf closure per group.
+func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
+	weighted := s.set.Weighted
+
+	// ---- validation ----
+	confCount := 0
+	for _, it := range st.Items {
+		if _, ok := it.Expr.(sqlparse.ConfExpr); ok {
+			confCount++
+		}
+	}
+	if confCount > 1 {
+		return nil, fmt.Errorf("at most one conf item is allowed")
+	}
+	hasConf := confCount == 1
+	if hasConf && st.Quantifier != sqlparse.QuantNone {
+		return nil, fmt.Errorf("conf cannot be combined with %s", st.Quantifier)
+	}
+	if hasConf && !weighted {
+		return nil, fmt.Errorf("conf requires a probabilistic session: %w", worldset.ErrNotWeighted)
+	}
+	if st.Repair != nil && st.Choice != nil {
+		return nil, fmt.Errorf("repair by key and choice of cannot be combined in one statement")
+	}
+	split := st.Repair != nil || st.Choice != nil
+	if st.Union != nil {
+		if split || st.Assert != nil || st.GroupWorlds != nil {
+			return nil, fmt.Errorf("repair/choice/assert/group-worlds-by cannot be combined with UNION")
+		}
+		for arm := st.Union; arm != nil; arm = arm.Union {
+			if arm.HasISQL() {
+				return nil, fmt.Errorf("I-SQL constructs are not allowed in UNION arms")
+			}
+		}
+	}
+	if !weighted {
+		if st.Repair != nil && st.Repair.Weight != "" || st.Choice != nil && st.Choice.Weight != "" {
+			return nil, fmt.Errorf("weight requires a probabilistic session: %w", worldset.ErrNotWeighted)
+		}
+	}
+	if st.GroupWorlds != nil {
+		if st.GroupWorlds.HasISQL() {
+			return nil, fmt.Errorf("group worlds by subquery must be plain SQL")
+		}
+		if st.Quantifier == sqlparse.QuantNone && !hasConf {
+			return nil, fmt.Errorf("group worlds by requires possible, certain or conf")
+		}
+	}
+
+	// ---- strip the I-SQL clauses, leaving the plain-SQL core ----
+	core := *st
+	core.Quantifier = sqlparse.QuantNone
+	core.Repair, core.Choice, core.Assert, core.GroupWorlds = nil, nil, nil, nil
+	if hasConf {
+		items := make([]sqlparse.SelectItem, 0, len(st.Items)-1)
+		for _, it := range st.Items {
+			if _, ok := it.Expr.(sqlparse.ConfExpr); !ok {
+				items = append(items, it)
+			}
+		}
+		core.Items = items
+	}
+
+	// ---- per-world evaluation, with world splitting ----
+	var worlds []*world.World
+	var results []*relation.Relation
+	if split {
+		for _, w := range s.set.Worlds {
+			irOp, err := plan.BuildFromWhere(&core, w)
+			if err != nil {
+				return nil, err
+			}
+			ir, err := algebra.Collect(irOp, nil)
+			if err != nil {
+				return nil, err
+			}
+			pieces, err := s.splitPieces(st, ir)
+			if err != nil {
+				return nil, err
+			}
+			if len(worlds)+len(pieces) > s.MaxWorlds {
+				return nil, ErrTooManyWorlds
+			}
+			for pi, p := range pieces {
+				name := w.Name
+				if len(pieces) > 1 {
+					name = childName(w.Name, pi)
+				}
+				child := w.Clone(name)
+				if weighted {
+					child.Prob = w.Prob * p.prob
+				}
+				op, err := plan.BuildOnRelation(&core, p.rel, child)
+				if err != nil {
+					return nil, err
+				}
+				res, err := algebra.Collect(op, nil)
+				if err != nil {
+					return nil, err
+				}
+				worlds = append(worlds, child)
+				results = append(results, res)
+			}
+		}
+	} else {
+		worlds = s.set.Worlds
+		results = make([]*relation.Relation, len(worlds))
+		for i, w := range worlds {
+			op, err := plan.Build(&core, w)
+			if err != nil {
+				return nil, err
+			}
+			res, err := algebra.Collect(op, nil)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+	}
+
+	// ---- assert: filter worlds and renormalize ----
+	if st.Assert != nil {
+		var keptWorlds []*world.World
+		var keptResults []*relation.Relation
+		for i, w := range worlds {
+			pred, err := plan.BuildPredicate(st.Assert, w)
+			if err != nil {
+				return nil, err
+			}
+			ok, err := pred()
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				// Clone so renormalization cannot leak into the session's
+				// worlds on a non-materializing query.
+				keptWorlds = append(keptWorlds, w.Clone(w.Name))
+				keptResults = append(keptResults, results[i])
+			}
+		}
+		if len(keptWorlds) == 0 {
+			return nil, ErrAssertAllGone
+		}
+		if weighted {
+			total := 0.0
+			for _, w := range keptWorlds {
+				total += w.Prob
+			}
+			if total <= 0 {
+				return nil, fmt.Errorf("assert left zero total probability")
+			}
+			for _, w := range keptWorlds {
+				w.Prob /= total
+			}
+		}
+		worlds, results = keptWorlds, keptResults
+	}
+
+	ev := &queryEval{worlds: worlds, results: results, weighted: weighted}
+
+	// ---- world grouping + closure ----
+	if st.Quantifier == sqlparse.QuantNone && !hasConf {
+		return ev, nil
+	}
+	var groups [][]int
+	if st.GroupWorlds != nil {
+		keys := make([]uint64, len(worlds))
+		for i, w := range worlds {
+			op, err := plan.Build(st.GroupWorlds, w)
+			if err != nil {
+				return nil, err
+			}
+			res, err := algebra.Collect(op, nil)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = res.Fingerprint()
+		}
+		groups = worldset.Group(keys)
+	} else {
+		all := make([]int, len(worlds))
+		for i := range all {
+			all[i] = i
+		}
+		groups = [][]int{all}
+	}
+
+	closed := make([]*relation.Relation, len(groups))
+	for gi, idxs := range groups {
+		groupResults := make([]*relation.Relation, len(idxs))
+		for j, wi := range idxs {
+			groupResults[j] = results[wi]
+		}
+		var rel *relation.Relation
+		var err error
+		switch {
+		case st.Quantifier == sqlparse.QuantPossible:
+			rel, err = worldset.Possible(groupResults)
+		case st.Quantifier == sqlparse.QuantCertain:
+			rel, err = worldset.Certain(groupResults)
+		default: // conf
+			probs := make([]float64, len(idxs))
+			for j, wi := range idxs {
+				probs[j] = worlds[wi].Prob
+			}
+			rel, err = worldset.Conf(groupResults, probs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		closed[gi] = rel
+	}
+	ev.groups, ev.closed = groups, closed
+	return ev, nil
+}
+
+// splitPieces dispatches to the repair or choice split on the FROM/WHERE
+// intermediate ir.
+func (s *Session) splitPieces(st *sqlparse.SelectStmt, ir *relation.Relation) ([]piece, error) {
+	weighted := s.set.Weighted
+	if st.Repair != nil {
+		keyIdx, err := ir.Schema.IndexesOf(st.Repair.Key)
+		if err != nil {
+			return nil, fmt.Errorf("repair by key: %w", err)
+		}
+		weightIdx := -1
+		if st.Repair.Weight != "" {
+			weightIdx, err = ir.Schema.Resolve("", st.Repair.Weight)
+			if err != nil {
+				return nil, fmt.Errorf("repair weight: %w", err)
+			}
+		}
+		return repairs(ir, keyIdx, weightIdx, weighted, s.MaxWorlds)
+	}
+	attrIdx, err := ir.Schema.IndexesOf(st.Choice.Attrs)
+	if err != nil {
+		return nil, fmt.Errorf("choice of: %w", err)
+	}
+	weightIdx := -1
+	if st.Choice.Weight != "" {
+		weightIdx, err = ir.Schema.Resolve("", st.Choice.Weight)
+		if err != nil {
+			return nil, fmt.Errorf("choice weight: %w", err)
+		}
+	}
+	return choices(ir, attrIdx, weightIdx, weighted)
+}
+
+// result converts the evaluation into a displayable Result without
+// mutating the session.
+func (ev *queryEval) result(weighted bool) *Result {
+	if ev.closed != nil {
+		out := &Result{Kind: ResultClosed, Weighted: weighted}
+		for gi, idxs := range ev.groups {
+			g := GroupRows{Rel: ev.closed[gi]}
+			for _, wi := range idxs {
+				g.Worlds = append(g.Worlds, ev.worlds[wi].Name)
+				g.Prob += ev.worlds[wi].Prob
+			}
+			out.Groups = append(out.Groups, g)
+		}
+		return out
+	}
+	out := &Result{Kind: ResultPerWorld, Weighted: weighted}
+	for i, w := range ev.worlds {
+		out.PerWorld = append(out.PerWorld, WorldRows{World: w.Name, Prob: w.Prob, Rel: ev.results[i]})
+	}
+	return out
+}
+
+// execCreateAs materializes a query: the hypothetical world-set becomes the
+// session's world-set (making repair/choice splits and asserts durable, per
+// Examples 2.2–2.5), and the answer relation is added to each world — per
+// group for closed results (Figure 4's Groups), per world otherwise.
+func (s *Session) execCreateAs(name string, q *sqlparse.SelectStmt, isView bool) (*Result, error) {
+	if err := s.checkFresh(name); err != nil {
+		return nil, err
+	}
+	ev, err := s.evalQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if ev.closed != nil {
+		rels := make([]*relation.Relation, len(ev.groups))
+		for gi := range ev.groups {
+			rels[gi], err = materializable(ev.closed[gi])
+			if err != nil {
+				return nil, err
+			}
+		}
+		for gi, idxs := range ev.groups {
+			for _, wi := range idxs {
+				ev.worlds[wi].Put(name, rels[gi])
+			}
+		}
+	} else {
+		// Validate every per-world result before touching any world, so a
+		// failure cannot leave the statement half-applied.
+		rels := make([]*relation.Relation, len(ev.worlds))
+		for i := range ev.worlds {
+			rels[i], err = materializable(ev.results[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, w := range ev.worlds {
+			w.Put(name, rels[i])
+		}
+	}
+	if err := s.set.Replace(ev.worlds); err != nil {
+		return nil, err
+	}
+	kind := "table"
+	if isView {
+		s.views[strings.ToLower(name)] = true
+		kind = "view"
+	}
+	return &Result{
+		Kind:     ResultOK,
+		Msg:      fmt.Sprintf("created %s %s in %d world(s)", kind, name, len(ev.worlds)),
+		Weighted: s.set.Weighted,
+	}, nil
+}
+
+// materializable prepares a query result for storage as a base relation:
+// qualifiers are dropped and duplicate column names rejected.
+func materializable(rel *relation.Relation) (*relation.Relation, error) {
+	sch := rel.Schema.Unqualify()
+	seen := map[string]bool{}
+	for _, n := range sch.Names() {
+		key := strings.ToLower(n)
+		if seen[key] {
+			return nil, fmt.Errorf("cannot materialize result with duplicate column name %q", n)
+		}
+		seen[key] = true
+	}
+	return rel.WithSchema(sch), nil
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"maybms/internal/expr"
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+	"maybms/internal/world"
+	"maybms/internal/worldset"
+)
+
+// DefaultMaxWorlds bounds the explicit world-set size of a session.
+const DefaultMaxWorlds = 1 << 16
+
+// Errors reported by the engine.
+var (
+	ErrExists        = errors.New("relation already exists")
+	ErrKeyViolation  = errors.New("primary key violation")
+	ErrAssertAllGone = errors.New("assert dropped every world")
+)
+
+// Session is an I-SQL session: a world-set plus the schema-level metadata
+// (declared primary keys, view names).
+type Session struct {
+	set *worldset.Set
+	// keys maps lower-case table names to declared primary key columns.
+	keys map[string][]string
+	// views records which names were created as views (snapshot-materialized).
+	views map[string]bool
+	// MaxWorlds bounds the world-set; splits that would exceed it fail with
+	// ErrTooManyWorlds.
+	MaxWorlds int
+	nextWorld int
+}
+
+// NewSession creates a session over a single empty world. weighted selects
+// the probabilistic mode: WEIGHT clauses and CONF require it; in weighted
+// mode unweighted repairs and choices use uniform probabilities.
+func NewSession(weighted bool) *Session {
+	return NewSessionFromSet(worldset.New(weighted))
+}
+
+// NewSessionFromSet wraps an existing world-set (e.g. one expanded from a
+// world-set decomposition) in a fresh session.
+func NewSessionFromSet(set *worldset.Set) *Session {
+	return &Session{
+		set:       set,
+		keys:      make(map[string][]string),
+		views:     make(map[string]bool),
+		MaxWorlds: DefaultMaxWorlds,
+	}
+}
+
+// Weighted reports whether the session is probabilistic.
+func (s *Session) Weighted() bool { return s.set.Weighted }
+
+// Set exposes the underlying world-set (read-mostly; the REPL prints it).
+func (s *Session) Set() *worldset.Set { return s.set }
+
+// WorldCount returns the current number of worlds.
+func (s *Session) WorldCount() int { return s.set.Len() }
+
+// PrimaryKey returns the declared key columns of a table (nil if none).
+func (s *Session) PrimaryKey(table string) []string {
+	return s.keys[strings.ToLower(table)]
+}
+
+// IsView reports whether name was created with CREATE VIEW.
+func (s *Session) IsView(name string) bool { return s.views[strings.ToLower(name)] }
+
+// Register loads rel under name into every world, like a CREATE TABLE +
+// INSERTs of complete data. It fails if the name is taken.
+func (s *Session) Register(name string, rel *relation.Relation) error {
+	if err := s.checkFresh(name); err != nil {
+		return err
+	}
+	stored := rel.WithSchema(rel.Schema.Unqualify())
+	for _, w := range s.set.Worlds {
+		w.Put(name, stored)
+	}
+	return nil
+}
+
+// Exec parses and executes a single statement.
+func (s *Session) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt)
+}
+
+// ExecScript parses and executes a semicolon-separated script, stopping at
+// the first error. It returns the results of the executed statements.
+func (s *Session) ExecScript(sql string) ([]*Result, error) {
+	stmts, err := sqlparse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(stmts))
+	for _, stmt := range stmts {
+		res, err := s.ExecStmt(stmt)
+		if err != nil {
+			return out, fmt.Errorf("executing %q: %w", stmt, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ExecStmt executes one parsed statement.
+func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		ev, err := s.evalQuery(st)
+		if err != nil {
+			return nil, err
+		}
+		return ev.result(s.set.Weighted), nil
+	case *sqlparse.CreateTableAs:
+		return s.execCreateAs(st.Name, st.Query, false)
+	case *sqlparse.CreateView:
+		return s.execCreateAs(st.Name, st.Query, true)
+	case *sqlparse.CreateTable:
+		return s.execCreateTable(st)
+	case *sqlparse.Insert:
+		return s.execInsert(st)
+	case *sqlparse.Update:
+		return s.execUpdate(st)
+	case *sqlparse.Delete:
+		return s.execDelete(st)
+	case *sqlparse.Drop:
+		return s.execDrop(st)
+	default:
+		return nil, fmt.Errorf("unsupported statement %T", stmt)
+	}
+}
+
+// checkFresh verifies that name is not bound in any world.
+func (s *Session) checkFresh(name string) error {
+	for _, w := range s.set.Worlds {
+		if w.Has(name) {
+			return fmt.Errorf("%w: %s", ErrExists, name)
+		}
+	}
+	return nil
+}
+
+func (s *Session) execCreateTable(st *sqlparse.CreateTable) (*Result, error) {
+	if err := s.checkFresh(st.Name); err != nil {
+		return nil, err
+	}
+	sch := schema.New(st.Columns...)
+	if len(st.PrimaryKey) > 0 {
+		if _, err := sch.IndexesOf(st.PrimaryKey); err != nil {
+			return nil, fmt.Errorf("PRIMARY KEY: %w", err)
+		}
+		s.keys[strings.ToLower(st.Name)] = st.PrimaryKey
+	}
+	for _, w := range s.set.Worlds {
+		w.Put(st.Name, relation.New(sch))
+	}
+	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("created table %s", st.Name), Weighted: s.set.Weighted}, nil
+}
+
+func (s *Session) execDrop(st *sqlparse.Drop) (*Result, error) {
+	existed := false
+	for _, w := range s.set.Worlds {
+		if w.Drop(st.Name) {
+			existed = true
+		}
+	}
+	if !existed && !st.IfExists {
+		return nil, fmt.Errorf("relation %q does not exist", st.Name)
+	}
+	delete(s.keys, strings.ToLower(st.Name))
+	delete(s.views, strings.ToLower(st.Name))
+	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("dropped %s", st.Name), Weighted: s.set.Weighted}, nil
+}
+
+// execInsert inserts the value rows into the table in every world. Per the
+// paper (§2): "In case the tuple insertion violates a constraint in some
+// worlds, then the update is discarded in all worlds." — the whole
+// statement aborts if any world would violate the table's primary key.
+func (s *Session) execInsert(st *sqlparse.Insert) (*Result, error) {
+	// The table must exist everywhere with one schema; take it from the
+	// first world.
+	base, err := s.set.Worlds[0].Lookup(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	sch := base.Schema
+
+	// Column positions for the optional column list.
+	var positions []int
+	if len(st.Columns) > 0 {
+		positions, err = sch.IndexesOf(st.Columns)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Evaluate value rows once (no row context; subqueries would be
+	// world-dependent and are rejected by requiring constant rows).
+	rows := make([]tuple.Tuple, len(st.Rows))
+	for i, exprRow := range st.Rows {
+		var t tuple.Tuple
+		if positions == nil {
+			if len(exprRow) != sch.Len() {
+				return nil, fmt.Errorf("INSERT row has %d values, table %s has %d columns", len(exprRow), st.Table, sch.Len())
+			}
+			t = make(tuple.Tuple, sch.Len())
+			for j, ex := range exprRow {
+				v, err := constValue(ex)
+				if err != nil {
+					return nil, err
+				}
+				t[j] = v
+			}
+		} else {
+			if len(exprRow) != len(positions) {
+				return nil, fmt.Errorf("INSERT row has %d values for %d columns", len(exprRow), len(positions))
+			}
+			t = make(tuple.Tuple, sch.Len())
+			for j := range t {
+				t[j] = value.Null()
+			}
+			for j, ex := range exprRow {
+				v, err := constValue(ex)
+				if err != nil {
+					return nil, err
+				}
+				t[positions[j]] = v
+			}
+		}
+		rows[i] = t
+	}
+
+	// Build candidate relations per world, checking keys; commit only if
+	// every world accepts.
+	key := s.keys[strings.ToLower(st.Table)]
+	updated := make([]*relation.Relation, len(s.set.Worlds))
+	for i, w := range s.set.Worlds {
+		cur, err := w.Lookup(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		next := cur.Clone()
+		for _, t := range rows {
+			if err := next.Append(t); err != nil {
+				return nil, err
+			}
+		}
+		if len(key) > 0 {
+			if err := checkKey(next, key); err != nil {
+				return nil, fmt.Errorf("%w in world %s (statement discarded in all worlds)", err, w.Name)
+			}
+		}
+		updated[i] = next
+	}
+	for i, w := range s.set.Worlds {
+		w.Put(st.Table, updated[i])
+	}
+	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("inserted %d row(s) into %s in %d world(s)", len(rows), st.Table, len(s.set.Worlds)), Weighted: s.set.Weighted}, nil
+}
+
+// constValue evaluates a constant insert expression (literals, arithmetic
+// on literals, unary minus).
+func constValue(e sqlparse.Expr) (value.Value, error) {
+	low, err := plan.BuildScalar(e, plan.CatalogFunc(func(name string) (*relation.Relation, error) {
+		return nil, fmt.Errorf("INSERT values must be constant; relation %q referenced", name)
+	}))
+	if err != nil {
+		return value.Null(), err
+	}
+	ctx := &expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}}
+	return low.Eval(ctx)
+}
+
+// checkKey verifies the key uniqueness constraint on rel.
+func checkKey(rel *relation.Relation, key []string) error {
+	idx, err := rel.Schema.IndexesOf(key)
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]struct{}, rel.Len())
+	for _, t := range rel.Tuples {
+		k := t.KeyOn(idx)
+		if _, dup := seen[k]; dup {
+			return fmt.Errorf("%w: duplicate key (%s) value %s", ErrKeyViolation, strings.Join(key, ", "), t.Project(idx))
+		}
+		seen[k] = struct{}{}
+	}
+	return nil
+}
+
+// execUpdate applies the SET clauses to the rows matching WHERE, in every
+// world; a resulting key violation in any world aborts the statement.
+func (s *Session) execUpdate(st *sqlparse.Update) (*Result, error) {
+	key := s.keys[strings.ToLower(st.Table)]
+	updated := make([]*relation.Relation, len(s.set.Worlds))
+	total := 0
+	for i, w := range s.set.Worlds {
+		cur, err := w.Lookup(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		sch := cur.Schema
+		setIdx := make([]int, len(st.Set))
+		setExprs := make([]expr.Expr, len(st.Set))
+		for j, sc := range st.Set {
+			idx, err := sch.Resolve("", sc.Column)
+			if err != nil {
+				return nil, err
+			}
+			low, err := plan.BuildRowExpr(sc.Value, sch, w)
+			if err != nil {
+				return nil, err
+			}
+			setIdx[j], setExprs[j] = idx, low
+		}
+		var pred expr.Expr
+		if st.Where != nil {
+			pred, err = plan.BuildRowExpr(st.Where, sch, w)
+			if err != nil {
+				return nil, err
+			}
+		}
+		next := relation.New(sch)
+		for _, t := range cur.Tuples {
+			ctx := &expr.Context{Schema: sch, Tuple: t}
+			match := true
+			if pred != nil {
+				v, err := pred.Eval(ctx)
+				if err != nil {
+					return nil, err
+				}
+				match = v.Truth()
+			}
+			if !match {
+				next.Tuples = append(next.Tuples, t)
+				continue
+			}
+			nt := t.Clone()
+			for j := range st.Set {
+				v, err := setExprs[j].Eval(ctx)
+				if err != nil {
+					return nil, err
+				}
+				nt[setIdx[j]] = v
+			}
+			next.Tuples = append(next.Tuples, nt)
+			total++
+		}
+		if len(key) > 0 {
+			if err := checkKey(next, key); err != nil {
+				return nil, fmt.Errorf("%w in world %s (statement discarded in all worlds)", err, w.Name)
+			}
+		}
+		updated[i] = next
+	}
+	for i, w := range s.set.Worlds {
+		w.Put(st.Table, updated[i])
+	}
+	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("updated %d row(s) across %d world(s)", total, len(s.set.Worlds)), Weighted: s.set.Weighted}, nil
+}
+
+// execDelete removes matching rows in every world.
+func (s *Session) execDelete(st *sqlparse.Delete) (*Result, error) {
+	updated := make([]*relation.Relation, len(s.set.Worlds))
+	total := 0
+	for i, w := range s.set.Worlds {
+		cur, err := w.Lookup(st.Table)
+		if err != nil {
+			return nil, err
+		}
+		sch := cur.Schema
+		var pred expr.Expr
+		if st.Where != nil {
+			pred, err = plan.BuildRowExpr(st.Where, sch, w)
+			if err != nil {
+				return nil, err
+			}
+		}
+		next := relation.New(sch)
+		for _, t := range cur.Tuples {
+			if pred != nil {
+				v, err := pred.Eval(&expr.Context{Schema: sch, Tuple: t})
+				if err != nil {
+					return nil, err
+				}
+				if v.Truth() {
+					total++
+					continue
+				}
+			} else {
+				total++
+				continue
+			}
+			next.Tuples = append(next.Tuples, t)
+		}
+		updated[i] = next
+	}
+	for i, w := range s.set.Worlds {
+		w.Put(st.Table, updated[i])
+	}
+	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("deleted %d row(s) across %d world(s)", total, len(s.set.Worlds)), Weighted: s.set.Weighted}, nil
+}
+
+// freshWorldName mints a lineage-based child world name.
+func childName(parent string, i int) string {
+	return fmt.Sprintf("%s.%d", parent, i+1)
+}
+
+var _ plan.Catalog = (*world.World)(nil)

@@ -1,0 +1,158 @@
+package expr
+
+import (
+	"testing"
+
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func feed(t *testing.T, spec AggSpec, vals ...value.Value) value.Value {
+	t.Helper()
+	acc := NewAccumulator(spec)
+	for _, v := range vals {
+		ctx := &Context{Schema: schema.New("x"), Tuple: tuple.New(v)}
+		if err := acc.Add(ctx); err != nil {
+			t.Fatalf("Add(%v): %v", v, err)
+		}
+	}
+	return acc.Result()
+}
+
+func col0() Expr { return Column{Index: 0} }
+
+func TestSumInts(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggSum, Arg: col0()}, value.Int(10), value.Int(14), value.Int(20))
+	if got.Kind() != value.KindInt || got.AsInt() != 44 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestSumPromotesToFloat(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggSum, Arg: col0()}, value.Int(1), value.Float(0.5))
+	if got.Kind() != value.KindFloat || got.AsFloat() != 1.5 {
+		t.Errorf("sum = %v", got)
+	}
+	// Float first, then int.
+	got = feed(t, AggSpec{Kind: AggSum, Arg: col0()}, value.Float(0.5), value.Int(1))
+	if got.AsFloat() != 1.5 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestSumSkipsNulls(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggSum, Arg: col0()}, value.Int(1), value.Null(), value.Int(2))
+	if got.AsInt() != 3 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestSumEmptyIsNull(t *testing.T) {
+	if got := feed(t, AggSpec{Kind: AggSum, Arg: col0()}); !got.IsNull() {
+		t.Errorf("empty sum = %v", got)
+	}
+	if got := feed(t, AggSpec{Kind: AggSum, Arg: col0()}, value.Null()); !got.IsNull() {
+		t.Errorf("all-null sum = %v", got)
+	}
+}
+
+func TestSumNonNumericErrors(t *testing.T) {
+	acc := NewAccumulator(AggSpec{Kind: AggSum, Arg: col0()})
+	ctx := &Context{Schema: schema.New("x"), Tuple: tuple.New(value.Str("a"))}
+	if err := acc.Add(ctx); err == nil {
+		t.Error("sum over string must error")
+	}
+}
+
+func TestCount(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggCount, Arg: col0()}, value.Int(1), value.Null(), value.Int(2))
+	if got.AsInt() != 2 {
+		t.Errorf("count skips NULLs: %v", got)
+	}
+	got = feed(t, AggSpec{Kind: AggCountStar}, value.Int(1), value.Null(), value.Int(2))
+	if got.AsInt() != 3 {
+		t.Errorf("count(*) = %v", got)
+	}
+	if got := feed(t, AggSpec{Kind: AggCount, Arg: col0()}); got.AsInt() != 0 {
+		t.Errorf("empty count = %v", got)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggCount, Arg: col0(), Distinct: true},
+		value.Int(1), value.Int(1), value.Int(2), value.Null())
+	if got.AsInt() != 2 {
+		t.Errorf("count(distinct) = %v", got)
+	}
+}
+
+func TestSumDistinct(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggSum, Arg: col0(), Distinct: true},
+		value.Int(5), value.Int(5), value.Int(3))
+	if got.AsInt() != 8 {
+		t.Errorf("sum(distinct) = %v", got)
+	}
+}
+
+func TestAvg(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggAvg, Arg: col0()}, value.Int(1), value.Int(2))
+	if got.Kind() != value.KindFloat || got.AsFloat() != 1.5 {
+		t.Errorf("avg = %v", got)
+	}
+	if got := feed(t, AggSpec{Kind: AggAvg, Arg: col0()}); !got.IsNull() {
+		t.Errorf("empty avg = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggMin, Arg: col0()}, value.Int(3), value.Int(1), value.Int(2))
+	if got.AsInt() != 1 {
+		t.Errorf("min = %v", got)
+	}
+	got = feed(t, AggSpec{Kind: AggMax, Arg: col0()}, value.Int(3), value.Int(9), value.Int(2))
+	if got.AsInt() != 9 {
+		t.Errorf("max = %v", got)
+	}
+	got = feed(t, AggSpec{Kind: AggMin, Arg: col0()}, value.Str("b"), value.Str("a"))
+	if got.AsStr() != "a" {
+		t.Errorf("string min = %v", got)
+	}
+	if got := feed(t, AggSpec{Kind: AggMax, Arg: col0()}); !got.IsNull() {
+		t.Errorf("empty max = %v", got)
+	}
+}
+
+func TestAggKindByName(t *testing.T) {
+	for name, want := range map[string]AggKind{
+		"sum": AggSum, "SUM": AggSum, "count": AggCount,
+		"avg": AggAvg, "min": AggMin, "max": AggMax,
+	} {
+		got, ok := AggKindByName(name)
+		if !ok || got != want {
+			t.Errorf("AggKindByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := AggKindByName("median"); ok {
+		t.Error("median should not resolve")
+	}
+}
+
+func TestAggSpecString(t *testing.T) {
+	s := AggSpec{Kind: AggCountStar}.String()
+	if s != "count(*)" {
+		t.Errorf("count(*) rendering = %q", s)
+	}
+	s = AggSpec{Kind: AggSum, Arg: Column{Name: "B"}, Distinct: true}.String()
+	if s != "sum(distinct B)" {
+		t.Errorf("sum rendering = %q", s)
+	}
+}
+
+func TestAggregateErrorFromArg(t *testing.T) {
+	acc := NewAccumulator(AggSpec{Kind: AggSum, Arg: Column{Index: 4}})
+	ctx := &Context{Schema: schema.New("x"), Tuple: tuple.New(value.Int(1))}
+	if err := acc.Add(ctx); err == nil {
+		t.Error("bad column index must propagate")
+	}
+}

@@ -1,0 +1,282 @@
+package expr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func ctxWith(vals ...value.Value) *Context {
+	names := make([]string, len(vals))
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	return &Context{Schema: schema.New(names...), Tuple: tuple.New(vals...)}
+}
+
+func mustEval(t *testing.T, e Expr, ctx *Context) value.Value {
+	t.Helper()
+	v, err := e.Eval(ctx)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestConstAndColumn(t *testing.T) {
+	ctx := ctxWith(value.Int(7), value.Str("x"))
+	if v := mustEval(t, Const{value.Int(3)}, ctx); v.AsInt() != 3 {
+		t.Errorf("const = %v", v)
+	}
+	if v := mustEval(t, Column{Index: 1}, ctx); v.AsStr() != "x" {
+		t.Errorf("column = %v", v)
+	}
+	if _, err := (Column{Index: 5}).Eval(ctx); err == nil {
+		t.Error("out of range column must error")
+	}
+}
+
+func TestColumnOuterDepth(t *testing.T) {
+	outer := ctxWith(value.Str("outer"))
+	inner := &Context{Schema: schema.New("b"), Tuple: tuple.New(value.Str("inner")), Outer: outer}
+	if v := mustEval(t, Column{Depth: 1, Index: 0}, inner); v.AsStr() != "outer" {
+		t.Errorf("depth-1 column = %v", v)
+	}
+	if _, err := (Column{Depth: 3, Index: 0}).Eval(inner); err == nil {
+		t.Error("excessive depth must error")
+	}
+}
+
+func TestCompareOperators(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r value.Value
+		want value.Value
+	}{
+		{CmpEq, value.Int(1), value.Float(1), value.Bool(true)},
+		{CmpEq, value.Str("a"), value.Str("b"), value.Bool(false)},
+		{CmpNe, value.Str("a"), value.Str("b"), value.Bool(true)},
+		{CmpLt, value.Int(1), value.Int(2), value.Bool(true)},
+		{CmpLe, value.Int(2), value.Float(2), value.Bool(true)},
+		{CmpGt, value.Int(20), value.Int(14), value.Bool(true)},
+		{CmpGe, value.Float(1.5), value.Int(2), value.Bool(false)},
+		{CmpEq, value.Null(), value.Int(1), value.Null()},
+		{CmpLt, value.Int(1), value.Null(), value.Null()},
+		{CmpEq, value.Str("1"), value.Int(1), value.Bool(false)},
+		{CmpNe, value.Str("1"), value.Int(1), value.Bool(true)},
+		{CmpLt, value.Str("1"), value.Int(1), value.Null()},
+		{CmpLt, value.Str("abc"), value.Str("abd"), value.Bool(true)},
+	}
+	for _, c := range cases {
+		got := Compare(c.op, c.l, c.r)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && got.AsBool() != c.want.AsBool()) {
+			t.Errorf("%v %s %v = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	T := Const{value.Bool(true)}
+	F := Const{value.Bool(false)}
+	N := Const{value.Null()}
+	ctx := ctxWith()
+
+	type tc struct {
+		e    Expr
+		want value.Value
+	}
+	cases := []tc{
+		{And{T, T}, value.Bool(true)},
+		{And{T, F}, value.Bool(false)},
+		{And{F, N}, value.Bool(false)},
+		{And{N, F}, value.Bool(false)},
+		{And{N, T}, value.Null()},
+		{And{N, N}, value.Null()},
+		{Or{F, F}, value.Bool(false)},
+		{Or{F, T}, value.Bool(true)},
+		{Or{N, T}, value.Bool(true)},
+		{Or{T, N}, value.Bool(true)},
+		{Or{N, F}, value.Null()},
+		{Or{N, N}, value.Null()},
+		{Not{T}, value.Bool(false)},
+		{Not{F}, value.Bool(true)},
+		{Not{N}, value.Null()},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.e, ctx)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && got.AsBool() != c.want.AsBool()) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestBooleanTypeError(t *testing.T) {
+	ctx := ctxWith()
+	if _, err := (And{Const{value.Int(1)}, Const{value.Bool(true)}}).Eval(ctx); err == nil {
+		t.Error("AND over int must error")
+	}
+	if _, err := (Not{Const{value.Str("x")}}).Eval(ctx); err == nil {
+		t.Error("NOT over string must error")
+	}
+}
+
+func TestArithAndNeg(t *testing.T) {
+	ctx := ctxWith(value.Int(10))
+	e := Arith{value.OpAdd, Column{Index: 0}, Const{value.Int(5)}}
+	if v := mustEval(t, e, ctx); v.AsInt() != 15 {
+		t.Errorf("10+5 = %v", v)
+	}
+	if v := mustEval(t, Neg{Column{Index: 0}}, ctx); v.AsInt() != -10 {
+		t.Errorf("-10 = %v", v)
+	}
+	if _, err := (Arith{value.OpDiv, Const{value.Int(1)}, Const{value.Int(0)}}).Eval(ctx); err == nil {
+		t.Error("div by zero must surface")
+	}
+	if _, err := (Neg{Const{value.Str("x")}}).Eval(ctx); err == nil {
+		t.Error("neg of string must surface")
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	ctx := ctxWith(value.Null(), value.Int(1))
+	if v := mustEval(t, IsNull{E: Column{Index: 0}}, ctx); !v.AsBool() {
+		t.Error("IS NULL on NULL should be true")
+	}
+	if v := mustEval(t, IsNull{E: Column{Index: 1}, Negated: true}, ctx); !v.AsBool() {
+		t.Error("IS NOT NULL on 1 should be true")
+	}
+}
+
+func subqueryReturning(rows ...tuple.Tuple) Subquery {
+	return SubqueryFunc(func(*Context) (*relation.Relation, error) {
+		r := relation.New(schema.New("x"))
+		for _, row := range rows {
+			r.MustAppend(row)
+		}
+		return r, nil
+	})
+}
+
+func TestExists(t *testing.T) {
+	ctx := ctxWith()
+	nonEmpty := subqueryReturning(tuple.New(value.Int(1)))
+	empty := subqueryReturning()
+	if v := mustEval(t, Exists{Sub: nonEmpty}, ctx); !v.AsBool() {
+		t.Error("EXISTS on non-empty should be true")
+	}
+	if v := mustEval(t, Exists{Sub: empty}, ctx); v.AsBool() {
+		t.Error("EXISTS on empty should be false")
+	}
+	if v := mustEval(t, Exists{Sub: empty, Negated: true}, ctx); !v.AsBool() {
+		t.Error("NOT EXISTS on empty should be true")
+	}
+}
+
+func TestInList(t *testing.T) {
+	ctx := ctxWith(value.Int(2))
+	in := In{Left: Column{Index: 0}, List: []Expr{Const{value.Int(1)}, Const{value.Int(2)}}}
+	if v := mustEval(t, in, ctx); !v.AsBool() {
+		t.Error("2 IN (1,2) should be true")
+	}
+	notIn := In{Left: Column{Index: 0}, List: []Expr{Const{value.Int(3)}}, Negated: true}
+	if v := mustEval(t, notIn, ctx); !v.AsBool() {
+		t.Error("2 NOT IN (3) should be true")
+	}
+	// NULL semantics: 2 IN (3, NULL) is NULL, 2 IN (2, NULL) is true.
+	withNull := In{Left: Column{Index: 0}, List: []Expr{Const{value.Int(3)}, Const{value.Null()}}}
+	if v := mustEval(t, withNull, ctx); !v.IsNull() {
+		t.Errorf("2 IN (3, NULL) = %v, want NULL", v)
+	}
+	hit := In{Left: Column{Index: 0}, List: []Expr{Const{value.Int(2)}, Const{value.Null()}}}
+	if v := mustEval(t, hit, ctx); !v.AsBool() {
+		t.Error("2 IN (2, NULL) should be true")
+	}
+	nullLeft := In{Left: Const{value.Null()}, List: []Expr{Const{value.Int(1)}}}
+	if v := mustEval(t, nullLeft, ctx); !v.IsNull() {
+		t.Error("NULL IN (...) should be NULL")
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	ctx := ctxWith(value.Int(2))
+	sub := subqueryReturning(tuple.New(value.Int(1)), tuple.New(value.Int(2)))
+	if v := mustEval(t, In{Left: Column{Index: 0}, Sub: sub}, ctx); !v.AsBool() {
+		t.Error("2 IN (subquery with 2) should be true")
+	}
+	miss := subqueryReturning(tuple.New(value.Int(9)))
+	if v := mustEval(t, In{Left: Column{Index: 0}, Sub: miss}, ctx); v.AsBool() {
+		t.Error("2 IN (subquery without 2) should be false")
+	}
+	wide := SubqueryFunc(func(*Context) (*relation.Relation, error) {
+		return relation.New(schema.New("a", "b")), nil
+	})
+	if _, err := (In{Left: Column{Index: 0}, Sub: wide}).Eval(ctx); err == nil {
+		t.Error("IN over two-column subquery must error")
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	ctx := ctxWith()
+	one := subqueryReturning(tuple.New(value.Int(44)))
+	if v := mustEval(t, Scalar{one}, ctx); v.AsInt() != 44 {
+		t.Errorf("scalar = %v", v)
+	}
+	empty := subqueryReturning()
+	if v := mustEval(t, Scalar{empty}, ctx); !v.IsNull() {
+		t.Error("empty scalar subquery should be NULL")
+	}
+	two := subqueryReturning(tuple.New(value.Int(1)), tuple.New(value.Int(2)))
+	if _, err := (Scalar{two}).Eval(ctx); err == nil {
+		t.Error("multi-row scalar subquery must error")
+	}
+}
+
+func TestSubqueryErrorPropagation(t *testing.T) {
+	boom := SubqueryFunc(func(*Context) (*relation.Relation, error) {
+		return nil, errors.New("boom")
+	})
+	ctx := ctxWith()
+	if _, err := (Exists{Sub: boom}).Eval(ctx); err == nil {
+		t.Error("EXISTS must propagate subquery errors")
+	}
+	if _, err := (Scalar{boom}).Eval(ctx); err == nil {
+		t.Error("Scalar must propagate subquery errors")
+	}
+	if _, err := (In{Left: Const{value.Int(1)}, Sub: boom}).Eval(ctx); err == nil {
+		t.Error("In must propagate subquery errors")
+	}
+}
+
+func TestStringRenderings(t *testing.T) {
+	e := And{
+		Cmp{CmpEq, Column{Name: "A"}, Const{value.Str("a3")}},
+		Not{Exists{Sub: subqueryReturning(), Negated: true}},
+	}
+	s := e.String()
+	for _, frag := range []string{"A", "'a3'", "NOT EXISTS"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendering %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// And/Or must short-circuit so the paper's guarded conditions work.
+	boom := SubqueryFunc(func(*Context) (*relation.Relation, error) {
+		return nil, errors.New("must not be evaluated")
+	})
+	ctx := ctxWith()
+	v, err := And{Const{value.Bool(false)}, Exists{Sub: boom}}.Eval(ctx)
+	if err != nil || v.AsBool() {
+		t.Errorf("false AND x should short-circuit: %v, %v", v, err)
+	}
+	v, err = Or{Const{value.Bool(true)}, Exists{Sub: boom}}.Eval(ctx)
+	if err != nil || !v.AsBool() {
+		t.Errorf("true OR x should short-circuit: %v, %v", v, err)
+	}
+}

@@ -1,0 +1,112 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"maybms/internal/value"
+)
+
+func TestCmpNodeEval(t *testing.T) {
+	ctx := ctxWith(value.Int(14), value.Int(20))
+	cases := []struct {
+		op   CmpOp
+		want bool
+	}{
+		{CmpLt, true}, {CmpLe, true}, {CmpGt, false}, {CmpGe, false},
+		{CmpEq, false}, {CmpNe, true},
+	}
+	for _, c := range cases {
+		e := Cmp{Op: c.op, L: Column{Index: 0}, R: Column{Index: 1}}
+		v := mustEval(t, e, ctx)
+		if v.AsBool() != c.want {
+			t.Errorf("14 %s 20 = %v", c.op, v)
+		}
+	}
+	// Error propagation from operands.
+	bad := Cmp{Op: CmpEq, L: Column{Index: 9}, R: Const{value.Int(1)}}
+	if _, err := bad.Eval(ctx); err == nil {
+		t.Error("bad left operand must propagate")
+	}
+	bad = Cmp{Op: CmpEq, L: Const{value.Int(1)}, R: Column{Index: 9}}
+	if _, err := bad.Eval(ctx); err == nil {
+		t.Error("bad right operand must propagate")
+	}
+}
+
+func TestCmpOpStrings(t *testing.T) {
+	want := map[CmpOp]string{
+		CmpEq: "=", CmpNe: "<>", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">=",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("op %d = %q, want %q", op, op.String(), s)
+		}
+	}
+	if !strings.Contains(CmpOp(99).String(), "99") {
+		t.Error("unknown op rendering")
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	col := Column{Index: 2, Depth: 1}
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Or{Const{value.Bool(true)}, Const{value.Bool(false)}}, "OR"},
+		{Arith{L: Const{value.Int(1)}, R: Const{value.Int(2)}}, "+"},
+		{Neg{Const{value.Int(1)}}, "-"},
+		{IsNull{E: col}, "IS NULL"},
+		{IsNull{E: col, Negated: true}, "IS NOT NULL"},
+		{In{Left: col, List: []Expr{Const{value.Int(1)}}}, "IN"},
+		{In{Left: col, List: []Expr{Const{value.Int(1)}}, Negated: true}, "NOT IN"},
+		{In{Left: col, Sub: subqueryReturning()}, "subquery"},
+		{Scalar{subqueryReturning()}, "scalar"},
+		{Exists{Sub: subqueryReturning()}, "EXISTS"},
+		{col, "#2@1"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.e.String(), c.want) {
+			t.Errorf("%T rendering %q missing %q", c.e, c.e.String(), c.want)
+		}
+	}
+}
+
+func TestAggKindStrings(t *testing.T) {
+	for kind, want := range map[AggKind]string{
+		AggCount: "count", AggCountStar: "count", AggSum: "sum",
+		AggAvg: "avg", AggMin: "min", AggMax: "max",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d = %q", kind, kind.String())
+		}
+	}
+	if !strings.Contains(AggKind(99).String(), "99") {
+		t.Error("unknown agg rendering")
+	}
+	s := AggSpec{Kind: AggMin, Arg: Column{Name: "B"}}.String()
+	if s != "min(B)" {
+		t.Errorf("min rendering = %q", s)
+	}
+}
+
+func TestSumAfterFloatPromotionKeepsAdding(t *testing.T) {
+	got := feed(t, AggSpec{Kind: AggSum, Arg: col0()},
+		value.Int(1), value.Float(0.5), value.Int(2))
+	if got.AsFloat() != 3.5 {
+		t.Errorf("mixed sum = %v", got)
+	}
+	got = feed(t, AggSpec{Kind: AggAvg, Arg: col0()},
+		value.Float(1), value.Float(2))
+	if got.AsFloat() != 1.5 {
+		t.Errorf("float avg = %v", got)
+	}
+}
+
+func TestContextAtNil(t *testing.T) {
+	var ctx *Context
+	if _, err := ctx.At(0); err == nil {
+		t.Error("nil context must error")
+	}
+}

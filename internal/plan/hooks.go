@@ -1,0 +1,102 @@
+package plan
+
+import (
+	"fmt"
+
+	"maybms/internal/algebra"
+	"maybms/internal/expr"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+)
+
+// The hooks in this file exist for the I-SQL engine (internal/core), which
+// needs to interleave world-splitting between the FROM/WHERE part of a
+// query and the rest of it: REPAIR BY KEY and CHOICE OF act on the
+// FROM/WHERE intermediate *before* projection (the paper's
+// "select A, B, C from R repair by key A" repairs R, then projects in each
+// repaired world).
+
+// BuildFromWhere compiles only the FROM and WHERE clauses of stmt into an
+// operator producing the pre-projection intermediate. The statement must
+// not carry UNION (the engine rejects world-splitting clauses on unions).
+func BuildFromWhere(stmt *sqlparse.SelectStmt, cat Catalog) (algebra.Operator, error) {
+	if stmt.Union != nil {
+		return nil, fmt.Errorf("%w: FROM/WHERE part of a UNION cannot be isolated", ErrPlan)
+	}
+	from, fromSchema, err := buildFrom(stmt.From, cat, nil)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Where != nil {
+		e := &env{cat: cat, scopes: []*schema.Schema{fromSchema}}
+		pred, err := e.lower(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		from = &algebra.Filter{Child: from, Pred: pred}
+	}
+	return from, nil
+}
+
+// BuildOnRelation compiles the post-FROM/WHERE part of stmt (aggregates,
+// projection, DISTINCT, ORDER BY, LIMIT) over input, which must be the
+// materialized FROM/WHERE intermediate (its schema carries the FROM
+// qualifiers). Used by the engine after a repair or choice split.
+func BuildOnRelation(stmt *sqlparse.SelectStmt, input *relation.Relation, cat Catalog) (algebra.Operator, error) {
+	if stmt.HasISQL() {
+		return nil, fmt.Errorf("%w: I-SQL construct reached the SQL planner (engine must strip it): %s", ErrPlan, stmt)
+	}
+	if stmt.Union != nil {
+		return nil, fmt.Errorf("%w: UNION cannot be combined with world-splitting clauses", ErrPlan)
+	}
+	from := algebra.NewScan(input)
+	e := &env{cat: cat, scopes: []*schema.Schema{input.Schema}}
+	aggSpecs, aggKeys := collectAggregates(stmt)
+	if len(aggSpecs) > 0 || len(stmt.GroupBy) > 0 {
+		return buildAggregate(stmt, from, e, aggSpecs, aggKeys, nil)
+	}
+	op, err := projectItems(stmt, from, e)
+	if err != nil {
+		return nil, err
+	}
+	return finishSelect(stmt, op)
+}
+
+// Predicate is a compiled standalone condition (no row context), evaluated
+// against a catalog captured at compile time. Used for ASSERT.
+type Predicate func() (bool, error)
+
+// BuildPredicate compiles a standalone boolean expression (the ASSERT
+// condition) against cat. Subqueries inside the expression query cat's
+// relations. NULL results count as false, as in WHERE.
+func BuildPredicate(e sqlparse.Expr, cat Catalog) (Predicate, error) {
+	env := &env{cat: cat, scopes: []*schema.Schema{schema.New()}}
+	low, err := env.lower(e)
+	if err != nil {
+		return nil, err
+	}
+	return func() (bool, error) {
+		ctx := &expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}}
+		v, err := low.Eval(ctx)
+		if err != nil {
+			return false, err
+		}
+		return v.Truth(), nil
+	}, nil
+}
+
+// BuildScalar compiles a standalone scalar expression (no row context)
+// against cat, for INSERT value lists that may contain subqueries.
+func BuildScalar(e sqlparse.Expr, cat Catalog) (expr.Expr, error) {
+	env := &env{cat: cat, scopes: []*schema.Schema{schema.New()}}
+	return env.lower(e)
+}
+
+// BuildRowExpr compiles an expression evaluated against rows of schema s
+// (UPDATE right-hand sides and UPDATE/DELETE WHERE clauses).
+func BuildRowExpr(e sqlparse.Expr, s *schema.Schema, cat Catalog) (expr.Expr, error) {
+	env := &env{cat: cat, scopes: []*schema.Schema{s}}
+	return env.lower(e)
+}

@@ -1,0 +1,303 @@
+// Package plan lowers parsed SELECT statements (their plain-SQL core) into
+// executable algebra operator trees against a catalog of named relations.
+//
+// The planner performs name resolution (including correlated references
+// into enclosing queries), star expansion, aggregate detection and
+// rewriting, and subquery compilation. The I-SQL constructs (possible /
+// certain / conf, repair, choice, assert, group worlds by) are *not*
+// handled here — the possible-worlds engine in internal/core strips them
+// and calls the planner once per world on the plain core; Build rejects any
+// statement still carrying them.
+package plan
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"maybms/internal/algebra"
+	"maybms/internal/expr"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// ErrPlan is wrapped by all planning errors.
+var ErrPlan = errors.New("plan error")
+
+// Catalog resolves table and view names to relations; the engine passes the
+// current world's database.
+type Catalog interface {
+	Lookup(name string) (*relation.Relation, error)
+}
+
+// CatalogFunc adapts a function to the Catalog interface.
+type CatalogFunc func(name string) (*relation.Relation, error)
+
+// Lookup implements Catalog.
+func (f CatalogFunc) Lookup(name string) (*relation.Relation, error) { return f(name) }
+
+// Build compiles the plain-SQL core of stmt against cat. It rejects
+// statements that still carry I-SQL constructs.
+func Build(stmt *sqlparse.SelectStmt, cat Catalog) (algebra.Operator, error) {
+	return build(stmt, cat, nil)
+}
+
+func build(stmt *sqlparse.SelectStmt, cat Catalog, outer []*schema.Schema) (algebra.Operator, error) {
+	if stmt.HasISQL() {
+		return nil, fmt.Errorf("%w: I-SQL construct reached the SQL planner (engine must strip it): %s", ErrPlan, stmt)
+	}
+	op, err := buildCore(stmt, cat, outer)
+	if err != nil {
+		return nil, err
+	}
+	// UNION chain.
+	if stmt.Union != nil {
+		rest, err := build(stmt.Union, cat, outer)
+		if err != nil {
+			return nil, err
+		}
+		if op.Schema().Len() != rest.Schema().Len() {
+			return nil, fmt.Errorf("%w: UNION arity mismatch: %s vs %s", ErrPlan, op.Schema(), rest.Schema())
+		}
+		var u algebra.Operator = &algebra.Union{Left: op, Right: rest}
+		if !stmt.UnionAll {
+			u = &algebra.Distinct{Child: u}
+		}
+		op = u
+	}
+	return op, nil
+}
+
+// buildCore compiles a single SELECT block (no union chain).
+func buildCore(stmt *sqlparse.SelectStmt, cat Catalog, outer []*schema.Schema) (algebra.Operator, error) {
+	from, fromSchema, err := buildFrom(stmt.From, cat, outer)
+	if err != nil {
+		return nil, err
+	}
+	env := &env{cat: cat, scopes: append([]*schema.Schema{fromSchema}, outer...)}
+
+	if stmt.Where != nil {
+		pred, err := env.lower(stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+		from = &algebra.Filter{Child: from, Pred: pred}
+	}
+
+	aggSpecs, aggKeys := collectAggregates(stmt)
+	if len(aggSpecs) > 0 || len(stmt.GroupBy) > 0 {
+		return buildAggregate(stmt, from, env, aggSpecs, aggKeys, outer)
+	}
+
+	op, err := buildProjection(stmt, from, env)
+	if err != nil {
+		return nil, err
+	}
+	return finishSelect(stmt, op)
+}
+
+// env carries the resolution scopes (innermost first) during lowering.
+type env struct {
+	cat    Catalog
+	scopes []*schema.Schema
+	// agg is non-nil when lowering runs against an aggregate output schema:
+	// aggregate calls resolve to output columns instead of being evaluated.
+	agg map[string]int
+}
+
+func (e *env) child(inner *schema.Schema) *env {
+	return &env{cat: e.cat, scopes: append([]*schema.Schema{inner}, e.scopes...)}
+}
+
+// resolve finds (depth, index) for a column reference across scopes.
+func (e *env) resolve(qualifier, name string) (int, int, error) {
+	var firstErr error
+	for depth, s := range e.scopes {
+		idx, err := s.Resolve(qualifier, name)
+		if err == nil {
+			return depth, idx, nil
+		}
+		if errors.Is(err, schema.ErrAmbiguousColumn) {
+			return 0, 0, fmt.Errorf("%w: %v", ErrPlan, err)
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return 0, 0, fmt.Errorf("%w: %v", ErrPlan, firstErr)
+}
+
+// buildFrom compiles the FROM list into a (possibly cross-joined) operator.
+// An empty FROM yields the dual relation: one zero-width tuple.
+func buildFrom(refs []sqlparse.TableRef, cat Catalog, outer []*schema.Schema) (algebra.Operator, *schema.Schema, error) {
+	if len(refs) == 0 {
+		dual := relation.New(schema.New())
+		dual.MustAppend(tuple.Tuple{})
+		return algebra.NewScan(dual), dual.Schema, nil
+	}
+	var op algebra.Operator
+	seen := map[string]bool{}
+	for _, ref := range refs {
+		binding := strings.ToLower(ref.Binding())
+		if seen[binding] {
+			return nil, nil, fmt.Errorf("%w: duplicate table binding %q in FROM", ErrPlan, ref.Binding())
+		}
+		seen[binding] = true
+		rel, err := cat.Lookup(ref.Name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrPlan, err)
+		}
+		scan := algebra.NewScan(rel.WithSchema(rel.Schema.Unqualify().Qualify(ref.Binding())))
+		if op == nil {
+			op = scan
+		} else {
+			op = &algebra.CrossJoin{Left: op, Right: scan}
+		}
+	}
+	return op, op.Schema(), nil
+}
+
+// lower converts an AST expression to a runtime expression.
+func (e *env) lower(x sqlparse.Expr) (expr.Expr, error) {
+	switch n := x.(type) {
+	case sqlparse.Literal:
+		return expr.Const{Value: n.Value}, nil
+	case sqlparse.ColumnRef:
+		if e.agg != nil {
+			// Aggregate context: bare columns must be group-by outputs in
+			// the innermost scope, else outer-query references.
+			depth, idx, err := e.resolve(n.Qualifier, n.Name)
+			if err != nil {
+				return nil, fmt.Errorf("%w (column %s must appear in GROUP BY or be aggregated)", err, n)
+			}
+			return expr.Column{Depth: depth, Index: idx, Name: n.String()}, nil
+		}
+		depth, idx, err := e.resolve(n.Qualifier, n.Name)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Column{Depth: depth, Index: idx, Name: n.String()}, nil
+	case sqlparse.BinaryExpr:
+		l, err := e.lower(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.lower(n.R)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "AND":
+			return expr.And{L: l, R: r}, nil
+		case "OR":
+			return expr.Or{L: l, R: r}, nil
+		case "=":
+			return expr.Cmp{Op: expr.CmpEq, L: l, R: r}, nil
+		case "<>":
+			return expr.Cmp{Op: expr.CmpNe, L: l, R: r}, nil
+		case "<":
+			return expr.Cmp{Op: expr.CmpLt, L: l, R: r}, nil
+		case "<=":
+			return expr.Cmp{Op: expr.CmpLe, L: l, R: r}, nil
+		case ">":
+			return expr.Cmp{Op: expr.CmpGt, L: l, R: r}, nil
+		case ">=":
+			return expr.Cmp{Op: expr.CmpGe, L: l, R: r}, nil
+		case "+":
+			return expr.Arith{Op: value.OpAdd, L: l, R: r}, nil
+		case "-":
+			return expr.Arith{Op: value.OpSub, L: l, R: r}, nil
+		case "*":
+			return expr.Arith{Op: value.OpMul, L: l, R: r}, nil
+		case "/":
+			return expr.Arith{Op: value.OpDiv, L: l, R: r}, nil
+		case "%":
+			return expr.Arith{Op: value.OpMod, L: l, R: r}, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown operator %q", ErrPlan, n.Op)
+		}
+	case sqlparse.UnaryExpr:
+		inner, err := e.lower(n.E)
+		if err != nil {
+			return nil, err
+		}
+		switch n.Op {
+		case "NOT":
+			return expr.Not{E: inner}, nil
+		case "-":
+			return expr.Neg{E: inner}, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown unary operator %q", ErrPlan, n.Op)
+		}
+	case sqlparse.IsNullExpr:
+		inner, err := e.lower(n.E)
+		if err != nil {
+			return nil, err
+		}
+		return expr.IsNull{E: inner, Negated: n.Negated}, nil
+	case sqlparse.ExistsExpr:
+		sub, err := e.subquery(n.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Exists{Sub: sub, Negated: n.Negated}, nil
+	case sqlparse.InExpr:
+		left, err := e.lower(n.Left)
+		if err != nil {
+			return nil, err
+		}
+		if n.Sub != nil {
+			sub, err := e.subquery(n.Sub)
+			if err != nil {
+				return nil, err
+			}
+			return expr.In{Left: left, Sub: sub, Negated: n.Negated}, nil
+		}
+		list := make([]expr.Expr, len(n.List))
+		for i, item := range n.List {
+			li, err := e.lower(item)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = li
+		}
+		return expr.In{Left: left, List: list, Negated: n.Negated}, nil
+	case sqlparse.SubqueryExpr:
+		sub, err := e.subquery(n.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Scalar{Sub: sub}, nil
+	case sqlparse.FuncCall:
+		if e.agg != nil {
+			if idx, ok := e.agg[n.String()]; ok {
+				return expr.Column{Depth: 0, Index: idx, Name: n.String()}, nil
+			}
+		}
+		if _, isAgg := expr.AggKindByName(n.Name); isAgg {
+			return nil, fmt.Errorf("%w: aggregate %s not allowed here", ErrPlan, n)
+		}
+		return nil, fmt.Errorf("%w: unknown function %q", ErrPlan, n.Name)
+	case sqlparse.Star:
+		return nil, fmt.Errorf("%w: * only allowed as a select item", ErrPlan)
+	case sqlparse.ConfExpr:
+		return nil, fmt.Errorf("%w: conf only allowed at the top level of an I-SQL query", ErrPlan)
+	default:
+		return nil, fmt.Errorf("%w: unsupported expression %T", ErrPlan, x)
+	}
+}
+
+// subquery compiles a nested SELECT into an expr.Subquery. The subquery's
+// own scopes sit in front of the current scopes for correlation.
+func (e *env) subquery(stmt *sqlparse.SelectStmt) (expr.Subquery, error) {
+	op, err := build(stmt, e.cat, e.scopes)
+	if err != nil {
+		return nil, err
+	}
+	return expr.SubqueryFunc(func(ctx *expr.Context) (*relation.Relation, error) {
+		return algebra.Collect(op, ctx)
+	}), nil
+}

@@ -1,0 +1,61 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// ReadCSV loads a relation from CSV. The first record is the header and
+// becomes the (unqualified) schema. Field values are interpreted with
+// value.Parse (NULL, booleans, numbers, else text).
+func ReadCSV(r io.Reader) (*Relation, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
+	}
+	rel := New(schema.New(header...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: reading CSV row: %w", err)
+		}
+		row := make(tuple.Tuple, len(rec))
+		for i, field := range rec {
+			row[i] = value.Parse(field)
+		}
+		if err := rel.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation as CSV with a header row, tuples in
+// canonical order.
+func (r *Relation) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Schema.Names()); err != nil {
+		return err
+	}
+	for _, t := range r.Sort().Tuples {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

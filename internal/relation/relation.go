@@ -1,0 +1,271 @@
+// Package relation implements in-memory relations: a schema plus a bag of
+// tuples. Relations support the set-level operations the possible-worlds
+// engine needs — deduplication, union, intersection, difference, sorting,
+// order-insensitive fingerprints — plus pretty printing and CSV I/O.
+package relation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+)
+
+// Relation is a schema plus a bag of tuples. Most engine operations treat
+// relations as immutable after construction; Append is only used while
+// building.
+type Relation struct {
+	Schema *schema.Schema
+	Tuples []tuple.Tuple
+}
+
+// New creates an empty relation with the given schema.
+func New(s *schema.Schema) *Relation {
+	return &Relation{Schema: s}
+}
+
+// FromRows builds a relation from a schema and rows, validating widths.
+func FromRows(s *schema.Schema, rows []tuple.Tuple) (*Relation, error) {
+	r := New(s)
+	for _, row := range rows {
+		if err := r.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Append adds a tuple, checking its width against the schema.
+func (r *Relation) Append(t tuple.Tuple) error {
+	if len(t) != r.Schema.Len() {
+		return fmt.Errorf("relation: tuple width %d does not match schema %s", len(t), r.Schema)
+	}
+	r.Tuples = append(r.Tuples, t)
+	return nil
+}
+
+// MustAppend is Append that panics; for fixtures and tests.
+func (r *Relation) MustAppend(t tuple.Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of tuples (bag cardinality).
+func (r *Relation) Len() int { return len(r.Tuples) }
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return len(r.Tuples) == 0 }
+
+// Clone returns a deep-enough copy: the tuple slice is copied; the tuples
+// themselves are immutable and shared.
+func (r *Relation) Clone() *Relation {
+	out := &Relation{Schema: r.Schema, Tuples: make([]tuple.Tuple, len(r.Tuples))}
+	copy(out.Tuples, r.Tuples)
+	return out
+}
+
+// WithSchema returns a shallow view of r under a different schema of the
+// same width (used for aliasing: from I i2).
+func (r *Relation) WithSchema(s *schema.Schema) *Relation {
+	if s.Len() != r.Schema.Len() {
+		panic(fmt.Sprintf("relation: WithSchema width mismatch %d vs %d", s.Len(), r.Schema.Len()))
+	}
+	return &Relation{Schema: s, Tuples: r.Tuples}
+}
+
+// Distinct returns the set version of r: duplicates removed, first
+// occurrence order preserved.
+func (r *Relation) Distinct() *Relation {
+	out := New(r.Schema)
+	seen := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, t)
+	}
+	return out
+}
+
+// Contains reports whether r contains a tuple equal to t.
+func (r *Relation) Contains(t tuple.Tuple) bool {
+	k := t.Key()
+	for _, u := range r.Tuples {
+		if u.Key() == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Sort returns a copy of r with tuples in canonical order.
+func (r *Relation) Sort() *Relation {
+	out := r.Clone()
+	sort.SliceStable(out.Tuples, func(i, j int) bool {
+		return tuple.Compare(out.Tuples[i], out.Tuples[j]) < 0
+	})
+	return out
+}
+
+// Fingerprint returns an order-insensitive hash of the deduplicated tuple
+// set. Two relations have equal fingerprints iff they are equal as sets
+// (up to hash collisions; tuples are canonically encoded and sorted before
+// hashing, so collisions require FNV collisions).
+func (r *Relation) Fingerprint() uint64 {
+	keys := make([]string, 0, len(r.Tuples))
+	seen := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		// Length-prefix each tuple encoding so concatenations stay injective.
+		fmt.Fprintf(h, "%d:", len(k))
+		h.Write([]byte(k))
+	}
+	return h.Sum64()
+}
+
+// EqualSet reports whether r and s contain the same set of tuples
+// (duplicates and order ignored). Schemas are not compared.
+func (r *Relation) EqualSet(s *Relation) bool {
+	a := keySet(r)
+	b := keySet(s)
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func keySet(r *Relation) map[string]struct{} {
+	out := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		out[t.Key()] = struct{}{}
+	}
+	return out
+}
+
+// Union returns the set union of r and s (deduplicated). Schemas must have
+// the same width; r's schema is kept.
+func Union(r, s *Relation) *Relation {
+	out := New(r.Schema)
+	out.Tuples = append(out.Tuples, r.Tuples...)
+	out.Tuples = append(out.Tuples, s.Tuples...)
+	return out.Distinct()
+}
+
+// Intersect returns the set intersection of r and s. r's schema is kept.
+func Intersect(r, s *Relation) *Relation {
+	b := keySet(s)
+	out := New(r.Schema)
+	seen := map[string]struct{}{}
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		if _, ok := b[k]; ok {
+			out.Tuples = append(out.Tuples, t)
+			seen[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Diff returns the set difference r − s. r's schema is kept.
+func Diff(r, s *Relation) *Relation {
+	b := keySet(s)
+	out := New(r.Schema)
+	seen := map[string]struct{}{}
+	for _, t := range r.Tuples {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		if _, ok := b[k]; !ok {
+			out.Tuples = append(out.Tuples, t)
+			seen[k] = struct{}{}
+		}
+	}
+	return out
+}
+
+// GroupBy partitions the tuples by their values on the given column indexes.
+// It returns the distinct group keys in first-appearance order and a map
+// from group key to member tuples.
+func (r *Relation) GroupBy(indexes []int) (order []string, groups map[string][]tuple.Tuple) {
+	groups = make(map[string][]tuple.Tuple)
+	for _, t := range r.Tuples {
+		k := t.KeyOn(indexes)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	return order, groups
+}
+
+// String renders the relation as an aligned ASCII table, rows in canonical
+// order, suitable for the REPL and the reproduction harness.
+func (r *Relation) String() string {
+	var b strings.Builder
+	names := r.Schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	sorted := r.Sort()
+	cells := make([][]string, len(sorted.Tuples))
+	for i, t := range sorted.Tuples {
+		cells[i] = make([]string, len(t))
+		for j, v := range t {
+			s := v.String()
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	writeRow := func(row []string) {
+		for j, c := range row {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if j < len(row)-1 { // no trailing padding on the last column
+				b.WriteString(strings.Repeat(" ", widths[j]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(names)
+	sep := make([]string, len(names))
+	for j := range sep {
+		sep[j] = strings.Repeat("-", widths[j])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if len(cells) == 0 {
+		b.WriteString("(empty)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,310 @@
+package relation
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func row(vals ...any) tuple.Tuple {
+	out := make(tuple.Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			out[i] = value.Int(int64(x))
+		case float64:
+			out[i] = value.Float(x)
+		case string:
+			out[i] = value.Str(x)
+		case nil:
+			out[i] = value.Null()
+		default:
+			panic("bad fixture")
+		}
+	}
+	return out
+}
+
+func sample() *Relation {
+	r := New(schema.New("A", "B"))
+	r.MustAppend(row("a1", 10))
+	r.MustAppend(row("a1", 15))
+	r.MustAppend(row("a2", 14))
+	return r
+}
+
+func TestAppendWidthCheck(t *testing.T) {
+	r := New(schema.New("A", "B"))
+	if err := r.Append(row(1)); err == nil {
+		t.Error("width mismatch must error")
+	}
+	if err := r.Append(row(1, 2)); err != nil {
+		t.Errorf("valid append failed: %v", err)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	r, err := FromRows(schema.New("A"), []tuple.Tuple{row(1), row(2)})
+	if err != nil || r.Len() != 2 {
+		t.Fatalf("FromRows = %v, %v", r, err)
+	}
+	if _, err := FromRows(schema.New("A"), []tuple.Tuple{row(1, 2)}); err == nil {
+		t.Error("FromRows must validate width")
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend should panic on width mismatch")
+		}
+	}()
+	New(schema.New("A")).MustAppend(row(1, 2))
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := sample()
+	c := r.Clone()
+	c.MustAppend(row("a9", 99))
+	if r.Len() != 3 || c.Len() != 4 {
+		t.Error("Clone must not share the tuple slice header")
+	}
+}
+
+func TestWithSchema(t *testing.T) {
+	r := sample()
+	alias := r.Schema.Qualify("i2")
+	v := r.WithSchema(alias)
+	if v.Schema.At(0).Qualifier != "i2" {
+		t.Error("WithSchema did not take new schema")
+	}
+	if v.Len() != r.Len() {
+		t.Error("WithSchema must share tuples")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("WithSchema must panic on width mismatch")
+		}
+	}()
+	r.WithSchema(schema.New("X"))
+}
+
+func TestDistinct(t *testing.T) {
+	r := New(schema.New("A"))
+	r.MustAppend(row(1))
+	r.MustAppend(row(2))
+	r.MustAppend(row(1))
+	d := r.Distinct()
+	if d.Len() != 2 {
+		t.Errorf("Distinct len = %d", d.Len())
+	}
+	if d.Tuples[0][0].AsInt() != 1 || d.Tuples[1][0].AsInt() != 2 {
+		t.Error("Distinct must preserve first-appearance order")
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := sample()
+	if !r.Contains(row("a1", 15)) {
+		t.Error("Contains missed present tuple")
+	}
+	if r.Contains(row("a1", 16)) {
+		t.Error("Contains found absent tuple")
+	}
+}
+
+func TestSortCanonical(t *testing.T) {
+	r := New(schema.New("A"))
+	r.MustAppend(row(3))
+	r.MustAppend(row(1))
+	r.MustAppend(row(2))
+	s := r.Sort()
+	for i, want := range []int64{1, 2, 3} {
+		if s.Tuples[i][0].AsInt() != want {
+			t.Fatalf("Sort order wrong: %v", s.Tuples)
+		}
+	}
+	// original untouched
+	if r.Tuples[0][0].AsInt() != 3 {
+		t.Error("Sort must not mutate receiver")
+	}
+}
+
+func TestFingerprintSetSemantics(t *testing.T) {
+	a := New(schema.New("A", "B"))
+	a.MustAppend(row(1, "x"))
+	a.MustAppend(row(2, "y"))
+	b := New(schema.New("A", "B"))
+	b.MustAppend(row(2, "y"))
+	b.MustAppend(row(1, "x"))
+	b.MustAppend(row(1, "x")) // duplicate
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("Fingerprint must be order- and duplicate-insensitive")
+	}
+	c := New(schema.New("A", "B"))
+	c.MustAppend(row(1, "x"))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different sets must differ")
+	}
+	if !a.EqualSet(b) || a.EqualSet(c) {
+		t.Error("EqualSet disagrees with Fingerprint")
+	}
+}
+
+func TestUnionIntersectDiff(t *testing.T) {
+	a := New(schema.New("A"))
+	a.MustAppend(row(1))
+	a.MustAppend(row(2))
+	b := New(schema.New("A"))
+	b.MustAppend(row(2))
+	b.MustAppend(row(3))
+
+	u := Union(a, b)
+	if u.Len() != 3 {
+		t.Errorf("Union len = %d", u.Len())
+	}
+	i := Intersect(a, b)
+	if i.Len() != 1 || i.Tuples[0][0].AsInt() != 2 {
+		t.Errorf("Intersect = %v", i.Tuples)
+	}
+	d := Diff(a, b)
+	if d.Len() != 1 || d.Tuples[0][0].AsInt() != 1 {
+		t.Errorf("Diff = %v", d.Tuples)
+	}
+}
+
+func TestIntersectDedupsReceiver(t *testing.T) {
+	a := New(schema.New("A"))
+	a.MustAppend(row(1))
+	a.MustAppend(row(1))
+	b := New(schema.New("A"))
+	b.MustAppend(row(1))
+	if got := Intersect(a, b).Len(); got != 1 {
+		t.Errorf("Intersect must produce a set, got %d tuples", got)
+	}
+	if got := Diff(a, New(schema.New("A"))).Len(); got != 1 {
+		t.Errorf("Diff must produce a set, got %d tuples", got)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	r := New(schema.New("A", "B"))
+	r.MustAppend(row("a1", 10))
+	r.MustAppend(row("a2", 14))
+	r.MustAppend(row("a1", 15))
+	order, groups := r.GroupBy([]int{0})
+	if len(order) != 2 {
+		t.Fatalf("groups = %d", len(order))
+	}
+	if len(groups[order[0]]) != 2 || len(groups[order[1]]) != 1 {
+		t.Errorf("group sizes wrong: %v", groups)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	r := sample()
+	s := r.String()
+	if !strings.Contains(s, "A") || !strings.Contains(s, "a1") {
+		t.Errorf("table rendering missing content:\n%s", s)
+	}
+	e := New(schema.New("X"))
+	if !strings.Contains(e.String(), "(empty)") {
+		t.Error("empty relation should say (empty)")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New(schema.New("A", "B", "C"))
+	r.MustAppend(row("a1", 10, 2.5))
+	r.MustAppend(row("a2", 20, nil))
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.EqualSet(r) {
+		t.Errorf("CSV round trip mismatch:\n%s\nvs\n%s", got, r)
+	}
+	if got.Schema.Names()[2] != "C" {
+		t.Error("header lost")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input must error")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1")); err == nil {
+		t.Error("ragged row must error")
+	}
+}
+
+func TestQuickFingerprintPermutationInvariant(t *testing.T) {
+	f := func(vals []int8, seed int64) bool {
+		a := New(schema.New("X"))
+		for _, v := range vals {
+			a.MustAppend(row(int(v)))
+		}
+		b := a.Clone()
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(b.Tuples), func(i, j int) {
+			b.Tuples[i], b.Tuples[j] = b.Tuples[j], b.Tuples[i]
+		})
+		return a.Fingerprint() == b.Fingerprint() && a.EqualSet(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDistinctIdempotent(t *testing.T) {
+	f := func(vals []uint8) bool {
+		a := New(schema.New("X"))
+		for _, v := range vals {
+			a.MustAppend(row(int(v % 4)))
+		}
+		d1 := a.Distinct()
+		d2 := d1.Distinct()
+		return d1.Len() == d2.Len() && d1.EqualSet(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionContainsBoth(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a := New(schema.New("X"))
+		for _, v := range xs {
+			a.MustAppend(row(int(v % 8)))
+		}
+		b := New(schema.New("X"))
+		for _, v := range ys {
+			b.MustAppend(row(int(v % 8)))
+		}
+		u := Union(a, b)
+		for _, t := range a.Tuples {
+			if !u.Contains(t) {
+				return false
+			}
+		}
+		for _, t := range b.Tuples {
+			if !u.Contains(t) {
+				return false
+			}
+		}
+		return u.Len() == u.Distinct().Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+// Package schema describes relation schemas: ordered lists of attributes,
+// each with a name and an optional qualifier (the table name or alias the
+// attribute came from). Schemas resolve column references, and support the
+// structural operations the planner needs: projection, concatenation and
+// requalification.
+package schema
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Errors reported by column resolution.
+var (
+	ErrUnknownColumn   = errors.New("unknown column")
+	ErrAmbiguousColumn = errors.New("ambiguous column")
+)
+
+// Attribute is one column of a schema. Qualifier is the table name or alias
+// the column belongs to; it may be empty for computed columns.
+type Attribute struct {
+	Qualifier string
+	Name      string
+}
+
+// String renders the attribute as [qualifier.]name.
+func (a Attribute) String() string {
+	if a.Qualifier == "" {
+		return a.Name
+	}
+	return a.Qualifier + "." + a.Name
+}
+
+// Schema is an ordered list of attributes. A nil Schema is a valid empty
+// schema (the schema of 0-ary tuples).
+type Schema struct {
+	attrs []Attribute
+}
+
+// New builds a schema with the given unqualified attribute names.
+func New(names ...string) *Schema {
+	s := &Schema{attrs: make([]Attribute, len(names))}
+	for i, n := range names {
+		s.attrs[i] = Attribute{Name: n}
+	}
+	return s
+}
+
+// FromAttributes builds a schema from explicit attributes. The slice is
+// copied.
+func FromAttributes(attrs []Attribute) *Schema {
+	s := &Schema{attrs: make([]Attribute, len(attrs))}
+	copy(s.attrs, attrs)
+	return s
+}
+
+// Len returns the number of attributes.
+func (s *Schema) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.attrs)
+}
+
+// At returns the i-th attribute.
+func (s *Schema) At(i int) Attribute { return s.attrs[i] }
+
+// Attributes returns a copy of the attribute list.
+func (s *Schema) Attributes() []Attribute {
+	out := make([]Attribute, s.Len())
+	if s != nil {
+		copy(out, s.attrs)
+	}
+	return out
+}
+
+// Names returns the attribute names without qualifiers.
+func (s *Schema) Names() []string {
+	out := make([]string, s.Len())
+	for i := range out {
+		out[i] = s.attrs[i].Name
+	}
+	return out
+}
+
+// String renders the schema as (a, b, t.c).
+func (s *Schema) String() string {
+	parts := make([]string, s.Len())
+	for i := range parts {
+		parts[i] = s.attrs[i].String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Resolve finds the index of a column reference. Matching is
+// case-insensitive. If qualifier is empty, the name must match exactly one
+// attribute (else ErrAmbiguousColumn); if non-empty, both qualifier and name
+// must match.
+func (s *Schema) Resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, a := range s.attrs {
+		if !strings.EqualFold(a.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(a.Qualifier, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			return -1, fmt.Errorf("%w: %s", ErrAmbiguousColumn, Attribute{qualifier, name})
+		}
+		found = i
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("%w: %s in %s", ErrUnknownColumn, Attribute{qualifier, name}, s)
+	}
+	return found, nil
+}
+
+// MustResolve is Resolve for tests and internal call sites that know the
+// column exists; it panics on failure.
+func (s *Schema) MustResolve(qualifier, name string) int {
+	i, err := s.Resolve(qualifier, name)
+	if err != nil {
+		panic(err)
+	}
+	return i
+}
+
+// IndexesOf resolves a list of unqualified column names, as used by key
+// clauses (repair by key A, B).
+func (s *Schema) IndexesOf(names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, err := s.Resolve("", n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// Project returns a new schema with the attributes at the given indexes.
+func (s *Schema) Project(indexes []int) *Schema {
+	attrs := make([]Attribute, len(indexes))
+	for i, idx := range indexes {
+		attrs[i] = s.attrs[idx]
+	}
+	return &Schema{attrs: attrs}
+}
+
+// Concat returns the concatenation of s and t (for joins and products).
+func (s *Schema) Concat(t *Schema) *Schema {
+	attrs := make([]Attribute, 0, s.Len()+t.Len())
+	attrs = append(attrs, s.Attributes()...)
+	attrs = append(attrs, t.Attributes()...)
+	return &Schema{attrs: attrs}
+}
+
+// Qualify returns a copy of s with every attribute's qualifier replaced.
+// Used when a table is aliased in a FROM clause (from I i2).
+func (s *Schema) Qualify(qualifier string) *Schema {
+	attrs := s.Attributes()
+	for i := range attrs {
+		attrs[i].Qualifier = qualifier
+	}
+	return &Schema{attrs: attrs}
+}
+
+// Unqualify returns a copy of s with all qualifiers dropped. Used when a
+// query result is materialized as a base table.
+func (s *Schema) Unqualify() *Schema {
+	attrs := s.Attributes()
+	for i := range attrs {
+		attrs[i].Qualifier = ""
+	}
+	return &Schema{attrs: attrs}
+}
+
+// EqualNames reports whether two schemas have the same attribute names in
+// order (qualifiers ignored, case-insensitive). Union compatibility check.
+func (s *Schema) EqualNames(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := range s.attrs {
+		if !strings.EqualFold(s.attrs[i].Name, t.attrs[i].Name) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,131 @@
+package schema
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	s := New("A", "B", "C")
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.At(1).Name != "B" || s.At(1).Qualifier != "" {
+		t.Errorf("At(1) = %v", s.At(1))
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "A" || names[2] != "C" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestNilSchemaIsEmpty(t *testing.T) {
+	var s *Schema
+	if s.Len() != 0 {
+		t.Error("nil schema should have length 0")
+	}
+	if got := s.String(); got != "()" {
+		t.Errorf("nil schema String = %q", got)
+	}
+	if len(s.Attributes()) != 0 {
+		t.Error("nil schema Attributes should be empty")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromAttributes([]Attribute{{"", "A"}, {"t", "B"}})
+	if got := s.String(); got != "(A, t.B)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestResolveUnqualified(t *testing.T) {
+	s := New("A", "B")
+	i, err := s.Resolve("", "b")
+	if err != nil || i != 1 {
+		t.Errorf("Resolve(b) = %d, %v", i, err)
+	}
+}
+
+func TestResolveQualified(t *testing.T) {
+	s := FromAttributes([]Attribute{{"i2", "Gender"}, {"i3", "Gender"}})
+	i, err := s.Resolve("i3", "gender")
+	if err != nil || i != 1 {
+		t.Errorf("Resolve(i3.gender) = %d, %v", i, err)
+	}
+	// Unqualified reference to a duplicated name is ambiguous.
+	if _, err := s.Resolve("", "Gender"); !errors.Is(err, ErrAmbiguousColumn) {
+		t.Errorf("expected ambiguity, got %v", err)
+	}
+}
+
+func TestResolveUnknown(t *testing.T) {
+	s := New("A")
+	if _, err := s.Resolve("", "Z"); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("expected unknown column, got %v", err)
+	}
+	if _, err := s.Resolve("t", "A"); !errors.Is(err, ErrUnknownColumn) {
+		t.Errorf("qualifier mismatch should be unknown, got %v", err)
+	}
+}
+
+func TestMustResolvePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustResolve should panic on unknown column")
+		}
+	}()
+	New("A").MustResolve("", "B")
+}
+
+func TestIndexesOf(t *testing.T) {
+	s := New("A", "B", "C")
+	idx, err := s.IndexesOf([]string{"C", "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 2 || idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("IndexesOf = %v", idx)
+	}
+	if _, err := s.IndexesOf([]string{"Z"}); err == nil {
+		t.Error("IndexesOf should fail on unknown name")
+	}
+}
+
+func TestProjectConcatQualify(t *testing.T) {
+	s := New("A", "B", "C")
+	p := s.Project([]int{2, 0})
+	if p.String() != "(C, A)" {
+		t.Errorf("Project = %s", p)
+	}
+	c := s.Concat(New("D"))
+	if c.Len() != 4 || c.At(3).Name != "D" {
+		t.Errorf("Concat = %s", c)
+	}
+	q := s.Qualify("r")
+	if q.At(0).Qualifier != "r" {
+		t.Errorf("Qualify = %s", q)
+	}
+	// Original untouched.
+	if s.At(0).Qualifier != "" {
+		t.Error("Qualify must not mutate the receiver")
+	}
+	u := q.Unqualify()
+	if u.At(0).Qualifier != "" {
+		t.Errorf("Unqualify = %s", u)
+	}
+}
+
+func TestEqualNames(t *testing.T) {
+	a := New("A", "B")
+	b := New("a", "b").Qualify("t")
+	if !a.EqualNames(b) {
+		t.Error("EqualNames should ignore case and qualifiers")
+	}
+	if a.EqualNames(New("A")) {
+		t.Error("different arity must not be equal")
+	}
+	if a.EqualNames(New("A", "C")) {
+		t.Error("different names must not be equal")
+	}
+}

@@ -1,0 +1,150 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMoreParseErrors(t *testing.T) {
+	bad := []string{
+		"create view V",                    // missing AS
+		"create view V as",                 // missing query
+		"create table T as",                // missing query
+		"create table T ()",                // no columns
+		"create table T (A",                // unterminated
+		"create table T (primary key (A))", // key only, no columns
+		"create table T (A, primary key (A), primary key (A))", // duplicate key
+		"insert into T (A values (1)",                          // missing paren
+		"insert into T (A) values 1",                           // missing paren
+		"insert into T (A) values (1",                          // unterminated row
+		"update T",                                             // missing SET
+		"update T set",                                         // missing assignment
+		"update T set A",                                       // missing =
+		"update T set A =",                                     // missing value
+		"delete T",                                             // missing FROM
+		"delete from",                                          // missing table
+		"drop table",                                           // missing name
+		"select a from t where a is 1",                         // IS without NULL
+		"select a from t where a in",                           // IN without list
+		"select a from t group by",                             // missing columns
+		"select a from t group worlds by select",               // missing paren
+		"select a from t group worlds by (select b from t",     // unterminated
+		"select a from t order by a asc,",                      // trailing comma
+		"select a from t limit -1",                             // negative (lexes as - 1)
+		"select a from t limit 1.5",                            // non-integer
+		"select count(distinct) from t",                        // missing arg
+		"select f(a from t",                                    // unterminated call
+		"select exists(select 1 from t from t",                 // broken exists
+		"select a.b.c from t",                                  // too many qualifiers
+		"select not exists select 1 from t",                    // missing paren
+		"select * from t repair by key a weight",               // missing weight col
+		"select * from t choice of a weight",                   // missing weight col
+		"select * from t group by a having",                    // missing condition
+		"select a from t union",                                // missing arm
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestAscKeyword(t *testing.T) {
+	s := parseSelect(t, "select a from t order by a asc")
+	if s.OrderBy[0].Desc {
+		t.Error("ASC parsed as DESC")
+	}
+}
+
+func TestNestedNotExists(t *testing.T) {
+	// "not not exists" parses as NOT(NOT EXISTS …) — the second NOT fuses
+	// with EXISTS into a negated ExistsExpr; semantically equivalent.
+	s := parseSelect(t, "select * from t where not not exists (select 1 from t)")
+	outer, ok := s.Where.(UnaryExpr)
+	if !ok || outer.Op != "NOT" {
+		t.Fatalf("outer = %v", s.Where)
+	}
+	if ex, ok := outer.E.(ExistsExpr); !ok || !ex.Negated {
+		t.Errorf("inner = %v", outer.E)
+	}
+}
+
+func TestUnaryPlusIsIdentity(t *testing.T) {
+	s := parseSelect(t, "select +5 from t")
+	lit, ok := s.Items[0].Expr.(Literal)
+	if !ok || lit.Value.AsInt() != 5 {
+		t.Errorf("unary plus = %v", s.Items[0].Expr)
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	s := parseSelect(t, "select - -5 from t")
+	neg, ok := s.Items[0].Expr.(UnaryExpr)
+	if !ok || neg.Op != "-" {
+		t.Fatalf("outer = %v", s.Items[0].Expr)
+	}
+	if inner, ok := neg.E.(UnaryExpr); !ok || inner.Op != "-" {
+		t.Errorf("inner = %v", neg.E)
+	}
+}
+
+func TestQuotedIdentAsAlias(t *testing.T) {
+	s := parseSelect(t, `select a as "weird name" from t "table alias"`)
+	if s.Items[0].Alias != "weird name" {
+		t.Errorf("item alias = %q", s.Items[0].Alias)
+	}
+	if s.From[0].Alias != "table alias" {
+		t.Errorf("table alias = %q", s.From[0].Alias)
+	}
+}
+
+func TestConfAsColumnOfTable(t *testing.T) {
+	// conf followed by '.' or '(' is not the pseudo-aggregate.
+	s := parseSelect(t, "select conf.x from conf")
+	ref, ok := s.Items[0].Expr.(ColumnRef)
+	if !ok || ref.Qualifier != "conf" {
+		t.Errorf("conf.x = %v", s.Items[0].Expr)
+	}
+}
+
+func TestScientificNumbers(t *testing.T) {
+	s := parseSelect(t, "select 1e3, 2.5E-1 from t")
+	a := s.Items[0].Expr.(Literal)
+	b := s.Items[1].Expr.(Literal)
+	if a.Value.AsFloat() != 1000 || b.Value.AsFloat() != 0.25 {
+		t.Errorf("scientific = %v, %v", a, b)
+	}
+}
+
+func TestStatementStrings(t *testing.T) {
+	// Exercise the statement String() renderings used in error reporting.
+	for _, in := range []string{
+		"create table T (A, B, primary key (A))",
+		"update T set A = 1",
+		"delete from T",
+		"drop table T",
+		`create table "T x" as select 1 as "a b"`,
+	} {
+		stmt, err := Parse(in)
+		if err != nil {
+			t.Fatalf("parse %q: %v", in, err)
+		}
+		if stmt.String() == "" {
+			t.Errorf("%q renders empty", in)
+		}
+		if _, err := Parse(stmt.String()); err != nil {
+			t.Errorf("re-parse of %q → %q failed: %v", in, stmt.String(), err)
+		}
+	}
+}
+
+func TestGroupWorldsByRendering(t *testing.T) {
+	s := parseSelect(t, "select possible a from t group worlds by (select b from t)")
+	out := s.String()
+	if !strings.Contains(out, "GROUP WORLDS BY (SELECT") {
+		t.Errorf("rendering = %q", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Errorf("round trip failed: %v", err)
+	}
+}

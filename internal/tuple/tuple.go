@@ -1,0 +1,97 @@
+// Package tuple implements the row type shared by relations and operators:
+// a fixed-width slice of values with canonical encodings, key extraction and
+// ordering.
+package tuple
+
+import (
+	"strings"
+
+	"maybms/internal/value"
+)
+
+// Tuple is an ordered list of values. Tuples are treated as immutable once
+// constructed; operators build new tuples rather than mutating.
+type Tuple []value.Value
+
+// New builds a tuple from values.
+func New(vals ...value.Value) Tuple { return Tuple(vals) }
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Concat returns the concatenation of t and u as a fresh tuple.
+func (t Tuple) Concat(u Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(u))
+	out = append(out, t...)
+	out = append(out, u...)
+	return out
+}
+
+// Project returns the tuple restricted to the given indexes.
+func (t Tuple) Project(indexes []int) Tuple {
+	out := make(Tuple, len(indexes))
+	for i, idx := range indexes {
+		out[i] = t[idx]
+	}
+	return out
+}
+
+// Encode appends the canonical injective encoding of t to dst. Two tuples of
+// the same width encode equal iff they are value-wise identical (per
+// value.Compare == 0).
+func (t Tuple) Encode(dst []byte) []byte {
+	for _, v := range t {
+		dst = v.Encode(dst)
+	}
+	return dst
+}
+
+// Key returns the canonical encoding as a string, usable as a map key.
+func (t Tuple) Key() string { return string(t.Encode(nil)) }
+
+// KeyOn returns the canonical encoding of the projection of t on indexes.
+func (t Tuple) KeyOn(indexes []int) string {
+	var dst []byte
+	for _, idx := range indexes {
+		dst = t[idx].Encode(dst)
+	}
+	return string(dst)
+}
+
+// Compare orders tuples lexicographically by value.Compare, shorter tuples
+// first on a shared prefix.
+func Compare(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := value.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether a and b are identical under the total order.
+func Equal(a, b Tuple) bool { return Compare(a, b) == 0 }
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,167 @@
+package tuple
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"maybms/internal/value"
+)
+
+func tup(vals ...any) Tuple {
+	out := make(Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			out[i] = value.Int(int64(x))
+		case float64:
+			out[i] = value.Float(x)
+		case string:
+			out[i] = value.Str(x)
+		case bool:
+			out[i] = value.Bool(x)
+		case nil:
+			out[i] = value.Null()
+		default:
+			panic("unsupported")
+		}
+	}
+	return out
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := tup(1, "x")
+	b := a.Clone()
+	b[0] = value.Int(99)
+	if a[0].AsInt() != 1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestConcatProject(t *testing.T) {
+	a := tup(1, 2)
+	b := tup("x")
+	c := a.Concat(b)
+	if len(c) != 3 || c[2].AsStr() != "x" {
+		t.Errorf("Concat = %v", c)
+	}
+	p := c.Project([]int{2, 0})
+	if len(p) != 2 || p[0].AsStr() != "x" || p[1].AsInt() != 1 {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestKeyEquality(t *testing.T) {
+	a := tup(1, "x", nil)
+	b := tup(1, "x", nil)
+	c := tup(1, "y", nil)
+	if a.Key() != b.Key() {
+		t.Error("identical tuples must share keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("distinct tuples must not share keys")
+	}
+}
+
+func TestKeyOn(t *testing.T) {
+	a := tup("a1", 10, "c1")
+	b := tup("a1", 15, "c2")
+	if a.KeyOn([]int{0}) != b.KeyOn([]int{0}) {
+		t.Error("same key attribute values must share KeyOn")
+	}
+	if a.KeyOn([]int{1}) == b.KeyOn([]int{1}) {
+		t.Error("different values must differ")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{tup(1, 2), tup(1, 2), 0},
+		{tup(1, 2), tup(1, 3), -1},
+		{tup(2), tup(1, 9), 1},
+		{tup(1), tup(1, 0), -1},
+		{tup(nil), tup(0), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := Compare(c.b, c.a); got != -c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+	if !Equal(tup(1, "a"), tup(1, "a")) {
+		t.Error("Equal failed")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := tup(1, "x", nil).String(); got != "(1, x, NULL)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New().String(); got != "()" {
+		t.Errorf("empty tuple String = %q", got)
+	}
+}
+
+func randTuple(r *rand.Rand, width int) Tuple {
+	out := make(Tuple, width)
+	for i := range out {
+		switch r.Intn(4) {
+		case 0:
+			out[i] = value.Null()
+		case 1:
+			out[i] = value.Int(int64(r.Intn(10)))
+		case 2:
+			out[i] = value.Str(string(rune('a' + r.Intn(3))))
+		default:
+			out[i] = value.Float(float64(r.Intn(5)))
+		}
+	}
+	return out
+}
+
+func TestKeyMatchesCompareProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		a, b := randTuple(r, 3), randTuple(r, 3)
+		if (a.Key() == b.Key()) != (Compare(a, b) == 0) {
+			t.Fatalf("Key/Compare disagree on %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	tuples := make([]Tuple, 50)
+	for i := range tuples {
+		tuples[i] = randTuple(r, 2)
+	}
+	sort.Slice(tuples, func(i, j int) bool { return Compare(tuples[i], tuples[j]) < 0 })
+	for i := 0; i+1 < len(tuples); i++ {
+		if Compare(tuples[i], tuples[i+1]) > 0 {
+			t.Fatal("sort violated order")
+		}
+	}
+}
+
+func TestQuickConcatLength(t *testing.T) {
+	f := func(a, b []int8) bool {
+		ta := make(Tuple, len(a))
+		for i, v := range a {
+			ta[i] = value.Int(int64(v))
+		}
+		tb := make(Tuple, len(b))
+		for i, v := range b {
+			tb[i] = value.Int(int64(v))
+		}
+		return len(ta.Concat(tb)) == len(a)+len(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

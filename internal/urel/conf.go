@@ -1,0 +1,239 @@
+package urel
+
+import (
+	"sort"
+	"strings"
+
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func confSchema() *schema.Schema { return schema.New("conf") }
+
+// Conf returns the exact probability that tuple t appears in the
+// U-relation: P(∨ descriptors of the rows carrying t). Computing this is
+// #P-hard in general; the implementation is exact:
+//
+//  1. trivial cases (no rows → 0, a TRUE descriptor → 1);
+//  2. partition the descriptor set into connected components by shared
+//     variables and combine them by independence,
+//     P(∨ all) = 1 − Π_comp (1 − P(∨ comp));
+//  3. within a component, Shannon-expand on the most shared variable:
+//     P(φ) = Σ_alt P(v=alt) · P(φ | v=alt), memoizing on the canonical
+//     conditioned descriptor set.
+func (r *Relation) Conf(s *Store, t tuple.Tuple) float64 {
+	key := t.Key()
+	var ds []Descriptor
+	for _, row := range r.Rows {
+		if row.Tuple.Key() == key {
+			ds = append(ds, row.Cond)
+		}
+	}
+	solver := &confSolver{store: s, memo: map[string]float64{}}
+	return solver.orProb(ds)
+}
+
+// ConfRelation returns every possible tuple extended with its exact
+// confidence.
+func (r *Relation) ConfRelation(s *Store) *relation.Relation {
+	out := relation.New(r.Schema.Concat(confSchema()))
+	solver := &confSolver{store: s, memo: map[string]float64{}}
+	byTuple := map[string][]Descriptor{}
+	rep := map[string]tuple.Tuple{}
+	var order []string
+	for _, row := range r.Rows {
+		k := row.Tuple.Key()
+		if _, ok := byTuple[k]; !ok {
+			order = append(order, k)
+			rep[k] = row.Tuple
+		}
+		byTuple[k] = append(byTuple[k], row.Cond)
+	}
+	for _, k := range order {
+		c := solver.orProb(byTuple[k])
+		out.Tuples = append(out.Tuples, append(rep[k].Clone(), value.Float(c)))
+	}
+	return out
+}
+
+type confSolver struct {
+	store *Store
+	memo  map[string]float64
+}
+
+// orProb computes P(d1 ∨ … ∨ dn) exactly.
+func (cs *confSolver) orProb(ds []Descriptor) float64 {
+	ds = simplify(ds)
+	if len(ds) == 0 {
+		return 0
+	}
+	for _, d := range ds {
+		if len(d) == 0 {
+			return 1 // TRUE descriptor
+		}
+	}
+	key := setKey(ds)
+	if p, ok := cs.memo[key]; ok {
+		return p
+	}
+	p := cs.solve(ds)
+	cs.memo[key] = p
+	return p
+}
+
+func (cs *confSolver) solve(ds []Descriptor) float64 {
+	// Independence partitioning: descriptors sharing no variables are
+	// independent events (over disjoint variable sets).
+	comps := connectedComponents(ds)
+	if len(comps) > 1 {
+		miss := 1.0
+		for _, comp := range comps {
+			miss *= 1 - cs.orProb(comp)
+		}
+		return 1 - miss
+	}
+
+	// Single clause: product of its literal probabilities.
+	if len(ds) == 1 {
+		return cs.store.DescriptorProb(ds[0])
+	}
+
+	// Shannon expansion on the most shared variable.
+	v := mostSharedVar(ds)
+	total := 0.0
+	for alt := 0; alt < cs.store.Width(v); alt++ {
+		cond := condition(ds, v, alt)
+		total += cs.store.Prob(v, alt) * cs.orProb(cond)
+	}
+	return total
+}
+
+// simplify removes duplicate and subsumed descriptors (d subsumes e when
+// d ⊆ e: e implies d, so e is redundant in the disjunction).
+func simplify(ds []Descriptor) []Descriptor {
+	// Sort by length so potential subsumers come first.
+	sorted := append([]Descriptor(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return len(sorted[i]) < len(sorted[j]) })
+	var kept []Descriptor
+	for _, d := range sorted {
+		redundant := false
+		for _, k := range kept {
+			if subsumes(k, d) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// subsumes reports whether every literal of a occurs in b (a ⊆ b).
+func subsumes(a, b Descriptor) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, lb := range b {
+		if i < len(a) && a[i] == lb {
+			i++
+		}
+	}
+	return i == len(a)
+}
+
+// connectedComponents groups descriptors transitively sharing variables.
+func connectedComponents(ds []Descriptor) [][]Descriptor {
+	parent := make([]int, len(ds))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+
+	owner := map[Var]int{}
+	for i, d := range ds {
+		for _, l := range d {
+			if prev, ok := owner[l.Var]; ok {
+				union(prev, i)
+			} else {
+				owner[l.Var] = i
+			}
+		}
+	}
+	groups := map[int][]Descriptor{}
+	var order []int
+	for i, d := range ds {
+		root := find(i)
+		if _, ok := groups[root]; !ok {
+			order = append(order, root)
+		}
+		groups[root] = append(groups[root], d)
+	}
+	out := make([][]Descriptor, len(order))
+	for i, root := range order {
+		out[i] = groups[root]
+	}
+	return out
+}
+
+// mostSharedVar picks the variable occurring in the most descriptors.
+func mostSharedVar(ds []Descriptor) Var {
+	counts := map[Var]int{}
+	for _, d := range ds {
+		for _, l := range d {
+			counts[l.Var]++
+		}
+	}
+	best, bestN := Var(-1), -1
+	for v, n := range counts {
+		if n > bestN || n == bestN && v < best {
+			best, bestN = v, n
+		}
+	}
+	return best
+}
+
+// condition restricts the disjunction to v = alt: descriptors requiring a
+// different alternative drop out; literals v=alt are removed.
+func condition(ds []Descriptor, v Var, alt int) []Descriptor {
+	var out []Descriptor
+	for _, d := range ds {
+		keep := true
+		var reduced Descriptor
+		for _, l := range d {
+			if l.Var == v {
+				if l.Alt != alt {
+					keep = false
+					break
+				}
+				continue
+			}
+			reduced = append(reduced, l)
+		}
+		if keep {
+			out = append(out, reduced)
+		}
+	}
+	return out
+}
+
+func setKey(ds []Descriptor) string {
+	keys := make([]string, len(ds))
+	for i, d := range ds {
+		keys[i] = d.key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, "|")
+}

@@ -1,0 +1,88 @@
+package urel
+
+// crosscheck_test.go validates the U-relation confidence solver against
+// the other two engines on the same repair workloads: all three must agree
+// exactly.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/wsd"
+)
+
+func randomDirty(r *rand.Rand, groups, maxPer int) *relation.Relation {
+	rel := relation.New(schema.New("K", "V", "W"))
+	for k := 0; k < groups; k++ {
+		n := 1 + r.Intn(maxPer)
+		for v := 0; v < n; v++ {
+			rel.MustAppend(row(k, v, 1+r.Intn(9)))
+		}
+	}
+	return rel
+}
+
+func TestThreeEngineConfAgreement(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 20; trial++ {
+		rel := randomDirty(r, 1+r.Intn(4), 3)
+		weighted := r.Intn(2) == 0
+		weightIdx := -1
+		weightCol := ""
+		if weighted {
+			weightIdx = 2
+			weightCol = "W"
+		}
+
+		// Engine 1: naive enumeration via the I-SQL engine.
+		s1 := core.NewSession(true)
+		if err := s1.Register("R", rel); err != nil {
+			t.Fatal(err)
+		}
+		q := "create table I as select K, V, W from R repair by key K"
+		if weightCol != "" {
+			q += " weight " + weightCol
+		}
+		if _, err := s1.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+		res, err := s1.Exec("select K, V, W, conf from I")
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Engine 2: world-set decomposition.
+		d := wsd.New(true)
+		if err := d.PutCertain("R", rel); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RepairByKey("R", "I", []string{"K"}, weightCol); err != nil {
+			t.Fatal(err)
+		}
+
+		// Engine 3: U-relations with Shannon-expansion confidence.
+		store := NewStore()
+		u, err := RepairByKey(store, rel, []int{0}, weightIdx)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, tp := range res.Groups[0].Rel.Tuples {
+			base := tp[:3]
+			naive := tp[3].AsFloat()
+			viaWSD, err := d.Conf("I", base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaURel := u.Conf(store, base)
+			if math.Abs(naive-viaWSD) > 1e-9 || math.Abs(naive-viaURel) > 1e-9 {
+				t.Fatalf("trial %d: conf(%v): naive=%g wsd=%g urel=%g",
+					trial, base, naive, viaWSD, viaURel)
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package urel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"maybms/internal/tuple"
+)
+
+// ConfMC estimates the confidence of tuple t by naive Monte-Carlo
+// sampling: draw `samples` independent assignments of the variables
+// appearing in t's descriptors and count satisfied disjunctions. The
+// estimator is unbiased with standard error ≤ 1/(2√samples); it is the
+// practical fallback when exact Shannon expansion (Conf, #P-hard in
+// general) becomes too expensive on highly entangled descriptor sets.
+func (r *Relation) ConfMC(s *Store, t tuple.Tuple, samples int, rng *rand.Rand) (float64, error) {
+	if samples <= 0 {
+		return 0, fmt.Errorf("urel: ConfMC needs a positive sample count")
+	}
+	key := t.Key()
+	var ds []Descriptor
+	for _, row := range r.Rows {
+		if row.Tuple.Key() == key {
+			ds = append(ds, row.Cond)
+		}
+	}
+	ds = simplify(ds)
+	if len(ds) == 0 {
+		return 0, nil
+	}
+	for _, d := range ds {
+		if len(d) == 0 {
+			return 1, nil
+		}
+	}
+
+	// Only the variables mentioned in the descriptors matter.
+	var vars []Var
+	seen := map[Var]bool{}
+	for _, d := range ds {
+		for _, l := range d {
+			if !seen[l.Var] {
+				seen[l.Var] = true
+				vars = append(vars, l.Var)
+			}
+		}
+	}
+
+	assignment := map[Var]int{}
+	hits := 0
+	for i := 0; i < samples; i++ {
+		for _, v := range vars {
+			assignment[v] = sampleAlt(s, v, rng)
+		}
+		for _, d := range ds {
+			sat := true
+			for _, l := range d {
+				if assignment[l.Var] != l.Alt {
+					sat = false
+					break
+				}
+			}
+			if sat {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(samples), nil
+}
+
+// sampleAlt draws an alternative of v according to its probabilities.
+func sampleAlt(s *Store, v Var, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	w := s.Width(v)
+	for alt := 0; alt < w-1; alt++ {
+		acc += s.Prob(v, alt)
+		if u < acc {
+			return alt
+		}
+	}
+	return w - 1
+}

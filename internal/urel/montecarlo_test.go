@@ -1,0 +1,137 @@
+package urel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/schema"
+)
+
+func TestConfMCMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		s := NewStore()
+		nVars := 2 + r.Intn(4)
+		for i := 0; i < nVars; i++ {
+			w := 2 + r.Intn(2)
+			probs := make([]float64, w)
+			total := 0.0
+			for j := range probs {
+				probs[j] = 0.2 + r.Float64()
+				total += probs[j]
+			}
+			for j := range probs {
+				probs[j] /= total
+			}
+			if _, err := s.NewVar(probs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rel := NewRelation(schema.New("X"))
+		for i := 0; i < 2+r.Intn(4); i++ {
+			var d Descriptor
+			for v := 0; v < nVars; v++ {
+				if r.Intn(2) == 0 {
+					d = append(d, Literal{Var: Var(v), Alt: r.Intn(s.Width(Var(v)))})
+				}
+			}
+			if err := rel.Append(row(1), d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		exact := rel.Conf(s, row(1))
+		est, err := rel.ConfMC(s, row(1), 40000, rand.New(rand.NewSource(int64(trial))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 40k samples: 4-sigma bound ≈ 0.01 on the worst-case variance.
+		if math.Abs(est-exact) > 0.015 {
+			t.Errorf("trial %d: MC estimate %.4f vs exact %.4f", trial, est, exact)
+		}
+	}
+}
+
+func TestConfMCTrivialCases(t *testing.T) {
+	s := NewStore()
+	rel := NewRelation(schema.New("X"))
+	rng := rand.New(rand.NewSource(1))
+	if got, err := rel.ConfMC(s, row(1), 100, rng); err != nil || got != 0 {
+		t.Errorf("absent tuple MC = %v, %v", got, err)
+	}
+	rel.Append(row(1), True())
+	if got, err := rel.ConfMC(s, row(1), 100, rng); err != nil || got != 1 {
+		t.Errorf("certain tuple MC = %v, %v", got, err)
+	}
+	if _, err := rel.ConfMC(s, row(1), 0, rng); err == nil {
+		t.Error("zero samples must error")
+	}
+}
+
+// chainRelation builds a deliberately entangled instance: descriptors
+// chaining variable i with i+1, defeating independence partitioning.
+func chainRelation(t testing.TB, n int) (*Store, *Relation) {
+	t.Helper()
+	s := NewStore()
+	vars := make([]Var, n)
+	for i := range vars {
+		v, err := s.NewVar([]float64{0.5, 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars[i] = v
+	}
+	rel := NewRelation(schema.New("X"))
+	for i := 0; i+1 < n; i++ {
+		d, _ := And(Lit(vars[i], 0), Lit(vars[i+1], 1))
+		if err := rel.Append(row(1), d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, rel
+}
+
+func TestConfExactOnChain(t *testing.T) {
+	// Small chain cross-checked against brute force.
+	s, rel := chainRelation(t, 6)
+	var ds []Descriptor
+	for _, r := range rel.Rows {
+		ds = append(ds, r.Cond)
+	}
+	exact := rel.Conf(s, row(1))
+	brute := enumerate(s, ds)
+	if math.Abs(exact-brute) > 1e-9 {
+		t.Fatalf("chain: exact %.12f vs brute %.12f", exact, brute)
+	}
+}
+
+func BenchmarkConfExactChain(b *testing.B) {
+	for _, n := range []int{8, 16, 24} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			s, rel := chainRelation(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = rel.Conf(s, row(1))
+			}
+		})
+	}
+}
+
+func BenchmarkConfMCChain(b *testing.B) {
+	for _, n := range []int{8, 16, 24} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			s, rel := chainRelation(b, n)
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rel.ConfMC(s, row(1), 1000, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	return "vars=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

@@ -1,0 +1,314 @@
+// Package urel implements U-relations, the tuple-level successor of
+// world-set decompositions adopted by later MayBMS versions: every tuple
+// carries a *world-set descriptor* — a conjunction of assignments of
+// independent finite random variables — and relational algebra manipulates
+// the descriptors alongside the tuples.
+//
+// Compared to the component-based WSDs of internal/wsd, U-relations
+// compose under joins: joining two uncertain relations conjoins their
+// descriptors (dropping inconsistent combinations), so arbitrary
+// select-project-join queries stay in the representation. The price is
+// confidence computation, which becomes #P-hard in general; Conf
+// implements the exact algorithm — independence partitioning plus Shannon
+// expansion on shared variables, with memoization — and is validated
+// against brute-force enumeration and the other two engines.
+package urel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+)
+
+// Errors reported by the package.
+var (
+	ErrBadDomain    = errors.New("variable domain probabilities must be positive and sum to 1")
+	ErrInconsistent = errors.New("descriptor assigns two alternatives to one variable")
+)
+
+// Var identifies an independent finite random variable.
+type Var int
+
+// Store owns the variables (their alternative probabilities).
+type Store struct {
+	domains [][]float64
+}
+
+// NewStore creates an empty variable store.
+func NewStore() *Store { return &Store{} }
+
+// NewVar introduces a variable with the given alternative probabilities
+// (positive, summing to 1).
+func (s *Store) NewVar(probs []float64) (Var, error) {
+	if len(probs) == 0 {
+		return 0, ErrBadDomain
+	}
+	total := 0.0
+	for _, p := range probs {
+		if p <= 0 {
+			return 0, ErrBadDomain
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		return 0, fmt.Errorf("%w (got %g)", ErrBadDomain, total)
+	}
+	s.domains = append(s.domains, append([]float64(nil), probs...))
+	return Var(len(s.domains) - 1), nil
+}
+
+// Width returns the number of alternatives of v.
+func (s *Store) Width(v Var) int { return len(s.domains[v]) }
+
+// Prob returns P(v = alt).
+func (s *Store) Prob(v Var, alt int) float64 { return s.domains[v][alt] }
+
+// VarCount returns the number of variables.
+func (s *Store) VarCount() int { return len(s.domains) }
+
+// Literal is one assignment v = Alt.
+type Literal struct {
+	Var Var
+	Alt int
+}
+
+// Descriptor is a conjunction of literals, at most one per variable,
+// sorted by variable. The empty descriptor is TRUE (present in every
+// world).
+type Descriptor []Literal
+
+// True is the always-satisfied descriptor.
+func True() Descriptor { return nil }
+
+// Lit builds a single-literal descriptor.
+func Lit(v Var, alt int) Descriptor { return Descriptor{{Var: v, Alt: alt}} }
+
+// And conjoins two descriptors. ok is false when they are inconsistent
+// (assign different alternatives to one variable).
+func And(a, b Descriptor) (Descriptor, bool) {
+	out := make(Descriptor, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Var < b[j].Var:
+			out = append(out, a[i])
+			i++
+		case a[i].Var > b[j].Var:
+			out = append(out, b[j])
+			j++
+		default:
+			if a[i].Alt != b[j].Alt {
+				return nil, false
+			}
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out, true
+}
+
+// normalize sorts and validates a descriptor.
+func normalize(d Descriptor) (Descriptor, error) {
+	out := append(Descriptor(nil), d...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	for i := 1; i < len(out); i++ {
+		if out[i].Var == out[i-1].Var {
+			if out[i].Alt != out[i-1].Alt {
+				return nil, ErrInconsistent
+			}
+		}
+	}
+	// Deduplicate equal literals.
+	dedup := out[:0]
+	for i, l := range out {
+		if i == 0 || l != out[i-1] {
+			dedup = append(dedup, l)
+		}
+	}
+	return dedup, nil
+}
+
+// Prob returns the probability of the conjunction (variables are
+// independent).
+func (s *Store) DescriptorProb(d Descriptor) float64 {
+	p := 1.0
+	for _, l := range d {
+		p *= s.domains[l.Var][l.Alt]
+	}
+	return p
+}
+
+// String renders the descriptor.
+func (d Descriptor) String() string {
+	if len(d) == 0 {
+		return "⊤"
+	}
+	parts := make([]string, len(d))
+	for i, l := range d {
+		parts[i] = fmt.Sprintf("x%d=%d", l.Var, l.Alt)
+	}
+	return strings.Join(parts, "∧")
+}
+
+// key returns a canonical map key.
+func (d Descriptor) key() string {
+	var b strings.Builder
+	for _, l := range d {
+		fmt.Fprintf(&b, "%d:%d;", l.Var, l.Alt)
+	}
+	return b.String()
+}
+
+// Row is an annotated tuple: it exists exactly in the worlds satisfying
+// its descriptor.
+type Row struct {
+	Tuple tuple.Tuple
+	Cond  Descriptor
+}
+
+// Relation is a U-relation: a schema plus annotated tuples. Multiple rows
+// may carry the same tuple under different descriptors (their disjunction
+// governs the tuple's presence).
+type Relation struct {
+	Schema *schema.Schema
+	Rows   []Row
+}
+
+// NewRelation creates an empty U-relation.
+func NewRelation(s *schema.Schema) *Relation { return &Relation{Schema: s} }
+
+// Append adds an annotated tuple, normalizing the descriptor.
+func (r *Relation) Append(t tuple.Tuple, cond Descriptor) error {
+	if len(t) != r.Schema.Len() {
+		return fmt.Errorf("urel: tuple width %d does not match schema %s", len(t), r.Schema)
+	}
+	d, err := normalize(cond)
+	if err != nil {
+		return err
+	}
+	r.Rows = append(r.Rows, Row{Tuple: t, Cond: d})
+	return nil
+}
+
+// Len returns the number of annotated rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// FromCertain lifts a complete relation: every tuple annotated TRUE.
+func FromCertain(rel *relation.Relation) *Relation {
+	out := NewRelation(rel.Schema)
+	for _, t := range rel.Tuples {
+		out.Rows = append(out.Rows, Row{Tuple: t, Cond: True()})
+	}
+	return out
+}
+
+// RepairByKey lifts a dirty relation into a U-relation representing all
+// repairs of the key: one fresh variable per key group, one alternative
+// per candidate tuple, each tuple annotated with its choice. weightIdx < 0
+// means uniform in-group probabilities.
+func RepairByKey(s *Store, rel *relation.Relation, keyIdx []int, weightIdx int) (*Relation, error) {
+	out := NewRelation(rel.Schema)
+	order, groups := rel.GroupBy(keyIdx)
+	for _, gk := range order {
+		tuples := groups[gk]
+		probs := make([]float64, len(tuples))
+		if weightIdx >= 0 {
+			sum := 0.0
+			for _, t := range tuples {
+				w := t[weightIdx]
+				if !w.IsNumeric() || w.AsFloat() <= 0 {
+					return nil, fmt.Errorf("urel: weight %v must be a positive number", w)
+				}
+				sum += w.AsFloat()
+			}
+			for i, t := range tuples {
+				probs[i] = t[weightIdx].AsFloat() / sum
+			}
+		} else {
+			for i := range tuples {
+				probs[i] = 1 / float64(len(tuples))
+			}
+		}
+		v, err := s.NewVar(probs)
+		if err != nil {
+			return nil, err
+		}
+		for i, t := range tuples {
+			out.Rows = append(out.Rows, Row{Tuple: t, Cond: Lit(v, i)})
+		}
+	}
+	return out, nil
+}
+
+// Select keeps the rows whose tuple satisfies pred (descriptors are
+// untouched — selection is descriptor-free).
+func (r *Relation) Select(pred func(tuple.Tuple) bool) *Relation {
+	out := NewRelation(r.Schema)
+	for _, row := range r.Rows {
+		if pred(row.Tuple) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// Project projects the tuples onto the given columns, keeping descriptors.
+// Equal projected tuples with different descriptors remain separate rows
+// (their disjunction is resolved by Conf).
+func (r *Relation) Project(indexes []int) *Relation {
+	out := NewRelation(r.Schema.Project(indexes))
+	for _, row := range r.Rows {
+		out.Rows = append(out.Rows, Row{Tuple: row.Tuple.Project(indexes), Cond: row.Cond})
+	}
+	return out
+}
+
+// Join computes the natural product of two U-relations filtered by on
+// (nil = cross product): descriptors conjoin, inconsistent pairs drop out.
+// This is where U-relations beat component WSDs: the output is again a
+// U-relation, whatever the correlation structure.
+func Join(a, b *Relation, on func(l, r tuple.Tuple) bool) *Relation {
+	out := NewRelation(a.Schema.Concat(b.Schema))
+	for _, ra := range a.Rows {
+		for _, rb := range b.Rows {
+			if on != nil && !on(ra.Tuple, rb.Tuple) {
+				continue
+			}
+			cond, ok := And(ra.Cond, rb.Cond)
+			if !ok {
+				continue
+			}
+			out.Rows = append(out.Rows, Row{Tuple: ra.Tuple.Concat(rb.Tuple), Cond: cond})
+		}
+	}
+	return out
+}
+
+// Union concatenates two U-relations of equal arity.
+func Union(a, b *Relation) (*Relation, error) {
+	if a.Schema.Len() != b.Schema.Len() {
+		return nil, fmt.Errorf("urel: union arity mismatch %s vs %s", a.Schema, b.Schema)
+	}
+	out := NewRelation(a.Schema)
+	out.Rows = append(out.Rows, a.Rows...)
+	out.Rows = append(out.Rows, b.Rows...)
+	return out, nil
+}
+
+// PossibleTuples returns the distinct tuples with satisfiable descriptors.
+func (r *Relation) PossibleTuples() *relation.Relation {
+	out := relation.New(r.Schema)
+	for _, row := range r.Rows {
+		out.Tuples = append(out.Tuples, row.Tuple)
+	}
+	return out.Distinct()
+}

@@ -1,0 +1,392 @@
+package urel
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+const eps = 1e-9
+
+func row(vals ...any) tuple.Tuple {
+	out := make(tuple.Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			out[i] = value.Int(int64(x))
+		case string:
+			out[i] = value.Str(x)
+		default:
+			panic("bad fixture")
+		}
+	}
+	return out
+}
+
+func TestNewVarValidation(t *testing.T) {
+	s := NewStore()
+	if _, err := s.NewVar(nil); !errors.Is(err, ErrBadDomain) {
+		t.Error("empty domain must fail")
+	}
+	if _, err := s.NewVar([]float64{0.5, 0.4}); !errors.Is(err, ErrBadDomain) {
+		t.Error("sum != 1 must fail")
+	}
+	if _, err := s.NewVar([]float64{1.5, -0.5}); !errors.Is(err, ErrBadDomain) {
+		t.Error("negative prob must fail")
+	}
+	v, err := s.NewVar([]float64{0.25, 0.75})
+	if err != nil || s.Width(v) != 2 || s.Prob(v, 1) != 0.75 || s.VarCount() != 1 {
+		t.Errorf("NewVar = %v, %v", v, err)
+	}
+}
+
+func TestAndConsistency(t *testing.T) {
+	a := Descriptor{{0, 1}, {2, 0}}
+	b := Descriptor{{1, 0}, {2, 0}}
+	c, ok := And(a, b)
+	if !ok || len(c) != 3 {
+		t.Fatalf("And = %v, %v", c, ok)
+	}
+	conflict := Descriptor{{2, 1}}
+	if _, ok := And(a, conflict); ok {
+		t.Error("conflicting assignments must be inconsistent")
+	}
+	// TRUE is the identity.
+	d, ok := And(True(), a)
+	if !ok || len(d) != 2 {
+		t.Errorf("And with TRUE = %v", d)
+	}
+}
+
+func TestAppendNormalizes(t *testing.T) {
+	r := NewRelation(schema.New("X"))
+	if err := r.Append(row(1), Descriptor{{2, 1}, {0, 0}, {2, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0].Cond[0].Var != 0 || len(r.Rows[0].Cond) != 2 {
+		t.Errorf("descriptor not normalized: %v", r.Rows[0].Cond)
+	}
+	if err := r.Append(row(1), Descriptor{{0, 0}, {0, 1}}); !errors.Is(err, ErrInconsistent) {
+		t.Errorf("inconsistent descriptor = %v", err)
+	}
+	if err := r.Append(row(1, 2), True()); err == nil {
+		t.Error("width mismatch must fail")
+	}
+}
+
+func TestDescriptorString(t *testing.T) {
+	if True().String() != "⊤" {
+		t.Error("TRUE rendering")
+	}
+	if !strings.Contains((Descriptor{{1, 2}}).String(), "x1=2") {
+		t.Error("literal rendering")
+	}
+}
+
+// enumerate brute-forces P(∨ ds) by iterating all assignments.
+func enumerate(s *Store, ds []Descriptor) float64 {
+	n := s.VarCount()
+	assignment := make([]int, n)
+	var rec func(i int, p float64) float64
+	rec = func(i int, p float64) float64 {
+		if i == n {
+			for _, d := range ds {
+				sat := true
+				for _, l := range d {
+					if assignment[l.Var] != l.Alt {
+						sat = false
+						break
+					}
+				}
+				if sat {
+					return p
+				}
+			}
+			return 0
+		}
+		total := 0.0
+		for alt := 0; alt < s.Width(Var(i)); alt++ {
+			assignment[i] = alt
+			total += rec(i+1, p*s.Prob(Var(i), alt))
+		}
+		return total
+	}
+	return rec(0, 1)
+}
+
+func TestConfAgainstBruteForceRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		s := NewStore()
+		nVars := 1 + r.Intn(5)
+		for i := 0; i < nVars; i++ {
+			w := 2 + r.Intn(2)
+			probs := make([]float64, w)
+			total := 0.0
+			for j := range probs {
+				probs[j] = 0.1 + r.Float64()
+				total += probs[j]
+			}
+			for j := range probs {
+				probs[j] /= total
+			}
+			if _, err := s.NewVar(probs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Random descriptor set over the variables, all rows carry the
+		// same tuple so Conf computes the disjunction.
+		rel := NewRelation(schema.New("X"))
+		nRows := 1 + r.Intn(6)
+		var ds []Descriptor
+		for i := 0; i < nRows; i++ {
+			var d Descriptor
+			for v := 0; v < nVars; v++ {
+				if r.Intn(2) == 0 {
+					d = append(d, Literal{Var: Var(v), Alt: r.Intn(s.Width(Var(v)))})
+				}
+			}
+			if err := rel.Append(row(7), d); err != nil {
+				t.Fatal(err)
+			}
+			nd, _ := normalize(d)
+			ds = append(ds, nd)
+		}
+		got := rel.Conf(s, row(7))
+		want := enumerate(s, ds)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: Conf = %.12f, brute force = %.12f (descriptors %v)", trial, got, want, ds)
+		}
+	}
+}
+
+func TestConfTrivialCases(t *testing.T) {
+	s := NewStore()
+	v, _ := s.NewVar([]float64{0.3, 0.7})
+	rel := NewRelation(schema.New("X"))
+	if got := rel.Conf(s, row(1)); got != 0 {
+		t.Errorf("conf of absent tuple = %g", got)
+	}
+	if err := rel.Append(row(1), True()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rel.Conf(s, row(1)); got != 1 {
+		t.Errorf("conf of certain tuple = %g", got)
+	}
+	rel2 := NewRelation(schema.New("X"))
+	if err := rel2.Append(row(1), Lit(v, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := rel2.Conf(s, row(1)); math.Abs(got-0.3) > eps {
+		t.Errorf("single literal conf = %g", got)
+	}
+}
+
+func TestConfSubsumption(t *testing.T) {
+	// x0=0 ∨ (x0=0 ∧ x1=1) = x0=0.
+	s := NewStore()
+	v0, _ := s.NewVar([]float64{0.4, 0.6})
+	v1, _ := s.NewVar([]float64{0.5, 0.5})
+	rel := NewRelation(schema.New("X"))
+	rel.Append(row(1), Lit(v0, 0))
+	and, _ := And(Lit(v0, 0), Lit(v1, 1))
+	rel.Append(row(1), and)
+	if got := rel.Conf(s, row(1)); math.Abs(got-0.4) > eps {
+		t.Errorf("subsumed conf = %g, want 0.4", got)
+	}
+}
+
+func TestConfExclusiveAlternatives(t *testing.T) {
+	// x0=0 ∨ x0=1 over a 3-way variable: 0.2 + 0.3.
+	s := NewStore()
+	v, _ := s.NewVar([]float64{0.2, 0.3, 0.5})
+	rel := NewRelation(schema.New("X"))
+	rel.Append(row(1), Lit(v, 0))
+	rel.Append(row(1), Lit(v, 1))
+	if got := rel.Conf(s, row(1)); math.Abs(got-0.5) > eps {
+		t.Errorf("exclusive conf = %g, want 0.5", got)
+	}
+}
+
+func TestConfIndependentDisjunction(t *testing.T) {
+	// x0=0 ∨ x1=0 with independent halves: 1 − (1−0.4)(1−0.5) = 0.7.
+	s := NewStore()
+	v0, _ := s.NewVar([]float64{0.4, 0.6})
+	v1, _ := s.NewVar([]float64{0.5, 0.5})
+	rel := NewRelation(schema.New("X"))
+	rel.Append(row(1), Lit(v0, 0))
+	rel.Append(row(1), Lit(v1, 0))
+	if got := rel.Conf(s, row(1)); math.Abs(got-0.7) > eps {
+		t.Errorf("independent conf = %g, want 0.7", got)
+	}
+}
+
+func TestRepairByKey(t *testing.T) {
+	// Figure 1's R repaired on key A as a U-relation.
+	rel := relation.New(schema.New("A", "B", "D"))
+	rel.MustAppend(row("a1", 10, 2))
+	rel.MustAppend(row("a1", 15, 6))
+	rel.MustAppend(row("a2", 14, 4))
+	rel.MustAppend(row("a2", 20, 5))
+	rel.MustAppend(row("a3", 20, 6))
+	s := NewStore()
+	u, err := RepairByKey(s, rel, []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.VarCount() != 3 {
+		t.Errorf("vars = %d, want 3 (one per key group)", s.VarCount())
+	}
+	if u.Len() != 5 {
+		t.Errorf("rows = %d", u.Len())
+	}
+	// conf(a1 → B=10) = 2/8.
+	if got := u.Conf(s, row("a1", 10, 2)); math.Abs(got-0.25) > eps {
+		t.Errorf("conf = %g, want 0.25", got)
+	}
+	// conf(a3 tuple) = 1 (singleton group).
+	if got := u.Conf(s, row("a3", 20, 6)); math.Abs(got-1) > eps {
+		t.Errorf("conf = %g, want 1", got)
+	}
+}
+
+func TestRepairByKeyWeightValidation(t *testing.T) {
+	rel := relation.New(schema.New("A", "D"))
+	rel.MustAppend(row("a", 0))
+	rel.MustAppend(row("a", 2))
+	s := NewStore()
+	if _, err := RepairByKey(s, rel, []int{0}, 1); err == nil {
+		t.Error("zero weight must fail")
+	}
+}
+
+func TestJoinConjoinsDescriptors(t *testing.T) {
+	// Two uncertain relations joined on value: the descriptor of the
+	// output row is the conjunction; inconsistent pairs vanish.
+	s := NewStore()
+	v, _ := s.NewVar([]float64{0.5, 0.5})
+	a := NewRelation(schema.New("X"))
+	a.Append(row(1), Lit(v, 0))
+	b := NewRelation(schema.New("Y"))
+	b.Append(row(1), Lit(v, 0)) // same world
+	b.Append(row(1), Lit(v, 1)) // opposite world
+	j := Join(a, b, func(l, r tuple.Tuple) bool { return value.Equal(l[0], r[0]) })
+	if j.Len() != 1 {
+		t.Fatalf("join rows = %d (inconsistent pair must drop)", j.Len())
+	}
+	if got := j.Conf(s, row(1, 1)); math.Abs(got-0.5) > eps {
+		t.Errorf("join conf = %g", got)
+	}
+}
+
+func TestJoinCorrelationBeyondComponents(t *testing.T) {
+	// The self-join correlation case WSD components cannot express
+	// tuple-wise: R(x) with x∈{a,b}; Q = R ⋈ R. P(Q row) must equal
+	// P(R row), not its square.
+	s := NewStore()
+	v, _ := s.NewVar([]float64{0.3, 0.7})
+	r := NewRelation(schema.New("X"))
+	r.Append(row(1), Lit(v, 0))
+	r.Append(row(2), Lit(v, 1))
+	q := Join(r, r, func(l, rr tuple.Tuple) bool { return value.Equal(l[0], rr[0]) })
+	if got := q.Conf(s, row(1, 1)); math.Abs(got-0.3) > eps {
+		t.Errorf("self-join conf = %g, want 0.3 (idempotent conjunction)", got)
+	}
+	// Cross pairs (1,2) are inconsistent: never present.
+	if got := q.Conf(s, row(1, 2)); got != 0 {
+		t.Errorf("inconsistent pair conf = %g", got)
+	}
+}
+
+func TestSelectProjectUnion(t *testing.T) {
+	s := NewStore()
+	v, _ := s.NewVar([]float64{0.5, 0.5})
+	r := NewRelation(schema.New("X", "Y"))
+	r.Append(row(1, 10), Lit(v, 0))
+	r.Append(row(2, 20), Lit(v, 1))
+	sel := r.Select(func(t tuple.Tuple) bool { return t[0].AsInt() == 1 })
+	if sel.Len() != 1 {
+		t.Errorf("select = %d rows", sel.Len())
+	}
+	proj := r.Project([]int{1})
+	if proj.Schema.Len() != 1 || proj.Len() != 2 {
+		t.Errorf("project = %s, %d rows", proj.Schema, proj.Len())
+	}
+	u, err := Union(sel, sel)
+	if err != nil || u.Len() != 2 {
+		t.Errorf("union = %v, %v", u, err)
+	}
+	if _, err := Union(r, proj); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+}
+
+func TestProjectionDisjunctionConf(t *testing.T) {
+	// Projecting away the distinguishing column makes two exclusive rows
+	// carry the same tuple: conf adds up.
+	s := NewStore()
+	v, _ := s.NewVar([]float64{0.25, 0.75})
+	r := NewRelation(schema.New("X", "Y"))
+	r.Append(row(1, 10), Lit(v, 0))
+	r.Append(row(2, 10), Lit(v, 1))
+	proj := r.Project([]int{1})
+	if got := proj.Conf(s, row(10)); math.Abs(got-1) > eps {
+		t.Errorf("projected conf = %g, want 1", got)
+	}
+}
+
+func TestFromCertainAndPossible(t *testing.T) {
+	rel := relation.New(schema.New("X"))
+	rel.MustAppend(row(1))
+	rel.MustAppend(row(2))
+	u := FromCertain(rel)
+	s := NewStore()
+	if got := u.Conf(s, row(1)); got != 1 {
+		t.Errorf("certain lift conf = %g", got)
+	}
+	if u.PossibleTuples().Len() != 2 {
+		t.Errorf("possible = %v", u.PossibleTuples().Tuples)
+	}
+}
+
+func TestConfRelation(t *testing.T) {
+	s := NewStore()
+	rel := relation.New(schema.New("A", "B", "D"))
+	rel.MustAppend(row("a1", 10, 2))
+	rel.MustAppend(row("a1", 15, 6))
+	u, err := RepairByKey(s, rel, []int{0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := u.ConfRelation(s)
+	if cr.Len() != 2 || cr.Schema.Len() != 4 {
+		t.Fatalf("conf relation = %s, %d rows", cr.Schema, cr.Len())
+	}
+	total := 0.0
+	for _, tp := range cr.Tuples {
+		total += tp[3].AsFloat()
+	}
+	if math.Abs(total-1) > eps {
+		t.Errorf("exclusive confs sum to %g", total)
+	}
+}
+
+func TestDescriptorProb(t *testing.T) {
+	s := NewStore()
+	v0, _ := s.NewVar([]float64{0.25, 0.75})
+	v1, _ := s.NewVar([]float64{0.5, 0.5})
+	d, _ := And(Lit(v0, 1), Lit(v1, 0))
+	if got := s.DescriptorProb(d); math.Abs(got-0.375) > eps {
+		t.Errorf("descriptor prob = %g", got)
+	}
+	if got := s.DescriptorProb(True()); got != 1 {
+		t.Errorf("TRUE prob = %g", got)
+	}
+}

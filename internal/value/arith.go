@@ -1,0 +1,116 @@
+package value
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrType is wrapped by all type errors reported from arithmetic.
+var ErrType = errors.New("type error")
+
+// BinaryOp names an arithmetic operator.
+type BinaryOp uint8
+
+// The arithmetic operators.
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+// String returns the SQL spelling of the operator.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	default:
+		return fmt.Sprintf("BinaryOp(%d)", uint8(op))
+	}
+}
+
+// Arith applies op to a and b with SQL semantics: NULL propagates; two
+// INTEGERs yield INTEGER (with / truncating, as in PostgreSQL); any FLOAT
+// operand promotes to FLOAT; + concatenates two strings. Division or modulo
+// by zero and kind mismatches return an error wrapping ErrType.
+func Arith(op BinaryOp, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null(), nil
+	}
+	if op == OpAdd && a.kind == KindString && b.kind == KindString {
+		return Str(a.s + b.s), nil
+	}
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return Null(), fmt.Errorf("%w: %s not defined on %s and %s", ErrType, op, a.kind, b.kind)
+	}
+	if a.kind == KindInt && b.kind == KindInt {
+		return intArith(op, a.i, b.i)
+	}
+	return floatArith(op, a.AsFloat(), b.AsFloat())
+}
+
+func intArith(op BinaryOp, a, b int64) (Value, error) {
+	switch op {
+	case OpAdd:
+		return Int(a + b), nil
+	case OpSub:
+		return Int(a - b), nil
+	case OpMul:
+		return Int(a * b), nil
+	case OpDiv:
+		if b == 0 {
+			return Null(), fmt.Errorf("%w: division by zero", ErrType)
+		}
+		return Int(a / b), nil
+	case OpMod:
+		if b == 0 {
+			return Null(), fmt.Errorf("%w: modulo by zero", ErrType)
+		}
+		return Int(a % b), nil
+	default:
+		return Null(), fmt.Errorf("%w: unknown operator %s", ErrType, op)
+	}
+}
+
+func floatArith(op BinaryOp, a, b float64) (Value, error) {
+	switch op {
+	case OpAdd:
+		return Float(a + b), nil
+	case OpSub:
+		return Float(a - b), nil
+	case OpMul:
+		return Float(a * b), nil
+	case OpDiv:
+		if b == 0 {
+			return Null(), fmt.Errorf("%w: division by zero", ErrType)
+		}
+		return Float(a / b), nil
+	case OpMod:
+		return Null(), fmt.Errorf("%w: %% not defined on floats", ErrType)
+	default:
+		return Null(), fmt.Errorf("%w: unknown operator %s", ErrType, op)
+	}
+}
+
+// Neg returns -v for numeric v, NULL for NULL, and an error otherwise.
+func Neg(v Value) (Value, error) {
+	switch v.kind {
+	case KindNull:
+		return Null(), nil
+	case KindInt:
+		return Int(-v.i), nil
+	case KindFloat:
+		return Float(-v.f), nil
+	default:
+		return Null(), fmt.Errorf("%w: unary - not defined on %s", ErrType, v.kind)
+	}
+}

@@ -1,0 +1,327 @@
+// Package value implements the dynamically typed value model used throughout
+// the engine. A Value is one of NULL, INT, FLOAT, STRING or BOOL.
+//
+// Values define a deterministic total order (used for sorting, keys and
+// world fingerprints), SQL-style three-valued comparison semantics at the
+// expression layer, arithmetic with numeric coercion, and a canonical
+// encoding suitable for hashing.
+package value
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the runtime type of a Value.
+type Kind uint8
+
+// The value kinds. The declaration order defines the cross-kind sort order
+// (NULL < BOOL < numbers < STRING).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return "BOOLEAN"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "TEXT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single dynamically typed SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null returns the NULL value.
+func Null() Value { return Value{} }
+
+// Int returns an INTEGER value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a FLOAT value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a TEXT value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a BOOLEAN value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the runtime type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsInt returns the int64 payload. It panics unless v is an INTEGER.
+func (v Value) AsInt() int64 {
+	if v.kind != KindInt {
+		panic(fmt.Sprintf("value: AsInt on %s", v.kind))
+	}
+	return v.i
+}
+
+// AsFloat returns v as a float64, coercing INTEGER. It panics on other kinds.
+func (v Value) AsFloat() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("value: AsFloat on %s", v.kind))
+	}
+}
+
+// AsStr returns the string payload. It panics unless v is TEXT.
+func (v Value) AsStr() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("value: AsStr on %s", v.kind))
+	}
+	return v.s
+}
+
+// AsBool returns the bool payload. It panics unless v is a BOOLEAN.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("value: AsBool on %s", v.kind))
+	}
+	return v.b
+}
+
+// IsNumeric reports whether v is an INTEGER or FLOAT.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Truth reports whether v counts as true in a condition: a true BOOLEAN.
+// NULL and every non-boolean value count as not-true (SQL WHERE semantics).
+func (v Value) Truth() bool { return v.kind == KindBool && v.b }
+
+// String renders v for display: NULL, integers and floats in Go syntax,
+// strings raw, booleans as true/false.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return formatFloat(v.f)
+	case KindString:
+		return v.s
+	default:
+		return fmt.Sprintf("Value(kind=%d)", v.kind)
+	}
+}
+
+// SQL renders v as a SQL literal (strings quoted and escaped).
+func (v Value) SQL() string {
+	if v.kind == KindString {
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	}
+	return v.String()
+}
+
+func formatFloat(f float64) string {
+	if math.IsInf(f, 1) {
+		return "Infinity"
+	}
+	if math.IsInf(f, -1) {
+		return "-Infinity"
+	}
+	if math.IsNaN(f) {
+		return "NaN"
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Make sure a float is visually distinct from an integer.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// Encode appends a canonical, injective byte encoding of v to dst. Distinct
+// values always produce distinct encodings, so the encoding is suitable for
+// hash keys and world fingerprints. Integers that are exactly representable
+// as floats still encode differently from the equal float (encoding is by
+// kind + payload, not by comparison class); tuple-level equality uses
+// Compare, not Encode.
+func (v Value) Encode(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool:
+		if v.b {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case KindInt:
+		u := uint64(v.i)
+		for shift := 56; shift >= 0; shift -= 8 {
+			dst = append(dst, byte(u>>uint(shift)))
+		}
+	case KindFloat:
+		u := math.Float64bits(v.f)
+		for shift := 56; shift >= 0; shift -= 8 {
+			dst = append(dst, byte(u>>uint(shift)))
+		}
+	case KindString:
+		var n [4]byte
+		l := uint32(len(v.s))
+		n[0], n[1], n[2], n[3] = byte(l>>24), byte(l>>16), byte(l>>8), byte(l)
+		dst = append(dst, n[:]...)
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// Compare defines a deterministic total order over all values:
+// NULL < BOOL (false<true) < numeric (by numeric value, INT before FLOAT on
+// exact ties) < STRING (lexicographic). It returns -1, 0 or +1.
+//
+// Note that Compare(Int(1), Float(1)) != 0: the total order separates kinds
+// on ties so that fingerprints are stable. Use Equal for SQL equality, which
+// treats 1 = 1.0 as true.
+func Compare(a, b Value) int {
+	ca, cb := compareClass(a), compareClass(b)
+	if ca != cb {
+		return cmpInt(int(ca), int(cb))
+	}
+	switch ca {
+	case classNull:
+		return 0
+	case classBool:
+		return cmpBool(a.b, b.b)
+	case classNumeric:
+		if c := cmpFloat(a.AsFloat(), b.AsFloat()); c != 0 {
+			return c
+		}
+		// Exact numeric tie: order INT before FLOAT for determinism.
+		return cmpInt(int(a.kind), int(b.kind))
+	case classString:
+		return strings.Compare(a.s, b.s)
+	}
+	return 0
+}
+
+// Equal reports SQL equality: numerics compare by value (1 = 1.0), other
+// kinds require identical kind and payload. NULL equals nothing, not even
+// NULL (use IsNull explicitly); Equal(NULL, x) is always false.
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	if a.IsNumeric() && b.IsNumeric() {
+		return a.AsFloat() == b.AsFloat()
+	}
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindBool:
+		return a.b == b.b
+	case KindString:
+		return a.s == b.s
+	default:
+		return Compare(a, b) == 0
+	}
+}
+
+type compareClassKind uint8
+
+const (
+	classNull compareClassKind = iota
+	classBool
+	classNumeric
+	classString
+)
+
+func compareClass(v Value) compareClassKind {
+	switch v.kind {
+	case KindNull:
+		return classNull
+	case KindBool:
+		return classBool
+	case KindInt, KindFloat:
+		return classNumeric
+	default:
+		return classString
+	}
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Parse interprets a literal string as a Value: NULL, true/false, integer,
+// float, else string. Used by the CSV loader and the REPL.
+func Parse(s string) Value {
+	switch strings.ToUpper(s) {
+	case "NULL", "":
+		return Null()
+	case "TRUE":
+		return Bool(true)
+	case "FALSE":
+		return Bool(false)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return Float(f)
+	}
+	return Str(s)
+}

@@ -1,0 +1,419 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindNull:   "NULL",
+		KindBool:   "BOOLEAN",
+		KindInt:    "INTEGER",
+		KindFloat:  "FLOAT",
+		KindString: "TEXT",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind rendered as %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null() not null")
+	}
+	if Int(7).AsInt() != 7 {
+		t.Error("Int round trip failed")
+	}
+	if Float(2.5).AsFloat() != 2.5 {
+		t.Error("Float round trip failed")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("AsFloat should coerce INTEGER")
+	}
+	if Str("x").AsStr() != "x" {
+		t.Error("Str round trip failed")
+	}
+	if !Bool(true).AsBool() {
+		t.Error("Bool round trip failed")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value must be NULL")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"AsInt on string", func() { Str("a").AsInt() }},
+		{"AsStr on int", func() { Int(1).AsStr() }},
+		{"AsBool on null", func() { Null().AsBool() }},
+		{"AsFloat on string", func() { Str("a").AsFloat() }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.f()
+		})
+	}
+}
+
+func TestTruth(t *testing.T) {
+	if !Bool(true).Truth() {
+		t.Error("true should be truthy")
+	}
+	for _, v := range []Value{Bool(false), Null(), Int(1), Str("true"), Float(1)} {
+		if v.Truth() {
+			t.Errorf("%v should not be truthy", v)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "NULL"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Int(-42), "-42"},
+		{Float(2.5), "2.5"},
+		{Float(3), "3.0"},
+		{Float(math.Inf(1)), "Infinity"},
+		{Float(math.Inf(-1)), "-Infinity"},
+		{Float(math.NaN()), "NaN"},
+		{Str("hi"), "hi"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	if got := Str("o'brien").SQL(); got != "'o''brien'" {
+		t.Errorf("SQL quoting = %q", got)
+	}
+	if got := Int(5).SQL(); got != "5" {
+		t.Errorf("SQL int = %q", got)
+	}
+	if got := Null().SQL(); got != "NULL" {
+		t.Errorf("SQL null = %q", got)
+	}
+}
+
+func TestCompareTotalOrderClasses(t *testing.T) {
+	// NULL < BOOL < numeric < STRING
+	ordered := []Value{Null(), Bool(false), Bool(true), Int(-5), Int(0), Float(0.5), Int(1), Str(""), Str("a")}
+	for i := range ordered {
+		for j := range ordered {
+			got := Compare(ordered[i], ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareNumericTie(t *testing.T) {
+	if Compare(Int(1), Float(1)) >= 0 {
+		t.Error("INT should order before FLOAT on exact ties")
+	}
+	if Compare(Float(1), Int(1)) <= 0 {
+		t.Error("FLOAT should order after INT on exact ties")
+	}
+	if Compare(Int(2), Float(1.5)) <= 0 {
+		t.Error("2 should order after 1.5")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Float(1), true},
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Null(), Null(), false},
+		{Null(), Int(0), false},
+		{Str("1"), Int(1), false},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Int(int64(r.Intn(200) - 100))
+	case 3:
+		return Float(float64(r.Intn(200)-100) / 4)
+	default:
+		return Str(string(rune('a' + r.Intn(26))))
+	}
+}
+
+func TestCompareIsTotalOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		vals := make([]Value, 20)
+		for i := range vals {
+			vals[i] = randomValue(r)
+		}
+		sort.Slice(vals, func(i, j int) bool { return Compare(vals[i], vals[j]) < 0 })
+		for i := 0; i+1 < len(vals); i++ {
+			if Compare(vals[i], vals[i+1]) > 0 {
+				t.Fatalf("sort produced out-of-order pair %v, %v", vals[i], vals[i+1])
+			}
+		}
+		// Antisymmetry and reflexivity on random pairs.
+		a, b := vals[r.Intn(len(vals))], vals[r.Intn(len(vals))]
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("Compare not antisymmetric on %v, %v", a, b)
+		}
+		if Compare(a, a) != 0 {
+			t.Fatalf("Compare not reflexive on %v", a)
+		}
+	}
+}
+
+func TestEncodeInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	seen := map[string]Value{}
+	for i := 0; i < 2000; i++ {
+		v := randomValue(r)
+		key := string(v.Encode(nil))
+		if prev, ok := seen[key]; ok {
+			if Compare(prev, v) != 0 {
+				t.Fatalf("encoding collision: %v vs %v", prev, v)
+			}
+		}
+		seen[key] = v
+	}
+}
+
+func TestEncodeDistinguishesIntFloat(t *testing.T) {
+	a := string(Int(1).Encode(nil))
+	b := string(Float(1).Encode(nil))
+	if a == b {
+		t.Error("Int(1) and Float(1) must encode differently")
+	}
+}
+
+func TestEncodeStringLengthPrefix(t *testing.T) {
+	// "a" + "b" must not collide with "ab" + "" at the tuple level; the
+	// length prefix guarantees it.
+	ab := append(Str("a").Encode(nil), Str("b").Encode(nil)...)
+	ab2 := append(Str("ab").Encode(nil), Str("").Encode(nil)...)
+	if string(ab) == string(ab2) {
+		t.Error("string encoding must be length-prefixed")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"NULL", Null()},
+		{"null", Null()},
+		{"", Null()},
+		{"true", Bool(true)},
+		{"FALSE", Bool(false)},
+		{"42", Int(42)},
+		{"-7", Int(-7)},
+		{"2.5", Float(2.5)},
+		{"abc", Str("abc")},
+		{"12abc", Str("12abc")},
+	}
+	for _, c := range cases {
+		got := Parse(c.in)
+		if got.Kind() != c.want.Kind() || Compare(got, c.want) != 0 {
+			t.Errorf("Parse(%q) = %v (%s), want %v", c.in, got, got.Kind(), c.want)
+		}
+	}
+}
+
+func TestArithIntegers(t *testing.T) {
+	cases := []struct {
+		op   BinaryOp
+		a, b int64
+		want int64
+	}{
+		{OpAdd, 2, 3, 5},
+		{OpSub, 2, 3, -1},
+		{OpMul, 4, 3, 12},
+		{OpDiv, 7, 2, 3},
+		{OpMod, 7, 2, 1},
+	}
+	for _, c := range cases {
+		got, err := Arith(c.op, Int(c.a), Int(c.b))
+		if err != nil {
+			t.Fatalf("%d %s %d: %v", c.a, c.op, c.b, err)
+		}
+		if got.AsInt() != c.want {
+			t.Errorf("%d %s %d = %v, want %d", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArithFloatsAndPromotion(t *testing.T) {
+	got, err := Arith(OpDiv, Int(1), Float(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != KindFloat || got.AsFloat() != 0.25 {
+		t.Errorf("1/4.0 = %v, want 0.25", got)
+	}
+	got, err = Arith(OpAdd, Float(1.5), Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AsFloat() != 2.5 {
+		t.Errorf("1.5+1 = %v", got)
+	}
+}
+
+func TestArithNullPropagation(t *testing.T) {
+	for _, op := range []BinaryOp{OpAdd, OpSub, OpMul, OpDiv, OpMod} {
+		got, err := Arith(op, Null(), Int(1))
+		if err != nil || !got.IsNull() {
+			t.Errorf("NULL %s 1 = %v, %v; want NULL", op, got, err)
+		}
+		got, err = Arith(op, Int(1), Null())
+		if err != nil || !got.IsNull() {
+			t.Errorf("1 %s NULL = %v, %v; want NULL", op, got, err)
+		}
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	if _, err := Arith(OpDiv, Int(1), Int(0)); err == nil {
+		t.Error("integer division by zero must error")
+	}
+	if _, err := Arith(OpMod, Int(1), Int(0)); err == nil {
+		t.Error("integer modulo by zero must error")
+	}
+	if _, err := Arith(OpDiv, Float(1), Float(0)); err == nil {
+		t.Error("float division by zero must error")
+	}
+	if _, err := Arith(OpMod, Float(1), Float(2)); err == nil {
+		t.Error("float modulo must error")
+	}
+	if _, err := Arith(OpAdd, Str("a"), Int(1)); err == nil {
+		t.Error("string+int must error")
+	}
+	if _, err := Arith(OpMul, Bool(true), Int(1)); err == nil {
+		t.Error("bool*int must error")
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	got, err := Arith(OpAdd, Str("foo"), Str("bar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AsStr() != "foobar" {
+		t.Errorf("concat = %q", got.AsStr())
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, err := Neg(Int(5)); err != nil || v.AsInt() != -5 {
+		t.Errorf("Neg(5) = %v, %v", v, err)
+	}
+	if v, err := Neg(Float(2.5)); err != nil || v.AsFloat() != -2.5 {
+		t.Errorf("Neg(2.5) = %v, %v", v, err)
+	}
+	if v, err := Neg(Null()); err != nil || !v.IsNull() {
+		t.Errorf("Neg(NULL) = %v, %v", v, err)
+	}
+	if _, err := Neg(Str("a")); err == nil {
+		t.Error("Neg(string) must error")
+	}
+}
+
+func TestOperatorString(t *testing.T) {
+	want := map[BinaryOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), op.String(), s)
+		}
+	}
+}
+
+func TestQuickAddCommutes(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, err1 := Arith(OpAdd, Int(int64(a)), Int(int64(b)))
+		y, err2 := Arith(OpAdd, Int(int64(b)), Int(int64(a)))
+		return err1 == nil && err2 == nil && Compare(x, y) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEncodeRoundTripEquality(t *testing.T) {
+	f := func(a, b int64) bool {
+		ea := string(Int(a).Encode(nil))
+		eb := string(Int(b).Encode(nil))
+		return (ea == eb) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickParseIntRoundTrip(t *testing.T) {
+	f := func(a int64) bool {
+		v := Parse(Int(a).String())
+		return v.Kind() == KindInt && v.AsInt() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReflectZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !reflect.DeepEqual(v, Null()) {
+		t.Error("zero value and Null() must be identical")
+	}
+}

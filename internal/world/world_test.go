@@ -1,0 +1,123 @@
+package world
+
+import (
+	"strings"
+	"testing"
+
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func rel1(vals ...int) *relation.Relation {
+	r := relation.New(schema.New("X"))
+	for _, v := range vals {
+		r.MustAppend(tuple.New(value.Int(int64(v))))
+	}
+	return r
+}
+
+func TestPutLookupCaseInsensitive(t *testing.T) {
+	w := New("w1")
+	w.Put("MyRel", rel1(1))
+	got, err := w.Lookup("myrel")
+	if err != nil || got.Len() != 1 {
+		t.Fatalf("Lookup = %v, %v", got, err)
+	}
+	if !w.Has("MYREL") {
+		t.Error("Has should be case-insensitive")
+	}
+	if _, err := w.Lookup("other"); err == nil {
+		t.Error("missing relation must error")
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	w := New("w1")
+	w.Put("R", rel1(1))
+	w.Put("r", rel1(1, 2))
+	got, _ := w.Lookup("R")
+	if got.Len() != 2 {
+		t.Error("Put should replace")
+	}
+	if w.Len() != 1 {
+		t.Errorf("Len = %d", w.Len())
+	}
+	// Display name keeps the first spelling.
+	if w.Names()[0] != "R" {
+		t.Errorf("Names = %v", w.Names())
+	}
+}
+
+func TestDrop(t *testing.T) {
+	w := New("w1")
+	w.Put("R", rel1(1))
+	if !w.Drop("r") {
+		t.Error("Drop should report success")
+	}
+	if w.Drop("r") {
+		t.Error("second Drop should report false")
+	}
+	if w.Has("R") {
+		t.Error("relation not dropped")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	w := New("w1")
+	w.Prob = 0.5
+	w.Put("R", rel1(1))
+	c := w.Clone("w1.1")
+	c.Put("S", rel1(2))
+	c.Drop("R")
+	if !w.Has("R") || w.Has("S") {
+		t.Error("Clone must not share maps")
+	}
+	if c.Prob != 0.5 || c.Name != "w1.1" {
+		t.Errorf("clone meta = %v %v", c.Prob, c.Name)
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := New("a")
+	a.Put("R", rel1(1, 2))
+	a.Put("S", rel1(3))
+	b := New("b")
+	b.Prob = 0.7 // prob and name must not matter
+	b.Put("S", rel1(3))
+	b.Put("R", rel1(2, 1))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("equal contents must produce equal fingerprints")
+	}
+	b.Put("R", rel1(1))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("different contents must differ")
+	}
+	// Same tuples under a different relation name is a different world.
+	c := New("c")
+	c.Put("R2", rel1(1, 2))
+	c.Put("S", rel1(3))
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("relation names must be part of the fingerprint")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	w := New("w")
+	w.Put("Zeta", rel1(1))
+	w.Put("Alpha", rel1(2))
+	names := w.Names()
+	if names[0] != "Alpha" || names[1] != "Zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestString(t *testing.T) {
+	w := New("w9")
+	w.Put("R", rel1(42))
+	s := w.String()
+	if !strings.Contains(s, "w9") || !strings.Contains(s, "42") || !strings.Contains(s, "R") {
+		t.Errorf("rendering = %q", s)
+	}
+}

@@ -1,0 +1,271 @@
+// Package worldset implements explicitly enumerated world-sets and the
+// cross-world operations of I-SQL: probability normalization, the
+// possible / certain closures, tuple confidence, and grouping of worlds by
+// query-answer fingerprints (GROUP WORLDS BY).
+//
+// This is the reference (naive) representation: every world is materialized.
+// internal/wsd provides the compact world-set decomposition with the same
+// semantics for exponentially large sets.
+package worldset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+	"maybms/internal/world"
+)
+
+// Errors reported by world-set operations.
+var (
+	ErrEmpty       = errors.New("operation would leave an empty world-set")
+	ErrNotWeighted = errors.New("operation requires a probabilistic (weighted) world-set")
+)
+
+// ProbEps is the tolerance used when checking that probabilities sum to 1.
+const ProbEps = 1e-9
+
+// Set is an explicitly enumerated world-set. In a weighted set every world
+// carries a probability and the probabilities sum to 1; in an unweighted
+// set probabilities are absent (the paper's Example 2.3 world-set).
+type Set struct {
+	Weighted bool
+	Worlds   []*world.World
+}
+
+// New returns a world-set containing a single empty world named "w1". The
+// set is weighted iff weighted is true (the single world then has
+// probability 1).
+func New(weighted bool) *Set {
+	w := world.New("w1")
+	if weighted {
+		w.Prob = 1
+	}
+	return &Set{Weighted: weighted, Worlds: []*world.World{w}}
+}
+
+// Len returns the number of worlds.
+func (s *Set) Len() int { return len(s.Worlds) }
+
+// Clone deep-copies the set structure (worlds are cloned; relations are
+// shared, as they are immutable).
+func (s *Set) Clone() *Set {
+	out := &Set{Weighted: s.Weighted, Worlds: make([]*world.World, len(s.Worlds))}
+	for i, w := range s.Worlds {
+		out.Worlds[i] = w.Clone(w.Name)
+	}
+	return out
+}
+
+// Replace substitutes the world list, renormalizing when weighted. It
+// refuses to leave the set empty.
+func (s *Set) Replace(worlds []*world.World) error {
+	if len(worlds) == 0 {
+		return ErrEmpty
+	}
+	s.Worlds = worlds
+	if s.Weighted {
+		return s.Normalize()
+	}
+	return nil
+}
+
+// Normalize rescales probabilities to sum to 1 (Example 2.5's uniform
+// renormalization after assert).
+func (s *Set) Normalize() error {
+	if !s.Weighted {
+		return ErrNotWeighted
+	}
+	total := 0.0
+	for _, w := range s.Worlds {
+		if w.Prob < 0 {
+			return fmt.Errorf("world %s has negative probability %g", w.Name, w.Prob)
+		}
+		total += w.Prob
+	}
+	if total <= 0 {
+		return fmt.Errorf("cannot normalize: total probability is %g", total)
+	}
+	for _, w := range s.Worlds {
+		w.Prob /= total
+	}
+	return nil
+}
+
+// CheckInvariant validates the set: non-empty, and (when weighted)
+// probabilities in [0,1] summing to 1 within ProbEps.
+func (s *Set) CheckInvariant() error {
+	if len(s.Worlds) == 0 {
+		return ErrEmpty
+	}
+	if !s.Weighted {
+		return nil
+	}
+	total := 0.0
+	for _, w := range s.Worlds {
+		if w.Prob < -ProbEps || w.Prob > 1+ProbEps {
+			return fmt.Errorf("world %s probability %g out of range", w.Name, w.Prob)
+		}
+		total += w.Prob
+	}
+	if math.Abs(total-1) > ProbEps {
+		return fmt.Errorf("probabilities sum to %g, want 1", total)
+	}
+	return nil
+}
+
+// requireSameArity checks that per-world results can be combined.
+func requireSameArity(results []*relation.Relation) error {
+	if len(results) == 0 {
+		return errors.New("no per-world results")
+	}
+	arity := results[0].Schema.Len()
+	for _, r := range results[1:] {
+		if r.Schema.Len() != arity {
+			return fmt.Errorf("per-world results have mixed arity %d vs %d", arity, r.Schema.Len())
+		}
+	}
+	return nil
+}
+
+// Possible computes the POSSIBLE closure over per-world answers: the
+// deduplicated union. results[i] must be the answer in world i of the
+// group being closed.
+func Possible(results []*relation.Relation) (*relation.Relation, error) {
+	if err := requireSameArity(results); err != nil {
+		return nil, err
+	}
+	out := relation.New(results[0].Schema)
+	for _, r := range results {
+		out.Tuples = append(out.Tuples, r.Tuples...)
+	}
+	return out.Distinct(), nil
+}
+
+// Certain computes the CERTAIN closure: tuples present in every per-world
+// answer.
+func Certain(results []*relation.Relation) (*relation.Relation, error) {
+	if err := requireSameArity(results); err != nil {
+		return nil, err
+	}
+	out := results[0].Distinct()
+	for _, r := range results[1:] {
+		out = relation.Intersect(out, r)
+		if out.Empty() {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Conf computes tuple confidences: for every distinct tuple appearing in
+// some per-world answer, the sum of probabilities of the worlds whose
+// answer contains it. probs[i] is the probability of world i. The result
+// extends the answer schema with a trailing "conf" column.
+func Conf(results []*relation.Relation, probs []float64) (*relation.Relation, error) {
+	if err := requireSameArity(results); err != nil {
+		return nil, err
+	}
+	if len(results) != len(probs) {
+		return nil, fmt.Errorf("got %d results for %d probabilities", len(results), len(probs))
+	}
+	type entry struct {
+		t    tuple.Tuple
+		conf float64
+	}
+	var order []string
+	acc := map[string]*entry{}
+	for i, r := range results {
+		for _, t := range r.Distinct().Tuples {
+			k := t.Key()
+			e, ok := acc[k]
+			if !ok {
+				e = &entry{t: t}
+				acc[k] = e
+				order = append(order, k)
+			}
+			e.conf += probs[i]
+		}
+	}
+	outSchema := results[0].Schema.Concat(schema.New("conf"))
+	out := relation.New(outSchema)
+	for _, k := range order {
+		e := acc[k]
+		if e.conf > 1 {
+			e.conf = 1 // clamp float accumulation noise
+		}
+		out.Tuples = append(out.Tuples, append(e.t.Clone(), value.Float(e.conf)))
+	}
+	return out, nil
+}
+
+// Group partitions world indexes by fingerprint key: worlds with equal keys
+// form one group. Groups are returned in first-appearance order.
+func Group(keys []uint64) [][]int {
+	var order []uint64
+	groups := map[uint64][]int{}
+	for i, k := range keys {
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	out := make([][]int, len(order))
+	for i, k := range order {
+		out[i] = groups[k]
+	}
+	return out
+}
+
+// Coalesce merges indistinguishable worlds (equal database fingerprints):
+// one representative remains per distinct instance, carrying the summed
+// probability. Queries cannot distinguish coalesced from uncoalesced
+// world-sets — per-world answers of equal worlds are equal, so possible,
+// certain, conf and group-worlds-by all agree — but the set can be
+// exponentially smaller after asserts or projections collapse choices. It
+// returns the number of worlds removed.
+func (s *Set) Coalesce() int {
+	byFp := map[uint64]*world.World{}
+	var kept []*world.World
+	for _, w := range s.Worlds {
+		fp := w.Fingerprint()
+		if rep, ok := byFp[fp]; ok {
+			rep.Prob += w.Prob
+			continue
+		}
+		byFp[fp] = w
+		kept = append(kept, w)
+	}
+	removed := len(s.Worlds) - len(kept)
+	s.Worlds = kept
+	return removed
+}
+
+// TotalProb returns the sum of probabilities of the worlds at the given
+// indexes.
+func (s *Set) TotalProb(indexes []int) float64 {
+	total := 0.0
+	for _, i := range indexes {
+		total += s.Worlds[i].Prob
+	}
+	return total
+}
+
+// String renders every world, in order.
+func (s *Set) String() string {
+	out := ""
+	for i, w := range s.Worlds {
+		if i > 0 {
+			out += "\n"
+		}
+		if s.Weighted {
+			out += fmt.Sprintf("P(%s) = %.4f\n", w.Name, w.Prob)
+		}
+		out += w.String()
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package wsd
+
+// equivalence_test.go checks that the compact WSD engine and the naive
+// enumerating engine (internal/core) agree: same worlds, same
+// probabilities, same confidences — on the paper's data and on randomized
+// inputs.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/core"
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+)
+
+type worldView struct {
+	key  string
+	prob float64
+}
+
+func naiveViews(t *testing.T, s *core.Session, rel string) []worldView {
+	t.Helper()
+	out := make([]worldView, 0, s.WorldCount())
+	for _, w := range s.Set().Worlds {
+		r, err := w.Lookup(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, worldView{key: fmt.Sprintf("%x", r.Fingerprint()), prob: w.Prob})
+	}
+	return out
+}
+
+func wsdViews(t *testing.T, d *WSD, rel string) []worldView {
+	t.Helper()
+	set, err := d.Expand(1 << 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]worldView, 0, set.Len())
+	for _, w := range set.Worlds {
+		r, err := w.Lookup(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, worldView{key: fmt.Sprintf("%x", r.Fingerprint()), prob: w.Prob})
+	}
+	return out
+}
+
+// matchViews verifies the two world multisets agree, including
+// probabilities (matching greedily by fingerprint).
+func matchViews(t *testing.T, a, b []worldView) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("world counts differ: %d vs %d", len(a), len(b))
+	}
+	used := make([]bool, len(b))
+	for _, av := range a {
+		found := false
+		for j, bv := range b {
+			if !used[j] && av.key == bv.key && math.Abs(av.prob-bv.prob) < 1e-9 {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no matching world for fingerprint %s (p=%g)", av.key, av.prob)
+		}
+	}
+}
+
+// randomKeyedRelation builds a relation with nGroups key groups of sizes
+// 1..maxPerGroup and random positive weights.
+func randomKeyedRelation(r *rand.Rand, nGroups, maxPerGroup int) *relation.Relation {
+	rel := relation.New(schema.New("K", "V", "W"))
+	for k := 0; k < nGroups; k++ {
+		size := 1 + r.Intn(maxPerGroup)
+		for v := 0; v < size; v++ {
+			rel.MustAppend(row(k, v, 1+r.Intn(9)))
+		}
+	}
+	return rel
+}
+
+func TestRepairEquivalenceOnFigure2(t *testing.T) {
+	// Naive engine.
+	s := core.NewSession(true)
+	if err := s.Register("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table I as select A, B, C, D from R repair by key A weight D"); err != nil {
+		t.Fatal(err)
+	}
+	// WSD engine.
+	d := newFigure2WSD(t)
+
+	matchViews(t, naiveViews(t, s, "I"), wsdViews(t, d, "I"))
+}
+
+func TestRepairEquivalenceRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		rel := randomKeyedRelation(r, 1+r.Intn(4), 3)
+		weight := ""
+		if r.Intn(2) == 0 {
+			weight = "W"
+		}
+
+		s := core.NewSession(true)
+		if err := s.Register("R", rel); err != nil {
+			t.Fatal(err)
+		}
+		q := "create table I as select K, V, W from R repair by key K"
+		if weight != "" {
+			q += " weight W"
+		}
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+
+		d := New(true)
+		if err := d.PutCertain("R", rel); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RepairByKey("R", "I", []string{"K"}, weight); err != nil {
+			t.Fatal(err)
+		}
+
+		matchViews(t, naiveViews(t, s, "I"), wsdViews(t, d, "I"))
+
+		// Tuple confidences agree with the naive conf query.
+		res, err := s.Exec("select K, V, W, conf from I")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range res.Groups[0].Rel.Tuples {
+			base := tp[:3]
+			want := tp[3].AsFloat()
+			got, err := d.Conf("I", base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: conf(%v) = %g (WSD) vs %g (naive)", trial, base, got, want)
+			}
+		}
+	}
+}
+
+func TestChoiceEquivalenceRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 25; trial++ {
+		rel := randomKeyedRelation(r, 2+r.Intn(3), 3)
+		weight := ""
+		if r.Intn(2) == 0 {
+			weight = "W"
+		}
+
+		s := core.NewSession(true)
+		if err := s.Register("R", rel); err != nil {
+			t.Fatal(err)
+		}
+		q := "create table P as select K, V, W from R choice of K"
+		if weight != "" {
+			q += " weight W"
+		}
+		if _, err := s.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+
+		d := New(true)
+		if err := d.PutCertain("R", rel); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.ChoiceOf("R", "P", []string{"K"}, weight); err != nil {
+			t.Fatal(err)
+		}
+
+		matchViews(t, naiveViews(t, s, "P"), wsdViews(t, d, "P"))
+	}
+}
+
+func TestAssertEquivalenceRandomized(t *testing.T) {
+	// Assert "no tuple with V = 0 and K = 0 in I" on both engines.
+	r := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 15; trial++ {
+		rel := randomKeyedRelation(r, 2+r.Intn(2), 3)
+
+		s := core.NewSession(true)
+		if err := s.Register("R", rel); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Exec("create table I as select K, V, W from R repair by key K"); err != nil {
+			t.Fatal(err)
+		}
+		_, naiveErr := s.Exec(`create table J as select * from I
+			assert not exists (select * from I where K = 0 and V = 0)`)
+
+		d := New(true)
+		if err := d.PutCertain("R", rel); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+			t.Fatal(err)
+		}
+		wsdErr := d.Assert([]string{"I"}, func(cat plan.Catalog) (bool, error) {
+			i, err := cat.Lookup("I")
+			if err != nil {
+				return false, err
+			}
+			for _, tp := range i.Tuples {
+				if tp[0].AsInt() == 0 && tp[1].AsInt() == 0 {
+					return false, nil
+				}
+			}
+			return true, nil
+		})
+
+		if (naiveErr == nil) != (wsdErr == nil) {
+			t.Fatalf("trial %d: engines disagree on emptiness: naive=%v wsd=%v", trial, naiveErr, wsdErr)
+		}
+		if naiveErr != nil {
+			continue // both dropped every world
+		}
+		matchViews(t, naiveViews(t, s, "I"), wsdViews(t, d, "I"))
+	}
+}

@@ -1,0 +1,71 @@
+package wsd
+
+import (
+	"fmt"
+	"math/big"
+
+	"maybms/internal/relation"
+	"maybms/internal/world"
+	"maybms/internal/worldset"
+)
+
+// Expand enumerates the represented world-set explicitly, for equivalence
+// testing against the naive engine and for inspecting small WSDs. It
+// refuses to expand beyond limit worlds (pass 0 for the default 1<<16).
+func (d *WSD) Expand(limit int) (*worldset.Set, error) {
+	if limit <= 0 {
+		limit = DefaultMergeLimit
+	}
+	count := d.WorldCount()
+	if count.Cmp(big.NewInt(int64(limit))) > 0 {
+		return nil, fmt.Errorf("cannot expand %s worlds (limit %d): %w", count, limit, ErrMergeTooBig)
+	}
+	n := int(count.Int64())
+
+	set := &worldset.Set{Weighted: d.Weighted}
+	choice := make([]int, len(d.comps))
+	for wi := 0; wi < n; wi++ {
+		w := world.New(fmt.Sprintf("w%d", wi+1))
+		if d.Weighted {
+			w.Prob = 1
+		}
+		// Start from the certain part.
+		perRel := map[string]*relation.Relation{}
+		for k, sch := range d.schemas {
+			rel := relation.New(sch)
+			if cert, ok := d.certain[k]; ok {
+				rel.Tuples = append(rel.Tuples, cert.Tuples...)
+			}
+			perRel[k] = rel
+		}
+		for ci, c := range d.comps {
+			a := c.Alts[choice[ci]]
+			if d.Weighted {
+				w.Prob *= a.Prob
+			}
+			for name, ts := range a.Tuples {
+				perRel[name].Tuples = append(perRel[name].Tuples, ts...)
+			}
+		}
+		for k, rel := range perRel {
+			w.Put(d.names[k], rel)
+		}
+		set.Worlds = append(set.Worlds, w)
+
+		// Odometer.
+		for i := len(choice) - 1; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(d.comps[i].Alts) {
+				break
+			}
+			choice[i] = 0
+		}
+	}
+	if len(set.Worlds) == 0 {
+		set.Worlds = append(set.Worlds, world.New("w1"))
+		if d.Weighted {
+			set.Worlds[0].Prob = 1
+		}
+	}
+	return set, nil
+}

@@ -1,0 +1,204 @@
+package wsd
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/tuple"
+)
+
+// involvedComponents returns the indexes (into d.comps) of the components
+// contributing to any of the given relation names.
+func (d *WSD) involvedComponents(names []string) []int {
+	want := map[string]bool{}
+	for _, n := range names {
+		want[key(n)] = true
+	}
+	var out []int
+	for i, c := range d.comps {
+		for rel := range c.relations() {
+			if want[rel] {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// mergeComponents replaces the components at the given indexes with their
+// product: one alternative per combination, with multiplied probabilities
+// and unioned contributions. This is the *partial expansion* at the heart
+// of WSD query processing — bounded by MergeLimit, never the full world
+// count. It returns the merged component (nil when idx is empty).
+func (d *WSD) mergeComponents(idx []int) (*Component, error) {
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	if len(idx) == 1 {
+		return d.comps[idx[0]], nil
+	}
+	sort.Ints(idx)
+	size := 1
+	for _, i := range idx {
+		n := len(d.comps[i].Alts)
+		if size > d.MergeLimit/n {
+			return nil, fmt.Errorf("%w: product of %d components exceeds %d alternatives", ErrMergeTooBig, len(idx), d.MergeLimit)
+		}
+		size *= n
+	}
+
+	merged := []Alternative{{Prob: oneIfWeighted(d.Weighted), Tuples: map[string][]tuple.Tuple{}}}
+	for _, ci := range idx {
+		c := d.comps[ci]
+		next := make([]Alternative, 0, len(merged)*len(c.Alts))
+		for _, base := range merged {
+			for _, a := range c.Alts {
+				na := Alternative{Prob: base.Prob, Tuples: map[string][]tuple.Tuple{}}
+				if d.Weighted {
+					na.Prob = base.Prob * a.Prob
+				}
+				for name, ts := range base.Tuples {
+					na.Tuples[name] = append([]tuple.Tuple(nil), ts...)
+				}
+				for name, ts := range a.Tuples {
+					na.Tuples[name] = append(na.Tuples[name], ts...)
+				}
+				next = append(next, na)
+			}
+		}
+		merged = next
+	}
+
+	// Remove the merged-in components (descending index order) and append
+	// the product.
+	for i := len(idx) - 1; i >= 0; i-- {
+		d.comps = append(d.comps[:idx[i]], d.comps[idx[i]+1:]...)
+	}
+	out := &Component{ID: d.nextID, Alts: merged}
+	d.nextID++
+	d.comps = append(d.comps, out)
+	return out, nil
+}
+
+func oneIfWeighted(weighted bool) float64 {
+	if weighted {
+		return 1
+	}
+	return 0
+}
+
+// altCatalog exposes one alternative of a component over the certain part
+// as a plan.Catalog: Lookup(name) returns certain tuples plus the
+// alternative's contributions. Relations contributed exclusively by OTHER
+// components are not visible — callers must list every uncertain relation
+// they touch so those components get merged first.
+type altCatalog struct {
+	d   *WSD
+	alt *Alternative // nil when no components are involved
+}
+
+// Lookup implements plan.Catalog.
+func (ac altCatalog) Lookup(name string) (*relation.Relation, error) {
+	k := key(name)
+	sch, ok := ac.d.schemas[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	out := relation.New(sch)
+	if cert, ok := ac.d.certain[k]; ok {
+		out.Tuples = append(out.Tuples, cert.Tuples...)
+	}
+	if ac.alt != nil {
+		out.Tuples = append(out.Tuples, ac.alt.Tuples[k]...)
+	}
+	return out, nil
+}
+
+var _ plan.Catalog = altCatalog{}
+
+// Assert keeps only the worlds satisfying pred and renormalizes. touching
+// must list every uncertain relation pred reads; the involved components
+// are merged (partial expansion) and filtered locally — thanks to
+// independence, renormalizing within the merged component renormalizes the
+// whole world-set (Example 2.5 semantics at WSD scale).
+func (d *WSD) Assert(touching []string, pred func(cat plan.Catalog) (bool, error)) error {
+	merged, err := d.mergeComponents(d.involvedComponents(touching))
+	if err != nil {
+		return err
+	}
+	if merged == nil {
+		// Pure certain condition: either all worlds survive or none.
+		ok, err := pred(altCatalog{d: d})
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return ErrEmpty
+		}
+		return nil
+	}
+	var kept []Alternative
+	total := 0.0
+	for _, a := range merged.Alts {
+		alt := a
+		ok, err := pred(altCatalog{d: d, alt: &alt})
+		if err != nil {
+			return err
+		}
+		if ok {
+			kept = append(kept, a)
+			total += a.Prob
+		}
+	}
+	if len(kept) == 0 {
+		return ErrEmpty
+	}
+	if d.Weighted {
+		if total <= 0 {
+			return fmt.Errorf("assert left zero total probability")
+		}
+		for i := range kept {
+			kept[i].Prob /= total
+		}
+	}
+	merged.Alts = kept
+	return nil
+}
+
+// Materialize evaluates query per world and stores its answer as relation
+// dst. touching must list every uncertain relation the query reads. Only
+// the involved components are merged and evaluated — one evaluation per
+// alternative of the merged component (or a single evaluation when the
+// query touches only certain relations).
+func (d *WSD) Materialize(dst string, touching []string, query func(cat plan.Catalog) (*relation.Relation, error)) error {
+	merged, err := d.mergeComponents(d.involvedComponents(touching))
+	if err != nil {
+		return err
+	}
+	if merged == nil {
+		res, err := query(altCatalog{d: d})
+		if err != nil {
+			return err
+		}
+		return d.PutCertain(dst, res.WithSchema(res.Schema.Unqualify()))
+	}
+	k := key(dst)
+	results := make([]*relation.Relation, len(merged.Alts))
+	for i := range merged.Alts {
+		res, err := query(altCatalog{d: d, alt: &merged.Alts[i]})
+		if err != nil {
+			return err
+		}
+		results[i] = res
+	}
+	if err := d.registerUncertain(dst, results[0].Schema); err != nil {
+		return err
+	}
+	for i := range merged.Alts {
+		merged.Alts[i].Tuples[k] = results[i].Tuples
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package wsd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"testing"
+
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+)
+
+func TestInvolvedComponents(t *testing.T) {
+	d := newFigure2WSD(t)
+	if got := d.involvedComponents([]string{"I"}); len(got) != 3 {
+		t.Errorf("I involves %d components, want 3", len(got))
+	}
+	if got := d.involvedComponents([]string{"R"}); len(got) != 0 {
+		t.Errorf("R involves %d components, want 0 (certain)", len(got))
+	}
+	if got := d.involvedComponents([]string{"nope"}); len(got) != 0 {
+		t.Errorf("unknown relation involves %d components", len(got))
+	}
+}
+
+func TestMergeSingleComponentIsNoop(t *testing.T) {
+	d := newFigure2WSD(t)
+	before := d.ComponentCount()
+	c, err := d.mergeComponents([]int{1})
+	if err != nil || c == nil {
+		t.Fatalf("merge single = %v, %v", c, err)
+	}
+	if d.ComponentCount() != before {
+		t.Error("single-component merge must not restructure")
+	}
+	none, err := d.mergeComponents(nil)
+	if err != nil || none != nil {
+		t.Errorf("empty merge = %v, %v", none, err)
+	}
+}
+
+func TestMergeProductProbabilities(t *testing.T) {
+	d := newFigure2WSD(t)
+	merged, err := d.mergeComponents([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Alts) != 4 {
+		t.Fatalf("merged alternatives = %d, want 4", len(merged.Alts))
+	}
+	total := 0.0
+	for _, a := range merged.Alts {
+		total += a.Prob
+		// Each merged alternative contributes one full repair (3 tuples).
+		if len(a.Tuples["i"]) != 3 {
+			t.Errorf("merged alt has %d I tuples", len(a.Tuples["i"]))
+		}
+	}
+	if math.Abs(total-1) > eps {
+		t.Errorf("merged probs sum to %g", total)
+	}
+	if d.ComponentCount() != 1 {
+		t.Errorf("components after merge = %d", d.ComponentCount())
+	}
+	// World count is preserved by merging.
+	if d.WorldCount().Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("world count after merge = %s", d.WorldCount())
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAltCatalogLookup(t *testing.T) {
+	d := newFigure2WSD(t)
+	cat := altCatalog{d: d}
+	r, err := cat.Lookup("R")
+	if err != nil || r.Len() != 5 {
+		t.Errorf("certain lookup = %v, %v", r, err)
+	}
+	// Without an alternative, an uncertain relation shows only its
+	// certain part (empty here).
+	i, err := cat.Lookup("I")
+	if err != nil || i.Len() != 0 {
+		t.Errorf("uncertain lookup without alt = %v, %v", i, err)
+	}
+	if _, err := cat.Lookup("nope"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown lookup = %v", err)
+	}
+}
+
+func TestAssertPredicateErrorPropagates(t *testing.T) {
+	d := newFigure2WSD(t)
+	boom := errors.New("boom")
+	err := d.Assert([]string{"I"}, func(plan.Catalog) (bool, error) { return false, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("assert error = %v", err)
+	}
+	d2 := New(true)
+	if err := d2.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	err = d2.Assert([]string{"R"}, func(plan.Catalog) (bool, error) { return false, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("certain assert error = %v", err)
+	}
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	d := newFigure2WSD(t)
+	boom := errors.New("boom")
+	err := d.Materialize("X", []string{"I"}, func(plan.Catalog) (*relation.Relation, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("materialize error = %v", err)
+	}
+	// Name collision.
+	err = d.Materialize("I", []string{"I"}, func(cat plan.Catalog) (*relation.Relation, error) {
+		return relation.New(schema.New("X")), nil
+	})
+	if !errors.Is(err, ErrExists) {
+		t.Errorf("materialize collision = %v", err)
+	}
+	// Certain-path collision.
+	d2 := New(true)
+	if err := d2.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	err = d2.Materialize("R", []string{"R"}, func(cat plan.Catalog) (*relation.Relation, error) {
+		return relation.New(schema.New("X")), nil
+	})
+	if !errors.Is(err, ErrExists) {
+		t.Errorf("certain materialize collision = %v", err)
+	}
+}
+
+func TestMaterializeThenConfPipeline(t *testing.T) {
+	// End-to-end compact pipeline: repair → per-world SQL materialize →
+	// confidence of derived tuples, validated against hand computation.
+	d := newFigure2WSD(t)
+	err := d.Materialize("HighB", []string{"I"}, func(cat plan.Catalog) (*relation.Relation, error) {
+		i, err := cat.Lookup("I")
+		if err != nil {
+			return nil, err
+		}
+		out := relation.New(i.Schema)
+		for _, tp := range i.Tuples {
+			if tp[1].AsInt() >= 15 {
+				out.Tuples = append(out.Tuples, tp)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (a1,15,c2,6) is in HighB iff a1's repair chose B=15: conf 0.75.
+	c, err := d.Conf("HighB", row("a1", 15, "c2", 6))
+	if err != nil || math.Abs(c-0.75) > eps {
+		t.Errorf("derived conf = %v, %v", c, err)
+	}
+	// (a3,20,c5,6) is always there.
+	c, err = d.Conf("HighB", row("a3", 20, "c5", 6))
+	if err != nil || math.Abs(c-1) > eps {
+		t.Errorf("derived certain conf = %v, %v", c, err)
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckInvariantFailures(t *testing.T) {
+	d := newFigure2WSD(t)
+	// Corrupt a probability.
+	d.comps[0].Alts[0].Prob = 0.9
+	if err := d.CheckInvariant(); err == nil {
+		t.Error("corrupted probabilities must fail the invariant")
+	}
+	d2 := newFigure2WSD(t)
+	d2.comps[0].Alts = nil
+	if err := d2.CheckInvariant(); err == nil {
+		t.Error("empty component must fail the invariant")
+	}
+	d3 := newFigure2WSD(t)
+	d3.comps[0].Alts[0].Tuples["ghost"] = d3.comps[0].Alts[0].Tuples["i"]
+	if err := d3.CheckInvariant(); err == nil {
+		t.Error("contribution to unknown relation must fail the invariant")
+	}
+	d4 := newFigure2WSD(t)
+	d4.comps[0].Alts[0].Tuples["i"] = append(d4.comps[0].Alts[0].Tuples["i"], row("too", 1))
+	if err := d4.CheckInvariant(); err == nil {
+		t.Error("width mismatch must fail the invariant")
+	}
+}
+
+func TestExpandWithNoComponents(t *testing.T) {
+	d := New(true)
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	set, err := d.Expand(0)
+	if err != nil || set.Len() != 1 {
+		t.Fatalf("expand = %v, %v", set, err)
+	}
+	r, err := set.Worlds[0].Lookup("R")
+	if err != nil || r.Len() != 5 {
+		t.Errorf("expanded certain relation = %v, %v", r, err)
+	}
+	if math.Abs(set.Worlds[0].Prob-1) > eps {
+		t.Errorf("single world prob = %g", set.Worlds[0].Prob)
+	}
+}
+
+func TestAddComponentValidation(t *testing.T) {
+	d := New(true)
+	if _, err := d.addComponent(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty component = %v", err)
+	}
+	if _, err := d.addComponent([]Alternative{{Prob: 0.5}}); err == nil {
+		t.Error("probs not summing to 1 must fail")
+	}
+	if _, err := d.addComponent([]Alternative{{Prob: -1}, {Prob: 2}}); err == nil {
+		t.Error("negative prob must fail")
+	}
+}
+
+func TestUnweightedExpandAndPossible(t *testing.T) {
+	d := New(false)
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"A"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	set, err := d.Expand(0)
+	if err != nil || set.Len() != 4 || set.Weighted {
+		t.Fatalf("unweighted expand = %v, %v", set, err)
+	}
+	poss, err := d.Possible("I")
+	if err != nil || poss.Len() != 5 {
+		t.Errorf("possible = %v, %v", poss, err)
+	}
+	_ = fmt.Sprintf("%s", d) // String smoke
+}

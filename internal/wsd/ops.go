@@ -1,0 +1,356 @@
+package wsd
+
+import (
+	"fmt"
+
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func confSchema() *schema.Schema { return schema.New("conf") }
+
+// RepairByKey creates relation dst holding, in each world, one repair of
+// the certain relation src under the key columns: the world-set gains one
+// component per key group with one alternative per candidate tuple —
+// linear representation size for Π(group sizes) worlds.
+//
+// weight names a positive numeric column used for in-group probabilities
+// (w(t)/Σ_group w, Example 2.4); empty means uniform. Weights require a
+// weighted WSD.
+func (d *WSD) RepairByKey(src, dst string, keyCols []string, weight string) error {
+	rel, sch, err := d.certainRelation(src)
+	if err != nil {
+		return err
+	}
+	keyIdx, err := sch.IndexesOf(keyCols)
+	if err != nil {
+		return err
+	}
+	weightIdx := -1
+	if weight != "" {
+		if !d.Weighted {
+			return ErrNotWeighted
+		}
+		weightIdx, err = sch.Resolve("", weight)
+		if err != nil {
+			return err
+		}
+	}
+	if err := d.registerUncertain(dst, sch); err != nil {
+		return err
+	}
+	k := key(dst)
+	order, groups := rel.GroupBy(keyIdx)
+	for _, gk := range order {
+		tuples := groups[gk]
+		alts := make([]Alternative, len(tuples))
+		var probs []float64
+		if d.Weighted {
+			probs = make([]float64, len(tuples))
+			if weightIdx >= 0 {
+				sum := 0.0
+				for _, t := range tuples {
+					w, err := positiveWeight(t[weightIdx])
+					if err != nil {
+						d.unregister(dst)
+						return err
+					}
+					sum += w
+				}
+				for i, t := range tuples {
+					w, _ := positiveWeight(t[weightIdx])
+					probs[i] = w / sum
+				}
+			} else {
+				for i := range tuples {
+					probs[i] = 1 / float64(len(tuples))
+				}
+			}
+		}
+		for i, t := range tuples {
+			alt := Alternative{Tuples: map[string][]tuple.Tuple{k: {t}}}
+			if d.Weighted {
+				alt.Prob = probs[i]
+			}
+			alts[i] = alt
+		}
+		if _, err := d.addComponent(alts); err != nil {
+			d.unregister(dst)
+			return err
+		}
+	}
+	return nil
+}
+
+// ChoiceOf creates relation dst holding, in each world, one partition of
+// the certain relation src by the given attribute columns: a single new
+// component with one alternative per distinct value (Examples 2.6–2.7).
+func (d *WSD) ChoiceOf(src, dst string, attrs []string, weight string) error {
+	rel, sch, err := d.certainRelation(src)
+	if err != nil {
+		return err
+	}
+	attrIdx, err := sch.IndexesOf(attrs)
+	if err != nil {
+		return err
+	}
+	weightIdx := -1
+	if weight != "" {
+		if !d.Weighted {
+			return ErrNotWeighted
+		}
+		weightIdx, err = sch.Resolve("", weight)
+		if err != nil {
+			return err
+		}
+	}
+	order, groups := rel.GroupBy(attrIdx)
+	if len(order) == 0 {
+		return fmt.Errorf("choice of over an empty relation produces no worlds: %w", ErrEmpty)
+	}
+	if err := d.registerUncertain(dst, sch); err != nil {
+		return err
+	}
+	k := key(dst)
+	alts := make([]Alternative, len(order))
+	if d.Weighted && weightIdx >= 0 {
+		total := 0.0
+		sums := make([]float64, len(order))
+		for i, gk := range order {
+			for _, t := range groups[gk] {
+				w, err := positiveWeight(t[weightIdx])
+				if err != nil {
+					d.unregister(dst)
+					return err
+				}
+				sums[i] += w
+			}
+			total += sums[i]
+		}
+		for i, gk := range order {
+			alts[i] = Alternative{Prob: sums[i] / total, Tuples: map[string][]tuple.Tuple{k: groups[gk]}}
+		}
+	} else {
+		for i, gk := range order {
+			alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{k: groups[gk]}}
+			if d.Weighted {
+				alts[i].Prob = 1 / float64(len(order))
+			}
+		}
+	}
+	_, err = d.addComponent(alts)
+	if err != nil {
+		d.unregister(dst)
+	}
+	return err
+}
+
+func (d *WSD) certainRelation(name string) (*relation.Relation, *schema.Schema, error) {
+	k := key(name)
+	rel, ok := d.certain[k]
+	if !ok {
+		if _, known := d.schemas[k]; known {
+			return nil, nil, fmt.Errorf("%w: %s varies across worlds (repair/choice of uncertain relations requires merging; expand instead)", ErrNotCertain, name)
+		}
+		return nil, nil, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	if !d.isCertain(name) {
+		return nil, nil, fmt.Errorf("%w: %s has component contributions", ErrNotCertain, name)
+	}
+	return rel, d.schemas[k], nil
+}
+
+func (d *WSD) unregister(name string) {
+	delete(d.schemas, key(name))
+	delete(d.names, key(name))
+}
+
+func positiveWeight(v value.Value) (float64, error) {
+	if !v.IsNumeric() {
+		return 0, fmt.Errorf("weight value %v is not numeric", v)
+	}
+	w := v.AsFloat()
+	if w <= 0 {
+		return 0, fmt.Errorf("weight value %g must be positive", w)
+	}
+	return w, nil
+}
+
+// contributions returns, per component, the probability that the component
+// contributes tuple t to relation name (sum of probabilities of the
+// alternatives containing it). Only components touching the relation
+// appear. In unweighted mode the map carries count/len(alts) so that 1.0
+// still means "in every alternative".
+func (d *WSD) contributions(name string, t tuple.Tuple) map[int]float64 {
+	k := key(name)
+	tkey := t.Key()
+	out := map[int]float64{}
+	for _, c := range d.comps {
+		p := 0.0
+		touches := false
+		for _, a := range c.Alts {
+			tuples, ok := a.Tuples[k]
+			if ok {
+				touches = true
+			}
+			for _, u := range tuples {
+				if u.Key() == tkey {
+					if d.Weighted {
+						p += a.Prob
+					} else {
+						p += 1 / float64(len(c.Alts))
+					}
+					break
+				}
+			}
+		}
+		if touches && p > 0 {
+			out[c.ID] = p
+		}
+	}
+	return out
+}
+
+// Conf returns the exact confidence of tuple t in relation name:
+// 1 for certain tuples, else 1 − Π_c (1 − p_c(t)) by component
+// independence. No world enumeration is performed. Weighted WSDs only.
+func (d *WSD) Conf(name string, t tuple.Tuple) (float64, error) {
+	if !d.Weighted {
+		return 0, ErrNotWeighted
+	}
+	k := key(name)
+	if _, ok := d.schemas[k]; !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	if cert, ok := d.certain[k]; ok && cert.Contains(t) {
+		return 1, nil
+	}
+	miss := 1.0
+	for _, p := range d.contributions(name, t) {
+		miss *= 1 - p
+	}
+	return 1 - miss, nil
+}
+
+// Possible returns the set of tuples appearing in relation name in at
+// least one world: the certain tuples plus every contributed tuple.
+func (d *WSD) Possible(name string) (*relation.Relation, error) {
+	k := key(name)
+	sch, ok := d.schemas[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	out := relation.New(sch)
+	if cert, ok := d.certain[k]; ok {
+		out.Tuples = append(out.Tuples, cert.Tuples...)
+	}
+	for _, c := range d.comps {
+		for _, a := range c.Alts {
+			out.Tuples = append(out.Tuples, a.Tuples[k]...)
+		}
+	}
+	return out.Distinct(), nil
+}
+
+// Certain returns the tuples of relation name present in every world: the
+// certain part plus tuples contributed by every alternative of some
+// component (by independence, that is the exact criterion). Single pass
+// over the representation — no enumeration.
+func (d *WSD) Certain(name string) (*relation.Relation, error) {
+	k := key(name)
+	sch, ok := d.schemas[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	out := relation.New(sch)
+	if cert, ok := d.certain[k]; ok {
+		out.Tuples = append(out.Tuples, cert.Tuples...)
+	}
+	for _, c := range d.comps {
+		// Count, per tuple, the alternatives containing it; a tuple
+		// contributed by all of them is certain.
+		counts := map[string]int{}
+		rep := map[string]tuple.Tuple{}
+		for _, a := range c.Alts {
+			seen := map[string]bool{}
+			for _, t := range a.Tuples[k] {
+				tk := t.Key()
+				if seen[tk] {
+					continue
+				}
+				seen[tk] = true
+				counts[tk]++
+				rep[tk] = t
+			}
+		}
+		for tk, n := range counts {
+			if n == len(c.Alts) {
+				out.Tuples = append(out.Tuples, rep[tk])
+			}
+		}
+	}
+	return out.Distinct(), nil
+}
+
+// ConfRelation returns every possible tuple of relation name extended with
+// its exact confidence, mirroring the engine's `select *, conf from name`.
+// It runs in one pass over the representation: per component the
+// contribution probability of each tuple is accumulated, then the
+// independence product 1 − Π(1 − p_c) is taken per tuple.
+func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
+	if !d.Weighted {
+		return nil, ErrNotWeighted
+	}
+	k := key(name)
+	sch, ok := d.schemas[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	certKeys := map[string]bool{}
+	var order []string
+	rep := map[string]tuple.Tuple{}
+	miss := map[string]float64{} // tupleKey → Π(1 − p_c)
+	if cert, ok := d.certain[k]; ok {
+		for _, t := range cert.Distinct().Tuples {
+			tk := t.Key()
+			certKeys[tk] = true
+			rep[tk] = t
+			order = append(order, tk)
+		}
+	}
+	for _, c := range d.comps {
+		probs := map[string]float64{}
+		for _, a := range c.Alts {
+			seen := map[string]bool{}
+			for _, t := range a.Tuples[k] {
+				tk := t.Key()
+				if seen[tk] {
+					continue
+				}
+				seen[tk] = true
+				probs[tk] += a.Prob
+				if _, known := rep[tk]; !known {
+					rep[tk] = t
+					order = append(order, tk)
+					miss[tk] = 1
+				}
+			}
+		}
+		for tk, p := range probs {
+			if !certKeys[tk] {
+				miss[tk] *= 1 - p
+			}
+		}
+	}
+	out := relation.New(sch.Concat(confSchema()))
+	for _, tk := range order {
+		conf := 1.0
+		if !certKeys[tk] {
+			conf = 1 - miss[tk]
+		}
+		out.Tuples = append(out.Tuples, append(rep[tk].Clone(), value.Float(conf)))
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+// Package wsd implements world-set decompositions (WSDs), the compact
+// representation system of MayBMS (refs [1,3,4] of the paper: ICDT'07 /
+// ICDE'07 — "10^10^6 Worlds and Beyond").
+//
+// A WSD represents a world-set as a product of independent components over
+// a certain database:
+//
+//	worlds(WSD) = { certain ∪ a1 ∪ … ∪ am : ai ∈ alternatives(Ci) }
+//
+// Each component holds a small set of weighted alternatives; an alternative
+// contributes tuples to named relations. The size of the representation is
+// the total number of alternative tuples, while the number of represented
+// worlds is the product of the component sizes — exponentially larger.
+//
+// repair-by-key on a certain relation produces one component per key group
+// (linear size, exponentially many worlds); choice-of produces a single
+// component. Confidence, possible and certain are computed exactly without
+// enumeration using component independence:
+//
+//	P(t ∈ R) = 1 − Π_c (1 − p_c(t))
+//
+// Operations that correlate components (asserts or queries touching
+// relations spread over several components) first merge exactly the
+// involved components — a partial expansion bounded by the product of the
+// involved component sizes, never the full world count.
+package wsd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"sort"
+	"strings"
+
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+)
+
+// Errors reported by WSD operations.
+var (
+	ErrExists      = errors.New("relation already exists in the WSD")
+	ErrUnknown     = errors.New("relation unknown to the WSD")
+	ErrNotCertain  = errors.New("operation requires a certain (complete) relation")
+	ErrEmpty       = errors.New("operation would leave an empty world-set")
+	ErrMergeTooBig = errors.New("component merge exceeds the expansion limit")
+	ErrNotWeighted = errors.New("operation requires a weighted WSD")
+)
+
+// DefaultMergeLimit bounds the number of alternatives a component merge
+// (partial expansion) may produce.
+const DefaultMergeLimit = 1 << 16
+
+// Alternative is one local choice of a component: a probability (in
+// weighted WSDs) and the tuples it contributes per relation.
+type Alternative struct {
+	Prob   float64
+	Tuples map[string][]tuple.Tuple // lower-case relation name → tuples
+}
+
+// Component is an independent finite choice among alternatives.
+type Component struct {
+	ID   int
+	Alts []Alternative
+}
+
+// relations returns the lower-case relation names the component touches.
+func (c *Component) relations() map[string]bool {
+	out := map[string]bool{}
+	for _, a := range c.Alts {
+		for name := range a.Tuples {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// WSD is a world-set decomposition.
+type WSD struct {
+	// Weighted selects probabilistic mode; alternatives then carry
+	// probabilities summing to 1 within each component.
+	Weighted bool
+	// MergeLimit bounds partial expansions (component merges).
+	MergeLimit int
+
+	certain map[string]*relation.Relation // lower name → certain tuples
+	schemas map[string]*schema.Schema     // lower name → schema
+	names   map[string]string             // lower name → display name
+	comps   []*Component
+	nextID  int
+}
+
+// New creates an empty WSD (one world: the empty certain database).
+func New(weighted bool) *WSD {
+	return &WSD{
+		Weighted:   weighted,
+		MergeLimit: DefaultMergeLimit,
+		certain:    map[string]*relation.Relation{},
+		schemas:    map[string]*schema.Schema{},
+		names:      map[string]string{},
+	}
+}
+
+// key normalizes a relation name.
+func key(name string) string { return strings.ToLower(name) }
+
+// PutCertain registers a complete relation present in every world.
+func (d *WSD) PutCertain(name string, rel *relation.Relation) error {
+	k := key(name)
+	if _, ok := d.schemas[k]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	d.certain[k] = rel
+	d.schemas[k] = rel.Schema.Unqualify()
+	d.names[k] = name
+	return nil
+}
+
+// Schema returns the schema of a relation known to the WSD.
+func (d *WSD) Schema(name string) (*schema.Schema, error) {
+	s, ok := d.schemas[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	return s, nil
+}
+
+// Names returns the display names of all relations, sorted.
+func (d *WSD) Names() []string {
+	out := make([]string, 0, len(d.names))
+	for _, n := range d.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ComponentCount returns the number of components.
+func (d *WSD) ComponentCount() int { return len(d.comps) }
+
+// AlternativeCount returns the total number of alternatives across
+// components — the representation size driver.
+func (d *WSD) AlternativeCount() int {
+	n := 0
+	for _, c := range d.comps {
+		n += len(c.Alts)
+	}
+	return n
+}
+
+// WorldCount returns the exact number of represented worlds: the product
+// of the component sizes (1 for a purely certain database). A product
+// tree keeps the big.Int arithmetic near-linear even for millions of
+// components.
+func (d *WSD) WorldCount() *big.Int {
+	sizes := make([]int64, len(d.comps))
+	for i, c := range d.comps {
+		sizes[i] = int64(len(c.Alts))
+	}
+	return productTree(sizes)
+}
+
+func productTree(sizes []int64) *big.Int {
+	switch len(sizes) {
+	case 0:
+		return big.NewInt(1)
+	case 1:
+		return big.NewInt(sizes[0])
+	}
+	// Fold runs that fit in an int64 first to keep the tree shallow.
+	mid := len(sizes) / 2
+	l := productTree(sizes[:mid])
+	r := productTree(sizes[mid:])
+	return l.Mul(l, r)
+}
+
+// isCertain reports whether name is a certain relation (no component
+// contributes to it).
+func (d *WSD) isCertain(name string) bool {
+	k := key(name)
+	if _, ok := d.certain[k]; !ok {
+		return false
+	}
+	for _, c := range d.comps {
+		if c.relations()[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// addComponent appends a component, validating its probabilities.
+func (d *WSD) addComponent(alts []Alternative) (*Component, error) {
+	if len(alts) == 0 {
+		return nil, ErrEmpty
+	}
+	if d.Weighted {
+		total := 0.0
+		for _, a := range alts {
+			if a.Prob < 0 {
+				return nil, fmt.Errorf("negative alternative probability %g", a.Prob)
+			}
+			total += a.Prob
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return nil, fmt.Errorf("alternative probabilities sum to %g, want 1", total)
+		}
+	}
+	c := &Component{ID: d.nextID, Alts: alts}
+	d.nextID++
+	d.comps = append(d.comps, c)
+	return c, nil
+}
+
+// registerUncertain declares a new uncertain relation fed by components.
+func (d *WSD) registerUncertain(name string, sch *schema.Schema) error {
+	k := key(name)
+	if _, ok := d.schemas[k]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	d.schemas[k] = sch.Unqualify()
+	d.names[k] = name
+	return nil
+}
+
+// CheckInvariant validates the decomposition: component probabilities sum
+// to 1 (weighted), schemas exist for every contributed relation, and tuple
+// widths match.
+func (d *WSD) CheckInvariant() error {
+	for _, c := range d.comps {
+		if len(c.Alts) == 0 {
+			return fmt.Errorf("component %d has no alternatives", c.ID)
+		}
+		total := 0.0
+		for _, a := range c.Alts {
+			total += a.Prob
+			for name, tuples := range a.Tuples {
+				sch, ok := d.schemas[name]
+				if !ok {
+					return fmt.Errorf("component %d contributes to unknown relation %q", c.ID, name)
+				}
+				for _, t := range tuples {
+					if len(t) != sch.Len() {
+						return fmt.Errorf("component %d contributes width-%d tuple to %s%s", c.ID, len(t), name, sch)
+					}
+				}
+			}
+		}
+		if d.Weighted && math.Abs(total-1) > 1e-9 {
+			return fmt.Errorf("component %d probabilities sum to %g", c.ID, total)
+		}
+	}
+	return nil
+}
+
+// String summarizes the decomposition.
+func (d *WSD) String() string {
+	return fmt.Sprintf("WSD{relations: %d, components: %d, alternatives: %d, worlds: %s}",
+		len(d.schemas), d.ComponentCount(), d.AlternativeCount(), d.WorldCount())
+}

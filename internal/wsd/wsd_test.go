@@ -1,0 +1,479 @@
+package wsd
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"strings"
+	"testing"
+
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+const eps = 1e-9
+
+func row(vals ...any) tuple.Tuple {
+	out := make(tuple.Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			out[i] = value.Int(int64(x))
+		case string:
+			out[i] = value.Str(x)
+		case float64:
+			out[i] = value.Float(x)
+		default:
+			panic("bad fixture")
+		}
+	}
+	return out
+}
+
+// figure1R is relation R of Figure 1.
+func figure1R() *relation.Relation {
+	r := relation.New(schema.New("A", "B", "C", "D"))
+	r.MustAppend(row("a1", 10, "c1", 2))
+	r.MustAppend(row("a1", 15, "c2", 6))
+	r.MustAppend(row("a2", 14, "c3", 4))
+	r.MustAppend(row("a2", 20, "c4", 5))
+	r.MustAppend(row("a3", 20, "c5", 6))
+	return r
+}
+
+func newFigure2WSD(t *testing.T) *WSD {
+	t.Helper()
+	d := New(true)
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"A"}, "D"); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRepairByKeyStructure(t *testing.T) {
+	d := newFigure2WSD(t)
+	// One component per key group (a1, a2, a3), sizes 2·2·1.
+	if d.ComponentCount() != 3 {
+		t.Fatalf("components = %d, want 3", d.ComponentCount())
+	}
+	if d.AlternativeCount() != 5 {
+		t.Errorf("alternatives = %d, want 5 (one per R tuple)", d.AlternativeCount())
+	}
+	if got := d.WorldCount(); got.Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("worlds = %s, want 4", got)
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepairConfMatchesFigure2(t *testing.T) {
+	d := newFigure2WSD(t)
+	// Tuple (a1,10,c1,2) is chosen with probability 2/8 = 1/4; it appears
+	// in worlds A and C: 1/9 + 5/36 = 1/4. Exact, without enumeration.
+	cases := []struct {
+		t    tuple.Tuple
+		want float64
+	}{
+		{row("a1", 10, "c1", 2), 0.25},
+		{row("a1", 15, "c2", 6), 0.75},
+		{row("a2", 14, "c3", 4), 4.0 / 9},
+		{row("a2", 20, "c4", 5), 5.0 / 9},
+		{row("a3", 20, "c5", 6), 1.0},
+	}
+	for _, c := range cases {
+		got, err := d.Conf("I", c.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > eps {
+			t.Errorf("conf(%v) = %.4f, want %.4f", c.t, got, c.want)
+		}
+	}
+	// A tuple that never occurs.
+	got, err := d.Conf("I", row("a9", 0, "cx", 1))
+	if err != nil || got != 0 {
+		t.Errorf("conf of impossible tuple = %v, %v", got, err)
+	}
+}
+
+func TestPossibleAndCertain(t *testing.T) {
+	d := newFigure2WSD(t)
+	poss, err := d.Possible("I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poss.Len() != 5 {
+		t.Errorf("possible I = %d tuples, want 5", poss.Len())
+	}
+	cert, err := d.Certain("I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the a3 tuple (singleton group) is certain.
+	if cert.Len() != 1 || cert.Tuples[0][0].AsStr() != "a3" {
+		t.Errorf("certain I = %v", cert.Tuples)
+	}
+	// R itself is certain everywhere.
+	certR, err := d.Certain("R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if certR.Len() != 5 {
+		t.Errorf("certain R = %d", certR.Len())
+	}
+}
+
+func TestConfRelation(t *testing.T) {
+	d := newFigure2WSD(t)
+	rel, err := d.ConfRelation("I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 5 || rel.Schema.Len() != 5 {
+		t.Fatalf("conf relation shape: %s, %d rows", rel.Schema, rel.Len())
+	}
+	total := 0.0
+	for _, tp := range rel.Tuples {
+		c := tp[4].AsFloat()
+		if c <= 0 || c > 1+eps {
+			t.Errorf("conf out of range: %v", tp)
+		}
+		if tp[0].AsStr() == "a1" {
+			total += c
+		}
+	}
+	// The two a1 alternatives are exclusive and exhaustive: confs sum to 1.
+	if math.Abs(total-1) > eps {
+		t.Errorf("a1 confs sum to %g", total)
+	}
+}
+
+func TestChoiceOf(t *testing.T) {
+	d := New(true)
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ChoiceOf("R", "P", []string{"A"}, "D"); err != nil {
+		t.Fatal(err)
+	}
+	if d.ComponentCount() != 1 || d.WorldCount().Cmp(big.NewInt(3)) != 0 {
+		t.Fatalf("choice structure: %s", d)
+	}
+	// Example 2.7 probabilities: 8/23, 9/23, 6/23.
+	comp := d.comps[0]
+	probs := map[string]float64{}
+	for _, a := range comp.Alts {
+		probs[a.Tuples["p"][0][0].AsStr()] = a.Prob
+	}
+	want := map[string]float64{"a1": 8.0 / 23, "a2": 9.0 / 23, "a3": 6.0 / 23}
+	for k, w := range want {
+		if math.Abs(probs[k]-w) > eps {
+			t.Errorf("P(%s) = %.4f, want %.4f", k, probs[k], w)
+		}
+	}
+}
+
+func TestExpandMatchesStructure(t *testing.T) {
+	d := newFigure2WSD(t)
+	set, err := d.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 4 {
+		t.Fatalf("expanded worlds = %d", set.Len())
+	}
+	if err := set.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+	// Figure 2 probabilities appear among the worlds.
+	want := []float64{1.0 / 9, 1.0 / 3, 5.0 / 36, 5.0 / 12}
+	for _, p := range want {
+		found := false
+		for _, w := range set.Worlds {
+			if math.Abs(w.Prob-p) < eps {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no world with probability %.4f", p)
+		}
+	}
+	// Each world's I has exactly 3 tuples and R has 5.
+	for _, w := range set.Worlds {
+		i, err := w.Lookup("I")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i.Len() != 3 {
+			t.Errorf("world %s I = %d tuples", w.Name, i.Len())
+		}
+		r, _ := w.Lookup("R")
+		if r.Len() != 5 {
+			t.Errorf("world %s R = %d tuples", w.Name, r.Len())
+		}
+	}
+}
+
+func TestExpandLimitGuard(t *testing.T) {
+	d := New(true)
+	rel := relation.New(schema.New("K", "V"))
+	for k := 0; k < 20; k++ {
+		rel.MustAppend(row(k, 0))
+		rel.MustAppend(row(k, 1))
+	}
+	if err := d.PutCertain("R", rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// 2^20 worlds, limit 1<<16.
+	if _, err := d.Expand(0); !errors.Is(err, ErrMergeTooBig) {
+		t.Errorf("expected expansion guard, got %v", err)
+	}
+	// But counting and confidence still work.
+	if d.WorldCount().Cmp(big.NewInt(1<<20)) != 0 {
+		t.Errorf("world count = %s", d.WorldCount())
+	}
+	c, err := d.Conf("I", row(3, 1))
+	if err != nil || math.Abs(c-0.5) > eps {
+		t.Errorf("conf = %v, %v", c, err)
+	}
+}
+
+func TestConfOnUnweighted(t *testing.T) {
+	d := New(false)
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"A"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Conf("I", row("a3", 20, "c5", 6)); !errors.Is(err, ErrNotWeighted) {
+		t.Errorf("conf on unweighted = %v", err)
+	}
+	// Possible/certain still work.
+	cert, err := d.Certain("I")
+	if err != nil || cert.Len() != 1 {
+		t.Errorf("certain = %v, %v", cert, err)
+	}
+}
+
+func TestWeightOnUnweightedRejected(t *testing.T) {
+	d := New(false)
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"A"}, "D"); !errors.Is(err, ErrNotWeighted) {
+		t.Errorf("weighted repair on unweighted WSD = %v", err)
+	}
+	if err := d.ChoiceOf("R", "P", []string{"A"}, "D"); !errors.Is(err, ErrNotWeighted) {
+		t.Errorf("weighted choice on unweighted WSD = %v", err)
+	}
+}
+
+func TestRepairErrors(t *testing.T) {
+	d := New(true)
+	if err := d.RepairByKey("Nope", "I", []string{"A"}, ""); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown source = %v", err)
+	}
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"Z"}, ""); err == nil {
+		t.Error("unknown key column must fail")
+	}
+	if err := d.RepairByKey("R", "I", []string{"A"}, "Zz"); err == nil {
+		t.Error("unknown weight column must fail")
+	}
+	if err := d.RepairByKey("R", "R", []string{"A"}, ""); !errors.Is(err, ErrExists) {
+		t.Errorf("dst collision = %v", err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"A"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// I is uncertain: repairing it requires expansion.
+	if err := d.RepairByKey("I", "J", []string{"A"}, ""); !errors.Is(err, ErrNotCertain) {
+		t.Errorf("repair of uncertain relation = %v", err)
+	}
+	if err := d.PutCertain("I", figure1R()); !errors.Is(err, ErrExists) {
+		t.Errorf("PutCertain collision = %v", err)
+	}
+}
+
+func TestAssertLocalFiltering(t *testing.T) {
+	d := newFigure2WSD(t)
+	// Drop worlds where I contains C-value c1 (Example 2.5). The assert
+	// touches I, whose a1 component gets filtered; a2/a3 components stay
+	// untouched only if independent — here merge involves all I components.
+	err := d.Assert([]string{"I"}, func(cat plan.Catalog) (bool, error) {
+		rel, err := cat.Lookup("I")
+		if err != nil {
+			return false, err
+		}
+		for _, tp := range rel.Tuples {
+			if tp[2].AsStr() == "c1" {
+				return false, nil
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.WorldCount().Cmp(big.NewInt(2)) != 0 {
+		t.Fatalf("worlds after assert = %s, want 2", d.WorldCount())
+	}
+	// Renormalized to 4/9 and 5/9 as in Example 2.5.
+	set, err := d.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs := []float64{set.Worlds[0].Prob, set.Worlds[1].Prob}
+	if !(math.Abs(probs[0]-4.0/9) < eps && math.Abs(probs[1]-5.0/9) < eps ||
+		math.Abs(probs[1]-4.0/9) < eps && math.Abs(probs[0]-5.0/9) < eps) {
+		t.Errorf("renormalized probs = %v", probs)
+	}
+}
+
+func TestAssertCertainOnly(t *testing.T) {
+	d := New(true)
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Assert([]string{"R"}, func(cat plan.Catalog) (bool, error) { return true, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = d.Assert([]string{"R"}, func(cat plan.Catalog) (bool, error) { return false, nil })
+	if !errors.Is(err, ErrEmpty) {
+		t.Errorf("failing certain assert = %v", err)
+	}
+}
+
+func TestAssertDroppingAllWorldsFails(t *testing.T) {
+	d := newFigure2WSD(t)
+	err := d.Assert([]string{"I"}, func(plan.Catalog) (bool, error) { return false, nil })
+	if !errors.Is(err, ErrEmpty) {
+		t.Errorf("assert dropping everything = %v", err)
+	}
+}
+
+func TestMaterializeOverCertain(t *testing.T) {
+	d := New(true)
+	if err := d.PutCertain("R", figure1R()); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Materialize("R2", []string{"R"}, func(cat plan.Catalog) (*relation.Relation, error) {
+		return cat.Lookup("R")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.isCertain("R2") {
+		t.Error("query over certain data must stay certain")
+	}
+}
+
+func TestMaterializePerWorld(t *testing.T) {
+	d := newFigure2WSD(t)
+	// Materialize D := σ_{A='a3'}(I) per world (Example 2.2 shape).
+	err := d.Materialize("D", []string{"I"}, func(cat plan.Catalog) (*relation.Relation, error) {
+		i, err := cat.Lookup("I")
+		if err != nil {
+			return nil, err
+		}
+		out := relation.New(i.Schema)
+		for _, tp := range i.Tuples {
+			if tp[0].AsStr() == "a3" {
+				out.Tuples = append(out.Tuples, tp)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D's only tuple is certain (a3 is in every world).
+	cert, err := d.Certain("D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Len() != 1 {
+		t.Errorf("certain D = %v", cert.Tuples)
+	}
+	// World count unchanged (merge collapsed the I components into one).
+	if d.WorldCount().Cmp(big.NewInt(4)) != 0 {
+		t.Errorf("world count after materialize = %s", d.WorldCount())
+	}
+}
+
+func TestMergeLimitGuard(t *testing.T) {
+	d := New(true)
+	rel := relation.New(schema.New("K", "V"))
+	for k := 0; k < 20; k++ {
+		rel.MustAppend(row(k, 0))
+		rel.MustAppend(row(k, 1))
+	}
+	if err := d.PutCertain("R", rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Assert([]string{"I"}, func(plan.Catalog) (bool, error) { return true, nil })
+	if !errors.Is(err, ErrMergeTooBig) {
+		t.Errorf("oversized merge = %v", err)
+	}
+}
+
+func TestMillionComponentWorldCount(t *testing.T) {
+	// The "10^10^6 worlds" headline: a million binary components count
+	// 2^1e6 ≈ 10^301030 worlds while the representation stays linear.
+	d := New(true)
+	rel := relation.New(schema.New("K", "V"))
+	n := 1 << 10 // keep the unit test fast; the bench scales to 1e6
+	for k := 0; k < n; k++ {
+		rel.MustAppend(row(k, 0))
+		rel.MustAppend(row(k, 1))
+	}
+	if err := d.PutCertain("R", rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	count := d.WorldCount()
+	if count.BitLen() != n+1 {
+		t.Errorf("world count bit length = %d, want %d", count.BitLen(), n+1)
+	}
+	if d.AlternativeCount() != 2*n {
+		t.Errorf("representation size = %d alternatives, want %d", d.AlternativeCount(), 2*n)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	d := newFigure2WSD(t)
+	s := d.String()
+	for _, frag := range []string{"components: 3", "worlds: 4"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("summary %q missing %q", s, frag)
+		}
+	}
+	if len(d.Names()) != 2 {
+		t.Errorf("names = %v", d.Names())
+	}
+	if _, err := d.Schema("I"); err != nil {
+		t.Error(err)
+	}
+	if _, err := d.Schema("Zz"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown schema = %v", err)
+	}
+}

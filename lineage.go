@@ -1,0 +1,174 @@
+package maybms
+
+import (
+	"fmt"
+
+	"maybms/internal/tuple"
+	"maybms/internal/urel"
+)
+
+// LineageDB exposes the U-relation representation (the successor of
+// world-set decompositions in later MayBMS versions): every tuple carries
+// a conjunction of independent-random-variable assignments, and
+// select-project-join algebra composes within the representation — joins
+// conjoin the annotations, so arbitrary correlations (including self-join
+// correlations that component-based WSDs cannot express tuple-wise) are
+// captured. Confidence is exact, computed by independence partitioning
+// plus Shannon expansion.
+type LineageDB struct {
+	store *urel.Store
+	rels  map[string]*urel.Relation
+}
+
+// OpenLineage creates an empty lineage (U-relation) database.
+func OpenLineage() *LineageDB {
+	return &LineageDB{store: urel.NewStore(), rels: map[string]*urel.Relation{}}
+}
+
+// RegisterRepair loads the dirty relation (columns/rows as in DB.Register)
+// and stores, under name, the U-relation of all repairs of the key, one
+// fresh variable per key group. weightCol is the optional weight column
+// name ("" = uniform).
+func (db *LineageDB) RegisterRepair(name string, columns []string, rows [][]any, key []string, weightCol string) error {
+	if _, ok := db.rels[name]; ok {
+		return fmt.Errorf("maybms: lineage relation %q already exists", name)
+	}
+	rel, err := BuildRelation(columns, rows)
+	if err != nil {
+		return err
+	}
+	keyIdx, err := rel.Schema.IndexesOf(key)
+	if err != nil {
+		return err
+	}
+	weightIdx := -1
+	if weightCol != "" {
+		weightIdx, err = rel.Schema.Resolve("", weightCol)
+		if err != nil {
+			return err
+		}
+	}
+	u, err := urel.RepairByKey(db.store, rel, keyIdx, weightIdx)
+	if err != nil {
+		return err
+	}
+	db.rels[name] = u
+	return nil
+}
+
+// RegisterCertain loads a complete relation (all tuples annotated TRUE).
+func (db *LineageDB) RegisterCertain(name string, columns []string, rows [][]any) error {
+	if _, ok := db.rels[name]; ok {
+		return fmt.Errorf("maybms: lineage relation %q already exists", name)
+	}
+	rel, err := BuildRelation(columns, rows)
+	if err != nil {
+		return err
+	}
+	db.rels[name] = urel.FromCertain(rel)
+	return nil
+}
+
+func (db *LineageDB) get(name string) (*urel.Relation, error) {
+	u, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("maybms: lineage relation %q does not exist", name)
+	}
+	return u, nil
+}
+
+// Join stores, under dst, the equi-join of a and b on columns aCol = bCol.
+// Annotations conjoin; inconsistent pairs drop out.
+func (db *LineageDB) Join(dst, a, b, aCol, bCol string) error {
+	ua, err := db.get(a)
+	if err != nil {
+		return err
+	}
+	ub, err := db.get(b)
+	if err != nil {
+		return err
+	}
+	ai, err := ua.Schema.Resolve("", aCol)
+	if err != nil {
+		return err
+	}
+	bi, err := ub.Schema.Resolve("", bCol)
+	if err != nil {
+		return err
+	}
+	if _, ok := db.rels[dst]; ok {
+		return fmt.Errorf("maybms: lineage relation %q already exists", dst)
+	}
+	db.rels[dst] = urel.Join(ua, ub, func(l, r tuple.Tuple) bool {
+		return tuple.Equal(l.Project([]int{ai}), r.Project([]int{bi}))
+	})
+	return nil
+}
+
+// Project stores, under dst, the projection of src onto the named columns
+// (annotations kept; equal tuples with different annotations remain rows
+// whose disjunction Conf resolves).
+func (db *LineageDB) Project(dst, src string, columns []string) error {
+	u, err := db.get(src)
+	if err != nil {
+		return err
+	}
+	idx, err := u.Schema.IndexesOf(columns)
+	if err != nil {
+		return err
+	}
+	if _, ok := db.rels[dst]; ok {
+		return fmt.Errorf("maybms: lineage relation %q already exists", dst)
+	}
+	db.rels[dst] = u.Project(idx)
+	return nil
+}
+
+// Conf returns the exact probability that the tuple (given as Go values)
+// appears in the relation, resolving the disjunction of its annotations.
+func (db *LineageDB) Conf(name string, cells ...any) (float64, error) {
+	u, err := db.get(name)
+	if err != nil {
+		return 0, err
+	}
+	t := make(tuple.Tuple, len(cells))
+	for i, c := range cells {
+		v, err := toValue(c)
+		if err != nil {
+			return 0, err
+		}
+		t[i] = v
+	}
+	return u.Conf(db.store, t), nil
+}
+
+// ConfRelation returns every possible tuple of the relation with its exact
+// confidence.
+func (db *LineageDB) ConfRelation(name string) (*Relation, error) {
+	u, err := db.get(name)
+	if err != nil {
+		return nil, err
+	}
+	return u.ConfRelation(db.store), nil
+}
+
+// Possible returns the distinct possible tuples of the relation.
+func (db *LineageDB) Possible(name string) (*Relation, error) {
+	u, err := db.get(name)
+	if err != nil {
+		return nil, err
+	}
+	return u.PossibleTuples(), nil
+}
+
+// Rows returns the number of annotated rows in the representation.
+func (db *LineageDB) Rows(name string) (int, error) {
+	u, err := db.get(name)
+	if err != nil {
+		return 0, err
+	}
+	return u.Len(), nil
+}
+
+// VarCount returns the number of random variables introduced so far.
+func (db *LineageDB) VarCount() int { return db.store.VarCount() }

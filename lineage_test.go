@@ -1,0 +1,125 @@
+package maybms
+
+import (
+	"math"
+	"testing"
+)
+
+func lineageFixture(t *testing.T) *LineageDB {
+	t.Helper()
+	db := OpenLineage()
+	err := db.RegisterRepair("Customer",
+		[]string{"CID", "City", "W"},
+		[][]any{
+			{1, "vienna", 3}, {1, "graz", 1},
+			{2, "vienna", 3}, {2, "linz", 1},
+			{3, "linz", 2},
+		},
+		[]string{"CID"}, "W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterCertain("Region",
+		[]string{"City", "Region"},
+		[][]any{{"vienna", "east"}, {"graz", "south"}, {"linz", "north"}}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLineageRepairConf(t *testing.T) {
+	db := lineageFixture(t)
+	if db.VarCount() != 3 {
+		t.Errorf("vars = %d, want 3", db.VarCount())
+	}
+	c, err := db.Conf("Customer", 1, "vienna", 3)
+	if err != nil || math.Abs(c-0.75) > 1e-9 {
+		t.Errorf("conf = %v, %v", c, err)
+	}
+	c, err = db.Conf("Customer", 3, "linz", 2)
+	if err != nil || math.Abs(c-1) > 1e-9 {
+		t.Errorf("singleton conf = %v, %v", c, err)
+	}
+	n, err := db.Rows("Customer")
+	if err != nil || n != 5 {
+		t.Errorf("rows = %d, %v", n, err)
+	}
+}
+
+func TestLineageJoinProjectConf(t *testing.T) {
+	db := lineageFixture(t)
+	if err := db.Join("Located", "Customer", "Region", "City", "City"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Project("CR", "Located", []string{"CID", "Region"}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := db.Conf("CR", 1, "east")
+	if err != nil || math.Abs(c-0.75) > 1e-9 {
+		t.Errorf("join conf = %v, %v", c, err)
+	}
+	// Self-join correlation: exact product only for independent customers.
+	if err := db.Join("SameRegion", "CR", "CR", "Region", "Region"); err != nil {
+		t.Fatal(err)
+	}
+	c, err = db.Conf("SameRegion", 1, "east", 2, "east")
+	if err != nil || math.Abs(c-0.5625) > 1e-9 {
+		t.Errorf("pair conf = %v, %v", c, err)
+	}
+	// Same customer on both sides: idempotent, not squared.
+	c, err = db.Conf("SameRegion", 1, "east", 1, "east")
+	if err != nil || math.Abs(c-0.75) > 1e-9 {
+		t.Errorf("self-pair conf = %v, want 0.75, %v", c, err)
+	}
+	poss, err := db.Possible("CR")
+	if err != nil || poss.Len() != 5 {
+		t.Errorf("possible CR = %v, %v", poss, err)
+	}
+	rel, err := db.ConfRelation("CR")
+	if err != nil || rel.Len() != 5 {
+		t.Errorf("conf relation = %v, %v", rel, err)
+	}
+}
+
+func TestLineageErrors(t *testing.T) {
+	db := lineageFixture(t)
+	if err := db.RegisterCertain("Customer", []string{"X"}, nil); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if err := db.RegisterRepair("Region", []string{"X"}, nil, []string{"X"}, ""); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if err := db.Join("J", "Nope", "Region", "City", "City"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if err := db.Join("J", "Customer", "Nope", "City", "City"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if err := db.Join("J", "Customer", "Region", "Zz", "City"); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if err := db.Project("P", "Nope", []string{"X"}); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if err := db.Project("P", "Customer", []string{"Zz"}); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := db.Conf("Nope", 1); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if _, err := db.Conf("Customer", struct{}{}); err == nil {
+		t.Error("bad cell must fail")
+	}
+	if _, err := db.Rows("Nope"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if _, err := db.Possible("Nope"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if _, err := db.ConfRelation("Nope"); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	if err := db.RegisterRepair("Bad", []string{"K", "W"}, [][]any{{1, 0}}, []string{"K"}, "W"); err == nil {
+		t.Error("zero weight must fail")
+	}
+}

@@ -1,0 +1,179 @@
+// Package maybms is a pure-Go reimplementation of the MayBMS system for
+// managing incomplete and probabilistic information, as presented in
+// "Query language support for incomplete information in the MayBMS system"
+// (Antova, Koch, Olteanu; VLDB 2007).
+//
+// A DB is a set of possible worlds queried and updated with I-SQL — SQL
+// extended with explicit uncertainty constructs:
+//
+//	db := maybms.Open()
+//	db.MustExec(`create table R (A, B, C, D)`)
+//	db.MustExec(`insert into R values ('a1',10,'c1',2), ('a1',15,'c2',6)`)
+//	db.MustExec(`create table I as select A, B, C from R repair by key A weight D`)
+//	res, _ := db.Exec(`select conf from I where exists (select * from I where B = 10)`)
+//	fmt.Println(res)
+//
+// The I-SQL constructs are:
+//
+//   - REPAIR BY KEY cols [WEIGHT col] — one world per repair of the key
+//   - CHOICE OF cols [WEIGHT col]     — one world per value partition
+//   - ASSERT cond                     — drop worlds, renormalize
+//   - SELECT POSSIBLE / CERTAIN …     — close the world-set (∪ / ∩)
+//   - SELECT …, CONF …                — per-tuple confidence
+//   - GROUP WORLDS BY (query)         — closures within answer-equal groups
+//
+// Open creates a probabilistic database (worlds carry probabilities);
+// OpenIncomplete creates a plain incomplete one (no probabilities, no
+// CONF/WEIGHT). Both enumerate worlds explicitly and are intended for
+// moderate world counts; OpenCompact provides the world-set-decomposition
+// backend that represents exponentially many worlds in linear space.
+package maybms
+
+import (
+	"fmt"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// Result is the outcome of executing a statement: an acknowledgement, a
+// per-world answer, or a closed (possible/certain/conf) answer. See
+// core.Result for the fields.
+type Result = core.Result
+
+// Relation is an in-memory relation (schema + tuples).
+type Relation = relation.Relation
+
+// DB is a database whose state is a set of possible worlds, evaluated with
+// the naive (explicitly enumerating) engine.
+type DB struct {
+	session *core.Session
+}
+
+// Open creates an empty probabilistic database: one world with
+// probability 1.
+func Open() *DB { return &DB{session: core.NewSession(true)} }
+
+// OpenIncomplete creates an empty non-probabilistic database: worlds carry
+// no probabilities, and CONF / WEIGHT are unavailable (the paper's
+// Example 2.3 mode).
+func OpenIncomplete() *DB { return &DB{session: core.NewSession(false)} }
+
+// Exec parses and executes one I-SQL statement.
+func (db *DB) Exec(sql string) (*Result, error) { return db.session.Exec(sql) }
+
+// MustExec is Exec for program initialization; it panics on error.
+func (db *DB) MustExec(sql string) *Result {
+	res, err := db.session.Exec(sql)
+	if err != nil {
+		panic(fmt.Sprintf("maybms: %s: %v", sql, err))
+	}
+	return res
+}
+
+// ExecScript executes a semicolon-separated script, stopping at the first
+// error.
+func (db *DB) ExecScript(sql string) ([]*Result, error) { return db.session.ExecScript(sql) }
+
+// Parse checks a statement without executing it, returning its normalized
+// rendering.
+func (db *DB) Parse(sql string) (string, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	return stmt.String(), nil
+}
+
+// WorldCount returns the current number of worlds.
+func (db *DB) WorldCount() int { return db.session.WorldCount() }
+
+// Weighted reports whether the database is probabilistic.
+func (db *DB) Weighted() bool { return db.session.Weighted() }
+
+// SetMaxWorlds bounds the world-set size; splits beyond it fail. The
+// default is core.DefaultMaxWorlds.
+func (db *DB) SetMaxWorlds(n int) { db.session.MaxWorlds = n }
+
+// Coalesce merges indistinguishable worlds (identical database contents),
+// summing their probabilities. No query can tell the difference, but the
+// world-set can shrink dramatically after asserts or updates collapse
+// choices. It returns the number of worlds removed.
+func (db *DB) Coalesce() int { return db.session.Set().Coalesce() }
+
+// WorldInfo describes one world for inspection.
+type WorldInfo struct {
+	Name string
+	Prob float64
+	// Relations maps relation names to their instances in this world.
+	Relations map[string]*Relation
+}
+
+// Worlds snapshots the current world-set.
+func (db *DB) Worlds() []WorldInfo {
+	out := make([]WorldInfo, 0, db.session.WorldCount())
+	for _, w := range db.session.Set().Worlds {
+		info := WorldInfo{Name: w.Name, Prob: w.Prob, Relations: map[string]*Relation{}}
+		for _, name := range w.Names() {
+			rel, err := w.Lookup(name)
+			if err == nil {
+				info.Relations[name] = rel
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Register loads a complete relation built from Go values into every
+// world. Supported cell types: nil, bool, int, int64, float64, string.
+func (db *DB) Register(name string, columns []string, rows [][]any) error {
+	rel, err := BuildRelation(columns, rows)
+	if err != nil {
+		return err
+	}
+	return db.session.Register(name, rel)
+}
+
+// BuildRelation constructs a Relation from Go values. Supported cell
+// types: nil, bool, int, int64, float64, string.
+func BuildRelation(columns []string, rows [][]any) (*Relation, error) {
+	rel := relation.New(schema.New(columns...))
+	for _, r := range rows {
+		t := make(tuple.Tuple, len(r))
+		for i, cell := range r {
+			v, err := toValue(cell)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = v
+		}
+		if err := rel.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+func toValue(cell any) (value.Value, error) {
+	switch x := cell.(type) {
+	case nil:
+		return value.Null(), nil
+	case bool:
+		return value.Bool(x), nil
+	case int:
+		return value.Int(int64(x)), nil
+	case int64:
+		return value.Int(x), nil
+	case float64:
+		return value.Float(x), nil
+	case string:
+		return value.Str(x), nil
+	default:
+		return value.Null(), fmt.Errorf("maybms: unsupported cell type %T", cell)
+	}
+}
