@@ -1,0 +1,3 @@
+module maybms
+
+go 1.24

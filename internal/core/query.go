@@ -1,10 +1,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"maybms/internal/algebra"
+	"maybms/internal/exec"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/sqlparse"
@@ -28,11 +31,101 @@ type queryEval struct {
 	weighted bool
 }
 
+// planCacheLimit bounds the session's compiled-statement cache; when full
+// the cache is simply reset (statement texts rarely recur beyond it).
+const planCacheLimit = 256
+
+// cacheGet returns the cached template under key, if any.
+func (s *Session) cacheGet(key string) any { return s.plans[key] }
+
+// cachePut stores a compiled template under key.
+func (s *Session) cachePut(key string, p any) {
+	if s.plans == nil || len(s.plans) >= planCacheLimit {
+		s.plans = make(map[string]any, 64)
+	}
+	s.plans[key] = p
+}
+
+// cachedTemplate returns the template under key when it is present and
+// still binds against the current schemas, else compiles and caches a fresh
+// one. The validation bind is discarded (world 0 binds again in the
+// per-world pass): one extra bind per statement is cheap next to
+// compilation, and it doubles as the staleness eviction that keeps hot
+// statements on the template path instead of falling back to per-world
+// compilation forever — the cache behaves as if keyed by (statement,
+// schema).
+func cachedTemplate[T any](s *Session, key string, valid func(T) bool, compile func() (T, error)) (T, error) {
+	if p, ok := s.cacheGet(key).(T); ok && valid(p) {
+		return p, nil
+	}
+	p, err := compile()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	s.cachePut(key, p)
+	return p, nil
+}
+
+// preparedFull returns a compile-once template for the plain-SQL core stmt.
+func (s *Session) preparedFull(stmt *sqlparse.SelectStmt, rep *world.World) (*plan.Prepared, error) {
+	return cachedTemplate(s, "q\x00"+stmt.String(),
+		func(p *plan.Prepared) bool { _, err := p.Bind(rep); return err == nil },
+		func() (*plan.Prepared, error) { return plan.Prepare(stmt, rep) })
+}
+
+// preparedFromWhere is preparedFull for the FROM/WHERE part of a
+// world-splitting statement.
+func (s *Session) preparedFromWhere(stmt *sqlparse.SelectStmt, rep *world.World) (*plan.PreparedFromWhere, error) {
+	return cachedTemplate(s, "fw\x00"+stmt.String(),
+		func(p *plan.PreparedFromWhere) bool { _, err := p.Bind(rep); return err == nil },
+		func() (*plan.PreparedFromWhere, error) { return plan.PrepareFromWhere(stmt, rep) })
+}
+
+// preparedOnRelation is preparedFull for the post-split part of a
+// world-splitting statement; the key includes the intermediate schema so a
+// changed FROM/WHERE shape recompiles.
+func (s *Session) preparedOnRelation(stmt *sqlparse.SelectStmt, in *plan.PreparedFromWhere, rep *world.World) (*plan.PreparedOnRelation, error) {
+	return cachedTemplate(s, "or\x00"+stmt.String()+"\x00"+in.Schema().String(),
+		func(p *plan.PreparedOnRelation) bool {
+			_, err := p.Bind(relation.New(in.Schema()), rep)
+			return err == nil
+		},
+		func() (*plan.PreparedOnRelation, error) { return plan.PrepareOnRelation(stmt, in.Schema(), rep) })
+}
+
+// preparedPredicate is preparedFull for an ASSERT condition.
+func (s *Session) preparedPredicate(e sqlparse.Expr, rep *world.World) (*plan.PreparedPredicate, error) {
+	return cachedTemplate(s, "a\x00"+e.String(),
+		func(p *plan.PreparedPredicate) bool { _, err := p.Bind(rep); return err == nil },
+		func() (*plan.PreparedPredicate, error) { return plan.PreparePredicate(e, rep) })
+}
+
+// bindOrBuild instantiates a full-statement template for w, falling back to
+// per-world compilation when w's schemas diverged from the template's.
+func bindOrBuild(p *plan.Prepared, stmt *sqlparse.SelectStmt, w *world.World) (algebra.Operator, error) {
+	op, err := p.Bind(w)
+	if err == nil {
+		return op, nil
+	}
+	if !errors.Is(err, plan.ErrRebind) {
+		return nil, err
+	}
+	return plan.Build(stmt, w)
+}
+
 // evalQuery runs the full I-SQL SELECT pipeline:
 //
 //	per-world FROM/WHERE → repair/choice world split → rest of the query in
 //	each (child) world → assert filter + renormalize → group-worlds-by →
 //	possible/certain/conf closure per group.
+//
+// Worlds are independent, so every per-world pass runs on the session's
+// worker pool (see internal/exec); results are collected in world order and
+// the statement compiles once against the first world, binding each world's
+// relations into the compiled plan (internal/plan's Prepare/Bind), so the
+// output — world names, order, group order, probabilities — is identical to
+// the workers=1 sequential path.
 func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 	weighted := s.set.Weighted
 
@@ -99,73 +192,55 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 	var worlds []*world.World
 	var results []*relation.Relation
 	if split {
-		for _, w := range s.set.Worlds {
-			irOp, err := plan.BuildFromWhere(&core, w)
-			if err != nil {
-				return nil, err
-			}
-			ir, err := algebra.Collect(irOp, nil)
-			if err != nil {
-				return nil, err
-			}
-			pieces, err := s.splitPieces(st, ir)
-			if err != nil {
-				return nil, err
-			}
-			if len(worlds)+len(pieces) > s.MaxWorlds {
-				return nil, ErrTooManyWorlds
-			}
-			for pi, p := range pieces {
-				name := w.Name
-				if len(pieces) > 1 {
-					name = childName(w.Name, pi)
-				}
-				child := w.Clone(name)
-				if weighted {
-					child.Prob = w.Prob * p.prob
-				}
-				op, err := plan.BuildOnRelation(&core, p.rel, child)
-				if err != nil {
-					return nil, err
-				}
-				res, err := algebra.Collect(op, nil)
-				if err != nil {
-					return nil, err
-				}
-				worlds = append(worlds, child)
-				results = append(results, res)
-			}
+		var err error
+		worlds, results, err = s.evalSplit(st, &core)
+		if err != nil {
+			return nil, err
 		}
 	} else {
 		worlds = s.set.Worlds
-		results = make([]*relation.Relation, len(worlds))
-		for i, w := range worlds {
-			op, err := plan.Build(&core, w)
+		prep, err := s.preparedFull(&core, worlds[0])
+		if err != nil {
+			return nil, err
+		}
+		results, err = exec.Map(s.workers, len(worlds), func(i int) (*relation.Relation, error) {
+			op, err := bindOrBuild(prep, &core, worlds[i])
 			if err != nil {
 				return nil, err
 			}
-			res, err := algebra.Collect(op, nil)
-			if err != nil {
-				return nil, err
-			}
-			results[i] = res
+			return algebra.Collect(op, nil)
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
 
 	// ---- assert: filter worlds and renormalize ----
 	if st.Assert != nil {
+		aPrep, err := s.preparedPredicate(st.Assert, worlds[0])
+		if err != nil {
+			return nil, err
+		}
+		oks, err := exec.Map(s.workers, len(worlds), func(i int) (bool, error) {
+			pred, err := aPrep.Bind(worlds[i])
+			if err != nil {
+				if !errors.Is(err, plan.ErrRebind) {
+					return false, err
+				}
+				pred, err = plan.BuildPredicate(st.Assert, worlds[i])
+				if err != nil {
+					return false, err
+				}
+			}
+			return pred()
+		})
+		if err != nil {
+			return nil, err
+		}
 		var keptWorlds []*world.World
 		var keptResults []*relation.Relation
 		for i, w := range worlds {
-			pred, err := plan.BuildPredicate(st.Assert, w)
-			if err != nil {
-				return nil, err
-			}
-			ok, err := pred()
-			if err != nil {
-				return nil, err
-			}
-			if ok {
+			if oks[i] {
 				// Clone so renormalization cannot leak into the session's
 				// worlds on a non-materializing query.
 				keptWorlds = append(keptWorlds, w.Clone(w.Name))
@@ -198,17 +273,23 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 	}
 	var groups [][]int
 	if st.GroupWorlds != nil {
-		keys := make([]uint64, len(worlds))
-		for i, w := range worlds {
-			op, err := plan.Build(st.GroupWorlds, w)
+		gwPrep, err := s.preparedFull(st.GroupWorlds, worlds[0])
+		if err != nil {
+			return nil, err
+		}
+		keys, err := exec.Map(s.workers, len(worlds), func(i int) (uint64, error) {
+			op, err := bindOrBuild(gwPrep, st.GroupWorlds, worlds[i])
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := algebra.Collect(op, nil)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			keys[i] = res.Fingerprint()
+			return res.Fingerprint(), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		groups = worldset.Group(keys)
 	} else {
@@ -246,6 +327,143 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 	}
 	ev.groups, ev.closed = groups, closed
 	return ev, nil
+}
+
+// evalSplit evaluates a repair/choice statement: in each parent world the
+// FROM/WHERE intermediate is computed and split into pieces (phase one),
+// then the rest of the query runs in every child world (phase two). Both
+// phases run on the worker pool; between them a sequential fold replays the
+// per-world MaxWorlds accounting in world order, so world naming, order and
+// probabilities match the sequential engine exactly. (When several worlds
+// fail for different reasons the error reported is phase-ordered — all
+// split errors surface before any piece-evaluation error — which can differ
+// from strict statement order; the statement fails either way.)
+func (s *Session) evalSplit(st *sqlparse.SelectStmt, core *sqlparse.SelectStmt) ([]*world.World, []*relation.Relation, error) {
+	parents := s.set.Worlds
+	weighted := s.set.Weighted
+	fwPrep, err := s.preparedFromWhere(core, parents[0])
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase one: FROM/WHERE + split, per parent world.
+	splitWorld := func(i int) ([]piece, error) {
+		w := parents[i]
+		irOp, err := fwPrep.Bind(w)
+		if err != nil {
+			if !errors.Is(err, plan.ErrRebind) {
+				return nil, err
+			}
+			irOp, err = plan.BuildFromWhere(core, w)
+			if err != nil {
+				return nil, err
+			}
+		}
+		ir, err := algebra.Collect(irOp, nil)
+		if err != nil {
+			return nil, err
+		}
+		return s.splitPieces(st, ir)
+	}
+	// The running piece count keeps peak memory bounded by MaxWorlds even
+	// though the pool computes splits out of order: once the total exceeds
+	// the limit, remaining tasks short-circuit instead of materializing
+	// more pieces. Which task observes the overflow is scheduling-dependent,
+	// so on ANY phase-one failure the split is replayed sequentially — the
+	// replay is bounded exactly like the sequential engine and makes the
+	// reported error (a world's own split error vs ErrTooManyWorlds)
+	// deterministic and identical to the workers=1 path.
+	var pieceCount atomic.Int64
+	perWorld, err := exec.Map(s.workers, len(parents), func(i int) ([]piece, error) {
+		pieces, err := splitWorld(i)
+		if err != nil {
+			return nil, err
+		}
+		if pieceCount.Add(int64(len(pieces))) > int64(s.MaxWorlds) {
+			return nil, ErrTooManyWorlds
+		}
+		return pieces, nil
+	})
+	if err != nil {
+		count := 0
+		for i := range parents {
+			pieces, err := splitWorld(i)
+			if err != nil {
+				return nil, nil, err
+			}
+			if count+len(pieces) > s.MaxWorlds {
+				return nil, nil, ErrTooManyWorlds
+			}
+			count += len(pieces)
+		}
+		// The parallel pass failed but a bounded sequential replay does
+		// not: only possible if the statement races with external mutation
+		// of the session, which Exec's contract forbids.
+		return nil, nil, err
+	}
+
+	// Fold: fix the child world naming in world order. No MaxWorlds check
+	// is needed here — phase one completing without error implies the
+	// total piece count stayed within the limit.
+	type task struct {
+		parent *world.World
+		p      piece
+		name   string
+	}
+	var tasks []task
+	for i, w := range parents {
+		pieces := perWorld[i]
+		for pi, p := range pieces {
+			name := w.Name
+			if len(pieces) > 1 {
+				name = childName(w.Name, pi)
+			}
+			tasks = append(tasks, task{parent: w, p: p, name: name})
+		}
+	}
+
+	orPrep, err := s.preparedOnRelation(core, fwPrep, parents[0])
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase two: the rest of the query in every child world.
+	type evaled struct {
+		child *world.World
+		res   *relation.Relation
+	}
+	outs, err := exec.Map(s.workers, len(tasks), func(i int) (evaled, error) {
+		tk := tasks[i]
+		child := tk.parent.Clone(tk.name)
+		if weighted {
+			child.Prob = tk.parent.Prob * tk.p.prob
+		}
+		op, err := orPrep.Bind(tk.p.rel, child)
+		if err != nil {
+			if !errors.Is(err, plan.ErrRebind) {
+				return evaled{}, err
+			}
+			op, err = plan.BuildOnRelation(core, tk.p.rel, child)
+			if err != nil {
+				return evaled{}, err
+			}
+		}
+		res, err := algebra.Collect(op, nil)
+		if err != nil {
+			return evaled{}, err
+		}
+		return evaled{child: child, res: res}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	worlds := make([]*world.World, len(outs))
+	results := make([]*relation.Relation, len(outs))
+	for i, o := range outs {
+		worlds[i], results[i] = o.child, o.res
+	}
+	return worlds, results, nil
 }
 
 // splitPieces dispatches to the repair or choice split on the FROM/WHERE

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"maybms/internal/exec"
 	"maybms/internal/expr"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
@@ -37,7 +38,24 @@ type Session struct {
 	// MaxWorlds bounds the world-set; splits that would exceed it fail with
 	// ErrTooManyWorlds.
 	MaxWorlds int
+	// workers bounds the per-world parallelism of statement execution:
+	// 1 runs the exact sequential path, 0 (the default) selects
+	// runtime.GOMAXPROCS. Results are identical for every setting; see
+	// internal/exec and SetWorkers.
+	workers int
+	// plans caches compiled statement templates (see internal/plan's
+	// Prepare/Bind); entries revalidate against current schemas on use.
+	plans     map[string]any
 	nextWorld int
+}
+
+// SetWorkers sets the per-world parallelism of the session (and of its
+// world-set's cross-world passes, e.g. Coalesce): 1 selects the exact
+// sequential path, 0 selects runtime.GOMAXPROCS. Any setting produces
+// identical results; see internal/exec.
+func (s *Session) SetWorkers(n int) {
+	s.workers = n
+	s.set.Workers = n
 }
 
 // NewSession creates a session over a single empty world. weighted selects
@@ -243,11 +261,11 @@ func (s *Session) execInsert(st *sqlparse.Insert) (*Result, error) {
 		rows[i] = t
 	}
 
-	// Build candidate relations per world, checking keys; commit only if
-	// every world accepts.
+	// Build candidate relations per world (in parallel — candidates are
+	// independent), checking keys; commit only if every world accepts.
 	key := s.keys[strings.ToLower(st.Table)]
-	updated := make([]*relation.Relation, len(s.set.Worlds))
-	for i, w := range s.set.Worlds {
+	updated, err := exec.Map(s.workers, len(s.set.Worlds), func(i int) (*relation.Relation, error) {
+		w := s.set.Worlds[i]
 		cur, err := w.Lookup(st.Table)
 		if err != nil {
 			return nil, err
@@ -263,7 +281,10 @@ func (s *Session) execInsert(st *sqlparse.Insert) (*Result, error) {
 				return nil, fmt.Errorf("%w in world %s (statement discarded in all worlds)", err, w.Name)
 			}
 		}
-		updated[i] = next
+		return next, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for i, w := range s.set.Worlds {
 		w.Put(st.Table, updated[i])
@@ -301,46 +322,155 @@ func checkKey(rel *relation.Relation, key []string) error {
 	return nil
 }
 
-// execUpdate applies the SET clauses to the rows matching WHERE, in every
-// world; a resulting key violation in any world aborts the statement.
-func (s *Session) execUpdate(st *sqlparse.Update) (*Result, error) {
-	key := s.keys[strings.ToLower(st.Table)]
-	updated := make([]*relation.Relation, len(s.set.Worlds))
-	total := 0
-	for i, w := range s.set.Worlds {
-		cur, err := w.Lookup(st.Table)
+// updateTemplate is the compile-once form of an UPDATE's SET/WHERE clauses:
+// set-column indexes and expression templates compiled against one world's
+// table schema. Worlds whose table schema is identical bind the templates;
+// any other world recompiles, preserving exact sequential semantics.
+type updateTemplate struct {
+	sch      *schema.Schema
+	setIdx   []int
+	setExprs []*plan.PreparedExpr
+	pred     *plan.PreparedExpr
+}
+
+func prepareUpdate(st *sqlparse.Update, sch *schema.Schema, cat plan.Catalog) (*updateTemplate, error) {
+	t := &updateTemplate{
+		sch:      sch,
+		setIdx:   make([]int, len(st.Set)),
+		setExprs: make([]*plan.PreparedExpr, len(st.Set)),
+	}
+	for j, sc := range st.Set {
+		idx, err := sch.Resolve("", sc.Column)
 		if err != nil {
 			return nil, err
 		}
-		sch := cur.Schema
-		setIdx := make([]int, len(st.Set))
-		setExprs := make([]expr.Expr, len(st.Set))
-		for j, sc := range st.Set {
-			idx, err := sch.Resolve("", sc.Column)
-			if err != nil {
-				return nil, err
-			}
-			low, err := plan.BuildRowExpr(sc.Value, sch, w)
-			if err != nil {
-				return nil, err
-			}
-			setIdx[j], setExprs[j] = idx, low
+		low, err := plan.PrepareRowExpr(sc.Value, sch, cat)
+		if err != nil {
+			return nil, err
 		}
-		var pred expr.Expr
-		if st.Where != nil {
-			pred, err = plan.BuildRowExpr(st.Where, sch, w)
+		t.setIdx[j], t.setExprs[j] = idx, low
+	}
+	if st.Where != nil {
+		p, err := plan.PrepareRowExpr(st.Where, sch, cat)
+		if err != nil {
+			return nil, err
+		}
+		t.pred = p
+	}
+	return t, nil
+}
+
+// bindRowExpr instantiates a prepared row expression for w, reporting
+// ok = false when w's catalog diverged from compile time (the caller must
+// recompile); errors other than plan.ErrRebind are returned as-is.
+func bindRowExpr(p *plan.PreparedExpr, w *world.World) (expr.Expr, bool, error) {
+	e, err := p.Bind(w)
+	if err == nil {
+		return e, true, nil
+	}
+	if !errors.Is(err, plan.ErrRebind) {
+		return nil, false, err
+	}
+	return nil, false, nil
+}
+
+// bind instantiates the template for one world; ok is false when the
+// world's table schema or catalog diverged and the caller must recompile.
+func (t *updateTemplate) bind(sch *schema.Schema, w *world.World) (setExprs []expr.Expr, pred expr.Expr, ok bool, err error) {
+	if !sch.Identical(t.sch) {
+		return nil, nil, false, nil
+	}
+	setExprs = make([]expr.Expr, len(t.setExprs))
+	for j, p := range t.setExprs {
+		e, bound, err := bindRowExpr(p, w)
+		if err != nil || !bound {
+			return nil, nil, false, err
+		}
+		setExprs[j] = e
+	}
+	if t.pred != nil {
+		e, bound, err := bindRowExpr(t.pred, w)
+		if err != nil || !bound {
+			return nil, nil, false, err
+		}
+		pred = e
+	}
+	return setExprs, pred, true, nil
+}
+
+// bindOrCompileRowExpr instantiates a prepared row expression for w,
+// recompiling against w's own schema and catalog when they diverged from
+// compile time (the exact per-world path of the sequential engine).
+func bindOrCompileRowExpr(tmpl *plan.PreparedExpr, tmplSchema *schema.Schema, src sqlparse.Expr, sch *schema.Schema, w *world.World) (expr.Expr, error) {
+	if sch.Identical(tmplSchema) {
+		e, ok, err := bindRowExpr(tmpl, w)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return e, nil
+		}
+	}
+	return plan.BuildRowExpr(src, sch, w)
+}
+
+// execUpdate applies the SET clauses to the rows matching WHERE, in every
+// world; a resulting key violation in any world aborts the statement.
+// Candidate relations are built in parallel (worlds are independent); the
+// SET/WHERE expressions compile once and bind per world.
+func (s *Session) execUpdate(st *sqlparse.Update) (*Result, error) {
+	key := s.keys[strings.ToLower(st.Table)]
+	worlds := s.set.Worlds
+	rep, err := worlds[0].Lookup(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := prepareUpdate(st, rep.Schema, worlds[0])
+	if err != nil {
+		return nil, err
+	}
+	type cand struct {
+		rel     *relation.Relation
+		changed int
+	}
+	cands, err := exec.Map(s.workers, len(worlds), func(i int) (cand, error) {
+		w := worlds[i]
+		cur, err := w.Lookup(st.Table)
+		if err != nil {
+			return cand{}, err
+		}
+		sch := cur.Schema
+		setIdx := tmpl.setIdx
+		setExprs, pred, ok, err := tmpl.bind(sch, w)
+		if err != nil {
+			return cand{}, err
+		}
+		if !ok {
+			// Schema or catalog diverged: recompile against this world —
+			// the same code path as the shared template, so errors and
+			// semantics match the sequential engine exactly.
+			wtmpl, err := prepareUpdate(st, sch, w)
 			if err != nil {
-				return nil, err
+				return cand{}, err
+			}
+			setIdx = wtmpl.setIdx
+			setExprs, pred, ok, err = wtmpl.bind(sch, w)
+			if err != nil {
+				return cand{}, err
+			}
+			if !ok {
+				return cand{}, fmt.Errorf("internal: update template compiled against world %s failed to bind it", w.Name)
 			}
 		}
 		next := relation.New(sch)
+		changed := 0
 		for _, t := range cur.Tuples {
 			ctx := &expr.Context{Schema: sch, Tuple: t}
 			match := true
 			if pred != nil {
 				v, err := pred.Eval(ctx)
 				if err != nil {
-					return nil, err
+					return cand{}, err
 				}
 				match = v.Truth()
 			}
@@ -349,69 +479,97 @@ func (s *Session) execUpdate(st *sqlparse.Update) (*Result, error) {
 				continue
 			}
 			nt := t.Clone()
-			for j := range st.Set {
+			for j := range setExprs {
 				v, err := setExprs[j].Eval(ctx)
 				if err != nil {
-					return nil, err
+					return cand{}, err
 				}
 				nt[setIdx[j]] = v
 			}
 			next.Tuples = append(next.Tuples, nt)
-			total++
+			changed++
 		}
 		if len(key) > 0 {
 			if err := checkKey(next, key); err != nil {
-				return nil, fmt.Errorf("%w in world %s (statement discarded in all worlds)", err, w.Name)
+				return cand{}, fmt.Errorf("%w in world %s (statement discarded in all worlds)", err, w.Name)
 			}
 		}
-		updated[i] = next
+		return cand{rel: next, changed: changed}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i, w := range s.set.Worlds {
-		w.Put(st.Table, updated[i])
+	total := 0
+	for i, w := range worlds {
+		w.Put(st.Table, cands[i].rel)
+		total += cands[i].changed
 	}
-	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("updated %d row(s) across %d world(s)", total, len(s.set.Worlds)), Weighted: s.set.Weighted}, nil
+	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("updated %d row(s) across %d world(s)", total, len(worlds)), Weighted: s.set.Weighted}, nil
 }
 
-// execDelete removes matching rows in every world.
+// execDelete removes matching rows in every world, in parallel, with the
+// WHERE predicate compiled once and bound per world.
 func (s *Session) execDelete(st *sqlparse.Delete) (*Result, error) {
-	updated := make([]*relation.Relation, len(s.set.Worlds))
-	total := 0
-	for i, w := range s.set.Worlds {
-		cur, err := w.Lookup(st.Table)
+	worlds := s.set.Worlds
+	rep, err := worlds[0].Lookup(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	var tmplPred *plan.PreparedExpr
+	if st.Where != nil {
+		tmplPred, err = plan.PrepareRowExpr(st.Where, rep.Schema, worlds[0])
 		if err != nil {
 			return nil, err
+		}
+	}
+	repSchema := rep.Schema
+	type cand struct {
+		rel     *relation.Relation
+		changed int
+	}
+	cands, err := exec.Map(s.workers, len(worlds), func(i int) (cand, error) {
+		w := worlds[i]
+		cur, err := w.Lookup(st.Table)
+		if err != nil {
+			return cand{}, err
 		}
 		sch := cur.Schema
 		var pred expr.Expr
 		if st.Where != nil {
-			pred, err = plan.BuildRowExpr(st.Where, sch, w)
+			pred, err = bindOrCompileRowExpr(tmplPred, repSchema, st.Where, sch, w)
 			if err != nil {
-				return nil, err
+				return cand{}, err
 			}
 		}
 		next := relation.New(sch)
+		changed := 0
 		for _, t := range cur.Tuples {
 			if pred != nil {
 				v, err := pred.Eval(&expr.Context{Schema: sch, Tuple: t})
 				if err != nil {
-					return nil, err
+					return cand{}, err
 				}
 				if v.Truth() {
-					total++
+					changed++
 					continue
 				}
 			} else {
-				total++
+				changed++
 				continue
 			}
 			next.Tuples = append(next.Tuples, t)
 		}
-		updated[i] = next
+		return cand{rel: next, changed: changed}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i, w := range s.set.Worlds {
-		w.Put(st.Table, updated[i])
+	total := 0
+	for i, w := range worlds {
+		w.Put(st.Table, cands[i].rel)
+		total += cands[i].changed
 	}
-	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("deleted %d row(s) across %d world(s)", total, len(s.set.Worlds)), Weighted: s.set.Weighted}, nil
+	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("deleted %d row(s) across %d world(s)", total, len(worlds)), Weighted: s.set.Weighted}, nil
 }
 
 // freshWorldName mints a lineage-based child world name.

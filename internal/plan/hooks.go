@@ -51,7 +51,7 @@ func BuildOnRelation(stmt *sqlparse.SelectStmt, input *relation.Relation, cat Ca
 	if stmt.Union != nil {
 		return nil, fmt.Errorf("%w: UNION cannot be combined with world-splitting clauses", ErrPlan)
 	}
-	from := algebra.NewScan(input)
+	from := &inputScan{Scan: algebra.Scan{Rel: input}}
 	e := &env{cat: cat, scopes: []*schema.Schema{input.Schema}}
 	aggSpecs, aggKeys := collectAggregates(stmt)
 	if len(aggSpecs) > 0 || len(stmt.GroupBy) > 0 {

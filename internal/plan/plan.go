@@ -150,7 +150,7 @@ func buildFrom(refs []sqlparse.TableRef, cat Catalog, outer []*schema.Schema) (a
 		if err != nil {
 			return nil, nil, fmt.Errorf("%w: %v", ErrPlan, err)
 		}
-		scan := algebra.NewScan(rel.WithSchema(rel.Schema.Unqualify().Qualify(ref.Binding())))
+		scan := newTableScan(ref.Name, rel, ref.Binding())
 		if op == nil {
 			op = scan
 		} else {
@@ -291,13 +291,13 @@ func (e *env) lower(x sqlparse.Expr) (expr.Expr, error) {
 }
 
 // subquery compiles a nested SELECT into an expr.Subquery. The subquery's
-// own scopes sit in front of the current scopes for correlation.
+// own scopes sit in front of the current scopes for correlation. The
+// concrete compiledSubquery type (rather than an opaque closure) lets the
+// rebinder reach the underlying plan when instantiating per world.
 func (e *env) subquery(stmt *sqlparse.SelectStmt) (expr.Subquery, error) {
 	op, err := build(stmt, e.cat, e.scopes)
 	if err != nil {
 		return nil, err
 	}
-	return expr.SubqueryFunc(func(ctx *expr.Context) (*relation.Relation, error) {
-		return algebra.Collect(op, ctx)
-	}), nil
+	return &compiledSubquery{op: op}, nil
 }

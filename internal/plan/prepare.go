@@ -1,0 +1,538 @@
+package plan
+
+// Compile-once plan templates. The possible-worlds engine runs the plain-SQL
+// core of every statement in each world; worlds almost always share their
+// schemas, so all the expensive planning work — name resolution, star
+// expansion, aggregate rewriting, subquery compilation — can happen once
+// against a representative world. The Prepare* functions below compile such
+// a template; Bind instantiates it against another world's catalog by
+// walking the template and constructing fresh operator state with the
+// world's relations swapped into the table scans.
+//
+// Bind validates that every table it rebinds still has the column names the
+// template was compiled against and fails with ErrRebind otherwise; the
+// engine then falls back to full per-world compilation, which preserves
+// exact sequential semantics when worlds have divergent schemas. Bound
+// instances never share mutable state — operator iteration state is always
+// per-instance, and expression trees are shared only when they contain no
+// subqueries (subquery-free expressions are immutable and safe to evaluate
+// concurrently).
+
+import (
+	"errors"
+	"fmt"
+
+	"maybms/internal/algebra"
+	"maybms/internal/expr"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+)
+
+// ErrRebind reports that a template could not be instantiated against a
+// catalog — a table disappeared or its schema diverged from compile time.
+// Callers fall back to per-world compilation.
+var ErrRebind = errors.New("plan rebind failed")
+
+// tableScan is a Scan that remembers which catalog name it was compiled
+// from, so the rebinder can look the table up again in another world. The
+// embedded Scan holds the compile-time relation and the qualified schema
+// (base schema unqualified, then qualified by the FROM binding).
+type tableScan struct {
+	algebra.Scan
+	table string
+	// base is the compile-time schema of the stored relation; a rebind
+	// target must have the same column names for the template's resolved
+	// column indexes and output spellings to remain valid.
+	base *schema.Schema
+}
+
+func newTableScan(table string, rel *relation.Relation, binding string) *tableScan {
+	return &tableScan{
+		Scan:  algebra.Scan{Rel: rel.WithSchema(rel.Schema.Unqualify().Qualify(binding))},
+		table: table,
+		base:  rel.Schema,
+	}
+}
+
+// inputScan marks the scan over an externally supplied relation (the
+// FROM/WHERE intermediate of a repair/choice split); the rebinder swaps in
+// the per-piece relation.
+type inputScan struct {
+	algebra.Scan
+}
+
+// compiledSubquery is a compiled nested query. It is the planner's concrete
+// expr.Subquery so the rebinder can instantiate the inner plan per world.
+type compiledSubquery struct {
+	op algebra.Operator
+}
+
+// Eval implements expr.Subquery.
+func (s *compiledSubquery) Eval(ctx *expr.Context) (*relation.Relation, error) {
+	return algebra.Collect(s.op, ctx)
+}
+
+// binding carries the instantiation target while rebinding a template.
+type binding struct {
+	cat Catalog
+	// input replaces inputScan relations; nil outside split evaluation.
+	input *relation.Relation
+	// strip empties table and input scans instead of binding them,
+	// producing a template that retains only schemas. Prepare* use it so
+	// cached templates do not pin compile-time tuple snapshots for the
+	// session's lifetime; the rebinder never reads template tuples.
+	strip bool
+}
+
+// sameColumnNames reports whether two schemas carry identical column names
+// in order (exact, case-sensitive — spelling feeds result schemas).
+func sameColumnNames(a, b *schema.Schema) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i).Name != b.At(i).Name {
+			return false
+		}
+	}
+	return true
+}
+
+// rebindOp instantiates a fresh operator tree bound to b. Iteration state is
+// never shared with the template or with other instances.
+func rebindOp(op algebra.Operator, b *binding) (algebra.Operator, error) {
+	switch n := op.(type) {
+	case *tableScan:
+		if b.strip {
+			return &tableScan{
+				Scan:  algebra.Scan{Rel: &relation.Relation{Schema: n.Scan.Rel.Schema}},
+				table: n.table,
+				base:  n.base,
+			}, nil
+		}
+		rel, err := b.cat.Lookup(n.table)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrRebind, err)
+		}
+		if !sameColumnNames(rel.Schema, n.base) {
+			return nil, fmt.Errorf("%w: schema of %s diverged from compile time (%s vs %s)",
+				ErrRebind, n.table, rel.Schema, n.base)
+		}
+		// Same column names: the template's qualified schema (and every
+		// column index resolved against it) stays valid over the new tuples.
+		return algebra.NewScan(rel.WithSchema(n.Scan.Rel.Schema)), nil
+	case *inputScan:
+		if b.strip {
+			return &inputScan{Scan: algebra.Scan{Rel: &relation.Relation{Schema: n.Rel.Schema}}}, nil
+		}
+		if b.input == nil {
+			return nil, fmt.Errorf("%w: no input relation bound for split intermediate", ErrRebind)
+		}
+		if !b.input.Schema.Identical(n.Rel.Schema) {
+			return nil, fmt.Errorf("%w: split intermediate schema diverged (%s vs %s)",
+				ErrRebind, b.input.Schema, n.Rel.Schema)
+		}
+		return algebra.NewScan(b.input), nil
+	case *algebra.Scan:
+		// Literal relation (e.g. the dual for an empty FROM): contents are
+		// world-independent and read-only; share them under fresh state.
+		return algebra.NewScan(n.Rel), nil
+	case *algebra.Filter:
+		child, err := rebindOp(n.Child, b)
+		if err != nil {
+			return nil, err
+		}
+		pred, _, err := rebindExpr(n.Pred, b)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Filter{Child: child, Pred: pred}, nil
+	case *algebra.Project:
+		child, err := rebindOp(n.Child, b)
+		if err != nil {
+			return nil, err
+		}
+		exprs, err := rebindExprs(n.Exprs, b)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Project{Child: child, Exprs: exprs, Out: n.Out}, nil
+	case *algebra.CrossJoin:
+		left, err := rebindOp(n.Left, b)
+		if err != nil {
+			return nil, err
+		}
+		right, err := rebindOp(n.Right, b)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.CrossJoin{Left: left, Right: right}, nil
+	case *algebra.HashJoin:
+		left, err := rebindOp(n.Left, b)
+		if err != nil {
+			return nil, err
+		}
+		right, err := rebindOp(n.Right, b)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.HashJoin{Left: left, Right: right, LeftKeys: n.LeftKeys, RightKeys: n.RightKeys}, nil
+	case *algebra.Aggregate:
+		child, err := rebindOp(n.Child, b)
+		if err != nil {
+			return nil, err
+		}
+		specs := n.Specs
+		for i := range n.Specs {
+			if n.Specs[i].Arg == nil {
+				continue
+			}
+			arg, changed, err := rebindExpr(n.Specs[i].Arg, b)
+			if err != nil {
+				return nil, err
+			}
+			if changed {
+				if &specs[0] == &n.Specs[0] { // copy-on-write
+					specs = append([]expr.AggSpec(nil), n.Specs...)
+				}
+				specs[i].Arg = arg
+			}
+		}
+		return &algebra.Aggregate{Child: child, GroupBy: n.GroupBy, Specs: specs, Out: n.Out}, nil
+	case *algebra.Distinct:
+		child, err := rebindOp(n.Child, b)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Distinct{Child: child}, nil
+	case *algebra.Union:
+		left, err := rebindOp(n.Left, b)
+		if err != nil {
+			return nil, err
+		}
+		right, err := rebindOp(n.Right, b)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Union{Left: left, Right: right}, nil
+	case *algebra.Sort:
+		child, err := rebindOp(n.Child, b)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Sort{Child: child, Keys: n.Keys}, nil
+	case *algebra.Limit:
+		child, err := rebindOp(n.Child, b)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Limit{Child: child, N: n.N}, nil
+	default:
+		return nil, fmt.Errorf("%w: unsupported operator %T", ErrRebind, op)
+	}
+}
+
+// rebindExpr instantiates an expression for b. Expressions without
+// subqueries are stateless and world-independent, so they are returned
+// unchanged (changed = false) and shared across instances; any node with a
+// subquery beneath it is reconstructed around the rebound subplan.
+func rebindExpr(e expr.Expr, b *binding) (expr.Expr, bool, error) {
+	switch n := e.(type) {
+	case expr.Const, expr.Column:
+		return e, false, nil
+	case expr.Cmp:
+		l, cl, err := rebindExpr(n.L, b)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rebindExpr(n.R, b)
+		if err != nil {
+			return nil, false, err
+		}
+		if !cl && !cr {
+			return e, false, nil
+		}
+		return expr.Cmp{Op: n.Op, L: l, R: r}, true, nil
+	case expr.And:
+		l, cl, err := rebindExpr(n.L, b)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rebindExpr(n.R, b)
+		if err != nil {
+			return nil, false, err
+		}
+		if !cl && !cr {
+			return e, false, nil
+		}
+		return expr.And{L: l, R: r}, true, nil
+	case expr.Or:
+		l, cl, err := rebindExpr(n.L, b)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rebindExpr(n.R, b)
+		if err != nil {
+			return nil, false, err
+		}
+		if !cl && !cr {
+			return e, false, nil
+		}
+		return expr.Or{L: l, R: r}, true, nil
+	case expr.Not:
+		inner, changed, err := rebindExpr(n.E, b)
+		if err != nil || !changed {
+			return e, false, err
+		}
+		return expr.Not{E: inner}, true, nil
+	case expr.Arith:
+		l, cl, err := rebindExpr(n.L, b)
+		if err != nil {
+			return nil, false, err
+		}
+		r, cr, err := rebindExpr(n.R, b)
+		if err != nil {
+			return nil, false, err
+		}
+		if !cl && !cr {
+			return e, false, nil
+		}
+		return expr.Arith{Op: n.Op, L: l, R: r}, true, nil
+	case expr.Neg:
+		inner, changed, err := rebindExpr(n.E, b)
+		if err != nil || !changed {
+			return e, false, err
+		}
+		return expr.Neg{E: inner}, true, nil
+	case expr.IsNull:
+		inner, changed, err := rebindExpr(n.E, b)
+		if err != nil || !changed {
+			return e, false, err
+		}
+		return expr.IsNull{E: inner, Negated: n.Negated}, true, nil
+	case expr.Exists:
+		sub, err := rebindSubquery(n.Sub, b)
+		if err != nil {
+			return nil, false, err
+		}
+		return expr.Exists{Sub: sub, Negated: n.Negated}, true, nil
+	case expr.In:
+		left, cl, err := rebindExpr(n.Left, b)
+		if err != nil {
+			return nil, false, err
+		}
+		list := n.List
+		changed := cl
+		for i, item := range n.List {
+			ni, ci, err := rebindExpr(item, b)
+			if err != nil {
+				return nil, false, err
+			}
+			if ci {
+				if changedListShared(list, n.List) {
+					list = append([]expr.Expr(nil), n.List...)
+				}
+				list[i] = ni
+				changed = true
+			}
+		}
+		if n.Sub != nil {
+			sub, err := rebindSubquery(n.Sub, b)
+			if err != nil {
+				return nil, false, err
+			}
+			return expr.In{Left: left, List: list, Sub: sub, Negated: n.Negated}, true, nil
+		}
+		if !changed {
+			return e, false, nil
+		}
+		return expr.In{Left: left, List: list, Negated: n.Negated}, true, nil
+	case expr.Scalar:
+		sub, err := rebindSubquery(n.Sub, b)
+		if err != nil {
+			return nil, false, err
+		}
+		return expr.Scalar{Sub: sub}, true, nil
+	default:
+		return nil, false, fmt.Errorf("%w: unsupported expression %T", ErrRebind, e)
+	}
+}
+
+func changedListShared(list, orig []expr.Expr) bool {
+	return len(list) > 0 && len(orig) > 0 && &list[0] == &orig[0]
+}
+
+func rebindExprs(exprs []expr.Expr, b *binding) ([]expr.Expr, error) {
+	out := exprs
+	for i, e := range exprs {
+		ne, changed, err := rebindExpr(e, b)
+		if err != nil {
+			return nil, err
+		}
+		if changed {
+			if changedListShared(out, exprs) {
+				out = append([]expr.Expr(nil), exprs...)
+			}
+			out[i] = ne
+		}
+	}
+	return out, nil
+}
+
+func rebindSubquery(sub expr.Subquery, b *binding) (expr.Subquery, error) {
+	cs, ok := sub.(*compiledSubquery)
+	if !ok {
+		return nil, fmt.Errorf("%w: unsupported subquery %T", ErrRebind, sub)
+	}
+	op, err := rebindOp(cs.op, b)
+	if err != nil {
+		return nil, err
+	}
+	return &compiledSubquery{op: op}, nil
+}
+
+// stripTemplate drops compile-time tuple data from a compiled tree so a
+// cached template retains only schemas. If the tree holds a node the
+// rebinder does not know (impossible today), the executable tree is kept
+// as-is — Bind then fails with ErrRebind and callers fall back.
+func stripTemplate(op algebra.Operator) algebra.Operator {
+	stripped, err := rebindOp(op, &binding{strip: true})
+	if err != nil {
+		return op
+	}
+	return stripped
+}
+
+// stripExprTemplate is stripTemplate for standalone expression templates.
+func stripExprTemplate(e expr.Expr) expr.Expr {
+	stripped, _, err := rebindExpr(e, &binding{strip: true})
+	if err != nil {
+		return e
+	}
+	return stripped
+}
+
+// Prepared is a full-statement template compiled by Prepare.
+type Prepared struct {
+	op algebra.Operator
+}
+
+// Prepare compiles the plain-SQL core of stmt once against a representative
+// catalog (typically the first world). The template itself is never
+// executed; Bind instantiates it per world.
+func Prepare(stmt *sqlparse.SelectStmt, cat Catalog) (*Prepared, error) {
+	op, err := Build(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{op: stripTemplate(op)}, nil
+}
+
+// Bind instantiates the template against cat. It fails with ErrRebind when
+// cat's schemas diverge from compile time; callers then fall back to
+// per-world compilation.
+func (p *Prepared) Bind(cat Catalog) (algebra.Operator, error) {
+	return rebindOp(p.op, &binding{cat: cat})
+}
+
+// PreparedFromWhere is a FROM/WHERE-only template (the pre-split
+// intermediate of repair/choice statements).
+type PreparedFromWhere struct {
+	op algebra.Operator
+}
+
+// PrepareFromWhere compiles the FROM/WHERE part of stmt once; see
+// BuildFromWhere.
+func PrepareFromWhere(stmt *sqlparse.SelectStmt, cat Catalog) (*PreparedFromWhere, error) {
+	op, err := BuildFromWhere(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedFromWhere{op: stripTemplate(op)}, nil
+}
+
+// Bind instantiates the template against cat.
+func (p *PreparedFromWhere) Bind(cat Catalog) (algebra.Operator, error) {
+	return rebindOp(p.op, &binding{cat: cat})
+}
+
+// Schema returns the schema of the FROM/WHERE intermediate.
+func (p *PreparedFromWhere) Schema() *schema.Schema { return p.op.Schema() }
+
+// PreparedOnRelation is a template for the post-split part of a
+// repair/choice statement (aggregates, projection, DISTINCT, ORDER BY,
+// LIMIT over the materialized FROM/WHERE intermediate).
+type PreparedOnRelation struct {
+	op algebra.Operator
+}
+
+// PrepareOnRelation compiles the post-FROM/WHERE part of stmt once against
+// an intermediate of schema in; Bind supplies each piece's actual relation.
+func PrepareOnRelation(stmt *sqlparse.SelectStmt, in *schema.Schema, cat Catalog) (*PreparedOnRelation, error) {
+	op, err := BuildOnRelation(stmt, relation.New(in), cat)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedOnRelation{op: stripTemplate(op)}, nil
+}
+
+// Bind instantiates the template over one split piece in the world cat.
+func (p *PreparedOnRelation) Bind(input *relation.Relation, cat Catalog) (algebra.Operator, error) {
+	return rebindOp(p.op, &binding{cat: cat, input: input})
+}
+
+// PreparedPredicate is a compiled standalone condition (ASSERT) template.
+type PreparedPredicate struct {
+	e expr.Expr
+}
+
+// PreparePredicate compiles an ASSERT condition once; Bind yields the
+// per-world Predicate.
+func PreparePredicate(e sqlparse.Expr, cat Catalog) (*PreparedPredicate, error) {
+	env := &env{cat: cat, scopes: []*schema.Schema{schema.New()}}
+	low, err := env.lower(e)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedPredicate{e: stripExprTemplate(low)}, nil
+}
+
+// Bind instantiates the predicate against cat.
+func (p *PreparedPredicate) Bind(cat Catalog) (Predicate, error) {
+	low, _, err := rebindExpr(p.e, &binding{cat: cat})
+	if err != nil {
+		return nil, err
+	}
+	return func() (bool, error) {
+		ctx := &expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}}
+		v, err := low.Eval(ctx)
+		if err != nil {
+			return false, err
+		}
+		return v.Truth(), nil
+	}, nil
+}
+
+// PreparedExpr is a compiled row-expression template (UPDATE SET values and
+// UPDATE/DELETE WHERE clauses).
+type PreparedExpr struct {
+	e expr.Expr
+}
+
+// PrepareRowExpr compiles a row expression against schema s once; Bind
+// yields the per-world expression.
+func PrepareRowExpr(e sqlparse.Expr, s *schema.Schema, cat Catalog) (*PreparedExpr, error) {
+	low, err := BuildRowExpr(e, s, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedExpr{e: stripExprTemplate(low)}, nil
+}
+
+// Bind instantiates the expression against cat.
+func (p *PreparedExpr) Bind(cat Catalog) (expr.Expr, error) {
+	low, _, err := rebindExpr(p.e, &binding{cat: cat})
+	return low, err
+}

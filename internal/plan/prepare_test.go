@@ -1,0 +1,173 @@
+package plan
+
+import (
+	"errors"
+	"testing"
+
+	"maybms/internal/algebra"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func mustParseSelect(t *testing.T, sql string) *sqlparse.SelectStmt {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		t.Fatalf("not a select: %T", stmt)
+	}
+	return sel
+}
+
+func rel(t *testing.T, cols []string, rows ...[]int64) *relation.Relation {
+	t.Helper()
+	r := relation.New(schema.New(cols...))
+	for _, row := range rows {
+		tp := make(tuple.Tuple, len(row))
+		for i, v := range row {
+			tp[i] = value.Int(v)
+		}
+		r.MustAppend(tp)
+	}
+	return r
+}
+
+// TestPrepareBindAcrossCatalogs compiles once and binds the template to two
+// catalogs with different contents; each instance must see its own data,
+// including inside subqueries.
+func TestPrepareBindAcrossCatalogs(t *testing.T) {
+	stmt := mustParseSelect(t, `select a from R where exists (select * from S where b = a)`)
+	w1 := mapCatalog{"R": rel(t, []string{"a"}, []int64{1}, []int64{2}), "S": rel(t, []string{"b"}, []int64{1})}
+	w2 := mapCatalog{"R": rel(t, []string{"a"}, []int64{1}, []int64{2}), "S": rel(t, []string{"b"}, []int64{2})}
+
+	p, err := Prepare(stmt, w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(cat Catalog) string {
+		op, err := p.Bind(cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := algebra.Collect(op, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	got1, got2 := collect(w1), collect(w2)
+	if got1 == got2 {
+		t.Fatalf("bind ignored the catalog:\n%s", got1)
+	}
+	// Direct per-catalog compilation is the semantics reference.
+	for _, tc := range []struct {
+		cat  mapCatalog
+		got  string
+		name string
+	}{{w1, got1, "w1"}, {w2, got2, "w2"}} {
+		op, err := Build(stmt, tc.cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := algebra.Collect(op, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.got != want.String() {
+			t.Fatalf("%s: bind result diverged from direct build:\nbind:\n%s\nbuild:\n%s", tc.name, tc.got, want)
+		}
+	}
+}
+
+// TestBindSchemaDivergence verifies that binding against a catalog whose
+// table schema changed fails with ErrRebind (the engine's per-world
+// compilation fallback trigger) rather than producing wrong answers.
+func TestBindSchemaDivergence(t *testing.T) {
+	stmt := mustParseSelect(t, `select a from R`)
+	p, err := Prepare(stmt, mapCatalog{"R": rel(t, []string{"a", "b"}, []int64{1, 2})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]mapCatalog{
+		"renamed column": {"R": rel(t, []string{"x", "b"}, []int64{1, 2})},
+		"dropped column": {"R": rel(t, []string{"a"}, []int64{1})},
+		"missing table":  {},
+	} {
+		if _, err := p.Bind(bad); !errors.Is(err, ErrRebind) {
+			t.Fatalf("%s: got %v, want ErrRebind", name, err)
+		}
+	}
+	// The original catalog still binds.
+	if _, err := p.Bind(mapCatalog{"R": rel(t, []string{"a", "b"}, []int64{3, 4})}); err != nil {
+		t.Fatalf("same-schema catalog failed to bind: %v", err)
+	}
+}
+
+// TestBindInstancesAreIndependent runs two instances of one template and
+// checks that operator state is per-instance (iterating one does not
+// disturb the other).
+func TestBindInstancesAreIndependent(t *testing.T) {
+	stmt := mustParseSelect(t, `select distinct a from R order by a`)
+	cat := mapCatalog{"R": rel(t, []string{"a"}, []int64{2}, []int64{1}, []int64{2})}
+	p, err := Prepare(stmt, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op1, err := p.Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op2, err := p.Bind(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op1.Open(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := op1.Next(); err != nil || !ok {
+		t.Fatalf("op1 first Next: ok=%v err=%v", ok, err)
+	}
+	// op2 must start from the beginning regardless of op1's progress.
+	out, err := algebra.Collect(op2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("op2 saw %d rows, want 2:\n%s", out.Len(), out)
+	}
+	op1.Close()
+}
+
+// TestPreparedPredicateBind compiles an ASSERT-style predicate once and
+// evaluates it against catalogs where it differs.
+func TestPreparedPredicateBind(t *testing.T) {
+	stmt := mustParseSelect(t, `select * from R assert exists (select * from R where a = 1)`)
+	cat1 := mapCatalog{"R": rel(t, []string{"a"}, []int64{1})}
+	cat2 := mapCatalog{"R": rel(t, []string{"a"}, []int64{2})}
+	p, err := PreparePredicate(stmt.Assert, cat1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		cat  mapCatalog
+		want bool
+	}{{cat1, true}, {cat2, false}} {
+		pred, err := p.Bind(tc.cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pred()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("predicate = %v, want %v", got, tc.want)
+		}
+	}
+}

@@ -178,6 +178,22 @@ func (s *Schema) Unqualify() *Schema {
 	return &Schema{attrs: attrs}
 }
 
+// Identical reports whether two schemas are exactly equal — same
+// qualifiers and names, case-sensitively, in order. Plan templates compiled
+// against a schema remain valid precisely for identical schemas (resolved
+// column indexes and output spellings both depend on it).
+func (s *Schema) Identical(t *Schema) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.attrs[i] != t.attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // EqualNames reports whether two schemas have the same attribute names in
 // order (qualifiers ignored, case-insensitive). Union compatibility check.
 func (s *Schema) EqualNames(t *Schema) bool {

@@ -129,3 +129,22 @@ func TestEqualNames(t *testing.T) {
 		t.Error("different names must not be equal")
 	}
 }
+
+func TestIdentical(t *testing.T) {
+	a := New("A", "B")
+	if !a.Identical(New("A", "B")) {
+		t.Error("equal schemas must be identical")
+	}
+	if a.Identical(New("a", "B")) {
+		t.Error("Identical must be case-sensitive")
+	}
+	if a.Identical(New("A", "B").Qualify("t")) {
+		t.Error("Identical must compare qualifiers")
+	}
+	if a.Identical(New("A")) || a.Identical(New("A", "B", "C")) {
+		t.Error("different arity must not be identical")
+	}
+	if !New().Identical(New()) {
+		t.Error("empty schemas are identical")
+	}
+}

@@ -12,7 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
+	"maybms/internal/exec"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
@@ -35,6 +37,9 @@ const ProbEps = 1e-9
 type Set struct {
 	Weighted bool
 	Worlds   []*world.World
+	// Workers bounds the parallelism of cross-world passes (Coalesce's
+	// fingerprint computation): 1 is sequential, 0 selects GOMAXPROCS.
+	Workers int
 }
 
 // New returns a world-set containing a single empty world named "w1". The
@@ -54,7 +59,7 @@ func (s *Set) Len() int { return len(s.Worlds) }
 // Clone deep-copies the set structure (worlds are cloned; relations are
 // shared, as they are immutable).
 func (s *Set) Clone() *Set {
-	out := &Set{Weighted: s.Weighted, Worlds: make([]*world.World, len(s.Worlds))}
+	out := &Set{Weighted: s.Weighted, Workers: s.Workers, Worlds: make([]*world.World, len(s.Worlds))}
 	for i, w := range s.Worlds {
 		out.Worlds[i] = w.Clone(w.Name)
 	}
@@ -173,21 +178,30 @@ func Conf(results []*relation.Relation, probs []float64) (*relation.Relation, er
 	if len(results) != len(probs) {
 		return nil, fmt.Errorf("got %d results for %d probabilities", len(results), len(probs))
 	}
+	// lastWorld deduplicates within a world through the same map that
+	// accumulates confidences, so no per-world Distinct() copy is needed: a
+	// tuple appearing several times in one world's answer contributes that
+	// world's probability once.
 	type entry struct {
-		t    tuple.Tuple
-		conf float64
+		t         tuple.Tuple
+		conf      float64
+		lastWorld int
 	}
 	var order []string
 	acc := map[string]*entry{}
 	for i, r := range results {
-		for _, t := range r.Distinct().Tuples {
+		for _, t := range r.Tuples {
 			k := t.Key()
 			e, ok := acc[k]
 			if !ok {
-				e = &entry{t: t}
+				e = &entry{t: t, lastWorld: -1}
 				acc[k] = e
 				order = append(order, k)
 			}
+			if e.lastWorld == i {
+				continue
+			}
+			e.lastWorld = i
 			e.conf += probs[i]
 		}
 	}
@@ -229,15 +243,23 @@ func Group(keys []uint64) [][]int {
 // exponentially smaller after asserts or projections collapse choices. It
 // returns the number of worlds removed.
 func (s *Set) Coalesce() int {
+	// Fingerprints are pure functions of immutable world contents — compute
+	// them on the worker pool; the merge stays sequential in world order so
+	// representatives and summed probabilities are deterministic. The tasks
+	// cannot fail, so Do's error is structurally nil.
+	fps := make([]uint64, len(s.Worlds))
+	_ = exec.Do(s.Workers, len(s.Worlds), func(i int) error {
+		fps[i] = s.Worlds[i].Fingerprint()
+		return nil
+	})
 	byFp := map[uint64]*world.World{}
 	var kept []*world.World
-	for _, w := range s.Worlds {
-		fp := w.Fingerprint()
-		if rep, ok := byFp[fp]; ok {
+	for i, w := range s.Worlds {
+		if rep, ok := byFp[fps[i]]; ok {
 			rep.Prob += w.Prob
 			continue
 		}
-		byFp[fp] = w
+		byFp[fps[i]] = w
 		kept = append(kept, w)
 	}
 	removed := len(s.Worlds) - len(kept)
@@ -257,15 +279,15 @@ func (s *Set) TotalProb(indexes []int) float64 {
 
 // String renders every world, in order.
 func (s *Set) String() string {
-	out := ""
+	var b strings.Builder
 	for i, w := range s.Worlds {
 		if i > 0 {
-			out += "\n"
+			b.WriteString("\n")
 		}
 		if s.Weighted {
-			out += fmt.Sprintf("P(%s) = %.4f\n", w.Name, w.Prob)
+			fmt.Fprintf(&b, "P(%s) = %.4f\n", w.Name, w.Prob)
 		}
-		out += w.String()
+		b.WriteString(w.String())
 	}
-	return out
+	return b.String()
 }

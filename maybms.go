@@ -27,6 +27,28 @@
 // CONF/WEIGHT). Both enumerate worlds explicitly and are intended for
 // moderate world counts; OpenCompact provides the world-set-decomposition
 // backend that represents exponentially many worlds in linear space.
+//
+// # Parallel execution and plan caching
+//
+// Worlds are independent by construction, so the naive engine evaluates
+// every per-world pass — query evaluation, repair/choice splitting, ASSERT
+// filtering, GROUP WORLDS BY fingerprinting, INSERT/UPDATE/DELETE candidate
+// construction, and Coalesce — on a bounded worker pool (internal/exec).
+// SetWorkers tunes the pool: 1 selects the exact sequential path, 0 (the
+// default) uses runtime.GOMAXPROCS. Results are bit-identical for every
+// setting: world names, world and group order, probabilities, and closed
+// answers all match the sequential engine.
+//
+// Statements also compile once per execution rather than once per world:
+// the plain-SQL core is planned against the first world and the compiled
+// template is bound to each world's relations (internal/plan Prepare/Bind),
+// with a per-session plan cache keyed by statement text and revalidated
+// against current schemas. Worlds whose schemas diverge from the template
+// fall back to per-world compilation transparently.
+//
+// Benchmarks live in bench_test.go; run and record them with
+//
+//	go test -bench . -benchmem
 package maybms
 
 import (
@@ -98,6 +120,13 @@ func (db *DB) Weighted() bool { return db.session.Weighted() }
 // SetMaxWorlds bounds the world-set size; splits beyond it fail. The
 // default is core.DefaultMaxWorlds.
 func (db *DB) SetMaxWorlds(n int) { db.session.MaxWorlds = n }
+
+// SetWorkers bounds the engine's per-world parallelism: statements are
+// evaluated in every world concurrently on a worker pool of this size.
+// 1 selects the exact sequential path; 0 (the default) selects
+// runtime.GOMAXPROCS. Every setting produces identical results — world
+// names, ordering, probabilities, and closed answers included.
+func (db *DB) SetWorkers(n int) { db.session.SetWorkers(n) }
 
 // Coalesce merges indistinguishable worlds (identical database contents),
 // summing their probabilities. No query can tell the difference, but the

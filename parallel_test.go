@@ -1,0 +1,205 @@
+package maybms
+
+// parallel_test.go is the determinism suite for the parallel per-world
+// execution engine: every paper scenario (Figures 1–7, Examples 2.1–2.10)
+// must produce byte-identical output — statement results, error texts,
+// world names, ordering, probabilities, closed answers, and the final
+// world-set — whether it runs on the exact sequential path (workers = 1)
+// or on a worker pool (workers = 4, 16). Run under -race to also exercise
+// the engine's shared-state discipline (CI does).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// transcript executes stmts on a fresh database with the given worker
+// count and renders everything observable: per-statement results (or
+// errors), then a full world-set snapshot, then the coalesce count.
+func transcript(t *testing.T, open func() *DB, workers int, stmts []string) string {
+	t.Helper()
+	db := open()
+	db.SetWorkers(workers)
+	var b strings.Builder
+	for i, q := range stmts {
+		res, err := db.Exec(q)
+		fmt.Fprintf(&b, "-- [%d] %s\n", i, q)
+		if err != nil {
+			fmt.Fprintf(&b, "error: %v\n", err)
+			continue
+		}
+		b.WriteString(res.String())
+	}
+	fmt.Fprintf(&b, "== %d worlds\n", db.WorldCount())
+	for _, w := range db.Worlds() {
+		fmt.Fprintf(&b, "world %s P=%.9f\n", w.Name, w.Prob)
+		names := make([]string, 0, len(w.Relations))
+		for n := range w.Relations {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&b, "%s:\n%s", n, w.Relations[n])
+		}
+	}
+	fmt.Fprintf(&b, "== coalesce removed %d\n", db.Coalesce())
+	return b.String()
+}
+
+// assertDeterministic checks workers = 4 and 16 against the sequential
+// workers = 1 transcript.
+func assertDeterministic(t *testing.T, open func() *DB, stmts []string) {
+	t.Helper()
+	want := transcript(t, open, 1, stmts)
+	for _, workers := range []int{4, 16} {
+		got := transcript(t, open, workers, stmts)
+		if got != want {
+			t.Fatalf("workers=%d diverged from sequential engine\n--- sequential ---\n%s\n--- workers=%d ---\n%s",
+				workers, want, workers, got)
+		}
+	}
+}
+
+// TestParallelDeterminismPaperExamples drives Figures 1–3 and Examples
+// 2.1–2.10 (the weighted Figure 1 database).
+func TestParallelDeterminismPaperExamples(t *testing.T) {
+	open := func() *DB {
+		db := Open()
+		if _, err := db.ExecScript(figure1SQL); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	assertDeterministic(t, open, []string{
+		// Figure 2 / Example 2.4: repair by key, weighted.
+		`select A, B, C from R repair by key A weight D`,
+		`create table I as select A, B, C from R repair by key A weight D`,
+		// Example 2.1: plain select, per world.
+		`select * from I where A = 'a3'`,
+		// Example 2.2: materializing create-as.
+		`create table D1 as select * from I where A = 'a3'`,
+		// Example 2.5: assert + renormalize.
+		`select * from I assert not exists(select * from I where C = 'c1')`,
+		// Examples 2.6–2.7: choice of, with and without weight.
+		`select * from S choice of E`,
+		`select * from R choice of A weight D`,
+		// Example 2.8: possible aggregate.
+		`select possible sum(B) from I`,
+		// Example 2.9: certain under a choice split.
+		`select certain E from S choice of C`,
+		// Example 2.10: conf with a correlated condition.
+		`select conf from I where 50 > (select sum(B) from I)`,
+		`select K.B, conf from I K where exists (select * from S where C = K.C)`,
+		// Error paths must be deterministic too.
+		`select * from I assert 1 = 0`,
+		`select * from NoSuchTable`,
+		// DML across all 4 worlds.
+		`insert into S values ('c9', 'e3')`,
+		`update S set E = 'e9' where C = 'c9'`,
+		`delete from S where E = 'e9'`,
+		`select possible * from S`,
+	})
+}
+
+// TestParallelDeterminismWhales drives Section 3.1 (Figure 3's whales
+// world-set, incomplete mode) including Figure 4's GROUP WORLDS BY.
+func TestParallelDeterminismWhales(t *testing.T) {
+	open := func() *DB {
+		db := OpenIncomplete()
+		if _, err := db.ExecScript(whaleSQL); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	assertDeterministic(t, open, []string{
+		`select possible 'yes' from I where Id=1 and Pos='b'`,
+		`select * from I assert exists (select * from I where Gender='cow' and Pos='b')`,
+		`select * from I where exists (select * from I where Gender='cow' and Pos='b')`,
+		`create view ValidP as select * from I where exists
+			(select * from I where Gender='cow' and Pos='b')`,
+		`select certain * from ValidP`,
+		// Figure 4: closure within answer-equal world groups.
+		`select possible i2.Gender as G2, i3.Gender as G3
+			from I i2, I i3 where i2.Id = 2 and i3.Id = 3
+			group worlds by (select Pos from I where Id = 2)`,
+		`create table Groups as select possible i2.Gender as G2, i3.Gender as G3
+			from I i2, I i3 where i2.Id = 2 and i3.Id = 3
+			group worlds by (select Pos from I where Id = 2)`,
+		`select * from Groups g1, Groups g2
+			where not exists (select * from Groups g3
+				where g3.G2 = g1.G2 and g3.G3 = g2.G3)`,
+	})
+}
+
+// TestParallelDeterminismDataCleaning drives Section 3.2 (Figures 5–7):
+// union, composite-key repair, and the functional-dependency assert.
+func TestParallelDeterminismDataCleaning(t *testing.T) {
+	open := func() *DB {
+		db := OpenIncomplete()
+		if _, err := db.ExecScript(`
+			create table R (SSN, TEL);
+			insert into R values (123, 456), (789, 123);
+		`); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	assertDeterministic(t, open, []string{
+		`select SSN, TEL, SSN as "SSN'", TEL as "TEL'" from R
+			union select SSN, TEL, TEL as "SSN'", SSN as "TEL'" from R`,
+		`create table S as
+			select SSN, TEL, SSN as "SSN'", TEL as "TEL'" from R
+			union select SSN, TEL, TEL as "SSN'", SSN as "TEL'" from R`,
+		`select "SSN'", "TEL'" from S repair by key SSN, TEL`,
+		`create table T as select "SSN'", "TEL'" from S repair by key SSN, TEL`,
+		`select * from T assert not exists
+			(select 'yes' from T t1, T t2
+			 where t1."SSN'" = t2."SSN'" and t1."TEL'" <> t2."TEL'")`,
+	})
+}
+
+// TestParallelDeterminismScaling exercises a world-set large enough that
+// the pool actually fans out (256 repairs) through split, conf, group
+// worlds by, and DML paths.
+func TestParallelDeterminismScaling(t *testing.T) {
+	open := func() *DB {
+		db := Open()
+		db.SetMaxWorlds(1 << 12)
+		if err := db.Register("Dirty", []string{"K", "V", "W"}, dirtyRows(8)); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	assertDeterministic(t, open, []string{
+		`create table Clean as select K, V, W from Dirty repair by key K weight W`,
+		`select K, V, conf from Clean where K = 0`,
+		`select possible sum(V) from Clean group worlds by (select V from Clean where K = 0)`,
+		`insert into Clean values (99, 0, 1)`,
+		`update Clean set V = V + 10 where K = 1`,
+		`delete from Clean where K = 99`,
+		`select certain K from Clean where K < 3`,
+	})
+}
+
+// TestWorkersOneMatchesDefault sanity-checks that the default (GOMAXPROCS)
+// configuration matches an explicit pool of 8 on a closed answer.
+func TestWorkersOneMatchesDefault(t *testing.T) {
+	run := func(workers int) string {
+		db := Open()
+		db.SetMaxWorlds(1 << 12)
+		if err := db.Register("Dirty", []string{"K", "V", "W"}, dirtyRows(8)); err != nil {
+			t.Fatal(err)
+		}
+		if workers != 0 {
+			db.SetWorkers(workers)
+		}
+		db.MustExec(`create table Clean as select K, V, W from Dirty repair by key K weight W`)
+		return db.MustExec(`select K, V, conf from Clean`).String()
+	}
+	def, one, eight := run(0), run(1), run(8)
+	if def != one || one != eight {
+		t.Fatalf("default / workers=1 / workers=8 disagree:\n%s\n%s\n%s", def, one, eight)
+	}
+}
