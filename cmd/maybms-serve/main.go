@@ -1,0 +1,79 @@
+// Command maybms-serve is a concurrent multi-session I-SQL server over
+// the MayBMS engine.
+//
+// Usage:
+//
+//	maybms-serve [-tcp addr] [-http addr] [-workers n] [...]
+//
+// It speaks two transports sharing one session registry:
+//
+//   - TCP (default :7171): newline-delimited JSON — one request object per
+//     line, one response object per line, in order. Try:
+//
+//     printf '%s\n' \
+//     '{"session":"demo","query":"create table R (A, B)"}' \
+//     '{"session":"demo","query":"insert into R values (1, 2)"}' \
+//     '{"session":"demo","query":"select * from R choice of A","render":true}' \
+//     | nc localhost 7171
+//
+//   - HTTP (default :7172): POST /v1/query with the same JSON request as
+//     the body; GET /v1/health for liveness plus shared-plan-cache
+//     statistics.
+//
+// Sessions are named databases created on first use (request field
+// "session", default "default") with a "backend" of "naive" (full I-SQL)
+// or "compact" (the world-set-decomposition engine), evicted after
+// -idle of inactivity. Statements on one session serialize; different
+// sessions run concurrently, bounded by -workers across the whole
+// process, and all sessions share one compiled-statement cache.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"maybms/internal/server"
+)
+
+func main() {
+	var cfg server.Config
+	flag.StringVar(&cfg.TCPAddr, "tcp", ":7171", "TCP listen address for the line/JSON protocol (empty disables)")
+	flag.StringVar(&cfg.HTTPAddr, "http", ":7172", "HTTP listen address for /v1/query and /v1/health (empty disables)")
+	flag.IntVar(&cfg.Workers, "workers", 0, "engine parallelism across and within statements (0 = GOMAXPROCS, 1 = sequential)")
+	flag.IntVar(&cfg.MaxSessions, "max-sessions", server.DefaultMaxSessions, "maximum live sessions")
+	flag.DurationVar(&cfg.IdleTimeout, "idle", server.DefaultIdleTimeout, "evict sessions idle this long (<0 disables)")
+	flag.IntVar(&cfg.MaxRows, "max-rows", server.DefaultMaxRows, "rows encoded per relation per response (-1 = unlimited)")
+	flag.IntVar(&cfg.MaxWorlds, "max-worlds", 0, "per-session world / merge limit (0 = engine default)")
+	flag.DurationVar(&cfg.RequestTimeout, "timeout", 0, "hard cap on per-request execution time (0 = uncapped)")
+	flag.IntVar(&cfg.PlanCacheCapacity, "plan-cache", 0, "shared plan cache capacity (0 = default)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	flag.Parse()
+
+	srv := server.New(cfg)
+	if err := srv.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "maybms-serve:", err)
+		os.Exit(1)
+	}
+	if a := srv.TCPAddr(); a != nil {
+		fmt.Println("maybms-serve: tcp listening on", a)
+	}
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Println("maybms-serve: http listening on", a)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("maybms-serve: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "maybms-serve: shutdown:", err)
+		os.Exit(1)
+	}
+}

@@ -57,6 +57,27 @@ func (db *CompactDB) RegisterRelation(name string, rel *Relation) error {
 	return db.w.PutCertain(name, rel)
 }
 
+// Insert appends rows (Go values, see BuildRelation) to a certain
+// relation.
+func (db *CompactDB) Insert(name string, rows [][]any) error {
+	sch, err := db.w.Schema(name)
+	if err != nil {
+		return err
+	}
+	rel, err := BuildRelation(sch.Names(), rows)
+	if err != nil {
+		return err
+	}
+	return db.w.InsertCertain(name, rel.Tuples)
+}
+
+// SetWorkers bounds the parallelism of the compact engine's
+// component-independent passes (per-component closures, per-alternative
+// asserts and materializations, expansion): 1 selects the exact sequential
+// path, 0 (the default) selects runtime.GOMAXPROCS. Every setting produces
+// identical results.
+func (db *CompactDB) SetWorkers(n int) { db.w.Workers = n }
+
 // RepairByKey creates dst as the repair of the complete relation src under
 // the key columns, factorized into one component per key group. weight is
 // the optional weight column ("" for uniform).

@@ -1,0 +1,86 @@
+// Server quickstart: start an in-process I-SQL server, drive two named
+// sessions over the HTTP transport, and read the shared-plan-cache
+// statistics off /v1/health.
+//
+// The same server speaks the TCP line protocol; with the standalone
+// binary running (go run ./cmd/maybms-serve) this program's requests work
+// verbatim against it.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"maybms"
+)
+
+func main() {
+	srv, err := maybms.Serve(maybms.ServerConfig{HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		panic(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + srv.HTTPAddr().String()
+
+	query := func(req maybms.ServerRequest) maybms.ServerResponse {
+		body, _ := json.Marshal(req)
+		httpResp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		defer httpResp.Body.Close()
+		var out maybms.ServerResponse
+		if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+			panic(err)
+		}
+		if !out.OK {
+			panic(out.Error)
+		}
+		return out
+	}
+
+	// Two sessions, same schema: the second reuses the first's compiled
+	// plans through the process-wide shared cache.
+	for _, session := range []string{"alice", "bob"} {
+		for _, stmt := range []string{
+			`create table R (A, B, C, D)`,
+			`insert into R values
+				('a1', 10, 'c1', 2), ('a1', 15, 'c2', 6),
+				('a2', 14, 'c3', 4), ('a2', 20, 'c4', 5),
+				('a3', 20, 'c5', 6)`,
+			`create table I as select A, B, C from R repair by key A weight D`,
+		} {
+			query(maybms.ServerRequest{Session: session, Query: stmt})
+		}
+		resp := query(maybms.ServerRequest{
+			Session: session,
+			Query:   `select conf from I where 50 > (select sum(B) from I)`,
+			Render:  true,
+		})
+		fmt.Printf("[%s] conf(sum(B) < 50):\n%s\n", session, resp.Text)
+	}
+
+	// A compact session holds exponentially many worlds in linear space;
+	// the same wire protocol serves its closures.
+	for _, stmt := range []string{
+		`create table R (K, V, W)`,
+		`insert into R values ('k1', 1, 1), ('k1', 2, 3), ('k2', 7, 1), ('k2', 9, 1)`,
+		`create table I as select * from R repair by key K weight W`,
+	} {
+		query(maybms.ServerRequest{Session: "wide", Backend: "compact", Query: stmt})
+	}
+	resp := query(maybms.ServerRequest{Session: "wide", Query: `select possible V from I`, Render: true})
+	fmt.Printf("[wide/compact] possible V:\n%s\n", resp.Text)
+
+	st := maybms.SharedPlanCacheStats()
+	fmt.Printf("shared plan cache: %d hits, %d misses (bob rode on alice's compilations)\n",
+		st.Hits, st.Misses)
+}

@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 
 	"maybms/internal/algebra"
-	"maybms/internal/exec"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/sqlparse"
@@ -31,45 +30,41 @@ type queryEval struct {
 	weighted bool
 }
 
-// planCacheLimit bounds the session's compiled-statement cache; when full
-// the cache is simply reset (statement texts rarely recur beyond it).
-const planCacheLimit = 256
-
-// cacheGet returns the cached template under key, if any.
-func (s *Session) cacheGet(key string) any { return s.plans[key] }
-
-// cachePut stores a compiled template under key.
-func (s *Session) cachePut(key string, p any) {
-	if s.plans == nil || len(s.plans) >= planCacheLimit {
-		s.plans = make(map[string]any, 64)
-	}
-	s.plans[key] = p
+// cacheKey builds a shared-cache key: a kind prefix, the normalized
+// statement text, and the schema fingerprint of the representative world
+// the template is compiled against. The fingerprint makes the process-wide
+// cache safe and effective across sessions — sessions with identical
+// catalogs share entries, sessions with divergent catalogs occupy separate
+// slots instead of invalidating each other.
+func cacheKey(prefix, text string, rep *world.World) string {
+	return fmt.Sprintf("%s\x00%s\x00%x", prefix, text, rep.SchemaFingerprint())
 }
 
 // cachedTemplate returns the template under key when it is present and
 // still binds against the current schemas, else compiles and caches a fresh
 // one. The validation bind is discarded (world 0 binds again in the
 // per-world pass): one extra bind per statement is cheap next to
-// compilation, and it doubles as the staleness eviction that keeps hot
-// statements on the template path instead of falling back to per-world
-// compilation forever — the cache behaves as if keyed by (statement,
-// schema).
+// compilation, and it revalidates shared-cache hits against this session's
+// own catalog — a stale or fingerprint-colliding entry degrades to a
+// recompile, never a wrong answer.
 func cachedTemplate[T any](s *Session, key string, valid func(T) bool, compile func() (T, error)) (T, error) {
-	if p, ok := s.cacheGet(key).(T); ok && valid(p) {
-		return p, nil
+	if v, ok := s.plans.Get(key); ok {
+		if p, ok := v.(T); ok && valid(p) {
+			return p, nil
+		}
 	}
 	p, err := compile()
 	if err != nil {
 		var zero T
 		return zero, err
 	}
-	s.cachePut(key, p)
+	s.plans.Put(key, p)
 	return p, nil
 }
 
 // preparedFull returns a compile-once template for the plain-SQL core stmt.
 func (s *Session) preparedFull(stmt *sqlparse.SelectStmt, rep *world.World) (*plan.Prepared, error) {
-	return cachedTemplate(s, "q\x00"+stmt.String(),
+	return cachedTemplate(s, cacheKey("q", stmt.String(), rep),
 		func(p *plan.Prepared) bool { _, err := p.Bind(rep); return err == nil },
 		func() (*plan.Prepared, error) { return plan.Prepare(stmt, rep) })
 }
@@ -77,7 +72,7 @@ func (s *Session) preparedFull(stmt *sqlparse.SelectStmt, rep *world.World) (*pl
 // preparedFromWhere is preparedFull for the FROM/WHERE part of a
 // world-splitting statement.
 func (s *Session) preparedFromWhere(stmt *sqlparse.SelectStmt, rep *world.World) (*plan.PreparedFromWhere, error) {
-	return cachedTemplate(s, "fw\x00"+stmt.String(),
+	return cachedTemplate(s, cacheKey("fw", stmt.String(), rep),
 		func(p *plan.PreparedFromWhere) bool { _, err := p.Bind(rep); return err == nil },
 		func() (*plan.PreparedFromWhere, error) { return plan.PrepareFromWhere(stmt, rep) })
 }
@@ -86,7 +81,7 @@ func (s *Session) preparedFromWhere(stmt *sqlparse.SelectStmt, rep *world.World)
 // world-splitting statement; the key includes the intermediate schema so a
 // changed FROM/WHERE shape recompiles.
 func (s *Session) preparedOnRelation(stmt *sqlparse.SelectStmt, in *plan.PreparedFromWhere, rep *world.World) (*plan.PreparedOnRelation, error) {
-	return cachedTemplate(s, "or\x00"+stmt.String()+"\x00"+in.Schema().String(),
+	return cachedTemplate(s, cacheKey("or", stmt.String()+"\x00"+in.Schema().String(), rep),
 		func(p *plan.PreparedOnRelation) bool {
 			_, err := p.Bind(relation.New(in.Schema()), rep)
 			return err == nil
@@ -96,7 +91,7 @@ func (s *Session) preparedOnRelation(stmt *sqlparse.SelectStmt, in *plan.Prepare
 
 // preparedPredicate is preparedFull for an ASSERT condition.
 func (s *Session) preparedPredicate(e sqlparse.Expr, rep *world.World) (*plan.PreparedPredicate, error) {
-	return cachedTemplate(s, "a\x00"+e.String(),
+	return cachedTemplate(s, cacheKey("a", e.String(), rep),
 		func(p *plan.PreparedPredicate) bool { _, err := p.Bind(rep); return err == nil },
 		func() (*plan.PreparedPredicate, error) { return plan.PreparePredicate(e, rep) })
 }
@@ -203,7 +198,7 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err = exec.Map(s.workers, len(worlds), func(i int) (*relation.Relation, error) {
+		results, err = mapWorlds(s, len(worlds), func(i int) (*relation.Relation, error) {
 			op, err := bindOrBuild(prep, &core, worlds[i])
 			if err != nil {
 				return nil, err
@@ -221,7 +216,7 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 		if err != nil {
 			return nil, err
 		}
-		oks, err := exec.Map(s.workers, len(worlds), func(i int) (bool, error) {
+		oks, err := mapWorlds(s, len(worlds), func(i int) (bool, error) {
 			pred, err := aPrep.Bind(worlds[i])
 			if err != nil {
 				if !errors.Is(err, plan.ErrRebind) {
@@ -277,7 +272,7 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 		if err != nil {
 			return nil, err
 		}
-		keys, err := exec.Map(s.workers, len(worlds), func(i int) (uint64, error) {
+		keys, err := mapWorlds(s, len(worlds), func(i int) (uint64, error) {
 			op, err := bindOrBuild(gwPrep, st.GroupWorlds, worlds[i])
 			if err != nil {
 				return 0, err
@@ -300,6 +295,9 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 		groups = [][]int{all}
 	}
 
+	// The closure merge runs as a tree reduction on the worker pool (the
+	// dominant cost of huge conf queries); results are bit-identical to the
+	// sequential fold for every workers setting.
 	closed := make([]*relation.Relation, len(groups))
 	for gi, idxs := range groups {
 		groupResults := make([]*relation.Relation, len(idxs))
@@ -310,15 +308,15 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 		var err error
 		switch {
 		case st.Quantifier == sqlparse.QuantPossible:
-			rel, err = worldset.Possible(groupResults)
+			rel, err = worldset.PossibleWorkers(groupResults, s.workers, s.interrupt)
 		case st.Quantifier == sqlparse.QuantCertain:
-			rel, err = worldset.Certain(groupResults)
+			rel, err = worldset.CertainWorkers(groupResults, s.workers, s.interrupt)
 		default: // conf
 			probs := make([]float64, len(idxs))
 			for j, wi := range idxs {
 				probs[j] = worlds[wi].Prob
 			}
-			rel, err = worldset.Conf(groupResults, probs)
+			rel, err = worldset.ConfWorkers(groupResults, probs, s.workers, s.interrupt)
 		}
 		if err != nil {
 			return nil, err
@@ -374,7 +372,7 @@ func (s *Session) evalSplit(st *sqlparse.SelectStmt, core *sqlparse.SelectStmt) 
 	// reported error (a world's own split error vs ErrTooManyWorlds)
 	// deterministic and identical to the workers=1 path.
 	var pieceCount atomic.Int64
-	perWorld, err := exec.Map(s.workers, len(parents), func(i int) ([]piece, error) {
+	perWorld, err := mapWorlds(s, len(parents), func(i int) ([]piece, error) {
 		pieces, err := splitWorld(i)
 		if err != nil {
 			return nil, err
@@ -432,7 +430,7 @@ func (s *Session) evalSplit(st *sqlparse.SelectStmt, core *sqlparse.SelectStmt) 
 		child *world.World
 		res   *relation.Relation
 	}
-	outs, err := exec.Map(s.workers, len(tasks), func(i int) (evaled, error) {
+	outs, err := mapWorlds(s, len(tasks), func(i int) (evaled, error) {
 		tk := tasks[i]
 		child := tk.parent.Clone(tk.name)
 		if weighted {

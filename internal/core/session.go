@@ -44,8 +44,17 @@ type Session struct {
 	// internal/exec and SetWorkers.
 	workers int
 	// plans caches compiled statement templates (see internal/plan's
-	// Prepare/Bind); entries revalidate against current schemas on use.
-	plans     map[string]any
+	// Prepare/Bind). By default it is the process-wide shared cache
+	// (plan.SharedCache()) so concurrent sessions over identical schemas
+	// reuse each other's compilations; entries are keyed by statement text
+	// plus schema fingerprint and revalidate against current schemas on
+	// every use. SetPlanCache installs a private cache instead.
+	plans *plan.Cache
+	// interrupt, when non-nil, is polled between per-world units of work;
+	// a non-nil return aborts the running statement with that error. The
+	// server installs a request context's Err here to implement
+	// cooperative cancellation and deadlines.
+	interrupt func() error
 	nextWorld int
 }
 
@@ -56,6 +65,48 @@ type Session struct {
 func (s *Session) SetWorkers(n int) {
 	s.workers = n
 	s.set.Workers = n
+}
+
+// Workers returns the session's worker setting (0 = GOMAXPROCS).
+func (s *Session) Workers() int { return s.workers }
+
+// SetPlanCache replaces the session's compiled-statement cache. Sessions
+// default to the process-wide plan.SharedCache(); passing a private cache
+// isolates the session (nil restores the shared one).
+func (s *Session) SetPlanCache(c *plan.Cache) {
+	if c == nil {
+		c = plan.SharedCache()
+	}
+	s.plans = c
+}
+
+// PlanCache returns the cache the session compiles statements into.
+func (s *Session) PlanCache() *plan.Cache { return s.plans }
+
+// SetInterrupt installs a hook polled between per-world units of work; a
+// non-nil return aborts the running statement with that error (typically a
+// request context's Err). Pass nil to clear. The caller must not change
+// the hook while a statement is executing.
+func (s *Session) SetInterrupt(f func() error) { s.interrupt = f }
+
+// mapWorlds runs fn over [0, n) on the session's worker pool, polling the
+// interrupt hook before each task so a canceled request aborts between
+// per-world units of work. Without a hook it is exactly exec.Map: ordered
+// results, lowest-index error. (With a hook, which task observes the
+// interruption first is scheduling-dependent; the statement fails with the
+// interrupt error either way.)
+func mapWorlds[T any](s *Session, n int, fn func(i int) (T, error)) ([]T, error) {
+	intr := s.interrupt
+	if intr == nil {
+		return exec.Map(s.workers, n, fn)
+	}
+	return exec.Map(s.workers, n, func(i int) (T, error) {
+		if err := intr(); err != nil {
+			var zero T
+			return zero, err
+		}
+		return fn(i)
+	})
 }
 
 // NewSession creates a session over a single empty world. weighted selects
@@ -73,6 +124,7 @@ func NewSessionFromSet(set *worldset.Set) *Session {
 		keys:      make(map[string][]string),
 		views:     make(map[string]bool),
 		MaxWorlds: DefaultMaxWorlds,
+		plans:     plan.SharedCache(),
 	}
 }
 
@@ -264,7 +316,7 @@ func (s *Session) execInsert(st *sqlparse.Insert) (*Result, error) {
 	// Build candidate relations per world (in parallel — candidates are
 	// independent), checking keys; commit only if every world accepts.
 	key := s.keys[strings.ToLower(st.Table)]
-	updated, err := exec.Map(s.workers, len(s.set.Worlds), func(i int) (*relation.Relation, error) {
+	updated, err := mapWorlds(s, len(s.set.Worlds), func(i int) (*relation.Relation, error) {
 		w := s.set.Worlds[i]
 		cur, err := w.Lookup(st.Table)
 		if err != nil {
@@ -433,7 +485,7 @@ func (s *Session) execUpdate(st *sqlparse.Update) (*Result, error) {
 		rel     *relation.Relation
 		changed int
 	}
-	cands, err := exec.Map(s.workers, len(worlds), func(i int) (cand, error) {
+	cands, err := mapWorlds(s, len(worlds), func(i int) (cand, error) {
 		w := worlds[i]
 		cur, err := w.Lookup(st.Table)
 		if err != nil {
@@ -527,7 +579,7 @@ func (s *Session) execDelete(st *sqlparse.Delete) (*Result, error) {
 		rel     *relation.Relation
 		changed int
 	}
-	cands, err := exec.Map(s.workers, len(worlds), func(i int) (cand, error) {
+	cands, err := mapWorlds(s, len(worlds), func(i int) (cand, error) {
 		w := worlds[i]
 		cur, err := w.Lookup(st.Table)
 		if err != nil {

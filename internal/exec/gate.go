@@ -1,0 +1,35 @@
+package exec
+
+import "context"
+
+// Gate is a counting semaphore bounding cross-request parallelism: the
+// I-SQL server acquires a slot per statement execution, so the same
+// workers setting that bounds per-world parallelism inside a statement
+// also bounds how many statements execute at once across sessions. Under
+// many concurrent sessions the process then runs at most ~workers² busy
+// goroutines instead of clients × workers.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate creates a gate with Resolve(workers) slots.
+func NewGate(workers int) *Gate {
+	return &Gate{slots: make(chan struct{}, Resolve(workers))}
+}
+
+// Acquire blocks until a slot is free or ctx is done, returning ctx's
+// error in the latter case.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired with Acquire.
+func (g *Gate) Release() { <-g.slots }
+
+// Cap returns the number of slots.
+func (g *Gate) Cap() int { return cap(g.slots) }

@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateBoundsConcurrency(t *testing.T) {
+	g := NewGate(3)
+	if g.Cap() != 3 {
+		t.Fatalf("cap = %d", g.Cap())
+	}
+	var cur, peak atomic.Int32
+	done := make(chan struct{})
+	for i := 0; i < 20; i++ {
+		go func() {
+			if err := g.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				done <- struct{}{}
+				return
+			}
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			g.Release()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		<-done
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency %d exceeds gate", p)
+	}
+}
+
+func TestGateAcquireHonoursContext(t *testing.T) {
+	g := NewGate(1)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.Acquire(ctx); err == nil {
+		t.Fatal("acquire on a full gate must respect the deadline")
+	}
+	g.Release()
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

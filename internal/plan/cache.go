@@ -1,0 +1,154 @@
+package plan
+
+// A process-wide compiled-statement cache. Templates produced by the
+// Prepare* functions are immutable after stripTemplate — Bind only reads
+// them while constructing fresh per-world operator state — so one compiled
+// template can be shared by every session in the process. The cache is an
+// LRU keyed by the caller's composite key (statement text plus a schema
+// fingerprint of the catalog the template was compiled against), so
+// sessions with identical schemas hit each other's entries while sessions
+// with divergent schemas occupy separate slots instead of thrashing a
+// shared one.
+//
+// Sessions still revalidate every hit by binding the template against
+// their own representative world (see internal/core's cachedTemplate), so
+// a stale or colliding entry degrades to a recompile, never to a wrong
+// answer.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheCapacity bounds the shared cache. Each entry is a compiled
+// template stripped of tuple data (schemas and expression trees only), so
+// the memory cost per entry is small.
+const DefaultCacheCapacity = 4096
+
+// CacheStats counts cache traffic since creation (or the last Reset).
+type CacheStats struct {
+	// Hits counts Gets that found a live entry.
+	Hits uint64
+	// Misses counts Gets that found nothing.
+	Misses uint64
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64
+}
+
+// Cache is a synchronized, size-bounded LRU of compiled statement
+// templates. The zero value is not usable; call NewCache.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	stats    CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// NewCache creates a cache bounded to capacity entries (values < 1 select
+// DefaultCacheCapacity).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value under key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.stats.Hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache) Put(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	c.evictOverflowLocked()
+}
+
+// evictOverflowLocked drops LRU entries until the cache fits its capacity.
+func (c *Cache) evictOverflowLocked() {
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Capacity returns the current entry bound.
+func (c *Cache) Capacity() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.capacity
+}
+
+// SetCapacity re-bounds the cache, evicting LRU entries if it shrank.
+// Values < 1 select DefaultCacheCapacity.
+func (c *Cache) SetCapacity(capacity int) {
+	if capacity < 1 {
+		capacity = DefaultCacheCapacity
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.capacity = capacity
+	c.evictOverflowLocked()
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.stats = CacheStats{}
+}
+
+// sharedCache is the process-wide default used by every session unless it
+// opts into a private cache.
+var sharedCache = NewCache(DefaultCacheCapacity)
+
+// SharedCache returns the process-wide template cache.
+func SharedCache() *Cache { return sharedCache }

@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b (a was touched more recently)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a = %v, %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v.(int) != 3 {
+		t.Fatalf("c = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 3 hits / 1 miss", st)
+	}
+}
+
+func TestCachePutReplaces(t *testing.T) {
+	c := NewCache(4)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if v, _ := c.Get("k"); v.(int) != 2 {
+		t.Fatalf("k = %v", v)
+	}
+}
+
+func TestCacheSetCapacityShrinks(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 8; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.SetCapacity(3)
+	if c.Len() != 3 {
+		t.Fatalf("len after shrink = %d, want 3", c.Len())
+	}
+	// The three most recently used survive.
+	for i := 5; i < 8; i++ {
+		if _, ok := c.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Errorf("k%d evicted, want kept", i)
+		}
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g+i)%32)
+				if v, ok := c.Get(key); ok {
+					_ = v
+				}
+				c.Put(key, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}
+
+func TestSharedCacheIsProcessWide(t *testing.T) {
+	if SharedCache() != SharedCache() {
+		t.Fatal("SharedCache must return one instance")
+	}
+}

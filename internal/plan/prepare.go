@@ -21,6 +21,7 @@ package plan
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"maybms/internal/algebra"
 	"maybms/internal/expr"
@@ -29,6 +30,14 @@ import (
 	"maybms/internal/sqlparse"
 	"maybms/internal/tuple"
 )
+
+// prepares counts template compilations process-wide; it makes cache
+// effectiveness observable (a cache hit executes zero Prepare* calls).
+var prepares atomic.Uint64
+
+// PrepareCount returns the number of Prepare* template compilations
+// performed by the process so far.
+func PrepareCount() uint64 { return prepares.Load() }
 
 // ErrRebind reports that a template could not be instantiated against a
 // catalog — a table disappeared or its schema diverged from compile time.
@@ -423,6 +432,7 @@ type Prepared struct {
 // catalog (typically the first world). The template itself is never
 // executed; Bind instantiates it per world.
 func Prepare(stmt *sqlparse.SelectStmt, cat Catalog) (*Prepared, error) {
+	prepares.Add(1)
 	op, err := Build(stmt, cat)
 	if err != nil {
 		return nil, err
@@ -446,6 +456,7 @@ type PreparedFromWhere struct {
 // PrepareFromWhere compiles the FROM/WHERE part of stmt once; see
 // BuildFromWhere.
 func PrepareFromWhere(stmt *sqlparse.SelectStmt, cat Catalog) (*PreparedFromWhere, error) {
+	prepares.Add(1)
 	op, err := BuildFromWhere(stmt, cat)
 	if err != nil {
 		return nil, err
@@ -471,6 +482,7 @@ type PreparedOnRelation struct {
 // PrepareOnRelation compiles the post-FROM/WHERE part of stmt once against
 // an intermediate of schema in; Bind supplies each piece's actual relation.
 func PrepareOnRelation(stmt *sqlparse.SelectStmt, in *schema.Schema, cat Catalog) (*PreparedOnRelation, error) {
+	prepares.Add(1)
 	op, err := BuildOnRelation(stmt, relation.New(in), cat)
 	if err != nil {
 		return nil, err
@@ -491,6 +503,7 @@ type PreparedPredicate struct {
 // PreparePredicate compiles an ASSERT condition once; Bind yields the
 // per-world Predicate.
 func PreparePredicate(e sqlparse.Expr, cat Catalog) (*PreparedPredicate, error) {
+	prepares.Add(1)
 	env := &env{cat: cat, scopes: []*schema.Schema{schema.New()}}
 	low, err := env.lower(e)
 	if err != nil {

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"fmt"
+
+	"maybms/internal/core"
+)
+
+// A backend executes I-SQL statements for one session. Calls are
+// serialized by the session's lock; implementations need not be
+// concurrency-safe across exec calls (statement execution itself may
+// parallelize internally).
+type backend interface {
+	// exec runs one statement.
+	exec(sql string) (*core.Result, error)
+	// setInterrupt installs (or clears, with nil) a cooperative
+	// cancellation hook polled during statement execution. Backends that
+	// cannot cancel mid-statement may ignore it.
+	setInterrupt(f func() error)
+	// kind returns the backend name ("naive" or "compact").
+	kind() string
+	// worlds renders the current world count.
+	worlds() string
+}
+
+// naiveBackend is a full I-SQL session over explicitly enumerated worlds.
+type naiveBackend struct {
+	s *core.Session
+}
+
+func newNaiveBackend(weighted bool, workers, maxWorlds int) *naiveBackend {
+	s := core.NewSession(weighted)
+	s.SetWorkers(workers)
+	if maxWorlds > 0 {
+		s.MaxWorlds = maxWorlds
+	}
+	return &naiveBackend{s: s}
+}
+
+func (b *naiveBackend) exec(sql string) (*core.Result, error) { return b.s.Exec(sql) }
+func (b *naiveBackend) setInterrupt(f func() error)           { b.s.SetInterrupt(f) }
+func (b *naiveBackend) kind() string                          { return "naive" }
+func (b *naiveBackend) worlds() string                        { return fmt.Sprintf("%d", b.s.WorldCount()) }
+
+// newBackend builds a backend by name ("" and "naive" select the naive
+// engine, "compact" the world-set-decomposition engine).
+func newBackend(name string, weighted bool, workers, maxWorlds int) (backend, error) {
+	switch name {
+	case "", "naive":
+		return newNaiveBackend(weighted, workers, maxWorlds), nil
+	case "compact":
+		return newCompactBackend(weighted, workers, maxWorlds), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want naive or compact)", name)
+	}
+}

@@ -1,0 +1,440 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"maybms/internal/algebra"
+	"maybms/internal/core"
+	"maybms/internal/expr"
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+	"maybms/internal/worldset"
+	"maybms/internal/wsd"
+)
+
+// errCompactUnsupported prefixes every "this statement needs the naive
+// backend" error so clients can detect it.
+var errCompactUnsupported = errors.New("unsupported by the compact backend")
+
+func algebraCollect(op algebra.Operator) (*relation.Relation, error) {
+	return algebra.Collect(op, nil)
+}
+
+// schemaCatalog exposes the WSD's relation schemas (over empty relations)
+// as a compile target: planning needs names and columns only, and the
+// compiled template is stripped of tuples anyway.
+func (b *compactBackend) schemaCatalog() plan.Catalog {
+	return plan.CatalogFunc(func(name string) (*relation.Relation, error) {
+		sch, err := b.d.Schema(name)
+		if err != nil {
+			return nil, err
+		}
+		return relation.New(sch), nil
+	})
+}
+
+// schemaFingerprint hashes the WSD's catalog shape, mirroring
+// world.SchemaFingerprint for the compact engine: it keys the shared plan
+// cache so compact sessions over identical schemas share templates too.
+func (b *compactBackend) schemaFingerprint() uint64 {
+	h := fnv.New64a()
+	for _, n := range b.d.Names() { // sorted
+		sch, _ := b.d.Schema(n)
+		fmt.Fprintf(h, "%s=%s;", strings.ToLower(n), sch)
+	}
+	return h.Sum64()
+}
+
+// preparedSelect compiles sel once — through the process-wide shared plan
+// cache, keyed like the naive engine's templates — and returns an
+// evaluator that binds the template per alternative (every alternative
+// shares the decomposition's schemas, so a bind failure falls back to
+// per-alternative compilation for exactness, never an error).
+func (b *compactBackend) preparedSelect(sel *sqlparse.SelectStmt) (func(cat plan.Catalog) (*relation.Relation, error), error) {
+	key := fmt.Sprintf("cq\x00%s\x00%x", sel.String(), b.schemaFingerprint())
+	compileCat := b.schemaCatalog()
+	var prep *plan.Prepared
+	if v, ok := plan.SharedCache().Get(key); ok {
+		if p, ok := v.(*plan.Prepared); ok {
+			if _, err := p.Bind(compileCat); err == nil {
+				prep = p
+			}
+		}
+	}
+	if prep == nil {
+		p, err := plan.Prepare(sel, compileCat)
+		if err != nil {
+			return nil, err
+		}
+		plan.SharedCache().Put(key, p)
+		prep = p
+	}
+	return func(cat plan.Catalog) (*relation.Relation, error) {
+		op, err := prep.Bind(cat)
+		if err != nil {
+			if !errors.Is(err, plan.ErrRebind) {
+				return nil, err
+			}
+			op, err = plan.Build(sel, cat)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return algebraCollect(op)
+	}, nil
+}
+
+// compactBackend serves I-SQL over a world-set decomposition. The compact
+// representation cannot run every I-SQL statement efficiently — that is
+// the point of the naive/compact split in the paper's companion systems —
+// so it accepts the subset with a direct decomposition counterpart and
+// rejects the rest with errCompactUnsupported:
+//
+//   - CREATE TABLE t (cols)                      — empty certain relation
+//   - INSERT INTO t VALUES (…), (…)              — append certain tuples
+//   - CREATE TABLE d AS SELECT * FROM s
+//     REPAIR BY KEY k [WEIGHT w] | CHOICE OF u [WEIGHT w]
+//     — one component per key group / one component, O(tuples) space for
+//     exponentially many worlds
+//   - CREATE TABLE d AS <plain SQL>              — partial expansion: only
+//     the components contributing to the referenced relations are merged
+//   - SELECT [POSSIBLE|CERTAIN] <plain SQL core> — closure over the merged
+//     component's alternatives, never full enumeration
+//   - SELECT <exprs>, CONF <plain SQL core>      — exact confidences
+//   - ASSERT <condition>                         — filter + renormalize
+//     the merged component (statement form of Example 2.5)
+//   - DROP TABLE [IF EXISTS] t                   — certain relations only
+type compactBackend struct {
+	d        *wsd.WSD
+	weighted bool
+}
+
+func newCompactBackend(weighted bool, workers, mergeLimit int) *compactBackend {
+	d := wsd.New(weighted)
+	d.Workers = workers
+	if mergeLimit > 0 {
+		d.MergeLimit = mergeLimit
+	}
+	return &compactBackend{d: d, weighted: weighted}
+}
+
+func (b *compactBackend) setInterrupt(f func() error) { b.d.Interrupt = f }
+func (b *compactBackend) kind() string                { return "compact" }
+func (b *compactBackend) worlds() string              { return b.d.WorldCount().String() }
+
+func (b *compactBackend) ok(format string, args ...any) (*core.Result, error) {
+	return &core.Result{Kind: core.ResultOK, Msg: fmt.Sprintf(format, args...), Weighted: b.weighted}, nil
+}
+
+func (b *compactBackend) exec(sql string) (*core.Result, error) {
+	// ASSERT as a standalone statement: the compact counterpart of the
+	// paper's assert clause (which the naive engine runs inside SELECT and
+	// makes durable via CREATE TABLE AS).
+	trimmed := strings.TrimSpace(sql)
+	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "assert ") {
+		return b.execAssert(trimmed[7:])
+	}
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sqlparse.CreateTable:
+		if len(st.PrimaryKey) > 0 {
+			return nil, fmt.Errorf("%w: PRIMARY KEY declarations (use REPAIR BY KEY)", errCompactUnsupported)
+		}
+		if err := b.d.PutCertain(st.Name, relation.New(schema.New(st.Columns...))); err != nil {
+			return nil, err
+		}
+		return b.ok("created table %s", st.Name)
+	case *sqlparse.Insert:
+		return b.execInsert(st)
+	case *sqlparse.Drop:
+		if err := b.d.DropCertain(st.Name); err != nil {
+			if st.IfExists && errors.Is(err, wsd.ErrUnknown) {
+				return b.ok("dropped %s", st.Name)
+			}
+			return nil, err
+		}
+		return b.ok("dropped %s", st.Name)
+	case *sqlparse.CreateTableAs:
+		return b.execCreateAs(st)
+	case *sqlparse.SelectStmt:
+		return b.execSelect(st)
+	default:
+		return nil, fmt.Errorf("%w: %T statements", errCompactUnsupported, stmt)
+	}
+}
+
+// execInsert appends constant rows to a certain relation.
+func (b *compactBackend) execInsert(st *sqlparse.Insert) (*core.Result, error) {
+	if len(st.Columns) > 0 {
+		return nil, fmt.Errorf("%w: INSERT column lists", errCompactUnsupported)
+	}
+	sch, err := b.d.Schema(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]tuple.Tuple, len(st.Rows))
+	for i, exprRow := range st.Rows {
+		if len(exprRow) != sch.Len() {
+			return nil, fmt.Errorf("INSERT row has %d values, table %s has %d columns", len(exprRow), st.Table, sch.Len())
+		}
+		t := make(tuple.Tuple, len(exprRow))
+		for j, ex := range exprRow {
+			v, err := constValue(ex)
+			if err != nil {
+				return nil, err
+			}
+			t[j] = v
+		}
+		rows[i] = t
+	}
+	if err := b.d.InsertCertain(st.Table, rows); err != nil {
+		return nil, err
+	}
+	return b.ok("inserted %d row(s) into %s", len(rows), st.Table)
+}
+
+// constValue evaluates a constant insert expression (literals, arithmetic
+// on literals, unary minus) — the compact mirror of the naive engine's
+// rule that INSERT rows are world-independent.
+func constValue(e sqlparse.Expr) (value.Value, error) {
+	low, err := plan.BuildScalar(e, plan.CatalogFunc(func(name string) (*relation.Relation, error) {
+		return nil, fmt.Errorf("INSERT values must be constant; relation %q referenced", name)
+	}))
+	if err != nil {
+		return value.Null(), err
+	}
+	return low.Eval(&expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}})
+}
+
+// execAssert parses and applies a standalone ASSERT condition.
+func (b *compactBackend) execAssert(cond string) (*core.Result, error) {
+	cond = strings.TrimSuffix(strings.TrimSpace(cond), ";")
+	probe, err := sqlparse.Parse("select 1 where " + cond)
+	if err != nil {
+		return nil, fmt.Errorf("assert condition: %w", err)
+	}
+	sel := probe.(*sqlparse.SelectStmt)
+	if sel.HasISQL() {
+		return nil, fmt.Errorf("%w: I-SQL constructs in assert conditions", errCompactUnsupported)
+	}
+	e := sel.Where
+	touching := referencedRelations(sel)
+	// Compile the condition once and bind it per alternative, like the
+	// naive engine's ASSERT templates.
+	pp, err := plan.PreparePredicate(e, b.schemaCatalog())
+	if err != nil {
+		return nil, err
+	}
+	err = b.d.Assert(touching, func(cat plan.Catalog) (bool, error) {
+		pred, err := pp.Bind(cat)
+		if err != nil {
+			if !errors.Is(err, plan.ErrRebind) {
+				return false, err
+			}
+			pred, err = plan.BuildPredicate(e, cat)
+			if err != nil {
+				return false, err
+			}
+		}
+		return pred()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.ok("asserted; %s world(s) remain", b.d.WorldCount())
+}
+
+// execCreateAs materializes a query: repair/choice over `select * from t`
+// become decomposition components; plain SQL becomes a partial-expansion
+// materialization.
+func (b *compactBackend) execCreateAs(st *sqlparse.CreateTableAs) (*core.Result, error) {
+	q := st.Query
+	if q.Repair != nil || q.Choice != nil {
+		src, err := plainStarSource(q)
+		if err != nil {
+			return nil, err
+		}
+		if q.Repair != nil {
+			if err := b.d.RepairByKey(src, st.Name, q.Repair.Key, q.Repair.Weight); err != nil {
+				return nil, err
+			}
+			return b.ok("created table %s: repair of %s (%s worlds)", st.Name, src, b.d.WorldCount())
+		}
+		if err := b.d.ChoiceOf(src, st.Name, q.Choice.Attrs, q.Choice.Weight); err != nil {
+			return nil, err
+		}
+		return b.ok("created table %s: choice over %s (%s worlds)", st.Name, src, b.d.WorldCount())
+	}
+	if q.HasISQL() {
+		return nil, fmt.Errorf("%w: CREATE TABLE AS with possible/certain/conf/assert/group-worlds-by (query the closure directly instead)", errCompactUnsupported)
+	}
+	eval, err := b.preparedSelect(q)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.d.Materialize(st.Name, referencedRelations(q), eval); err != nil {
+		return nil, err
+	}
+	return b.ok("created table %s", st.Name)
+}
+
+// execSelect answers SELECT statements: plain SQL runs by partial
+// expansion; POSSIBLE / CERTAIN / CONF close over the merged component's
+// alternatives without ever enumerating worlds of untouched components.
+func (b *compactBackend) execSelect(st *sqlparse.SelectStmt) (*core.Result, error) {
+	if st.Repair != nil || st.Choice != nil || st.Assert != nil || st.GroupWorlds != nil {
+		return nil, fmt.Errorf("%w: repair/choice/assert/group-worlds-by inside SELECT (use CREATE TABLE AS … or the ASSERT statement)", errCompactUnsupported)
+	}
+	hasConf := false
+	items := make([]sqlparse.SelectItem, 0, len(st.Items))
+	for _, it := range st.Items {
+		if _, ok := it.Expr.(sqlparse.ConfExpr); ok {
+			if hasConf {
+				return nil, fmt.Errorf("at most one conf item is allowed")
+			}
+			hasConf = true
+			continue
+		}
+		items = append(items, it)
+	}
+	if hasConf && st.Quantifier != sqlparse.QuantNone {
+		return nil, fmt.Errorf("conf cannot be combined with %s", st.Quantifier)
+	}
+	if hasConf && !b.weighted {
+		return nil, fmt.Errorf("conf requires a probabilistic session: %w", worldset.ErrNotWeighted)
+	}
+
+	core_ := *st
+	core_.Quantifier = sqlparse.QuantNone
+	core_.Items = items
+	eval, err := b.preparedSelect(&core_)
+	if err != nil {
+		return nil, err
+	}
+	results, probs, err := b.d.Query(referencedRelations(&core_), eval)
+	if err != nil {
+		return nil, err
+	}
+
+	var rel *relation.Relation
+	switch {
+	case st.Quantifier == sqlparse.QuantPossible:
+		rel, err = worldset.PossibleWorkers(results, b.d.Workers, b.d.Interrupt)
+	case st.Quantifier == sqlparse.QuantCertain:
+		rel, err = worldset.CertainWorkers(results, b.d.Workers, b.d.Interrupt)
+	case hasConf:
+		rel, err = worldset.ConfWorkers(results, probs, b.d.Workers, b.d.Interrupt)
+	default:
+		if len(results) > 1 {
+			return nil, fmt.Errorf("%w: per-world answers over uncertain relations (close with possible, certain or conf)", errCompactUnsupported)
+		}
+		rel = results[0]
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &core.Result{
+		Kind:     core.ResultClosed,
+		Groups:   []core.GroupRows{{Prob: 1, Rel: rel}},
+		Weighted: b.weighted,
+	}, nil
+}
+
+// plainStarSource checks that a repair/choice query core is exactly
+// `select * from t` and returns t: the decomposition operations work on a
+// whole certain relation (project afterwards with CREATE TABLE AS).
+func plainStarSource(q *sqlparse.SelectStmt) (string, error) {
+	core := *q
+	core.Repair, core.Choice = nil, nil
+	if core.HasISQL() {
+		return "", fmt.Errorf("%w: combining repair/choice with other I-SQL constructs", errCompactUnsupported)
+	}
+	star := len(q.Items) == 1 && q.Items[0].Alias == ""
+	if star {
+		s, ok := q.Items[0].Expr.(sqlparse.Star)
+		star = ok && s.Qualifier == ""
+	}
+	if !star || len(q.From) != 1 || q.From[0].Alias != "" || q.Where != nil ||
+		len(q.GroupBy) > 0 || q.Having != nil || len(q.OrderBy) > 0 || q.Limit >= 0 || q.Union != nil {
+		return "", fmt.Errorf("%w: repair/choice sources other than `select * from t` (materialize the source first)", errCompactUnsupported)
+	}
+	return q.From[0].Name, nil
+}
+
+// referencedRelations walks a statement and collects every table name it
+// references, including inside subqueries and union arms. Passing a
+// superset to the WSD is harmless — only components contributing to the
+// names are merged — so no catalog filtering is needed.
+func referencedRelations(q *sqlparse.SelectStmt) []string {
+	seen := map[string]bool{}
+	var names []string
+	var walkStmt func(*sqlparse.SelectStmt)
+	var walkExpr func(sqlparse.Expr)
+	walkExpr = func(e sqlparse.Expr) {
+		switch n := e.(type) {
+		case sqlparse.BinaryExpr:
+			walkExpr(n.L)
+			walkExpr(n.R)
+		case sqlparse.UnaryExpr:
+			walkExpr(n.E)
+		case sqlparse.IsNullExpr:
+			walkExpr(n.E)
+		case sqlparse.ExistsExpr:
+			walkStmt(n.Sub)
+		case sqlparse.InExpr:
+			walkExpr(n.Left)
+			for _, item := range n.List {
+				walkExpr(item)
+			}
+			if n.Sub != nil {
+				walkStmt(n.Sub)
+			}
+		case sqlparse.SubqueryExpr:
+			walkStmt(n.Sub)
+		case sqlparse.FuncCall:
+			for _, a := range n.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmt = func(s *sqlparse.SelectStmt) {
+		if s == nil {
+			return
+		}
+		for _, tr := range s.From {
+			k := strings.ToLower(tr.Name)
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, tr.Name)
+			}
+		}
+		for _, it := range s.Items {
+			if it.Expr != nil {
+				walkExpr(it.Expr)
+			}
+		}
+		if s.Where != nil {
+			walkExpr(s.Where)
+		}
+		if s.Having != nil {
+			walkExpr(s.Having)
+		}
+		if s.Assert != nil {
+			walkExpr(s.Assert)
+		}
+		walkStmt(s.GroupWorlds)
+		walkStmt(s.Union)
+	}
+	walkStmt(q)
+	return names
+}

@@ -1,0 +1,282 @@
+package server
+
+// integration_test.go: multi-client network tests. The acceptance
+// scenario — ≥ 64 concurrent clients across ≥ 8 sessions with answers
+// byte-identical to the embedded engine — runs over the real TCP
+// transport; a second scenario gives every client its own session and
+// full DDL lifecycle. Run under -race in CI.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpClient is a minimal line-protocol client.
+type tcpClient struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+func dialTCP(t *testing.T, addr string) *tcpClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	return &tcpClient{conn: conn, enc: json.NewEncoder(conn), sc: sc}
+}
+
+func (c *tcpClient) close() { c.conn.Close() }
+
+func (c *tcpClient) roundTrip(req Request) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("connection closed")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (c *tcpClient) exec(t *testing.T, session, query string) *Response {
+	t.Helper()
+	resp, err := c.roundTrip(Request{Session: session, Query: query, Render: true})
+	if err != nil {
+		t.Fatalf("session %s %q: %v", session, query, err)
+	}
+	if !resp.OK {
+		t.Fatalf("session %s %q: %s", session, query, resp.Error)
+	}
+	return resp
+}
+
+func startTCPServer(t *testing.T) *Server {
+	t.Helper()
+	srv := New(Config{TCPAddr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	})
+	return srv
+}
+
+// TestConcurrent64ClientsOver8Sessions: 8 sessions are set up once, then
+// 64 clients (8 per session) hammer the paper's read-only examples
+// concurrently. Every response must be byte-identical to the embedded
+// engine's rendering.
+func TestConcurrent64ClientsOver8Sessions(t *testing.T) {
+	const sessions = 8
+	const clientsPerSession = 8
+	const rounds = 3
+
+	srv := startTCPServer(t)
+	addr := srv.TCPAddr().String()
+
+	// Reference renderings from the embedded engine.
+	setupWant := embeddedTranscript(t, append(append([]string{}, figure1Setup...), paperQueries...))
+	queryWant := setupWant[len(figure1Setup):]
+
+	// Set each session up through the wire, checking DDL acknowledgements
+	// byte-for-byte too.
+	setup := dialTCP(t, addr)
+	defer setup.close()
+	for si := 0; si < sessions; si++ {
+		name := fmt.Sprintf("s%d", si)
+		for i, stmt := range figure1Setup {
+			if got := setup.exec(t, name, stmt).Text; got != setupWant[i] {
+				t.Fatalf("session %s setup %q:\n%s\nwant:\n%s", name, stmt, got, setupWant[i])
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, sessions*clientsPerSession)
+	for si := 0; si < sessions; si++ {
+		for ci := 0; ci < clientsPerSession; ci++ {
+			wg.Add(1)
+			go func(si, ci int) {
+				defer wg.Done()
+				name := fmt.Sprintf("s%d", si)
+				conn, err := net.Dial("tcp", addr)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer conn.Close()
+				sc := bufio.NewScanner(conn)
+				sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+				enc := json.NewEncoder(conn)
+				for r := 0; r < rounds; r++ {
+					// Stagger statement order per client so the per-session
+					// serialization is exercised from every interleaving.
+					for qi := range paperQueries {
+						q := (qi + ci + r) % len(paperQueries)
+						if err := enc.Encode(Request{Session: name, Query: paperQueries[q], Render: true}); err != nil {
+							errs <- err
+							return
+						}
+						if !sc.Scan() {
+							errs <- fmt.Errorf("client %d/%d: connection closed", si, ci)
+							return
+						}
+						var resp Response
+						if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+							errs <- err
+							return
+						}
+						if !resp.OK {
+							errs <- fmt.Errorf("client %d/%d %q: %s", si, ci, paperQueries[q], resp.Error)
+							return
+						}
+						if resp.Text != queryWant[q] {
+							errs <- fmt.Errorf("client %d/%d %q: answer diverged from embedded engine:\n%s\nwant:\n%s",
+								si, ci, paperQueries[q], resp.Text, queryWant[q])
+							return
+						}
+					}
+				}
+			}(si, ci)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrent64SessionLifecycles: 64 clients each drive their own
+// session through the full script — DDL, DML, repair, closures —
+// concurrently, all byte-identical to the embedded engine.
+func TestConcurrent64SessionLifecycles(t *testing.T) {
+	const clients = 64
+	srv := startTCPServer(t)
+	addr := srv.TCPAddr().String()
+
+	script := append(append([]string{}, figure1Setup...), paperQueries...)
+	want := embeddedTranscript(t, script)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			sc := bufio.NewScanner(conn)
+			sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+			enc := json.NewEncoder(conn)
+			name := fmt.Sprintf("life%d", ci)
+			for i, stmt := range script {
+				if err := enc.Encode(Request{Session: name, Query: stmt, Render: true}); err != nil {
+					errs <- err
+					return
+				}
+				if !sc.Scan() {
+					errs <- fmt.Errorf("client %d: connection closed", ci)
+					return
+				}
+				var resp Response
+				if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+					errs <- err
+					return
+				}
+				if !resp.OK {
+					errs <- fmt.Errorf("client %d %q: %s", ci, stmt, resp.Error)
+					return
+				}
+				if resp.Text != want[i] {
+					errs <- fmt.Errorf("client %d %q: diverged:\n%s\nwant:\n%s", ci, stmt, resp.Text, want[i])
+					return
+				}
+			}
+			// Tidy up so the registry drains as clients finish.
+			if _, err := (&tcpClient{conn: conn, enc: enc, sc: sc}).roundTrip(Request{Op: OpClose, Session: name}); err != nil {
+				errs <- err
+			}
+		}(ci)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := srv.reg.len(); n != 0 {
+		t.Errorf("%d sessions left after close", n)
+	}
+}
+
+// TestMalformedLineAndGracefulShutdown exercises protocol error handling
+// and the shutdown path with live connections.
+func TestMalformedLineAndGracefulShutdown(t *testing.T) {
+	srv := New(Config{TCPAddr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.TCPAddr().String()
+
+	c := dialTCP(t, addr)
+	defer c.close()
+	if _, err := fmt.Fprintln(c.conn, "this is not json"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.sc.Scan() {
+		t.Fatal("no response to malformed line")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "bad request") {
+		t.Fatalf("malformed line response = %+v", resp)
+	}
+	// The connection survives and keeps working.
+	if got := c.exec(t, "g", "select 1 as X"); got.Kind != "worlds" {
+		t.Fatalf("follow-up = %+v", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && ctx.Err() == nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// New connections are refused after shutdown.
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Fatal("dial after shutdown should fail")
+	}
+	// Starting a fresh server on the same config works (sockets released).
+	srv2 := New(Config{TCPAddr: "127.0.0.1:0"})
+	if err := srv2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = srv2.Shutdown(ctx2)
+}

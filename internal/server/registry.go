@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// session is one named database plus its execution lock. The lock is a
+// 1-slot channel rather than a mutex so waiters can abandon the wait when
+// their request context expires.
+type session struct {
+	name    string
+	backend backend
+	lock    chan struct{}
+	// lastUsed is the unix-nano time of the last completed statement,
+	// guarded by the registry mutex.
+	lastUsed time.Time
+}
+
+// acquire takes the session's execution lock, honouring ctx.
+func (s *session) acquire(ctx context.Context) error {
+	select {
+	case s.lock <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// tryAcquire takes the lock only if it is free (used by the evictor so it
+// never waits behind a running statement).
+func (s *session) tryAcquire() bool {
+	select {
+	case s.lock <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *session) release() { <-s.lock }
+
+// registry is the concurrent map of live sessions.
+type registry struct {
+	mu          sync.Mutex
+	sessions    map[string]*session
+	maxSessions int
+	now         func() time.Time // swappable for tests
+}
+
+func newRegistry(maxSessions int) *registry {
+	if maxSessions < 1 {
+		maxSessions = DefaultMaxSessions
+	}
+	return &registry{
+		sessions:    map[string]*session{},
+		maxSessions: maxSessions,
+		now:         time.Now,
+	}
+}
+
+// get returns the session under name, creating it with create when absent.
+func (r *registry) get(name string, create func() (backend, error)) (*session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sessions[name]; ok {
+		return s, nil
+	}
+	if len(r.sessions) >= r.maxSessions {
+		return nil, fmt.Errorf("session limit reached (%d live sessions)", r.maxSessions)
+	}
+	b, err := create()
+	if err != nil {
+		return nil, err
+	}
+	s := &session{name: name, backend: b, lock: make(chan struct{}, 1), lastUsed: r.now()}
+	r.sessions[name] = s
+	return s, nil
+}
+
+// lookup returns the session currently registered under name (nil if
+// none).
+func (r *registry) lookup(name string) *session {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sessions[name]
+}
+
+// touch records that the session just executed a statement.
+func (r *registry) touch(s *session) {
+	r.mu.Lock()
+	s.lastUsed = r.now()
+	r.mu.Unlock()
+}
+
+// close removes the named session; it reports whether one existed. A
+// running statement keeps its (now unregistered) session alive until it
+// finishes; subsequent requests see a fresh session.
+func (r *registry) close(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.sessions[name]; !ok {
+		return false
+	}
+	delete(r.sessions, name)
+	return true
+}
+
+// closeAll drops every session (shutdown).
+func (r *registry) closeAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sessions = map[string]*session{}
+}
+
+// list snapshots the live sessions. Backend calls are serialized by the
+// session lock, so the world count is read only when the lock is free; a
+// session mid-statement reports "busy" instead of racing the engine.
+func (r *registry) list() []SessionInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	out := make([]SessionInfo, 0, len(r.sessions))
+	for _, s := range r.sessions {
+		worlds := "busy"
+		if s.tryAcquire() {
+			worlds = s.backend.worlds()
+			s.release()
+		}
+		out = append(out, SessionInfo{
+			Name:    s.name,
+			Backend: s.backend.kind(),
+			Worlds:  worlds,
+			IdleMs:  now.Sub(s.lastUsed).Milliseconds(),
+		})
+	}
+	return out
+}
+
+// len returns the number of live sessions.
+func (r *registry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// evictIdle removes sessions idle longer than timeout, skipping any with a
+// running statement. It returns the number evicted.
+func (r *registry) evictIdle(timeout time.Duration) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	evicted := 0
+	for name, s := range r.sessions {
+		if now.Sub(s.lastUsed) < timeout {
+			continue
+		}
+		if !s.tryAcquire() {
+			continue // mid-statement; it will be touched on completion
+		}
+		delete(r.sessions, name)
+		s.release()
+		evicted++
+	}
+	return evicted
+}

@@ -1,0 +1,491 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maybms/internal/core"
+	"maybms/internal/exec"
+	"maybms/internal/plan"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxSessions = 1024
+	DefaultMaxRows     = 10000
+	DefaultIdleTimeout = 15 * time.Minute
+)
+
+// Config parameterizes a Server. The zero value is a working local
+// configuration with both listeners disabled (useful for embedding;
+// Handle still works).
+type Config struct {
+	// TCPAddr is the listen address of the newline-delimited JSON
+	// protocol ("" disables; ":0" picks a free port).
+	TCPAddr string
+	// HTTPAddr is the listen address of the HTTP transport
+	// (POST /v1/query, GET /v1/health; "" disables).
+	HTTPAddr string
+	// Workers bounds both the per-world parallelism inside a statement
+	// and, through the admission gate, how many statements execute at once
+	// across sessions. 0 selects GOMAXPROCS, 1 the sequential engine.
+	Workers int
+	// MaxSessions bounds the number of live sessions (default 1024).
+	MaxSessions int
+	// IdleTimeout evicts sessions idle this long (default 15m; < 0
+	// disables eviction).
+	IdleTimeout time.Duration
+	// MaxRows bounds encoded rows per relation in responses (default
+	// 10000; -1 disables). Requests may lower (or with -1 lift) it.
+	MaxRows int
+	// MaxWorlds bounds each naive session's world-set and each compact
+	// session's merge limit (0 keeps the engine defaults).
+	MaxWorlds int
+	// RequestTimeout caps every request's execution time (0 = uncapped;
+	// requests may still set tighter deadlines via timeout_ms).
+	RequestTimeout time.Duration
+	// PlanCacheCapacity, when > 0, re-bounds the process-wide shared plan
+	// cache at server start.
+	PlanCacheCapacity int
+}
+
+// Health is the GET /v1/health payload.
+type Health struct {
+	OK       bool   `json:"ok"`
+	Sessions int    `json:"sessions"`
+	UptimeMs int64  `json:"uptime_ms"`
+	Workers  int    `json:"workers"`
+	Gate     int    `json:"gate"`
+	Prepares uint64 `json:"plan_prepares"`
+	// Plan-cache traffic of the process-wide shared cache.
+	CacheHits      uint64 `json:"plan_cache_hits"`
+	CacheMisses    uint64 `json:"plan_cache_misses"`
+	CacheEvictions uint64 `json:"plan_cache_evictions"`
+	CacheEntries   int    `json:"plan_cache_entries"`
+}
+
+// Server is a concurrent multi-session I-SQL server. Create with New,
+// start listeners with Start, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	reg  *registry
+	gate *exec.Gate
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	started time.Time
+
+	mu      sync.Mutex
+	tcpLn   net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+	// conns maps live TCP connections to their busy flag (true while a
+	// request is executing), so Shutdown can close idle connections
+	// immediately instead of waiting out clients that merely hold a
+	// connection open.
+	conns   map[net.Conn]*atomic.Bool
+	closing atomic.Bool
+	running bool
+
+	connWG sync.WaitGroup
+	loopWG sync.WaitGroup
+}
+
+// New creates a server from cfg without binding anything.
+func New(cfg Config) *Server {
+	if cfg.MaxRows == 0 {
+		cfg.MaxRows = DefaultMaxRows
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		reg:     newRegistry(cfg.MaxSessions),
+		gate:    exec.NewGate(cfg.Workers),
+		baseCtx: ctx,
+		cancel:  cancel,
+		started: time.Now(),
+		conns:   map[net.Conn]*atomic.Bool{},
+	}
+}
+
+// Start binds the configured listeners and serves until Shutdown.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.running {
+		return errors.New("server already started")
+	}
+	if s.baseCtx.Err() != nil {
+		// The base context died with Shutdown; restarted requests would
+		// nondeterministically abort against its closed Done channel.
+		return errors.New("server cannot be restarted after Shutdown; create a new Server")
+	}
+	if s.cfg.PlanCacheCapacity > 0 {
+		plan.SharedCache().SetCapacity(s.cfg.PlanCacheCapacity)
+	}
+	if s.cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		if err != nil {
+			return fmt.Errorf("tcp listen: %w", err)
+		}
+		s.tcpLn = ln
+		s.loopWG.Add(1)
+		go s.acceptLoop(ln)
+	}
+	if s.cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			if s.tcpLn != nil {
+				s.tcpLn.Close()
+				s.tcpLn = nil
+			}
+			return fmt.Errorf("http listen: %w", err)
+		}
+		s.httpLn = ln
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /v1/query", s.handleHTTPQuery)
+		mux.HandleFunc("GET /v1/health", s.handleHTTPHealth)
+		s.httpSrv = &http.Server{Handler: mux, BaseContext: func(net.Listener) context.Context { return s.baseCtx }}
+		s.loopWG.Add(1)
+		go func() {
+			defer s.loopWG.Done()
+			_ = s.httpSrv.Serve(ln) // returns ErrServerClosed on Shutdown
+		}()
+	}
+	if s.cfg.IdleTimeout > 0 {
+		s.loopWG.Add(1)
+		go s.evictLoop()
+	}
+	s.running = true
+	return nil
+}
+
+// TCPAddr returns the bound TCP address (nil when disabled or not
+// started).
+func (s *Server) TCPAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tcpLn == nil {
+		return nil
+	}
+	return s.tcpLn.Addr()
+}
+
+// HTTPAddr returns the bound HTTP address (nil when disabled or not
+// started).
+func (s *Server) HTTPAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// Shutdown stops accepting work, closes idle connections, waits for
+// in-flight requests up to ctx's deadline, then force-closes what remains
+// and drops every session.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	// closing is set under s.mu, and acceptLoop registers connections
+	// under s.mu checking it first — so every connection is either swept
+	// below or refused at registration; none can slip in after the sweep
+	// and stall the drain.
+	s.closing.Store(true)
+	tcpLn, httpSrv := s.tcpLn, s.httpSrv
+	s.tcpLn, s.httpSrv, s.httpLn = nil, nil, nil
+	s.running = false
+	// Idle connections (no request executing) are blocked in a read with
+	// nothing owed to them — close them now so the drain below only waits
+	// for real work. Busy connections finish their in-flight response and
+	// exit on the closing flag.
+	for c, busy := range s.conns {
+		if !busy.Load() {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+
+	if tcpLn != nil {
+		tcpLn.Close()
+	}
+	var httpErr error
+	if httpSrv != nil {
+		httpErr = httpSrv.Shutdown(ctx)
+	}
+
+	// Wait for TCP connections to drain; on deadline, force-close them
+	// (in-flight statements abort via the cancelled base context).
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+	}
+	s.cancel()
+	s.connWG.Wait()
+	s.loopWG.Wait()
+	s.reg.closeAll()
+	if httpErr != nil {
+		return httpErr
+	}
+	return ctx.Err()
+}
+
+// evictLoop periodically drops idle sessions.
+func (s *Server) evictLoop() {
+	defer s.loopWG.Done()
+	period := s.cfg.IdleTimeout / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.reg.evictIdle(s.cfg.IdleTimeout)
+		}
+	}
+}
+
+// acceptLoop serves the TCP line protocol.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.loopWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		busy := &atomic.Bool{}
+		s.mu.Lock()
+		if s.closing.Load() {
+			// Shutdown's sweep already ran; refusing here (instead of
+			// registering) keeps the connection out of the drain.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = busy
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn, busy)
+	}
+}
+
+// serveConn handles one TCP connection: one JSON request per line, one
+// JSON response line per request, in order. busy is raised around each
+// request so Shutdown distinguishes idle connections (closed immediately)
+// from in-flight ones (drained).
+func (s *Server) serveConn(conn net.Conn, busy *atomic.Bool) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.connWG.Done()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		busy.Store(true)
+		if s.closing.Load() {
+			// The shutdown sweep may have classified this connection idle
+			// (the request line landed concurrently) and closed it; do not
+			// execute a statement whose response cannot be delivered.
+			return
+		}
+		var req Request
+		var resp *Response
+		if err := json.Unmarshal([]byte(line), &req); err != nil {
+			resp = errorResponse("", fmt.Errorf("bad request: %w", err))
+		} else {
+			resp = s.Handle(s.baseCtx, &req)
+		}
+		err := enc.Encode(resp)
+		busy.Store(false)
+		if err != nil || s.closing.Load() {
+			return
+		}
+	}
+	// A failed read (e.g. a request line beyond the scanner's 8 MB buffer)
+	// still owes the client a diagnostic before the connection closes —
+	// resynchronizing mid-line is impossible, so closing is correct.
+	if err := scanner.Err(); err != nil {
+		_ = enc.Encode(errorResponse("", fmt.Errorf("read: %w", err)))
+	}
+}
+
+// handleHTTPQuery is POST /v1/query.
+func (s *Server) handleHTTPQuery(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(errorResponse("", fmt.Errorf("bad request: %w", err)))
+		return
+	}
+	resp := s.Handle(r.Context(), &req)
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.OK {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+	}
+	// Encode streams straight into the chunked response body, so large
+	// (row-bounded) answers never double-buffer on the server.
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleHTTPHealth is GET /v1/health.
+func (s *Server) handleHTTPHealth(w http.ResponseWriter, r *http.Request) {
+	st := plan.SharedCache().Stats()
+	h := Health{
+		OK:             true,
+		Sessions:       s.reg.len(),
+		UptimeMs:       time.Since(s.started).Milliseconds(),
+		Workers:        exec.Resolve(s.cfg.Workers),
+		Gate:           s.gate.Cap(),
+		Prepares:       plan.PrepareCount(),
+		CacheHits:      st.Hits,
+		CacheMisses:    st.Misses,
+		CacheEvictions: st.Evictions,
+		CacheEntries:   plan.SharedCache().Len(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+// Handle executes one request. It is the transport-independent entry
+// point (both the TCP and HTTP paths go through it), safe for concurrent
+// use.
+func (s *Server) Handle(ctx context.Context, req *Request) *Response {
+	name, err := normalizeSessionName(req.Session)
+	if err != nil {
+		return errorResponse(req.Session, err)
+	}
+	switch req.Op {
+	case "", OpQuery:
+		return s.handleQuery(ctx, name, req)
+	case OpClose:
+		if s.reg.close(name) {
+			return &Response{OK: true, Session: name, Kind: "closed_session"}
+		}
+		return errorResponse(name, fmt.Errorf("no session %q", name))
+	case OpList:
+		return &Response{OK: true, Kind: "sessions", Sessions: s.reg.list()}
+	case OpPing:
+		return &Response{OK: true, Kind: "pong"}
+	default:
+		return errorResponse(name, fmt.Errorf("unknown op %q", req.Op))
+	}
+}
+
+// handleQuery runs one statement against the named session.
+func (s *Server) handleQuery(ctx context.Context, name string, req *Request) *Response {
+	if strings.TrimSpace(req.Query) == "" {
+		return errorResponse(name, errors.New("empty query"))
+	}
+
+	// Per-request deadline: the tighter of the request's and the server's.
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMs > 0 {
+		rt := time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout <= 0 || rt < timeout {
+			timeout = rt
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Resolve the session, retrying if an idle-eviction sweep raced the
+	// lookup (the lock acquisition below makes the race observable).
+	var sess *session
+	for {
+		var err error
+		sess, err = s.reg.get(name, func() (backend, error) {
+			return newBackend(req.Backend, !req.Incomplete, s.cfg.Workers, s.cfg.MaxWorlds)
+		})
+		if err != nil {
+			return errorResponse(name, err)
+		}
+		if err := sess.acquire(ctx); err != nil {
+			return errorResponse(name, err)
+		}
+		if s.reg.lookup(name) == sess {
+			break
+		}
+		sess.release() // evicted between get and acquire; retry on a fresh one
+	}
+
+	// Cross-request admission: one gate slot per executing statement, so
+	// Workers bounds total engine parallelism across sessions.
+	if err := s.gate.Acquire(ctx); err != nil {
+		sess.release()
+		return errorResponse(name, err)
+	}
+
+	// Run the statement with cooperative cancellation. On deadline the
+	// request returns immediately; the statement observes the interrupt at
+	// its next per-world unit of work and the session lock is held until
+	// it actually stops, keeping the session serialized.
+	sess.backend.setInterrupt(ctx.Err)
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := sess.backend.exec(req.Query)
+		sess.backend.setInterrupt(nil)
+		s.reg.touch(sess)
+		s.gate.Release()
+		sess.release()
+		ch <- outcome{res, err}
+	}()
+
+	select {
+	case out := <-ch:
+		if out.err != nil {
+			return errorResponse(name, out.err)
+		}
+		maxRows := s.cfg.MaxRows
+		if req.MaxRows != 0 {
+			maxRows = req.MaxRows
+		}
+		if maxRows < 0 {
+			maxRows = -1
+		}
+		return encodeResult(name, out.res, maxRows, req.Render)
+	case <-ctx.Done():
+		return errorResponse(name, fmt.Errorf("request aborted: %w", ctx.Err()))
+	}
+}

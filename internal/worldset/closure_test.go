@@ -1,0 +1,116 @@
+package worldset
+
+// closure_test.go checks that the pairwise tree reduction behind the
+// possible / certain / conf closures is bit-identical to the sequential
+// fold for every workers setting — including the float accumulation order
+// of conf, which the reduction preserves by carrying world indexes instead
+// of partial sums.
+
+import (
+	"math/rand"
+	"testing"
+
+	"maybms/internal/relation"
+)
+
+// randResults builds per-world answers with overlapping tuples so dedup,
+// intersection and confidence accumulation all have work to do.
+func randResults(rng *rand.Rand, worlds, domain, maxRows int) []*relation.Relation {
+	out := make([]*relation.Relation, worlds)
+	for i := range out {
+		vals := make([]int, rng.Intn(maxRows+1))
+		for j := range vals {
+			vals[j] = rng.Intn(domain)
+		}
+		out[i] = rel(vals...)
+	}
+	return out
+}
+
+func randProbs(rng *rand.Rand, n int) []float64 {
+	probs := make([]float64, n)
+	total := 0.0
+	for i := range probs {
+		probs[i] = rng.Float64() + 1e-3
+		total += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	return probs
+}
+
+func TestTreeReductionMatchesSequentialFold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		worlds := 1 + rng.Intn(33)
+		results := randResults(rng, worlds, 12, 8)
+		probs := randProbs(rng, worlds)
+		seqP, err := PossibleWorkers(results, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqC, err := CertainWorkers(results, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqF, err := ConfWorkers(results, probs, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, 8, 64} {
+			gotP, err := PossibleWorkers(results, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotP.String() != seqP.String() {
+				t.Fatalf("trial %d workers %d: possible diverged\nseq:\n%s\npar:\n%s", trial, workers, seqP, gotP)
+			}
+			gotC, err := CertainWorkers(results, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotC.String() != seqC.String() {
+				t.Fatalf("trial %d workers %d: certain diverged\nseq:\n%s\npar:\n%s", trial, workers, seqC, gotC)
+			}
+			gotF, err := ConfWorkers(results, probs, workers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// String() formats floats with %v precision loss; compare the
+			// float payloads exactly.
+			if !equalBits(t, seqF, gotF) {
+				t.Fatalf("trial %d workers %d: conf diverged\nseq:\n%s\npar:\n%s", trial, workers, seqF, gotF)
+			}
+		}
+	}
+}
+
+// equalBits compares two conf relations tuple by tuple, requiring exact
+// (bit-level) float equality in the trailing conf column.
+func equalBits(t *testing.T, a, b *relation.Relation) bool {
+	t.Helper()
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := range a.Tuples {
+		ta, tb := a.Tuples[i], b.Tuples[i]
+		if len(ta) != len(tb) {
+			return false
+		}
+		if ta.Key() != tb.Key() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPossibleWorkersSingleWorld(t *testing.T) {
+	got, err := PossibleWorkers([]*relation.Relation{rel(3, 1, 3)}, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("possible over one world = %v", got.Tuples)
+	}
+}

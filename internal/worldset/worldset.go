@@ -139,49 +139,213 @@ func requireSameArity(results []*relation.Relation) error {
 
 // Possible computes the POSSIBLE closure over per-world answers: the
 // deduplicated union. results[i] must be the answer in world i of the
-// group being closed.
+// group being closed. It runs sequentially; PossibleWorkers is the
+// tree-reduction variant.
 func Possible(results []*relation.Relation) (*relation.Relation, error) {
+	return PossibleWorkers(results, 1, nil)
+}
+
+// PossibleWorkers computes the POSSIBLE closure by pairwise tree reduction
+// on a worker pool of the given size (1 = sequential, 0 = GOMAXPROCS).
+// The merge keeps first-appearance order across world order, so the result
+// is identical for every workers setting and to the sequential fold —
+// which still runs as a single O(total) pass when the pool is size 1.
+// interrupt (nil ok) is polled between units of work: a non-nil return
+// aborts the closure with that error, so deadlined server requests do not
+// hold the engine through a huge merge.
+func PossibleWorkers(results []*relation.Relation, workers int, interrupt func() error) (*relation.Relation, error) {
 	if err := requireSameArity(results); err != nil {
 		return nil, err
 	}
-	out := relation.New(results[0].Schema)
-	for _, r := range results {
-		out.Tuples = append(out.Tuples, r.Tuples...)
+	if exec.Resolve(workers) == 1 || len(results) == 1 {
+		out := relation.New(results[0].Schema)
+		for _, r := range results {
+			if err := poll(interrupt); err != nil {
+				return nil, err
+			}
+			out.Tuples = append(out.Tuples, r.Tuples...)
+		}
+		return out.Distinct(), nil
 	}
-	return out.Distinct(), nil
+	// Leaves: dedup each world's answer; the tree then merges deduped sets.
+	parts, err := exec.Map(workers, len(results), func(i int) (*relation.Relation, error) {
+		if err := poll(interrupt); err != nil {
+			return nil, err
+		}
+		return results[i].Distinct(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := treeReduce(parts, workers, interrupt, func(a, b *relation.Relation) (*relation.Relation, error) {
+		// a's tuples (already first-appearance ordered) then b's tuples not
+		// in a, in b's order — exactly the first-appearance order of the
+		// concatenated range.
+		out := relation.New(a.Schema)
+		out.Tuples = append(out.Tuples, a.Tuples...)
+		seen := keySetOf(a)
+		for _, t := range b.Tuples {
+			if _, dup := seen[t.Key()]; !dup {
+				out.Tuples = append(out.Tuples, t)
+			}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// poll invokes a (possibly nil) interrupt hook.
+func poll(interrupt func() error) error {
+	if interrupt == nil {
+		return nil
+	}
+	return interrupt()
+}
+
+// keySetOf returns the set of tuple keys of r.
+func keySetOf(r *relation.Relation) map[string]struct{} {
+	out := make(map[string]struct{}, len(r.Tuples))
+	for _, t := range r.Tuples {
+		out[t.Key()] = struct{}{}
+	}
+	return out
 }
 
 // Certain computes the CERTAIN closure: tuples present in every per-world
-// answer.
+// answer. It runs sequentially; CertainWorkers is the tree-reduction
+// variant.
 func Certain(results []*relation.Relation) (*relation.Relation, error) {
+	return CertainWorkers(results, 1, nil)
+}
+
+// CertainWorkers computes the CERTAIN closure by pairwise tree reduction:
+// intersection is associative and relation.Intersect keeps the left
+// operand's order, so the result — ordered by the first world's answer —
+// is identical for every workers setting and to the sequential fold.
+func CertainWorkers(results []*relation.Relation, workers int, interrupt func() error) (*relation.Relation, error) {
 	if err := requireSameArity(results); err != nil {
 		return nil, err
 	}
-	out := results[0].Distinct()
-	for _, r := range results[1:] {
-		out = relation.Intersect(out, r)
-		if out.Empty() {
-			break
+	if exec.Resolve(workers) == 1 || len(results) == 1 {
+		out := results[0].Distinct()
+		for _, r := range results[1:] {
+			if err := poll(interrupt); err != nil {
+				return nil, err
+			}
+			out = relation.Intersect(out, r)
+			if out.Empty() {
+				break
+			}
 		}
+		return out, nil
 	}
-	return out, nil
+	parts := append([]*relation.Relation(nil), results...)
+	parts[0] = parts[0].Distinct()
+	return treeReduce(parts, workers, interrupt, func(a, b *relation.Relation) (*relation.Relation, error) {
+		if a.Empty() {
+			return a, nil
+		}
+		return relation.Intersect(a, b), nil
+	})
+}
+
+// confPartial is the tree-reduction state of a CONF closure over a
+// contiguous range of worlds: the distinct tuples in first-appearance
+// order, each with the ascending list of world indexes whose answer
+// contains it. Carrying indexes instead of partial probability sums keeps
+// the final float accumulation in strict world order, bit-identical to the
+// sequential fold for every workers setting.
+type confPartial struct {
+	order   []string
+	tuples  map[string]tuple.Tuple
+	inWorld map[string][]int32
 }
 
 // Conf computes tuple confidences: for every distinct tuple appearing in
 // some per-world answer, the sum of probabilities of the worlds whose
 // answer contains it. probs[i] is the probability of world i. The result
-// extends the answer schema with a trailing "conf" column.
+// extends the answer schema with a trailing "conf" column. It runs
+// sequentially; ConfWorkers is the tree-reduction variant.
 func Conf(results []*relation.Relation, probs []float64) (*relation.Relation, error) {
+	return ConfWorkers(results, probs, 1, nil)
+}
+
+// ConfWorkers computes the CONF closure by pairwise tree reduction on a
+// worker pool — the dominant cost of huge conf queries is this merge, and
+// the per-world dedup plus pairwise merges are independent. The partials
+// carry contributing world indexes, so the probability summation happens
+// once at the end in ascending world order: results are bit-identical for
+// every workers setting.
+func ConfWorkers(results []*relation.Relation, probs []float64, workers int, interrupt func() error) (*relation.Relation, error) {
 	if err := requireSameArity(results); err != nil {
 		return nil, err
 	}
 	if len(results) != len(probs) {
 		return nil, fmt.Errorf("got %d results for %d probabilities", len(results), len(probs))
 	}
-	// lastWorld deduplicates within a world through the same map that
-	// accumulates confidences, so no per-world Distinct() copy is needed: a
-	// tuple appearing several times in one world's answer contributes that
-	// world's probability once.
+	if exec.Resolve(workers) == 1 || len(results) == 1 {
+		return confSequential(results, probs, interrupt)
+	}
+	// Leaves: dedup within each world (a tuple appearing several times in
+	// one world's answer contributes that world's probability once).
+	parts, err := exec.Map(workers, len(results), func(i int) (*confPartial, error) {
+		if err := poll(interrupt); err != nil {
+			return nil, err
+		}
+		p := &confPartial{tuples: map[string]tuple.Tuple{}, inWorld: map[string][]int32{}}
+		for _, t := range results[i].Tuples {
+			k := t.Key()
+			if _, dup := p.tuples[k]; dup {
+				continue
+			}
+			p.tuples[k] = t
+			p.inWorld[k] = []int32{int32(i)}
+			p.order = append(p.order, k)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged, err := treeReduce(parts, workers, interrupt, func(a, b *confPartial) (*confPartial, error) {
+		for _, k := range b.order {
+			if _, ok := a.tuples[k]; !ok {
+				a.tuples[k] = b.tuples[k]
+				a.order = append(a.order, k)
+			}
+			// Ranges are disjoint and ascending: appending keeps the index
+			// list sorted.
+			a.inWorld[k] = append(a.inWorld[k], b.inWorld[k]...)
+		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	outSchema := results[0].Schema.Concat(schema.New("conf"))
+	out := relation.New(outSchema)
+	for _, k := range merged.order {
+		conf := 0.0
+		for _, wi := range merged.inWorld[k] {
+			conf += probs[wi]
+		}
+		if conf > 1 {
+			conf = 1 // clamp float accumulation noise
+		}
+		out.Tuples = append(out.Tuples, append(merged.tuples[k].Clone(), value.Float(conf)))
+	}
+	return out, nil
+}
+
+// confSequential is the single-pass CONF fold: one map pass over all
+// per-world answers, accumulating each tuple's confidence in world order
+// with in-world dedup (lastWorld). The tree reduction above produces
+// bit-identical output — it carries world indexes so the final float
+// summation happens in the same ascending order.
+func confSequential(results []*relation.Relation, probs []float64, interrupt func() error) (*relation.Relation, error) {
 	type entry struct {
 		t         tuple.Tuple
 		conf      float64
@@ -190,6 +354,9 @@ func Conf(results []*relation.Relation, probs []float64) (*relation.Relation, er
 	var order []string
 	acc := map[string]*entry{}
 	for i, r := range results {
+		if err := poll(interrupt); err != nil {
+			return nil, err
+		}
 		for _, t := range r.Tuples {
 			k := t.Key()
 			e, ok := acc[k]
@@ -205,8 +372,7 @@ func Conf(results []*relation.Relation, probs []float64) (*relation.Relation, er
 			e.conf += probs[i]
 		}
 	}
-	outSchema := results[0].Schema.Concat(schema.New("conf"))
-	out := relation.New(outSchema)
+	out := relation.New(results[0].Schema.Concat(schema.New("conf")))
 	for _, k := range order {
 		e := acc[k]
 		if e.conf > 1 {
@@ -215,6 +381,34 @@ func Conf(results []*relation.Relation, probs []float64) (*relation.Relation, er
 		out.Tuples = append(out.Tuples, append(e.t.Clone(), value.Float(e.conf)))
 	}
 	return out, nil
+}
+
+// treeReduce folds parts pairwise, level by level, merging adjacent pairs
+// on a worker pool: merge(parts[0],parts[1]), merge(parts[2],parts[3]), …
+// until one remains. The reduction shape depends only on len(parts), so
+// the result is deterministic for every workers setting whenever merge is
+// associative over adjacent ranges. merge may mutate and return its first
+// argument (leaves are owned by the reduction).
+func treeReduce[T any](parts []T, workers int, interrupt func() error, merge func(a, b T) (T, error)) (T, error) {
+	for len(parts) > 1 {
+		pairs := len(parts) / 2
+		next, err := exec.Map(workers, pairs, func(i int) (T, error) {
+			if err := poll(interrupt); err != nil {
+				var zero T
+				return zero, err
+			}
+			return merge(parts[2*i], parts[2*i+1])
+		})
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		if len(parts)%2 == 1 {
+			next = append(next, parts[len(parts)-1])
+		}
+		parts = next
+	}
+	return parts[0], nil
 }
 
 // Group partitions world indexes by fingerprint key: worlds with equal keys

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/big"
 
+	"maybms/internal/exec"
 	"maybms/internal/relation"
 	"maybms/internal/world"
 	"maybms/internal/worldset"
@@ -12,6 +13,12 @@ import (
 // Expand enumerates the represented world-set explicitly, for equivalence
 // testing against the naive engine and for inspecting small WSDs. It
 // refuses to expand beyond limit worlds (pass 0 for the default 1<<16).
+//
+// World wi picks alternative (wi / stride[ci]) % |Alts(ci)| of component
+// ci, with the last component varying fastest — the mixed-radix digits of
+// wi. Every world is therefore independent of the others and the
+// enumeration runs on the worker pool (d.Workers), producing the exact
+// world order and probabilities of the sequential odometer.
 func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 	if limit <= 0 {
 		limit = DefaultMergeLimit
@@ -22,9 +29,16 @@ func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 	}
 	n := int(count.Int64())
 
-	set := &worldset.Set{Weighted: d.Weighted}
-	choice := make([]int, len(d.comps))
-	for wi := 0; wi < n; wi++ {
+	// stride[ci] = product of the sizes of the components after ci.
+	stride := make([]int, len(d.comps))
+	acc := 1
+	for ci := len(d.comps) - 1; ci >= 0; ci-- {
+		stride[ci] = acc
+		acc *= len(d.comps[ci].Alts)
+	}
+
+	set := &worldset.Set{Weighted: d.Weighted, Workers: d.Workers}
+	worlds, _ := exec.Map(d.Workers, n, func(wi int) (*world.World, error) {
 		w := world.New(fmt.Sprintf("w%d", wi+1))
 		if d.Weighted {
 			w.Prob = 1
@@ -39,7 +53,7 @@ func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 			perRel[k] = rel
 		}
 		for ci, c := range d.comps {
-			a := c.Alts[choice[ci]]
+			a := c.Alts[(wi/stride[ci])%len(c.Alts)]
 			if d.Weighted {
 				w.Prob *= a.Prob
 			}
@@ -50,17 +64,9 @@ func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 		for k, rel := range perRel {
 			w.Put(d.names[k], rel)
 		}
-		set.Worlds = append(set.Worlds, w)
-
-		// Odometer.
-		for i := len(choice) - 1; i >= 0; i-- {
-			choice[i]++
-			if choice[i] < len(d.comps[i].Alts) {
-				break
-			}
-			choice[i] = 0
-		}
-	}
+		return w, nil
+	})
+	set.Worlds = worlds
 	if len(set.Worlds) == 0 {
 		set.Worlds = append(set.Worlds, world.New("w1"))
 		if d.Weighted {

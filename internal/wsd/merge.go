@@ -55,6 +55,13 @@ func (d *WSD) mergeComponents(idx []int) (*Component, error) {
 		c := d.comps[ci]
 		next := make([]Alternative, 0, len(merged)*len(c.Alts))
 		for _, base := range merged {
+			// Merges are the uninterruptible-by-nature cost of partial
+			// expansion; polling per base row keeps a deadlined request
+			// from holding the engine for the whole product. An abort here
+			// leaves d.comps untouched (the splice happens below).
+			if err := d.interrupted(); err != nil {
+				return nil, err
+			}
 			for _, a := range c.Alts {
 				na := Alternative{Prob: base.Prob, Tuples: map[string][]tuple.Tuple{}}
 				if d.Weighted {
@@ -120,7 +127,9 @@ func (ac altCatalog) Lookup(name string) (*relation.Relation, error) {
 var _ plan.Catalog = altCatalog{}
 
 // Assert keeps only the worlds satisfying pred and renormalizes. touching
-// must list every uncertain relation pred reads; the involved components
+// must list every uncertain relation pred reads. pred runs once per
+// alternative, concurrently on the worker pool, so it must be safe for
+// concurrent calls (the engine-built predicates are); the involved components
 // are merged (partial expansion) and filtered locally — thanks to
 // independence, renormalizing within the merged component renormalizes the
 // whole world-set (Example 2.5 semantics at WSD scale).
@@ -140,15 +149,19 @@ func (d *WSD) Assert(touching []string, pred func(cat plan.Catalog) (bool, error
 		}
 		return nil
 	}
+	// The per-alternative predicate evaluations are independent; run them
+	// on the worker pool, then fold the keeps sequentially in alternative
+	// order so the surviving order and renormalization are deterministic.
+	oks, err := mapAlts(d, len(merged.Alts), func(i int) (bool, error) {
+		return pred(altCatalog{d: d, alt: &merged.Alts[i]})
+	})
+	if err != nil {
+		return err
+	}
 	var kept []Alternative
 	total := 0.0
-	for _, a := range merged.Alts {
-		alt := a
-		ok, err := pred(altCatalog{d: d, alt: &alt})
-		if err != nil {
-			return err
-		}
-		if ok {
+	for i, a := range merged.Alts {
+		if oks[i] {
 			kept = append(kept, a)
 			total += a.Prob
 		}
@@ -168,11 +181,49 @@ func (d *WSD) Assert(touching []string, pred func(cat plan.Catalog) (bool, error
 	return nil
 }
 
+// Query merges the components contributing to the touching relations
+// (the same partial expansion as Assert and Materialize — it mutates the
+// representation but not the represented world-set) and evaluates query
+// once per alternative of the merged component, returning the
+// per-alternative answers and their probabilities. A query touching only
+// certain relations returns a single answer with probability 1. touching
+// must list every uncertain relation query reads; query runs concurrently
+// on the worker pool and must be safe for concurrent calls. The closures
+// of any plain-SQL answer follow by closing over the returned
+// (answers, probs) pairs — each alternative stands for a set of worlds
+// whose total probability is the alternative's, by component
+// independence.
+func (d *WSD) Query(touching []string, query func(cat plan.Catalog) (*relation.Relation, error)) ([]*relation.Relation, []float64, error) {
+	merged, err := d.mergeComponents(d.involvedComponents(touching))
+	if err != nil {
+		return nil, nil, err
+	}
+	if merged == nil {
+		res, err := query(altCatalog{d: d})
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*relation.Relation{res}, []float64{1}, nil
+	}
+	results, err := mapAlts(d, len(merged.Alts), func(i int) (*relation.Relation, error) {
+		return query(altCatalog{d: d, alt: &merged.Alts[i]})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	probs := make([]float64, len(merged.Alts))
+	for i := range merged.Alts {
+		probs[i] = merged.Alts[i].Prob
+	}
+	return results, probs, nil
+}
+
 // Materialize evaluates query per world and stores its answer as relation
-// dst. touching must list every uncertain relation the query reads. Only
-// the involved components are merged and evaluated — one evaluation per
-// alternative of the merged component (or a single evaluation when the
-// query touches only certain relations).
+// dst. touching must list every uncertain relation the query reads (query
+// runs once per alternative, concurrently, and must be safe for concurrent
+// calls). Only the involved components are merged and evaluated — one
+// evaluation per alternative of the merged component (or a single
+// evaluation when the query touches only certain relations).
 func (d *WSD) Materialize(dst string, touching []string, query func(cat plan.Catalog) (*relation.Relation, error)) error {
 	merged, err := d.mergeComponents(d.involvedComponents(touching))
 	if err != nil {
@@ -186,13 +237,13 @@ func (d *WSD) Materialize(dst string, touching []string, query func(cat plan.Cat
 		return d.PutCertain(dst, res.WithSchema(res.Schema.Unqualify()))
 	}
 	k := key(dst)
-	results := make([]*relation.Relation, len(merged.Alts))
-	for i := range merged.Alts {
-		res, err := query(altCatalog{d: d, alt: &merged.Alts[i]})
-		if err != nil {
-			return err
-		}
-		results[i] = res
+	// One evaluation per alternative of the merged component — independent
+	// by construction, so they run on the worker pool in index order.
+	results, err := mapAlts(d, len(merged.Alts), func(i int) (*relation.Relation, error) {
+		return query(altCatalog{d: d, alt: &merged.Alts[i]})
+	})
+	if err != nil {
+		return err
 	}
 	if err := d.registerUncertain(dst, results[0].Schema); err != nil {
 		return err

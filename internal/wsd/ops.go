@@ -3,6 +3,7 @@ package wsd
 import (
 	"fmt"
 
+	"maybms/internal/exec"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
@@ -182,7 +183,10 @@ func positiveWeight(v value.Value) (float64, error) {
 // contributes tuple t to relation name (sum of probabilities of the
 // alternatives containing it). Only components touching the relation
 // appear. In unweighted mode the map carries count/len(alts) so that 1.0
-// still means "in every alternative".
+// still means "in every alternative". Deliberately sequential: Conf is a
+// per-tuple API, and spawning the worker pool per tuple would cost more
+// than the scan; callers wanting parallelism should parallelize across
+// tuples (ConfRelation computes whole relations in one parallel pass).
 func (d *WSD) contributions(name string, t tuple.Tuple) map[int]float64 {
 	k := key(name)
 	tkey := t.Key()
@@ -246,10 +250,15 @@ func (d *WSD) Possible(name string) (*relation.Relation, error) {
 	if cert, ok := d.certain[k]; ok {
 		out.Tuples = append(out.Tuples, cert.Tuples...)
 	}
-	for _, c := range d.comps {
-		for _, a := range c.Alts {
-			out.Tuples = append(out.Tuples, a.Tuples[k]...)
+	perComp, _ := exec.Map(d.Workers, len(d.comps), func(ci int) ([]tuple.Tuple, error) {
+		var ts []tuple.Tuple
+		for _, a := range d.comps[ci].Alts {
+			ts = append(ts, a.Tuples[k]...)
 		}
+		return ts, nil
+	})
+	for _, ts := range perComp {
+		out.Tuples = append(out.Tuples, ts...)
 	}
 	return out.Distinct(), nil
 }
@@ -268,7 +277,8 @@ func (d *WSD) Certain(name string) (*relation.Relation, error) {
 	if cert, ok := d.certain[k]; ok {
 		out.Tuples = append(out.Tuples, cert.Tuples...)
 	}
-	for _, c := range d.comps {
+	perComp, _ := exec.Map(d.Workers, len(d.comps), func(ci int) ([]tuple.Tuple, error) {
+		c := d.comps[ci]
 		// Count, per tuple, the alternatives containing it; a tuple
 		// contributed by all of them is certain.
 		counts := map[string]int{}
@@ -285,11 +295,16 @@ func (d *WSD) Certain(name string) (*relation.Relation, error) {
 				rep[tk] = t
 			}
 		}
+		var ts []tuple.Tuple
 		for tk, n := range counts {
 			if n == len(c.Alts) {
-				out.Tuples = append(out.Tuples, rep[tk])
+				ts = append(ts, rep[tk])
 			}
 		}
+		return ts, nil
+	})
+	for _, ts := range perComp {
+		out.Tuples = append(out.Tuples, ts...)
 	}
 	return out.Distinct(), nil
 }
@@ -320,9 +335,18 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 			order = append(order, tk)
 		}
 	}
-	for _, c := range d.comps {
-		probs := map[string]float64{}
-		for _, a := range c.Alts {
+	// Per-component contribution probabilities are independent; compute
+	// them on the worker pool and fold the independence product
+	// sequentially in component order (the same multiplication order as
+	// the sequential pass).
+	type compConf struct {
+		order []string
+		rep   map[string]tuple.Tuple
+		probs map[string]float64
+	}
+	perComp, _ := exec.Map(d.Workers, len(d.comps), func(ci int) (*compConf, error) {
+		cc := &compConf{rep: map[string]tuple.Tuple{}, probs: map[string]float64{}}
+		for _, a := range d.comps[ci].Alts {
 			seen := map[string]bool{}
 			for _, t := range a.Tuples[k] {
 				tk := t.Key()
@@ -330,15 +354,24 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 					continue
 				}
 				seen[tk] = true
-				probs[tk] += a.Prob
-				if _, known := rep[tk]; !known {
-					rep[tk] = t
-					order = append(order, tk)
-					miss[tk] = 1
+				cc.probs[tk] += a.Prob
+				if _, known := cc.rep[tk]; !known {
+					cc.rep[tk] = t
+					cc.order = append(cc.order, tk)
 				}
 			}
 		}
-		for tk, p := range probs {
+		return cc, nil
+	})
+	for _, cc := range perComp {
+		for _, tk := range cc.order {
+			if _, known := rep[tk]; !known {
+				rep[tk] = cc.rep[tk]
+				order = append(order, tk)
+				miss[tk] = 1
+			}
+		}
+		for tk, p := range cc.probs {
 			if !certKeys[tk] {
 				miss[tk] *= 1 - p
 			}

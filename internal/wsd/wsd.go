@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 
+	"maybms/internal/exec"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
@@ -83,6 +84,18 @@ type WSD struct {
 	Weighted bool
 	// MergeLimit bounds partial expansions (component merges).
 	MergeLimit int
+	// Workers bounds the parallelism of component-independent passes
+	// (per-component closures, per-alternative asserts and
+	// materializations, expansion): 1 is the exact sequential path, 0 (the
+	// default) selects GOMAXPROCS. Results are identical for every
+	// setting; see internal/exec.
+	Workers int
+	// Interrupt, when non-nil, is polled during long passes (component
+	// merges, per-alternative evaluations); a non-nil return aborts the
+	// operation with that error. The server installs a request context's
+	// Err here so deadlined compact statements stop consuming the engine.
+	// An aborted merge leaves the decomposition unchanged.
+	Interrupt func() error
 
 	certain map[string]*relation.Relation // lower name → certain tuples
 	schemas map[string]*schema.Schema     // lower name → schema
@@ -105,6 +118,26 @@ func New(weighted bool) *WSD {
 // key normalizes a relation name.
 func key(name string) string { return strings.ToLower(name) }
 
+// interrupted polls the Interrupt hook.
+func (d *WSD) interrupted() error {
+	if d.Interrupt == nil {
+		return nil
+	}
+	return d.Interrupt()
+}
+
+// mapAlts runs fn over n alternatives on the worker pool, polling the
+// Interrupt hook before each task.
+func mapAlts[T any](d *WSD, n int, fn func(i int) (T, error)) ([]T, error) {
+	return exec.Map(d.Workers, n, func(i int) (T, error) {
+		if err := d.interrupted(); err != nil {
+			var zero T
+			return zero, err
+		}
+		return fn(i)
+	})
+}
+
 // PutCertain registers a complete relation present in every world.
 func (d *WSD) PutCertain(name string, rel *relation.Relation) error {
 	k := key(name)
@@ -114,6 +147,39 @@ func (d *WSD) PutCertain(name string, rel *relation.Relation) error {
 	d.certain[k] = rel
 	d.schemas[k] = rel.Schema.Unqualify()
 	d.names[k] = name
+	return nil
+}
+
+// InsertCertain appends rows to a certain relation — the compact
+// counterpart of INSERT INTO over complete data. The stored relation is
+// replaced by an extended clone, so snapshots handed out earlier (e.g. by
+// Expand) are unaffected.
+func (d *WSD) InsertCertain(name string, rows []tuple.Tuple) error {
+	rel, sch, err := d.certainRelation(name)
+	if err != nil {
+		return err
+	}
+	next := rel.Clone()
+	for _, t := range rows {
+		if len(t) != sch.Len() {
+			return fmt.Errorf("insert row has %d values, relation %s has %d columns", len(t), name, sch.Len())
+		}
+		if err := next.Append(t); err != nil {
+			return err
+		}
+	}
+	d.certain[key(name)] = next
+	return nil
+}
+
+// DropCertain removes a certain relation from the decomposition. Uncertain
+// relations (fed by components) cannot be dropped without expanding.
+func (d *WSD) DropCertain(name string) error {
+	if _, _, err := d.certainRelation(name); err != nil {
+		return err
+	}
+	delete(d.certain, key(name))
+	d.unregister(name)
 	return nil
 }
 

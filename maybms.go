@@ -41,14 +41,44 @@
 //
 // Statements also compile once per execution rather than once per world:
 // the plain-SQL core is planned against the first world and the compiled
-// template is bound to each world's relations (internal/plan Prepare/Bind),
-// with a per-session plan cache keyed by statement text and revalidated
-// against current schemas. Worlds whose schemas diverge from the template
-// fall back to per-world compilation transparently.
+// template is bound to each world's relations (internal/plan Prepare/Bind).
+// Compiled templates live in a process-wide shared cache keyed by
+// statement text plus a schema fingerprint, size-bounded with LRU
+// eviction and revalidated against the session's current schemas on every
+// use — so concurrent sessions over identical schemas (a many-session
+// server) reuse each other's compilations. SharedPlanCacheStats and
+// SetSharedPlanCacheCapacity expose the cache; UsePrivatePlanCache
+// detaches one database from it. Worlds whose schemas diverge from the
+// template fall back to per-world compilation transparently.
+//
+// # Serving I-SQL
+//
+// The cmd/maybms-serve binary (and the embeddable Serve / NewServer API)
+// turns the engine into a concurrent multi-session server. Sessions are
+// named databases created on first use — each naive (full I-SQL) or
+// compact (the world-set-decomposition engine) — and evicted after an
+// idle timeout. Two transports share one session registry:
+//
+//   - TCP: newline-delimited JSON, one request object per line
+//     ({"session": "s", "query": "select …", "render": true}), one
+//     response line per request, in order;
+//   - HTTP: POST /v1/query with the same JSON body, GET /v1/health for
+//     liveness plus shared-cache statistics.
+//
+// Statements on one session serialize; different sessions execute
+// concurrently. One workers setting bounds both the per-world parallelism
+// inside a statement and (through an admission gate) how many statements
+// run at once across sessions. Requests carry optional deadlines
+// (timeout_ms) — statements are cancelled cooperatively between per-world
+// units of work — and row bounds (max_rows) for large closed answers.
+// Shutdown is graceful: listeners stop, in-flight requests drain up to a
+// deadline, then connections are force-closed. See examples/server for a
+// quickstart and internal/server for the protocol types.
 //
 // Benchmarks live in bench_test.go; run and record them with
 //
-//	go test -bench . -benchmem
+//	scripts/bench.sh            # writes BENCH_<date>.json
+//	BENCHTIME=1x scripts/bench.sh  # CI smoke
 package maybms
 
 import (

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# bench.sh — run the full benchmark suite and record it as a JSON file,
+# so the perf trajectory of the repo is machine-readable across PRs.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, writes BENCH_<date>.json
+#   BENCHTIME=1x scripts/bench.sh    # smoke run (one iteration per bench)
+#   OUT=/dev/stdout scripts/bench.sh # print instead of committing a file
+#
+# The JSON records the environment (go version, GOMAXPROCS, benchtime)
+# next to every benchmark's ns/op, B/op and allocs/op, because absolute
+# numbers are only comparable within one environment — the dev container
+# has 1 CPU, so multicore speedups must be measured on >= 4-core hardware
+# (see ROADMAP.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+PKGS="${PKGS:-./...}"
+DATE="$(date -u +%Y-%m-%d)"
+OUT="${OUT:-BENCH_${DATE}.json}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -bench . -benchmem -benchtime "$BENCHTIME" -run '^$' $PKGS | tee "$RAW" >&2
+
+awk -v date="$DATE" -v goversion="$(go version)" -v benchtime="$BENCHTIME" -v maxprocs="$(nproc 2>/dev/null || echo 0)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [", date, goversion, benchtime, (maxprocs == "" ? "null" : maxprocs)
+    n = 0
+}
+/^Benchmark/ {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2
