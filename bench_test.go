@@ -461,6 +461,68 @@ func BenchmarkScalingConfWSD(b *testing.B) {
 	}
 }
 
+// componentwiseDB builds a compact database with n two-alternative repair
+// components (2^n worlds) and the componentwise path toggled.
+func componentwiseDB(b *testing.B, n int, componentwise bool) *CompactDB {
+	b.Helper()
+	cdb := OpenCompact()
+	cdb.SetComponentwise(componentwise)
+	if err := cdb.Register("Dirty", []string{"K", "V", "W"}, dirtyRows(n)); err != nil {
+		b.Fatal(err)
+	}
+	if err := cdb.RepairByKey("Dirty", "Clean", []string{"K"}, "W"); err != nil {
+		b.Fatal(err)
+	}
+	return cdb
+}
+
+func benchComponentwiseSelect(b *testing.B, query string, sizes []int, componentwise bool) {
+	for _, n := range sizes {
+		b.Run(fmt.Sprintf("groups=%d/worlds=2^%d", n, n), func(b *testing.B) {
+			cdb := componentwiseDB(b, n, componentwise)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rel, err := cdb.Select(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rel.Len() != 2*n {
+					b.Fatalf("wrong answer: %d rows", rel.Len())
+				}
+			}
+			b.StopTimer()
+			if componentwise && cdb.MergeCount() != 0 {
+				b.Fatal("componentwise bench merged")
+			}
+		})
+	}
+}
+
+// BenchmarkComponentwiseConf closes a CONF query over n independent
+// components with Σ alternatives evaluations and zero merges; cost scales
+// with the sum of alternatives. groups=64 represents 2^64 worlds — far
+// beyond what any merge could multiply out.
+func BenchmarkComponentwiseConf(b *testing.B) {
+	benchComponentwiseSelect(b, `select conf, K, V from Clean`, []int{4, 8, 12, 64}, true)
+}
+
+// BenchmarkMergePathConf is the same query forced onto the classic merge
+// path: the involved components multiply into one 2^n-alternative
+// component (bounded by the merge limit, so sizes stop at 12).
+func BenchmarkMergePathConf(b *testing.B) {
+	benchComponentwiseSelect(b, `select conf, K, V from Clean`, []int{4, 8, 12}, false)
+}
+
+// BenchmarkComponentwisePossible / BenchmarkMergePathPossible: the same
+// pair for the POSSIBLE closure.
+func BenchmarkComponentwisePossible(b *testing.B) {
+	benchComponentwiseSelect(b, `select possible K, V from Clean`, []int{4, 8, 12, 64}, true)
+}
+
+func BenchmarkMergePathPossible(b *testing.B) {
+	benchComponentwiseSelect(b, `select possible K, V from Clean`, []int{4, 8, 12}, false)
+}
+
 // BenchmarkWorldCountMillion counts the worlds of a million-component WSD
 // (the "10^10^6 worlds" headline of ref [1]): 2^(10^6) worlds.
 func BenchmarkWorldCountMillion(b *testing.B) {

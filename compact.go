@@ -4,10 +4,7 @@ import (
 	"errors"
 	"math/big"
 
-	"maybms/internal/algebra"
 	"maybms/internal/core"
-	"maybms/internal/plan"
-	"maybms/internal/relation"
 	"maybms/internal/sqlparse"
 	"maybms/internal/tuple"
 	"maybms/internal/wsd"
@@ -16,10 +13,6 @@ import (
 // errNotPlainSelect is returned by MaterializeQuery for non-SELECT input
 // or I-SQL constructs (the compact backend materializes plain SQL only).
 var errNotPlainSelect = errors.New("maybms: MaterializeQuery takes a plain SQL SELECT (no I-SQL constructs)")
-
-func collect(op algebra.Operator) (*relation.Relation, error) {
-	return algebra.Collect(op, nil)
-}
 
 // CompactDB is a database backed by a world-set decomposition (WSD), the
 // compact representation of MayBMS (ICDT'07/ICDE'07): the world-set is a
@@ -93,20 +86,16 @@ func (db *CompactDB) ChoiceOf(src, dst string, attrs []string, weight string) er
 
 // Assert keeps only the worlds in which cond (an I-SQL-free boolean SQL
 // expression, e.g. `not exists (select * from I where C = 'c1')`) holds,
-// and renormalizes. touching must list every uncertain relation cond
-// reads; those components are merged first.
+// and renormalizes. The relations cond reads are derived from the
+// condition itself and their components merged first; touching may list
+// extras for compatibility but is no longer required. The condition
+// compiles once through the process-wide shared plan cache.
 func (db *CompactDB) Assert(cond string, touching ...string) error {
 	e, err := parseCondition(cond)
 	if err != nil {
 		return err
 	}
-	return db.w.Assert(touching, func(cat plan.Catalog) (bool, error) {
-		pred, err := plan.BuildPredicate(e, cat)
-		if err != nil {
-			return false, err
-		}
-		return pred()
-	})
+	return db.w.AssertStmt(e, touching)
 }
 
 // parseCondition parses a standalone boolean expression by wrapping it in
@@ -120,24 +109,68 @@ func parseCondition(cond string) (sqlparse.Expr, error) {
 }
 
 // MaterializeQuery evaluates a plain SQL query per world and stores the
-// answer as dst. touching must list every uncertain relation the query
-// reads (the engine merges exactly those components).
+// answer as dst. The engine compiles and analyzes the query itself, so
+// touching is accepted for compatibility but no longer consulted: the
+// component-touch analysis finds every component the compiled plan reads,
+// stores the answer componentwise (no merge, linear size) when the plan
+// decomposes, and merges exactly the involved components otherwise.
 func (db *CompactDB) MaterializeQuery(dst, query string, touching ...string) error {
-	stmt, err := sqlparse.Parse(query)
+	sel, err := parsePlainSelect(query)
 	if err != nil {
 		return err
 	}
+	_ = touching
+	return db.w.CreateTableAs(dst, sel)
+}
+
+// Select evaluates an I-SQL SELECT against the represented world-set and
+// returns the closed answer:
+//
+//   - SELECT POSSIBLE … / SELECT CERTAIN … — the ∪ / ∩ closure
+//   - SELECT …, CONF …                     — every possible tuple with its
+//     exact confidence (probabilistic databases only)
+//   - plain SELECT                         — allowed only when the answer
+//     is world-independent (it touches no uncertain relation)
+//
+// Queries whose compiled plan decomposes over the touched components —
+// selections, projections, joins against certain relations, unions, and
+// subqueries or aggregates over certain data — run componentwise: one
+// evaluation per alternative (Σ sizes, never the product), no component
+// merge, and the decomposition is left untouched. Plans that genuinely
+// correlate several components (cross-component joins, aggregates or
+// predicate subqueries spanning components) fall back to a bounded merge
+// of exactly the involved components. Results are identical either way
+// and match the naive engine on the expanded world-set.
+func (db *CompactDB) Select(query string) (*Relation, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, errors.New("maybms: Select takes a SELECT statement")
+	}
+	if sel.Repair != nil || sel.Choice != nil || sel.Assert != nil || sel.GroupWorlds != nil {
+		return nil, errors.New("maybms: Select does not accept repair/choice/assert/group-worlds-by (use RepairByKey/ChoiceOf/Assert)")
+	}
+	core, cl, err := wsd.StripClosure(sel)
+	if err != nil {
+		return nil, err
+	}
+	return db.w.SelectClosure(core, cl)
+}
+
+// parsePlainSelect parses a plain SQL SELECT (no I-SQL constructs).
+func parsePlainSelect(query string) (*sqlparse.SelectStmt, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
 	sel, ok := stmt.(*sqlparse.SelectStmt)
 	if !ok || sel.HasISQL() {
-		return errNotPlainSelect
+		return nil, errNotPlainSelect
 	}
-	return db.w.Materialize(dst, touching, func(cat plan.Catalog) (*relation.Relation, error) {
-		op, err := plan.Build(sel, cat)
-		if err != nil {
-			return nil, err
-		}
-		return collect(op)
-	})
+	return sel, nil
 }
 
 // Conf returns the exact confidence of a tuple (given as Go values) in
@@ -179,6 +212,22 @@ func (db *CompactDB) AlternativeCount() int { return db.w.AlternativeCount() }
 
 // SetMergeLimit bounds partial expansions (component merges).
 func (db *CompactDB) SetMergeLimit(n int) { db.w.MergeLimit = n }
+
+// MergeCount returns the number of component merges (partial expansions
+// multiplying ≥ 2 components together) performed so far — the
+// observability hook for "this query ran with no expansion at all".
+// Queries served componentwise leave it unchanged.
+func (db *CompactDB) MergeCount() uint64 { return db.w.MergeCount() }
+
+// ComponentwiseCount returns the number of statements answered by the
+// merge-free componentwise path.
+func (db *CompactDB) ComponentwiseCount() uint64 { return db.w.ComponentwiseCount() }
+
+// SetComponentwise toggles the merge-free componentwise execution path
+// (enabled by default). Disabling it forces every multi-component query
+// onto the classic bounded-merge path; results are identical either way —
+// the toggle exists for benchmarks and crosschecks.
+func (db *CompactDB) SetComponentwise(enabled bool) { db.w.DisableComponentwise = !enabled }
 
 // Expand enumerates the world-set into a naive DB supporting full I-SQL.
 // It fails if more than limit worlds are represented (0 = default limit).

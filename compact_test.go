@@ -132,3 +132,116 @@ func TestDBCompactMissingRelation(t *testing.T) {
 		t.Error("missing relation must fail")
 	}
 }
+
+// TestCompactSelectComponentwise: the public Select API answers closures
+// through the decomposition-aware executor — no component merge for
+// decomposable queries, and the decomposition left untouched.
+func TestCompactSelectComponentwise(t *testing.T) {
+	cdb := OpenCompact()
+	if err := cdb.Register("R", []string{"K", "V"}, [][]any{
+		{"k1", 1}, {"k1", 2}, {"k2", 1}, {"k2", 3}, {"k3", 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := cdb.Select("select possible K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 5 {
+		t.Errorf("possible rows = %d, want 5", rel.Len())
+	}
+	rel, err = cdb.Select("select conf, K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range rel.Tuples {
+		want := 0.5
+		if tp[0].String() == "k3" {
+			want = 1
+		}
+		if got := tp[len(tp)-1].AsFloat(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("conf(%v) = %v, want %v", tp, got, want)
+		}
+	}
+	if got := cdb.MergeCount(); got != 0 {
+		t.Errorf("Select merged %d times, want 0", got)
+	}
+	if got := cdb.ComponentwiseCount(); got == 0 {
+		t.Error("Select did not use the componentwise path")
+	}
+	if got := cdb.ComponentCount(); got != 3 {
+		t.Errorf("components = %d, want 3 untouched", got)
+	}
+	// A world-dependent plain SELECT is refused.
+	if _, err := cdb.Select("select K from I"); err == nil {
+		t.Error("plain select over uncertain data must fail")
+	}
+	// Forcing the merge path gives the same possible set, restructured.
+	cdb.SetComponentwise(false)
+	rel, err = cdb.Select("select possible K, V from I")
+	if err != nil || rel.Len() != 5 {
+		t.Fatalf("merge-path possible = %v, %v", rel, err)
+	}
+	if cdb.MergeCount() == 0 || cdb.ComponentCount() != 1 {
+		t.Error("disabled componentwise path must merge")
+	}
+}
+
+// TestCompactMaterializeQueryAnalyzed: MaterializeQuery no longer needs a
+// touching list — the analysis finds the components — and stores
+// decomposable projections componentwise.
+func TestCompactMaterializeQueryAnalyzed(t *testing.T) {
+	cdb := OpenCompact()
+	if err := cdb.Register("R", []string{"K", "V"}, [][]any{
+		{"k1", 1}, {"k1", 2}, {"k2", 3}, {"k2", 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// No touching list: the analysis discovers I's components itself.
+	if err := cdb.MaterializeQuery("Big", "select K, V from I where V >= 2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cdb.MergeCount(); got != 0 {
+		t.Errorf("materialize merged %d times, want 0", got)
+	}
+	rel, err := cdb.Select("select certain K from Big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || rel.Tuples[0][0].String() != "k2" {
+		t.Errorf("certain Big = %v", rel.Tuples)
+	}
+}
+
+// TestCompactAssertDerivesTouching: Assert finds the uncertain relations
+// its condition reads by itself — omitting the touching list no longer
+// silently evaluates the condition against certain parts only.
+func TestCompactAssertDerivesTouching(t *testing.T) {
+	cdb := OpenCompact()
+	if err := cdb.Register("R", []string{"K", "V"}, [][]any{
+		{"k1", 1}, {"k1", 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// No touching list: the condition's subquery still sees I's
+	// alternatives, so the assert keeps exactly the V=1 world.
+	if err := cdb.Assert("exists (select * from I where V = 1)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := cdb.WorldCount().Int64(); got != 1 {
+		t.Fatalf("worlds after assert = %d, want 1", got)
+	}
+	c, err := cdb.Conf("I", "k1", 1)
+	if err != nil || math.Abs(c-1) > 1e-9 {
+		t.Fatalf("conf after assert = %v, %v", c, err)
+	}
+}

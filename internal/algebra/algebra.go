@@ -52,10 +52,40 @@ func Collect(op Operator, outer *expr.Context) (*relation.Relation, error) {
 	}
 }
 
+// interruptEvery is how many rows a long-running iterator produces between
+// polls of the Interrupt hook on the evaluation context chain. A power of
+// two keeps the check a mask; the poll itself costs one pointer test per
+// row when no hook is installed.
+const interruptEvery = 256
+
+// poller polls an Interrupt hook (found on the Open context chain) every
+// interruptEvery calls. The zero value (no hook) never fires.
+type poller struct {
+	hook func() error
+	n    uint
+}
+
+func (p *poller) init(outer *expr.Context) {
+	p.hook = outer.FindInterrupt()
+	p.n = 0
+}
+
+func (p *poller) poll() error {
+	if p.hook == nil {
+		return nil
+	}
+	p.n++
+	if p.n&(interruptEvery-1) != 0 {
+		return nil
+	}
+	return p.hook()
+}
+
 // Scan iterates a materialized relation.
 type Scan struct {
 	Rel *relation.Relation
 	pos int
+	ip  poller
 }
 
 // NewScan creates a scan over rel.
@@ -65,13 +95,17 @@ func NewScan(rel *relation.Relation) *Scan { return &Scan{Rel: rel} }
 func (s *Scan) Schema() *schema.Schema { return s.Rel.Schema }
 
 // Open implements Operator.
-func (s *Scan) Open(*expr.Context) error {
+func (s *Scan) Open(outer *expr.Context) error {
 	s.pos = 0
+	s.ip.init(outer)
 	return nil
 }
 
 // Next implements Operator.
 func (s *Scan) Next() (tuple.Tuple, bool, error) {
+	if err := s.ip.poll(); err != nil {
+		return nil, false, err
+	}
 	if s.pos >= len(s.Rel.Tuples) {
 		return nil, false, nil
 	}
@@ -110,7 +144,7 @@ func (f *Filter) Next() (tuple.Tuple, bool, error) {
 		ctx := &expr.Context{Schema: f.Child.Schema(), Tuple: t, Outer: f.outer}
 		v, err := f.Pred.Eval(ctx)
 		if err != nil {
-			return nil, false, fmt.Errorf("%w: filter %s: %v", ErrExec, f.Pred, err)
+			return nil, false, fmt.Errorf("%w: filter %s: %w", ErrExec, f.Pred, err)
 		}
 		if v.Truth() {
 			return t, true, nil
@@ -152,7 +186,7 @@ func (p *Project) Next() (tuple.Tuple, bool, error) {
 	for i, e := range p.Exprs {
 		v, err := e.Eval(ctx)
 		if err != nil {
-			return nil, false, fmt.Errorf("%w: projecting %s: %v", ErrExec, e, err)
+			return nil, false, fmt.Errorf("%w: projecting %s: %w", ErrExec, e, err)
 		}
 		out[i] = v
 	}
@@ -172,6 +206,7 @@ type CrossJoin struct {
 	cur         tuple.Tuple
 	rpos        int
 	open        bool
+	ip          poller
 }
 
 // Schema implements Operator.
@@ -196,12 +231,16 @@ func (j *CrossJoin) Open(outer *expr.Context) error {
 	j.cur = nil
 	j.rpos = 0
 	j.open = true
+	j.ip.init(outer)
 	return nil
 }
 
 // Next implements Operator.
 func (j *CrossJoin) Next() (tuple.Tuple, bool, error) {
 	for {
+		if err := j.ip.poll(); err != nil {
+			return nil, false, err
+		}
 		if j.cur == nil {
 			t, ok, err := j.Left.Next()
 			if err != nil || !ok {
@@ -239,6 +278,7 @@ type HashJoin struct {
 	matches             []tuple.Tuple
 	mpos                int
 	open                bool
+	ip                  poller
 }
 
 // Schema implements Operator.
@@ -272,6 +312,7 @@ func (j *HashJoin) Open(outer *expr.Context) error {
 	}
 	j.cur, j.matches, j.mpos = nil, nil, 0
 	j.open = true
+	j.ip.init(outer)
 	return nil
 }
 
@@ -287,6 +328,9 @@ func hasNullAt(t tuple.Tuple, idx []int) bool {
 // Next implements Operator.
 func (j *HashJoin) Next() (tuple.Tuple, bool, error) {
 	for {
+		if err := j.ip.poll(); err != nil {
+			return nil, false, err
+		}
 		if j.mpos < len(j.matches) {
 			rt := j.matches[j.mpos]
 			j.mpos++

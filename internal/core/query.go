@@ -203,7 +203,7 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 			if err != nil {
 				return nil, err
 			}
-			return algebra.Collect(op, nil)
+			return algebra.Collect(op, s.rootCtx())
 		})
 		if err != nil {
 			return nil, err
@@ -217,12 +217,12 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 			return nil, err
 		}
 		oks, err := mapWorlds(s, len(worlds), func(i int) (bool, error) {
-			pred, err := aPrep.Bind(worlds[i])
+			pred, err := aPrep.BindInterrupt(worlds[i], s.interrupt)
 			if err != nil {
 				if !errors.Is(err, plan.ErrRebind) {
 					return false, err
 				}
-				pred, err = plan.BuildPredicate(st.Assert, worlds[i])
+				pred, err = plan.BuildPredicateInterrupt(st.Assert, worlds[i], s.interrupt)
 				if err != nil {
 					return false, err
 				}
@@ -277,7 +277,7 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 			if err != nil {
 				return 0, err
 			}
-			res, err := algebra.Collect(op, nil)
+			res, err := algebra.Collect(op, s.rootCtx())
 			if err != nil {
 				return 0, err
 			}
@@ -357,7 +357,7 @@ func (s *Session) evalSplit(st *sqlparse.SelectStmt, core *sqlparse.SelectStmt) 
 				return nil, err
 			}
 		}
-		ir, err := algebra.Collect(irOp, nil)
+		ir, err := algebra.Collect(irOp, s.rootCtx())
 		if err != nil {
 			return nil, err
 		}
@@ -446,7 +446,7 @@ func (s *Session) evalSplit(st *sqlparse.SelectStmt, core *sqlparse.SelectStmt) 
 				return evaled{}, err
 			}
 		}
-		res, err := algebra.Collect(op, nil)
+		res, err := algebra.Collect(op, s.rootCtx())
 		if err != nil {
 			return evaled{}, err
 		}

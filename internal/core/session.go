@@ -11,8 +11,6 @@ import (
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/sqlparse"
-	"maybms/internal/tuple"
-	"maybms/internal/value"
 	"maybms/internal/world"
 	"maybms/internal/worldset"
 )
@@ -83,11 +81,25 @@ func (s *Session) SetPlanCache(c *plan.Cache) {
 // PlanCache returns the cache the session compiles statements into.
 func (s *Session) PlanCache() *plan.Cache { return s.plans }
 
-// SetInterrupt installs a hook polled between per-world units of work; a
+// SetInterrupt installs a hook polled between per-world units of work and
+// inside the long-running algebra iterators (every few hundred rows); a
 // non-nil return aborts the running statement with that error (typically a
 // request context's Err). Pass nil to clear. The caller must not change
 // the hook while a statement is executing.
 func (s *Session) SetInterrupt(f func() error) { s.interrupt = f }
+
+// rootCtx returns the outer evaluation context for top-level plan
+// execution: nil without an interrupt hook, else a context carrying only
+// the hook for the algebra iterators to poll (it sits beyond every
+// resolvable correlation depth). The hook may be called concurrently from
+// per-world evaluations and must be safe for that, as SetInterrupt already
+// requires.
+func (s *Session) rootCtx() *expr.Context {
+	if s.interrupt == nil {
+		return nil
+	}
+	return &expr.Context{Interrupt: s.interrupt}
+}
 
 // mapWorlds runs fn over [0, n) on the session's worker pool, polling the
 // interrupt hook before each task so a canceled request aborts between
@@ -266,51 +278,11 @@ func (s *Session) execInsert(st *sqlparse.Insert) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	sch := base.Schema
-
-	// Column positions for the optional column list.
-	var positions []int
-	if len(st.Columns) > 0 {
-		positions, err = sch.IndexesOf(st.Columns)
-		if err != nil {
-			return nil, err
-		}
-	}
-
 	// Evaluate value rows once (no row context; subqueries would be
 	// world-dependent and are rejected by requiring constant rows).
-	rows := make([]tuple.Tuple, len(st.Rows))
-	for i, exprRow := range st.Rows {
-		var t tuple.Tuple
-		if positions == nil {
-			if len(exprRow) != sch.Len() {
-				return nil, fmt.Errorf("INSERT row has %d values, table %s has %d columns", len(exprRow), st.Table, sch.Len())
-			}
-			t = make(tuple.Tuple, sch.Len())
-			for j, ex := range exprRow {
-				v, err := constValue(ex)
-				if err != nil {
-					return nil, err
-				}
-				t[j] = v
-			}
-		} else {
-			if len(exprRow) != len(positions) {
-				return nil, fmt.Errorf("INSERT row has %d values for %d columns", len(exprRow), len(positions))
-			}
-			t = make(tuple.Tuple, sch.Len())
-			for j := range t {
-				t[j] = value.Null()
-			}
-			for j, ex := range exprRow {
-				v, err := constValue(ex)
-				if err != nil {
-					return nil, err
-				}
-				t[positions[j]] = v
-			}
-		}
-		rows[i] = t
+	rows, err := plan.ConstInsertRows(st, base.Schema)
+	if err != nil {
+		return nil, err
 	}
 
 	// Build candidate relations per world (in parallel — candidates are
@@ -342,19 +314,6 @@ func (s *Session) execInsert(st *sqlparse.Insert) (*Result, error) {
 		w.Put(st.Table, updated[i])
 	}
 	return &Result{Kind: ResultOK, Msg: fmt.Sprintf("inserted %d row(s) into %s in %d world(s)", len(rows), st.Table, len(s.set.Worlds)), Weighted: s.set.Weighted}, nil
-}
-
-// constValue evaluates a constant insert expression (literals, arithmetic
-// on literals, unary minus).
-func constValue(e sqlparse.Expr) (value.Value, error) {
-	low, err := plan.BuildScalar(e, plan.CatalogFunc(func(name string) (*relation.Relation, error) {
-		return nil, fmt.Errorf("INSERT values must be constant; relation %q referenced", name)
-	}))
-	if err != nil {
-		return value.Null(), err
-	}
-	ctx := &expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}}
-	return low.Eval(ctx)
 }
 
 // checkKey verifies the key uniqueness constraint on rel.

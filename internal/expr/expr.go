@@ -38,10 +38,30 @@ func (f SubqueryFunc) Eval(ctx *Context) (*relation.Relation, error) { return f(
 
 // Context carries the tuple an expression is evaluated against. Outer links
 // to the context of the enclosing query for correlated subqueries.
+//
+// Engines pass a root context carrying only Interrupt as the outer context
+// of a top-level evaluation; it sits beyond every resolvable correlation
+// depth, so column resolution is unaffected, while the long-running algebra
+// iterators discover the hook through FindInterrupt and poll it.
 type Context struct {
 	Schema *schema.Schema
 	Tuple  tuple.Tuple
 	Outer  *Context
+	// Interrupt, when non-nil, is polled by long-running iterators
+	// (Scan/CrossJoin/HashJoin, every few hundred rows); a non-nil return
+	// aborts the evaluation with that error.
+	Interrupt func() error
+}
+
+// FindInterrupt returns the innermost Interrupt hook on the context chain
+// (nil-receiver safe; nil when no hook is installed).
+func (c *Context) FindInterrupt() func() error {
+	for ctx := c; ctx != nil; ctx = ctx.Outer {
+		if ctx.Interrupt != nil {
+			return ctx.Interrupt
+		}
+	}
+	return nil
 }
 
 // At returns the context `depth` levels up the outer chain.

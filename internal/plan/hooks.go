@@ -9,6 +9,7 @@ import (
 	"maybms/internal/schema"
 	"maybms/internal/sqlparse"
 	"maybms/internal/tuple"
+	"maybms/internal/value"
 )
 
 // The hooks in this file exist for the I-SQL engine (internal/core), which
@@ -72,19 +73,32 @@ type Predicate func() (bool, error)
 // condition) against cat. Subqueries inside the expression query cat's
 // relations. NULL results count as false, as in WHERE.
 func BuildPredicate(e sqlparse.Expr, cat Catalog) (Predicate, error) {
+	return BuildPredicateInterrupt(e, cat, nil)
+}
+
+// BuildPredicateInterrupt is BuildPredicate with a cancellation hook
+// threaded into the evaluation context, so scans inside the predicate's
+// subqueries poll it (see internal/algebra). A nil hook is BuildPredicate.
+func BuildPredicateInterrupt(e sqlparse.Expr, cat Catalog, interrupt func() error) (Predicate, error) {
 	env := &env{cat: cat, scopes: []*schema.Schema{schema.New()}}
 	low, err := env.lower(e)
 	if err != nil {
 		return nil, err
 	}
+	return predicateOf(low, interrupt), nil
+}
+
+// predicateOf wraps a lowered condition as a Predicate evaluated against
+// an empty row, with an optional interrupt hook on the context chain.
+func predicateOf(low expr.Expr, interrupt func() error) Predicate {
 	return func() (bool, error) {
-		ctx := &expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}}
+		ctx := &expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}, Interrupt: interrupt}
 		v, err := low.Eval(ctx)
 		if err != nil {
 			return false, err
 		}
 		return v.Truth(), nil
-	}, nil
+	}
 }
 
 // BuildScalar compiles a standalone scalar expression (no row context)
@@ -99,4 +113,65 @@ func BuildScalar(e sqlparse.Expr, cat Catalog) (expr.Expr, error) {
 func BuildRowExpr(e sqlparse.Expr, s *schema.Schema, cat Catalog) (expr.Expr, error) {
 	env := &env{cat: cat, scopes: []*schema.Schema{s}}
 	return env.lower(e)
+}
+
+// ConstInsertRows evaluates an INSERT statement's value rows against the
+// target table's schema: every expression must be constant (literals,
+// arithmetic on literals, unary minus — INSERT rows are
+// world-independent), and an explicit column list reorders the values and
+// NULL-fills the unnamed columns. Both engines share this so the
+// semantics cannot drift.
+func ConstInsertRows(st *sqlparse.Insert, sch *schema.Schema) ([]tuple.Tuple, error) {
+	var positions []int
+	if len(st.Columns) > 0 {
+		var err error
+		positions, err = sch.IndexesOf(st.Columns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	noRelations := CatalogFunc(func(name string) (*relation.Relation, error) {
+		return nil, fmt.Errorf("INSERT values must be constant; relation %q referenced", name)
+	})
+	constValue := func(e sqlparse.Expr) (value.Value, error) {
+		low, err := BuildScalar(e, noRelations)
+		if err != nil {
+			return value.Null(), err
+		}
+		return low.Eval(&expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}})
+	}
+	rows := make([]tuple.Tuple, len(st.Rows))
+	for i, exprRow := range st.Rows {
+		var t tuple.Tuple
+		if positions == nil {
+			if len(exprRow) != sch.Len() {
+				return nil, fmt.Errorf("INSERT row has %d values, table %s has %d columns", len(exprRow), st.Table, sch.Len())
+			}
+			t = make(tuple.Tuple, sch.Len())
+			for j, ex := range exprRow {
+				v, err := constValue(ex)
+				if err != nil {
+					return nil, err
+				}
+				t[j] = v
+			}
+		} else {
+			if len(exprRow) != len(positions) {
+				return nil, fmt.Errorf("INSERT row has %d values for %d columns", len(exprRow), len(positions))
+			}
+			t = make(tuple.Tuple, sch.Len())
+			for j := range t {
+				t[j] = value.Null()
+			}
+			for j, ex := range exprRow {
+				v, err := constValue(ex)
+				if err != nil {
+					return nil, err
+				}
+				t[positions[j]] = v
+			}
+		}
+		rows[i] = t
+	}
+	return rows, nil
 }

@@ -8,6 +8,19 @@
 // handled here — the possible-worlds engine in internal/core strips them
 // and calls the planner once per world on the plain core; Build rejects any
 // statement still carrying them.
+//
+// Beyond compilation, the package provides two analyses over compiled
+// templates for the engines:
+//
+//   - Prepare/Bind (prepare.go): compile-once templates rebound per world,
+//     so planning happens once per statement instead of once per world,
+//     with a process-wide shared Cache (cache.go) across sessions.
+//   - Component-touch analysis (components.go): given a catalog mapping
+//     tables to world-set-decomposition components, Analyze annotates each
+//     subtree with the components it touches and certifies when the whole
+//     tree distributes over the certain ∪ per-component structure — the
+//     condition under which internal/wsd answers closures component-wise,
+//     with no partial expansion (component merge) at all.
 package plan
 
 import (

@@ -28,7 +28,6 @@ import (
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/sqlparse"
-	"maybms/internal/tuple"
 )
 
 // prepares counts template compilations process-wide; it makes cache
@@ -514,18 +513,18 @@ func PreparePredicate(e sqlparse.Expr, cat Catalog) (*PreparedPredicate, error) 
 
 // Bind instantiates the predicate against cat.
 func (p *PreparedPredicate) Bind(cat Catalog) (Predicate, error) {
+	return p.BindInterrupt(cat, nil)
+}
+
+// BindInterrupt is Bind with a cancellation hook threaded into the
+// evaluation context, so scans inside the predicate's subqueries poll it
+// (see internal/algebra). A nil hook is Bind.
+func (p *PreparedPredicate) BindInterrupt(cat Catalog, interrupt func() error) (Predicate, error) {
 	low, _, err := rebindExpr(p.e, &binding{cat: cat})
 	if err != nil {
 		return nil, err
 	}
-	return func() (bool, error) {
-		ctx := &expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}}
-		v, err := low.Eval(ctx)
-		if err != nil {
-			return false, err
-		}
-		return v.Truth(), nil
-	}, nil
+	return predicateOf(low, interrupt), nil
 }
 
 // PreparedExpr is a compiled row-expression template (UPDATE SET values and

@@ -3,18 +3,13 @@ package server
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"strings"
 
-	"maybms/internal/algebra"
 	"maybms/internal/core"
-	"maybms/internal/expr"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/sqlparse"
-	"maybms/internal/tuple"
-	"maybms/internal/value"
 	"maybms/internal/worldset"
 	"maybms/internal/wsd"
 )
@@ -23,94 +18,45 @@ import (
 // backend" error so clients can detect it.
 var errCompactUnsupported = errors.New("unsupported by the compact backend")
 
-func algebraCollect(op algebra.Operator) (*relation.Relation, error) {
-	return algebra.Collect(op, nil)
-}
-
-// schemaCatalog exposes the WSD's relation schemas (over empty relations)
-// as a compile target: planning needs names and columns only, and the
-// compiled template is stripped of tuples anyway.
-func (b *compactBackend) schemaCatalog() plan.Catalog {
-	return plan.CatalogFunc(func(name string) (*relation.Relation, error) {
-		sch, err := b.d.Schema(name)
-		if err != nil {
-			return nil, err
-		}
-		return relation.New(sch), nil
-	})
-}
-
-// schemaFingerprint hashes the WSD's catalog shape, mirroring
-// world.SchemaFingerprint for the compact engine: it keys the shared plan
-// cache so compact sessions over identical schemas share templates too.
-func (b *compactBackend) schemaFingerprint() uint64 {
-	h := fnv.New64a()
-	for _, n := range b.d.Names() { // sorted
-		sch, _ := b.d.Schema(n)
-		fmt.Fprintf(h, "%s=%s;", strings.ToLower(n), sch)
-	}
-	return h.Sum64()
-}
-
-// preparedSelect compiles sel once — through the process-wide shared plan
-// cache, keyed like the naive engine's templates — and returns an
-// evaluator that binds the template per alternative (every alternative
-// shares the decomposition's schemas, so a bind failure falls back to
-// per-alternative compilation for exactness, never an error).
-func (b *compactBackend) preparedSelect(sel *sqlparse.SelectStmt) (func(cat plan.Catalog) (*relation.Relation, error), error) {
-	key := fmt.Sprintf("cq\x00%s\x00%x", sel.String(), b.schemaFingerprint())
-	compileCat := b.schemaCatalog()
-	var prep *plan.Prepared
-	if v, ok := plan.SharedCache().Get(key); ok {
-		if p, ok := v.(*plan.Prepared); ok {
-			if _, err := p.Bind(compileCat); err == nil {
-				prep = p
-			}
-		}
-	}
-	if prep == nil {
-		p, err := plan.Prepare(sel, compileCat)
-		if err != nil {
-			return nil, err
-		}
-		plan.SharedCache().Put(key, p)
-		prep = p
-	}
-	return func(cat plan.Catalog) (*relation.Relation, error) {
-		op, err := prep.Bind(cat)
-		if err != nil {
-			if !errors.Is(err, plan.ErrRebind) {
-				return nil, err
-			}
-			op, err = plan.Build(sel, cat)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return algebraCollect(op)
-	}, nil
-}
-
-// compactBackend serves I-SQL over a world-set decomposition. The compact
-// representation cannot run every I-SQL statement efficiently — that is
-// the point of the naive/compact split in the paper's companion systems —
-// so it accepts the subset with a direct decomposition counterpart and
-// rejects the rest with errCompactUnsupported:
+// compactBackend serves I-SQL over a world-set decomposition. Statements
+// route through internal/wsd's compiled-and-analyzed plan executor: every
+// SELECT compiles once (through the process-wide shared plan cache, keyed
+// by statement text and the decomposition's schema fingerprint), the
+// planner annotates the compiled tree with the components it touches, and
+// the engine picks the cheapest sound strategy — a single evaluation for
+// world-independent queries, the merge-free componentwise path for
+// decomposable queries (Σ alternatives evaluations, the decomposition
+// untouched), or a bounded partial expansion merging exactly the involved
+// components. The compact representation still cannot run every I-SQL
+// statement; the supported subset and what each form costs:
 //
 //   - CREATE TABLE t (cols)                      — empty certain relation
-//   - INSERT INTO t VALUES (…), (…)              — append certain tuples
+//   - INSERT INTO t [(cols)] VALUES (…), (…)     — append certain tuples
+//     (column lists are reordered, missing columns NULL-filled)
 //   - CREATE TABLE d AS SELECT * FROM s
 //     REPAIR BY KEY k [WEIGHT w] | CHOICE OF u [WEIGHT w]
 //     — one component per key group / one component, O(tuples) space for
 //     exponentially many worlds
-//   - CREATE TABLE d AS <plain SQL>              — partial expansion: only
-//     the components contributing to the referenced relations are merged
-//   - SELECT [POSSIBLE|CERTAIN] <plain SQL core> — closure over the merged
-//     component's alternatives, never full enumeration
-//   - SELECT <exprs>, CONF <plain SQL core>      — exact confidences
+//   - CREATE TABLE d AS <plain SQL>              — componentwise (no
+//     merge, linear size) when the compiled plan decomposes and keeps
+//     certain rows in front; else a partial expansion of exactly the
+//     involved components
+//   - SELECT [POSSIBLE|CERTAIN] <plain SQL core> — merge-free
+//     componentwise closure for decomposable plans (selections,
+//     projections, joins against certain relations, unions,
+//     subqueries/aggregates over certain data — over any number of
+//     components); a bounded merge only when the plan genuinely
+//     correlates ≥ 2 components (cross-component joins, aggregates or
+//     predicate subqueries over several components)
+//   - SELECT <exprs>, CONF <plain SQL core>      — exact confidences, same
+//     routing
 //   - ASSERT <condition>                         — filter + renormalize
 //     the merged component (statement form of Example 2.5)
 //   - DROP TABLE [IF EXISTS] t                   — certain relations only
+//
+// Still rejected (use the naive backend): per-world answers over uncertain
+// data (plain SELECT whose answer varies across worlds), UPDATE/DELETE,
+// repair/choice of uncertain sources, and group-worlds-by.
 type compactBackend struct {
 	d        *wsd.WSD
 	weighted bool
@@ -173,29 +119,17 @@ func (b *compactBackend) exec(sql string) (*core.Result, error) {
 	}
 }
 
-// execInsert appends constant rows to a certain relation.
+// execInsert appends constant rows to a certain relation. Row
+// construction (column-list reorder, NULL-fill, constant-expression
+// evaluation) is shared with the naive engine via plan.ConstInsertRows.
 func (b *compactBackend) execInsert(st *sqlparse.Insert) (*core.Result, error) {
-	if len(st.Columns) > 0 {
-		return nil, fmt.Errorf("%w: INSERT column lists", errCompactUnsupported)
-	}
 	sch, err := b.d.Schema(st.Table)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]tuple.Tuple, len(st.Rows))
-	for i, exprRow := range st.Rows {
-		if len(exprRow) != sch.Len() {
-			return nil, fmt.Errorf("INSERT row has %d values, table %s has %d columns", len(exprRow), st.Table, sch.Len())
-		}
-		t := make(tuple.Tuple, len(exprRow))
-		for j, ex := range exprRow {
-			v, err := constValue(ex)
-			if err != nil {
-				return nil, err
-			}
-			t[j] = v
-		}
-		rows[i] = t
+	rows, err := plan.ConstInsertRows(st, sch)
+	if err != nil {
+		return nil, err
 	}
 	if err := b.d.InsertCertain(st.Table, rows); err != nil {
 		return nil, err
@@ -203,20 +137,9 @@ func (b *compactBackend) execInsert(st *sqlparse.Insert) (*core.Result, error) {
 	return b.ok("inserted %d row(s) into %s", len(rows), st.Table)
 }
 
-// constValue evaluates a constant insert expression (literals, arithmetic
-// on literals, unary minus) — the compact mirror of the naive engine's
-// rule that INSERT rows are world-independent.
-func constValue(e sqlparse.Expr) (value.Value, error) {
-	low, err := plan.BuildScalar(e, plan.CatalogFunc(func(name string) (*relation.Relation, error) {
-		return nil, fmt.Errorf("INSERT values must be constant; relation %q referenced", name)
-	}))
-	if err != nil {
-		return value.Null(), err
-	}
-	return low.Eval(&expr.Context{Schema: schema.New(), Tuple: tuple.Tuple{}})
-}
-
-// execAssert parses and applies a standalone ASSERT condition.
+// execAssert parses and applies a standalone ASSERT condition. The
+// condition template compiles once through the shared plan cache (see
+// WSD.AssertStmt), and its subqueries poll the interrupt hook.
 func (b *compactBackend) execAssert(cond string) (*core.Result, error) {
 	cond = strings.TrimSuffix(strings.TrimSpace(cond), ";")
 	probe, err := sqlparse.Parse("select 1 where " + cond)
@@ -227,36 +150,16 @@ func (b *compactBackend) execAssert(cond string) (*core.Result, error) {
 	if sel.HasISQL() {
 		return nil, fmt.Errorf("%w: I-SQL constructs in assert conditions", errCompactUnsupported)
 	}
-	e := sel.Where
-	touching := referencedRelations(sel)
-	// Compile the condition once and bind it per alternative, like the
-	// naive engine's ASSERT templates.
-	pp, err := plan.PreparePredicate(e, b.schemaCatalog())
-	if err != nil {
-		return nil, err
-	}
-	err = b.d.Assert(touching, func(cat plan.Catalog) (bool, error) {
-		pred, err := pp.Bind(cat)
-		if err != nil {
-			if !errors.Is(err, plan.ErrRebind) {
-				return false, err
-			}
-			pred, err = plan.BuildPredicate(e, cat)
-			if err != nil {
-				return false, err
-			}
-		}
-		return pred()
-	})
-	if err != nil {
+	if err := b.d.AssertStmt(sel.Where, nil); err != nil {
 		return nil, err
 	}
 	return b.ok("asserted; %s world(s) remain", b.d.WorldCount())
 }
 
 // execCreateAs materializes a query: repair/choice over `select * from t`
-// become decomposition components; plain SQL becomes a partial-expansion
-// materialization.
+// become decomposition components; plain SQL is stored componentwise when
+// the compiled plan decomposes (no merge) and by bounded partial expansion
+// otherwise.
 func (b *compactBackend) execCreateAs(st *sqlparse.CreateTableAs) (*core.Result, error) {
 	q := st.Query
 	if q.Repair != nil || q.Choice != nil {
@@ -278,69 +181,32 @@ func (b *compactBackend) execCreateAs(st *sqlparse.CreateTableAs) (*core.Result,
 	if q.HasISQL() {
 		return nil, fmt.Errorf("%w: CREATE TABLE AS with possible/certain/conf/assert/group-worlds-by (query the closure directly instead)", errCompactUnsupported)
 	}
-	eval, err := b.preparedSelect(q)
-	if err != nil {
-		return nil, err
-	}
-	if err := b.d.Materialize(st.Name, referencedRelations(q), eval); err != nil {
+	if err := b.d.CreateTableAs(st.Name, q); err != nil {
 		return nil, err
 	}
 	return b.ok("created table %s", st.Name)
 }
 
-// execSelect answers SELECT statements: plain SQL runs by partial
-// expansion; POSSIBLE / CERTAIN / CONF close over the merged component's
-// alternatives without ever enumerating worlds of untouched components.
+// execSelect answers SELECT statements through the analyzed-plan executor:
+// POSSIBLE / CERTAIN / CONF close over per-alternative answers — with no
+// component merge whenever the compiled plan decomposes — and plain SQL
+// must be world-independent.
 func (b *compactBackend) execSelect(st *sqlparse.SelectStmt) (*core.Result, error) {
 	if st.Repair != nil || st.Choice != nil || st.Assert != nil || st.GroupWorlds != nil {
 		return nil, fmt.Errorf("%w: repair/choice/assert/group-worlds-by inside SELECT (use CREATE TABLE AS … or the ASSERT statement)", errCompactUnsupported)
 	}
-	hasConf := false
-	items := make([]sqlparse.SelectItem, 0, len(st.Items))
-	for _, it := range st.Items {
-		if _, ok := it.Expr.(sqlparse.ConfExpr); ok {
-			if hasConf {
-				return nil, fmt.Errorf("at most one conf item is allowed")
-			}
-			hasConf = true
-			continue
-		}
-		items = append(items, it)
+	core_, cl, err := wsd.StripClosure(st)
+	if err != nil {
+		return nil, err
 	}
-	if hasConf && st.Quantifier != sqlparse.QuantNone {
-		return nil, fmt.Errorf("conf cannot be combined with %s", st.Quantifier)
-	}
-	if hasConf && !b.weighted {
+	if cl == wsd.ClosureConf && !b.weighted {
 		return nil, fmt.Errorf("conf requires a probabilistic session: %w", worldset.ErrNotWeighted)
 	}
-
-	core_ := *st
-	core_.Quantifier = sqlparse.QuantNone
-	core_.Items = items
-	eval, err := b.preparedSelect(&core_)
+	rel, err := b.d.SelectClosure(core_, cl)
 	if err != nil {
-		return nil, err
-	}
-	results, probs, err := b.d.Query(referencedRelations(&core_), eval)
-	if err != nil {
-		return nil, err
-	}
-
-	var rel *relation.Relation
-	switch {
-	case st.Quantifier == sqlparse.QuantPossible:
-		rel, err = worldset.PossibleWorkers(results, b.d.Workers, b.d.Interrupt)
-	case st.Quantifier == sqlparse.QuantCertain:
-		rel, err = worldset.CertainWorkers(results, b.d.Workers, b.d.Interrupt)
-	case hasConf:
-		rel, err = worldset.ConfWorkers(results, probs, b.d.Workers, b.d.Interrupt)
-	default:
-		if len(results) > 1 {
-			return nil, fmt.Errorf("%w: per-world answers over uncertain relations (close with possible, certain or conf)", errCompactUnsupported)
+		if errors.Is(err, wsd.ErrPerWorld) {
+			return nil, fmt.Errorf("%w: %v", errCompactUnsupported, err)
 		}
-		rel = results[0]
-	}
-	if err != nil {
 		return nil, err
 	}
 	return &core.Result{
@@ -352,7 +218,9 @@ func (b *compactBackend) execSelect(st *sqlparse.SelectStmt) (*core.Result, erro
 
 // plainStarSource checks that a repair/choice query core is exactly
 // `select * from t` and returns t: the decomposition operations work on a
-// whole certain relation (project afterwards with CREATE TABLE AS).
+// whole certain relation (project afterwards with CREATE TABLE AS, or
+// query projections of the result directly — projections of repair/choice
+// sources evaluate componentwise, without expansion).
 func plainStarSource(q *sqlparse.SelectStmt) (string, error) {
 	core := *q
 	core.Repair, core.Choice = nil, nil
@@ -369,72 +237,4 @@ func plainStarSource(q *sqlparse.SelectStmt) (string, error) {
 		return "", fmt.Errorf("%w: repair/choice sources other than `select * from t` (materialize the source first)", errCompactUnsupported)
 	}
 	return q.From[0].Name, nil
-}
-
-// referencedRelations walks a statement and collects every table name it
-// references, including inside subqueries and union arms. Passing a
-// superset to the WSD is harmless — only components contributing to the
-// names are merged — so no catalog filtering is needed.
-func referencedRelations(q *sqlparse.SelectStmt) []string {
-	seen := map[string]bool{}
-	var names []string
-	var walkStmt func(*sqlparse.SelectStmt)
-	var walkExpr func(sqlparse.Expr)
-	walkExpr = func(e sqlparse.Expr) {
-		switch n := e.(type) {
-		case sqlparse.BinaryExpr:
-			walkExpr(n.L)
-			walkExpr(n.R)
-		case sqlparse.UnaryExpr:
-			walkExpr(n.E)
-		case sqlparse.IsNullExpr:
-			walkExpr(n.E)
-		case sqlparse.ExistsExpr:
-			walkStmt(n.Sub)
-		case sqlparse.InExpr:
-			walkExpr(n.Left)
-			for _, item := range n.List {
-				walkExpr(item)
-			}
-			if n.Sub != nil {
-				walkStmt(n.Sub)
-			}
-		case sqlparse.SubqueryExpr:
-			walkStmt(n.Sub)
-		case sqlparse.FuncCall:
-			for _, a := range n.Args {
-				walkExpr(a)
-			}
-		}
-	}
-	walkStmt = func(s *sqlparse.SelectStmt) {
-		if s == nil {
-			return
-		}
-		for _, tr := range s.From {
-			k := strings.ToLower(tr.Name)
-			if !seen[k] {
-				seen[k] = true
-				names = append(names, tr.Name)
-			}
-		}
-		for _, it := range s.Items {
-			if it.Expr != nil {
-				walkExpr(it.Expr)
-			}
-		}
-		if s.Where != nil {
-			walkExpr(s.Where)
-		}
-		if s.Having != nil {
-			walkExpr(s.Having)
-		}
-		if s.Assert != nil {
-			walkExpr(s.Assert)
-		}
-		walkStmt(s.GroupWorlds)
-		walkStmt(s.Union)
-	}
-	walkStmt(q)
-	return names
 }

@@ -1,0 +1,174 @@
+package server
+
+// compact_test.go: the decomposition-aware compact backend — cross-session
+// plan-cache reuse, INSERT column lists, and the merge-free componentwise
+// execution path (including workloads whose component merge would exceed
+// the expansion limit, which only the componentwise path can answer).
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"maybms/internal/plan"
+)
+
+// compactScript is a statement sequence fully supported by the compact
+// backend, exercising DDL, inserts, repair, asserts and all three
+// closures.
+var compactScript = []string{
+	"create table R (A, B, C, D)",
+	"insert into R values ('a1',10,'c1',2),('a1',15,'c2',6),('a2',14,'c3',4),('a2',20,'c4',5),('a3',20,'c5',6)",
+	"create table I as select * from R repair by key A weight D",
+	"create table HighB as select A, B from I where B >= 14",
+	"select possible A, B from I",
+	"select certain A from I",
+	"select conf, A, B from HighB",
+	"select possible I.A, R.C from I, R where I.B = R.B",
+	"assert exists (select * from R where B = 10)",
+}
+
+// TestCompactSharedPlanCacheCrossSessionHits mirrors the naive backend's
+// acceptance check for the process-wide cache: a second compact session
+// executing the statements a first compact session already compiled
+// performs zero new template compilations.
+func TestCompactSharedPlanCacheCrossSessionHits(t *testing.T) {
+	srv := New(Config{})
+	for _, stmt := range compactScript {
+		handleOK(t, srv, Request{Session: "cfirst", Backend: "compact", Query: stmt})
+	}
+	prepares := plan.PrepareCount()
+	hits := plan.SharedCache().Stats().Hits
+	for _, stmt := range compactScript {
+		handleOK(t, srv, Request{Session: "csecond", Backend: "compact", Query: stmt})
+	}
+	if got := plan.PrepareCount(); got != prepares {
+		t.Errorf("second compact session compiled %d new templates, want 0 (shared cache miss)", got-prepares)
+	}
+	if got := plan.SharedCache().Stats().Hits; got <= hits {
+		t.Errorf("second compact session produced no shared-cache hits (hits %d -> %d)", hits, got)
+	}
+	// And the answers are identical.
+	a := handleOK(t, srv, Request{Session: "cfirst", Backend: "compact", Query: "select conf, A, B from HighB", Render: true})
+	b := handleOK(t, srv, Request{Session: "csecond", Backend: "compact", Query: "select conf, A, B from HighB", Render: true})
+	if a.Text != b.Text || a.Text == "" {
+		t.Fatalf("cross-session compact answers diverge: %q vs %q", a.Text, b.Text)
+	}
+}
+
+// TestInsertColumnListsBothBackends: INSERT INTO t (cols) VALUES … is
+// reordered and NULL-filled identically by the naive and compact backends.
+func TestInsertColumnListsBothBackends(t *testing.T) {
+	script := []string{
+		"create table T (A, B, C)",
+		"insert into T (C, A) values (3, 1), (30, 10)",
+		"insert into T (B) values (42)",
+		"insert into T values (7, 8, 9)",
+	}
+	srv := New(Config{})
+	for _, backend := range []string{"naive", "compact"} {
+		sess := backend + "-cols"
+		for _, stmt := range script {
+			handleOK(t, srv, Request{Session: sess, Backend: backend, Query: stmt})
+		}
+	}
+	want := [][]any{
+		{int64(1), nil, int64(3)},
+		{int64(10), nil, int64(30)},
+		{nil, int64(42), nil},
+		{int64(7), int64(8), int64(9)},
+	}
+	for _, backend := range []string{"naive", "compact"} {
+		resp := handleOK(t, srv, Request{Session: backend + "-cols", Backend: backend, Query: "select certain A, B, C from T"})
+		if len(resp.Groups) != 1 {
+			t.Fatalf("%s: groups = %+v", backend, resp.Groups)
+		}
+		if got := resp.Groups[0].Rows.Rows; !reflect.DeepEqual(got, want) {
+			t.Errorf("%s rows = %#v, want %#v", backend, got, want)
+		}
+	}
+	// Bad column lists fail cleanly on both backends.
+	for _, backend := range []string{"naive", "compact"} {
+		sess := backend + "-cols"
+		for _, bad := range []string{
+			"insert into T (Z) values (1)",
+			"insert into T (A, B) values (1)",
+		} {
+			resp := srv.Handle(context.Background(), &Request{Session: sess, Backend: backend, Query: bad})
+			if resp.OK {
+				t.Errorf("%s accepted %q", backend, bad)
+			}
+		}
+	}
+}
+
+// TestCompactComponentwiseBeyondMergeLimit: a CONF query over a relation
+// fed by more components than the merge limit can multiply out is
+// answerable only componentwise — the merge path refuses it, the
+// componentwise path answers it with zero merges and the representation
+// untouched. This is the "widened subset without partial expansion"
+// acceptance at the server layer.
+func TestCompactComponentwiseBeyondMergeLimit(t *testing.T) {
+	const k = 17 // 2^17 > the default merge limit of 2^16
+	b := newCompactBackend(true, 0, 0)
+	mustExec := func(q string) {
+		t.Helper()
+		if _, err := b.exec(q); err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+	}
+	mustExec("create table R (K, V)")
+	var rows []string
+	for i := 0; i < k; i++ {
+		rows = append(rows, fmt.Sprintf("('k%02d', 0), ('k%02d', 1)", i, i))
+	}
+	mustExec("insert into R values " + strings.Join(rows, ", "))
+	mustExec("create table I as select * from R repair by key K")
+
+	// The merge path cannot answer this: 2^17 alternatives exceed the
+	// expansion limit.
+	b.d.DisableComponentwise = true
+	if _, err := b.exec("select conf, K, V from I"); err == nil {
+		t.Fatal("merge path must refuse a 2^17-alternative expansion")
+	}
+
+	// The componentwise path answers it exactly, with no merge and the
+	// decomposition untouched.
+	b.d.DisableComponentwise = false
+	res, err := b.exec("select conf, K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.d.MergeCount() != 0 {
+		t.Errorf("componentwise conf merged %d times", b.d.MergeCount())
+	}
+	if b.d.ComponentCount() != k {
+		t.Errorf("components = %d, want %d untouched", b.d.ComponentCount(), k)
+	}
+	rel := res.Groups[0].Rel
+	if rel.Len() != 2*k {
+		t.Fatalf("conf rows = %d, want %d", rel.Len(), 2*k)
+	}
+	for _, tp := range rel.Tuples {
+		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-0.5) > 1e-9 {
+			t.Fatalf("conf = %v, want 0.5", c)
+		}
+	}
+
+	// Joins against certain relations stay merge-free too.
+	mustExec("create table L (V, Y)")
+	mustExec("insert into L values (0, 'lo'), (1, 'hi')")
+	res, err = b.exec("select possible I.K, L.Y from I, L where I.V = L.V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.d.MergeCount() != 0 {
+		t.Errorf("certain join merged %d times", b.d.MergeCount())
+	}
+	if got := res.Groups[0].Rel.Len(); got != 2*k {
+		t.Errorf("join rows = %d, want %d", got, 2*k)
+	}
+}

@@ -201,6 +201,37 @@ func TestRequestDeadlineCancelsStatement(t *testing.T) {
 	}
 }
 
+// TestDeadlineCancelsSingleWorldEval: the algebra iterators poll the
+// interrupt hook every few hundred rows, so a deadlined request no longer
+// holds its admission-gate slot for a whole single-world evaluation (one
+// huge cross join in one world used to be uninterruptible).
+func TestDeadlineCancelsSingleWorldEval(t *testing.T) {
+	srv := New(Config{})
+	naive := func(q string, timeoutMs int) *Response {
+		return srv.Handle(context.Background(), &Request{Session: "sw", Query: q, TimeoutMs: timeoutMs})
+	}
+	if resp := naive("create table B (X)", 0); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+	var rows []string
+	for i := 0; i < 600; i++ {
+		rows = append(rows, fmt.Sprintf("(%d)", i))
+	}
+	if resp := naive("insert into B values "+strings.Join(rows, ", "), 0); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+	// One world, 600^3 = 2.16e8 join rows: far beyond a 1ms deadline, and
+	// cancellable only from inside the iterators.
+	resp := naive("select count(*) from B b1, B b2, B b3", 1)
+	if resp.OK || !strings.Contains(resp.Error, "deadline") {
+		t.Fatalf("single-world deadline response = %+v", resp)
+	}
+	// The gate slot came back: the next statement runs promptly.
+	if resp := naive("select count(*) from B where X < 5", 0); !resp.OK {
+		t.Fatal(resp.Error)
+	}
+}
+
 // TestDeadlineCancelsCompactMerge: component merges poll the interrupt
 // hook, so a deadlined compact statement frees its gate slot instead of
 // grinding through the whole partial expansion.

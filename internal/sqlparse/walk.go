@@ -1,0 +1,72 @@
+package sqlparse
+
+import "strings"
+
+// ReferencedTables walks a statement and collects every table name it
+// references — FROM clauses, subqueries anywhere in expressions, assert
+// and group-worlds-by clauses, union arms — in first-appearance order,
+// deduplicated case-insensitively. Engines use it to find which stored
+// relations a statement can read.
+func ReferencedTables(q *SelectStmt) []string {
+	seen := map[string]bool{}
+	var names []string
+	var walkStmt func(*SelectStmt)
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch n := e.(type) {
+		case BinaryExpr:
+			walkExpr(n.L)
+			walkExpr(n.R)
+		case UnaryExpr:
+			walkExpr(n.E)
+		case IsNullExpr:
+			walkExpr(n.E)
+		case ExistsExpr:
+			walkStmt(n.Sub)
+		case InExpr:
+			walkExpr(n.Left)
+			for _, item := range n.List {
+				walkExpr(item)
+			}
+			if n.Sub != nil {
+				walkStmt(n.Sub)
+			}
+		case SubqueryExpr:
+			walkStmt(n.Sub)
+		case FuncCall:
+			for _, a := range n.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmt = func(s *SelectStmt) {
+		if s == nil {
+			return
+		}
+		for _, tr := range s.From {
+			k := strings.ToLower(tr.Name)
+			if !seen[k] {
+				seen[k] = true
+				names = append(names, tr.Name)
+			}
+		}
+		for _, it := range s.Items {
+			if it.Expr != nil {
+				walkExpr(it.Expr)
+			}
+		}
+		if s.Where != nil {
+			walkExpr(s.Where)
+		}
+		if s.Having != nil {
+			walkExpr(s.Having)
+		}
+		if s.Assert != nil {
+			walkExpr(s.Assert)
+		}
+		walkStmt(s.GroupWorlds)
+		walkStmt(s.Union)
+	}
+	walkStmt(q)
+	return names
+}

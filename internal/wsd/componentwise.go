@@ -1,0 +1,352 @@
+package wsd
+
+// Componentwise (merge-free) query evaluation. For a query whose compiled
+// plan is monotone-decomposable over the components it touches (see
+// internal/plan's component-touch analysis), each world's answer is
+//
+//	Q(world(a1,…,ak)) = Q(cert) ∪ Q_c1(a1) ∪ … ∪ Q_ck(ak)
+//
+// so the possible/certain/conf closures over *all* represented worlds can
+// be computed from Σ_c |Alts(c)| single-alternative evaluations — never the
+// Π_c |Alts(c)| alternatives a component merge would produce, and without
+// mutating the decomposition at all.
+//
+// The closures reproduce the naive engine's answer order exactly. The
+// naive engine closes over per-world answers in mixed-radix world order
+// (the last component varies fastest; see Expand and core's repair
+// odometer), deduplicating by first appearance. Under the decomposition
+// identity, the only worlds contributing *new* tuples to that fold are the
+// first world (all components at their first alternative) and the
+// single-deviation worlds (one component at alternative a ≥ 2, all others
+// first), whose positions sort by reverse component order with
+// alternatives ascending. The componentwise closures therefore emit the
+// first world's full answer (one extra evaluation), then walk the
+// remaining alternatives of each component from the last involved
+// component to the first — and within each part, the relative order of a
+// deviation's new tuples equals their order in the part's own answer,
+// because every supported operator routes rows value- or
+// position-deterministically.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// errNotConcat reports that a part evaluation was not certain-prefixed, so
+// a componentwise materialization would store wrong per-world tuple order;
+// callers fall back to the merge path.
+var errNotConcat = errors.New("componentwise materialization requires certain-prefixed answers")
+
+// partsCatalog exposes the certain database plus the contributions of a
+// chosen alternative per selected component, as a plan.Catalog. Components
+// not selected contribute nothing (their relations show only the certain
+// part). Contributions are appended in component order, matching the
+// per-world relation order of the merge path and the naive engine.
+type partsCatalog struct {
+	d     *WSD
+	sel   map[int]int // component index → alternative index
+	order []int       // sel's keys, ascending (the contribution order)
+}
+
+// newPartsCatalog builds a catalog over the given selection. The lookup
+// cost is O(|sel|) per table, not O(components) — part evaluations select
+// a single component, so scanning the whole component list per lookup
+// would make componentwise evaluation quadratic in the component count.
+func newPartsCatalog(d *WSD, sel map[int]int) partsCatalog {
+	order := make([]int, 0, len(sel))
+	for ci := range sel {
+		order = append(order, ci)
+	}
+	sort.Ints(order)
+	return partsCatalog{d: d, sel: sel, order: order}
+}
+
+// Lookup implements plan.Catalog.
+func (pc partsCatalog) Lookup(name string) (*relation.Relation, error) {
+	k := key(name)
+	sch, ok := pc.d.schemas[k]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
+	}
+	out := relation.New(sch)
+	if cert, ok := pc.d.certain[k]; ok {
+		out.Tuples = append(out.Tuples, cert.Tuples...)
+	}
+	for _, ci := range pc.order {
+		out.Tuples = append(out.Tuples, pc.d.comps[ci].Alts[pc.sel[ci]].Tuples[k]...)
+	}
+	return out, nil
+}
+
+var _ plan.Catalog = partsCatalog{}
+
+// componentParts is the componentwise evaluation of one query: the answer
+// of the first world (every involved component at its first alternative)
+// and one answer per (component, alternative) pair, evaluated with only
+// that alternative's contributions visible.
+type componentParts struct {
+	d       *WSD
+	compIdx []int // indexes into d.comps, ascending
+	// world0 is the first world's full answer; nil unless requested.
+	world0 *relation.Relation
+	// base is the certain-only answer Q(cert); nil unless requested.
+	base *relation.Relation
+	// parts[i][a] is the answer with component compIdx[i] at alternative a.
+	parts [][]*relation.Relation
+	// probs[i][a] is the alternative's probability.
+	probs [][]float64
+}
+
+// QueryByComponent evaluates query once per alternative of each listed
+// component — Σ sizes evaluations on the worker pool, no merge, no
+// mutation of the decomposition. withWorld0 additionally evaluates the
+// first world (all listed components at alternative 0); withBase
+// additionally evaluates the certain-only answer. query must be safe for
+// concurrent calls.
+func (d *WSD) QueryByComponent(compIdx []int, withWorld0, withBase bool, query func(cat plan.Catalog) (*relation.Relation, error)) (*componentParts, error) {
+	out := &componentParts{
+		d:       d,
+		compIdx: compIdx,
+		parts:   make([][]*relation.Relation, len(compIdx)),
+		probs:   make([][]float64, len(compIdx)),
+	}
+	// Flatten every evaluation into one task list for the pool.
+	type task struct {
+		sel map[int]int
+		dst **relation.Relation
+	}
+	var tasks []task
+	if withWorld0 {
+		first := make(map[int]int, len(compIdx))
+		for _, ci := range compIdx {
+			first[ci] = 0
+		}
+		tasks = append(tasks, task{sel: first, dst: &out.world0})
+	}
+	if withBase {
+		tasks = append(tasks, task{sel: map[int]int{}, dst: &out.base})
+	}
+	for i, ci := range compIdx {
+		alts := d.comps[ci].Alts
+		out.parts[i] = make([]*relation.Relation, len(alts))
+		out.probs[i] = make([]float64, len(alts))
+		for a := range alts {
+			out.probs[i][a] = alts[a].Prob
+			tasks = append(tasks, task{sel: map[int]int{ci: a}, dst: &out.parts[i][a]})
+		}
+	}
+	results, err := mapAlts(d, len(tasks), func(ti int) (*relation.Relation, error) {
+		return query(newPartsCatalog(d, tasks[ti].sel))
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti := range tasks {
+		*tasks[ti].dst = results[ti]
+	}
+	return out, nil
+}
+
+// emit walks the closure emission order — the first world's answer, then
+// the remaining alternatives of each component from the last involved
+// component to the first — calling fn for every tuple in sequence.
+// Deduplication is the caller's (fn's) business. The Interrupt hook is
+// polled once per part, like the merge path's closure fold, so deadlined
+// requests abort the fold too.
+func (p *componentParts) emit(fn func(t tuple.Tuple)) error {
+	if err := p.d.interrupted(); err != nil {
+		return err
+	}
+	for _, t := range p.world0.Tuples {
+		fn(t)
+	}
+	for i := len(p.compIdx) - 1; i >= 0; i-- {
+		for a := 1; a < len(p.parts[i]); a++ {
+			if err := p.d.interrupted(); err != nil {
+				return err
+			}
+			for _, t := range p.parts[i][a].Tuples {
+				fn(t)
+			}
+		}
+	}
+	return nil
+}
+
+// keySets returns, per component, per alternative, the key set of the
+// part's answer, polling the Interrupt hook once per part.
+func (p *componentParts) keySets() ([][]map[string]struct{}, error) {
+	out := make([][]map[string]struct{}, len(p.parts))
+	for i, alts := range p.parts {
+		out[i] = make([]map[string]struct{}, len(alts))
+		for a, rel := range alts {
+			if err := p.d.interrupted(); err != nil {
+				return nil, err
+			}
+			set := make(map[string]struct{}, len(rel.Tuples))
+			for _, t := range rel.Tuples {
+				set[t.Key()] = struct{}{}
+			}
+			out[i][a] = set
+		}
+	}
+	return out, nil
+}
+
+// possibleFromParts computes the POSSIBLE closure: every tuple in some
+// part, in the naive engine's first-appearance order.
+func possibleFromParts(p *componentParts) (*relation.Relation, error) {
+	out := relation.New(p.world0.Schema)
+	seen := map[string]struct{}{}
+	err := p.emit(func(t tuple.Tuple) {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		out.Tuples = append(out.Tuples, t)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// certainFromParts computes the CERTAIN closure: a tuple is in every world
+// iff it is in the certain-only answer or some component contributes it
+// under *every* alternative — by independence, the exact criterion. The
+// order is the first world's answer order (the naive engine intersects
+// into the first world's deduplicated answer).
+func certainFromParts(p *componentParts) (*relation.Relation, error) {
+	keys, err := p.keySets()
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(p.world0.Schema)
+	seen := map[string]struct{}{}
+	for _, t := range p.world0.Tuples {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		for i := range keys {
+			all := true
+			for _, set := range keys[i] {
+				if _, ok := set[k]; !ok {
+					all = false
+					break
+				}
+			}
+			if all {
+				out.Tuples = append(out.Tuples, t)
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// confFromParts computes the CONF closure: every possible tuple extended
+// with its exact confidence 1 − Π_c (1 − p_c(t)), where p_c(t) is the
+// total probability of component c's alternatives whose part contains the
+// tuple. A tuple in the certain-only answer is in every part, making every
+// p_c = 1 and the confidence 1. Tuple order is the possible order.
+func confFromParts(p *componentParts) (*relation.Relation, error) {
+	keys, err := p.keySets()
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(p.world0.Schema.Concat(confSchema()))
+	seen := map[string]struct{}{}
+	err = p.emit(func(t tuple.Tuple) {
+		k := t.Key()
+		if _, dup := seen[k]; dup {
+			return
+		}
+		seen[k] = struct{}{}
+		miss := 1.0
+		last := 0.0
+		for i := range keys {
+			pc := 0.0
+			for a, set := range keys[i] {
+				if _, ok := set[k]; ok {
+					pc += p.probs[i][a]
+				}
+			}
+			miss *= 1 - pc
+			last = pc
+		}
+		conf := 1 - miss
+		if len(keys) == 1 {
+			// A single component's confidence is the plain probability sum,
+			// accumulated in alternative order — bit-identical to the merge
+			// path and the naive engine (1 − (1 − p) would lose ulps).
+			conf = last
+		}
+		if conf > 1 {
+			conf = 1 // clamp float accumulation noise
+		}
+		out.Tuples = append(out.Tuples, append(t.Clone(), value.Float(conf)))
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// materializeByComponent stores the answer of a concat-structured
+// decomposable query as relation dst without merging: the certain-only
+// answer becomes dst's certain part, and each (component, alternative)
+// part contributes its suffix beyond that prefix to the alternative. Every
+// world's dst instance — certain part followed by contributions in
+// component order — is tuple-for-tuple identical to what the merge path
+// would have stored. The concat structure is verified positionally; a
+// violation returns errNotConcat and the caller falls back to the merge
+// path.
+func (d *WSD) materializeByComponent(dst string, compIdx []int, query func(cat plan.Catalog) (*relation.Relation, error)) error {
+	p, err := d.QueryByComponent(compIdx, false, true, query)
+	if err != nil {
+		return err
+	}
+	baseKeys := make([]string, len(p.base.Tuples))
+	for i, t := range p.base.Tuples {
+		baseKeys[i] = t.Key()
+	}
+	for i := range p.parts {
+		for _, part := range p.parts[i] {
+			if len(part.Tuples) < len(baseKeys) {
+				return errNotConcat
+			}
+			for j, k := range baseKeys {
+				if part.Tuples[j].Key() != k {
+					return errNotConcat
+				}
+			}
+		}
+	}
+	if err := d.registerUncertain(dst, p.base.Schema); err != nil {
+		return err
+	}
+	k := key(dst)
+	if len(p.base.Tuples) > 0 {
+		cert := relation.New(d.schemas[k])
+		cert.Tuples = append(cert.Tuples, p.base.Tuples...)
+		d.certain[k] = cert
+	}
+	for i, ci := range compIdx {
+		for a := range p.parts[i] {
+			contribution := p.parts[i][a].Tuples[len(baseKeys):]
+			if len(contribution) > 0 {
+				d.comps[ci].Alts[a].Tuples[k] = contribution
+			}
+		}
+	}
+	return nil
+}

@@ -81,6 +81,7 @@ func (d *WSD) mergeComponents(idx []int) (*Component, error) {
 
 	// Remove the merged-in components (descending index order) and append
 	// the product.
+	d.merges.Add(1)
 	for i := len(idx) - 1; i >= 0; i-- {
 		d.comps = append(d.comps[:idx[i]], d.comps[idx[i]+1:]...)
 	}
@@ -194,7 +195,13 @@ func (d *WSD) Assert(touching []string, pred func(cat plan.Catalog) (bool, error
 // whose total probability is the alternative's, by component
 // independence.
 func (d *WSD) Query(touching []string, query func(cat plan.Catalog) (*relation.Relation, error)) ([]*relation.Relation, []float64, error) {
-	merged, err := d.mergeComponents(d.involvedComponents(touching))
+	return d.queryMerged(d.involvedComponents(touching), query)
+}
+
+// queryMerged is Query over explicit component indexes (as produced by
+// involvedComponents or the planner's component analysis).
+func (d *WSD) queryMerged(idx []int, query func(cat plan.Catalog) (*relation.Relation, error)) ([]*relation.Relation, []float64, error) {
+	merged, err := d.mergeComponents(idx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -225,7 +232,12 @@ func (d *WSD) Query(touching []string, query func(cat plan.Catalog) (*relation.R
 // evaluation per alternative of the merged component (or a single
 // evaluation when the query touches only certain relations).
 func (d *WSD) Materialize(dst string, touching []string, query func(cat plan.Catalog) (*relation.Relation, error)) error {
-	merged, err := d.mergeComponents(d.involvedComponents(touching))
+	return d.materializeMerged(dst, d.involvedComponents(touching), query)
+}
+
+// materializeMerged is Materialize over explicit component indexes.
+func (d *WSD) materializeMerged(dst string, idx []int, query func(cat plan.Catalog) (*relation.Relation, error)) error {
+	merged, err := d.mergeComponents(idx)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,347 @@
+package wsd
+
+// Statement-level query execution over the decomposition: compiled plans
+// (through the process-wide shared plan cache), component-touch analysis,
+// and routing between the merge-free componentwise path and the classic
+// bounded component merge. internal/server's compact backend and the
+// public CompactDB API are thin wrappers over this file.
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"maybms/internal/algebra"
+	"maybms/internal/expr"
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/sqlparse"
+	"maybms/internal/worldset"
+)
+
+// Closure selects the world-closing operation applied to a SELECT's
+// per-world answers.
+type Closure int
+
+// The closures.
+const (
+	ClosureNone Closure = iota
+	ClosurePossible
+	ClosureCertain
+	ClosureConf
+)
+
+// Errors reported by statement execution.
+var (
+	// ErrPerWorld reports a plain SELECT (no closure) whose answer varies
+	// across worlds: the compact representation cannot enumerate per-world
+	// answers without expanding.
+	ErrPerWorld = errors.New("per-world answers over uncertain relations (close with possible, certain or conf)")
+	// ErrConfUnweighted reports CONF on a non-probabilistic decomposition.
+	ErrConfUnweighted = errors.New("conf requires a weighted decomposition")
+)
+
+// StripClosure splits an I-SQL SELECT into its plain-SQL core and the
+// closure it requests. It rejects multiple conf items and conf combined
+// with a quantifier; repair/choice/assert/group-worlds-by are not this
+// function's business and must be handled (or rejected) by the caller.
+func StripClosure(st *sqlparse.SelectStmt) (*sqlparse.SelectStmt, Closure, error) {
+	cl := ClosureNone
+	switch st.Quantifier {
+	case sqlparse.QuantPossible:
+		cl = ClosurePossible
+	case sqlparse.QuantCertain:
+		cl = ClosureCertain
+	}
+	items := make([]sqlparse.SelectItem, 0, len(st.Items))
+	for _, it := range st.Items {
+		if _, ok := it.Expr.(sqlparse.ConfExpr); ok {
+			if cl == ClosureConf {
+				return nil, 0, fmt.Errorf("at most one conf item is allowed")
+			}
+			if cl != ClosureNone {
+				return nil, 0, fmt.Errorf("conf cannot be combined with %s", st.Quantifier)
+			}
+			cl = ClosureConf
+			continue
+		}
+		items = append(items, it)
+	}
+	core := *st
+	core.Quantifier = sqlparse.QuantNone
+	core.Items = items
+	return &core, cl, nil
+}
+
+// collect drains an operator, polling the decomposition's Interrupt hook
+// from inside the long-running iterators (see internal/algebra).
+func (d *WSD) collect(op algebra.Operator) (*relation.Relation, error) {
+	var root *expr.Context
+	if d.Interrupt != nil {
+		root = &expr.Context{Interrupt: d.Interrupt}
+	}
+	return algebra.Collect(op, root)
+}
+
+// schemaCatalog exposes the decomposition's relation schemas (over empty
+// relations) as a compile target: planning needs names and columns only,
+// and the compiled template is stripped of tuples anyway.
+func (d *WSD) schemaCatalog() plan.Catalog {
+	return plan.CatalogFunc(func(name string) (*relation.Relation, error) {
+		sch, err := d.Schema(name)
+		if err != nil {
+			return nil, err
+		}
+		return relation.New(sch), nil
+	})
+}
+
+// SchemaFingerprint hashes the decomposition's catalog shape, mirroring
+// world.SchemaFingerprint for the compact engine: it keys the process-wide
+// shared plan cache, so compact sessions over identical schemas share
+// compiled templates.
+func (d *WSD) SchemaFingerprint() uint64 {
+	h := fnv.New64a()
+	for _, n := range d.Names() { // sorted
+		sch, _ := d.Schema(n)
+		fmt.Fprintf(h, "%s=%s;", strings.ToLower(n), sch)
+	}
+	return h.Sum64()
+}
+
+// sharedTemplate returns the template under key from the process-wide
+// shared plan cache when it still validates, else compiles and caches a
+// fresh one. A stale or fingerprint-colliding entry degrades to a
+// recompile, never a wrong answer.
+func sharedTemplate[T any](key string, valid func(T) bool, compile func() (T, error)) (T, error) {
+	if v, ok := plan.SharedCache().Get(key); ok {
+		if p, ok := v.(T); ok && valid(p) {
+			return p, nil
+		}
+	}
+	p, err := compile()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	plan.SharedCache().Put(key, p)
+	return p, nil
+}
+
+// prepared compiles sel once — through the process-wide shared plan cache,
+// keyed like the naive engine's templates — and returns the template plus
+// an evaluator that binds it per catalog (falling back to per-catalog
+// compilation on a failed bind, which preserves exactness).
+func (d *WSD) prepared(sel *sqlparse.SelectStmt) (*plan.Prepared, func(cat plan.Catalog) (*relation.Relation, error), error) {
+	compileCat := d.schemaCatalog()
+	prep, err := sharedTemplate(
+		fmt.Sprintf("cq\x00%s\x00%x", sel.String(), d.SchemaFingerprint()),
+		func(p *plan.Prepared) bool { _, err := p.Bind(compileCat); return err == nil },
+		func() (*plan.Prepared, error) { return plan.Prepare(sel, compileCat) })
+	if err != nil {
+		return nil, nil, err
+	}
+	eval := func(cat plan.Catalog) (*relation.Relation, error) {
+		op, err := prep.Bind(cat)
+		if err != nil {
+			if !errors.Is(err, plan.ErrRebind) {
+				return nil, err
+			}
+			op, err = plan.Build(sel, cat)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return d.collect(op)
+	}
+	return prep, eval, nil
+}
+
+// AssertStmt filters the world-set by an ASSERT condition (an I-SQL-free
+// boolean expression). The condition compiles once through the process-wide
+// shared plan cache — keyed like SELECT templates, under a distinct prefix
+// — and is bound per alternative of the merged involved components, with
+// the Interrupt hook threaded into its subquery evaluations. The uncertain
+// relations the condition reads are derived from the condition itself;
+// touching may list extras (a superset is harmless) and may be nil.
+func (d *WSD) AssertStmt(e sqlparse.Expr, touching []string) error {
+	touching = append(append([]string(nil), touching...),
+		sqlparse.ReferencedTables(&sqlparse.SelectStmt{Where: e, Limit: -1})...)
+	compileCat := d.schemaCatalog()
+	pp, err := sharedTemplate(
+		fmt.Sprintf("ca\x00%s\x00%x", e.String(), d.SchemaFingerprint()),
+		func(p *plan.PreparedPredicate) bool { _, err := p.Bind(compileCat); return err == nil },
+		func() (*plan.PreparedPredicate, error) { return plan.PreparePredicate(e, compileCat) })
+	if err != nil {
+		return err
+	}
+	return d.Assert(touching, func(cat plan.Catalog) (bool, error) {
+		pred, err := pp.BindInterrupt(cat, d.Interrupt)
+		if err != nil {
+			if !errors.Is(err, plan.ErrRebind) {
+				return false, err
+			}
+			pred, err = plan.BuildPredicateInterrupt(e, cat, d.Interrupt)
+			if err != nil {
+				return false, err
+			}
+		}
+		return pred()
+	})
+}
+
+// analyze runs the planner's component-touch analysis on a compiled
+// template against this decomposition (component IDs are indexes into the
+// component list, valid until the next restructuring operation).
+func (d *WSD) analyze(prep *plan.Prepared) (*plan.ComponentAnalysis, error) {
+	return prep.Analyze(plan.ComponentCatalogFunc(d.ComponentsFor))
+}
+
+// SelectClosure evaluates the plain-SQL core of a SELECT under the given
+// closure, against the represented world-set:
+//
+//   - a core touching no component is evaluated once;
+//   - a core touching components is closed over per-alternative answers —
+//     via the componentwise path (no merge, Σ alternatives evaluations,
+//     decomposition untouched) whenever the compiled plan is
+//     monotone-decomposable, else by merging exactly the involved
+//     components (bounded by MergeLimit);
+//   - ClosureNone requires a world-independent answer and fails with
+//     ErrPerWorld otherwise, without merging anything.
+//
+// Results are identical between the componentwise and merge paths — order
+// included — and match the naive engine's closure over the expanded
+// world-set.
+func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Relation, error) {
+	if cl == ClosureConf && !d.Weighted {
+		return nil, ErrConfUnweighted
+	}
+	prep, eval, err := d.prepared(core)
+	if err != nil {
+		return nil, err
+	}
+	an, err := d.analyze(prep)
+	if err != nil {
+		return nil, err
+	}
+
+	// World-independent core: one evaluation, every closure is (at most) a
+	// dedup of it.
+	if len(an.Comps) == 0 {
+		res, err := eval(newPartsCatalog(d, nil))
+		if err != nil {
+			return nil, err
+		}
+		switch cl {
+		case ClosureNone:
+			return res, nil
+		case ClosurePossible:
+			return worldset.PossibleWorkers([]*relation.Relation{res}, d.Workers, d.Interrupt)
+		case ClosureCertain:
+			return worldset.CertainWorkers([]*relation.Relation{res}, d.Workers, d.Interrupt)
+		default:
+			return worldset.ConfWorkers([]*relation.Relation{res}, []float64{1}, d.Workers, d.Interrupt)
+		}
+	}
+
+	if cl == ClosureNone {
+		if d.DisableComponentwise {
+			// Reproduce the classic routing faithfully: merge the involved
+			// components, then notice whether one alternative remains.
+			results, _, err := d.queryMerged(an.Comps, eval)
+			if err != nil {
+				return nil, err
+			}
+			if len(results) > 1 {
+				return nil, ErrPerWorld
+			}
+			return results[0], nil
+		}
+		// When every involved component has a single remaining alternative
+		// (singleton key groups, or asserts narrowed the choices away) the
+		// answer is world-independent after all: evaluate that one world
+		// directly — the classic path merged first and then noticed it had
+		// one alternative. Otherwise refuse, before merging anything.
+		sel := make(map[int]int, len(an.Comps))
+		for _, ci := range an.Comps {
+			if len(d.comps[ci].Alts) != 1 {
+				return nil, ErrPerWorld
+			}
+			sel[ci] = 0
+		}
+		return eval(newPartsCatalog(d, sel))
+	}
+
+	// The merge-free fast path: closures from per-alternative part
+	// evaluations. A single component is handled by the same code — there
+	// the classic path would not have merged either, but the parts path
+	// also skips the (noop) restructuring.
+	if an.Decomposable && !d.DisableComponentwise {
+		parts, err := d.QueryByComponent(an.Comps, true, false, eval)
+		if err != nil {
+			return nil, err
+		}
+		d.componentwise.Add(1)
+		switch cl {
+		case ClosurePossible:
+			return possibleFromParts(parts)
+		case ClosureCertain:
+			return certainFromParts(parts)
+		default:
+			return confFromParts(parts)
+		}
+	}
+
+	// Classic path: merge exactly the involved components (bounded partial
+	// expansion), evaluate per merged alternative, close.
+	results, probs, err := d.queryMerged(an.Comps, eval)
+	if err != nil {
+		return nil, err
+	}
+	switch cl {
+	case ClosurePossible:
+		return worldset.PossibleWorkers(results, d.Workers, d.Interrupt)
+	case ClosureCertain:
+		return worldset.CertainWorkers(results, d.Workers, d.Interrupt)
+	default:
+		return worldset.ConfWorkers(results, probs, d.Workers, d.Interrupt)
+	}
+}
+
+// CreateTableAs materializes the plain-SQL core of a SELECT as relation
+// dst. A core touching no component becomes a certain relation; a
+// concat-structured decomposable core is stored componentwise (certain
+// part plus per-alternative contributions — no merge, linear size);
+// anything else merges the involved components and stores one instance per
+// merged alternative, exactly as before.
+func (d *WSD) CreateTableAs(dst string, core *sqlparse.SelectStmt) error {
+	prep, eval, err := d.prepared(core)
+	if err != nil {
+		return err
+	}
+	an, err := d.analyze(prep)
+	if err != nil {
+		return err
+	}
+	if len(an.Comps) == 0 {
+		res, err := eval(newPartsCatalog(d, nil))
+		if err != nil {
+			return err
+		}
+		return d.PutCertain(dst, res.WithSchema(res.Schema.Unqualify()))
+	}
+	if an.Concat && !d.DisableComponentwise {
+		err := d.materializeByComponent(dst, an.Comps, eval)
+		if err == nil {
+			d.componentwise.Add(1)
+			return nil
+		}
+		if !errors.Is(err, errNotConcat) {
+			return err
+		}
+		// Structural analysis promised a certain-prefixed answer but the
+		// evaluation disagreed; fall back to the merge path for safety.
+	}
+	return d.materializeMerged(dst, an.Comps, eval)
+}

@@ -19,10 +19,21 @@
 //
 //	P(t ∈ R) = 1 − Π_c (1 − p_c(t))
 //
-// Operations that correlate components (asserts or queries touching
-// relations spread over several components) first merge exactly the
+// Query execution is decomposition-aware (select.go, componentwise.go):
+// every SELECT compiles once (through the process-wide shared plan cache)
+// and the planner annotates the compiled tree with the components it
+// touches. Queries whose plan distributes over the certain ∪
+// per-component structure — selections, projections, joins against
+// certain relations, unions, subqueries and aggregates over certain data
+// — answer their possible/certain/conf closures component-wise: one
+// evaluation per alternative (Σ component sizes, never the product), no
+// merge, the representation untouched, and answers identical to the naive
+// engine's, order included. Only operations that genuinely correlate
+// several components (asserts, cross-component joins, aggregates or
+// predicate subqueries spanning components) first merge exactly the
 // involved components — a partial expansion bounded by the product of the
-// involved component sizes, never the full world count.
+// involved component sizes, never the full world count. MergeCount and
+// ComponentwiseCount make the routing observable.
 package wsd
 
 import (
@@ -32,6 +43,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"maybms/internal/exec"
 	"maybms/internal/relation"
@@ -96,12 +108,24 @@ type WSD struct {
 	// Err here so deadlined compact statements stop consuming the engine.
 	// An aborted merge leaves the decomposition unchanged.
 	Interrupt func() error
+	// DisableComponentwise forces every multi-component query onto the
+	// classic merge (partial expansion) path. It exists for benchmarks and
+	// crosschecks; results are identical either way.
+	DisableComponentwise bool
 
 	certain map[string]*relation.Relation // lower name → certain tuples
 	schemas map[string]*schema.Schema     // lower name → schema
 	names   map[string]string             // lower name → display name
 	comps   []*Component
 	nextID  int
+
+	// merges counts component merges that actually restructured the
+	// decomposition (≥ 2 components multiplied into one): the observability
+	// hook for "this query ran with no partial expansion".
+	merges atomic.Uint64
+	// componentwise counts statements answered by the merge-free
+	// componentwise path.
+	componentwise atomic.Uint64
 }
 
 // New creates an empty WSD (one world: the empty certain database).
@@ -204,6 +228,22 @@ func (d *WSD) Names() []string {
 
 // ComponentCount returns the number of components.
 func (d *WSD) ComponentCount() int { return len(d.comps) }
+
+// MergeCount returns the number of component merges (partial expansions
+// multiplying ≥ 2 components together) performed so far. Queries served by
+// the componentwise path leave it unchanged.
+func (d *WSD) MergeCount() uint64 { return d.merges.Load() }
+
+// ComponentwiseCount returns the number of statements answered by the
+// merge-free componentwise path.
+func (d *WSD) ComponentwiseCount() uint64 { return d.componentwise.Load() }
+
+// ComponentsFor returns the indexes (into the component list) of the
+// components contributing to relation name. Exposed to the planner's
+// component-touch analysis through a plan.ComponentCatalog adapter.
+func (d *WSD) ComponentsFor(name string) []int {
+	return d.involvedComponents([]string{name})
+}
 
 // AlternativeCount returns the total number of alternatives across
 // components — the representation size driver.

@@ -70,10 +70,29 @@
 // inside a statement and (through an admission gate) how many statements
 // run at once across sessions. Requests carry optional deadlines
 // (timeout_ms) — statements are cancelled cooperatively between per-world
-// units of work — and row bounds (max_rows) for large closed answers.
-// Shutdown is graceful: listeners stop, in-flight requests drain up to a
-// deadline, then connections are force-closed. See examples/server for a
-// quickstart and internal/server for the protocol types.
+// units of work and inside the long-running iterators (every few hundred
+// rows), so even one huge single-world evaluation aborts promptly — and
+// row bounds (max_rows) for large closed answers. Shutdown is graceful:
+// listeners stop, in-flight requests drain up to a deadline, then
+// connections are force-closed. See examples/server for a quickstart and
+// internal/server for the protocol types.
+//
+// # Decomposition-aware execution (compact backend)
+//
+// The compact engine (CompactDB and the server's compact backend) executes
+// queries against the world-set decomposition itself. Each statement
+// compiles once and the planner annotates the compiled tree with the
+// components it touches; possible/certain/conf closures over plans that
+// distribute across components — selections, projections, joins against
+// certain relations, unions, subqueries and aggregates over certain data —
+// evaluate component-wise: one evaluation per alternative (the *sum* of
+// component sizes, never their product), no component merge, and the
+// representation left untouched. CREATE TABLE AS over such plans stores
+// its answer factorized (certain part plus per-alternative contributions,
+// linear size). Only plans that genuinely correlate several components
+// fall back to a bounded partial expansion of exactly the involved
+// components. CompactDB.Select runs closures directly;
+// CompactDB.MergeCount and ComponentwiseCount expose the routing.
 //
 // Benchmarks live in bench_test.go; run and record them with
 //
