@@ -523,6 +523,122 @@ func BenchmarkMergePathPossible(b *testing.B) {
 	benchComponentwiseSelect(b, `select possible K, V from Clean`, []int{4, 8, 12}, false)
 }
 
+// naiveDirtyDB enumerates the n-component repair explicitly (2^n worlds)
+// for the naive DML/grouping baselines, plus a two-way choice table P.
+func naiveDirtyDB(b *testing.B, n int) *DB {
+	b.Helper()
+	db := Open()
+	if err := db.Register("Dirty", []string{"K", "V", "W"}, dirtyRows(n)); err != nil {
+		b.Fatal(err)
+	}
+	db.MustExec("create table Clean as select K, V, W from Dirty repair by key K weight W")
+	if err := db.Register("C", []string{"A", "B"}, [][]any{{10, 0}, {20, 1}}); err != nil {
+		b.Fatal(err)
+	}
+	db.MustExec("create table P as select A, B from C choice of A")
+	return db
+}
+
+// compactDirtyDB is the same content as a decomposition: n repair
+// components plus one choice component — 2^(n+1) worlds in linear space.
+func compactDirtyDB(b *testing.B, n int) *CompactDB {
+	b.Helper()
+	cdb := OpenCompact()
+	if err := cdb.Register("Dirty", []string{"K", "V", "W"}, dirtyRows(n)); err != nil {
+		b.Fatal(err)
+	}
+	if err := cdb.RepairByKey("Dirty", "Clean", []string{"K"}, "W"); err != nil {
+		b.Fatal(err)
+	}
+	if err := cdb.Register("C", []string{"A", "B"}, [][]any{{10, 0}, {20, 1}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := cdb.ChoiceOf("C", "P", []string{"A"}, ""); err != nil {
+		b.Fatal(err)
+	}
+	return cdb
+}
+
+// BenchmarkCompactUpdate rewrites an uncertain relation piece by piece —
+// Σ alternatives work, zero merges, any number of components — where the
+// naive counterpart must rewrite 2^n worlds.
+func BenchmarkCompactUpdate(b *testing.B) {
+	for _, n := range []int{4, 8, 12, 1000} {
+		b.Run(fmt.Sprintf("groups=%d/worlds=2^%d", n, n+1), func(b *testing.B) {
+			cdb := compactDirtyDB(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cdb.Update("update Clean set V = V + 1 where V >= 0"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if cdb.MergeCount() != 0 {
+				b.Fatal("componentwise update merged")
+			}
+		})
+	}
+}
+
+// BenchmarkNaiveUpdate is the enumerating baseline: the same statement in
+// every explicit world.
+func BenchmarkNaiveUpdate(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("groups=%d/worlds=2^%d", n, n+1), func(b *testing.B) {
+			db := naiveDirtyDB(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				db.MustExec("update Clean set V = V + 1 where V >= 0")
+			}
+		})
+	}
+}
+
+// BenchmarkCompactGroupWorldsBy groups the world-set by a choice table's
+// answer via the per-component fingerprint fold — no merge, no
+// enumeration — where the naive counterpart fingerprints 2^n worlds.
+func BenchmarkCompactGroupWorldsBy(b *testing.B) {
+	for _, n := range []int{4, 8, 12, 1000} {
+		b.Run(fmt.Sprintf("groups=%d/worlds=2^%d", n, n+1), func(b *testing.B) {
+			cdb := compactDirtyDB(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				groups, err := cdb.SelectGroups("select possible K, V from Clean group worlds by (select B from P)")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(groups) != 2 {
+					b.Fatal("wrong group count")
+				}
+			}
+			b.StopTimer()
+			if cdb.MergeCount() != 0 {
+				b.Fatal("componentwise group worlds by merged")
+			}
+		})
+	}
+}
+
+// BenchmarkNaiveGroupWorldsBy is the enumerating baseline for the same
+// grouped closure.
+func BenchmarkNaiveGroupWorldsBy(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("groups=%d/worlds=2^%d", n, n+1), func(b *testing.B) {
+			db := naiveDirtyDB(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := db.Exec("select possible K, V from Clean group worlds by (select B from P)")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Groups) != 2 {
+					b.Fatal("wrong group count")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWorldCountMillion counts the worlds of a million-component WSD
 // (the "10^10^6 worlds" headline of ref [1]): 2^(10^6) worlds.
 func BenchmarkWorldCountMillion(b *testing.B) {

@@ -2,6 +2,7 @@ package maybms
 
 import (
 	"errors"
+	"fmt"
 	"math/big"
 
 	"maybms/internal/core"
@@ -21,10 +22,13 @@ var errNotPlainSelect = errors.New("maybms: MaterializeQuery takes a plain SQL S
 // representing k^n worlds. Confidence, possible and certain are computed
 // exactly without enumeration.
 //
-// CompactDB exposes the representation-level operations; asserts and
-// materializing queries merge exactly the involved components (partial
-// expansion). For full I-SQL over small world-sets, use DB; Expand bridges
-// the two.
+// CompactDB exposes the representation-level operations, decomposition-
+// aware SELECT closures (Select, SelectGroups), and update queries
+// (Update, Delete) that rewrite the representation piece by piece;
+// asserts, queries that correlate components, and DML whose expressions
+// read uncertain data merge exactly the involved components (partial
+// expansion). For full I-SQL over small world-sets, use DB; Expand
+// bridges the two.
 type CompactDB struct {
 	w *wsd.WSD
 }
@@ -123,6 +127,113 @@ func (db *CompactDB) MaterializeQuery(dst, query string, touching ...string) err
 	return db.w.CreateTableAs(dst, sel)
 }
 
+// Update applies an UPDATE statement to every represented world without
+// enumerating the world-set. When the SET/WHERE expressions read no
+// uncertain data the rewrite runs piece-by-piece — the target's certain
+// part once plus each alternative's contribution once, no merge; when
+// they do (a subquery over an uncertain relation), the involved
+// components first merge (bounded partial expansion) and the target's
+// certain part folds into the merged component. It returns the number of
+// representation rows changed — on the piece-rewrite path certain rows
+// count once and contributed rows once per alternative; on the merge
+// path everything counts once per merged alternative. Never a per-world
+// count.
+func (db *CompactDB) Update(stmt string) (int, error) {
+	st, err := parseDML[*sqlparse.Update](stmt)
+	if err != nil {
+		return 0, err
+	}
+	return db.w.Update(st)
+}
+
+// Delete applies a DELETE statement to every represented world without
+// enumerating the world-set; see Update for the routing and the meaning
+// of the returned count.
+func (db *CompactDB) Delete(stmt string) (int, error) {
+	st, err := parseDML[*sqlparse.Delete](stmt)
+	if err != nil {
+		return 0, err
+	}
+	return db.w.Delete(st)
+}
+
+// parseDML parses a statement and asserts its type.
+func parseDML[T sqlparse.Statement](stmt string) (T, error) {
+	var zero T
+	parsed, err := sqlparse.Parse(stmt)
+	if err != nil {
+		return zero, err
+	}
+	st, ok := parsed.(T)
+	if !ok {
+		return zero, fmt.Errorf("maybms: expected a %T statement, got %T", zero, parsed)
+	}
+	return st, nil
+}
+
+// WorldGroup is one group of worlds produced by SelectGroups: the group's
+// total probability (0 for non-probabilistic databases) and the closed
+// answer within the group. Group membership is never enumerated — a group
+// can span astronomically many worlds.
+type WorldGroup struct {
+	Prob float64
+	Rel  *Relation
+}
+
+// SelectGroups evaluates `SELECT [POSSIBLE|CERTAIN|CONF] … GROUP WORLDS
+// BY (q)`: worlds are grouped by the answer of the plain-SQL subquery q
+// and the closure applies within each group, in the naive engine's group
+// order. When q's compiled plan decomposes and touches no component of
+// the main query, the groups are computed from per-component answer
+// fingerprints — Σ alternatives evaluations folded through a frontier of
+// distinct answers, no merge, so decompositions far beyond the merge
+// limit (2^17 worlds and more) group in linear time. Only a grouped query
+// genuinely spanning components (the grouping and main plans sharing a
+// component) falls back to a bounded merge of the involved components. A
+// statement without GROUP WORLDS BY returns a single group.
+func (db *CompactDB) SelectGroups(query string) ([]WorldGroup, error) {
+	stmt, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparse.SelectStmt)
+	if !ok {
+		return nil, errors.New("maybms: SelectGroups takes a SELECT statement")
+	}
+	if sel.Repair != nil || sel.Choice != nil || sel.Assert != nil {
+		return nil, errors.New("maybms: SelectGroups does not accept repair/choice/assert (use RepairByKey/ChoiceOf/Assert)")
+	}
+	gw := sel.GroupWorlds
+	if gw != nil && gw.HasISQL() {
+		return nil, errors.New("maybms: group worlds by subquery must be plain SQL")
+	}
+	core, cl, err := wsd.StripClosure(sel)
+	if err != nil {
+		return nil, err
+	}
+	core.GroupWorlds = nil
+	if gw == nil {
+		rel, err := db.w.SelectClosure(core, cl)
+		if err != nil {
+			return nil, err
+		}
+		prob := 0.0
+		if db.w.Weighted {
+			prob = 1
+		}
+		return []WorldGroup{{Prob: prob, Rel: rel}}, nil
+	}
+	groups, err := db.w.GroupWorldsClosure(gw, core, cl)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WorldGroup, len(groups))
+	for i, g := range groups {
+		out[i] = WorldGroup{Prob: g.Prob, Rel: g.Rel}
+	}
+	return out, nil
+}
+
 // Select evaluates an I-SQL SELECT against the represented world-set and
 // returns the closed answer:
 //
@@ -151,7 +262,7 @@ func (db *CompactDB) Select(query string) (*Relation, error) {
 		return nil, errors.New("maybms: Select takes a SELECT statement")
 	}
 	if sel.Repair != nil || sel.Choice != nil || sel.Assert != nil || sel.GroupWorlds != nil {
-		return nil, errors.New("maybms: Select does not accept repair/choice/assert/group-worlds-by (use RepairByKey/ChoiceOf/Assert)")
+		return nil, errors.New("maybms: Select does not accept repair/choice/assert/group-worlds-by (use RepairByKey/ChoiceOf/Assert/SelectGroups)")
 	}
 	core, cl, err := wsd.StripClosure(sel)
 	if err != nil {

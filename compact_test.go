@@ -27,6 +27,109 @@ func TestCompactChoiceOf(t *testing.T) {
 	}
 }
 
+// TestCompactUpdateDeleteAndGroups exercises the public DML and
+// group-worlds-by surface of CompactDB: piece-by-piece rewrites leave the
+// decomposition unmerged, SelectGroups groups via per-component answer
+// fingerprints, and the answers match an expanded naive database.
+func TestCompactUpdateDeleteAndGroups(t *testing.T) {
+	cdb := OpenCompact()
+	if err := cdb.Register("R", []string{"K", "V", "W"}, [][]any{
+		{0, 1, 1}, {0, 2, 3}, {1, 5, 1}, {1, 6, 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.RepairByKey("R", "I", []string{"K"}, "W"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.Register("C", []string{"A", "B"}, [][]any{{10, 0}, {20, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.ChoiceOf("C", "P", []string{"A"}, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := cdb.Update("update I set V = V + 100 where K = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("update changed %d representation rows, want 2", n)
+	}
+	if n, err = cdb.Delete("delete from I where V = 5"); err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	if cdb.MergeCount() != 0 {
+		t.Errorf("componentwise DML merged %d times", cdb.MergeCount())
+	}
+	// The world count is unchanged: DML rewrites worlds, never drops them.
+	if cdb.WorldCount().Cmp(big.NewInt(8)) != 0 {
+		t.Fatalf("worlds = %s, want 8", cdb.WorldCount())
+	}
+
+	groups, err := cdb.SelectGroups("select conf, K, V from I group worlds by (select B from P)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdb.MergeCount() != 0 {
+		t.Errorf("group worlds by merged %d times", cdb.MergeCount())
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	for gi, g := range groups {
+		if math.Abs(g.Prob-0.5) > 1e-9 {
+			t.Errorf("group %d prob = %g, want 0.5", gi, g.Prob)
+		}
+	}
+
+	// Cross-check the grouped answer against the expanded naive engine.
+	ndb, err := cdb.Expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ndb.Exec("select conf, K, V from I group worlds by (select B from P)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != len(groups) {
+		t.Fatalf("naive groups = %d, compact %d", len(res.Groups), len(groups))
+	}
+	for gi := range groups {
+		got, want := groups[gi].Rel, res.Groups[gi].Rel
+		if got.Len() != want.Len() {
+			t.Fatalf("group %d rows: %d vs %d", gi, got.Len(), want.Len())
+		}
+		for i := range got.Tuples {
+			g, w := got.Tuples[i], want.Tuples[i]
+			if g[:len(g)-1].Key() != w[:len(w)-1].Key() {
+				t.Errorf("group %d row %d: %v vs %v", gi, i, g, w)
+			}
+			if math.Abs(g[len(g)-1].AsFloat()-w[len(w)-1].AsFloat()) > 1e-9 {
+				t.Errorf("group %d row %d conf: %v vs %v", gi, i, g[len(g)-1], w[len(w)-1])
+			}
+		}
+	}
+
+	// A WHERE subquery over an uncertain relation merges the involved
+	// components — still correct, observable via MergeCount.
+	if _, err := cdb.Update("update I set V = 0 where V <= (select max(V) from P)"); err != nil {
+		t.Fatal(err)
+	}
+	if cdb.MergeCount() != 1 {
+		t.Errorf("spanning DML merges = %d, want 1", cdb.MergeCount())
+	}
+	// Statement-type validation.
+	if _, err := cdb.Update("delete from I"); err == nil {
+		t.Error("Update must reject a DELETE statement")
+	}
+	if _, err := cdb.Delete("select 1"); err == nil {
+		t.Error("Delete must reject a SELECT statement")
+	}
+	if _, err := cdb.SelectGroups("select possible K from I group worlds by (select possible B from P)"); err == nil {
+		t.Error("SelectGroups must reject an I-SQL grouping subquery")
+	}
+}
+
 func TestCompactRegisterRelationAndString(t *testing.T) {
 	rel, err := BuildRelation([]string{"K"}, [][]any{{1}, {2}})
 	if err != nil {

@@ -80,6 +80,33 @@ func main() {
 	resp := query(maybms.ServerRequest{Session: "wide", Query: `select possible V from I`, Render: true})
 	fmt.Printf("[wide/compact] possible V:\n%s\n", resp.Text)
 
+	// Update queries run on the same compact session without expanding
+	// it: the rewrite touches each alternative's contribution once (the
+	// response reports representation rows, not per-world rows).
+	resp = query(maybms.ServerRequest{Session: "wide", Query: `update I set V = V + 100 where K = 'k1'`})
+	fmt.Printf("[wide/compact] %s\n", resp.Msg)
+
+	// GROUP WORLDS BY groups the world-set by a subquery's answer — here
+	// by which sensor was chosen — and closes within each group. The
+	// grouping and main queries touch disjoint components, so the groups
+	// come from per-component answer fingerprints: no merge, no
+	// enumeration, however many worlds the decomposition represents.
+	for _, stmt := range []string{
+		`create table Sensors (Id, Reading)`,
+		`insert into Sensors values ('s1', 10), ('s2', 20)`,
+		`create table Chosen as select * from Sensors choice of Id`,
+	} {
+		query(maybms.ServerRequest{Session: "wide", Query: stmt})
+	}
+	resp = query(maybms.ServerRequest{
+		Session: "wide",
+		Query:   `select conf, K, V from I group worlds by (select Reading from Chosen)`,
+	})
+	fmt.Printf("[wide/compact] conf per world group:\n")
+	for _, g := range resp.Groups {
+		fmt.Printf("group (P = %.2f): %d row(s)\n", g.Prob, len(g.Rows.Rows))
+	}
+
 	st := maybms.SharedPlanCacheStats()
 	fmt.Printf("shared plan cache: %d hits, %d misses (bob rode on alice's compilations)\n",
 		st.Hits, st.Misses)

@@ -129,12 +129,37 @@ func (r *Relation) Fingerprint() uint64 {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	h := fnv.New64a()
-	for _, k := range keys {
-		// Length-prefix each tuple encoding so concatenations stay injective.
-		fmt.Fprintf(h, "%d:", len(k))
-		h.Write([]byte(k))
+	return FingerprintKeys(keys)
+}
+
+// CanonicalKeyBytes encodes an already deduplicated, already sorted list
+// of canonical tuple keys as the byte stream Fingerprint hashes: each key
+// length-prefixed so concatenations stay injective. It is the single
+// source of the encoding — FingerprintKeys hashes it, and the compact
+// engine's group-worlds-by frontier uses it both to deduplicate answer
+// sets and to fingerprint them, so the two can never desynchronize.
+func CanonicalKeyBytes(sortedKeys []string) []byte {
+	n := 0
+	for _, k := range sortedKeys {
+		n += len(k) + 12
 	}
+	out := make([]byte, 0, n)
+	for _, k := range sortedKeys {
+		out = append(out, fmt.Sprintf("%d:", len(k))...)
+		out = append(out, k...)
+	}
+	return out
+}
+
+// FingerprintKeys hashes an already deduplicated, already sorted list of
+// canonical tuple keys — the byte stream underlying Fingerprint, exposed
+// so the compact engine can fingerprint a tuple-key set it assembled
+// without materializing a Relation (group-worlds-by combines per-component
+// answer key sets and must produce the same uint64, collisions included,
+// that the naive engine gets from Fingerprint on the evaluated answer).
+func FingerprintKeys(sortedKeys []string) uint64 {
+	h := fnv.New64a()
+	h.Write(CanonicalKeyBytes(sortedKeys))
 	return h.Sum64()
 }
 

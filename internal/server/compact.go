@@ -50,13 +50,37 @@ var errCompactUnsupported = errors.New("unsupported by the compact backend")
 //     predicate subqueries over several components)
 //   - SELECT <exprs>, CONF <plain SQL core>      — exact confidences, same
 //     routing
+//   - SELECT … GROUP WORLDS BY (q)               — groups from a
+//     per-component frontier fold over q's answer fingerprints
+//     (Σ alternatives evaluations) when q's plan decomposes and touches
+//     no component of the main query; a bounded residual merge of the
+//     involved components only when the grouped query genuinely spans
+//     components
+//   - UPDATE t SET … [WHERE …] / DELETE FROM t [WHERE …] — certain
+//     relations in place; uncertain relations by rewriting the certain
+//     part and each alternative's contribution separately (no merge) when
+//     the SET/WHERE expressions read no uncertain data, else by a bounded
+//     merge of the involved components
 //   - ASSERT <condition>                         — filter + renormalize
 //     the merged component (statement form of Example 2.5)
 //   - DROP TABLE [IF EXISTS] t                   — certain relations only
 //
-// Still rejected (use the naive backend): per-world answers over uncertain
-// data (plain SELECT whose answer varies across worlds), UPDATE/DELETE,
-// repair/choice of uncertain sources, and group-worlds-by.
+// Still rejected (use the naive backend):
+//
+//   - per-world answers over uncertain relations (close with possible,
+//     certain or conf)
+//   - PRIMARY KEY declarations (use REPAIR BY KEY)
+//   - repair/choice sources other than `select * from t` (materialize the
+//     source first)
+//   - combining repair/choice with other I-SQL constructs
+//   - repair/choice/assert inside SELECT (use CREATE TABLE AS … or the
+//     ASSERT statement)
+//   - CREATE TABLE AS with possible/certain/conf/assert/group-worlds-by
+//     (query the closure directly instead)
+//   - I-SQL constructs in assert conditions
+//
+// scripts/lint_compact_errors.sh keeps this list in sync with the
+// errCompactUnsupported messages below.
 type compactBackend struct {
 	d        *wsd.WSD
 	weighted bool
@@ -114,6 +138,18 @@ func (b *compactBackend) exec(sql string) (*core.Result, error) {
 		return b.execCreateAs(st)
 	case *sqlparse.SelectStmt:
 		return b.execSelect(st)
+	case *sqlparse.Update:
+		n, err := b.d.Update(st)
+		if err != nil {
+			return nil, err
+		}
+		return b.ok("updated %d representation row(s) in %s across %s world(s)", n, st.Table, b.d.WorldCount())
+	case *sqlparse.Delete:
+		n, err := b.d.Delete(st)
+		if err != nil {
+			return nil, err
+		}
+		return b.ok("deleted %d representation row(s) from %s across %s world(s)", n, st.Table, b.d.WorldCount())
 	default:
 		return nil, fmt.Errorf("%w: %T statements", errCompactUnsupported, stmt)
 	}
@@ -189,11 +225,12 @@ func (b *compactBackend) execCreateAs(st *sqlparse.CreateTableAs) (*core.Result,
 
 // execSelect answers SELECT statements through the analyzed-plan executor:
 // POSSIBLE / CERTAIN / CONF close over per-alternative answers — with no
-// component merge whenever the compiled plan decomposes — and plain SQL
-// must be world-independent.
+// component merge whenever the compiled plan decomposes — GROUP WORLDS BY
+// groups by per-component answer fingerprints, and plain SQL must be
+// world-independent.
 func (b *compactBackend) execSelect(st *sqlparse.SelectStmt) (*core.Result, error) {
-	if st.Repair != nil || st.Choice != nil || st.Assert != nil || st.GroupWorlds != nil {
-		return nil, fmt.Errorf("%w: repair/choice/assert/group-worlds-by inside SELECT (use CREATE TABLE AS … or the ASSERT statement)", errCompactUnsupported)
+	if st.Repair != nil || st.Choice != nil || st.Assert != nil {
+		return nil, fmt.Errorf("%w: repair/choice/assert inside SELECT (use CREATE TABLE AS … or the ASSERT statement)", errCompactUnsupported)
 	}
 	core_, cl, err := wsd.StripClosure(st)
 	if err != nil {
@@ -201,6 +238,9 @@ func (b *compactBackend) execSelect(st *sqlparse.SelectStmt) (*core.Result, erro
 	}
 	if cl == wsd.ClosureConf && !b.weighted {
 		return nil, fmt.Errorf("conf requires a probabilistic session: %w", worldset.ErrNotWeighted)
+	}
+	if st.GroupWorlds != nil {
+		return b.execGroupWorlds(st.GroupWorlds, core_, cl)
 	}
 	rel, err := b.d.SelectClosure(core_, cl)
 	if err != nil {
@@ -214,6 +254,29 @@ func (b *compactBackend) execSelect(st *sqlparse.SelectStmt) (*core.Result, erro
 		Groups:   []core.GroupRows{{Prob: 1, Rel: rel}},
 		Weighted: b.weighted,
 	}, nil
+}
+
+// execGroupWorlds answers SELECT … GROUP WORLDS BY (q): worlds group by
+// the fingerprint of q's per-world answer, the closure applies within each
+// group. Group membership is not enumerated (it can span astronomically
+// many worlds), so Groups carries probabilities and closed answers only —
+// no world name lists.
+func (b *compactBackend) execGroupWorlds(gw, core_ *sqlparse.SelectStmt, cl wsd.Closure) (*core.Result, error) {
+	if gw.HasISQL() {
+		return nil, fmt.Errorf("group worlds by subquery must be plain SQL")
+	}
+	// StripClosure copies the statement, grouping clause included; the core
+	// handed to the engine must be the plain-SQL part alone.
+	core_.GroupWorlds = nil
+	groups, err := b.d.GroupWorldsClosure(gw, core_, cl)
+	if err != nil {
+		return nil, err
+	}
+	out := &core.Result{Kind: core.ResultClosed, Weighted: b.weighted}
+	for _, g := range groups {
+		out.Groups = append(out.Groups, core.GroupRows{Prob: g.Prob, Rel: g.Rel})
+	}
+	return out, nil
 }
 
 // plainStarSource checks that a repair/choice query core is exactly

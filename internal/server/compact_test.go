@@ -171,4 +171,103 @@ func TestCompactComponentwiseBeyondMergeLimit(t *testing.T) {
 	if got := res.Groups[0].Rel.Len(); got != 2*k {
 		t.Errorf("join rows = %d, want %d", got, 2*k)
 	}
+
+	// UPDATE/DELETE over the 2^17-world decomposition rewrite each
+	// alternative's contribution separately — no merge possible at this
+	// scale, none needed.
+	mustExec("update I set V = V + 10 where V = 1")
+	mustExec("delete from I where V = 0")
+	if b.d.MergeCount() != 0 {
+		t.Errorf("componentwise DML merged %d times", b.d.MergeCount())
+	}
+	res, err = b.exec("select conf, K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel = res.Groups[0].Rel
+	if rel.Len() != k {
+		t.Fatalf("post-DML conf rows = %d, want %d", rel.Len(), k)
+	}
+	for _, tp := range rel.Tuples {
+		if v := tp[1].AsInt(); v != 11 {
+			t.Fatalf("post-DML V = %d, want 11", v)
+		}
+		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-0.5) > 1e-9 {
+			t.Fatalf("post-DML conf = %v, want 0.5", c)
+		}
+	}
+
+	// GROUP WORLDS BY over the same decomposition: grouping by a
+	// two-alternative choice relation splits 2^18 worlds into two groups
+	// via the per-component fingerprint fold — still zero merges.
+	mustExec("create table G (A, B)")
+	mustExec("insert into G values (10, 0), (20, 1)")
+	mustExec("create table P as select * from G choice of A")
+	res, err = b.exec("select possible K, V from I group worlds by (select B from P)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.d.MergeCount() != 0 {
+		t.Errorf("group worlds by merged %d times", b.d.MergeCount())
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Groups))
+	}
+	for gi, g := range res.Groups {
+		if math.Abs(g.Prob-0.5) > 1e-9 {
+			t.Errorf("group %d prob = %g, want 0.5", gi, g.Prob)
+		}
+		if g.Rel.Len() != k {
+			t.Errorf("group %d rows = %d, want %d", gi, g.Rel.Len(), k)
+		}
+	}
+}
+
+// TestCompactDMLAndGroupWorldsRoundTrip drives the new statement forms
+// through the full server Handle path on a compact session and
+// cross-checks every answer against a naive session running the identical
+// script.
+func TestCompactDMLAndGroupWorldsRoundTrip(t *testing.T) {
+	script := []string{
+		"create table R (K, V, W)",
+		"insert into R values (0, 1, 1), (0, 2, 3), (1, 5, 1), (1, 6, 1)",
+		"create table I as select * from R repair by key K weight W",
+		"create table C (A, B)",
+		"insert into C values (10, 0), (20, 1)",
+		"create table P as select * from C choice of A",
+		"update I set V = V + 100 where K = 0",
+		"delete from I where V = 5",
+		"update R set W = 9 where K = 1",
+	}
+	queries := []string{
+		"select possible K, V from I",
+		"select certain K, V from I",
+		"select conf, K, V from I",
+		"select possible K, V from I group worlds by (select B from P)",
+		"select conf, K, V from I group worlds by (select B from P)",
+	}
+	srv := New(Config{})
+	for _, backend := range []string{"naive", "compact"} {
+		sess := backend + "-dml"
+		for _, stmt := range script {
+			handleOK(t, srv, Request{Session: sess, Backend: backend, Query: stmt})
+		}
+	}
+	for _, q := range queries {
+		naive := handleOK(t, srv, Request{Session: "naive-dml", Query: q})
+		compact := handleOK(t, srv, Request{Session: "compact-dml", Query: q})
+		if len(naive.Groups) != len(compact.Groups) {
+			t.Errorf("%q: %d groups vs %d", q, len(compact.Groups), len(naive.Groups))
+			continue
+		}
+		for gi := range naive.Groups {
+			if !reflect.DeepEqual(naive.Groups[gi].Rows.Rows, compact.Groups[gi].Rows.Rows) {
+				t.Errorf("%q group %d:\ncompact %v\nnaive   %v", q, gi,
+					compact.Groups[gi].Rows.Rows, naive.Groups[gi].Rows.Rows)
+			}
+			if math.Abs(naive.Groups[gi].Prob-compact.Groups[gi].Prob) > 1e-9 {
+				t.Errorf("%q group %d: prob %g vs %g", q, gi, compact.Groups[gi].Prob, naive.Groups[gi].Prob)
+			}
+		}
+	}
 }

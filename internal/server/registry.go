@@ -10,10 +10,19 @@ import (
 // session is one named database plus its execution lock. The lock is a
 // 1-slot channel rather than a mutex so waiters can abandon the wait when
 // their request context expires.
+//
+// A session is published to the registry *before* its backend is
+// constructed (construction can be arbitrarily slow and must not happen
+// under the registry mutex); ready closes once backend/initErr are set,
+// and nothing touches backend before awaiting ready.
 type session struct {
-	name    string
+	name string
+	lock chan struct{}
+	// ready closes when initialization finished; backend and initErr are
+	// immutable afterwards.
+	ready   chan struct{}
 	backend backend
-	lock    chan struct{}
+	initErr error
 	// lastUsed is the unix-nano time of the last completed statement,
 	// guarded by the registry mutex.
 	lastUsed time.Time
@@ -42,12 +51,39 @@ func (s *session) tryAcquire() bool {
 
 func (s *session) release() { <-s.lock }
 
+// await blocks until the session's backend finished constructing (or ctx
+// expires) and returns the construction error, if any.
+func (s *session) await(ctx context.Context) error {
+	select {
+	case <-s.ready:
+		return s.initErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// initialized reports whether construction has finished (without
+// blocking).
+func (s *session) initialized() bool {
+	select {
+	case <-s.ready:
+		return true
+	default:
+		return false
+	}
+}
+
 // registry is the concurrent map of live sessions.
 type registry struct {
 	mu          sync.Mutex
 	sessions    map[string]*session
 	maxSessions int
 	now         func() time.Time // swappable for tests
+	// testHookAfterResolve, when non-nil, runs in acquireOwned between
+	// session resolution and lock acquisition — the exact window of the
+	// evict-vs-acquire race, which regression tests widen deterministically
+	// by evicting or closing the session here.
+	testHookAfterResolve func(attempt int)
 }
 
 func newRegistry(maxSessions int) *registry {
@@ -61,23 +97,75 @@ func newRegistry(maxSessions int) *registry {
 	}
 }
 
-// get returns the session under name, creating it with create when absent.
+// get returns the session under name, creating it with create when
+// absent. The registry mutex guards only the map: a new session is
+// published as a placeholder first and create() runs outside the lock, so
+// one slow backend construction never head-of-line-blocks other sessions'
+// lookups. Callers must session.await() before touching the backend; get
+// itself returns as soon as the session is mapped.
 func (r *registry) get(name string, create func() (backend, error)) (*session, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if s, ok := r.sessions[name]; ok {
+		r.mu.Unlock()
 		return s, nil
 	}
 	if len(r.sessions) >= r.maxSessions {
+		r.mu.Unlock()
 		return nil, fmt.Errorf("session limit reached (%d live sessions)", r.maxSessions)
 	}
-	b, err := create()
-	if err != nil {
-		return nil, err
+	s := &session{
+		name:     name,
+		lock:     make(chan struct{}, 1),
+		ready:    make(chan struct{}),
+		lastUsed: r.now(),
 	}
-	s := &session{name: name, backend: b, lock: make(chan struct{}, 1), lastUsed: r.now()}
 	r.sessions[name] = s
+	r.mu.Unlock()
+
+	b, err := create()
+	s.backend, s.initErr = b, err
+	if err != nil {
+		// Unpublish (unless close/evict already did, or a successor took
+		// the name) so the next request retries construction.
+		r.mu.Lock()
+		if r.sessions[name] == s {
+			delete(r.sessions, name)
+		}
+		r.mu.Unlock()
+	}
+	close(s.ready)
 	return s, nil
+}
+
+// acquireOwned resolves the session under name, waits for its backend,
+// takes its execution lock, and re-verifies — identity check via lookup —
+// that the session is still the one registered under its name. Without
+// the recheck a waiter blocked in acquire() can win the lock *after* an
+// idle-eviction sweep or an explicit close deleted the session, and would
+// then execute its statement against an orphaned backend whose effects
+// silently vanish (a concurrent request meanwhile recreates the name with
+// a fresh backend). On mismatch the lock is released and the whole
+// resolution retries. The caller must release() the returned session.
+func (r *registry) acquireOwned(ctx context.Context, name string, create func() (backend, error)) (*session, error) {
+	for attempt := 0; ; attempt++ {
+		s, err := r.get(name, create)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.await(ctx); err != nil {
+			return nil, err
+		}
+		if hook := r.testHookAfterResolve; hook != nil {
+			hook(attempt)
+		}
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		if r.lookup(name) == s {
+			return s, nil
+		}
+		s.release() // evicted or closed between get and acquire; retry
+	}
 }
 
 // lookup returns the session currently registered under name (nil if
@@ -115,15 +203,41 @@ func (r *registry) closeAll() {
 	r.sessions = map[string]*session{}
 }
 
-// list snapshots the live sessions. Backend calls are serialized by the
-// session lock, so the world count is read only when the lock is free; a
-// session mid-statement reports "busy" instead of racing the engine.
+// list snapshots the live sessions under the mutex, then renders them
+// outside it: backend.worlds() can be arbitrarily expensive (a big.Int
+// decimal rendering on compact sessions), and holding the registry lock
+// through it would head-of-line-block every concurrent session lookup.
+// Backend calls are serialized by the session lock, so the world count is
+// read only when the lock is free; a session mid-statement reports "busy"
+// and one still constructing reports "initializing".
 func (r *registry) list() []SessionInfo {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	now := r.now()
-	out := make([]SessionInfo, 0, len(r.sessions))
+	type snap struct {
+		s    *session
+		idle time.Duration
+	}
+	snaps := make([]snap, 0, len(r.sessions))
 	for _, s := range r.sessions {
+		snaps = append(snaps, snap{s: s, idle: now.Sub(s.lastUsed)})
+	}
+	r.mu.Unlock()
+
+	out := make([]SessionInfo, 0, len(snaps))
+	for _, sn := range snaps {
+		s := sn.s
+		// A failed construction (initErr set, backend nil) can linger in a
+		// snapshot taken before get() unpublished it; render it like an
+		// uninitialized session rather than dereferencing a nil backend.
+		if !s.initialized() || s.initErr != nil {
+			out = append(out, SessionInfo{
+				Name:    s.name,
+				Backend: "initializing",
+				Worlds:  "initializing",
+				IdleMs:  sn.idle.Milliseconds(),
+			})
+			continue
+		}
 		worlds := "busy"
 		if s.tryAcquire() {
 			worlds = s.backend.worlds()
@@ -133,7 +247,7 @@ func (r *registry) list() []SessionInfo {
 			Name:    s.name,
 			Backend: s.backend.kind(),
 			Worlds:  worlds,
-			IdleMs:  now.Sub(s.lastUsed).Milliseconds(),
+			IdleMs:  sn.idle.Milliseconds(),
 		})
 	}
 	return out
@@ -146,8 +260,9 @@ func (r *registry) len() int {
 	return len(r.sessions)
 }
 
-// evictIdle removes sessions idle longer than timeout, skipping any with a
-// running statement. It returns the number evicted.
+// evictIdle removes sessions idle longer than timeout, skipping any with
+// a running statement or an in-flight backend construction. It returns
+// the number evicted.
 func (r *registry) evictIdle(timeout time.Duration) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -156,6 +271,9 @@ func (r *registry) evictIdle(timeout time.Duration) int {
 	for name, s := range r.sessions {
 		if now.Sub(s.lastUsed) < timeout {
 			continue
+		}
+		if !s.initialized() {
+			continue // still constructing; it will be touched on completion
 		}
 		if !s.tryAcquire() {
 			continue // mid-statement; it will be touched on completion

@@ -79,6 +79,11 @@ type Server struct {
 	cfg  Config
 	reg  *registry
 	gate *exec.Gate
+	// maxRowsConfigured records whether the operator set Config.MaxRows
+	// explicitly (New normalizes 0 to DefaultMaxRows, which would make an
+	// explicit cap of exactly DefaultMaxRows indistinguishable from the
+	// default by value).
+	maxRowsConfigured bool
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -102,6 +107,7 @@ type Server struct {
 
 // New creates a server from cfg without binding anything.
 func New(cfg Config) *Server {
+	maxRowsConfigured := cfg.MaxRows != 0
 	if cfg.MaxRows == 0 {
 		cfg.MaxRows = DefaultMaxRows
 	}
@@ -110,13 +116,14 @@ func New(cfg Config) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		cfg:     cfg,
-		reg:     newRegistry(cfg.MaxSessions),
-		gate:    exec.NewGate(cfg.Workers),
-		baseCtx: ctx,
-		cancel:  cancel,
-		started: time.Now(),
-		conns:   map[net.Conn]*atomic.Bool{},
+		cfg:               cfg,
+		reg:               newRegistry(cfg.MaxSessions),
+		gate:              exec.NewGate(cfg.Workers),
+		maxRowsConfigured: maxRowsConfigured,
+		baseCtx:           ctx,
+		cancel:            cancel,
+		started:           time.Now(),
+		conns:             map[net.Conn]*atomic.Bool{},
 	}
 }
 
@@ -406,10 +413,42 @@ func (s *Server) Handle(ctx context.Context, req *Request) *Response {
 	}
 }
 
+// effectiveMaxRows validates the request's max_rows field against the
+// server's cap. 0 selects the cap; -1 asks for unbounded encoding; other
+// negatives are rejected. A request can always lower the cap but never
+// raise a cap the operator configured (even one equal to the default
+// value) — only when the cap was left unconfigured, or explicitly set to
+// -1 (unbounded), does the request value win.
+func (s *Server) effectiveMaxRows(req *Request) (int, error) {
+	cap := s.cfg.MaxRows
+	if cap < 0 {
+		cap = -1
+	}
+	if req.MaxRows == 0 {
+		return cap, nil
+	}
+	if req.MaxRows < -1 {
+		return 0, fmt.Errorf("invalid max_rows %d (want -1 for unbounded, 0 for the server default, or a positive bound)", req.MaxRows)
+	}
+	if cap == -1 || !s.maxRowsConfigured {
+		return req.MaxRows, nil
+	}
+	if req.MaxRows == -1 || req.MaxRows > cap {
+		return cap, nil // never raise a configured cap
+	}
+	return req.MaxRows, nil
+}
+
 // handleQuery runs one statement against the named session.
 func (s *Server) handleQuery(ctx context.Context, name string, req *Request) *Response {
 	if strings.TrimSpace(req.Query) == "" {
 		return errorResponse(name, errors.New("empty query"))
+	}
+	// Validate the row bound before executing anything: a bad max_rows
+	// must not cost a statement evaluation.
+	maxRows, err := s.effectiveMaxRows(req)
+	if err != nil {
+		return errorResponse(name, err)
 	}
 
 	// Per-request deadline: the tighter of the request's and the server's.
@@ -426,24 +465,15 @@ func (s *Server) handleQuery(ctx context.Context, name string, req *Request) *Re
 		defer cancel()
 	}
 
-	// Resolve the session, retrying if an idle-eviction sweep raced the
-	// lookup (the lock acquisition below makes the race observable).
-	var sess *session
-	for {
-		var err error
-		sess, err = s.reg.get(name, func() (backend, error) {
-			return newBackend(req.Backend, !req.Incomplete, s.cfg.Workers, s.cfg.MaxWorlds)
-		})
-		if err != nil {
-			return errorResponse(name, err)
-		}
-		if err := sess.acquire(ctx); err != nil {
-			return errorResponse(name, err)
-		}
-		if s.reg.lookup(name) == sess {
-			break
-		}
-		sess.release() // evicted between get and acquire; retry on a fresh one
+	// Resolve the session and take its execution lock; the registry
+	// constructs backends outside its mutex and re-verifies, after the
+	// lock is won, that the session is still the one registered under its
+	// name (an idle-eviction sweep or close can race the acquisition).
+	sess, err := s.reg.acquireOwned(ctx, name, func() (backend, error) {
+		return newBackend(req.Backend, !req.Incomplete, s.cfg.Workers, s.cfg.MaxWorlds)
+	})
+	if err != nil {
+		return errorResponse(name, err)
 	}
 
 	// Cross-request admission: one gate slot per executing statement, so
@@ -476,13 +506,6 @@ func (s *Server) handleQuery(ctx context.Context, name string, req *Request) *Re
 	case out := <-ch:
 		if out.err != nil {
 			return errorResponse(name, out.err)
-		}
-		maxRows := s.cfg.MaxRows
-		if req.MaxRows != 0 {
-			maxRows = req.MaxRows
-		}
-		if maxRows < 0 {
-			maxRows = -1
 		}
 		return encodeResult(name, out.res, maxRows, req.Render)
 	case <-ctx.Done():

@@ -353,7 +353,6 @@ func TestCompactBackend(t *testing.T) {
 	// Unsupported forms fail with the marker error, not silently.
 	for _, q := range []string{
 		"select * from I",                     // per-world answers over uncertain data
-		"update R set B = 1",                  // DML beyond insert
 		"select * from I choice of A",         // split inside plain select
 		"create table K (A, primary key (A))", // declared keys
 	} {

@@ -53,7 +53,11 @@ type Request struct {
 	// database (no WEIGHT/CONF; the paper's Example 2.3 mode).
 	Incomplete bool `json:"incomplete,omitempty"`
 	// MaxRows bounds the encoded rows per relation in the response:
-	// 0 selects the server default, -1 disables the bound.
+	// 0 selects the server's cap, -1 asks for unbounded encoding, any
+	// other negative is rejected. A request can lower the server's cap
+	// but never raise one the operator configured — -1 lifts the bound
+	// only when the operator left the cap unconfigured or set it to -1
+	// (unbounded).
 	MaxRows int `json:"max_rows,omitempty"`
 	// TimeoutMs is the per-request deadline. The statement is cancelled
 	// cooperatively (between per-world units of work) when it expires.

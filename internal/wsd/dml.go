@@ -1,0 +1,227 @@
+package wsd
+
+// UPDATE/DELETE over the decomposition. The naive engine runs a DML
+// statement's row rewrite in every world; the compact engine cannot
+// enumerate worlds, but the rewrite distributes over the certain ∪
+// per-component structure whenever the SET/WHERE expressions read no
+// uncertain data (their subqueries touch no component, certified by the
+// planner's component-touch analysis on the compiled templates):
+//
+//	rewrite(cert ∪ a_c1 ∪ … ∪ a_ck) = rewrite(cert) ∪ rewrite(a_c1) ∪ …
+//
+// because the rewrite is tuple-at-a-time and row order is the certain
+// prefix followed by contributions in component order on both sides. The
+// certain part is rewritten once and each alternative's contribution once
+// — Σ component sizes pieces, no merge, the decomposition untouched.
+//
+// When the expressions do touch components (a WHERE or SET subquery over
+// an uncertain relation), each row's fate is coupled to those components'
+// choices: the involved components — the expressions' plus the ones
+// feeding the target — merge into one (the usual bounded partial
+// expansion), and the statement rewrites the target's full per-world
+// content once per merged alternative, storing the result as that
+// alternative's contribution (the target's certain part moves into the
+// component). Either way the per-world outcome is tuple-for-tuple what
+// the naive engine computes in the corresponding world.
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+)
+
+// Update applies an UPDATE statement to the represented world-set without
+// enumerating it. It returns the number of representation rows changed —
+// not a per-world count, which can be astronomically large. On the
+// piece-rewrite path certain rows count once and a contributed row once
+// per alternative holding it; on the merge path (expressions over
+// uncertain relations) the certain part folds into the merged component
+// first, so its rows count once per merged alternative.
+func (d *WSD) Update(st *sqlparse.Update) (int, error) {
+	sch, err := d.Schema(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	compileCat := d.schemaCatalog()
+	tmpl, err := sharedTemplate(
+		fmt.Sprintf("cdu\x00%s\x00%x", st.String(), d.SchemaFingerprint()),
+		func(p *plan.PreparedDML) bool { _, err := p.Bind(compileCat, nil); return err == nil },
+		func() (*plan.PreparedDML, error) { return plan.PrepareUpdateStmt(st, sch, compileCat) })
+	if err != nil {
+		return 0, err
+	}
+	return d.applyDML(st.Table, tmpl)
+}
+
+// Delete applies a DELETE statement to the represented world-set without
+// enumerating it; the count is the number of representation rows removed
+// (see Update for its meaning).
+func (d *WSD) Delete(st *sqlparse.Delete) (int, error) {
+	sch, err := d.Schema(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	compileCat := d.schemaCatalog()
+	tmpl, err := sharedTemplate(
+		fmt.Sprintf("cdd\x00%s\x00%x", st.String(), d.SchemaFingerprint()),
+		func(p *plan.PreparedDML) bool { _, err := p.Bind(compileCat, nil); return err == nil },
+		func() (*plan.PreparedDML, error) { return plan.PrepareDeleteStmt(st, sch, compileCat) })
+	if err != nil {
+		return 0, err
+	}
+	return d.applyDML(st.Table, tmpl)
+}
+
+// applyDML routes a compiled UPDATE/DELETE template: the componentwise
+// piece rewrite when the expressions are world-independent, else the
+// bounded merge of the involved components.
+func (d *WSD) applyDML(table string, tmpl *plan.PreparedDML) (int, error) {
+	exprComps, err := tmpl.Components(plan.ComponentCatalogFunc(d.ComponentsFor))
+	if err != nil {
+		return 0, err
+	}
+	if len(exprComps) == 0 {
+		n, err := d.rewritePieces(table, tmpl)
+		if err != nil {
+			return 0, err
+		}
+		d.componentwise.Add(1)
+		return n, nil
+	}
+	idx := append(exprComps, d.ComponentsFor(table)...)
+	return d.rewriteMerged(table, tmpl, sortedUniqueInts(idx))
+}
+
+// sortedUniqueInts deduplicates and sorts component indexes.
+func sortedUniqueInts(idx []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, i := range idx {
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// rewritePieces applies a world-independent row rewrite to every piece of
+// the target relation separately: the certain part once, and each
+// alternative's contribution of each component feeding the target once —
+// in parallel on the worker pool, with no merge and the component
+// structure (sizes, probabilities) unchanged.
+func (d *WSD) rewritePieces(table string, tmpl *plan.PreparedDML) (int, error) {
+	k := key(table)
+	target := d.ComponentsFor(table)
+
+	// Flatten the pieces: index 0 is the certain part (when present), the
+	// rest are (component, alternative) contributions.
+	type piece struct {
+		ci, alt int // ci < 0 marks the certain part
+		tuples  []tuple.Tuple
+	}
+	var pieces []piece
+	if cert, ok := d.certain[k]; ok {
+		pieces = append(pieces, piece{ci: -1, tuples: cert.Tuples})
+	}
+	for _, ci := range target {
+		for a := range d.comps[ci].Alts {
+			pieces = append(pieces, piece{ci: ci, alt: a, tuples: d.comps[ci].Alts[a].Tuples[k]})
+		}
+	}
+
+	type rewritten struct {
+		tuples  []tuple.Tuple
+		changed int
+	}
+	outs, err := mapAlts(d, len(pieces), func(i int) (rewritten, error) {
+		// The expressions read only certain relations (their component set
+		// is empty), so any selection yields the same subquery answers; the
+		// certain-only catalog is the cheapest. Each task binds its own
+		// instance — subquery operators hold iteration state.
+		bound, err := tmpl.Bind(newPartsCatalog(d, nil), d.Interrupt)
+		if err != nil {
+			return rewritten{}, err
+		}
+		kept, n, err := bound.Apply(pieces[i].tuples)
+		if err != nil {
+			return rewritten{}, err
+		}
+		return rewritten{tuples: kept, changed: n}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	total := 0
+	for i, p := range pieces {
+		total += outs[i].changed
+		if p.ci < 0 {
+			next := relation.New(d.schemas[k])
+			next.Tuples = append(next.Tuples, outs[i].tuples...)
+			d.certain[k] = next
+			continue
+		}
+		if len(outs[i].tuples) == 0 {
+			delete(d.comps[p.ci].Alts[p.alt].Tuples, k)
+		} else {
+			d.comps[p.ci].Alts[p.alt].Tuples[k] = outs[i].tuples
+		}
+	}
+	return total, nil
+}
+
+// rewriteMerged merges the involved components (bounded partial
+// expansion) and rewrites the target's full per-world content once per
+// merged alternative. The rewritten content becomes the alternative's
+// contribution and the target's certain part moves into the component —
+// every world's relation stays tuple-for-tuple identical to the naive
+// engine's (certain prefix then contribution, rewritten in row order).
+func (d *WSD) rewriteMerged(table string, tmpl *plan.PreparedDML, idx []int) (int, error) {
+	k := key(table)
+	merged, err := d.mergeComponents(idx)
+	if err != nil {
+		return 0, err
+	}
+	var certTuples []tuple.Tuple
+	if cert, ok := d.certain[k]; ok {
+		certTuples = cert.Tuples
+	}
+	type rewritten struct {
+		tuples  []tuple.Tuple
+		changed int
+	}
+	outs, err := mapAlts(d, len(merged.Alts), func(i int) (rewritten, error) {
+		bound, err := tmpl.Bind(altCatalog{d: d, alt: &merged.Alts[i]}, d.Interrupt)
+		if err != nil {
+			return rewritten{}, err
+		}
+		content := make([]tuple.Tuple, 0, len(certTuples)+len(merged.Alts[i].Tuples[k]))
+		content = append(content, certTuples...)
+		content = append(content, merged.Alts[i].Tuples[k]...)
+		kept, n, err := bound.Apply(content)
+		if err != nil {
+			return rewritten{}, err
+		}
+		return rewritten{tuples: kept, changed: n}, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	delete(d.certain, k)
+	total := 0
+	for i := range merged.Alts {
+		total += outs[i].changed
+		if len(outs[i].tuples) == 0 {
+			delete(merged.Alts[i].Tuples, k)
+		} else {
+			merged.Alts[i].Tuples[k] = outs[i].tuples
+		}
+	}
+	return total, nil
+}

@@ -6,6 +6,7 @@ package wsd
 // inputs.
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -315,6 +316,311 @@ func compareConfRelations(t *testing.T, trial int, sql string, got, want *relati
 		if math.Abs(g[len(g)-1].AsFloat()-w[len(w)-1].AsFloat()) > 1e-9 {
 			t.Errorf("trial %d %q row %d: conf %v, want %v", trial, sql, i, g[len(g)-1], w[len(w)-1])
 			return
+		}
+	}
+}
+
+// fuzzPair builds a naive session and a decomposition over identical
+// content: a repaired table I (components from R's key groups), a choice
+// table P (one component from C) and a certain lookup table S.
+func fuzzPair(t *testing.T, r *rand.Rand) (*core.Session, *WSD) {
+	t.Helper()
+	rel := randomKeyedRelation(r, 1+r.Intn(3), 3)
+	choiceRel := randomKeyedRelation(r, 2, 2)
+	lookup := relation.New(schema.New("V", "Y"))
+	for v := 0; v < 3; v++ {
+		lookup.MustAppend(row(v, fmt.Sprintf("y%d", v)))
+	}
+	weight := ""
+	if r.Intn(2) == 0 {
+		weight = "W"
+	}
+
+	s := core.NewSession(true)
+	for name, base := range map[string]*relation.Relation{"R": rel, "C": choiceRel, "S": lookup} {
+		if err := s.Register(name, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	repairStmt := "create table I as select K, V, W from R repair by key K"
+	if weight != "" {
+		repairStmt += " weight W"
+	}
+	if _, err := s.Exec(repairStmt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table P as select K, V, W from C choice of K"); err != nil {
+		t.Fatal(err)
+	}
+
+	d := New(true)
+	for name, base := range map[string]*relation.Relation{"R": rel, "C": choiceRel, "S": lookup} {
+		if err := d.PutCertain(name, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, weight); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ChoiceOf("C", "P", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	return s, d
+}
+
+// crosscheckClosures asserts the two engines agree on the standard
+// closure queries over I — byte-identical possible/certain (order
+// included), conf to 1e-9.
+func crosscheckClosures(t *testing.T, trial int, label string, s *core.Session, d *WSD) {
+	t.Helper()
+	for _, sql := range []string{
+		"select possible K, V, W from I",
+		"select certain K, V from I",
+		"select conf, K, V from I",
+	} {
+		want, err := s.Exec(sql)
+		if err != nil {
+			t.Fatalf("trial %d %s naive %q: %v", trial, label, sql, err)
+		}
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qcore, cl, err := StripClosure(stmt.(*sqlparse.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.SelectClosure(qcore, cl)
+		if err != nil {
+			t.Fatalf("trial %d %s compact %q: %v", trial, label, sql, err)
+		}
+		wantRel := want.Groups[0].Rel
+		if cl == ClosureConf {
+			compareConfRelations(t, trial, label+" "+sql, got, wantRel)
+		} else if g, w := renderRel(got), renderRel(wantRel); g != w {
+			t.Errorf("trial %d %s %q diverged from naive:\n%s\nwant:\n%s", trial, label, sql, g, w)
+		}
+	}
+}
+
+// TestDMLEquivalenceFuzz runs randomized UPDATE/DELETE statements through
+// the naive enumerating engine and the compact executor over identical
+// content, asserting the represented world-sets stay identical (world
+// multiset of fingerprints and probabilities via Expand) and the closure
+// queries keep agreeing byte for byte after every statement. Statements
+// whose SET/WHERE expressions read no uncertain data must execute with
+// zero component merges — the per-alternative piece rewrite — even when
+// the target relation is uncertain; only WHERE clauses with subqueries
+// over uncertain relations may merge. Run under -race in CI.
+func TestDMLEquivalenceFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	statements := []struct {
+		sql           string
+		componentwise bool // must run with no merge on the compact engine
+	}{
+		{"update I set V = V + 10 where K = 0", true},
+		{"update I set W = W * 2", true},
+		{"update S set Y = 'zz' where V = 1", true},
+		{"update I set V = V + (select min(V) from S) where K >= 1", true},
+		{"delete from I where V >= 2 and K = 0", true},
+		{"delete from S where V = 0", true},
+		{"update P set V = V + 100 where W >= 1", true},
+		// Expressions over uncertain relations couple rows to component
+		// choices: the involved components merge (bounded), and the engines
+		// must still agree.
+		{"delete from I where exists (select * from P where W >= 2)", false},
+		{"update I set V = 0 where V <= (select max(V) from P)", false},
+	}
+	for trial := 0; trial < 10; trial++ {
+		s, d := fuzzPair(t, r)
+		for i := 0; i < 6; i++ {
+			st := statements[r.Intn(len(statements))]
+			if _, err := s.Exec(st.sql); err != nil {
+				t.Fatalf("trial %d naive %q: %v", trial, st.sql, err)
+			}
+			stmt, err := sqlparse.Parse(st.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mergesBefore := d.MergeCount()
+			switch dml := stmt.(type) {
+			case *sqlparse.Update:
+				_, err = d.Update(dml)
+			case *sqlparse.Delete:
+				_, err = d.Delete(dml)
+			default:
+				t.Fatalf("unexpected statement %T", stmt)
+			}
+			if err != nil {
+				t.Fatalf("trial %d compact %q: %v", trial, st.sql, err)
+			}
+			if st.componentwise && d.MergeCount() != mergesBefore {
+				t.Errorf("trial %d %q merged on the componentwise DML path", trial, st.sql)
+			}
+			for _, rel := range []string{"I", "P", "S"} {
+				matchViews(t, naiveViews(t, s, rel), wsdViews(t, d, rel))
+			}
+			crosscheckClosures(t, trial, st.sql, s, d)
+		}
+	}
+}
+
+// TestGroupWorldsEquivalenceFuzz runs randomized GROUP WORLDS BY
+// statements through both engines: same group count and order, group
+// probabilities to 1e-9, byte-identical possible/certain group answers
+// (order included) and conf answers to 1e-9. Statements whose grouping
+// plan decomposes and touches no component of the main query must group
+// via the per-component fingerprint fold with zero merges; only grouped
+// queries genuinely spanning components (shared components between the
+// grouping and main plans, or a non-decomposable grouping plan) may fall
+// back to the bounded residual merge. Run under -race in CI.
+func TestGroupWorldsEquivalenceFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(48))
+	queries := []struct {
+		sql           string
+		componentwise bool // must run with no merge
+	}{
+		{"select possible K, V from I group worlds by (select V from P)", true},
+		{"select certain K, V from I group worlds by (select V from P)", true},
+		{"select conf, K, V from I group worlds by (select V from P)", true},
+		// Multi-component grouping plan: the frontier fold combines the
+		// per-component answer fingerprints of every repair component.
+		{"select conf, V from P group worlds by (select K, V from I)", true},
+		{"select possible V, W from P group worlds by (select K from I where V >= 1)", true},
+		// World-independent grouping query: one group, the plain closure.
+		{"select possible K from I group worlds by (select Y from S)", true},
+		// Certain-data subquery in the main query stays componentwise.
+		{"select conf, K from I where V >= (select min(V) from S) group worlds by (select V from P)", true},
+		// The grouping and main plans share components: bounded residual
+		// merge, still equivalent.
+		{"select possible K, V from I group worlds by (select K from I where V = 0)", false},
+		{"select conf, K from I group worlds by (select V from I)", false},
+		// Non-decomposable grouping plan (aggregate over uncertain data):
+		// its components merge, the main query stays componentwise.
+		{"select possible V from P group worlds by (select sum(V) from I)", false},
+	}
+	for trial := 0; trial < 10; trial++ {
+		for _, q := range queries {
+			// Fresh pair per query: merges restructure the decomposition.
+			s, d := fuzzPair(t, r)
+			want, err := s.Exec(q.sql)
+			if err != nil {
+				t.Fatalf("trial %d naive %q: %v", trial, q.sql, err)
+			}
+			stmt, err := sqlparse.Parse(q.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := stmt.(*sqlparse.SelectStmt)
+			gw := sel.GroupWorlds
+			qcore, cl, err := StripClosure(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qcore.GroupWorlds = nil
+			mergesBefore := d.MergeCount()
+			got, err := d.GroupWorldsClosure(gw, qcore, cl)
+			if err != nil {
+				t.Fatalf("trial %d compact %q: %v", trial, q.sql, err)
+			}
+			if q.componentwise && d.MergeCount() != mergesBefore {
+				t.Errorf("trial %d %q merged on the componentwise grouping path", trial, q.sql)
+			}
+			if len(got) != len(want.Groups) {
+				t.Errorf("trial %d %q: %d groups, want %d", trial, q.sql, len(got), len(want.Groups))
+				continue
+			}
+			for gi := range got {
+				if math.Abs(got[gi].Prob-want.Groups[gi].Prob) > 1e-9 {
+					t.Errorf("trial %d %q group %d: prob %g, want %g", trial, q.sql, gi, got[gi].Prob, want.Groups[gi].Prob)
+				}
+				wantRel := want.Groups[gi].Rel
+				if cl == ClosureConf {
+					compareConfRelations(t, trial, fmt.Sprintf("%s group %d", q.sql, gi), got[gi].Rel, wantRel)
+				} else if g, w := renderRel(got[gi].Rel), renderRel(wantRel); g != w {
+					t.Errorf("trial %d %q group %d diverged:\n%s\nwant:\n%s", trial, q.sql, gi, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestGroupWorldsBeyondMergeLimit: GROUP WORLDS BY over a decomposition
+// of 2^17 worlds — more than the merge limit can multiply out, so any
+// merge-based route fails with ErrMergeTooBig — returns the correct
+// groups via the per-component fingerprint fold, with zero merges and the
+// decomposition untouched.
+func TestGroupWorldsBeyondMergeLimit(t *testing.T) {
+	const k = 17
+	d := New(true)
+	rel := relation.New(schema.New("K", "V", "W"))
+	for i := 0; i < k; i++ {
+		rel.MustAppend(row(i, 0, 1))
+		rel.MustAppend(row(i, 1, 1))
+	}
+	if err := d.PutCertain("R", rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	ch := relation.New(schema.New("A", "B"))
+	ch.MustAppend(row(10, 0))
+	ch.MustAppend(row(20, 1))
+	if err := d.PutCertain("C", ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ChoiceOf("C", "P", []string{"A"}, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	gwStmt, err := sqlparse.Parse("select B from P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreStmt, err := sqlparse.Parse("select conf, K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcore, cl, err := StripClosure(coreStmt.(*sqlparse.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw := gwStmt.(*sqlparse.SelectStmt)
+
+	// The merge-based route cannot answer this: the spanning fallback
+	// would multiply 2^17 alternatives.
+	d.DisableComponentwise = true
+	if _, err := d.GroupWorldsClosure(gw, qcore, cl); !errors.Is(err, ErrMergeTooBig) {
+		t.Fatalf("spanning route: err = %v, want ErrMergeTooBig", err)
+	}
+
+	d.DisableComponentwise = false
+	groups, err := d.GroupWorldsClosure(gw, qcore, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MergeCount() != 0 {
+		t.Errorf("componentwise grouping merged %d times", d.MergeCount())
+	}
+	if d.ComponentCount() != k+1 {
+		t.Errorf("components = %d, want %d untouched", d.ComponentCount(), k+1)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	for gi, g := range groups {
+		if math.Abs(g.Prob-0.5) > 1e-9 {
+			t.Errorf("group %d prob = %g, want 0.5", gi, g.Prob)
+		}
+		if g.Rel.Len() != 2*k {
+			t.Fatalf("group %d rows = %d, want %d", gi, g.Rel.Len(), 2*k)
+		}
+		for _, tp := range g.Rel.Tuples {
+			// Global conf 1/2 per tuple, scaled by the group's 1/2.
+			if c := tp[len(tp)-1].AsFloat(); math.Abs(c-0.25) > 1e-9 {
+				t.Fatalf("group %d conf = %v, want 0.25", gi, c)
+			}
 		}
 	}
 }

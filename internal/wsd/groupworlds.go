@@ -1,0 +1,442 @@
+package wsd
+
+// GROUP WORLDS BY over the decomposition. The naive engine evaluates the
+// grouping subquery in every world, fingerprints each answer, groups
+// worlds by fingerprint and applies the closure per group (Figure 4 of
+// the paper). The compact engine cannot enumerate worlds, but a world's
+// grouping answer depends only on the components the compiled grouping
+// plan touches — and when that plan is monotone-decomposable the answer
+// *set* of world (a1,…,ak) is the union of per-alternative part answers:
+//
+//	G(world) = G(cert) ∪ G_c1(a1) ∪ … ∪ G_ck(ak)
+//
+// Relation fingerprints hash the deduplicated sorted tuple-key set, so a
+// world's group key is computable from per-component answer key sets —
+// Σ component sizes part evaluations, never the product. The groups
+// themselves come from a frontier fold: starting from the certain-only
+// answer, each involved component in turn unions every frontier set with
+// each of its alternatives' part key sets, summing probabilities when two
+// selections reach the same set. The frontier is exactly the distinct
+// grouping answers over the processed prefix, so its size tracks the
+// number of groups (bounded by MergeLimit), not the world count — a
+// decomposition of 2^17 worlds whose grouping query splits it into a
+// handful of groups folds in a handful × Σ sizes set unions. The final
+// fingerprints use the same byte stream as relation.Fingerprint, so even
+// hash collisions group exactly as the naive engine would.
+//
+// The closure of the main query within a group: when the grouping and
+// main plans touch disjoint component sets, the main query's answer is
+// independent of the grouping choice, so every group's POSSIBLE/CERTAIN
+// closure equals the global one (first-appearance order included — within
+// a group the non-grouping components still enumerate in odometer order),
+// and a group's CONF values are the global confidences scaled by the
+// group's probability (by independence: Σ_{w∈g, t∈Q(w)} p_w =
+// P(g)·P(t∈Q)). Only when the grouped query genuinely spans components —
+// the grouping and main plans share a component — does the engine fall
+// back to the bounded residual merge of the involved components,
+// evaluating both queries once per merged alternative.
+
+import (
+	"fmt"
+	"sort"
+
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+	"maybms/internal/worldset"
+)
+
+// GroupAnswer is the closed answer over one group of worlds: the group's
+// total probability (0 in unweighted decompositions) and the closure of
+// the main query over the group's worlds.
+type GroupAnswer struct {
+	Prob float64
+	Rel  *relation.Relation
+}
+
+// groupInfo is one world group produced by the grouping phase: its total
+// probability and, for the spanning path, the merged-alternative indexes
+// it contains.
+type groupInfo struct {
+	prob float64
+	alts []int
+}
+
+// GroupWorldsClosure evaluates `SELECT <closure core> GROUP WORLDS BY
+// (gw)`: worlds are grouped by the fingerprint of gw's per-world answer
+// and the closure of core is computed within each group. Groups are
+// returned in the naive engine's first-appearance order with
+// byte-identical possible/certain answers; conf values are mathematically
+// equal (float accumulation order differs on multi-component paths).
+func (d *WSD) GroupWorldsClosure(gw, core *sqlparse.SelectStmt, cl Closure) ([]GroupAnswer, error) {
+	if cl == ClosureNone {
+		return nil, fmt.Errorf("group worlds by requires possible, certain or conf")
+	}
+	if cl == ClosureConf && !d.Weighted {
+		return nil, ErrConfUnweighted
+	}
+	gwPrep, gwEval, err := d.prepared(gw)
+	if err != nil {
+		return nil, err
+	}
+	gwAn, err := d.analyze(gwPrep)
+	if err != nil {
+		return nil, err
+	}
+
+	// A world-independent grouping query puts every world in one group;
+	// the answer is the plain closure.
+	if len(gwAn.Comps) == 0 {
+		rel, err := d.SelectClosure(core, cl)
+		if err != nil {
+			return nil, err
+		}
+		return []GroupAnswer{{Prob: oneIfWeighted(d.Weighted), Rel: rel}}, nil
+	}
+
+	qPrep, qEval, err := d.prepared(core)
+	if err != nil {
+		return nil, err
+	}
+	qAn, err := d.analyze(qPrep)
+	if err != nil {
+		return nil, err
+	}
+
+	if d.DisableComponentwise || intersects(gwAn.Comps, qAn.Comps) {
+		return d.groupWorldsSpanning(gwAn.Comps, qAn.Comps, gwEval, qEval, cl)
+	}
+
+	// Disjoint component sets: groups from the grouping query alone, the
+	// closure shared across groups.
+	var groups []groupInfo
+	if gwAn.Decomposable {
+		groups, err = d.groupsByComponent(gwAn.Comps, gwEval)
+		if err != nil {
+			return nil, err
+		}
+		d.componentwise.Add(1)
+	} else {
+		// The grouping query itself correlates its components: merge
+		// exactly those (never the main query's) and fingerprint per
+		// merged alternative.
+		merged, err := d.mergeComponents(append([]int(nil), gwAn.Comps...))
+		if err != nil {
+			return nil, err
+		}
+		groups, err = d.groupsFromAlternatives(merged, gwEval)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The merge above may have restructured the component list; re-run the
+	// main query's analysis against the current decomposition.
+	qAn, err = d.analyze(qPrep)
+	if err != nil {
+		return nil, err
+	}
+	return d.closePerGroup(groups, qAn, qEval, cl)
+}
+
+// intersects reports whether two sorted component-index sets share an
+// element.
+func intersects(a, b []int) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// sortedTupleKeys returns the deduplicated sorted canonical tuple keys of
+// rel — the key set relation.Fingerprint hashes.
+func sortedTupleKeys(rel *relation.Relation) []string {
+	seen := make(map[string]struct{}, len(rel.Tuples))
+	keys := make([]string, 0, len(rel.Tuples))
+	for _, t := range rel.Tuples {
+		k := t.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unionSorted merges two sorted deduplicated key lists.
+func unionSorted(a, b []string) []string {
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i, j = i+1, j+1
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// canonOf builds the canonical encoding of a sorted key list — the exact
+// byte stream relation.FingerprintKeys hashes, shared via
+// relation.CanonicalKeyBytes so frontier deduplication and the final
+// fingerprints can never desynchronize.
+func canonOf(keys []string) string {
+	return string(relation.CanonicalKeyBytes(keys))
+}
+
+// groupsByComponent computes the world groups of a monotone-decomposable
+// grouping query from per-alternative part answers — Σ component sizes
+// evaluations and a frontier fold, no merge, the decomposition untouched.
+// Groups are returned in the naive engine's first-appearance order (the
+// frontier enumerates alternative selections lexicographically, earlier
+// components more significant, exactly like the world odometer).
+func (d *WSD) groupsByComponent(compIdx []int, eval func(cat plan.Catalog) (*relation.Relation, error)) ([]groupInfo, error) {
+	parts, err := d.QueryByComponent(compIdx, false, true, eval)
+	if err != nil {
+		return nil, err
+	}
+	partKeys := make([][][]string, len(parts.parts))
+	for i, alts := range parts.parts {
+		partKeys[i] = make([][]string, len(alts))
+		for a, rel := range alts {
+			if err := d.interrupted(); err != nil {
+				return nil, err
+			}
+			partKeys[i][a] = sortedTupleKeys(rel)
+		}
+	}
+
+	type entry struct {
+		keys []string
+		prob float64
+	}
+	frontier := []entry{{keys: sortedTupleKeys(parts.base), prob: oneIfWeighted(d.Weighted)}}
+	for i := range compIdx {
+		var next []entry
+		index := map[string]int{}
+		for _, e := range frontier {
+			// Poll per frontier entry, like the merge path's per-base-row
+			// poll: a deadlined request must not hold the engine through a
+			// large fold. Aborting leaves the decomposition unchanged.
+			if err := d.interrupted(); err != nil {
+				return nil, err
+			}
+			for a := range partKeys[i] {
+				merged := unionSorted(e.keys, partKeys[i][a])
+				canon := canonOf(merged)
+				p := e.prob * parts.probs[i][a]
+				if j, ok := index[canon]; ok {
+					next[j].prob += p
+					continue
+				}
+				// Bound the frontier as it grows, before materializing a
+				// generation that could not be returned anyway.
+				if len(next) >= d.MergeLimit {
+					return nil, fmt.Errorf("%w: group worlds by produced more than %d distinct answers", ErrMergeTooBig, d.MergeLimit)
+				}
+				index[canon] = len(next)
+				next = append(next, entry{keys: merged, prob: p})
+			}
+		}
+		frontier = next
+	}
+
+	// Collapse by the final uint64 fingerprint so hash collisions group
+	// exactly as the naive engine's fingerprint comparison would.
+	fps := make([]uint64, len(frontier))
+	for i, e := range frontier {
+		fps[i] = relation.FingerprintKeys(e.keys)
+	}
+	var out []groupInfo
+	for _, idxs := range worldset.Group(fps) {
+		g := groupInfo{}
+		for _, i := range idxs {
+			g.prob += frontier[i].prob
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// groupsFromAlternatives evaluates the grouping query once per
+// alternative of a merged component and groups the alternatives by answer
+// fingerprint (first-appearance order, matching the world odometer).
+func (d *WSD) groupsFromAlternatives(merged *Component, eval func(cat plan.Catalog) (*relation.Relation, error)) ([]groupInfo, error) {
+	fps, err := mapAlts(d, len(merged.Alts), func(i int) (uint64, error) {
+		rel, err := eval(altCatalog{d: d, alt: &merged.Alts[i]})
+		if err != nil {
+			return 0, err
+		}
+		return rel.Fingerprint(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []groupInfo
+	for _, idxs := range worldset.Group(fps) {
+		g := groupInfo{alts: idxs}
+		for _, i := range idxs {
+			g.prob += merged.Alts[i].Prob
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// closePerGroup computes the main query's closure once (its components
+// are disjoint from the grouping components, so the per-group answer is
+// the global one) and attaches it to every group — scaling confidences by
+// each group's probability.
+func (d *WSD) closePerGroup(groups []groupInfo, qAn *plan.ComponentAnalysis, qEval func(cat plan.Catalog) (*relation.Relation, error), cl Closure) ([]GroupAnswer, error) {
+	var shared *relation.Relation // possible/certain: identical per group
+	var conf *relation.Relation   // conf: global confidences, scaled per group
+	switch {
+	case len(qAn.Comps) == 0:
+		res, err := qEval(newPartsCatalog(d, nil))
+		if err != nil {
+			return nil, err
+		}
+		switch cl {
+		case ClosurePossible:
+			shared, err = worldset.PossibleWorkers([]*relation.Relation{res}, d.Workers, d.Interrupt)
+		case ClosureCertain:
+			shared, err = worldset.CertainWorkers([]*relation.Relation{res}, d.Workers, d.Interrupt)
+		default:
+			conf, err = worldset.ConfWorkers([]*relation.Relation{res}, []float64{1}, d.Workers, d.Interrupt)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case qAn.Decomposable && !d.DisableComponentwise:
+		parts, err := d.QueryByComponent(qAn.Comps, true, false, qEval)
+		if err != nil {
+			return nil, err
+		}
+		d.componentwise.Add(1)
+		switch cl {
+		case ClosurePossible:
+			shared, err = possibleFromParts(parts)
+		case ClosureCertain:
+			shared, err = certainFromParts(parts)
+		default:
+			conf, err = confFromParts(parts)
+		}
+		if err != nil {
+			return nil, err
+		}
+	default:
+		results, probs, err := d.queryMerged(append([]int(nil), qAn.Comps...), qEval)
+		if err != nil {
+			return nil, err
+		}
+		switch cl {
+		case ClosurePossible:
+			shared, err = worldset.PossibleWorkers(results, d.Workers, d.Interrupt)
+		case ClosureCertain:
+			shared, err = worldset.CertainWorkers(results, d.Workers, d.Interrupt)
+		default:
+			conf, err = worldset.ConfWorkers(results, probs, d.Workers, d.Interrupt)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]GroupAnswer, len(groups))
+	for gi, g := range groups {
+		var rel *relation.Relation
+		if cl == ClosureConf {
+			rel = scaleConf(conf, g.prob)
+		} else if gi == 0 {
+			rel = shared
+		} else {
+			// Each group gets its own relation, like the naive engine's
+			// per-group closures: callers mutating one group's answer must
+			// not corrupt the others'.
+			rel = shared.Clone()
+		}
+		out[gi] = GroupAnswer{Prob: g.prob, Rel: rel}
+	}
+	return out, nil
+}
+
+// scaleConf multiplies the trailing conf column by f (a group's
+// probability), preserving tuple order.
+func scaleConf(rel *relation.Relation, f float64) *relation.Relation {
+	out := relation.New(rel.Schema)
+	out.Tuples = make([]tuple.Tuple, 0, len(rel.Tuples))
+	for _, t := range rel.Tuples {
+		nt := t.Clone()
+		nt[len(nt)-1] = value.Float(f * nt[len(nt)-1].AsFloat())
+		out.Tuples = append(out.Tuples, nt)
+	}
+	return out
+}
+
+// groupWorldsSpanning is the bounded residual merge: the grouping and
+// main queries share components, so their union merges into one component
+// and both evaluate once per merged alternative — the grouping answers
+// fingerprint the alternatives into groups, the main answers close within
+// each group (first-appearance order over alternatives equals the world
+// odometer's, so answers match the naive engine byte for byte).
+func (d *WSD) groupWorldsSpanning(gwComps, qComps []int, gwEval, qEval func(cat plan.Catalog) (*relation.Relation, error), cl Closure) ([]GroupAnswer, error) {
+	idx := sortedUniqueInts(append(append([]int(nil), gwComps...), qComps...))
+	merged, err := d.mergeComponents(idx)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := d.groupsFromAlternatives(merged, gwEval)
+	if err != nil {
+		return nil, err
+	}
+	qResults, err := mapAlts(d, len(merged.Alts), func(i int) (*relation.Relation, error) {
+		return qEval(altCatalog{d: d, alt: &merged.Alts[i]})
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GroupAnswer, len(groups))
+	for gi, g := range groups {
+		rels := make([]*relation.Relation, len(g.alts))
+		probs := make([]float64, len(g.alts))
+		for j, ai := range g.alts {
+			rels[j] = qResults[ai]
+			probs[j] = merged.Alts[ai].Prob
+		}
+		var rel *relation.Relation
+		switch cl {
+		case ClosurePossible:
+			rel, err = worldset.PossibleWorkers(rels, d.Workers, d.Interrupt)
+		case ClosureCertain:
+			rel, err = worldset.CertainWorkers(rels, d.Workers, d.Interrupt)
+		default:
+			rel, err = worldset.ConfWorkers(rels, probs, d.Workers, d.Interrupt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out[gi] = GroupAnswer{Prob: g.prob, Rel: rel}
+	}
+	return out, nil
+}

@@ -28,12 +28,21 @@
 // — answer their possible/certain/conf closures component-wise: one
 // evaluation per alternative (Σ component sizes, never the product), no
 // merge, the representation untouched, and answers identical to the naive
-// engine's, order included. Only operations that genuinely correlate
-// several components (asserts, cross-component joins, aggregates or
-// predicate subqueries spanning components) first merge exactly the
-// involved components — a partial expansion bounded by the product of the
-// involved component sizes, never the full world count. MergeCount and
-// ComponentwiseCount make the routing observable.
+// engine's, order included. The same distribution law drives update
+// queries and world grouping (dml.go, groupworlds.go): UPDATE/DELETE
+// statements whose SET/WHERE expressions read no uncertain data rewrite
+// the target's certain part and each alternative's contribution
+// separately, and GROUP WORLDS BY statements whose grouping plan
+// decomposes compute world groups from per-component answer fingerprints
+// folded through a frontier of distinct answers — both in Σ component
+// sizes work over world-sets far beyond any expansion limit. Only
+// operations that genuinely correlate several components (asserts,
+// cross-component joins, aggregates or predicate subqueries spanning
+// components, DML expressions over uncertain relations, grouped queries
+// sharing components with their grouping subquery) first merge exactly
+// the involved components — a partial expansion bounded by the product of
+// the involved component sizes, never the full world count. MergeCount
+// and ComponentwiseCount make the routing observable.
 package wsd
 
 import (

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# lint_compact_errors.sh — keep the compact backend's client-visible
+# refusals and its package documentation in sync.
+#
+# internal/server/compact.go documents the statement forms the compact
+# backend supports and rejects. Every errCompactUnsupported error message
+# in that file must appear verbatim in its comments (format verbs like %T
+# are skipped; literal fragments of 12+ characters are required), and the
+# wsd engine's ErrPerWorld text — which the backend forwards to clients —
+# must be documented too. CI fails when either drifts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SRC=internal/server/compact.go
+
+# All comment text of the file, joined into one normalized line so doc
+# sentences wrapped across lines still match.
+DOC="$(grep -h '^\s*//' "$SRC" | sed 's|^\s*// \{0,1\}||' | tr '\n' ' ' | tr -s ' ')"
+
+fail=0
+
+check_fragment() {
+    local fragment="$1" origin="$2"
+    if ! grep -qF -- "$fragment" <<<"$DOC"; then
+        echo "lint_compact_errors: message fragment not found in $SRC docs:" >&2
+        echo "    \"$fragment\" (from $origin)" >&2
+        fail=1
+    fi
+}
+
+# errCompactUnsupported messages: fmt.Errorf("%w: MESSAGE", errCompactUnsupported, …)
+while IFS= read -r msg; do
+    # Split the message on format verbs; every literal fragment of 12+
+    # characters must appear in the docs.
+    clean="$(printf '%s' "$msg" | sed 's/%[a-zA-Z]/\x01/g')"
+    while IFS= read -r -d $'\x01' fragment || [ -n "$fragment" ]; do
+        fragment="$(printf '%s' "$fragment" | sed 's/^ *//; s/ *$//')"
+        [ "${#fragment}" -lt 12 ] && continue
+        check_fragment "$fragment" "\"$msg\""
+    done < <(printf '%s\x01' "$clean")
+done < <(grep -o '"%w: [^"]*"' "$SRC" | sed 's/^"%w: //; s/"$//')
+
+# The forwarded wsd.ErrPerWorld text (surfaced to clients as an
+# errCompactUnsupported error by execSelect).
+PERWORLD="$(sed -n 's/.*ErrPerWorld = errors.New("\([^"]*\)").*/\1/p' internal/wsd/select.go)"
+if [ -z "$PERWORLD" ]; then
+    echo "lint_compact_errors: could not extract ErrPerWorld from internal/wsd/select.go" >&2
+    fail=1
+else
+    check_fragment "$PERWORLD" "wsd.ErrPerWorld"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint_compact_errors: update the supported/rejected statement table in $SRC" >&2
+    exit 1
+fi
+echo "lint_compact_errors: ok" >&2
