@@ -689,3 +689,61 @@ func BenchmarkScalingAssertWSD(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCompactRepairUncertain: REPAIR BY KEY over an *uncertain*
+// source — a chained repair (repair of a repair) on the compact engine.
+// Each key-group component splits in place (Σ-alternatives work, zero
+// merges), then a CONF closure runs over the chained result. n=18
+// represents 2^18 worlds — beyond the naive engine's enumeration — and
+// n=1000 ≈ 2^1000 worlds, both linear in the representation.
+func BenchmarkCompactRepairUncertain(b *testing.B) {
+	for _, n := range []int{4, 8, 12, 18, 1000} {
+		b.Run(fmt.Sprintf("groups=%d/worlds=2^%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cdb := componentwiseDB(b, n, true)
+				b.StartTimer()
+				if err := cdb.RepairByKey("Clean", "Cleaner", []string{"K", "V"}, ""); err != nil {
+					b.Fatal(err)
+				}
+				rel, err := cdb.Select("select conf, K, V from Cleaner")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rel.Len() != 2*n {
+					b.Fatalf("wrong answer: %d rows", rel.Len())
+				}
+				b.StopTimer()
+				if cdb.MergeCount() != 0 {
+					b.Fatal("chained repair merged")
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkNaiveRepairUncertain is the naive baseline for the chained
+// repair: the enumerating engine re-splits every world (2^n per-world
+// repairs plus a 2^n-world conf fold), so sizes stop where enumeration
+// does.
+func BenchmarkNaiveRepairUncertain(b *testing.B) {
+	for _, n := range []int{4, 8, 12} {
+		b.Run(fmt.Sprintf("groups=%d/worlds=2^%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := Open()
+				if err := db.Register("Dirty", []string{"K", "V", "W"}, dirtyRows(n)); err != nil {
+					b.Fatal(err)
+				}
+				db.MustExec("create table Clean as select K, V, W from Dirty repair by key K weight W")
+				b.StartTimer()
+				db.MustExec("create table Cleaner as select K, V, W from Clean repair by key K, V")
+				res := db.MustExec("select conf, K, V from Cleaner")
+				if res.Groups[0].Rel.Len() != 2*n {
+					b.Fatalf("wrong answer: %d rows", res.Groups[0].Rel.Len())
+				}
+			}
+		})
+	}
+}

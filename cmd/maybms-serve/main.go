@@ -18,7 +18,9 @@
 //
 //   - HTTP (default :7172): POST /v1/query with the same JSON request as
 //     the body; GET /v1/health for liveness plus shared-plan-cache
-//     statistics.
+//     statistics; GET /v1/stats additionally reports, per session, the
+//     backend, world count, and the compact engine's merge/componentwise
+//     routing counters (also available as the "stats" protocol op).
 //
 // Sessions are named databases created on first use (request field
 // "session", default "default") with a "backend" of "naive" (full I-SQL)
@@ -43,7 +45,7 @@ import (
 func main() {
 	var cfg server.Config
 	flag.StringVar(&cfg.TCPAddr, "tcp", ":7171", "TCP listen address for the line/JSON protocol (empty disables)")
-	flag.StringVar(&cfg.HTTPAddr, "http", ":7172", "HTTP listen address for /v1/query and /v1/health (empty disables)")
+	flag.StringVar(&cfg.HTTPAddr, "http", ":7172", "HTTP listen address for /v1/query, /v1/health and /v1/stats (empty disables)")
 	flag.IntVar(&cfg.Workers, "workers", 0, "engine parallelism across and within statements (0 = GOMAXPROCS, 1 = sequential)")
 	flag.IntVar(&cfg.MaxSessions, "max-sessions", server.DefaultMaxSessions, "maximum live sessions")
 	flag.DurationVar(&cfg.IdleTimeout, "idle", server.DefaultIdleTimeout, "evict sessions idle this long (<0 disables)")

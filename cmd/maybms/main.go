@@ -2,13 +2,17 @@
 //
 // Usage:
 //
-//	maybms [-incomplete] [-f script.isql]
+//	maybms [-incomplete] [-compact] [-f script.isql]
 //
-// Without -f it reads statements from stdin (terminated by ';'). Besides
-// I-SQL, the shell understands the meta commands:
+// Without -f it reads statements from stdin (terminated by ';'). -compact
+// runs the shell on the compact world-set-decomposition backend instead
+// of the naive enumerating engine: the same I-SQL statement routing the
+// server's compact sessions use, over world-sets far beyond enumeration.
+// Besides I-SQL, the shell understands the meta commands:
 //
-//	\worlds   print the full world-set
+//	\worlds   print the full world-set (naive) / the decomposition summary (compact)
 //	\count    print the number of worlds
+//	\stats    print engine counters and shared-plan-cache statistics
 //	\help     list commands
 //	\quit     exit
 package main
@@ -22,48 +26,154 @@ import (
 	"strings"
 
 	"maybms"
+	"maybms/internal/sqlparse"
 )
 
 func main() {
 	incomplete := flag.Bool("incomplete", false, "open a non-probabilistic (unweighted) database")
+	compact := flag.Bool("compact", false, "run on the compact (world-set decomposition) backend")
 	script := flag.String("f", "", "execute the statements in this file and exit")
 	flag.Parse()
 
-	var db *maybms.DB
-	if *incomplete {
-		db = maybms.OpenIncomplete()
+	var eng engine
+	if *compact {
+		if *incomplete {
+			eng = &compactShell{db: maybms.OpenCompactIncomplete()}
+		} else {
+			eng = &compactShell{db: maybms.OpenCompact()}
+		}
 	} else {
-		db = maybms.Open()
+		if *incomplete {
+			eng = &naiveShell{db: maybms.OpenIncomplete()}
+		} else {
+			eng = &naiveShell{db: maybms.Open()}
+		}
 	}
 
 	if *script != "" {
-		if err := runScript(db, *script, os.Stdout); err != nil {
+		if err := runScript(eng, *script, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "maybms:", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	fmt.Println("MayBMS/Go — I-SQL shell (\\help for commands)")
-	repl(db, os.Stdin, os.Stdout)
+	if *compact {
+		fmt.Println("MayBMS/Go — I-SQL shell, compact backend (\\help for commands)")
+	} else {
+		fmt.Println("MayBMS/Go — I-SQL shell (\\help for commands)")
+	}
+	repl(eng, os.Stdin, os.Stdout)
 }
 
-// runScript executes a .isql file, printing each statement's result.
-func runScript(db *maybms.DB, path string, out io.Writer) error {
+// engine is the backend the shell drives: statement execution plus the
+// backend-specific meta commands (\worlds, \count, \stats). The
+// backend-independent commands (\quit, \help, unknown) live in repl.
+type engine interface {
+	exec(stmt string) (*maybms.Result, error)
+	// meta handles a backend-specific backslash command; it reports
+	// whether the command was recognized.
+	meta(cmd string, out io.Writer) bool
+}
+
+// printCacheStats renders the shared plan cache counters (common to both
+// backends).
+func printCacheStats(out io.Writer) {
+	st := maybms.SharedPlanCacheStats()
+	fmt.Fprintf(out, "plan cache (shared): hits %d, misses %d, evictions %d\n", st.Hits, st.Misses, st.Evictions)
+}
+
+const helpText = `I-SQL statements end with ';'. Meta commands:
+  \worlds  print the full world-set (naive) / the decomposition (compact)
+  \count   print the number of worlds
+  \stats   print engine counters and shared-plan-cache statistics
+  \quit    exit`
+
+// naiveShell drives the enumerating engine.
+type naiveShell struct {
+	db *maybms.DB
+}
+
+func (n *naiveShell) exec(stmt string) (*maybms.Result, error) { return n.db.Exec(stmt) }
+
+func (n *naiveShell) meta(cmd string, out io.Writer) bool {
+	switch strings.Fields(cmd)[0] {
+	case "\\worlds":
+		for _, w := range n.db.Worlds() {
+			if n.db.Weighted() {
+				fmt.Fprintf(out, "world %s (P = %.4f)\n", w.Name, w.Prob)
+			} else {
+				fmt.Fprintf(out, "world %s\n", w.Name)
+			}
+			for name, rel := range w.Relations {
+				fmt.Fprintf(out, "%s:\n%s", name, rel)
+			}
+		}
+	case "\\count":
+		fmt.Fprintln(out, n.db.WorldCount(), "world(s)")
+	case "\\stats":
+		fmt.Fprintf(out, "worlds: %d\n", n.db.WorldCount())
+		printCacheStats(out)
+	default:
+		return false
+	}
+	return true
+}
+
+// compactShell drives the world-set-decomposition engine. The world-set
+// can be astronomically large, so \worlds prints the decomposition
+// summary instead of enumerating.
+type compactShell struct {
+	db *maybms.CompactDB
+}
+
+func (c *compactShell) exec(stmt string) (*maybms.Result, error) { return c.db.Exec(stmt) }
+
+func (c *compactShell) meta(cmd string, out io.Writer) bool {
+	switch strings.Fields(cmd)[0] {
+	case "\\worlds":
+		fmt.Fprintln(out, c.db.String())
+	case "\\count":
+		fmt.Fprintln(out, c.db.WorldCount(), "world(s)")
+	case "\\stats":
+		fmt.Fprintf(out, "worlds: %s, components: %d, alternatives: %d\n",
+			c.db.WorldCount(), c.db.ComponentCount(), c.db.AlternativeCount())
+		fmt.Fprintf(out, "merges: %d, componentwise: %d\n", c.db.MergeCount(), c.db.ComponentwiseCount())
+		printCacheStats(out)
+	default:
+		return false
+	}
+	return true
+}
+
+// runScript executes a .isql file statement by statement, printing each
+// statement's result. Statements are split at the lexer level (literals
+// and comments are handled) and fed to the backend as their original
+// text, so backend-specific statement forms outside the parser's grammar
+// — the compact backend's standalone ASSERT — work in scripts exactly as
+// they do in the REPL.
+func runScript(eng engine, path string, out io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
-	results, err := db.ExecScript(string(data))
-	for _, res := range results {
+	stmts, err := sqlparse.SplitScript(string(data))
+	if err != nil {
+		return err
+	}
+	for _, stmt := range stmts {
+		res, err := eng.exec(stmt)
+		if err != nil {
+			return fmt.Errorf("executing %q: %w", stmt, err)
+		}
 		fmt.Fprint(out, res)
 	}
-	return err
+	return nil
 }
 
 // repl reads statements (terminated by ';') and meta commands from in,
 // writing results to out, until EOF or \quit.
-func repl(db *maybms.DB, in io.Reader, out io.Writer) {
+func repl(eng engine, in io.Reader, out io.Writer) {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -79,8 +189,15 @@ func repl(db *maybms.DB, in io.Reader, out io.Writer) {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			if !meta(db, trimmed, out) {
+			switch strings.Fields(trimmed)[0] {
+			case "\\quit", "\\q":
 				return
+			case "\\help":
+				fmt.Fprintln(out, helpText)
+			default:
+				if !eng.meta(trimmed, out) {
+					fmt.Fprintln(out, "unknown command; try \\help")
+				}
 			}
 			prompt()
 			continue
@@ -90,7 +207,7 @@ func repl(db *maybms.DB, in io.Reader, out io.Writer) {
 		if strings.HasSuffix(trimmed, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			res, err := db.Exec(stmt)
+			res, err := eng.exec(stmt)
 			if err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {
@@ -99,33 +216,4 @@ func repl(db *maybms.DB, in io.Reader, out io.Writer) {
 		}
 		prompt()
 	}
-}
-
-// meta handles backslash commands; it returns false to exit the shell.
-func meta(db *maybms.DB, cmd string, out io.Writer) bool {
-	switch strings.Fields(cmd)[0] {
-	case "\\quit", "\\q":
-		return false
-	case "\\worlds":
-		for _, w := range db.Worlds() {
-			if db.Weighted() {
-				fmt.Fprintf(out, "world %s (P = %.4f)\n", w.Name, w.Prob)
-			} else {
-				fmt.Fprintf(out, "world %s\n", w.Name)
-			}
-			for name, rel := range w.Relations {
-				fmt.Fprintf(out, "%s:\n%s", name, rel)
-			}
-		}
-	case "\\count":
-		fmt.Fprintln(out, db.WorldCount(), "world(s)")
-	case "\\help":
-		fmt.Fprintln(out, `I-SQL statements end with ';'. Meta commands:
-  \worlds  print the full world-set
-  \count   print the number of worlds
-  \quit    exit`)
-	default:
-		fmt.Fprintln(out, "unknown command; try \\help")
-	}
-	return true
 }

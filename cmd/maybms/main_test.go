@@ -23,7 +23,7 @@ select possible D from I;
 `)
 	var out strings.Builder
 	db := maybms.Open()
-	repl(db, in, &out)
+	repl(&naiveShell{db: db}, in, &out)
 	got := out.String()
 	for _, frag := range []string{
 		"maybms> ",        // prompt
@@ -46,7 +46,7 @@ select possible D from I;
 func TestReplReportsErrors(t *testing.T) {
 	in := strings.NewReader("select * from missing;\n")
 	var out strings.Builder
-	repl(maybms.Open(), in, &out)
+	repl(&naiveShell{db: maybms.Open()}, in, &out)
 	if !strings.Contains(out.String(), "error:") {
 		t.Errorf("error not reported:\n%s", out.String())
 	}
@@ -55,7 +55,7 @@ func TestReplReportsErrors(t *testing.T) {
 func TestReplQuitShortForm(t *testing.T) {
 	in := strings.NewReader("\\q\nselect 1;\n")
 	var out strings.Builder
-	repl(maybms.Open(), in, &out)
+	repl(&naiveShell{db: maybms.Open()}, in, &out)
 	if strings.Contains(out.String(), "col1") {
 		t.Error("statements after \\q must not run")
 	}
@@ -78,7 +78,7 @@ func TestRunScript(t *testing.T) {
 	}
 	var out strings.Builder
 	db := maybms.Open()
-	if err := runScript(db, path, &out); err != nil {
+	if err := runScript(&naiveShell{db: db}, path, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"44", "49", "50", "55"} {
@@ -90,7 +90,7 @@ func TestRunScript(t *testing.T) {
 
 func TestRunScriptErrors(t *testing.T) {
 	var out strings.Builder
-	if err := runScript(maybms.Open(), "/nonexistent/file.isql", &out); err == nil {
+	if err := runScript(&naiveShell{db: maybms.Open()}, "/nonexistent/file.isql", &out); err == nil {
 		t.Error("missing file must error")
 	}
 	dir := t.TempDir()
@@ -98,10 +98,93 @@ func TestRunScriptErrors(t *testing.T) {
 	if err := os.WriteFile(path, []byte("create table R (A);\nselect * from missing;\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := runScript(maybms.Open(), path, &out); err == nil {
+	if err := runScript(&naiveShell{db: maybms.Open()}, path, &out); err == nil {
 		t.Error("bad statement must surface")
 	}
 	if !strings.Contains(out.String(), "created table R") {
 		t.Error("results before the failure must still print")
+	}
+}
+
+func TestReplCompactBackend(t *testing.T) {
+	in := strings.NewReader(`create table R (K, V, W);
+insert into R values (0, 0, 1), (0, 1, 2), (1, 0, 1), (1, 1, 3);
+create table I as select * from R repair by key K;
+create table J as select * from I repair by key K, V;
+\count
+select conf, K, V from J;
+\stats
+\worlds
+\quit
+`)
+	var out strings.Builder
+	db := maybms.OpenCompact()
+	repl(&compactShell{db: db}, in, &out)
+	got := out.String()
+	for _, frag := range []string{
+		"4 world(s)",       // \count after the chained repair
+		"merges: 0",        // \stats: the chained repair split, no merge
+		"componentwise: 1", // \stats: the conf closure ran componentwise
+		"plan cache",       // \stats: shared-cache counters
+		"WSD{relations: 3", // \worlds prints the decomposition summary
+		"created table J",  // chained repair over the uncertain source
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("compact repl output missing %q:\n%s", frag, got)
+		}
+	}
+	if db.WorldCount().String() != "4" {
+		t.Errorf("world count after session = %s", db.WorldCount())
+	}
+}
+
+func TestRunScriptCompact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "compact.isql")
+	script := `
+		create table R (A, B, C, D);
+		insert into R values
+			('a1', 10, 'c1', 2), ('a1', 15, 'c2', 6),
+			('a2', 14, 'c3', 4), ('a2', 20, 'c4', 5),
+			('a3', 20, 'c5', 6);
+		create table I as select * from R repair by key A weight D;
+		create table S as select possible B from I;
+		select certain B from S;
+	`
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := runScript(&compactShell{db: maybms.OpenCompact()}, path, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"created table S", "10", "14", "15", "20"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("compact script output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunScriptCompactAssert(t *testing.T) {
+	// ASSERT is a compact-backend statement form outside the parser's
+	// grammar; script mode must feed it through like the REPL does.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "assert.isql")
+	script := `
+		create table R (K, V);
+		insert into R values (0, 0), (0, 1);
+		create table I as select * from R repair by key K;
+		assert exists (select * from I where V = 1);
+	`
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	db := maybms.OpenCompact()
+	if err := runScript(&compactShell{db: db}, path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "asserted; 1 world(s) remain") {
+		t.Errorf("assert result missing:\n%s", out.String())
 	}
 }

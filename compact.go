@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"maybms/internal/core"
+	"maybms/internal/server"
 	"maybms/internal/sqlparse"
 	"maybms/internal/tuple"
 	"maybms/internal/wsd"
@@ -22,9 +23,12 @@ var errNotPlainSelect = errors.New("maybms: MaterializeQuery takes a plain SQL S
 // representing k^n worlds. Confidence, possible and certain are computed
 // exactly without enumeration.
 //
-// CompactDB exposes the representation-level operations, decomposition-
-// aware SELECT closures (Select, SelectGroups), and update queries
-// (Update, Delete) that rewrite the representation piece by piece;
+// CompactDB exposes the representation-level operations — RepairByKey
+// and ChoiceOf over certain and uncertain sources alike (chained repairs
+// split the feeding components in place, without enumerating worlds) —
+// decomposition-aware SELECT closures (Select, SelectGroups), update
+// queries (Update, Delete) that rewrite the representation piece by
+// piece, and a general Exec with the full compact statement routing;
 // asserts, queries that correlate components, and DML whose expressions
 // read uncertain data merge exactly the involved components (partial
 // expansion). For full I-SQL over small world-sets, use DB; Expand
@@ -68,6 +72,16 @@ func (db *CompactDB) Insert(name string, rows [][]any) error {
 	return db.w.InsertCertain(name, rel.Tuples)
 }
 
+// Exec runs one I-SQL statement against the compact database, with the
+// same statement routing the server's compact sessions use: repair/choice
+// (over certain and uncertain sources alike), closed and grouped SELECTs,
+// factorized CREATE TABLE AS, UPDATE/DELETE, ASSERT, and the DDL forms.
+// Statements without a decomposition counterpart fail with an error
+// wrapping ErrCompactUnsupported.
+func (db *CompactDB) Exec(sql string) (*Result, error) {
+	return server.ExecCompact(db.w, sql)
+}
+
 // SetWorkers bounds the parallelism of the compact engine's
 // component-independent passes (per-component closures, per-alternative
 // asserts and materializations, expansion): 1 selects the exact sequential
@@ -75,15 +89,21 @@ func (db *CompactDB) Insert(name string, rows [][]any) error {
 // identical results.
 func (db *CompactDB) SetWorkers(n int) { db.w.Workers = n }
 
-// RepairByKey creates dst as the repair of the complete relation src under
-// the key columns, factorized into one component per key group. weight is
-// the optional weight column ("" for uniform).
+// RepairByKey creates dst as the repair of relation src under the key
+// columns. A complete src factorizes into one component per key group;
+// an uncertain src (a previous repair or choice) splits the components
+// feeding it in place — each alternative spawns its conditional
+// key-group repairs, with merges only between components contributing
+// candidates under a common key — so repairs chain without enumerating
+// worlds. weight is the optional weight column ("" for uniform).
 func (db *CompactDB) RepairByKey(src, dst string, key []string, weight string) error {
 	return db.w.RepairByKey(src, dst, key, weight)
 }
 
-// ChoiceOf creates dst as the choice-of partitioning of the complete
-// relation src on the given attributes, as a single component.
+// ChoiceOf creates dst as the choice-of partitioning of relation src on
+// the given attributes. A complete src becomes a single fresh component;
+// an uncertain src merges its feeding components into one (none when fed
+// by at most one) and splits it per alternative.
 func (db *CompactDB) ChoiceOf(src, dst string, attrs []string, weight string) error {
 	return db.w.ChoiceOf(src, dst, attrs, weight)
 }
@@ -204,7 +224,7 @@ func (db *CompactDB) SelectGroups(query string) ([]WorldGroup, error) {
 		return nil, errors.New("maybms: SelectGroups does not accept repair/choice/assert (use RepairByKey/ChoiceOf/Assert)")
 	}
 	gw := sel.GroupWorlds
-	if gw != nil && gw.HasISQL() {
+	if gw != nil && sqlparse.HasISQLDeep(gw) {
 		return nil, errors.New("maybms: group worlds by subquery must be plain SQL")
 	}
 	core, cl, err := wsd.StripClosure(sel)

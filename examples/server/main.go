@@ -107,6 +107,48 @@ func main() {
 		fmt.Printf("group (P = %.2f): %d row(s)\n", g.Prob, len(g.Rows.Rows))
 	}
 
+	// Repair over an *uncertain* source: the chained repair splits each
+	// key-group component in place — no merge, no enumeration — and the
+	// factorized CREATE TABLE AS stores a closed answer as a plain
+	// certain table on the same session.
+	for _, stmt := range []string{
+		`create table J as select * from I repair by key K, V`,
+		`create table Summary as select possible K, V from J`,
+	} {
+		query(maybms.ServerRequest{Session: "wide", Backend: "compact", Query: stmt})
+	}
+	resp = query(maybms.ServerRequest{Session: "wide", Query: `select certain K, V from Summary`, Render: true})
+	fmt.Printf("[wide/compact] repair-of-uncertain round trip:\n%s\n", resp.Text)
+
+	// GET /v1/stats reports, per session, the backend, world count, and —
+	// for compact sessions — the merge/componentwise routing counters,
+	// next to the shared-plan-cache traffic.
+	statsResp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		panic(err)
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		Sessions []struct {
+			Name    string `json:"name"`
+			Backend string `json:"backend"`
+			Worlds  string `json:"worlds"`
+			Compact *struct {
+				Merges        uint64 `json:"merges"`
+				Componentwise uint64 `json:"componentwise"`
+			} `json:"compact"`
+		} `json:"sessions"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		panic(err)
+	}
+	for _, s := range stats.Sessions {
+		if s.Compact != nil {
+			fmt.Printf("session %s (%s): %s worlds, %d merges, %d componentwise statements\n",
+				s.Name, s.Backend, s.Worlds, s.Compact.Merges, s.Compact.Componentwise)
+		}
+	}
+
 	st := maybms.SharedPlanCacheStats()
 	fmt.Printf("shared plan cache: %d hits, %d misses (bob rode on alice's compilations)\n",
 		st.Hits, st.Misses)

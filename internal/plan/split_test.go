@@ -1,0 +1,59 @@
+package plan
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAnalyzeSplitNoCrossing(t *testing.T) {
+	an := AnalyzeSplit([]KeyTouch{
+		{Comp: 0, Keys: []string{"a", "b"}},
+		{Comp: 1, Keys: []string{"c"}},
+		{Comp: 2, Keys: nil},
+	})
+	if !an.NoMerge || len(an.MergeGroups) != 0 {
+		t.Fatalf("disjoint keys = %+v, want NoMerge", an)
+	}
+}
+
+func TestAnalyzeSplitDirectCrossing(t *testing.T) {
+	an := AnalyzeSplit([]KeyTouch{
+		{Comp: 3, Keys: []string{"a", "b"}},
+		{Comp: 7, Keys: []string{"b", "c"}},
+		{Comp: 9, Keys: []string{"d"}},
+	})
+	if an.NoMerge {
+		t.Fatal("shared key b must force a merge")
+	}
+	if want := [][]int{{3, 7}}; !reflect.DeepEqual(an.MergeGroups, want) {
+		t.Fatalf("merge groups = %v, want %v", an.MergeGroups, want)
+	}
+}
+
+func TestAnalyzeSplitTransitiveCrossing(t *testing.T) {
+	// 0 and 1 share "x", 1 and 2 share "y": all three couple, 3 stays out.
+	an := AnalyzeSplit([]KeyTouch{
+		{Comp: 0, Keys: []string{"x"}},
+		{Comp: 1, Keys: []string{"x", "y"}},
+		{Comp: 2, Keys: []string{"y"}},
+		{Comp: 3, Keys: []string{"z"}},
+	})
+	if len(an.MergeGroups) != 1 || len(an.MergeGroups[0]) != 3 {
+		t.Fatalf("merge groups = %v, want one group of three", an.MergeGroups)
+	}
+	got := map[int]bool{}
+	for _, c := range an.MergeGroups[0] {
+		got[c] = true
+	}
+	for _, c := range []int{0, 1, 2} {
+		if !got[c] {
+			t.Errorf("component %d missing from the transitive group %v", c, an.MergeGroups[0])
+		}
+	}
+}
+
+func TestAnalyzeSplitEmpty(t *testing.T) {
+	if an := AnalyzeSplit(nil); !an.NoMerge {
+		t.Fatalf("empty input = %+v", an)
+	}
+}

@@ -21,6 +21,10 @@ type backend interface {
 	kind() string
 	// worlds renders the current world count.
 	worlds() string
+	// counters returns the backend's execution counters (nil for
+	// backends without any). The returned values are read from atomics,
+	// so counters is safe to call without the session's execution lock.
+	counters() *CompactCounters
 }
 
 // naiveBackend is a full I-SQL session over explicitly enumerated worlds.
@@ -41,6 +45,7 @@ func (b *naiveBackend) exec(sql string) (*core.Result, error) { return b.s.Exec(
 func (b *naiveBackend) setInterrupt(f func() error)           { b.s.SetInterrupt(f) }
 func (b *naiveBackend) kind() string                          { return "naive" }
 func (b *naiveBackend) worlds() string                        { return fmt.Sprintf("%d", b.s.WorldCount()) }
+func (b *naiveBackend) counters() *CompactCounters            { return nil }
 
 // newBackend builds a backend by name ("" and "naive" select the naive
 // engine, "compact" the world-set-decomposition engine).

@@ -14,9 +14,15 @@ import (
 	"maybms/internal/wsd"
 )
 
-// errCompactUnsupported prefixes every "this statement needs the naive
-// backend" error so clients can detect it.
-var errCompactUnsupported = errors.New("unsupported by the compact backend")
+// ErrUnsupported is the sentinel every "this statement needs the naive
+// backend" refusal wraps: clients and embedders detect compact-backend
+// refusals with errors.Is(err, ErrUnsupported) instead of matching
+// message strings. It is re-exported as maybms.ErrCompactUnsupported.
+var ErrUnsupported = errors.New("unsupported by the compact backend")
+
+// errCompactUnsupported is the package-internal alias the refusal sites
+// wrap.
+var errCompactUnsupported = ErrUnsupported
 
 // compactBackend serves I-SQL over a world-set decomposition. Statements
 // route through internal/wsd's compiled-and-analyzed plan executor: every
@@ -35,12 +41,22 @@ var errCompactUnsupported = errors.New("unsupported by the compact backend")
 //     (column lists are reordered, missing columns NULL-filled)
 //   - CREATE TABLE d AS SELECT * FROM s
 //     REPAIR BY KEY k [WEIGHT w] | CHOICE OF u [WEIGHT w]
-//     — one component per key group / one component, O(tuples) space for
-//     exponentially many worlds
+//     — for a certain s: one component per key group / one component,
+//     O(tuples) space for exponentially many worlds. An uncertain s
+//     (repair of a repair, choice of a repair, …) splits the feeding
+//     components in place — each alternative spawns its conditional
+//     key-group repairs (Σ-alternatives work, zero merges unless two
+//     components contribute candidates under a common key; a choice
+//     merges its feeders into one first, none when fed by at most one)
 //   - CREATE TABLE d AS <plain SQL>              — componentwise (no
 //     merge, linear size) when the compiled plan decomposes and keeps
 //     certain rows in front; else a partial expansion of exactly the
 //     involved components
+//   - CREATE TABLE d AS SELECT [POSSIBLE|CERTAIN|CONF] <plain SQL core>
+//     [GROUP WORLDS BY (q)] — the closed answer stored as a certain
+//     relation; with grouping, stored factorized: one copy per world
+//     group, shared by every alternative of the (possibly merged)
+//     grouping component — no merge when a single component feeds q
 //   - SELECT [POSSIBLE|CERTAIN] <plain SQL core> — merge-free
 //     componentwise closure for decomposable plans (selections,
 //     projections, joins against certain relations, unions,
@@ -75,8 +91,7 @@ var errCompactUnsupported = errors.New("unsupported by the compact backend")
 //   - combining repair/choice with other I-SQL constructs
 //   - repair/choice/assert inside SELECT (use CREATE TABLE AS … or the
 //     ASSERT statement)
-//   - CREATE TABLE AS with possible/certain/conf/assert/group-worlds-by
-//     (query the closure directly instead)
+//   - CREATE TABLE AS with assert (apply the ASSERT statement first)
 //   - I-SQL constructs in assert conditions
 //
 // scripts/lint_compact_errors.sh keeps this list in sync with the
@@ -98,6 +113,18 @@ func newCompactBackend(weighted bool, workers, mergeLimit int) *compactBackend {
 func (b *compactBackend) setInterrupt(f func() error) { b.d.Interrupt = f }
 func (b *compactBackend) kind() string                { return "compact" }
 func (b *compactBackend) worlds() string              { return b.d.WorldCount().String() }
+
+func (b *compactBackend) counters() *CompactCounters {
+	return &CompactCounters{Merges: b.d.MergeCount(), Componentwise: b.d.ComponentwiseCount()}
+}
+
+// ExecCompact runs one I-SQL statement against the decomposition d with
+// the compact backend's full statement routing — the same code path the
+// server's compact sessions use. It backs CompactDB.Exec and the
+// maybms shell's -compact mode.
+func ExecCompact(d *wsd.WSD, sql string) (*core.Result, error) {
+	return (&compactBackend{d: d, weighted: d.Weighted}).exec(sql)
+}
 
 func (b *compactBackend) ok(format string, args ...any) (*core.Result, error) {
 	return &core.Result{Kind: core.ResultOK, Msg: fmt.Sprintf(format, args...), Weighted: b.weighted}, nil
@@ -183,7 +210,7 @@ func (b *compactBackend) execAssert(cond string) (*core.Result, error) {
 		return nil, fmt.Errorf("assert condition: %w", err)
 	}
 	sel := probe.(*sqlparse.SelectStmt)
-	if sel.HasISQL() {
+	if sqlparse.HasISQLDeep(sel) {
 		return nil, fmt.Errorf("%w: I-SQL constructs in assert conditions", errCompactUnsupported)
 	}
 	if err := b.d.AssertStmt(sel.Where, nil); err != nil {
@@ -193,9 +220,11 @@ func (b *compactBackend) execAssert(cond string) (*core.Result, error) {
 }
 
 // execCreateAs materializes a query: repair/choice over `select * from t`
-// become decomposition components; plain SQL is stored componentwise when
-// the compiled plan decomposes (no merge) and by bounded partial expansion
-// otherwise.
+// become decomposition components (splitting the feeding components in
+// place when t is uncertain); closed and grouped queries store their
+// factorized answers (certain closure / per-group contributions); plain
+// SQL is stored componentwise when the compiled plan decomposes (no
+// merge) and by bounded partial expansion otherwise.
 func (b *compactBackend) execCreateAs(st *sqlparse.CreateTableAs) (*core.Result, error) {
 	q := st.Query
 	if q.Repair != nil || q.Choice != nil {
@@ -214,10 +243,28 @@ func (b *compactBackend) execCreateAs(st *sqlparse.CreateTableAs) (*core.Result,
 		}
 		return b.ok("created table %s: choice over %s (%s worlds)", st.Name, src, b.d.WorldCount())
 	}
-	if q.HasISQL() {
-		return nil, fmt.Errorf("%w: CREATE TABLE AS with possible/certain/conf/assert/group-worlds-by (query the closure directly instead)", errCompactUnsupported)
+	if q.Assert != nil {
+		return nil, fmt.Errorf("%w: CREATE TABLE AS with assert (apply the ASSERT statement first)", errCompactUnsupported)
 	}
-	if err := b.d.CreateTableAs(st.Name, q); err != nil {
+	qcore, cl, err := wsd.StripClosure(q)
+	if err != nil {
+		return nil, err
+	}
+	gw := q.GroupWorlds
+	qcore.GroupWorlds = nil
+	if gw == nil && cl == wsd.ClosureNone {
+		if err := b.d.CreateTableAs(st.Name, qcore); err != nil {
+			return nil, err
+		}
+		return b.ok("created table %s", st.Name)
+	}
+	if gw != nil && sqlparse.HasISQLDeep(gw) {
+		return nil, fmt.Errorf("group worlds by subquery must be plain SQL")
+	}
+	if cl == wsd.ClosureConf && !b.weighted {
+		return nil, fmt.Errorf("conf requires a probabilistic session: %w", worldset.ErrNotWeighted)
+	}
+	if err := b.d.CreateTableAsClosure(st.Name, qcore, cl, gw); err != nil {
 		return nil, err
 	}
 	return b.ok("created table %s", st.Name)
@@ -262,7 +309,7 @@ func (b *compactBackend) execSelect(st *sqlparse.SelectStmt) (*core.Result, erro
 // many worlds), so Groups carries probabilities and closed answers only —
 // no world name lists.
 func (b *compactBackend) execGroupWorlds(gw, core_ *sqlparse.SelectStmt, cl wsd.Closure) (*core.Result, error) {
-	if gw.HasISQL() {
+	if sqlparse.HasISQLDeep(gw) {
 		return nil, fmt.Errorf("group worlds by subquery must be plain SQL")
 	}
 	// StripClosure copies the statement, grouping clause included; the core

@@ -248,6 +248,8 @@ func (r *registry) list() []SessionInfo {
 			Backend: s.backend.kind(),
 			Worlds:  worlds,
 			IdleMs:  sn.idle.Milliseconds(),
+			// Counters read atomics, so a busy session reports them too.
+			Compact: s.backend.counters(),
 		})
 	}
 	return out

@@ -27,6 +27,7 @@ func (b *testBackend) exec(string) (*core.Result, error) {
 }
 func (b *testBackend) setInterrupt(func() error) {}
 func (b *testBackend) kind() string              { return "stub" }
+func (b *testBackend) counters() *CompactCounters { return nil }
 func (b *testBackend) worlds() string {
 	if b.worldsFn != nil {
 		return b.worldsFn()

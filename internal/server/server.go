@@ -164,6 +164,7 @@ func (s *Server) Start() error {
 		mux := http.NewServeMux()
 		mux.HandleFunc("POST /v1/query", s.handleHTTPQuery)
 		mux.HandleFunc("GET /v1/health", s.handleHTTPHealth)
+		mux.HandleFunc("GET /v1/stats", s.handleHTTPStats)
 		s.httpSrv = &http.Server{Handler: mux, BaseContext: func(net.Listener) context.Context { return s.baseCtx }}
 		s.loopWG.Add(1)
 		go func() {
@@ -369,10 +370,10 @@ func (s *Server) handleHTTPQuery(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
-// handleHTTPHealth is GET /v1/health.
-func (s *Server) handleHTTPHealth(w http.ResponseWriter, r *http.Request) {
+// health snapshots the process-wide counters.
+func (s *Server) health() Health {
 	st := plan.SharedCache().Stats()
-	h := Health{
+	return Health{
 		OK:             true,
 		Sessions:       s.reg.len(),
 		UptimeMs:       time.Since(s.started).Milliseconds(),
@@ -384,8 +385,24 @@ func (s *Server) handleHTTPHealth(w http.ResponseWriter, r *http.Request) {
 		CacheEvictions: st.Evictions,
 		CacheEntries:   plan.SharedCache().Len(),
 	}
+}
+
+// stats extends the health snapshot with per-session backend state.
+func (s *Server) stats() *Stats {
+	return &Stats{Server: s.health(), Sessions: s.reg.list()}
+}
+
+// handleHTTPHealth is GET /v1/health.
+func (s *Server) handleHTTPHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(h)
+	_ = json.NewEncoder(w).Encode(s.health())
+}
+
+// handleHTTPStats is GET /v1/stats: the health payload plus per-session
+// world counts and the compact backends' merge/componentwise counters.
+func (s *Server) handleHTTPStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(s.stats())
 }
 
 // Handle executes one request. It is the transport-independent entry
@@ -406,6 +423,8 @@ func (s *Server) Handle(ctx context.Context, req *Request) *Response {
 		return errorResponse(name, fmt.Errorf("no session %q", name))
 	case OpList:
 		return &Response{OK: true, Kind: "sessions", Sessions: s.reg.list()}
+	case OpStats:
+		return &Response{OK: true, Kind: "stats", Stats: s.stats()}
 	case OpPing:
 		return &Response{OK: true, Kind: "pong"}
 	default:

@@ -29,6 +29,7 @@ const (
 	OpClose = "close" // close the named session
 	OpList  = "list"  // list live sessions
 	OpPing  = "ping"  // liveness probe
+	OpStats = "stats" // server health + per-session backend counters
 )
 
 // Request is one client request: a single I-SQL statement against a named
@@ -93,6 +94,16 @@ type GroupRows struct {
 	Rows
 }
 
+// CompactCounters are a compact session's execution-routing counters.
+type CompactCounters struct {
+	// Merges counts component merges (bounded partial expansions that
+	// restructured the decomposition).
+	Merges uint64 `json:"merges"`
+	// Componentwise counts statements answered by the merge-free
+	// componentwise path.
+	Componentwise uint64 `json:"componentwise"`
+}
+
 // SessionInfo describes one live session.
 type SessionInfo struct {
 	Name    string `json:"name"`
@@ -102,6 +113,18 @@ type SessionInfo struct {
 	Worlds string `json:"worlds"`
 	// IdleMs is the time since the session last executed a statement.
 	IdleMs int64 `json:"idle_ms"`
+	// Compact carries the compact backend's merge/componentwise counters
+	// (absent for naive sessions).
+	Compact *CompactCounters `json:"compact,omitempty"`
+}
+
+// Stats is the GET /v1/stats payload (also returned by the "stats"
+// protocol op): the health snapshot — gate, shared-plan-cache traffic —
+// plus per-session backend state (world counts and compact execution
+// counters).
+type Stats struct {
+	Server   Health        `json:"server"`
+	Sessions []SessionInfo `json:"sessions"`
 }
 
 // Response is the server's answer to one Request, one line of JSON over
@@ -128,6 +151,8 @@ type Response struct {
 	Truncated bool `json:"truncated,omitempty"`
 	// Sessions carries the session list (Kind "sessions").
 	Sessions []SessionInfo `json:"sessions,omitempty"`
+	// Stats carries the server statistics (Kind "stats").
+	Stats *Stats `json:"stats,omitempty"`
 }
 
 // errorResponse builds a failure response.

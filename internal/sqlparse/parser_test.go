@@ -610,3 +610,32 @@ func TestRenderingContainsClauses(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitScript(t *testing.T) {
+	stmts, err := SplitScript(`
+		-- leading comment
+		create table R (A);
+		insert into R values ('x;y'); -- semicolon in a literal
+		assert exists (select * from R);
+		-- trailing comment
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"-- leading comment\n\t\tcreate table R (A)",
+		"insert into R values ('x;y')",
+		"-- semicolon in a literal\n\t\tassert exists (select * from R)",
+	}
+	if len(stmts) != len(want) {
+		t.Fatalf("split into %d statements %q, want %d", len(stmts), stmts, len(want))
+	}
+	for i := range want {
+		if stmts[i] != want[i] {
+			t.Errorf("statement %d = %q, want %q", i, stmts[i], want[i])
+		}
+	}
+	if _, err := SplitScript("select 'unterminated"); err == nil {
+		t.Error("lex error must surface")
+	}
+}

@@ -70,3 +70,67 @@ func ReferencedTables(q *SelectStmt) []string {
 	walkStmt(q)
 	return names
 }
+
+// HasISQLDeep reports whether the statement or any of its subqueries uses
+// an I-SQL construct. HasISQL inspects the top level only (the one place
+// the constructs are legal); engines refusing I-SQL in positions that
+// must be plain SQL all the way down — assert conditions, grouping
+// subqueries — use the deep variant so the refusal fires before the
+// planner trips over the construct.
+func HasISQLDeep(q *SelectStmt) bool {
+	found := false
+	var walkStmt func(*SelectStmt)
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch n := e.(type) {
+		case BinaryExpr:
+			walkExpr(n.L)
+			walkExpr(n.R)
+		case UnaryExpr:
+			walkExpr(n.E)
+		case IsNullExpr:
+			walkExpr(n.E)
+		case ConfExpr:
+			found = true
+		case ExistsExpr:
+			walkStmt(n.Sub)
+		case InExpr:
+			walkExpr(n.Left)
+			for _, item := range n.List {
+				walkExpr(item)
+			}
+			if n.Sub != nil {
+				walkStmt(n.Sub)
+			}
+		case SubqueryExpr:
+			walkStmt(n.Sub)
+		case FuncCall:
+			for _, a := range n.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmt = func(s *SelectStmt) {
+		if s == nil || found {
+			return
+		}
+		if s.HasISQL() {
+			found = true
+			return
+		}
+		for _, it := range s.Items {
+			if it.Expr != nil {
+				walkExpr(it.Expr)
+			}
+		}
+		if s.Where != nil {
+			walkExpr(s.Where)
+		}
+		if s.Having != nil {
+			walkExpr(s.Having)
+		}
+		walkStmt(s.Union)
+	}
+	walkStmt(q)
+	return found
+}

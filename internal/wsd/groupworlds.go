@@ -410,6 +410,12 @@ func (d *WSD) groupWorldsSpanning(gwComps, qComps []int, gwEval, qEval func(cat 
 	if err != nil {
 		return nil, err
 	}
+	return d.closeAltGroups(merged, groups, qEval, cl)
+}
+
+// closeAltGroups evaluates the main query once per alternative of a
+// merged component and closes the answers within each alternative group.
+func (d *WSD) closeAltGroups(merged *Component, groups []groupInfo, qEval func(cat plan.Catalog) (*relation.Relation, error), cl Closure) ([]GroupAnswer, error) {
 	qResults, err := mapAlts(d, len(merged.Alts), func(i int) (*relation.Relation, error) {
 		return qEval(altCatalog{d: d, alt: &merged.Alts[i]})
 	})
@@ -439,4 +445,93 @@ func (d *WSD) groupWorldsSpanning(gwComps, qComps []int, gwEval, qEval func(cat 
 		out[gi] = GroupAnswer{Prob: g.prob, Rel: rel}
 	}
 	return out, nil
+}
+
+// materializeGrouped stores `SELECT <closed core> GROUP WORLDS BY (gw)`
+// as relation dst, factorized: every world's dst instance is its group's
+// closed answer, and worlds in the same group share one stored copy. A
+// world's group is a function of the *joint* choice of the components the
+// grouping plan touches, so those components (and, when the main query
+// shares components with the grouping, the union) merge into one — no
+// merge at all when a single component feeds the grouping query — and
+// each merged alternative references its group's answer: per-group
+// contributions, not per-alternative copies.
+func (d *WSD) materializeGrouped(dst string, gw, core *sqlparse.SelectStmt, cl Closure) error {
+	gwPrep, gwEval, err := d.prepared(gw)
+	if err != nil {
+		return err
+	}
+	gwAn, err := d.analyze(gwPrep)
+	if err != nil {
+		return err
+	}
+
+	// A world-independent grouping query puts every world in one group:
+	// the stored relation is the plain closure, certain everywhere.
+	if len(gwAn.Comps) == 0 {
+		rel, err := d.SelectClosure(core, cl)
+		if err != nil {
+			return err
+		}
+		return d.PutCertain(dst, rel.WithSchema(rel.Schema.Unqualify()))
+	}
+
+	qPrep, qEval, err := d.prepared(core)
+	if err != nil {
+		return err
+	}
+	qAn, err := d.analyze(qPrep)
+	if err != nil {
+		return err
+	}
+
+	idx := append([]int(nil), gwAn.Comps...)
+	spanning := intersects(gwAn.Comps, qAn.Comps)
+	if spanning {
+		idx = sortedUniqueInts(append(idx, qAn.Comps...))
+	}
+	merged, err := d.mergeComponents(idx)
+	if err != nil {
+		return err
+	}
+	groups, err := d.groupsFromAlternatives(merged, gwEval)
+	if err != nil {
+		return err
+	}
+
+	var answers []GroupAnswer
+	if spanning {
+		answers, err = d.closeAltGroups(merged, groups, qEval, cl)
+	} else {
+		// The merge may have restructured the component list; re-run the
+		// main query's analysis against the current decomposition. Its
+		// closure is shared across groups (conf scaled by group
+		// probability), computed componentwise whenever the plan allows.
+		qAn, err = d.analyze(qPrep)
+		if err != nil {
+			return err
+		}
+		answers, err = d.closePerGroup(groups, qAn, qEval, cl)
+	}
+	if err != nil {
+		return err
+	}
+
+	if err := d.registerUncertain(dst, answers[0].Rel.Schema.Unqualify()); err != nil {
+		return err
+	}
+	k := key(dst)
+	for gi, g := range groups {
+		ts := answers[gi].Rel.Tuples
+		if len(ts) == 0 {
+			continue
+		}
+		for _, ai := range g.alts {
+			merged.Alts[ai].Tuples[k] = ts
+		}
+	}
+	if len(idx) <= 1 {
+		d.componentwise.Add(1)
+	}
+	return nil
 }

@@ -13,15 +13,23 @@ import (
 func confSchema() *schema.Schema { return schema.New("conf") }
 
 // RepairByKey creates relation dst holding, in each world, one repair of
-// the certain relation src under the key columns: the world-set gains one
-// component per key group with one alternative per candidate tuple —
-// linear representation size for Π(group sizes) worlds.
+// relation src under the key columns.
+//
+// A certain src factorizes directly: the world-set gains one component
+// per key group with one alternative per candidate tuple — linear
+// representation size for Π(group sizes) worlds. An uncertain src (one
+// that varies across worlds) is handled by component splitting
+// (split.go): each feeding component is refined in place, its
+// alternatives spawning their conditional key-group repairs, with merges
+// bounded to components that contribute candidates under a common key —
+// Σ-alternatives work and MergeCount unchanged when the feeding
+// components' keys do not cross.
 //
 // weight names a positive numeric column used for in-group probabilities
 // (w(t)/Σ_group w, Example 2.4); empty means uniform. Weights require a
 // weighted WSD.
 func (d *WSD) RepairByKey(src, dst string, keyCols []string, weight string) error {
-	rel, sch, err := d.certainRelation(src)
+	sch, err := d.Schema(src)
 	if err != nil {
 		return err
 	}
@@ -39,57 +47,57 @@ func (d *WSD) RepairByKey(src, dst string, keyCols []string, weight string) erro
 			return err
 		}
 	}
+	if !d.isCertain(src) {
+		if len(d.involvedComponents([]string{src})) == 0 {
+			// Registered with neither certain tuples nor contributions: the
+			// instance is empty in every world and so is its only repair
+			// (PutCertain reports a dst collision).
+			return d.PutCertain(dst, relation.New(sch))
+		}
+		return d.repairUncertain(src, dst, keyIdx, weightIdx)
+	}
+	rel := d.certain[key(src)]
+	k := key(dst)
+	order, groups := rel.GroupBy(keyIdx)
+	// Build every key group's component before touching the decomposition:
+	// a bad weight in a later group must not leave earlier groups' orphan
+	// components feeding a half-created relation.
+	pending := make([][]Alternative, 0, len(order))
+	for _, gk := range order {
+		tuples := groups[gk]
+		probs, err := repairGroupProbs(tuples, weightIdx, d.Weighted)
+		if err != nil {
+			return err
+		}
+		alts := make([]Alternative, len(tuples))
+		for i, t := range tuples {
+			alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{k: {t}}}
+			if d.Weighted {
+				alts[i].Prob = probs[i]
+			}
+		}
+		pending = append(pending, alts)
+	}
 	if err := d.registerUncertain(dst, sch); err != nil {
 		return err
 	}
-	k := key(dst)
-	order, groups := rel.GroupBy(keyIdx)
-	for _, gk := range order {
-		tuples := groups[gk]
-		alts := make([]Alternative, len(tuples))
-		var probs []float64
-		if d.Weighted {
-			probs = make([]float64, len(tuples))
-			if weightIdx >= 0 {
-				sum := 0.0
-				for _, t := range tuples {
-					w, err := positiveWeight(t[weightIdx])
-					if err != nil {
-						d.unregister(dst)
-						return err
-					}
-					sum += w
-				}
-				for i, t := range tuples {
-					w, _ := positiveWeight(t[weightIdx])
-					probs[i] = w / sum
-				}
-			} else {
-				for i := range tuples {
-					probs[i] = 1 / float64(len(tuples))
-				}
-			}
-		}
-		for i, t := range tuples {
-			alt := Alternative{Tuples: map[string][]tuple.Tuple{k: {t}}}
-			if d.Weighted {
-				alt.Prob = probs[i]
-			}
-			alts[i] = alt
-		}
-		if _, err := d.addComponent(alts); err != nil {
-			d.unregister(dst)
-			return err
-		}
+	for _, alts := range pending {
+		d.comps = append(d.comps, &Component{ID: d.nextID, Alts: alts})
+		d.nextID++
 	}
 	return nil
 }
 
 // ChoiceOf creates relation dst holding, in each world, one partition of
-// the certain relation src by the given attribute columns: a single new
-// component with one alternative per distinct value (Examples 2.6–2.7).
+// relation src by the given attribute columns: a single new component
+// with one alternative per distinct value (Examples 2.6–2.7). An
+// uncertain src is handled by component splitting (split.go): the
+// partition choice couples everything feeding the source, so the feeding
+// components merge into one (no merge for at most one feeder), which is
+// refined — each alternative spawning one derived alternative per
+// partition of its instance.
 func (d *WSD) ChoiceOf(src, dst string, attrs []string, weight string) error {
-	rel, sch, err := d.certainRelation(src)
+	sch, err := d.Schema(src)
 	if err != nil {
 		return err
 	}
@@ -107,6 +115,13 @@ func (d *WSD) ChoiceOf(src, dst string, attrs []string, weight string) error {
 			return err
 		}
 	}
+	if !d.isCertain(src) {
+		if len(d.involvedComponents([]string{src})) == 0 {
+			return fmt.Errorf("choice of over an empty relation produces no worlds: %w", ErrEmpty)
+		}
+		return d.choiceUncertain(src, dst, attrIdx, weightIdx)
+	}
+	rel := d.certain[key(src)]
 	order, groups := rel.GroupBy(attrIdx)
 	if len(order) == 0 {
 		return fmt.Errorf("choice of over an empty relation produces no worlds: %w", ErrEmpty)
@@ -153,7 +168,7 @@ func (d *WSD) certainRelation(name string) (*relation.Relation, *schema.Schema, 
 	rel, ok := d.certain[k]
 	if !ok {
 		if _, known := d.schemas[k]; known {
-			return nil, nil, fmt.Errorf("%w: %s varies across worlds (repair/choice of uncertain relations requires merging; expand instead)", ErrNotCertain, name)
+			return nil, nil, fmt.Errorf("%w: %s varies across worlds", ErrNotCertain, name)
 		}
 		return nil, nil, fmt.Errorf("%w: %s", ErrUnknown, name)
 	}

@@ -345,3 +345,34 @@ func (d *WSD) CreateTableAs(dst string, core *sqlparse.SelectStmt) error {
 	}
 	return d.materializeMerged(dst, an.Comps, eval)
 }
+
+// CreateTableAsClosure materializes `SELECT <closure core> [GROUP WORLDS
+// BY (gw)]` as relation dst — the statement form the naive engine runs as
+// CREATE TABLE AS over a closed (and possibly world-grouped) query.
+//
+// Without grouping the closed answer is world-independent by definition,
+// so dst becomes a certain relation holding the closure (computed with
+// the usual routing: componentwise for decomposable plans, bounded merge
+// otherwise). With GROUP WORLDS BY every world's dst instance is its
+// group's closed answer; the result is stored factorized — one copy per
+// group, referenced by each alternative of the (possibly merged) grouping
+// component (see materializeGrouped).
+func (d *WSD) CreateTableAsClosure(dst string, core *sqlparse.SelectStmt, cl Closure, gw *sqlparse.SelectStmt) error {
+	if _, ok := d.schemas[key(dst)]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, dst)
+	}
+	if cl == ClosureConf && !d.Weighted {
+		return ErrConfUnweighted
+	}
+	if gw != nil {
+		if cl == ClosureNone {
+			return fmt.Errorf("group worlds by requires possible, certain or conf")
+		}
+		return d.materializeGrouped(dst, gw, core, cl)
+	}
+	rel, err := d.SelectClosure(core, cl)
+	if err != nil {
+		return err
+	}
+	return d.PutCertain(dst, rel.WithSchema(rel.Schema.Unqualify()))
+}

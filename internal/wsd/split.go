@@ -1,0 +1,400 @@
+package wsd
+
+// Component splitting: REPAIR BY KEY and CHOICE OF over *uncertain*
+// sources, without enumerating worlds.
+//
+// Repairing a certain relation creates fresh independent components (one
+// per key group, ops.go). When the source itself varies across worlds its
+// instance in world (a1,…,ak) is the certain part plus the selected
+// alternatives' contributions, so a key group's candidate set — and hence
+// the repair's choice within the group — is *conditional* on the
+// components feeding that key. Components are therefore refinable: a
+// component feeding the source is replaced in place by a refined component
+// whose alternatives expand each original alternative a into the repairs
+// of a's conditional key groups (certain candidates under a's keys plus
+// a's contributions), with probability P(a)·P(repair | a) and a's
+// contributions to every other relation carried along. The refined
+// component occupies the original's slot, so component indexes — and with
+// them the planner's component-touch analysis — stay valid, and by
+// construction
+//
+//	Σ_r P(a)·P(r|a) = P(a),
+//
+// the refinement preserves the represented world-set of every existing
+// relation exactly while extending each world with its repairs of the new
+// relation. The work is Σ-alternatives (each alternative enumerates only
+// its own key groups' products, all bounded by MergeLimit), and no
+// component merge happens unless two components contribute candidates
+// under a common key — exactly the coupling case, certified by
+// plan.AnalyzeSplit, in which the crossing components (and only those)
+// merge first. Key groups fed by the certain part alone spawn ordinary
+// independent components (singleton groups go straight to the result's
+// certain part), as in the certain-source repair.
+//
+// CHOICE OF picks one partition of the whole instance, a single choice
+// coupling everything that feeds the source: all feeding components merge
+// into one (no merge when the source is fed by at most one), which is then
+// refined — each alternative spawning one derived alternative per
+// partition of its instance.
+//
+// This makes the decomposition closed under its own repair/choice
+// operations (chained repairs, repairs of choices, …) in the spirit of
+// making compact representations closed under the query language
+// (Grahne's conditional-tables-in-practice line; the paper's Section 2
+// statements compose freely on the naive engine).
+
+import (
+	"fmt"
+
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/tuple"
+)
+
+// splitPiece is one derived alternative of a refinement: the tuples the
+// new relation receives and the conditional probability of the piece
+// given the parent alternative.
+type splitPiece struct {
+	tuples []tuple.Tuple
+	prob   float64
+}
+
+// repairUncertain implements REPAIR BY KEY over a source fed by
+// components (possibly on top of a certain part). See the package comment
+// above for the construction. The decomposition is mutated only by
+// world-set-preserving component merges until every input is validated;
+// the refinement and the new components apply atomically afterwards.
+func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) error {
+	k := key(src)
+	sch := d.schemas[k]
+	if _, ok := d.schemas[key(dst)]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, dst)
+	}
+
+	// Merge the components whose candidate keys cross — and only those.
+	// A merge changes component indexes, so re-derive the analysis until
+	// it certifies the no-crossing state; the final round's key
+	// projections are reused below.
+	var comps []int
+	var touches []plan.KeyTouch
+	for {
+		comps = d.involvedComponents([]string{src})
+		touches = touches[:0]
+		for _, ci := range comps {
+			seen := map[string]struct{}{}
+			var keys []string
+			for _, a := range d.comps[ci].Alts {
+				for _, t := range a.Tuples[k] {
+					kv := t.KeyOn(keyIdx)
+					if _, dup := seen[kv]; !dup {
+						seen[kv] = struct{}{}
+						keys = append(keys, kv)
+					}
+				}
+			}
+			touches = append(touches, plan.KeyTouch{Comp: ci, Keys: keys})
+		}
+		an := plan.AnalyzeSplit(touches)
+		if an.NoMerge {
+			break
+		}
+		if _, err := d.mergeComponents(an.MergeGroups[0]); err != nil {
+			return err
+		}
+	}
+
+	// ownedBy[i] is the key set component comps[i] feeds; owned their
+	// union — both straight from the certified analysis round.
+	owned := map[string]bool{} // key value → fed by some component
+	ownedBy := make([]map[string]bool, len(comps))
+	for i, tch := range touches {
+		set := make(map[string]bool, len(tch.Keys))
+		for _, kv := range tch.Keys {
+			set[kv] = true
+			owned[kv] = true
+		}
+		ownedBy[i] = set
+	}
+	var certTuples []tuple.Tuple
+	var certKeys []string
+	if cert, ok := d.certain[k]; ok {
+		certTuples = cert.Tuples
+		certKeys = make([]string, len(certTuples))
+		for i, t := range certTuples {
+			certKeys[i] = t.KeyOn(keyIdx)
+		}
+	}
+
+	// Key groups fed by the certain part alone: independent choices, like
+	// repairing a certain relation. A singleton group's candidate is in
+	// every repair — it goes to dst's certain part; multi-candidate groups
+	// become fresh components (appended after the refined ones).
+	dk := key(dst)
+	certRel := relation.New(sch)
+	certRel.Tuples = certTuples
+	order, groups := certRel.GroupBy(keyIdx)
+	var dstCert []tuple.Tuple
+	var appended [][]Alternative
+	for _, gk := range order {
+		if owned[gk] {
+			continue
+		}
+		tuples := groups[gk]
+		if len(tuples) == 1 {
+			dstCert = append(dstCert, tuples[0])
+			continue
+		}
+		probs, err := repairGroupProbs(tuples, weightIdx, d.Weighted)
+		if err != nil {
+			return err
+		}
+		alts := make([]Alternative, len(tuples))
+		for i, t := range tuples {
+			alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{dk: {t}}}
+			if d.Weighted {
+				alts[i].Prob = probs[i]
+			}
+		}
+		appended = append(appended, alts)
+	}
+
+	// Refine each feeding component in place: every alternative spawns the
+	// repairs of its conditional key groups — the certain candidates under
+	// the component's keys plus the alternative's own contributions, in
+	// instance order (certain prefix first).
+	refined := make(map[int][]Alternative, len(comps))
+	for i, ci := range comps {
+		var certSub []tuple.Tuple
+		for j, t := range certTuples {
+			if ownedBy[i][certKeys[j]] {
+				certSub = append(certSub, t)
+			}
+		}
+		var alts []Alternative
+		for _, a := range d.comps[ci].Alts {
+			if err := d.interrupted(); err != nil {
+				return err
+			}
+			inst := relation.New(sch)
+			inst.Tuples = append(append([]tuple.Tuple{}, certSub...), a.Tuples[k]...)
+			pieces, err := enumRepairs(inst, keyIdx, weightIdx, d.Weighted, d.MergeLimit-len(alts))
+			if err != nil {
+				return fmt.Errorf("repair of %s: %w", src, err)
+			}
+			for _, p := range pieces {
+				na := Alternative{Prob: a.Prob, Tuples: shareTuplesMap(a.Tuples)}
+				if d.Weighted {
+					na.Prob = a.Prob * p.prob
+				}
+				if len(p.tuples) > 0 {
+					na.Tuples[dk] = p.tuples
+				}
+				alts = append(alts, na)
+			}
+		}
+		refined[ci] = alts
+	}
+
+	// Apply atomically: nothing above mutated the decomposition beyond
+	// world-set-preserving merges.
+	if err := d.registerUncertain(dst, sch); err != nil {
+		return err
+	}
+	if len(dstCert) > 0 {
+		cert := relation.New(d.schemas[dk])
+		cert.Tuples = dstCert
+		d.certain[dk] = cert
+	}
+	for _, ci := range comps {
+		d.comps[ci] = &Component{ID: d.nextID, Alts: refined[ci]}
+		d.nextID++
+	}
+	for _, alts := range appended {
+		d.comps = append(d.comps, &Component{ID: d.nextID, Alts: alts})
+		d.nextID++
+	}
+	return nil
+}
+
+// choiceUncertain implements CHOICE OF over a source fed by components:
+// the choice picks one partition of the whole per-world instance, a
+// single decision coupling every feeding component, so those merge into
+// one (no merge for a single feeder) and the merged component is refined
+// — each alternative spawning one derived alternative per partition of
+// its instance (certain part included).
+func (d *WSD) choiceUncertain(src, dst string, attrIdx []int, weightIdx int) error {
+	k := key(src)
+	sch := d.schemas[k]
+	if _, ok := d.schemas[key(dst)]; ok {
+		return fmt.Errorf("%w: %s", ErrExists, dst)
+	}
+	if _, err := d.mergeComponents(d.involvedComponents([]string{src})); err != nil {
+		return err
+	}
+	comps := d.involvedComponents([]string{src})
+	ci := comps[0]
+	var certTuples []tuple.Tuple
+	if cert, ok := d.certain[k]; ok {
+		certTuples = cert.Tuples
+	}
+	dk := key(dst)
+	var alts []Alternative
+	for _, a := range d.comps[ci].Alts {
+		if err := d.interrupted(); err != nil {
+			return err
+		}
+		inst := relation.New(sch)
+		inst.Tuples = append(append([]tuple.Tuple{}, certTuples...), a.Tuples[k]...)
+		pieces, err := enumChoices(inst, attrIdx, weightIdx, d.Weighted)
+		if err != nil {
+			return fmt.Errorf("choice over %s: %w", src, err)
+		}
+		if len(alts)+len(pieces) > d.MergeLimit {
+			return fmt.Errorf("%w: splitting for choice over %s exceeds %d alternatives", ErrMergeTooBig, src, d.MergeLimit)
+		}
+		for _, p := range pieces {
+			na := Alternative{Prob: a.Prob, Tuples: shareTuplesMap(a.Tuples)}
+			if d.Weighted {
+				na.Prob = a.Prob * p.prob
+			}
+			na.Tuples[dk] = p.tuples
+			alts = append(alts, na)
+		}
+	}
+	if err := d.registerUncertain(dst, sch); err != nil {
+		return err
+	}
+	d.comps[ci] = &Component{ID: d.nextID, Alts: alts}
+	d.nextID++
+	return nil
+}
+
+// shareTuplesMap copies an alternative's contribution map, sharing the
+// tuple slices: refinement never mutates contributions in place (and
+// neither does any other engine pass — rewrites replace slices), so the
+// derived alternatives of one parent can share its storage.
+func shareTuplesMap(m map[string][]tuple.Tuple) map[string][]tuple.Tuple {
+	out := make(map[string][]tuple.Tuple, len(m)+1)
+	for name, ts := range m {
+		out[name] = ts
+	}
+	return out
+}
+
+// repairGroupProbs returns the in-group choice probabilities of one key
+// group: weight-proportional with a weight column, else uniform. Nil in
+// unweighted mode.
+func repairGroupProbs(tuples []tuple.Tuple, weightIdx int, weighted bool) ([]float64, error) {
+	if !weighted {
+		return nil, nil
+	}
+	probs := make([]float64, len(tuples))
+	if weightIdx < 0 {
+		for i := range tuples {
+			probs[i] = 1 / float64(len(tuples))
+		}
+		return probs, nil
+	}
+	sum := 0.0
+	for _, t := range tuples {
+		w, err := positiveWeight(t[weightIdx])
+		if err != nil {
+			return nil, err
+		}
+		sum += w
+	}
+	for i, t := range tuples {
+		w, _ := positiveWeight(t[weightIdx])
+		probs[i] = w / sum
+	}
+	return probs, nil
+}
+
+// enumRepairs enumerates the repairs of one instance under the key
+// columns: every way of choosing exactly one tuple per key group, groups
+// in first-appearance order with the last group varying fastest — the
+// naive engine's repair odometer (core's world split). limit bounds the
+// number of repairs.
+func enumRepairs(rel *relation.Relation, keyIdx []int, weightIdx int, weighted bool, limit int) ([]splitPiece, error) {
+	order, groups := rel.GroupBy(keyIdx)
+	if len(order) == 0 {
+		// The only repair of an empty instance is the empty relation.
+		return []splitPiece{{prob: oneIfWeighted(weighted)}}, nil
+	}
+	total := 1
+	groupProbs := make([][]float64, len(order))
+	for gi, gk := range order {
+		tuples := groups[gk]
+		if limit < 1 || total > limit/len(tuples) {
+			return nil, fmt.Errorf("%w: key groups multiply beyond %d repairs per component", ErrMergeTooBig, limit)
+		}
+		total *= len(tuples)
+		probs, err := repairGroupProbs(tuples, weightIdx, weighted)
+		if err != nil {
+			return nil, err
+		}
+		groupProbs[gi] = probs
+	}
+	choice := make([]int, len(order))
+	out := make([]splitPiece, 0, total)
+	for {
+		p := splitPiece{prob: oneIfWeighted(weighted), tuples: make([]tuple.Tuple, 0, len(order))}
+		for gi, gk := range order {
+			p.tuples = append(p.tuples, groups[gk][choice[gi]])
+			if weighted {
+				p.prob *= groupProbs[gi][choice[gi]]
+			}
+		}
+		out = append(out, p)
+		i := len(choice) - 1
+		for ; i >= 0; i-- {
+			choice[i]++
+			if choice[i] < len(groups[order[i]]) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i < 0 {
+			return out, nil
+		}
+	}
+}
+
+// enumChoices partitions one instance by the attribute columns: one piece
+// per distinct value combination in first-appearance order, weighted by
+// the partition's weight share (or uniformly), as in the naive engine's
+// choice split.
+func enumChoices(rel *relation.Relation, attrIdx []int, weightIdx int, weighted bool) ([]splitPiece, error) {
+	order, groups := rel.GroupBy(attrIdx)
+	if len(order) == 0 {
+		return nil, fmt.Errorf("choice of over an empty relation produces no worlds: %w", ErrEmpty)
+	}
+	out := make([]splitPiece, 0, len(order))
+	var weights []float64
+	totalW := 0.0
+	if weighted && weightIdx >= 0 {
+		weights = make([]float64, len(order))
+		for i, gk := range order {
+			for _, t := range groups[gk] {
+				w, err := positiveWeight(t[weightIdx])
+				if err != nil {
+					return nil, err
+				}
+				weights[i] += w
+			}
+			totalW += weights[i]
+		}
+	}
+	for i, gk := range order {
+		p := splitPiece{tuples: groups[gk]}
+		if weighted {
+			if weightIdx >= 0 {
+				p.prob = weights[i] / totalW
+			} else {
+				p.prob = 1 / float64(len(order))
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,396 @@
+package wsd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/core"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/sqlparse"
+)
+
+// mustSelect parses a plain SQL SELECT.
+func mustSelect(t *testing.T, sql string) *sqlparse.SelectStmt {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return stmt.(*sqlparse.SelectStmt)
+}
+
+// TestRepairOfChoiceSplitsComponent: a choice component contributes
+// several tuples per alternative, so repairing it by key spawns real
+// conditional key-group choices inside the refined component — with no
+// merge and the world multiset identical to the naive engine's.
+func TestRepairOfChoiceSplitsComponent(t *testing.T) {
+	base := relation.New(schema.New("K", "V", "W"))
+	// Partition attribute K: k=0 → {(0,0),(0,1)}, k=1 → {(1,0),(1,1),(1,2)}.
+	base.MustAppend(row(0, 0, 1))
+	base.MustAppend(row(0, 1, 2))
+	base.MustAppend(row(1, 0, 1))
+	base.MustAppend(row(1, 1, 1))
+	base.MustAppend(row(1, 2, 2))
+
+	s := core.NewSession(true)
+	if err := s.Register("C", base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table P as select K, V, W from C choice of K"); err != nil {
+		t.Fatal(err)
+	}
+	// Repair P by V: in the k=0 world groups V=0,V=1 are singletons; in
+	// the k=1 world too — so key by W instead to get a real choice:
+	// k=0 world: W groups {1},{2}; k=1 world: W=1 has two candidates.
+	if _, err := s.Exec("create table Q as select K, V, W from P repair by key W"); err != nil {
+		t.Fatal(err)
+	}
+
+	d := New(true)
+	if err := d.PutCertain("C", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ChoiceOf("C", "P", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("P", "Q", []string{"W"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if d.MergeCount() != 0 {
+		t.Errorf("repair of a single choice component merged %d times", d.MergeCount())
+	}
+	if d.ComponentCount() != 1 {
+		t.Errorf("components = %d, want 1 refined in place", d.ComponentCount())
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"P", "Q"} {
+		matchViews(t, naiveViews(t, s, rel), wsdViews(t, d, rel))
+	}
+}
+
+// TestChainedRepairRefinesInPlace: repairing a repaired relation by a
+// refining key splits each key-group component in place — zero merges,
+// component count preserved, equivalence via expansion.
+func TestChainedRepairRefinesInPlace(t *testing.T) {
+	base := relation.New(schema.New("K", "V", "W"))
+	for k := 0; k < 3; k++ {
+		base.MustAppend(row(k, 0, 1))
+		base.MustAppend(row(k, 1, 3))
+	}
+
+	s := core.NewSession(true)
+	if err := s.Register("R", base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table I as select K, V, W from R repair by key K weight W"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table J as select K, V, W from I repair by key K"); err != nil {
+		t.Fatal(err)
+	}
+
+	d := New(true)
+	if err := d.PutCertain("R", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, "W"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("I", "J", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if d.MergeCount() != 0 {
+		t.Errorf("chained repair merged %d times", d.MergeCount())
+	}
+	if d.ComponentCount() != 3 {
+		t.Errorf("components = %d, want 3 refined in place", d.ComponentCount())
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"I", "J"} {
+		matchViews(t, naiveViews(t, s, rel), wsdViews(t, d, rel))
+	}
+}
+
+// TestRepairUncertainCrossKeyMerges: two components contributing
+// candidates under a common key must merge — and only those; a third
+// independent component stays untouched.
+func TestRepairUncertainCrossKeyMerges(t *testing.T) {
+	base := relation.New(schema.New("K", "V", "W"))
+	// Groups K=0 and K=1 produce components whose V values collide (both
+	// contribute V=7 tuples); group K=2 uses disjoint V values.
+	base.MustAppend(row(0, 7, 1))
+	base.MustAppend(row(0, 8, 1))
+	base.MustAppend(row(1, 7, 1))
+	base.MustAppend(row(1, 9, 1))
+	base.MustAppend(row(2, 4, 1))
+	base.MustAppend(row(2, 5, 1))
+
+	s := core.NewSession(true)
+	if err := s.Register("R", base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table I as select K, V, W from R repair by key K"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table J as select K, V, W from I repair by key V"); err != nil {
+		t.Fatal(err)
+	}
+
+	d := New(true)
+	if err := d.PutCertain("R", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("I", "J", []string{"V"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if d.MergeCount() != 1 {
+		t.Errorf("cross-key repair merged %d times, want exactly 1", d.MergeCount())
+	}
+	if d.ComponentCount() != 2 {
+		t.Errorf("components = %d, want 2 (merged pair + untouched singleton)", d.ComponentCount())
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"I", "J"} {
+		matchViews(t, naiveViews(t, s, rel), wsdViews(t, d, rel))
+	}
+}
+
+// TestRepairUncertainWithCertainPart: the source mixes a certain part
+// with component contributions; certain-only singleton groups land in the
+// result's certain part, multi-candidate certain-only groups become fresh
+// components, and keys shared between the certain part and a component
+// stay conditional choices of that component.
+func TestRepairUncertainWithCertainPart(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		base := randomKeyedRelation(r, 1+r.Intn(2), 2)
+
+		s := core.NewSession(true)
+		d := New(true)
+		if err := s.Register("R", base); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.PutCertain("R", base); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Exec("create table I as select K, V, W from R repair by key K"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+			t.Fatal(err)
+		}
+		// Mix certain tuples into I's uncertain world: INSERT cannot target
+		// an uncertain relation, so build the mix as a CTAS union instead.
+		mix := "create table M as select K, V, W from I union select K, V, W from R where V >= 1"
+		if _, err := s.Exec(mix); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CreateTableAs("M", mustSelect(t, "select K, V, W from I union select K, V, W from R where V >= 1")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Exec("create table J as select K, V, W from M repair by key V"); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.RepairByKey("M", "J", []string{"V"}, ""); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CheckInvariant(); err != nil {
+			t.Fatal(err)
+		}
+		for _, rel := range []string{"I", "M", "J"} {
+			matchViews(t, naiveViews(t, s, rel), wsdViews(t, d, rel))
+		}
+	}
+}
+
+// TestChoiceOfUncertainSource: choice over a repaired relation merges the
+// feeding components into one (a single global partition choice) and then
+// splits per alternative; a single-component source needs no merge.
+func TestChoiceOfUncertainSource(t *testing.T) {
+	base := relation.New(schema.New("K", "V", "W"))
+	base.MustAppend(row(0, 0, 1))
+	base.MustAppend(row(0, 1, 2))
+	base.MustAppend(row(1, 0, 1))
+	base.MustAppend(row(1, 1, 1))
+
+	s := core.NewSession(true)
+	if err := s.Register("R", base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table I as select K, V, W from R repair by key K weight W"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("create table P as select K, V, W from I choice of V"); err != nil {
+		t.Fatal(err)
+	}
+
+	d := New(true)
+	if err := d.PutCertain("R", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, "W"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ChoiceOf("I", "P", []string{"V"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if d.MergeCount() != 1 {
+		t.Errorf("choice over two components merged %d times, want 1", d.MergeCount())
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"I", "P"} {
+		matchViews(t, naiveViews(t, s, rel), wsdViews(t, d, rel))
+	}
+
+	// Single-component source: no merge at all.
+	d2 := New(true)
+	s2 := core.NewSession(true)
+	if err := d2.PutCertain("C", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Register("C", base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("create table P as select K, V, W from C choice of K"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("create table Q as select K, V, W from P choice of V"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.ChoiceOf("C", "P", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.ChoiceOf("P", "Q", []string{"V"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if d2.MergeCount() != 0 {
+		t.Errorf("chained choice merged %d times", d2.MergeCount())
+	}
+	for _, rel := range []string{"P", "Q"} {
+		matchViews(t, naiveViews(t, s2, rel), wsdViews(t, d2, rel))
+	}
+}
+
+// TestRepairUncertainBeyondExpansion: a chained repair over 2^18 worlds —
+// far beyond what any enumeration or merge could hold — splits in place
+// with zero merges and answers closure queries componentwise.
+func TestRepairUncertainBeyondExpansion(t *testing.T) {
+	const k = 18
+	d := New(true)
+	base := relation.New(schema.New("K", "V", "W"))
+	for i := 0; i < k; i++ {
+		base.MustAppend(row(i, 0, 1))
+		base.MustAppend(row(i, 1, 1))
+	}
+	if err := d.PutCertain("R", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Refining chained repair: key (K, V) keeps every group inside its
+	// component.
+	if err := d.RepairByKey("I", "J", []string{"K", "V"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if d.MergeCount() != 0 {
+		t.Errorf("chained repair over 2^%d worlds merged %d times", k, d.MergeCount())
+	}
+	if want, got := "262144", d.WorldCount().String(); got != want {
+		t.Errorf("world count = %s, want %s", got, want)
+	}
+	rel, err := d.SelectClosure(mustSelect(t, "select K, V from J"), ClosureConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2*k {
+		t.Fatalf("conf rows = %d, want %d", rel.Len(), 2*k)
+	}
+	for _, tp := range rel.Tuples {
+		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-0.5) > 1e-9 {
+			t.Fatalf("conf = %v, want 0.5", c)
+		}
+	}
+	if d.MergeCount() != 0 {
+		t.Errorf("closure over the chained repair merged %d times", d.MergeCount())
+	}
+}
+
+// TestRepairUncertainMergeLimit: a conditional split whose key groups
+// multiply beyond MergeLimit is refused with ErrMergeTooBig, leaving the
+// new relation unregistered.
+func TestRepairUncertainMergeLimit(t *testing.T) {
+	d := New(true)
+	d.MergeLimit = 8
+	base := relation.New(schema.New("K", "V", "W"))
+	// One choice alternative contributes 4 key groups of 2 candidates:
+	// 2^4 = 16 repairs > 8.
+	for v := 0; v < 4; v++ {
+		base.MustAppend(row(0, v, 1))
+		base.MustAppend(row(0, v, 2))
+	}
+	base.MustAppend(row(1, 9, 1))
+	if err := d.PutCertain("C", base); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ChoiceOf("C", "P", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("P", "Q", []string{"V"}, ""); !errors.Is(err, ErrMergeTooBig) {
+		t.Fatalf("oversized split = %v, want ErrMergeTooBig", err)
+	}
+	if _, err := d.Schema("Q"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("failed split left Q registered: %v", err)
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepairBadWeightLeavesNoOrphans: a weight error in a later key
+// group must leave the decomposition untouched — no orphan components
+// from earlier groups — so a corrected retry gives the exact world-set.
+func TestRepairBadWeightLeavesNoOrphans(t *testing.T) {
+	d := New(true)
+	rel := relation.New(schema.New("K", "V", "W"))
+	rel.MustAppend(row("a1", 1, 1))
+	rel.MustAppend(row("a1", 2, 2))
+	rel.MustAppend(row("a2", 1, -5)) // bad weight in the second group
+	rel.MustAppend(row("a2", 2, 1))
+	if err := d.PutCertain("R", rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"K"}, "W"); err == nil {
+		t.Fatal("negative weight must fail")
+	}
+	if d.ComponentCount() != 0 {
+		t.Fatalf("failed repair left %d orphan component(s)", d.ComponentCount())
+	}
+	if _, err := d.Schema("I"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("failed repair left I registered: %v", err)
+	}
+	// Retry without weights: exactly 2x2 worlds.
+	if err := d.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.WorldCount().String(); got != "4" {
+		t.Errorf("world count after retry = %s, want 4", got)
+	}
+	if err := d.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,7 +14,14 @@
 //
 // repair-by-key on a certain relation produces one component per key group
 // (linear size, exponentially many worlds); choice-of produces a single
-// component. Confidence, possible and certain are computed exactly without
+// component. Both also accept *uncertain* sources (split.go): components
+// are first-class refinable objects, so a repair of a repaired or chosen
+// relation splits each feeding component in place — every alternative
+// spawns its conditional key-group repairs, Σ-alternatives work, and
+// components merge only when two of them contribute candidates under a
+// common key (certified by the planner's split analysis). The
+// decomposition is thereby closed under its own repair/choice statements.
+// Confidence, possible and certain are computed exactly without
 // enumeration using component independence:
 //
 //	P(t ∈ R) = 1 − Π_c (1 − p_c(t))
@@ -41,8 +48,12 @@
 // components, DML expressions over uncertain relations, grouped queries
 // sharing components with their grouping subquery) first merge exactly
 // the involved components — a partial expansion bounded by the product of
-// the involved component sizes, never the full world count. MergeCount
-// and ComponentwiseCount make the routing observable.
+// the involved component sizes, never the full world count. CREATE TABLE
+// AS over closed queries stores the closure as a certain relation; over
+// grouped queries it stores one answer per world group, shared by every
+// alternative of the grouping component (factorized storage, see
+// CreateTableAsClosure). MergeCount and ComponentwiseCount make the
+// routing observable.
 package wsd
 
 import (

@@ -299,9 +299,14 @@ func TestRepairErrors(t *testing.T) {
 	if err := d.RepairByKey("R", "I", []string{"A"}, ""); err != nil {
 		t.Fatal(err)
 	}
-	// I is uncertain: repairing it requires expansion.
-	if err := d.RepairByKey("I", "J", []string{"A"}, ""); !errors.Is(err, ErrNotCertain) {
+	// I is uncertain: repairing it splits components instead of refusing
+	// (each key group has one candidate per world, so the repair is the
+	// identity and the world count is preserved).
+	before := d.WorldCount().String()
+	if err := d.RepairByKey("I", "J", []string{"A"}, ""); err != nil {
 		t.Errorf("repair of uncertain relation = %v", err)
+	} else if got := d.WorldCount().String(); got != before {
+		t.Errorf("identity chained repair changed world count: %s -> %s", before, got)
 	}
 	if err := d.PutCertain("I", figure1R()); !errors.Is(err, ErrExists) {
 		t.Errorf("PutCertain collision = %v", err)

@@ -6,6 +6,8 @@
 #   scripts/bench.sh                 # full run, writes BENCH_<date>.json
 #   BENCHTIME=1x scripts/bench.sh    # smoke run (one iteration per bench)
 #   OUT=/dev/stdout scripts/bench.sh # print instead of committing a file
+#   BENCHFILTER=Repair scripts/bench.sh  # run only benchmarks matching the
+#                                        # regex (go test -bench syntax)
 #
 # The JSON records the environment (go version, GOMAXPROCS, benchtime)
 # next to every benchmark's ns/op, B/op and allocs/op, because absolute
@@ -16,6 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-1s}"
+BENCHFILTER="${BENCHFILTER:-.}"
 PKGS="${PKGS:-./...}"
 DATE="$(date -u +%Y-%m-%d)"
 OUT="${OUT:-BENCH_${DATE}.json}"
@@ -23,7 +26,7 @@ OUT="${OUT:-BENCH_${DATE}.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -bench . -benchmem -benchtime "$BENCHTIME" -run '^$' $PKGS | tee "$RAW" >&2
+go test -bench "$BENCHFILTER" -benchmem -benchtime "$BENCHTIME" -run '^$' $PKGS | tee "$RAW" >&2
 
 awk -v date="$DATE" -v goversion="$(go version)" -v benchtime="$BENCHTIME" -v maxprocs="$(nproc 2>/dev/null || echo 0)" '
 BEGIN {
