@@ -344,6 +344,14 @@ func (db *CompactDB) AlternativeCount() int { return db.w.AlternativeCount() }
 // SetMergeLimit bounds partial expansions (component merges).
 func (db *CompactDB) SetMergeLimit(n int) { db.w.MergeLimit = n }
 
+// SetApproxConf configures the APPROX CONF escape hatch: the number of
+// Monte-Carlo samples per estimate (0 falls back to the package default)
+// and the sampling seed. Estimates are deterministic for a fixed pair.
+func (db *CompactDB) SetApproxConf(samples int, seed int64) {
+	db.w.ApproxSamples = samples
+	db.w.ApproxSeed = seed
+}
+
 // MergeCount returns the number of component merges (partial expansions
 // multiplying ≥ 2 components together) performed so far — the
 // observability hook for "this query ran with no expansion at all".

@@ -348,3 +348,70 @@ func TestCompactAssertDerivesTouching(t *testing.T) {
 		t.Fatalf("conf after assert = %v, %v", c, err)
 	}
 }
+
+// TestCompactApproxConf: APPROX CONF on the public compact surface. While
+// the exact routing fits it is byte-identical to CONF; when the forced
+// merge path exceeds the merge limit (where CONF errors), the seeded
+// Monte-Carlo estimator answers instead, deterministically per seed.
+func TestCompactApproxConf(t *testing.T) {
+	cdb := OpenCompact()
+	if err := cdb.Register("R", []string{"K", "V"}, [][]any{
+		{"k1", 1}, {"k1", 2}, {"k2", 1}, {"k2", 3}, {"k3", 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdb.RepairByKey("R", "I", []string{"K"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	exact, err := cdb.Select("select conf, K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := cdb.Select("select approx conf, K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Len() != approx.Len() {
+		t.Fatalf("rows: exact %d, approx %d", exact.Len(), approx.Len())
+	}
+	for i := range exact.Tuples {
+		if exact.Tuples[i].Key() != approx.Tuples[i].Key() {
+			t.Errorf("row %d: approx %v, exact %v", i, approx.Tuples[i], exact.Tuples[i])
+		}
+	}
+
+	// Force the classic merge path past its limit: plain CONF refuses,
+	// APPROX CONF estimates.
+	cdb.SetComponentwise(false)
+	cdb.SetMergeLimit(2)
+	if _, err := cdb.Select("select conf, K, V from I"); err == nil {
+		t.Fatal("conf over the merge limit must fail")
+	}
+	cdb.SetApproxConf(4000, 1)
+	est, err := cdb.Select("select approx conf, K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Len() != exact.Len() {
+		t.Fatalf("estimated rows = %d, want %d", est.Len(), exact.Len())
+	}
+	for _, tp := range est.Tuples {
+		want := 0.5
+		if tp[0].String() == "k3" {
+			want = 1
+		}
+		if got := tp[len(tp)-1].AsFloat(); math.Abs(got-want) > 0.05 {
+			t.Errorf("approx conf(%v) = %v, want %v ± 0.05", tp, got, want)
+		}
+	}
+	// Same seed, same estimates.
+	again, err := cdb.Select("select approx conf, K, V from I")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range est.Tuples {
+		if est.Tuples[i].Key() != again.Tuples[i].Key() {
+			t.Errorf("row %d not deterministic: %v vs %v", i, est.Tuples[i], again.Tuples[i])
+		}
+	}
+}

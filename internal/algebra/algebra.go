@@ -33,8 +33,16 @@ type Operator interface {
 	Close() error
 }
 
-// Collect drains op into a materialized relation.
+// Collect drains op into a materialized relation. When the vectorized path
+// is enabled (the default) and the tree has a batch mirror that benefits
+// from it, execution runs batch-at-a-time with identical results; see
+// batch.go.
 func Collect(op Operator, outer *expr.Context) (*relation.Relation, error) {
+	if vectorizedOn.Load() {
+		if b, ok := Vectorize(op); ok {
+			return collectBatches(b, outer)
+		}
+	}
 	if err := op.Open(outer); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,1120 @@
+// Vectorized (batch-at-a-time) execution. Vectorize mirrors a row operator
+// tree as a pipeline of BatchOperators over colbatch batches: scans emit
+// cached columnar chunks, filters evaluate predicates column-at-a-time into
+// selection vectors, projections evaluate expression columns, and the joins,
+// Distinct and Aggregate build their hash keys column-wise into reusable
+// byte arenas instead of allocating a Tuple.Key() string per row.
+//
+// The batch pipeline is a pure wrapper over the row operators' children —
+// it never mutates the row tree, so a bound plan can be vectorized per
+// execution with no sharing concerns. Outputs are row-for-row and
+// error-for-error identical to the row path (same tuples, same first-
+// appearance order, same wrapped error messages, same error precedence:
+// an operator that hits a per-row error emits the rows preceding it first,
+// so a downstream error the row path would reach earlier still wins).
+// Collect picks whichever path applies, so every caller — the naive
+// per-world engine, the WSD componentwise loop, compiled subqueries —
+// vectorizes through the one choke point. Expressions outside the
+// vectorizable subset fall back to row-at-a-time evaluation inside the
+// batch pipeline; trees containing an operator with no batch form (or a
+// LIMIT that could observe laziness) stay entirely on the row path.
+package algebra
+
+import (
+	"bytes"
+	"fmt"
+	"hash/maphash"
+	"sync/atomic"
+
+	"maybms/internal/colbatch"
+	"maybms/internal/expr"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// batchSize is the number of rows per batch on the vectorized path.
+const batchSize = 1024
+
+// vectorizedOn gates the vectorized path in Collect; on by default. Tests
+// and benchmarks force the row path through SetVectorized.
+var vectorizedOn atomic.Bool
+
+func init() { vectorizedOn.Store(true) }
+
+// SetVectorized enables or disables the vectorized path in Collect,
+// returning the previous setting. The row and batch paths produce identical
+// results; this switch exists for ablation benchmarks and equivalence tests.
+func SetVectorized(on bool) bool { return vectorizedOn.Swap(on) }
+
+// Vectorized reports whether the vectorized path is enabled.
+func Vectorized() bool { return vectorizedOn.Load() }
+
+// vectorizeMinRows is the floor on total scanned rows below which Vectorize
+// declines even when the tree would otherwise benefit: building columns and
+// batch operator state costs more than the per-tuple savings on relations
+// this small (per-world evaluation over figure-sized examples sits well
+// under it, bulk per-alternative work well over it).
+var vectorizeMinRows atomic.Int64
+
+func init() { vectorizeMinRows.Store(32) }
+
+// SetVectorizeMinRows sets the scanned-rows floor for the vectorized path,
+// returning the previous value. Equivalence tests set it to 0 so small
+// random relations still exercise the batch operators.
+func SetVectorizeMinRows(n int64) int64 { return vectorizeMinRows.Swap(n) }
+
+// scanRows sums the leaf relation sizes of op's subtree — the static
+// input-cardinality estimate behind vectorizeMinRows.
+func scanRows(op Operator) int64 {
+	switch n := op.(type) {
+	case *Filter:
+		return scanRows(n.Child)
+	case *Project:
+		return scanRows(n.Child)
+	case *CrossJoin:
+		return scanRows(n.Left) + scanRows(n.Right)
+	case *HashJoin:
+		return scanRows(n.Left) + scanRows(n.Right)
+	case *Distinct:
+		return scanRows(n.Child)
+	case *Union:
+		return scanRows(n.Left) + scanRows(n.Right)
+	case *Aggregate:
+		return scanRows(n.Child)
+	case *Sort:
+		return scanRows(n.Child)
+	case *Limit:
+		return scanRows(n.Child)
+	case scanSource:
+		return int64(n.ScanSource().Len())
+	default:
+		return 0
+	}
+}
+
+// BatchOperator is the batch-at-a-time counterpart of Operator. NextBatch
+// returns a nil batch at end of stream; returned batches are immutable and
+// owned by the caller until the next NextBatch call.
+type BatchOperator interface {
+	Schema() *schema.Schema
+	Open(outer *expr.Context) error
+	NextBatch() (*colbatch.Batch, error)
+	Close() error
+}
+
+// ScanSource exposes the scanned relation of Scan (and of planner scan
+// wrappers embedding it), letting Vectorize recognize leaf scans without
+// depending on the planner's types.
+func (s *Scan) ScanSource() *relation.Relation { return s.Rel }
+
+type scanSource interface{ ScanSource() *relation.Relation }
+
+// Vectorize builds the batch pipeline mirroring op, or reports ok=false
+// when the tree has no batch form or nothing in it benefits (a bare scan is
+// faster row-at-a-time: row scans return stored tuples by reference).
+func Vectorize(op Operator) (BatchOperator, bool) {
+	if scanRows(op) < vectorizeMinRows.Load() {
+		return nil, false
+	}
+	b, benefit := vectorize(op)
+	if b == nil || !benefit {
+		return nil, false
+	}
+	return b, true
+}
+
+// vectorize returns (nil, false) when op has no batch form, else the batch
+// mirror and whether any node in the subtree gains from batching.
+func vectorize(op Operator) (BatchOperator, bool) {
+	switch n := op.(type) {
+	case *Filter:
+		c, ben := vectorize(n.Child)
+		if c == nil {
+			return nil, false
+		}
+		vec := expr.Vectorizable(n.Pred)
+		return &batchFilter{child: c, pred: n.Pred, vec: vec}, ben || vec
+	case *Project:
+		c, ben := vectorize(n.Child)
+		if c == nil {
+			return nil, false
+		}
+		vec := true
+		for _, e := range n.Exprs {
+			if !expr.Vectorizable(e) {
+				vec = false
+				break
+			}
+		}
+		return &batchProject{child: c, exprs: n.Exprs, out: n.Out, vec: vec}, ben || vec
+	case *CrossJoin:
+		l, _ := vectorize(n.Left)
+		if l == nil {
+			return nil, false
+		}
+		r, _ := vectorize(n.Right)
+		if r == nil {
+			return nil, false
+		}
+		return &batchCrossJoin{left: l, right: r}, true
+	case *HashJoin:
+		l, _ := vectorize(n.Left)
+		if l == nil {
+			return nil, false
+		}
+		r, _ := vectorize(n.Right)
+		if r == nil {
+			return nil, false
+		}
+		return &batchHashJoin{left: l, right: r, leftKeys: n.LeftKeys, rightKeys: n.RightKeys}, true
+	case *Distinct:
+		c, _ := vectorize(n.Child)
+		if c == nil {
+			return nil, false
+		}
+		return &batchDistinct{child: c}, true
+	case *Union:
+		l, lben := vectorize(n.Left)
+		if l == nil {
+			return nil, false
+		}
+		r, rben := vectorize(n.Right)
+		if r == nil {
+			return nil, false
+		}
+		return &batchUnion{left: l, right: r}, lben || rben
+	case *Aggregate:
+		c, _ := vectorize(n.Child)
+		if c == nil {
+			return nil, false
+		}
+		return &batchAggregate{child: c, groupBy: n.GroupBy, specs: n.Specs, out: n.Out}, true
+	case *Sort:
+		c, ben := vectorize(n.Child)
+		if c == nil {
+			return nil, false
+		}
+		return &batchSort{child: c, keys: n.Keys}, ben
+	case *Limit:
+		c, ben := vectorize(n.Child)
+		if c == nil {
+			return nil, false
+		}
+		// A batch pipeline evaluates whole batches eagerly, so a LIMIT over
+		// a lazily erroring child could surface errors the row path never
+		// reaches. Scans cannot fail per row and Sort/Aggregate materialize
+		// everything on Open in both paths, so only those children are safe
+		// to cut short.
+		switch c.(type) {
+		case *batchSort, *batchScan, *batchAggregate:
+			return &batchLimit{child: c, n: n.N}, ben
+		default:
+			return nil, false
+		}
+	case scanSource:
+		return &batchScan{rel: n.ScanSource()}, false
+	default:
+		return nil, false
+	}
+}
+
+// collectBatches drains a batch pipeline into a materialized relation,
+// converting each batch to rows through one value slab.
+func collectBatches(b BatchOperator, outer *expr.Context) (*relation.Relation, error) {
+	if err := b.Open(outer); err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	out := relation.New(b.Schema())
+	for {
+		bt, err := b.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if bt == nil {
+			return out, nil
+		}
+		out.Tuples = append(out.Tuples, bt.Rows()...)
+	}
+}
+
+// interruptHook polls an Interrupt hook once per batch (roughly every
+// batchSize rows; the row path polls every interruptEvery rows).
+type interruptHook struct{ hook func() error }
+
+func (h *interruptHook) init(outer *expr.Context) { h.hook = outer.FindInterrupt() }
+
+func (h *interruptHook) poll() error {
+	if h.hook == nil {
+		return nil
+	}
+	return h.hook()
+}
+
+// batchScan emits the cached columnar view of a relation in zero-copy
+// chunks.
+type batchScan struct {
+	rel   *relation.Relation
+	b     *colbatch.Batch
+	chunk colbatch.Batch // reused zero-copy window, rewritten per NextBatch
+	pos   int
+	ip    interruptHook
+}
+
+func (s *batchScan) Schema() *schema.Schema { return s.rel.Schema }
+
+func (s *batchScan) Open(outer *expr.Context) error {
+	s.b = s.rel.Batch()
+	s.pos = 0
+	s.ip.init(outer)
+	return nil
+}
+
+func (s *batchScan) NextBatch() (*colbatch.Batch, error) {
+	if err := s.ip.poll(); err != nil {
+		return nil, err
+	}
+	if s.pos >= s.b.Len() {
+		return nil, nil
+	}
+	hi := s.pos + batchSize
+	if hi > s.b.Len() {
+		hi = s.b.Len()
+	}
+	out := s.b.SliceInto(&s.chunk, s.pos, hi)
+	s.pos = hi
+	return out, nil
+}
+
+func (s *batchScan) Close() error { return nil }
+
+// batchFilter evaluates the predicate over each batch — vectorized into a
+// selection vector when the predicate allows, else row-at-a-time with a
+// reused context — and gathers the passing rows. A per-row predicate error
+// is deferred until the rows preceding it have been emitted, preserving the
+// row path's error interleaving with downstream operators.
+type batchFilter struct {
+	child BatchOperator
+	pred  expr.Expr
+	vec   bool
+	outer *expr.Context
+	sel   []int32
+	err   error
+}
+
+func (f *batchFilter) Schema() *schema.Schema { return f.child.Schema() }
+
+func (f *batchFilter) Open(outer *expr.Context) error {
+	f.outer = outer
+	f.err = nil
+	return f.child.Open(outer)
+}
+
+func (f *batchFilter) NextBatch() (*colbatch.Batch, error) {
+	for {
+		if f.err != nil {
+			return nil, f.err
+		}
+		b, err := f.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		sel := f.sel[:0]
+		if f.vec {
+			v := expr.EvalVec(f.pred, b)
+			// Stop selecting at the first error row; rows before it are
+			// emitted now, the error fires on the following call.
+			stop := n
+			if v.Errs != nil {
+				for i, e := range v.Errs {
+					if e != nil {
+						stop = i
+						f.err = fmt.Errorf("%w: filter %s: %w", ErrExec, f.pred, e)
+						break
+					}
+				}
+			}
+			switch {
+			case v.Const:
+				if !v.CV.Truth() {
+					if f.err != nil {
+						return nil, f.err
+					}
+					continue
+				}
+				if stop == n {
+					return b, nil
+				}
+				for i := 0; i < stop; i++ {
+					sel = append(sel, int32(i))
+				}
+			case v.Col.Kind == value.KindBool && v.Col.Any == nil:
+				bools, nulls := v.Col.Bools, v.Col.Nulls
+				for i := 0; i < stop; i++ {
+					if bools[i] && (nulls == nil || !nulls[i]) {
+						sel = append(sel, int32(i))
+					}
+				}
+			default:
+				for i := 0; i < stop; i++ {
+					if v.At(i).Truth() {
+						sel = append(sel, int32(i))
+					}
+				}
+			}
+		} else {
+			rows := b.Rows()
+			ctx := &expr.Context{Schema: f.child.Schema(), Outer: f.outer}
+			for i, t := range rows {
+				ctx.Tuple = t
+				v, err := f.pred.Eval(ctx)
+				if err != nil {
+					f.err = fmt.Errorf("%w: filter %s: %w", ErrExec, f.pred, err)
+					break
+				}
+				if v.Truth() {
+					sel = append(sel, int32(i))
+				}
+			}
+		}
+		f.sel = sel
+		if len(sel) == 0 {
+			if f.err != nil {
+				return nil, f.err
+			}
+			continue
+		}
+		if len(sel) == n {
+			return b, nil
+		}
+		return b.Gather(sel), nil
+	}
+}
+
+func (f *batchFilter) Close() error { return f.child.Close() }
+
+// batchProject evaluates the output expressions per batch, deferring a
+// per-row error until the preceding rows have been emitted.
+type batchProject struct {
+	child BatchOperator
+	exprs []expr.Expr
+	out   *schema.Schema
+	vec   bool
+	outer *expr.Context
+	err   error
+}
+
+func (p *batchProject) Schema() *schema.Schema { return p.out }
+
+func (p *batchProject) Open(outer *expr.Context) error {
+	if len(p.exprs) != p.out.Len() {
+		return fmt.Errorf("%w: project arity %d vs schema %s", ErrExec, len(p.exprs), p.out)
+	}
+	p.outer = outer
+	p.err = nil
+	return p.child.Open(outer)
+}
+
+func (p *batchProject) NextBatch() (*colbatch.Batch, error) {
+	for {
+		if p.err != nil {
+			return nil, p.err
+		}
+		b, err := p.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		if p.vec {
+			vecs := make([]expr.Vec, len(p.exprs))
+			for j, e := range p.exprs {
+				vecs[j] = expr.EvalVec(e, b)
+			}
+			// Find the first error in the row path's order: row-major,
+			// expression-minor.
+			stop := n
+		scan:
+			for i := 0; i < n; i++ {
+				for j := range vecs {
+					if err := vecs[j].ErrAt(i); err != nil {
+						stop = i
+						p.err = fmt.Errorf("%w: projecting %s: %w", ErrExec, p.exprs[j], err)
+						break scan
+					}
+				}
+			}
+			if stop == 0 {
+				return nil, p.err
+			}
+			cols := make([]colbatch.Col, len(vecs))
+			for j := range vecs {
+				cols[j] = colFromVec(&vecs[j], n, stop)
+			}
+			return colbatch.FromCols(p.out, cols, stop), nil
+		}
+		rows := b.Rows()
+		builders := make([]colbatch.ColBuilder, len(p.exprs))
+		vals := make([]value.Value, len(p.exprs))
+		ctx := &expr.Context{Schema: p.child.Schema(), Outer: p.outer}
+		stop := n
+	rowScan:
+		for i, t := range rows {
+			ctx.Tuple = t
+			for j, e := range p.exprs {
+				v, err := e.Eval(ctx)
+				if err != nil {
+					stop = i
+					p.err = fmt.Errorf("%w: projecting %s: %w", ErrExec, e, err)
+					break rowScan
+				}
+				vals[j] = v
+			}
+			for j := range builders {
+				builders[j].Append(vals[j])
+			}
+		}
+		if stop == 0 {
+			return nil, p.err
+		}
+		cols := make([]colbatch.Col, len(builders))
+		for j := range builders {
+			cols[j] = builders[j].Col()
+		}
+		return colbatch.FromCols(p.out, cols, stop), nil
+	}
+}
+
+func (p *batchProject) Close() error { return p.child.Close() }
+
+// colFromVec materializes the first stop cells of a Vec as a column
+// (broadcasting constants; the column is shared zero-copy when whole).
+func colFromVec(v *expr.Vec, n, stop int) colbatch.Col {
+	if v.Const {
+		var cb colbatch.ColBuilder
+		for i := 0; i < stop; i++ {
+			cb.Append(v.CV)
+		}
+		return cb.Col()
+	}
+	if stop == n {
+		return v.Col
+	}
+	return sliceCol(&v.Col, stop)
+}
+
+// sliceCol returns a zero-copy prefix of a column.
+func sliceCol(c *colbatch.Col, stop int) colbatch.Col {
+	if c.Any != nil {
+		return colbatch.Col{Any: c.Any[:stop]}
+	}
+	out := colbatch.Col{Kind: c.Kind}
+	if c.Nulls != nil {
+		out.Nulls = c.Nulls[:stop]
+	}
+	switch c.Kind {
+	case value.KindInt:
+		out.Ints = c.Ints[:stop]
+	case value.KindFloat:
+		out.Floats = c.Floats[:stop]
+	case value.KindString:
+		out.Strs = c.Strs[:stop]
+	case value.KindBool:
+		out.Bools = c.Bools[:stop]
+	}
+	return out
+}
+
+// drainToBatch collects a batch pipeline into one combined batch (the
+// materialized build side of the joins). The child is opened and closed
+// here, mirroring the row joins' Collect on Open.
+func drainToBatch(b BatchOperator, outer *expr.Context) (*colbatch.Batch, error) {
+	if err := b.Open(outer); err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	out := colbatch.New(b.Schema())
+	for {
+		bt, err := b.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if bt == nil {
+			return out, nil
+		}
+		out.AppendBatch(bt)
+	}
+}
+
+// batchCrossJoin is the Cartesian product with a materialized right side,
+// emitting gathered output batches in left-major order.
+type batchCrossJoin struct {
+	left, right BatchOperator
+	out         *schema.Schema
+	rightAll    *colbatch.Batch
+	cur         *colbatch.Batch
+	li, ri      int
+	open        bool
+	ip          interruptHook
+	lsel, rsel  []int32
+}
+
+func (j *batchCrossJoin) Schema() *schema.Schema {
+	if j.out == nil {
+		j.out = j.left.Schema().Concat(j.right.Schema())
+	}
+	return j.out
+}
+
+func (j *batchCrossJoin) Open(outer *expr.Context) error {
+	if err := j.left.Open(outer); err != nil {
+		return err
+	}
+	right, err := drainToBatch(j.right, outer)
+	if err != nil {
+		j.left.Close()
+		return err
+	}
+	j.rightAll = right
+	j.cur = nil
+	j.open = true
+	j.ip.init(outer)
+	return nil
+}
+
+func (j *batchCrossJoin) NextBatch() (*colbatch.Batch, error) {
+	for {
+		if err := j.ip.poll(); err != nil {
+			return nil, err
+		}
+		if j.cur == nil {
+			b, err := j.left.NextBatch()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			if b.Len() == 0 || j.rightAll.Len() == 0 {
+				continue
+			}
+			j.cur = b
+			j.li, j.ri = 0, 0
+		}
+		lsel, rsel := j.lsel[:0], j.rsel[:0]
+		for len(lsel) < batchSize && j.li < j.cur.Len() {
+			lsel = append(lsel, int32(j.li))
+			rsel = append(rsel, int32(j.ri))
+			j.ri++
+			if j.ri == j.rightAll.Len() {
+				j.ri = 0
+				j.li++
+			}
+		}
+		j.lsel, j.rsel = lsel, rsel
+		cur := j.cur
+		if j.li >= cur.Len() {
+			j.cur = nil
+		}
+		if len(lsel) == 0 {
+			continue
+		}
+		return colbatch.GatherConcat(j.Schema(), cur, lsel, j.rightAll, rsel), nil
+	}
+}
+
+func (j *batchCrossJoin) Close() error {
+	if !j.open {
+		return nil
+	}
+	j.open = false
+	return j.left.Close()
+}
+
+// batchHashJoin is the equi-join with an arena-keyed hash table: build-side
+// keys are encoded column-wise into one byte arena (offs delimits row i's
+// key) and indexed by a hash-chained table — head maps a 64-bit key hash to
+// a chain of build rows in build order, next links the chain — so neither
+// building nor probing allocates a key string. Hash collisions are resolved
+// by comparing arena bytes, and probe hits gather typed columns instead of
+// concatenating tuples. Match order (build order per probe row) is the row
+// operator's.
+type batchHashJoin struct {
+	left, right         BatchOperator
+	leftKeys, rightKeys []int
+	out                 *schema.Schema
+	rightAll            *colbatch.Batch
+	seed                maphash.Seed
+	arena               []byte
+	offs                []uint32
+	head                map[uint64]chainMeta
+	next                []int32
+	intMode             bool         // single int-typed build key: hash = the key itself
+	probeCol            *colbatch.Col // intMode: j.cur's key column
+	cur                 *colbatch.Batch
+	li                  int
+	chainRow            int32 // current candidate build row, -1 = none
+	curRow              int32
+	open                bool
+	ip                  interruptHook
+	lsel, rsel          []int32
+	key                 []byte
+}
+
+// chainMeta is a hash bucket: first and last build row of the chain.
+type chainMeta struct{ head, tail int32 }
+
+func (j *batchHashJoin) Schema() *schema.Schema {
+	if j.out == nil {
+		j.out = j.left.Schema().Concat(j.right.Schema())
+	}
+	return j.out
+}
+
+func (j *batchHashJoin) Open(outer *expr.Context) error {
+	if len(j.leftKeys) != len(j.rightKeys) || len(j.leftKeys) == 0 {
+		return fmt.Errorf("%w: hash join needs matching non-empty key lists", ErrExec)
+	}
+	if err := j.left.Open(outer); err != nil {
+		return err
+	}
+	right, err := drainToBatch(j.right, outer)
+	if err != nil {
+		j.left.Close()
+		return err
+	}
+	j.rightAll = right
+	n := right.Len()
+	j.seed = maphash.MakeSeed()
+	j.arena = j.arena[:0]
+	j.offs = append(j.offs[:0], 0)
+	if cap(j.next) < n {
+		j.next = make([]int32, n)
+	}
+	j.next = j.next[:n]
+	j.head = make(map[uint64]chainMeta, n)
+	// Single int-typed key: the key value is its own exact 64-bit hash, so
+	// the arena encode, maphash and collision compare all drop out. Kinds
+	// never cross-match (encodings differ in the kind byte), so a non-int
+	// probe value simply has no chain.
+	bc := (*colbatch.Col)(nil)
+	if len(j.rightKeys) == 1 {
+		bc = right.Col(j.rightKeys[0])
+	}
+	j.intMode = bc != nil && bc.Any == nil && bc.Kind == value.KindInt
+	for i := 0; i < n; i++ {
+		var h uint64
+		if j.intMode {
+			if bc.Null(i) {
+				continue
+			}
+			h = uint64(bc.Ints[i])
+		} else {
+			if right.HasNullAt(j.rightKeys, i) {
+				j.offs = append(j.offs, uint32(len(j.arena)))
+				continue
+			}
+			j.arena = right.AppendKeyOn(j.arena, j.rightKeys, i)
+			start := j.offs[len(j.offs)-1]
+			j.offs = append(j.offs, uint32(len(j.arena)))
+			h = maphash.Bytes(j.seed, j.arena[start:])
+		}
+		j.next[i] = -1
+		if c, ok := j.head[h]; ok {
+			j.next[c.tail] = int32(i)
+			c.tail = int32(i)
+			j.head[h] = c
+		} else {
+			j.head[h] = chainMeta{head: int32(i), tail: int32(i)}
+		}
+	}
+	j.cur, j.li, j.chainRow = nil, 0, -1
+	j.open = true
+	j.ip.init(outer)
+	return nil
+}
+
+func (j *batchHashJoin) NextBatch() (*colbatch.Batch, error) {
+	for {
+		if err := j.ip.poll(); err != nil {
+			return nil, err
+		}
+		if j.cur == nil {
+			b, err := j.left.NextBatch()
+			if err != nil || b == nil {
+				return nil, err
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			j.cur = b
+			j.li = 0
+			j.chainRow = -1
+			if j.intMode {
+				j.probeCol = b.Col(j.leftKeys[0])
+			}
+		}
+		lsel, rsel := j.lsel[:0], j.rsel[:0]
+		for len(lsel) < batchSize {
+			if j.chainRow >= 0 {
+				r := j.chainRow
+				j.chainRow = j.next[r]
+				// The chain holds every build row with this key hash; only
+				// byte-equal keys match (j.key still holds the probe key).
+				// In intMode the hash is the exact key, no compare needed.
+				if j.intMode || bytes.Equal(j.arena[j.offs[r]:j.offs[r+1]], j.key) {
+					lsel = append(lsel, j.curRow)
+					rsel = append(rsel, r)
+				}
+				continue
+			}
+			if j.li >= j.cur.Len() {
+				break
+			}
+			i := j.li
+			j.li++
+			if j.cur.HasNullAt(j.leftKeys, i) {
+				continue
+			}
+			var h uint64
+			if j.intMode {
+				switch c := j.probeCol; {
+				case c.Any != nil:
+					v := c.Any[i]
+					if v.Kind() != value.KindInt {
+						continue // non-int never equals an int key
+					}
+					h = uint64(v.AsInt())
+				case c.Kind == value.KindInt:
+					h = uint64(c.Ints[i])
+				default:
+					continue
+				}
+			} else {
+				j.key = j.cur.AppendKeyOn(j.key[:0], j.leftKeys, i)
+				h = maphash.Bytes(j.seed, j.key)
+			}
+			if c, ok := j.head[h]; ok {
+				j.chainRow = c.head
+				j.curRow = int32(i)
+			}
+		}
+		j.lsel, j.rsel = lsel, rsel
+		cur := j.cur
+		if j.li >= cur.Len() && j.chainRow < 0 {
+			j.cur = nil
+		}
+		if len(lsel) == 0 {
+			continue
+		}
+		return colbatch.GatherConcat(j.Schema(), cur, lsel, j.rightAll, rsel), nil
+	}
+}
+
+func (j *batchHashJoin) Close() error {
+	if !j.open {
+		return nil
+	}
+	j.open = false
+	return j.left.Close()
+}
+
+// batchDistinct drops duplicate rows streaming, keying each row through the
+// shared byte arena (one key-string allocation per distinct row, none per
+// duplicate).
+type batchDistinct struct {
+	child BatchOperator
+	seen  map[string]struct{}
+	sel   []int32
+	key   []byte
+}
+
+func (d *batchDistinct) Schema() *schema.Schema { return d.child.Schema() }
+
+func (d *batchDistinct) Open(outer *expr.Context) error {
+	d.seen = make(map[string]struct{})
+	return d.child.Open(outer)
+}
+
+func (d *batchDistinct) NextBatch() (*colbatch.Batch, error) {
+	for {
+		b, err := d.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := b.Len()
+		sel := d.sel[:0]
+		for i := 0; i < n; i++ {
+			d.key = b.AppendKey(d.key[:0], i)
+			if _, dup := d.seen[string(d.key)]; dup {
+				continue
+			}
+			d.seen[string(d.key)] = struct{}{}
+			sel = append(sel, int32(i))
+		}
+		d.sel = sel
+		if len(sel) == 0 {
+			continue
+		}
+		if len(sel) == n {
+			return b, nil
+		}
+		return b.Gather(sel), nil
+	}
+}
+
+func (d *batchDistinct) Close() error { return d.child.Close() }
+
+// batchUnion concatenates two equal-arity inputs, left first.
+type batchUnion struct {
+	left, right BatchOperator
+	onRight     bool
+}
+
+func (u *batchUnion) Schema() *schema.Schema { return u.left.Schema() }
+
+func (u *batchUnion) Open(outer *expr.Context) error {
+	if u.left.Schema().Len() != u.right.Schema().Len() {
+		return fmt.Errorf("%w: union arity mismatch %s vs %s", ErrExec, u.left.Schema(), u.right.Schema())
+	}
+	u.onRight = false
+	if err := u.left.Open(outer); err != nil {
+		return err
+	}
+	return u.right.Open(outer)
+}
+
+func (u *batchUnion) NextBatch() (*colbatch.Batch, error) {
+	if !u.onRight {
+		b, err := u.left.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		u.onRight = true
+	}
+	return u.right.NextBatch()
+}
+
+func (u *batchUnion) Close() error {
+	err1 := u.left.Close()
+	err2 := u.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// batchSort materializes and sorts its input on Open, emitting the sorted
+// rows as one row-backed batch.
+type batchSort struct {
+	child BatchOperator
+	keys  []SortKey
+	rows  []tuple.Tuple
+	done  bool
+}
+
+func (s *batchSort) Schema() *schema.Schema { return s.child.Schema() }
+
+func (s *batchSort) Open(outer *expr.Context) error {
+	rel, err := collectBatches(s.child, outer)
+	if err != nil {
+		return err
+	}
+	s.rows = rel.Tuples
+	sortTuples(s.rows, s.keys)
+	s.done = false
+	return nil
+}
+
+func (s *batchSort) NextBatch() (*colbatch.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	if len(s.rows) == 0 {
+		return nil, nil
+	}
+	return colbatch.FromRowsShared(s.Schema(), s.rows), nil
+}
+
+func (s *batchSort) Close() error { return s.child.Close() }
+
+// batchLimit caps the emitted rows; only used over children whose error
+// behavior cannot observe the cut (scans, and operators that materialize
+// fully on Open).
+type batchLimit struct {
+	child BatchOperator
+	n     int
+	count int
+}
+
+func (l *batchLimit) Schema() *schema.Schema { return l.child.Schema() }
+
+func (l *batchLimit) Open(outer *expr.Context) error {
+	l.count = 0
+	return l.child.Open(outer)
+}
+
+func (l *batchLimit) NextBatch() (*colbatch.Batch, error) {
+	if l.count >= l.n {
+		return nil, nil
+	}
+	b, err := l.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	take := l.n - l.count
+	if take >= b.Len() {
+		l.count += b.Len()
+		return b, nil
+	}
+	l.count += take
+	return b.Slice(0, take), nil
+}
+
+func (l *batchLimit) Close() error { return l.child.Close() }
+
+// batchAggregate groups batches by arena-encoded keys and feeds accumulator
+// cells column-wise: vectorizable aggregate arguments are evaluated
+// batch-at-a-time and dispatched per row in spec order, so results and
+// error order match the row operator exactly.
+type batchAggregate struct {
+	child   BatchOperator
+	groupBy []int
+	specs   []expr.AggSpec
+	out     *schema.Schema
+	rows    []tuple.Tuple
+	done    bool
+	key     []byte
+}
+
+func (a *batchAggregate) Schema() *schema.Schema { return a.out }
+
+func (a *batchAggregate) Open(outer *expr.Context) error {
+	if a.out.Len() != len(a.groupBy)+len(a.specs) {
+		return fmt.Errorf("%w: aggregate schema %s does not cover %d group cols + %d aggs",
+			ErrExec, a.out, len(a.groupBy), len(a.specs))
+	}
+	if err := a.child.Open(outer); err != nil {
+		return err
+	}
+	defer a.child.Close()
+
+	type group struct {
+		key  tuple.Tuple
+		accs []*expr.Accumulator
+	}
+	newGroup := func(key tuple.Tuple) *group {
+		g := &group{key: key, accs: make([]*expr.Accumulator, len(a.specs))}
+		for i, spec := range a.specs {
+			g.accs[i] = expr.NewAccumulator(spec)
+		}
+		return g
+	}
+	index := map[string]int{}
+	var groups []*group
+
+	vec := make([]bool, len(a.specs))
+	needRows := false
+	for s, spec := range a.specs {
+		if spec.Arg != nil {
+			if expr.Vectorizable(spec.Arg) {
+				vec[s] = true
+			} else {
+				needRows = true
+			}
+		}
+	}
+	childSchema := a.child.Schema()
+	argVecs := make([]expr.Vec, len(a.specs))
+	for {
+		b, err := a.child.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		for s, spec := range a.specs {
+			if vec[s] {
+				argVecs[s] = expr.EvalVec(spec.Arg, b)
+			}
+		}
+		var rows []tuple.Tuple
+		var ctx *expr.Context
+		if needRows {
+			rows = b.Rows()
+			ctx = &expr.Context{Schema: childSchema, Outer: outer}
+		}
+		for i := 0; i < n; i++ {
+			a.key = b.AppendKeyOn(a.key[:0], a.groupBy, i)
+			gi, ok := index[string(a.key)]
+			if !ok {
+				kt := make(tuple.Tuple, len(a.groupBy))
+				for j, c := range a.groupBy {
+					kt[j] = b.At(i, c)
+				}
+				gi = len(groups)
+				index[string(a.key)] = gi
+				groups = append(groups, newGroup(kt))
+			}
+			g := groups[gi]
+			for s := range a.specs {
+				acc := g.accs[s]
+				switch {
+				case a.specs[s].Arg == nil:
+					acc.AddStar()
+				case vec[s]:
+					if err := argVecs[s].ErrAt(i); err != nil {
+						return fmt.Errorf("%w: %v", ErrExec, err)
+					}
+					if err := acc.AddValue(argVecs[s].At(i)); err != nil {
+						return fmt.Errorf("%w: %v", ErrExec, err)
+					}
+				default:
+					ctx.Tuple = rows[i]
+					if err := acc.Add(ctx); err != nil {
+						return fmt.Errorf("%w: %v", ErrExec, err)
+					}
+				}
+			}
+		}
+	}
+
+	if len(groups) == 0 && len(a.groupBy) == 0 {
+		groups = append(groups, newGroup(tuple.Tuple{}))
+	}
+	a.rows = a.rows[:0]
+	for _, g := range groups {
+		row := make(tuple.Tuple, 0, a.out.Len())
+		row = append(row, g.key...)
+		for _, acc := range g.accs {
+			row = append(row, acc.Result())
+		}
+		a.rows = append(a.rows, row)
+	}
+	a.done = false
+	return nil
+}
+
+func (a *batchAggregate) NextBatch() (*colbatch.Batch, error) {
+	if a.done {
+		return nil, nil
+	}
+	a.done = true
+	if len(a.rows) == 0 {
+		return nil, nil
+	}
+	return colbatch.FromRowsShared(a.out, a.rows), nil
+}
+
+func (a *batchAggregate) Close() error { return nil }

@@ -87,3 +87,122 @@ func BenchmarkAblationAggregate(b *testing.B) {
 		}
 	}
 }
+
+// ---- row vs batch: the vectorized-executor ablation ----
+//
+// Each pair below runs the same operator tree through Collect with the
+// vectorized path forced off (Row…) and on (…Batch). scripts/bench.sh
+// records both, so BENCH_<date>.json carries the row-vs-batch trajectory;
+// scripts/check_batch_allocs.sh gates the batch variants' allocs/op in CI.
+
+func benchCollect(b *testing.B, vec bool, build func() Operator) {
+	b.Helper()
+	defer SetVectorized(SetVectorized(vec))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Collect(build(), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Scan: both variants drain the operator the way a downstream consumer
+// does — the row path one Next() call per tuple, the batch path zero-copy
+// slices of the relation's cached columnar form. (A bare scan is not
+// routed through Vectorize at the Collect seam — the rows already exist —
+// so the batch variant drives the batch operator directly.)
+func BenchmarkRowScan(b *testing.B) {
+	r := benchRelation(8192, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewScan(r)
+		if err := s.Open(nil); err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for {
+			_, ok, err := s.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			rows++
+		}
+		if err := s.Close(); err != nil || rows != r.Len() {
+			b.Fatal(err, rows)
+		}
+	}
+}
+
+func BenchmarkBatchScan(b *testing.B) {
+	r := benchRelation(8192, 64)
+	r.Batch() // build + cache the columnar form once, like a warm table
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &batchScan{rel: r}
+		if err := s.Open(nil); err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for {
+			bt, err := s.NextBatch()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bt == nil {
+				break
+			}
+			rows += bt.Len()
+		}
+		if err := s.Close(); err != nil || rows != r.Len() {
+			b.Fatal(err, rows)
+		}
+	}
+}
+
+func benchFilterTree(r *relation.Relation) func() Operator {
+	// K < 32 over K ∈ [0,64): selects half the input, column-at-a-time on
+	// the batch path.
+	return func() Operator {
+		return &Filter{Child: NewScan(r), Pred: expr.Cmp{
+			Op: expr.CmpLt, L: expr.Column{Index: 0}, R: expr.Const{Value: value.Int(32)},
+		}}
+	}
+}
+
+func BenchmarkRowFilter(b *testing.B) {
+	r := benchRelation(8192, 64)
+	benchCollect(b, false, benchFilterTree(r))
+}
+
+func BenchmarkBatchFilter(b *testing.B) {
+	r := benchRelation(8192, 64)
+	r.Batch()
+	benchCollect(b, true, benchFilterTree(r))
+}
+
+func benchJoinTree(l, r *relation.Relation) func() Operator {
+	return func() Operator {
+		return &HashJoin{Left: NewScan(l), Right: NewScan(r), LeftKeys: []int{0}, RightKeys: []int{0}}
+	}
+}
+
+// Join keys are unique (keyMod = n) so the measurement is the build+probe
+// machinery itself, not output materialization: the row path pays a Key()
+// string per build and probe row, the batch path an int-keyed hash chain.
+func BenchmarkHashJoinRow(b *testing.B) {
+	l, r := benchRelation(8192, 8192), benchRelation(8192, 8192)
+	benchCollect(b, false, benchJoinTree(l, r))
+}
+
+func BenchmarkHashJoinBatch(b *testing.B) {
+	l, r := benchRelation(8192, 8192), benchRelation(8192, 8192)
+	l.Batch()
+	r.Batch()
+	benchCollect(b, true, benchJoinTree(l, r))
+}

@@ -1,0 +1,213 @@
+package algebra
+
+// Row-vs-batch equivalence fuzz: random relations and random operator
+// trees are collected once on the row path and once on the vectorized
+// path, and the results must be byte-identical — schema, tuples, order —
+// with identical error strings when an evaluation fails. This is the
+// contract that lets Collect pick either path; CI runs it under -race.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"maybms/internal/expr"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/value"
+)
+
+// randValue draws a value from deliberately small domains so joins,
+// distinct and group-by actually collide; strings mix in so arithmetic
+// sometimes errors, exercising error-precedence equivalence.
+func randValue(rng *rand.Rand) value.Value {
+	switch rng.Intn(10) {
+	case 0:
+		return value.Null()
+	case 1, 2, 3:
+		return value.Int(int64(rng.Intn(5)))
+	case 4, 5:
+		return value.Float(float64(rng.Intn(8)) / 2)
+	case 6:
+		return value.Bool(rng.Intn(2) == 0)
+	default:
+		return value.Str(fmt.Sprintf("s%d", rng.Intn(4)))
+	}
+}
+
+func randRelation(rng *rand.Rand) *relation.Relation {
+	w := 1 + rng.Intn(4)
+	names := make([]string, w)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	rel := relation.New(schema.New(names...))
+	n := rng.Intn(40)
+	for i := 0; i < n; i++ {
+		t := make([]value.Value, w)
+		for j := range t {
+			t[j] = randValue(rng)
+		}
+		rel.MustAppend(t)
+	}
+	return rel
+}
+
+// randExpr builds a random scalar expression over a width-w schema. It
+// freely mixes vectorizable and non-vectorizable shapes (IN (…) is the
+// row-only fallback trigger) and type-error-prone arithmetic.
+func randExpr(rng *rand.Rand, w, depth int) expr.Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return expr.Const{Value: randValue(rng)}
+		}
+		i := rng.Intn(w)
+		return expr.Column{Index: i, Name: fmt.Sprintf("c%d", i)}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []value.BinaryOp{value.OpAdd, value.OpSub, value.OpMul, value.OpDiv, value.OpMod}
+		return expr.Arith{Op: ops[rng.Intn(len(ops))], L: randExpr(rng, w, depth-1), R: randExpr(rng, w, depth-1)}
+	case 1:
+		return expr.And{L: randExpr(rng, w, depth-1), R: randExpr(rng, w, depth-1)}
+	case 2:
+		return expr.Or{L: randExpr(rng, w, depth-1), R: randExpr(rng, w, depth-1)}
+	case 3:
+		return expr.Not{E: randExpr(rng, w, depth-1)}
+	case 4:
+		return expr.Neg{E: randExpr(rng, w, depth-1)}
+	case 5:
+		return expr.IsNull{E: randExpr(rng, w, depth-1), Negated: rng.Intn(2) == 0}
+	case 6:
+		list := make([]expr.Expr, 1+rng.Intn(3))
+		for i := range list {
+			list[i] = expr.Const{Value: randValue(rng)}
+		}
+		return expr.In{Left: randExpr(rng, w, depth-1), List: list, Negated: rng.Intn(2) == 0}
+	default:
+		ops := []expr.CmpOp{expr.CmpEq, expr.CmpNe, expr.CmpLt, expr.CmpLe, expr.CmpGt, expr.CmpGe}
+		return expr.Cmp{Op: ops[rng.Intn(len(ops))], L: randExpr(rng, w, depth-1), R: randExpr(rng, w, depth-1)}
+	}
+}
+
+// randTree builds a random operator tree over the two relations. Width
+// bookkeeping keeps projections and join keys in range.
+func randTree(rng *rand.Rand, a, b *relation.Relation, depth int) Operator {
+	base := a
+	if rng.Intn(2) == 1 {
+		base = b
+	}
+	if depth <= 0 {
+		return NewScan(base)
+	}
+	child := randTree(rng, a, b, depth-1)
+	w := child.Schema().Len()
+	switch rng.Intn(9) {
+	case 0:
+		return &Filter{Child: child, Pred: randExpr(rng, w, 2)}
+	case 1:
+		n := 1 + rng.Intn(3)
+		exprs := make([]expr.Expr, n)
+		names := make([]string, n)
+		for i := range exprs {
+			exprs[i] = randExpr(rng, w, 2)
+			names[i] = fmt.Sprintf("p%d", i)
+		}
+		return &Project{Child: child, Exprs: exprs, Out: schema.New(names...)}
+	case 2:
+		right := NewScan(base)
+		lk := []int{rng.Intn(w)}
+		rk := []int{rng.Intn(right.Schema().Len())}
+		return &HashJoin{Left: child, Right: right, LeftKeys: lk, RightKeys: rk}
+	case 3:
+		return &CrossJoin{Left: child, Right: NewScan(base)}
+	case 4:
+		return &Distinct{Child: child}
+	case 5:
+		// Union arms must agree on arity; scanning the same relation twice
+		// (or unioning child with a same-width scan) keeps it legal, and an
+		// occasional mismatched arm exercises the arity error path.
+		right := Operator(NewScan(base))
+		if right.Schema().Len() != w && rng.Intn(4) > 0 {
+			idx := make([]int, w)
+			exprs := make([]expr.Expr, w)
+			names := make([]string, w)
+			for i := range idx {
+				j := rng.Intn(right.Schema().Len())
+				exprs[i] = expr.Column{Index: j, Name: fmt.Sprintf("c%d", j)}
+				names[i] = fmt.Sprintf("u%d", i)
+			}
+			right = &Project{Child: right, Exprs: exprs, Out: schema.New(names...)}
+		}
+		return &Union{Left: child, Right: right}
+	case 6:
+		keys := []SortKey{{Index: rng.Intn(w), Desc: rng.Intn(2) == 0}}
+		return &Sort{Child: child, Keys: keys}
+	case 7:
+		return &Limit{Child: child, N: rng.Intn(20)}
+	default:
+		var groupBy []int
+		if rng.Intn(2) == 0 {
+			groupBy = []int{rng.Intn(w)}
+		}
+		kinds := []expr.AggKind{expr.AggCount, expr.AggCountStar, expr.AggSum, expr.AggAvg, expr.AggMin, expr.AggMax}
+		n := 1 + rng.Intn(2)
+		specs := make([]expr.AggSpec, n)
+		names := make([]string, 0, len(groupBy)+n)
+		for _, g := range groupBy {
+			names = append(names, fmt.Sprintf("g%d", g))
+		}
+		for i := range specs {
+			k := kinds[rng.Intn(len(kinds))]
+			s := expr.AggSpec{Kind: k, Distinct: rng.Intn(3) == 0}
+			if k != expr.AggCountStar {
+				s.Arg = randExpr(rng, w, 1)
+			}
+			specs[i] = s
+			names = append(names, fmt.Sprintf("a%d", i))
+		}
+		return &Aggregate{Child: child, GroupBy: groupBy, Specs: specs, Out: schema.New(names...)}
+	}
+}
+
+func renderResult(rel *relation.Relation, err error) string {
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	out := rel.Schema.String()
+	for _, t := range rel.Tuples {
+		out += "\n" + fmt.Sprintf("%q", string(t.Encode(nil)))
+	}
+	return out
+}
+
+// TestRowBatchEquivalenceFuzz is the row-vs-batch contract check: 300
+// random trees, each collected on both paths, must agree byte for byte —
+// including which error (if any) surfaces.
+func TestRowBatchEquivalenceFuzz(t *testing.T) {
+	defer SetVectorized(SetVectorized(true))
+	defer SetVectorizeMinRows(SetVectorizeMinRows(0))
+	errs := 0
+	for seed := int64(0); seed < 300; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randRelation(rng), randRelation(rng)
+		treeSeed, depth := rng.Int63(), 1+rng.Intn(3)
+		build := func() Operator {
+			return randTree(rand.New(rand.NewSource(treeSeed)), a, b, depth)
+		}
+
+		SetVectorized(false)
+		rowRes := renderResult(Collect(build(), nil))
+		SetVectorized(true)
+		batchRes := renderResult(Collect(build(), nil))
+		if rowRes != batchRes {
+			t.Fatalf("seed %d: paths diverged\nrow:\n%s\nbatch:\n%s", seed, rowRes, batchRes)
+		}
+		if len(rowRes) > 6 && rowRes[:6] == "error:" {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("fuzz never produced an evaluation error; error-path equivalence untested")
+	}
+}

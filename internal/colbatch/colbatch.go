@@ -1,0 +1,653 @@
+// Package colbatch implements typed columnar batches of tuples: the storage
+// format of the vectorized read path. A Batch holds one typed vector per
+// column (int64 / float64 / string / bool payloads plus a null bitmap), with
+// a generic value fallback for mixed-kind columns, and supports the
+// operations batch operators need — batch-at-a-time append, zero-copy
+// column projection and row slicing, selection-vector gather, slab-allocated
+// row materialization, and canonical key encoding into a reusable byte
+// arena.
+//
+// Batches are produced from row-oriented relations (FromRows, Relation
+// caches) and converted back with Rows(), so tuple.Tuple stays the
+// interchange format: a batch's Rows() are value-for-value identical to the
+// rows it was built from, and AppendKeyOn produces exactly the bytes of
+// tuple.KeyOn / value.Encode. Batches are treated as immutable once handed
+// to a consumer; builders append, consumers only read.
+package colbatch
+
+import (
+	"math"
+
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// Col is one typed column of a batch. Exactly one representation is active:
+//
+//   - Any != nil: the generic fallback — every cell is stored as a value,
+//     used for mixed-kind columns. The other fields are ignored.
+//   - Kind == value.KindNull (and Any == nil): every cell is NULL; no
+//     payload storage at all.
+//   - otherwise: the typed slice matching Kind holds the payloads, and
+//     Nulls (when non-nil) marks NULL cells (their payload is the zero
+//     value and must not be interpreted).
+type Col struct {
+	Kind   value.Kind
+	Nulls  []bool
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Bools  []bool
+	Any    []value.Value
+}
+
+// Value returns the cell at row i as a value.
+func (c *Col) Value(i int) value.Value {
+	if c.Any != nil {
+		return c.Any[i]
+	}
+	if c.Kind == value.KindNull {
+		return value.Null()
+	}
+	if c.Nulls != nil && c.Nulls[i] {
+		return value.Null()
+	}
+	switch c.Kind {
+	case value.KindInt:
+		return value.Int(c.Ints[i])
+	case value.KindFloat:
+		return value.Float(c.Floats[i])
+	case value.KindString:
+		return value.Str(c.Strs[i])
+	default:
+		return value.Bool(c.Bools[i])
+	}
+}
+
+// Null reports whether the cell at row i is NULL.
+func (c *Col) Null(i int) bool {
+	if c.Any != nil {
+		return c.Any[i].IsNull()
+	}
+	if c.Kind == value.KindNull {
+		return true
+	}
+	return c.Nulls != nil && c.Nulls[i]
+}
+
+// append adds v as cell n (the current length) of the column, degrading the
+// representation as needed: an all-NULL column adopts the first non-NULL
+// kind (backfilling nulls), and a kind mismatch degrades to the generic
+// representation.
+func (c *Col) append(n int, v value.Value) {
+	if c.Any != nil {
+		c.Any = append(c.Any, v)
+		return
+	}
+	if v.IsNull() {
+		if c.Kind == value.KindNull {
+			return // still the all-NULL representation; length tracked by caller
+		}
+		c.appendNull(n)
+		return
+	}
+	if c.Kind == value.KindNull {
+		if n > 0 {
+			// First non-NULL after n all-NULL cells: adopt the kind with a
+			// backfilled null bitmap (plus the false entry for this cell).
+			c.Nulls = make([]bool, n, n+1)
+			for i := range c.Nulls {
+				c.Nulls[i] = true
+			}
+			c.Nulls = append(c.Nulls, false)
+		}
+		c.Kind = v.Kind()
+		c.grow(n)
+		c.appendTyped(v)
+		return
+	}
+	if v.Kind() != c.Kind {
+		c.degrade(n)
+		c.Any = append(c.Any, v)
+		return
+	}
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+	c.appendTyped(v)
+}
+
+func (c *Col) grow(n int) {
+	switch c.Kind {
+	case value.KindInt:
+		c.Ints = append(c.Ints, make([]int64, n)...)
+	case value.KindFloat:
+		c.Floats = append(c.Floats, make([]float64, n)...)
+	case value.KindString:
+		c.Strs = append(c.Strs, make([]string, n)...)
+	case value.KindBool:
+		c.Bools = append(c.Bools, make([]bool, n)...)
+	}
+}
+
+func (c *Col) appendTyped(v value.Value) {
+	switch c.Kind {
+	case value.KindInt:
+		c.Ints = append(c.Ints, v.AsInt())
+	case value.KindFloat:
+		c.Floats = append(c.Floats, v.AsFloat())
+	case value.KindString:
+		c.Strs = append(c.Strs, v.AsStr())
+	case value.KindBool:
+		c.Bools = append(c.Bools, v.AsBool())
+	}
+}
+
+func (c *Col) appendNull(n int) {
+	if c.Nulls == nil {
+		c.Nulls = make([]bool, n, n+1)
+	}
+	c.Nulls = append(c.Nulls, true)
+	switch c.Kind {
+	case value.KindInt:
+		c.Ints = append(c.Ints, 0)
+	case value.KindFloat:
+		c.Floats = append(c.Floats, 0)
+	case value.KindString:
+		c.Strs = append(c.Strs, "")
+	case value.KindBool:
+		c.Bools = append(c.Bools, false)
+	}
+}
+
+// degrade converts the first n cells to the generic representation.
+func (c *Col) degrade(n int) {
+	anyv := make([]value.Value, n, n+1)
+	for i := 0; i < n; i++ {
+		anyv[i] = c.Value(i)
+	}
+	*c = Col{Any: anyv}
+}
+
+// gather returns a new column holding c's cells at the selected rows.
+func (c *Col) gather(sel []int32) Col {
+	n := len(sel)
+	if c.Any != nil {
+		out := make([]value.Value, n)
+		for i, s := range sel {
+			out[i] = c.Any[s]
+		}
+		return Col{Any: out}
+	}
+	if c.Kind == value.KindNull {
+		return Col{}
+	}
+	out := Col{Kind: c.Kind}
+	if c.Nulls != nil {
+		out.Nulls = make([]bool, n)
+		for i, s := range sel {
+			out.Nulls[i] = c.Nulls[s]
+		}
+	}
+	switch c.Kind {
+	case value.KindInt:
+		out.Ints = make([]int64, n)
+		for i, s := range sel {
+			out.Ints[i] = c.Ints[s]
+		}
+	case value.KindFloat:
+		out.Floats = make([]float64, n)
+		for i, s := range sel {
+			out.Floats[i] = c.Floats[s]
+		}
+	case value.KindString:
+		out.Strs = make([]string, n)
+		for i, s := range sel {
+			out.Strs[i] = c.Strs[s]
+		}
+	case value.KindBool:
+		out.Bools = make([]bool, n)
+		for i, s := range sel {
+			out.Bools[i] = c.Bools[s]
+		}
+	}
+	return out
+}
+
+// slice returns a zero-copy view of rows [lo, hi).
+func (c *Col) slice(lo, hi int) Col {
+	if c.Any != nil {
+		return Col{Any: c.Any[lo:hi]}
+	}
+	if c.Kind == value.KindNull {
+		return Col{}
+	}
+	out := Col{Kind: c.Kind}
+	if c.Nulls != nil {
+		out.Nulls = c.Nulls[lo:hi]
+	}
+	switch c.Kind {
+	case value.KindInt:
+		out.Ints = c.Ints[lo:hi]
+	case value.KindFloat:
+		out.Floats = c.Floats[lo:hi]
+	case value.KindString:
+		out.Strs = c.Strs[lo:hi]
+	case value.KindBool:
+		out.Bools = c.Bools[lo:hi]
+	}
+	return out
+}
+
+// appendAll appends all n cells of src to c (whose current length is at).
+func (c *Col) appendAll(at int, src *Col, n int) {
+	if src.Any != nil || c.Any != nil || (c.Kind != value.KindNull && src.Kind != value.KindNull && c.Kind != src.Kind) {
+		// Mixed shapes: degrade to generic and copy cell-wise.
+		if c.Any == nil {
+			c.degrade(at)
+		}
+		for i := 0; i < n; i++ {
+			c.Any = append(c.Any, src.Value(i))
+		}
+		return
+	}
+	if src.Kind == value.KindNull {
+		if c.Kind == value.KindNull {
+			return
+		}
+		for i := 0; i < n; i++ {
+			c.appendNull(at + i)
+		}
+		return
+	}
+	if c.Kind == value.KindNull {
+		if at > 0 {
+			c.Nulls = make([]bool, at)
+			for i := range c.Nulls {
+				c.Nulls[i] = true
+			}
+		}
+		c.Kind = src.Kind
+		c.grow(at)
+	}
+	if c.Nulls != nil || src.Nulls != nil {
+		if c.Nulls == nil {
+			c.Nulls = make([]bool, at)
+		}
+		if src.Nulls != nil {
+			c.Nulls = append(c.Nulls, src.Nulls[:n]...)
+		} else {
+			c.Nulls = append(c.Nulls, make([]bool, n)...)
+		}
+	}
+	switch c.Kind {
+	case value.KindInt:
+		c.Ints = append(c.Ints, src.Ints[:n]...)
+	case value.KindFloat:
+		c.Floats = append(c.Floats, src.Floats[:n]...)
+	case value.KindString:
+		c.Strs = append(c.Strs, src.Strs[:n]...)
+	case value.KindBool:
+		c.Bools = append(c.Bools, src.Bools[:n]...)
+	}
+}
+
+// appendKey appends the canonical value.Encode bytes of cell i to dst.
+// The encoding is byte-identical to Col.Value(i).Encode(dst).
+func (c *Col) appendKey(dst []byte, i int) []byte {
+	if c.Any != nil {
+		return c.Any[i].Encode(dst)
+	}
+	if c.Kind == value.KindNull || (c.Nulls != nil && c.Nulls[i]) {
+		return append(dst, byte(value.KindNull))
+	}
+	dst = append(dst, byte(c.Kind))
+	switch c.Kind {
+	case value.KindInt:
+		u := uint64(c.Ints[i])
+		dst = append(dst, byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32), byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	case value.KindFloat:
+		u := math.Float64bits(c.Floats[i])
+		dst = append(dst, byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32), byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	case value.KindString:
+		s := c.Strs[i]
+		l := uint32(len(s))
+		dst = append(dst, byte(l>>24), byte(l>>16), byte(l>>8), byte(l))
+		dst = append(dst, s...)
+	case value.KindBool:
+		if c.Bools[i] {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+// Batch is a fixed-schema batch of rows in columnar form. rows, when
+// non-nil, is a row-backed batch (produced by FromRowsShared): columns are
+// materialized lazily and Rows() is free.
+type Batch struct {
+	Schema *schema.Schema
+	cols   []Col
+	n      int
+	rows   []tuple.Tuple // non-nil for row-backed batches
+}
+
+// New returns an empty batch with the given schema.
+func New(sch *schema.Schema) *Batch {
+	return &Batch{Schema: sch, cols: make([]Col, sch.Len())}
+}
+
+// FromRows builds a columnar batch from rows (each of the schema's width).
+func FromRows(sch *schema.Schema, rows []tuple.Tuple) *Batch {
+	b := New(sch)
+	for _, t := range rows {
+		b.Append(t)
+	}
+	return b
+}
+
+// FromRowsShared wraps already materialized rows as a row-backed batch
+// without columnarizing: Rows() returns the slice as-is. The caller must
+// treat the rows as immutable.
+func FromRowsShared(sch *schema.Schema, rows []tuple.Tuple) *Batch {
+	return &Batch{Schema: sch, n: len(rows), rows: rows}
+}
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.n }
+
+// Width returns the number of columns.
+func (b *Batch) Width() int {
+	if b.rows != nil {
+		return b.Schema.Len()
+	}
+	return len(b.cols)
+}
+
+// Col returns column j. On a row-backed batch the column is materialized
+// generically on demand.
+func (b *Batch) Col(j int) *Col {
+	if b.rows != nil {
+		anyv := make([]value.Value, b.n)
+		for i, t := range b.rows {
+			anyv[i] = t[j]
+		}
+		return &Col{Any: anyv}
+	}
+	return &b.cols[j]
+}
+
+// At returns the value at row i, column j.
+func (b *Batch) At(i, j int) value.Value {
+	if b.rows != nil {
+		return b.rows[i][j]
+	}
+	return b.cols[j].Value(i)
+}
+
+// Append adds one row to the batch.
+func (b *Batch) Append(t tuple.Tuple) {
+	if b.rows != nil {
+		b.rows = append(b.rows, t)
+		b.n++
+		return
+	}
+	for j := range b.cols {
+		b.cols[j].append(b.n, t[j])
+	}
+	b.n++
+}
+
+// AppendBatch appends all rows of src to b. The schemas must have the same
+// width.
+func (b *Batch) AppendBatch(src *Batch) {
+	if b.rows != nil {
+		b.rows = append(b.rows, src.Rows()...)
+		b.n += src.n
+		return
+	}
+	if src.rows != nil {
+		for _, t := range src.rows {
+			b.Append(t)
+		}
+		return
+	}
+	for j := range b.cols {
+		b.cols[j].appendAll(b.n, &src.cols[j], src.n)
+	}
+	b.n += src.n
+}
+
+// Slice returns a zero-copy view of rows [lo, hi).
+func (b *Batch) Slice(lo, hi int) *Batch {
+	if b.rows != nil {
+		return &Batch{Schema: b.Schema, n: hi - lo, rows: b.rows[lo:hi]}
+	}
+	out := &Batch{Schema: b.Schema, cols: make([]Col, len(b.cols)), n: hi - lo}
+	for j := range b.cols {
+		out.cols[j] = b.cols[j].slice(lo, hi)
+	}
+	return out
+}
+
+// SliceInto writes the zero-copy sub-batch [lo, hi) into out, reusing
+// out's column storage: the allocation-free form of Slice for operators
+// that chunk a batch repeatedly. The result aliases b's vectors and is
+// only valid until the next SliceInto on the same out — callers hand it
+// to consumers that fully process one batch before requesting the next.
+func (b *Batch) SliceInto(out *Batch, lo, hi int) *Batch {
+	cols := out.cols[:0]
+	*out = Batch{Schema: b.Schema, n: hi - lo}
+	if b.rows != nil {
+		out.rows = b.rows[lo:hi]
+		return out
+	}
+	if cap(cols) < len(b.cols) {
+		cols = make([]Col, len(b.cols))
+	}
+	out.cols = cols[:len(b.cols)]
+	for j := range b.cols {
+		out.cols[j] = b.cols[j].slice(lo, hi)
+	}
+	return out
+}
+
+// Project returns a zero-copy batch holding the selected columns under the
+// given output schema.
+func (b *Batch) Project(idx []int, out *schema.Schema) *Batch {
+	res := &Batch{Schema: out, cols: make([]Col, len(idx)), n: b.n}
+	for j, src := range idx {
+		res.cols[j] = *b.Col(src)
+	}
+	return res
+}
+
+// Gather returns a new batch holding the selected rows, in sel order.
+func (b *Batch) Gather(sel []int32) *Batch {
+	if b.rows != nil {
+		rows := make([]tuple.Tuple, len(sel))
+		for i, s := range sel {
+			rows[i] = b.rows[s]
+		}
+		return &Batch{Schema: b.Schema, n: len(sel), rows: rows}
+	}
+	out := &Batch{Schema: b.Schema, cols: make([]Col, len(b.cols)), n: len(sel)}
+	for j := range b.cols {
+		out.cols[j] = b.cols[j].gather(sel)
+	}
+	return out
+}
+
+// GatherConcat builds the join-output batch: for each i, the row l[lsel[i]]
+// concatenated with r[rsel[i]], under schema out.
+func GatherConcat(out *schema.Schema, l *Batch, lsel []int32, r *Batch, rsel []int32) *Batch {
+	lw, rw := l.Width(), r.Width()
+	res := &Batch{Schema: out, cols: make([]Col, lw+rw), n: len(lsel)}
+	lg, rg := l, r
+	if l.rows != nil {
+		lg = l.columnar()
+	}
+	if r.rows != nil {
+		rg = r.columnar()
+	}
+	for j := 0; j < lw; j++ {
+		res.cols[j] = lg.cols[j].gather(lsel)
+	}
+	for j := 0; j < rw; j++ {
+		res.cols[lw+j] = rg.cols[j].gather(rsel)
+	}
+	return res
+}
+
+// columnar converts a row-backed batch to columnar form.
+func (b *Batch) columnar() *Batch {
+	out := New(b.Schema)
+	for _, t := range b.rows {
+		out.Append(t)
+	}
+	return out
+}
+
+// Rows materializes the batch as row tuples. For columnar batches the
+// values are laid out in one slab, with each row a capacity-clamped
+// sub-slice, so downstream appends reallocate rather than overlap. For
+// row-backed batches the underlying rows are returned as-is.
+func (b *Batch) Rows() []tuple.Tuple {
+	if b.rows != nil {
+		return b.rows
+	}
+	n, w := b.n, len(b.cols)
+	rows := make([]tuple.Tuple, n)
+	if w == 0 {
+		for i := range rows {
+			rows[i] = tuple.Tuple{}
+		}
+		return rows
+	}
+	slab := make([]value.Value, n*w)
+	for j := range b.cols {
+		c := &b.cols[j]
+		switch {
+		case c.Any != nil:
+			for i := 0; i < n; i++ {
+				slab[i*w+j] = c.Any[i]
+			}
+		case c.Kind == value.KindNull:
+			// slab zero value is already NULL
+		case c.Kind == value.KindInt:
+			for i := 0; i < n; i++ {
+				if c.Nulls == nil || !c.Nulls[i] {
+					slab[i*w+j] = value.Int(c.Ints[i])
+				}
+			}
+		case c.Kind == value.KindFloat:
+			for i := 0; i < n; i++ {
+				if c.Nulls == nil || !c.Nulls[i] {
+					slab[i*w+j] = value.Float(c.Floats[i])
+				}
+			}
+		case c.Kind == value.KindString:
+			for i := 0; i < n; i++ {
+				if c.Nulls == nil || !c.Nulls[i] {
+					slab[i*w+j] = value.Str(c.Strs[i])
+				}
+			}
+		case c.Kind == value.KindBool:
+			for i := 0; i < n; i++ {
+				if c.Nulls == nil || !c.Nulls[i] {
+					slab[i*w+j] = value.Bool(c.Bools[i])
+				}
+			}
+		}
+	}
+	for i := range rows {
+		rows[i] = tuple.Tuple(slab[i*w : (i+1)*w : (i+1)*w])
+	}
+	return rows
+}
+
+// Row materializes the single row i as a fresh tuple.
+func (b *Batch) Row(i int) tuple.Tuple {
+	if b.rows != nil {
+		return b.rows[i]
+	}
+	out := make(tuple.Tuple, len(b.cols))
+	for j := range b.cols {
+		out[j] = b.cols[j].Value(i)
+	}
+	return out
+}
+
+// AppendKeyOn appends the canonical encoding (tuple.KeyOn) of row i
+// restricted to cols to dst, reusing dst's capacity — the byte-arena
+// replacement for per-tuple Key() strings on hash and dedup paths.
+func (b *Batch) AppendKeyOn(dst []byte, cols []int, i int) []byte {
+	if b.rows != nil {
+		t := b.rows[i]
+		for _, j := range cols {
+			dst = t[j].Encode(dst)
+		}
+		return dst
+	}
+	for _, j := range cols {
+		dst = b.cols[j].appendKey(dst, i)
+	}
+	return dst
+}
+
+// AppendKey appends the canonical full-row encoding (tuple.Encode) of row i
+// to dst.
+func (b *Batch) AppendKey(dst []byte, i int) []byte {
+	if b.rows != nil {
+		return b.rows[i].Encode(dst)
+	}
+	for j := range b.cols {
+		dst = b.cols[j].appendKey(dst, i)
+	}
+	return dst
+}
+
+// HasNullAt reports whether row i is NULL in any of the given columns.
+func (b *Batch) HasNullAt(cols []int, i int) bool {
+	if b.rows != nil {
+		for _, j := range cols {
+			if b.rows[i][j].IsNull() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, j := range cols {
+		if b.cols[j].Null(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// ColBuilder accumulates values into a column, degrading representation as
+// values demand (the same logic Batch.Append uses per column).
+type ColBuilder struct {
+	col Col
+	n   int
+}
+
+// Append adds v as the next cell.
+func (cb *ColBuilder) Append(v value.Value) {
+	cb.col.append(cb.n, v)
+	cb.n++
+}
+
+// Col returns the built column.
+func (cb *ColBuilder) Col() Col { return cb.col }
+
+// Len returns the number of cells appended.
+func (cb *ColBuilder) Len() int { return cb.n }
+
+// FromCols assembles a batch directly from built columns (each of length n).
+func FromCols(sch *schema.Schema, cols []Col, n int) *Batch {
+	return &Batch{Schema: sch, cols: cols, n: n}
+}

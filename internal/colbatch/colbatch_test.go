@@ -1,0 +1,177 @@
+package colbatch
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+func mixedRows() []tuple.Tuple {
+	return []tuple.Tuple{
+		{value.Int(1), value.Float(1.5), value.Str("a"), value.Bool(true)},
+		{value.Int(-2), value.Float(math.Inf(-1)), value.Str(""), value.Bool(false)},
+		{value.Null(), value.Null(), value.Null(), value.Null()},
+		{value.Int(1 << 40), value.Float(0), value.Str("Ü\x00z"), value.Bool(true)},
+	}
+}
+
+func mixedBatch() *Batch {
+	sch := schema.New("i", "f", "s", "b")
+	b := New(sch)
+	for _, t := range mixedRows() {
+		b.Append(t)
+	}
+	return b
+}
+
+// TestAppendKeyMatchesTupleEncode: the batch key bytes are the contract
+// that lets batch operators share hash tables and dedup sets with the row
+// operators' tuple.Encode keys — they must match byte for byte.
+func TestAppendKeyMatchesTupleEncode(t *testing.T) {
+	b := mixedBatch()
+	for i, row := range mixedRows() {
+		want := string(row.Encode(nil))
+		if got := string(b.AppendKey(nil, i)); got != want {
+			t.Errorf("row %d: AppendKey = %q, want %q", i, got, want)
+		}
+		// Column-subset keys match the projected tuple's encoding.
+		sub := []int{2, 0}
+		wantSub := string(tuple.Tuple{row[2], row[0]}.Encode(nil))
+		if got := string(b.AppendKeyOn(nil, sub, i)); got != wantSub {
+			t.Errorf("row %d: AppendKeyOn(%v) = %q, want %q", i, sub, got, wantSub)
+		}
+	}
+}
+
+// TestRoundTrip: At, Row and Rows reproduce the appended tuples exactly.
+func TestRoundTrip(t *testing.T) {
+	b := mixedBatch()
+	rows := mixedRows()
+	if b.Len() != len(rows) || b.Width() != 4 {
+		t.Fatalf("shape = %d×%d", b.Len(), b.Width())
+	}
+	for i, row := range rows {
+		if got := string(b.Row(i).Encode(nil)); got != string(row.Encode(nil)) {
+			t.Errorf("Row(%d) = %v, want %v", i, b.Row(i), row)
+		}
+		for j, v := range row {
+			if got := b.At(i, j); !value.Equal(got, v) && !(got.IsNull() && v.IsNull()) {
+				t.Errorf("At(%d,%d) = %v, want %v", i, j, got, v)
+			}
+		}
+	}
+	for i, r := range b.Rows() {
+		if got := string(r.Encode(nil)); got != string(rows[i].Encode(nil)) {
+			t.Errorf("Rows()[%d] = %v, want %v", i, r, rows[i])
+		}
+	}
+	// The Rows slab is append-safe: growing one row must not clobber the
+	// next row's cells (3-index slicing).
+	grown := append(b.Rows()[0], value.Int(99))
+	_ = grown
+	if got := string(b.Rows()[1].Encode(nil)); got != string(rows[1].Encode(nil)) {
+		t.Error("appending to one slab row corrupted its neighbour")
+	}
+}
+
+// TestNullAdoption: a column that starts with NULLs adopts the kind of the
+// first non-NULL cell with a backfilled bitmap that stays in sync (the
+// bitmap must include an entry for the adopting cell itself).
+func TestNullAdoption(t *testing.T) {
+	sch := schema.New("x")
+	b := New(sch)
+	b.Append(tuple.Tuple{value.Null()})
+	b.Append(tuple.Tuple{value.Null()})
+	b.Append(tuple.Tuple{value.Int(7)})
+	b.Append(tuple.Tuple{value.Null()})
+	want := []value.Value{value.Null(), value.Null(), value.Int(7), value.Null()}
+	for i, w := range want {
+		got := b.At(i, 0)
+		if w.IsNull() != got.IsNull() || (!w.IsNull() && !value.Equal(got, w)) {
+			t.Errorf("At(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// The adoption bug regression: slicing after adoption must not walk a
+	// short null bitmap.
+	s := b.Slice(1, 4)
+	if s.Len() != 3 || !s.At(0, 0).IsNull() || s.At(1, 0).AsInt() != 7 {
+		t.Errorf("slice after adoption = %v", s.Rows())
+	}
+}
+
+// TestDegrade: a kind conflict degrades the column to boxed values without
+// losing cells.
+func TestDegrade(t *testing.T) {
+	sch := schema.New("x")
+	b := New(sch)
+	b.Append(tuple.Tuple{value.Int(1)})
+	b.Append(tuple.Tuple{value.Str("two")})
+	b.Append(tuple.Tuple{value.Null()})
+	if got := b.At(0, 0); got.AsInt() != 1 {
+		t.Errorf("cell 0 = %v", got)
+	}
+	if got := b.At(1, 0); got.AsStr() != "two" {
+		t.Errorf("cell 1 = %v", got)
+	}
+	if !b.At(2, 0).IsNull() {
+		t.Error("cell 2 lost its NULL")
+	}
+}
+
+// TestSliceInto: the reusable window aliases the parent without
+// allocating per call, and rewriting it moves the window.
+func TestSliceInto(t *testing.T) {
+	b := mixedBatch()
+	var chunk Batch
+	w1 := b.SliceInto(&chunk, 0, 2)
+	if w1.Len() != 2 || w1.At(0, 0).AsInt() != 1 {
+		t.Fatalf("first window = %v", w1.Rows())
+	}
+	w2 := b.SliceInto(&chunk, 2, 4)
+	if w2 != &chunk || w2.Len() != 2 || !w2.At(0, 0).IsNull() {
+		t.Fatalf("second window = %v", w2.Rows())
+	}
+}
+
+// TestGatherConcat joins selected halves of two batches side by side.
+func TestGatherConcat(t *testing.T) {
+	l, r := mixedBatch(), mixedBatch()
+	out := GatherConcat(l.Schema.Concat(r.Schema), l, []int32{3, 0}, r, []int32{1, 2})
+	if out.Len() != 2 || out.Width() != 8 {
+		t.Fatalf("shape = %d×%d", out.Len(), out.Width())
+	}
+	rows := mixedRows()
+	want := string(append(rows[3].Clone(), rows[1]...).Encode(nil))
+	if got := string(out.Row(0).Encode(nil)); got != want {
+		t.Errorf("row 0 = %q, want %q", got, want)
+	}
+}
+
+// TestFromRowsSharedAliases: FromRowsShared serves the caller's tuples
+// back without copying; FromRows is the defensive variant.
+func TestFromRowsSharedAliases(t *testing.T) {
+	rows := mixedRows()
+	shared := FromRowsShared(schema.New("i", "f", "s", "b"), rows)
+	if got := shared.Rows(); &got[0][0] != &rows[0][0] {
+		t.Error("FromRowsShared copied its input")
+	}
+}
+
+func TestColBuilder(t *testing.T) {
+	var cb ColBuilder
+	for i := 0; i < 3; i++ {
+		cb.Append(value.Int(int64(i)))
+	}
+	cb.Append(value.Null())
+	col := cb.Col()
+	b := FromCols(schema.New("n"), []Col{col}, cb.Len())
+	want := "(0) (1) (2) (NULL)"
+	got := fmt.Sprintf("%v %v %v %v", b.Row(0), b.Row(1), b.Row(2), b.Row(3))
+	if got != want {
+		t.Errorf("builder column = %s, want %s", got, want)
+	}
+}

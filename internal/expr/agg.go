@@ -110,6 +110,17 @@ func (a *Accumulator) Add(ctx *Context) error {
 	if err != nil {
 		return err
 	}
+	return a.AddValue(v)
+}
+
+// AddStar counts one row for count(*) without evaluating an argument; it is
+// the batch path's equivalent of Add for AggCountStar specs.
+func (a *Accumulator) AddStar() { a.count++ }
+
+// AddValue folds an already evaluated argument value into the accumulator —
+// the entry point for the vectorized aggregate, which evaluates argument
+// columns batch-at-a-time and feeds cells in row order.
+func (a *Accumulator) AddValue(v value.Value) error {
 	if v.IsNull() {
 		return nil // SQL aggregates skip NULLs
 	}

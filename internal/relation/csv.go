@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"maybms/internal/colbatch"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
 	"maybms/internal/value"
@@ -13,14 +14,23 @@ import (
 // ReadCSV loads a relation from CSV. The first record is the header and
 // becomes the (unqualified) schema. Field values are interpreted with
 // value.Parse (NULL, booleans, numbers, else text).
+//
+// Records append straight into a columnar batch (with the csv reader's
+// record slice reused across rows), so bulk load allocates per column, not
+// per row; the loaded relation carries the batch as its cached columnar
+// view and its tuples are materialized from one slab.
 func ReadCSV(r io.Reader) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
 	}
-	rel := New(schema.New(header...))
+	sch := schema.New(header...)
+	batch := colbatch.New(sch)
+	width := sch.Len()
+	row := make(tuple.Tuple, width)
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -29,14 +39,17 @@ func ReadCSV(r io.Reader) (*Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("relation: reading CSV row: %w", err)
 		}
-		row := make(tuple.Tuple, len(rec))
+		if len(rec) != width {
+			return nil, fmt.Errorf("relation: tuple width %d does not match schema %s", len(rec), sch)
+		}
 		for i, field := range rec {
 			row[i] = value.Parse(field)
 		}
-		if err := rel.Append(row); err != nil {
-			return nil, err
-		}
+		batch.Append(row)
 	}
+	rel := New(sch)
+	rel.Tuples = batch.Rows()
+	rel.SetBatch(batch)
 	return rel, nil
 }
 

@@ -5,11 +5,15 @@
 package relation
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
+	"maybms/internal/colbatch"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
 )
@@ -17,10 +21,39 @@ import (
 // Relation is a schema plus a bag of tuples. Most engine operations treat
 // relations as immutable after construction; Append is only used while
 // building.
+//
+// Two lazily built caches ride along: a columnar view (Batch) feeding the
+// vectorized read path and an encoded-key set (Contains). Both are validated
+// by tuple count, so appending after a cached read rebuilds them; they are
+// safe for concurrent readers.
 type Relation struct {
 	Schema *schema.Schema
 	Tuples []tuple.Tuple
+
+	batch atomic.Pointer[colbatch.Batch]
+	keys  atomic.Pointer[keyIndex]
 }
+
+type keyIndex struct {
+	n   int
+	set map[string]struct{}
+}
+
+// Batch returns a columnar view of the relation, building and caching it on
+// first use. The view is valid as long as the tuple count is unchanged;
+// callers must treat it as immutable.
+func (r *Relation) Batch() *colbatch.Batch {
+	if b := r.batch.Load(); b != nil && b.Len() == len(r.Tuples) {
+		return b
+	}
+	b := colbatch.FromRows(r.Schema, r.Tuples)
+	r.batch.Store(b)
+	return b
+}
+
+// SetBatch installs a pre-built columnar view (the CSV loader builds the
+// batch first and materializes rows from it).
+func (r *Relation) SetBatch(b *colbatch.Batch) { r.batch.Store(b) }
 
 // New creates an empty relation with the given schema.
 func New(s *schema.Schema) *Relation {
@@ -82,26 +115,42 @@ func (r *Relation) WithSchema(s *schema.Schema) *Relation {
 func (r *Relation) Distinct() *Relation {
 	out := New(r.Schema)
 	seen := make(map[string]struct{}, len(r.Tuples))
+	var buf []byte
 	for _, t := range r.Tuples {
-		k := t.Key()
-		if _, ok := seen[k]; ok {
+		// One scratch buffer for all rows; the string(buf) lookup does not
+		// allocate, and the key string is materialized only on first
+		// occurrence.
+		buf = t.Encode(buf[:0])
+		if _, ok := seen[string(buf)]; ok {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(buf)] = struct{}{}
 		out.Tuples = append(out.Tuples, t)
 	}
 	return out
 }
 
-// Contains reports whether r contains a tuple equal to t.
+// Contains reports whether r contains a tuple equal to t. The encoded-key
+// set is built lazily on first use and reused while the tuple count is
+// unchanged, so repeated membership tests are O(1) instead of a scan that
+// re-encodes every candidate.
 func (r *Relation) Contains(t tuple.Tuple) bool {
-	k := t.Key()
-	for _, u := range r.Tuples {
-		if u.Key() == k {
-			return true
+	idx := r.keys.Load()
+	if idx == nil || idx.n != len(r.Tuples) {
+		set := make(map[string]struct{}, len(r.Tuples))
+		var buf []byte
+		for _, u := range r.Tuples {
+			buf = u.Encode(buf[:0])
+			if _, ok := set[string(buf)]; !ok {
+				set[string(buf)] = struct{}{}
+			}
 		}
+		idx = &keyIndex{n: len(r.Tuples), set: set}
+		r.keys.Store(idx)
 	}
-	return false
+	buf := t.Encode(make([]byte, 0, 48))
+	_, ok := idx.set[string(buf)]
+	return ok
 }
 
 // Sort returns a copy of r with tuples in canonical order.
@@ -118,18 +167,39 @@ func (r *Relation) Sort() *Relation {
 // (up to hash collisions; tuples are canonically encoded and sorted before
 // hashing, so collisions require FNV collisions).
 func (r *Relation) Fingerprint() uint64 {
-	keys := make([]string, 0, len(r.Tuples))
-	seen := make(map[string]struct{}, len(r.Tuples))
-	for _, t := range r.Tuples {
-		k := t.Key()
-		if _, ok := seen[k]; ok {
+	// Encode every tuple into one arena, sort offset indexes by encoded
+	// bytes, and stream the unique keys straight into the hash — the same
+	// byte stream FingerprintKeys hashes, with no per-tuple key strings.
+	n := len(r.Tuples)
+	arena := make([]byte, 0, n*16)
+	offs := make([]int32, n+1)
+	for i, t := range r.Tuples {
+		arena = t.Encode(arena)
+		offs[i+1] = int32(len(arena))
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	seg := func(i int32) []byte { return arena[offs[i]:offs[i+1]] }
+	sort.Slice(idx, func(a, b int) bool { return bytes.Compare(seg(idx[a]), seg(idx[b])) < 0 })
+	h := fnv.New64a()
+	var num [24]byte
+	var prev []byte
+	first := true
+	for _, id := range idx {
+		s := seg(id)
+		if !first && bytes.Equal(s, prev) {
 			continue
 		}
-		seen[k] = struct{}{}
-		keys = append(keys, k)
+		first = false
+		prev = s
+		pre := strconv.AppendInt(num[:0], int64(len(s)), 10)
+		pre = append(pre, ':')
+		h.Write(pre)
+		h.Write(s)
 	}
-	sort.Strings(keys)
-	return FingerprintKeys(keys)
+	return h.Sum64()
 }
 
 // CanonicalKeyBytes encodes an already deduplicated, already sorted list
@@ -145,7 +215,8 @@ func CanonicalKeyBytes(sortedKeys []string) []byte {
 	}
 	out := make([]byte, 0, n)
 	for _, k := range sortedKeys {
-		out = append(out, fmt.Sprintf("%d:", len(k))...)
+		out = strconv.AppendInt(out, int64(len(k)), 10)
+		out = append(out, ':')
 		out = append(out, k...)
 	}
 	return out
@@ -181,8 +252,12 @@ func (r *Relation) EqualSet(s *Relation) bool {
 
 func keySet(r *Relation) map[string]struct{} {
 	out := make(map[string]struct{}, len(r.Tuples))
+	var buf []byte
 	for _, t := range r.Tuples {
-		out[t.Key()] = struct{}{}
+		buf = t.Encode(buf[:0])
+		if _, ok := out[string(buf)]; !ok {
+			out[string(buf)] = struct{}{}
+		}
 	}
 	return out
 }
@@ -201,14 +276,15 @@ func Intersect(r, s *Relation) *Relation {
 	b := keySet(s)
 	out := New(r.Schema)
 	seen := map[string]struct{}{}
+	var buf []byte
 	for _, t := range r.Tuples {
-		k := t.Key()
-		if _, dup := seen[k]; dup {
+		buf = t.Encode(buf[:0])
+		if _, dup := seen[string(buf)]; dup {
 			continue
 		}
-		if _, ok := b[k]; ok {
+		if _, ok := b[string(buf)]; ok {
 			out.Tuples = append(out.Tuples, t)
-			seen[k] = struct{}{}
+			seen[string(buf)] = struct{}{}
 		}
 	}
 	return out
@@ -219,14 +295,15 @@ func Diff(r, s *Relation) *Relation {
 	b := keySet(s)
 	out := New(r.Schema)
 	seen := map[string]struct{}{}
+	var buf []byte
 	for _, t := range r.Tuples {
-		k := t.Key()
-		if _, dup := seen[k]; dup {
+		buf = t.Encode(buf[:0])
+		if _, dup := seen[string(buf)]; dup {
 			continue
 		}
-		if _, ok := b[k]; !ok {
+		if _, ok := b[string(buf)]; !ok {
 			out.Tuples = append(out.Tuples, t)
-			seen[k] = struct{}{}
+			seen[string(buf)] = struct{}{}
 		}
 	}
 	return out
@@ -236,13 +313,27 @@ func Diff(r, s *Relation) *Relation {
 // It returns the distinct group keys in first-appearance order and a map
 // from group key to member tuples.
 func (r *Relation) GroupBy(indexes []int) (order []string, groups map[string][]tuple.Tuple) {
-	groups = make(map[string][]tuple.Tuple)
+	// Group membership is accumulated positionally (index map → slice) so
+	// the per-row map writes use the no-allocation string(buf) lookup; key
+	// strings are materialized once per distinct group.
+	idx := make(map[string]int)
+	var members [][]tuple.Tuple
+	var buf []byte
 	for _, t := range r.Tuples {
-		k := t.KeyOn(indexes)
-		if _, ok := groups[k]; !ok {
+		buf = t.EncodeOn(buf[:0], indexes)
+		gi, ok := idx[string(buf)]
+		if !ok {
+			k := string(buf)
+			gi = len(members)
+			idx[k] = gi
 			order = append(order, k)
+			members = append(members, nil)
 		}
-		groups[k] = append(groups[k], t)
+		members[gi] = append(members[gi], t)
+	}
+	groups = make(map[string][]tuple.Tuple, len(order))
+	for gi, k := range order {
+		groups[k] = members[gi]
 	}
 	return order, groups
 }

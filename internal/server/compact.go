@@ -66,6 +66,11 @@ var errCompactUnsupported = ErrUnsupported
 //     predicate subqueries over several components)
 //   - SELECT <exprs>, CONF <plain SQL core>      — exact confidences, same
 //     routing
+//   - SELECT <exprs>, APPROX CONF <plain SQL core> — exact confidences via
+//     the same routing while it fits; when the classic path's component
+//     merge would exceed the expansion limit (where CONF fails), a seeded
+//     Monte-Carlo estimate over sampled worlds (wsd.ApproxSamples /
+//     wsd.ApproxSeed; deterministic for a fixed pair)
 //   - SELECT … GROUP WORLDS BY (q)               — groups from a
 //     per-component frontier fold over q's answer fingerprints
 //     (Σ alternatives evaluations) when q's plan decomposes and touches
@@ -261,7 +266,7 @@ func (b *compactBackend) execCreateAs(st *sqlparse.CreateTableAs) (*core.Result,
 	if gw != nil && sqlparse.HasISQLDeep(gw) {
 		return nil, fmt.Errorf("group worlds by subquery must be plain SQL")
 	}
-	if cl == wsd.ClosureConf && !b.weighted {
+	if cl.IsConf() && !b.weighted {
 		return nil, fmt.Errorf("conf requires a probabilistic session: %w", worldset.ErrNotWeighted)
 	}
 	if err := b.d.CreateTableAsClosure(st.Name, qcore, cl, gw); err != nil {
@@ -283,7 +288,7 @@ func (b *compactBackend) execSelect(st *sqlparse.SelectStmt) (*core.Result, erro
 	if err != nil {
 		return nil, err
 	}
-	if cl == wsd.ClosureConf && !b.weighted {
+	if cl.IsConf() && !b.weighted {
 		return nil, fmt.Errorf("conf requires a probabilistic session: %w", worldset.ErrNotWeighted)
 	}
 	if st.GroupWorlds != nil {

@@ -169,11 +169,20 @@ func (e Star) String() string {
 
 // ConfExpr is the I-SQL CONF pseudo-aggregate appearing in a select list:
 // the sum of probabilities of the worlds whose answer contains the tuple.
-type ConfExpr struct{}
+// With Approx set (APPROX CONF) the engine may substitute a seeded
+// Monte-Carlo estimate when the exact computation exceeds its merge budget.
+type ConfExpr struct {
+	Approx bool
+}
 
 func (ConfExpr) exprNode() {}
 
-func (ConfExpr) String() string { return "conf" }
+func (e ConfExpr) String() string {
+	if e.Approx {
+		return "approx conf"
+	}
+	return "conf"
+}
 
 // Quantifier is the optional world-closing quantifier after SELECT.
 type Quantifier uint8

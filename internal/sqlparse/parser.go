@@ -358,6 +358,19 @@ func (p *parser) parseSelectItem() (SelectItem, error) {
 		p.tz.Advance()
 		return SelectItem{Expr: Star{Qualifier: q}}, nil
 	}
+	// APPROX CONF pseudo-aggregate (Monte-Carlo escape hatch).
+	if p.tz.Cur().IsKeyword("approx") && p.tz.Peek(1).IsKeyword("conf") &&
+		!p.tz.Peek(2).IsSymbol("(") && !p.tz.Peek(2).IsSymbol(".") {
+		p.tz.Advance()
+		p.tz.Advance()
+		item := SelectItem{Expr: ConfExpr{Approx: true}}
+		if alias, ok, err := p.parseOptionalAlias(); err != nil {
+			return SelectItem{}, err
+		} else if ok {
+			item.Alias = alias
+		}
+		return item, nil
+	}
 	// CONF pseudo-aggregate.
 	if p.tz.Cur().IsKeyword("conf") && !p.tz.Peek(1).IsSymbol("(") && !p.tz.Peek(1).IsSymbol(".") {
 		p.tz.Advance()

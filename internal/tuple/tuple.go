@@ -55,11 +55,16 @@ func (t Tuple) Key() string { return string(t.Encode(nil)) }
 
 // KeyOn returns the canonical encoding of the projection of t on indexes.
 func (t Tuple) KeyOn(indexes []int) string {
-	var dst []byte
+	return string(t.EncodeOn(nil, indexes))
+}
+
+// EncodeOn appends the canonical encoding of the projection of t on indexes
+// to dst — the scratch-buffer form of KeyOn for hot dedup and hash loops.
+func (t Tuple) EncodeOn(dst []byte, indexes []int) []byte {
 	for _, idx := range indexes {
 		dst = t[idx].Encode(dst)
 	}
-	return string(dst)
+	return dst
 }
 
 // Compare orders tuples lexicographically by value.Compare, shorter tuples

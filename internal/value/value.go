@@ -309,12 +309,14 @@ func cmpFloat(a, b float64) int {
 // Parse interprets a literal string as a Value: NULL, true/false, integer,
 // float, else string. Used by the CSV loader and the REPL.
 func Parse(s string) Value {
-	switch strings.ToUpper(s) {
-	case "NULL", "":
+	// Case-insensitive keyword checks via EqualFold: ToUpper would allocate
+	// per field on the CSV bulk-load path.
+	switch {
+	case s == "" || strings.EqualFold(s, "NULL"):
 		return Null()
-	case "TRUE":
+	case strings.EqualFold(s, "TRUE"):
 		return Bool(true)
-	case "FALSE":
+	case strings.EqualFold(s, "FALSE"):
 		return Bool(false)
 	}
 	if i, err := strconv.ParseInt(s, 10, 64); err == nil {

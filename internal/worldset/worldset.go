@@ -184,8 +184,11 @@ func PossibleWorkers(results []*relation.Relation, workers int, interrupt func()
 		out := relation.New(a.Schema)
 		out.Tuples = append(out.Tuples, a.Tuples...)
 		seen := keySetOf(a)
+		var buf []byte
 		for _, t := range b.Tuples {
-			if _, dup := seen[t.Key()]; !dup {
+			// Scratch-encoded probe: no key-string allocation per lookup.
+			buf = t.Encode(buf[:0])
+			if _, dup := seen[string(buf)]; !dup {
 				out.Tuples = append(out.Tuples, t)
 			}
 		}
@@ -208,8 +211,12 @@ func poll(interrupt func() error) error {
 // keySetOf returns the set of tuple keys of r.
 func keySetOf(r *relation.Relation) map[string]struct{} {
 	out := make(map[string]struct{}, len(r.Tuples))
+	var buf []byte
 	for _, t := range r.Tuples {
-		out[t.Key()] = struct{}{}
+		buf = t.Encode(buf[:0])
+		if _, dup := out[string(buf)]; !dup {
+			out[string(buf)] = struct{}{}
+		}
 	}
 	return out
 }
@@ -296,11 +303,13 @@ func ConfWorkers(results []*relation.Relation, probs []float64, workers int, int
 			return nil, err
 		}
 		p := &confPartial{tuples: map[string]tuple.Tuple{}, inWorld: map[string][]int32{}}
+		var buf []byte
 		for _, t := range results[i].Tuples {
-			k := t.Key()
-			if _, dup := p.tuples[k]; dup {
+			buf = t.Encode(buf[:0])
+			if _, dup := p.tuples[string(buf)]; dup {
 				continue
 			}
+			k := string(buf)
 			p.tuples[k] = t
 			p.inWorld[k] = []int32{int32(i)}
 			p.order = append(p.order, k)
@@ -353,14 +362,16 @@ func confSequential(results []*relation.Relation, probs []float64, interrupt fun
 	}
 	var order []string
 	acc := map[string]*entry{}
+	var buf []byte
 	for i, r := range results {
 		if err := poll(interrupt); err != nil {
 			return nil, err
 		}
 		for _, t := range r.Tuples {
-			k := t.Key()
-			e, ok := acc[k]
+			buf = t.Encode(buf[:0])
+			e, ok := acc[string(buf)]
 			if !ok {
+				k := string(buf)
 				e = &entry{t: t, lastWorld: -1}
 				acc[k] = e
 				order = append(order, k)

@@ -1,0 +1,93 @@
+package wsd
+
+// APPROX CONF escape hatch: when the classic routing would have to merge
+// involved components past MergeLimit, the confidence closure degrades to
+// a seeded Monte-Carlo estimate instead of failing. Worlds are sampled by
+// drawing one alternative per involved component according to its
+// probabilities; a tuple's confidence estimate is the fraction of sampled
+// worlds whose answer contains it. The estimator is unbiased with standard
+// error ≤ 1/(2√samples), mirroring internal/urel's ConfMC over lineage.
+
+import (
+	"math/rand"
+
+	"maybms/internal/plan"
+	"maybms/internal/relation"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// DefaultApproxSamples is the Monte-Carlo sample count used when
+// ApproxSamples is unset.
+const DefaultApproxSamples = 1000
+
+// confMonteCarlo estimates the CONF closure over the worlds spanned by the
+// involved components compIdx without merging them: each sample draws one
+// alternative per component, evaluates the query in that world, and counts
+// the distinct tuples of the answer. Output rows appear in first-appearance
+// order across samples, each extended with its estimated confidence; the
+// estimate is deterministic for a fixed (ApproxSeed, ApproxSamples) pair.
+func (d *WSD) confMonteCarlo(compIdx []int, eval func(cat plan.Catalog) (*relation.Relation, error)) (*relation.Relation, error) {
+	samples := d.ApproxSamples
+	if samples <= 0 {
+		samples = DefaultApproxSamples
+	}
+	rng := rand.New(rand.NewSource(d.ApproxSeed))
+
+	counts := map[string]int{}
+	rep := map[string]tuple.Tuple{}
+	var order []string
+	var out *relation.Relation
+	sel := make(map[int]int, len(compIdx))
+	seen := map[string]struct{}{}
+	var buf []byte
+	for s := 0; s < samples; s++ {
+		if err := d.interrupted(); err != nil {
+			return nil, err
+		}
+		for _, ci := range compIdx {
+			sel[ci] = sampleAlternative(d.comps[ci], rng)
+		}
+		res, err := eval(newPartsCatalog(d, sel))
+		if err != nil {
+			return nil, err
+		}
+		if out == nil {
+			out = relation.New(res.Schema.Concat(confSchema()))
+		}
+		clear(seen)
+		for _, t := range res.Tuples {
+			buf = t.Encode(buf[:0])
+			if _, dup := seen[string(buf)]; dup {
+				continue
+			}
+			k := string(buf)
+			seen[k] = struct{}{}
+			if _, ok := counts[k]; !ok {
+				order = append(order, k)
+				rep[k] = t.Clone()
+			}
+			counts[k]++
+		}
+	}
+	for _, k := range order {
+		conf := float64(counts[k]) / float64(samples)
+		out.Tuples = append(out.Tuples, append(rep[k], value.Float(conf)))
+	}
+	return out, nil
+}
+
+// sampleAlternative draws an alternative index of c according to the
+// alternatives' probabilities (the last alternative absorbs residual mass,
+// so float accumulation noise cannot select out of range).
+func sampleAlternative(c *Component, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i := 0; i < len(c.Alts)-1; i++ {
+		acc += c.Alts[i].Prob
+		if u < acc {
+			return i
+		}
+	}
+	return len(c.Alts) - 1
+}

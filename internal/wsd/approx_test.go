@@ -1,0 +1,121 @@
+package wsd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"maybms/internal/relation"
+)
+
+// approxWSD builds k independent components of m uniform alternatives each
+// (merged: m^k alternatives) with the componentwise path disabled, so CONF
+// must go through the classic merge.
+func approxWSD(t *testing.T, k, m, mergeLimit int) *WSD {
+	t.Helper()
+	d := New(true)
+	r := relation.New(figure1R().Schema.Project([]int{0, 1}))
+	for g := 0; g < k; g++ {
+		for v := 0; v < m; v++ {
+			r.MustAppend(row(fmt.Sprintf("g%02d", g), v))
+		}
+	}
+	if err := d.PutCertain("R", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"A"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	d.DisableComponentwise = true
+	d.MergeLimit = mergeLimit
+	return d
+}
+
+// TestApproxConfMatchesExactWhenMergeFits: while the merge fits the limit,
+// APPROX CONF takes the very same exact routing as CONF — byte-identical
+// answers, order included.
+func TestApproxConfMatchesExactWhenMergeFits(t *testing.T) {
+	d := approxWSD(t, 4, 3, DefaultMergeLimit)
+	exact := renderRel(selectOn(t, d, "select conf, A, B from I"))
+	approx := renderRel(selectOn(t, d, "select approx conf, A, B from I"))
+	if approx != exact {
+		t.Fatalf("approx conf diverged from exact within the merge limit:\n%s\nwant:\n%s", approx, exact)
+	}
+}
+
+// TestApproxConfFallsBackToMonteCarlo: past the merge limit CONF fails with
+// ErrMergeTooBig while APPROX CONF switches to the seeded sampler — a
+// deterministic estimate close to the known exact confidence 1/m.
+func TestApproxConfFallsBackToMonteCarlo(t *testing.T) {
+	const k, m = 8, 3 // merged: 3^8 = 6561 alternatives
+	build := func() *WSD {
+		d := approxWSD(t, k, m, 64)
+		d.ApproxSamples = 4000
+		d.ApproxSeed = 7
+		return d
+	}
+	d := build()
+
+	core, cl := parseCore(t, "select conf, A, B from I")
+	if _, err := d.SelectClosure(core, cl); !errors.Is(err, ErrMergeTooBig) {
+		t.Fatalf("exact conf past the limit: err = %v, want ErrMergeTooBig", err)
+	}
+
+	est := selectOn(t, d, "select approx conf, A, B from I")
+	if want := k * m; len(est.Tuples) != want {
+		t.Fatalf("estimated %d possible tuples, want %d", len(est.Tuples), want)
+	}
+	if got := est.Schema.At(est.Schema.Len() - 1).Name; got != "conf" {
+		t.Fatalf("trailing column = %q, want conf", got)
+	}
+	// True confidence of every tuple is 1/m; with 4000 samples the binomial
+	// standard error is ≈ 0.0075, so 0.05 is a ≥ 6σ tolerance.
+	for _, tp := range est.Tuples {
+		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-1.0/m) > 0.05 {
+			t.Fatalf("tuple %v: estimate %v too far from %v", tp[:len(tp)-1], c, 1.0/m)
+		}
+	}
+
+	// Same seed and sample count → byte-identical estimate (fresh WSD: the
+	// failed exact attempt above must not have consumed randomness either).
+	again := selectOn(t, build(), "select approx conf, A, B from I")
+	if renderRel(again) != renderRel(est) {
+		t.Fatalf("seeded estimate not deterministic:\n%s\nvs:\n%s", renderRel(again), renderRel(est))
+	}
+
+	// A different seed resamples: expect at least one conf cell to move.
+	other := build()
+	other.ApproxSeed = 8
+	moved := false
+	for i, tp := range selectOn(t, other, "select approx conf, A, B from I").Tuples {
+		if tp[len(tp)-1].AsFloat() != est.Tuples[i][len(tp)-1].AsFloat() {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("changing the seed left every estimate unchanged")
+	}
+}
+
+// TestApproxConfUnweighted: APPROX CONF inherits CONF's weighted-session
+// requirement.
+func TestApproxConfUnweighted(t *testing.T) {
+	d := New(false)
+	r := relation.New(figure1R().Schema.Project([]int{0, 1}))
+	r.MustAppend(row("a", 1))
+	if err := d.PutCertain("R", r); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RepairByKey("R", "I", []string{"A"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	core, cl := parseCore(t, "select approx conf, A from I")
+	if cl != ClosureApproxConf {
+		t.Fatalf("closure = %v, want ClosureApproxConf", cl)
+	}
+	if _, err := d.SelectClosure(core, cl); !errors.Is(err, ErrConfUnweighted) {
+		t.Fatalf("err = %v, want ErrConfUnweighted", err)
+	}
+}

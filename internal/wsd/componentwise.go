@@ -75,6 +75,14 @@ func (pc partsCatalog) Lookup(name string) (*relation.Relation, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
 	}
 	out := relation.New(sch)
+	total := 0
+	if cert, ok := pc.d.certain[k]; ok {
+		total += len(cert.Tuples)
+	}
+	for _, ci := range pc.order {
+		total += len(pc.d.comps[ci].Alts[pc.sel[ci]].Tuples[k])
+	}
+	out.Tuples = make([]tuple.Tuple, 0, total)
 	if cert, ok := pc.d.certain[k]; ok {
 		out.Tuples = append(out.Tuples, cert.Tuples...)
 	}
@@ -183,6 +191,7 @@ func (p *componentParts) emit(fn func(t tuple.Tuple)) error {
 // part's answer, polling the Interrupt hook once per part.
 func (p *componentParts) keySets() ([][]map[string]struct{}, error) {
 	out := make([][]map[string]struct{}, len(p.parts))
+	var buf []byte
 	for i, alts := range p.parts {
 		out[i] = make([]map[string]struct{}, len(alts))
 		for a, rel := range alts {
@@ -191,7 +200,10 @@ func (p *componentParts) keySets() ([][]map[string]struct{}, error) {
 			}
 			set := make(map[string]struct{}, len(rel.Tuples))
 			for _, t := range rel.Tuples {
-				set[t.Key()] = struct{}{}
+				buf = t.Encode(buf[:0])
+				if _, dup := set[string(buf)]; !dup {
+					set[string(buf)] = struct{}{}
+				}
 			}
 			out[i][a] = set
 		}
@@ -204,12 +216,15 @@ func (p *componentParts) keySets() ([][]map[string]struct{}, error) {
 func possibleFromParts(p *componentParts) (*relation.Relation, error) {
 	out := relation.New(p.world0.Schema)
 	seen := map[string]struct{}{}
+	var buf []byte
 	err := p.emit(func(t tuple.Tuple) {
-		k := t.Key()
-		if _, dup := seen[k]; dup {
+		// Scratch-encode and probe before inserting: duplicate tuples cost
+		// no key-string allocation.
+		buf = t.Encode(buf[:0])
+		if _, dup := seen[string(buf)]; dup {
 			return
 		}
-		seen[k] = struct{}{}
+		seen[string(buf)] = struct{}{}
 		out.Tuples = append(out.Tuples, t)
 	})
 	if err != nil {
@@ -230,12 +245,14 @@ func certainFromParts(p *componentParts) (*relation.Relation, error) {
 	}
 	out := relation.New(p.world0.Schema)
 	seen := map[string]struct{}{}
+	var buf []byte
 	for _, t := range p.world0.Tuples {
-		k := t.Key()
-		if _, dup := seen[k]; dup {
+		buf = t.Encode(buf[:0])
+		if _, dup := seen[string(buf)]; dup {
 			continue
 		}
-		seen[k] = struct{}{}
+		seen[string(buf)] = struct{}{}
+		k := string(buf)
 		for i := range keys {
 			all := true
 			for _, set := range keys[i] {
@@ -265,18 +282,19 @@ func confFromParts(p *componentParts) (*relation.Relation, error) {
 	}
 	out := relation.New(p.world0.Schema.Concat(confSchema()))
 	seen := map[string]struct{}{}
+	var buf []byte
 	err = p.emit(func(t tuple.Tuple) {
-		k := t.Key()
-		if _, dup := seen[k]; dup {
+		buf = t.Encode(buf[:0])
+		if _, dup := seen[string(buf)]; dup {
 			return
 		}
-		seen[k] = struct{}{}
+		seen[string(buf)] = struct{}{}
 		miss := 1.0
 		last := 0.0
 		for i := range keys {
 			pc := 0.0
 			for a, set := range keys[i] {
-				if _, ok := set[k]; ok {
+				if _, ok := set[string(buf)]; ok {
 					pc += p.probs[i][a]
 				}
 			}
@@ -319,13 +337,16 @@ func (d *WSD) materializeByComponent(dst string, compIdx []int, query func(cat p
 	for i, t := range p.base.Tuples {
 		baseKeys[i] = t.Key()
 	}
+	var buf []byte
 	for i := range p.parts {
 		for _, part := range p.parts[i] {
 			if len(part.Tuples) < len(baseKeys) {
 				return errNotConcat
 			}
 			for j, k := range baseKeys {
-				if part.Tuples[j].Key() != k {
+				// string(buf) in a comparison does not allocate.
+				buf = part.Tuples[j].Encode(buf[:0])
+				if string(buf) != k {
 					return errNotConcat
 				}
 			}

@@ -74,7 +74,7 @@ func (d *WSD) GroupWorldsClosure(gw, core *sqlparse.SelectStmt, cl Closure) ([]G
 	if cl == ClosureNone {
 		return nil, fmt.Errorf("group worlds by requires possible, certain or conf")
 	}
-	if cl == ClosureConf && !d.Weighted {
+	if cl.IsConf() && !d.Weighted {
 		return nil, ErrConfUnweighted
 	}
 	gwPrep, gwEval, err := d.prepared(gw)
@@ -366,7 +366,7 @@ func (d *WSD) closePerGroup(groups []groupInfo, qAn *plan.ComponentAnalysis, qEv
 	out := make([]GroupAnswer, len(groups))
 	for gi, g := range groups {
 		var rel *relation.Relation
-		if cl == ClosureConf {
+		if cl.IsConf() {
 			rel = scaleConf(conf, g.prob)
 		} else if gi == 0 {
 			rel = shared

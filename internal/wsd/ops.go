@@ -206,6 +206,7 @@ func (d *WSD) contributions(name string, t tuple.Tuple) map[int]float64 {
 	k := key(name)
 	tkey := t.Key()
 	out := map[int]float64{}
+	var buf []byte
 	for _, c := range d.comps {
 		p := 0.0
 		touches := false
@@ -215,7 +216,9 @@ func (d *WSD) contributions(name string, t tuple.Tuple) map[int]float64 {
 				touches = true
 			}
 			for _, u := range tuples {
-				if u.Key() == tkey {
+				// string(buf) in a comparison does not allocate.
+				buf = u.Encode(buf[:0])
+				if string(buf) == tkey {
 					if d.Weighted {
 						p += a.Prob
 					} else {
@@ -298,13 +301,15 @@ func (d *WSD) Certain(name string) (*relation.Relation, error) {
 		// contributed by all of them is certain.
 		counts := map[string]int{}
 		rep := map[string]tuple.Tuple{}
+		var buf []byte
 		for _, a := range c.Alts {
 			seen := map[string]bool{}
 			for _, t := range a.Tuples[k] {
-				tk := t.Key()
-				if seen[tk] {
+				buf = t.Encode(buf[:0])
+				if seen[string(buf)] {
 					continue
 				}
+				tk := string(buf)
 				seen[tk] = true
 				counts[tk]++
 				rep[tk] = t
@@ -361,13 +366,15 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 	}
 	perComp, _ := exec.Map(d.Workers, len(d.comps), func(ci int) (*compConf, error) {
 		cc := &compConf{rep: map[string]tuple.Tuple{}, probs: map[string]float64{}}
+		var buf []byte
 		for _, a := range d.comps[ci].Alts {
 			seen := map[string]bool{}
 			for _, t := range a.Tuples[k] {
-				tk := t.Key()
-				if seen[tk] {
+				buf = t.Encode(buf[:0])
+				if seen[string(buf)] {
 					continue
 				}
+				tk := string(buf)
 				seen[tk] = true
 				cc.probs[tk] += a.Prob
 				if _, known := cc.rep[tk]; !known {

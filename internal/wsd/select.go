@@ -30,7 +30,16 @@ const (
 	ClosurePossible
 	ClosureCertain
 	ClosureConf
+	// ClosureApproxConf is APPROX CONF: exact confidences whenever the
+	// exact routing succeeds, with a seeded Monte-Carlo estimate as the
+	// escape hatch when the classic path's component merge would exceed
+	// MergeLimit (where plain CONF fails with ErrMergeTooBig).
+	ClosureApproxConf
 )
+
+// IsConf reports whether the closure computes confidences (exactly or
+// approximately); such closures require a weighted decomposition.
+func (c Closure) IsConf() bool { return c == ClosureConf || c == ClosureApproxConf }
 
 // Errors reported by statement execution.
 var (
@@ -56,14 +65,18 @@ func StripClosure(st *sqlparse.SelectStmt) (*sqlparse.SelectStmt, Closure, error
 	}
 	items := make([]sqlparse.SelectItem, 0, len(st.Items))
 	for _, it := range st.Items {
-		if _, ok := it.Expr.(sqlparse.ConfExpr); ok {
-			if cl == ClosureConf {
+		if ce, ok := it.Expr.(sqlparse.ConfExpr); ok {
+			if cl.IsConf() {
 				return nil, 0, fmt.Errorf("at most one conf item is allowed")
 			}
 			if cl != ClosureNone {
 				return nil, 0, fmt.Errorf("conf cannot be combined with %s", st.Quantifier)
 			}
-			cl = ClosureConf
+			if ce.Approx {
+				cl = ClosureApproxConf
+			} else {
+				cl = ClosureConf
+			}
 			continue
 		}
 		items = append(items, it)
@@ -214,7 +227,7 @@ func (d *WSD) analyze(prep *plan.Prepared) (*plan.ComponentAnalysis, error) {
 // included — and match the naive engine's closure over the expanded
 // world-set.
 func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Relation, error) {
-	if cl == ClosureConf && !d.Weighted {
+	if cl.IsConf() && !d.Weighted {
 		return nil, ErrConfUnweighted
 	}
 	prep, eval, err := d.prepared(core)
@@ -294,9 +307,14 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 	}
 
 	// Classic path: merge exactly the involved components (bounded partial
-	// expansion), evaluate per merged alternative, close.
+	// expansion), evaluate per merged alternative, close. APPROX CONF — and
+	// only it — survives a merge past MergeLimit by switching to the seeded
+	// Monte-Carlo estimator instead of failing with ErrMergeTooBig.
 	results, probs, err := d.queryMerged(an.Comps, eval)
 	if err != nil {
+		if cl == ClosureApproxConf && errors.Is(err, ErrMergeTooBig) {
+			return d.confMonteCarlo(an.Comps, eval)
+		}
 		return nil, err
 	}
 	switch cl {
@@ -361,7 +379,7 @@ func (d *WSD) CreateTableAsClosure(dst string, core *sqlparse.SelectStmt, cl Clo
 	if _, ok := d.schemas[key(dst)]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, dst)
 	}
-	if cl == ClosureConf && !d.Weighted {
+	if cl.IsConf() && !d.Weighted {
 		return ErrConfUnweighted
 	}
 	if gw != nil {

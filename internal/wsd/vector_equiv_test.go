@@ -1,0 +1,57 @@
+package wsd
+
+import (
+	"math"
+	"testing"
+
+	"maybms/internal/algebra"
+	"maybms/internal/relation"
+)
+
+// TestClosuresRowVsBatch runs the closure suite with the vectorized
+// executor forced off and on: possible/certain answers must be
+// byte-identical (order included), conf values equal to 1e-9 — the
+// end-to-end half of internal/algebra's row-vs-batch equivalence fuzz.
+func TestClosuresRowVsBatch(t *testing.T) {
+	defer algebra.SetVectorized(algebra.SetVectorized(true))
+	defer algebra.SetVectorizeMinRows(algebra.SetVectorizeMinRows(0))
+	queries := []string{
+		"select possible A, B from I",
+		"select certain A from I",
+		"select possible I.A, R.C from I, R where I.B = R.B",
+		"select possible A, B from I where B >= 15 order by B desc, A",
+		"select possible distinct C from I union select C from R",
+		"select conf, A, B from I",
+		"select conf, I.A from I, R where I.C = R.C",
+	}
+	for _, componentwise := range []bool{true, false} {
+		for _, q := range queries {
+			run := func(vec bool) *relation.Relation {
+				algebra.SetVectorized(vec)
+				d := newFigure2WSD(t)
+				d.DisableComponentwise = !componentwise
+				return selectOn(t, d, q)
+			}
+			row, batch := run(false), run(true)
+			if row.Schema.String() != batch.Schema.String() || row.Len() != batch.Len() {
+				t.Fatalf("%q (componentwise=%v): shape diverged: %s/%d vs %s/%d",
+					q, componentwise, row.Schema, row.Len(), batch.Schema, batch.Len())
+			}
+			conf := row.Schema.At(row.Schema.Len()-1).Name == "conf"
+			for i := range row.Tuples {
+				rt, bt := row.Tuples[i], batch.Tuples[i]
+				if conf {
+					if math.Abs(rt[len(rt)-1].AsFloat()-bt[len(bt)-1].AsFloat()) > 1e-9 {
+						t.Fatalf("%q (componentwise=%v) row %d: conf %v vs %v",
+							q, componentwise, i, rt[len(rt)-1], bt[len(bt)-1])
+					}
+					rt, bt = rt[:len(rt)-1], bt[:len(bt)-1]
+				}
+				if string(rt.Encode(nil)) != string(bt.Encode(nil)) {
+					t.Fatalf("%q (componentwise=%v) row %d diverged: %v vs %v",
+						q, componentwise, i, rt, bt)
+				}
+			}
+		}
+	}
+}

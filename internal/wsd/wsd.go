@@ -132,6 +132,12 @@ type WSD struct {
 	// classic merge (partial expansion) path. It exists for benchmarks and
 	// crosschecks; results are identical either way.
 	DisableComponentwise bool
+	// ApproxSamples is the Monte-Carlo sample count APPROX CONF uses when
+	// a merge would exceed MergeLimit (DefaultApproxSamples when ≤ 0), and
+	// ApproxSeed seeds the sampler: a fixed pair makes the estimate
+	// deterministic.
+	ApproxSamples int
+	ApproxSeed    int64
 
 	certain map[string]*relation.Relation // lower name → certain tuples
 	schemas map[string]*schema.Schema     // lower name → schema

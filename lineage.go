@@ -2,6 +2,7 @@ package maybms
 
 import (
 	"fmt"
+	"math/rand"
 
 	"maybms/internal/tuple"
 	"maybms/internal/urel"
@@ -140,6 +141,28 @@ func (db *LineageDB) Conf(name string, cells ...any) (float64, error) {
 		t[i] = v
 	}
 	return u.Conf(db.store, t), nil
+}
+
+// ConfApprox estimates the probability that the tuple appears in the
+// relation by Monte-Carlo sampling over the annotation variables
+// (internal/urel's ConfMC): the escape hatch when exact Shannon expansion
+// is too expensive on highly entangled annotations. The estimate is
+// deterministic for a fixed (samples, seed) pair, unbiased, with standard
+// error ≤ 1/(2√samples).
+func (db *LineageDB) ConfApprox(name string, samples int, seed int64, cells ...any) (float64, error) {
+	u, err := db.get(name)
+	if err != nil {
+		return 0, err
+	}
+	t := make(tuple.Tuple, len(cells))
+	for i, c := range cells {
+		v, err := toValue(c)
+		if err != nil {
+			return 0, err
+		}
+		t[i] = v
+	}
+	return u.ConfMC(db.store, t, samples, rand.New(rand.NewSource(seed)))
 }
 
 // ConfRelation returns every possible tuple of the relation with its exact

@@ -123,3 +123,34 @@ func TestLineageErrors(t *testing.T) {
 		t.Error("zero weight must fail")
 	}
 }
+
+func TestLineageConfApprox(t *testing.T) {
+	db := lineageFixture(t)
+	// Seeded Monte-Carlo estimate tracks the exact confidence 0.75; with
+	// 4000 samples the binomial standard error is ≈ 0.0068, so 0.05 is a
+	// ≥ 7σ tolerance.
+	c, err := db.ConfApprox("Customer", 4000, 1, 1, "vienna", 3)
+	if err != nil || math.Abs(c-0.75) > 0.05 {
+		t.Errorf("approx conf = %v, want ≈ 0.75, %v", c, err)
+	}
+	// Deterministic for a fixed (samples, seed) pair.
+	again, err := db.ConfApprox("Customer", 4000, 1, 1, "vienna", 3)
+	if err != nil || again != c {
+		t.Errorf("seeded estimate not deterministic: %v vs %v, %v", again, c, err)
+	}
+	// Certain tuples and impossible tuples estimate exactly.
+	c, err = db.ConfApprox("Customer", 100, 2, 3, "linz", 2)
+	if err != nil || c != 1 {
+		t.Errorf("certain approx conf = %v, want 1, %v", c, err)
+	}
+	c, err = db.ConfApprox("Customer", 100, 2, 9, "nowhere", 0)
+	if err != nil || c != 0 {
+		t.Errorf("impossible approx conf = %v, want 0, %v", c, err)
+	}
+	if _, err := db.ConfApprox("Customer", 0, 1, 1, "vienna", 3); err == nil {
+		t.Error("non-positive sample count must fail")
+	}
+	if _, err := db.ConfApprox("Nope", 100, 1, 1); err == nil {
+		t.Error("unknown relation must fail")
+	}
+}

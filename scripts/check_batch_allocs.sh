@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# check_batch_allocs.sh — allocation gate for the vectorized operator path.
+#
+# The batch executor's whole point is taking per-tuple allocations off the
+# per-alternative hot path (see internal/colbatch and internal/algebra's
+# batch operators). This script runs the three batch benchmarks with
+# -benchmem and fails when allocs/op regresses past a fixed ceiling, so an
+# accidental per-row allocation in a batch operator fails CI instead of
+# silently eating the win. Ceilings are ~2x the measured steady state
+# (scan 1, filter ~95, join ~185 allocs/op) — loose enough for noise,
+# tight enough that an O(rows) regression (8192 rows/op here) trips them.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="$(go test ./internal/algebra/ -bench '^(BenchmarkBatchScan|BenchmarkBatchFilter|BenchmarkHashJoinBatch)$' \
+    -benchmem -benchtime 50x -run '^$' | tee /dev/stderr)"
+
+fail=0
+check() {
+    local name="$1" ceiling="$2" allocs
+    allocs="$(awk -v n="$name" '$1 ~ "^"n"(-[0-9]+)?$" && $(NF) == "allocs/op" { print $(NF-1) }' <<<"$OUT")"
+    if [ -z "$allocs" ]; then
+        echo "check_batch_allocs: $name did not run" >&2
+        fail=1
+    elif [ "$allocs" -gt "$ceiling" ]; then
+        echo "check_batch_allocs: $name allocates $allocs/op, ceiling $ceiling" >&2
+        fail=1
+    fi
+}
+
+check BenchmarkBatchScan 8
+check BenchmarkBatchFilter 200
+check BenchmarkHashJoinBatch 400
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_batch_allocs: vectorized path regressed (or benchmarks renamed)" >&2
+    exit 1
+fi
+echo "check_batch_allocs: ok" >&2
