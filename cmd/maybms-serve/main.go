@@ -17,10 +17,18 @@
 //     | nc localhost 7171
 //
 //   - HTTP (default :7172): POST /v1/query with the same JSON request as
-//     the body; GET /v1/health for liveness plus shared-plan-cache
-//     statistics; GET /v1/stats additionally reports, per session, the
-//     backend, world count, and the compact engine's merge/componentwise
-//     routing counters (also available as the "stats" protocol op).
+//     the body (add ?trace=1 or "trace": true for the statement's span
+//     trace in the response); GET /v1/health for liveness plus
+//     shared-plan-cache statistics; GET /v1/stats additionally reports,
+//     per session, the backend, world count, plan-cache attribution, and
+//     the compact engine's merge/componentwise routing counters (also
+//     available as the "stats" protocol op); GET /metrics in Prometheus
+//     text format.
+//
+// Observability flags: -slow-query logs statements slower than the given
+// duration as structured JSON lines (with span traces) to stderr;
+// -pprof serves net/http/pprof profiling endpoints on its own address
+// (keep it off public interfaces).
 //
 // Sessions are named databases created on first use (request field
 // "session", default "default") with a "backend" of "naive" (full I-SQL)
@@ -34,6 +42,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served only when -pprof is set
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,8 +63,21 @@ func main() {
 	flag.IntVar(&cfg.MaxWorlds, "max-worlds", 0, "per-session world / merge limit (0 = engine default)")
 	flag.DurationVar(&cfg.RequestTimeout, "timeout", 0, "hard cap on per-request execution time (0 = uncapped)")
 	flag.IntVar(&cfg.PlanCacheCapacity, "plan-cache", 0, "shared plan cache capacity (0 = default)")
+	flag.DurationVar(&cfg.SlowQueryThreshold, "slow-query", 0, "log statements slower than this as JSON to stderr (0 disables)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables; do not expose publicly)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// http.DefaultServeMux carries the pprof handlers via the
+			// blank import above; nothing else registers on it here.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "maybms-serve: pprof:", err)
+			}
+		}()
+		fmt.Println("maybms-serve: pprof on", *pprofAddr)
+	}
 
 	srv := server.New(cfg)
 	if err := srv.Start(); err != nil {

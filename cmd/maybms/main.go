@@ -13,6 +13,8 @@
 //	\worlds   print the full world-set (naive) / the decomposition summary (compact)
 //	\count    print the number of worlds
 //	\stats    print engine counters and shared-plan-cache statistics
+//	\explain <stmt>  shorthand for EXPLAIN <stmt> (routing + plan tree)
+//	\trace on|off    print each statement's span trace after its result
 //	\help     list commands
 //	\quit     exit
 package main
@@ -71,6 +73,9 @@ func main() {
 // backend-independent commands (\quit, \help, unknown) live in repl.
 type engine interface {
 	exec(stmt string) (*maybms.Result, error)
+	// execTraced runs one statement with a fresh span trace installed
+	// (driven by \trace on).
+	execTraced(stmt string) (*maybms.Result, *maybms.Trace, error)
 	// meta handles a backend-specific backslash command; it reports
 	// whether the command was recognized.
 	meta(cmd string, out io.Writer) bool
@@ -87,6 +92,8 @@ const helpText = `I-SQL statements end with ';'. Meta commands:
   \worlds  print the full world-set (naive) / the decomposition (compact)
   \count   print the number of worlds
   \stats   print engine counters and shared-plan-cache statistics
+  \explain <stmt>  shorthand for EXPLAIN <stmt> (routing + plan tree)
+  \trace on|off    print each statement's span trace after its result
   \quit    exit`
 
 // naiveShell drives the enumerating engine.
@@ -95,6 +102,10 @@ type naiveShell struct {
 }
 
 func (n *naiveShell) exec(stmt string) (*maybms.Result, error) { return n.db.Exec(stmt) }
+
+func (n *naiveShell) execTraced(stmt string) (*maybms.Result, *maybms.Trace, error) {
+	return n.db.ExecTraced(stmt)
+}
 
 func (n *naiveShell) meta(cmd string, out io.Writer) bool {
 	switch strings.Fields(cmd)[0] {
@@ -128,6 +139,10 @@ type compactShell struct {
 }
 
 func (c *compactShell) exec(stmt string) (*maybms.Result, error) { return c.db.Exec(stmt) }
+
+func (c *compactShell) execTraced(stmt string) (*maybms.Result, *maybms.Trace, error) {
+	return c.db.ExecTraced(stmt)
+}
 
 func (c *compactShell) meta(cmd string, out io.Writer) bool {
 	switch strings.Fields(cmd)[0] {
@@ -184,16 +199,38 @@ func repl(eng engine, in io.Reader, out io.Writer) {
 			fmt.Fprint(out, "   ...> ")
 		}
 	}
+	tracing := false
 	prompt()
 	for scanner.Scan() {
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
-			switch strings.Fields(trimmed)[0] {
+			fields := strings.Fields(trimmed)
+			switch fields[0] {
 			case "\\quit", "\\q":
 				return
 			case "\\help":
 				fmt.Fprintln(out, helpText)
+			case "\\explain":
+				rest := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(trimmed, "\\explain")), ";")
+				if rest == "" {
+					fmt.Fprintln(out, "usage: \\explain <statement>")
+				} else if res, err := eng.exec("EXPLAIN " + rest); err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else {
+					fmt.Fprint(out, res)
+				}
+			case "\\trace":
+				switch {
+				case len(fields) == 2 && fields[1] == "on":
+					tracing = true
+					fmt.Fprintln(out, "tracing on")
+				case len(fields) == 2 && fields[1] == "off":
+					tracing = false
+					fmt.Fprintln(out, "tracing off")
+				default:
+					fmt.Fprintln(out, "usage: \\trace on|off")
+				}
 			default:
 				if !eng.meta(trimmed, out) {
 					fmt.Fprintln(out, "unknown command; try \\help")
@@ -207,8 +244,15 @@ func repl(eng engine, in io.Reader, out io.Writer) {
 		if strings.HasSuffix(trimmed, ";") {
 			stmt := buf.String()
 			buf.Reset()
-			res, err := eng.exec(stmt)
-			if err != nil {
+			if tracing {
+				res, tr, err := eng.execTraced(stmt)
+				if err != nil {
+					fmt.Fprintln(out, "error:", err)
+				} else {
+					fmt.Fprint(out, res)
+				}
+				fmt.Fprint(out, tr.Render())
+			} else if res, err := eng.exec(stmt); err != nil {
 				fmt.Fprintln(out, "error:", err)
 			} else {
 				fmt.Fprint(out, res)

@@ -6,6 +6,7 @@ import (
 	"math/big"
 
 	"maybms/internal/core"
+	"maybms/internal/obs"
 	"maybms/internal/server"
 	"maybms/internal/sqlparse"
 	"maybms/internal/tuple"
@@ -80,6 +81,19 @@ func (db *CompactDB) Insert(name string, rows [][]any) error {
 // wrapping ErrCompactUnsupported.
 func (db *CompactDB) Exec(sql string) (*Result, error) {
 	return server.ExecCompact(db.w, sql)
+}
+
+// ExecTraced runs one I-SQL statement with a fresh statement trace
+// installed and returns the trace alongside the result: the compact
+// routing decision (route attr), component analysis, per-stage spans and
+// evaluation stats. The trace is populated even when the statement
+// errors.
+func (db *CompactDB) ExecTraced(sql string) (*Result, *Trace, error) {
+	tr := obs.NewTrace(sql)
+	db.w.Trace = tr
+	res, err := server.ExecCompact(db.w, sql)
+	db.w.Trace = nil
+	return res, tr, err
 }
 
 // SetWorkers bounds the parallelism of the compact engine's

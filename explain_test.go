@@ -1,0 +1,328 @@
+package maybms
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"maybms/internal/algebra"
+)
+
+// explainCompactDB builds the two-component repair fixture the EXPLAIN
+// goldens run against: Rp = repair of R by key K (components 0 and 1,
+// with 2 and 1 alternatives), plus a certain relation C.
+func explainCompactDB(t *testing.T) *CompactDB {
+	t.Helper()
+	db := OpenCompact()
+	if err := db.Register("R", []string{"K", "A", "W"},
+		[][]any{{1, "x", 0.5}, {1, "y", 0.5}, {2, "z", 1.0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RepairByKey("R", "Rp", []string{"K"}, "W"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Register("C", []string{"X"}, [][]any{{1}, {2}}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// durRE matches rendered durations/offsets (µs/ms/s); ANALYZE goldens
+// normalize them since real timings vary run to run. Durations are also
+// column-aligned, so interior space runs collapse too (leading
+// indentation is preserved).
+var (
+	durRE = regexp.MustCompile(`\d+(\.\d+)?(µs|ms|s)`)
+	padRE = regexp.MustCompile(`(\S) {2,}`)
+)
+
+func normalizeTrace(s string) string {
+	return padRE.ReplaceAllString(durRE.ReplaceAllString(s, "T"), "$1 ")
+}
+
+func explainText(t *testing.T, db *CompactDB, query string) string {
+	t.Helper()
+	res, err := db.Exec(query)
+	if err != nil {
+		t.Fatalf("%q: %v", query, err)
+	}
+	return res.Msg
+}
+
+// TestExplainCompactGolden pins the EXPLAIN output of every compact
+// routing class: world-independent single evaluation, merge-free
+// componentwise closure, classic bounded merge, Monte-Carlo approximation,
+// and both refusal forms.
+func TestExplainCompactGolden(t *testing.T) {
+	db := explainCompactDB(t)
+	cases := []struct {
+		name, query, want string
+	}{
+		{
+			name:  "single_world_independent",
+			query: "EXPLAIN SELECT POSSIBLE X FROM C",
+			want: `engine: compact (world-set decomposition)
+worlds: 2
+route: single (world-independent)
+closure: possible
+eval: row
+plan:
+  Project [X]
+    Scan C [certain]`,
+		},
+		{
+			name:  "componentwise",
+			query: "EXPLAIN SELECT POSSIBLE A FROM Rp",
+			want: `engine: compact (world-set decomposition)
+worlds: 2
+route: componentwise (merge-free, 2 components, 2+1 alternatives)
+closure: possible
+eval: row
+plan:
+  Project [A]
+    Scan Rp [components: 0 1]`,
+		},
+		{
+			name:  "merge",
+			query: "EXPLAIN SELECT A, CONF FROM Rp GROUP BY A",
+			want: `engine: compact (world-set decomposition)
+worlds: 2
+route: merge (partial expansion, 2 components, 2 alternatives, limit 65536)
+closure: conf
+eval: row
+plan:
+  Project [A]
+    Aggregate [] group=[1]
+      Scan Rp [components: 0 1]`,
+		},
+		{
+			name:  "refused_per_world",
+			query: "EXPLAIN SELECT A FROM Rp",
+			want: `engine: compact (world-set decomposition)
+worlds: 2
+route: refused (per-world answers over uncertain relations)
+closure: none
+eval: row
+plan:
+  Project [A]
+    Scan Rp [components: 0 1]`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := explainText(t, db, tc.query); got != tc.want {
+				t.Errorf("EXPLAIN mismatch\n--- got ---\n%s\n--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+
+	// The remaining classes need a tiny merge limit; EXPLAIN must predict
+	// them without executing (the decomposition stays unmerged).
+	db.SetMergeLimit(1)
+	db.SetApproxConf(1000, 42)
+	for _, tc := range []struct{ name, query, want string }{
+		{
+			name:  "approx_mc",
+			query: "EXPLAIN SELECT A, APPROX CONF FROM Rp GROUP BY A",
+			want: `engine: compact (world-set decomposition)
+worlds: 2
+route: approx_mc (merge of 2 components exceeds limit 1; 1000 samples, seed 42, stderr <= 0.0158)
+closure: approx conf
+eval: row
+plan:
+  Project [A]
+    Aggregate [] group=[1]
+      Scan Rp [components: 0 1]`,
+		},
+		{
+			name:  "refused_merge_too_big",
+			query: "EXPLAIN SELECT A, CONF FROM Rp GROUP BY A",
+			want: `engine: compact (world-set decomposition)
+worlds: 2
+route: refused (merge of 2 components exceeds limit 1 alternatives)
+closure: conf
+eval: row
+plan:
+  Project [A]
+    Aggregate [] group=[1]
+      Scan Rp [components: 0 1]`,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := explainText(t, db, tc.query); got != tc.want {
+				t.Errorf("EXPLAIN mismatch\n--- got ---\n%s\n--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+	if db.ComponentCount() != 2 {
+		t.Errorf("EXPLAIN must not merge: components = %d, want 2", db.ComponentCount())
+	}
+}
+
+// TestExplainVectorized pins the batch-path prediction: with the
+// vectorization floor lowered the same componentwise plan reports the
+// vectorized evaluator.
+func TestExplainVectorized(t *testing.T) {
+	prev := algebra.SetVectorizeMinRows(0)
+	defer algebra.SetVectorizeMinRows(prev)
+	db := explainCompactDB(t)
+	want := `engine: compact (world-set decomposition)
+worlds: 2
+route: componentwise (merge-free, 2 components, 2+1 alternatives)
+closure: possible
+eval: batch (vectorized)
+plan:
+  Project [A]
+    Scan Rp [components: 0 1]`
+	if got := explainText(t, db, "EXPLAIN SELECT POSSIBLE A FROM Rp"); got != want {
+		t.Errorf("EXPLAIN mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeCompactGolden runs EXPLAIN ANALYZE for real and pins
+// the whole output with timings normalized: the actual route, spans,
+// evaluation stats, and result cardinality must all appear.
+func TestExplainAnalyzeCompactGolden(t *testing.T) {
+	db := explainCompactDB(t)
+	got := normalizeTrace(explainText(t, db, "EXPLAIN ANALYZE SELECT A, CONF FROM Rp GROUP BY A"))
+	want := `engine: compact (world-set decomposition)
+worlds: 2
+route: merge (partial expansion, 2 components, 2 alternatives, limit 65536)
+closure: conf
+eval: row
+plan:
+  Project [A]
+    Aggregate [] group=[1]
+      Scan Rp [components: 0 1]
+
+actual:
+  trace: SELECT A, conf FROM Rp GROUP BY A
+    plan T +T cache=hit
+    analyze T +T components=2 decomposable=false
+    merge_eval T +T components=2 alternatives=2 merge_limit=65536
+    closure T +T
+    --
+    route=merge
+    exec: collects batch=0 row=2 rows=4
+    total T
+  result rows: 3`
+	if got != want {
+		t.Errorf("EXPLAIN ANALYZE mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeComponentwise checks the componentwise class under
+// ANALYZE structurally (span presence and route), where per-component
+// cardinalities make full goldens brittle.
+func TestExplainAnalyzeComponentwise(t *testing.T) {
+	db := explainCompactDB(t)
+	got := explainText(t, db, "EXPLAIN ANALYZE SELECT POSSIBLE A FROM Rp")
+	for _, want := range []string{
+		"route: componentwise (merge-free, 2 components, 2+1 alternatives)",
+		"actual:",
+		"componentwise",
+		"route=componentwise",
+		"result rows: 3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestExplainNaiveGolden pins the naive engine's EXPLAIN: world count,
+// closure and stage lines, and the compiled per-world plan.
+func TestExplainNaiveGolden(t *testing.T) {
+	db := Open()
+	db.MustExec("create table S (K, A, W)")
+	db.MustExec("insert into S values (1, 'x', 0.5), (1, 'y', 0.5)")
+
+	got := db.MustExec("EXPLAIN SELECT * FROM S REPAIR BY KEY K WEIGHT W").Msg
+	want := `engine: naive (per-world evaluation)
+worlds: 1
+split: repair key (K)
+closure: none (per-world answers)
+plan:
+  Project [S.K, S.A, S.W]
+    Scan S`
+	if got != want {
+		t.Errorf("EXPLAIN mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	db.MustExec("create table I as select * from S repair by key K weight W")
+	got = normalizeTrace(db.MustExec("EXPLAIN ANALYZE SELECT POSSIBLE A FROM I").Msg)
+	want = `engine: naive (per-world evaluation)
+worlds: 2
+closure: possible
+plan:
+  Project [A]
+    Scan I
+
+actual:
+  trace: SELECT POSSIBLE A FROM I
+    eval T +T worlds=2
+    plan T +T cache=hit
+    closure T +T groups=1
+    --
+    route=per-world
+    exec: collects batch=0 row=2 rows=2
+    total T
+  result rows: 2`
+	if got != want {
+		t.Errorf("EXPLAIN ANALYZE mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainErrors pins the parser-level EXPLAIN diagnostics.
+func TestExplainErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.Exec("EXPLAIN EXPLAIN SELECT 1"); err == nil ||
+		!strings.Contains(err.Error(), "EXPLAIN cannot be nested") {
+		t.Errorf("nested EXPLAIN error = %v", err)
+	}
+	if _, err := db.Exec("EXPLAIN"); err == nil {
+		t.Error("bare EXPLAIN should fail to parse")
+	}
+}
+
+// TestExecTraced checks the public tracing entry points on both engines.
+func TestExecTraced(t *testing.T) {
+	db := explainCompactDB(t)
+	res, tr, err := db.ExecTraced("SELECT POSSIBLE A FROM Rp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || tr == nil {
+		t.Fatal("ExecTraced returned nil result or trace")
+	}
+	js := tr.JSON()
+	if js.Statement != "SELECT POSSIBLE A FROM Rp" {
+		t.Errorf("trace statement = %q", js.Statement)
+	}
+	route := ""
+	for _, a := range js.Attrs {
+		if a.Key == "route" {
+			route = a.Value
+		}
+	}
+	if route != "componentwise" {
+		t.Errorf("route attr = %q, want componentwise", route)
+	}
+	if len(js.Spans) == 0 {
+		t.Error("trace has no spans")
+	}
+	if js.Exec.Rows == 0 {
+		t.Error("trace counted no rows")
+	}
+
+	n := Open()
+	n.MustExec("create table S (A)")
+	n.MustExec("insert into S values (1), (2)")
+	_, tr2, err := n.ExecTraced("select A from S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.JSON(); len(got.Spans) == 0 || got.Exec.Rows != 2 {
+		t.Errorf("naive trace spans=%d rows=%d, want >0 and 2", len(got.Spans), got.Exec.Rows)
+	}
+}

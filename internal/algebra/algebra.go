@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"maybms/internal/expr"
+	"maybms/internal/obs"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
@@ -19,6 +20,17 @@ import (
 
 // ErrExec is wrapped by operator execution errors.
 var ErrExec = errors.New("execution error")
+
+// Process-wide collect counters, exposed on GET /metrics. Incremented once
+// per Collect call / once per collected relation — never per row — so the
+// instrumented hot path pays a handful of atomic adds per alternative.
+var (
+	batchCollects = obs.Default().Counter(`maybms_collects_total{path="batch"}`,
+		"Collect calls by execution path (batch = vectorized, row = Volcano iterators).")
+	rowCollects = obs.Default().Counter(`maybms_collects_total{path="row"}`, "")
+	collectRows = obs.Default().Counter("maybms_collect_rows_total",
+		"Tuples materialized by Collect across all statements.")
+)
 
 // Operator is a Volcano-style iterator over tuples.
 type Operator interface {
@@ -38,10 +50,26 @@ type Operator interface {
 // from it, execution runs batch-at-a-time with identical results; see
 // batch.go.
 func Collect(op Operator, outer *expr.Context) (*relation.Relation, error) {
+	stats := outer.FindStats()
 	if vectorizedOn.Load() {
 		if b, ok := Vectorize(op); ok {
-			return collectBatches(b, outer)
+			batchCollects.Inc()
+			if stats != nil {
+				stats.BatchCollects.Add(1)
+			}
+			out, err := collectBatches(b, outer)
+			if out != nil {
+				collectRows.Add(uint64(len(out.Tuples)))
+				if stats != nil {
+					stats.Rows.Add(uint64(len(out.Tuples)))
+				}
+			}
+			return out, err
 		}
+	}
+	rowCollects.Inc()
+	if stats != nil {
+		stats.RowCollects.Add(1)
 	}
 	if err := op.Open(outer); err != nil {
 		return nil, err
@@ -54,6 +82,10 @@ func Collect(op Operator, outer *expr.Context) (*relation.Relation, error) {
 			return nil, err
 		}
 		if !ok {
+			collectRows.Add(uint64(len(out.Tuples)))
+			if stats != nil {
+				stats.Rows.Add(uint64(len(out.Tuples)))
+			}
 			return out, nil
 		}
 		out.Tuples = append(out.Tuples, t)

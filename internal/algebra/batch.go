@@ -654,7 +654,7 @@ type batchHashJoin struct {
 	offs                []uint32
 	head                map[uint64]chainMeta
 	next                []int32
-	intMode             bool         // single int-typed build key: hash = the key itself
+	intMode             bool          // single int-typed build key: hash = the key itself
 	probeCol            *colbatch.Col // intMode: j.cur's key column
 	cur                 *colbatch.Batch
 	li                  int

@@ -48,11 +48,17 @@ func cacheKey(prefix, text string, rep *world.World) string {
 // own catalog — a stale or fingerprint-colliding entry degrades to a
 // recompile, never a wrong answer.
 func cachedTemplate[T any](s *Session, key string, valid func(T) bool, compile func() (T, error)) (T, error) {
+	sp := s.trace.Begin("plan")
+	defer sp.End(s.trace)
 	if v, ok := s.plans.Get(key); ok {
 		if p, ok := v.(T); ok && valid(p) {
+			s.planHits.Add(1)
+			sp.Set("cache", "hit")
 			return p, nil
 		}
 	}
+	s.planMisses.Add(1)
+	sp.Set("cache", "miss")
 	p, err := compile()
 	if err != nil {
 		var zero T
@@ -186,16 +192,19 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 	// ---- per-world evaluation, with world splitting ----
 	var worlds []*world.World
 	var results []*relation.Relation
+	esp := s.trace.Begin("eval")
 	if split {
 		var err error
 		worlds, results, err = s.evalSplit(st, &core)
 		if err != nil {
+			esp.End(s.trace)
 			return nil, err
 		}
 	} else {
 		worlds = s.set.Worlds
 		prep, err := s.preparedFull(&core, worlds[0])
 		if err != nil {
+			esp.End(s.trace)
 			return nil, err
 		}
 		results, err = mapWorlds(s, len(worlds), func(i int) (*relation.Relation, error) {
@@ -206,9 +215,13 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 			return algebra.Collect(op, s.rootCtx())
 		})
 		if err != nil {
+			esp.End(s.trace)
 			return nil, err
 		}
 	}
+	esp.Set("worlds", len(worlds))
+	esp.End(s.trace)
+	s.trace.Set("route", "per-world")
 
 	// ---- assert: filter worlds and renormalize ----
 	if st.Assert != nil {
@@ -298,6 +311,9 @@ func (s *Session) evalQuery(st *sqlparse.SelectStmt) (*queryEval, error) {
 	// The closure merge runs as a tree reduction on the worker pool (the
 	// dominant cost of huge conf queries); results are bit-identical to the
 	// sequential fold for every workers setting.
+	csp := s.trace.Begin("closure")
+	csp.Set("groups", len(groups))
+	defer csp.End(s.trace)
 	closed := make([]*relation.Relation, len(groups))
 	for gi, idxs := range groups {
 		groupResults := make([]*relation.Relation, len(idxs))

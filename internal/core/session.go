@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"maybms/internal/exec"
 	"maybms/internal/expr"
+	"maybms/internal/obs"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
@@ -53,7 +55,15 @@ type Session struct {
 	// server installs a request context's Err here to implement
 	// cooperative cancellation and deadlines.
 	interrupt func() error
-	nextWorld int
+	// trace, when non-nil, receives stage spans for the statement
+	// currently executing. Like interrupt it is installed per statement
+	// (statements on one session run serially) and cleared after.
+	trace *obs.Trace
+	// planHits/planMisses attribute plan-cache lookups to this session
+	// (the default cache is process-global; see the server's SessionInfo).
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
+	nextWorld  int
 }
 
 // SetWorkers sets the per-world parallelism of the session (and of its
@@ -88,17 +98,28 @@ func (s *Session) PlanCache() *plan.Cache { return s.plans }
 // the hook while a statement is executing.
 func (s *Session) SetInterrupt(f func() error) { s.interrupt = f }
 
+// SetTrace installs (or clears, with nil) the statement trace receiving
+// stage spans and evaluation stats from subsequent statements. Statements
+// on a session run serially; install a fresh trace per statement.
+func (s *Session) SetTrace(t *obs.Trace) { s.trace = t }
+
+// PlanCacheCounts returns this session's plan-cache lookup attribution:
+// templates found valid in the cache vs. compiled fresh on its behalf.
+func (s *Session) PlanCacheCounts() (hits, misses uint64) {
+	return s.planHits.Load(), s.planMisses.Load()
+}
+
 // rootCtx returns the outer evaluation context for top-level plan
-// execution: nil without an interrupt hook, else a context carrying only
-// the hook for the algebra iterators to poll (it sits beyond every
-// resolvable correlation depth). The hook may be called concurrently from
-// per-world evaluations and must be safe for that, as SetInterrupt already
-// requires.
+// execution: nil without an interrupt hook or trace, else a context
+// carrying only the hook (for the algebra iterators to poll) and the
+// trace's stats accumulator (it sits beyond every resolvable correlation
+// depth). The hook may be called concurrently from per-world evaluations
+// and must be safe for that, as SetInterrupt already requires.
 func (s *Session) rootCtx() *expr.Context {
-	if s.interrupt == nil {
+	if s.interrupt == nil && s.trace == nil {
 		return nil
 	}
-	return &expr.Context{Interrupt: s.interrupt}
+	return &expr.Context{Interrupt: s.interrupt, Stats: s.trace.Stats()}
 }
 
 // mapWorlds runs fn over [0, n) on the session's worker pool, polling the
@@ -172,7 +193,9 @@ func (s *Session) Register(name string, rel *relation.Relation) error {
 
 // Exec parses and executes a single statement.
 func (s *Session) Exec(sql string) (*Result, error) {
+	sp := s.trace.Begin("parse")
 	stmt, err := sqlparse.Parse(sql)
+	sp.End(s.trace)
 	if err != nil {
 		return nil, err
 	}
@@ -220,6 +243,8 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 		return s.execDelete(st)
 	case *sqlparse.Drop:
 		return s.execDrop(st)
+	case *sqlparse.Explain:
+		return s.execExplain(st)
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}

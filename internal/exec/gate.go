@@ -1,6 +1,23 @@
 package exec
 
-import "context"
+import (
+	"context"
+	"time"
+
+	"maybms/internal/obs"
+)
+
+// Gate admission telemetry: statements admitted, admissions that had to
+// wait for a slot, and how long admission took (near-zero when idle,
+// the queueing delay under load). One observation per statement.
+var (
+	gateAcquires = obs.Default().Counter("maybms_gate_acquires_total",
+		"Statement admissions through the execution gate.")
+	gateWaits = obs.Default().Counter("maybms_gate_waited_total",
+		"Admissions that blocked waiting for a free slot.")
+	gateWaitSeconds = obs.Default().Histogram("maybms_gate_wait_seconds",
+		"Admission wait time in seconds.", obs.DurationBuckets)
+)
 
 // Gate is a counting semaphore bounding cross-request parallelism: the
 // I-SQL server acquires a slot per statement execution, so the same
@@ -20,8 +37,25 @@ func NewGate(workers int) *Gate {
 // Acquire blocks until a slot is free or ctx is done, returning ctx's
 // error in the latter case.
 func (g *Gate) Acquire(ctx context.Context) error {
+	// Fast path: a free slot means no wait to measure (and no clock read
+	// when metrics are off).
 	select {
 	case g.slots <- struct{}{}:
+		gateAcquires.Inc()
+		return nil
+	default:
+	}
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
+	select {
+	case g.slots <- struct{}{}:
+		gateAcquires.Inc()
+		gateWaits.Inc()
+		if !start.IsZero() {
+			gateWaitSeconds.Observe(time.Since(start).Seconds())
+		}
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

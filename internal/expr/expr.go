@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"strings"
 
+	"maybms/internal/obs"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
@@ -51,6 +52,11 @@ type Context struct {
 	// (Scan/CrossJoin/HashJoin, every few hundred rows); a non-nil return
 	// aborts the evaluation with that error.
 	Interrupt func() error
+	// Stats, when non-nil, accumulates per-alternative evaluation counts
+	// (batch vs. row collects, rows materialized) for a traced statement.
+	// Like Interrupt it rides the root context and is found via FindStats;
+	// mutations are stage-level atomic adds, never per-row work.
+	Stats *obs.ExecStats
 }
 
 // FindInterrupt returns the innermost Interrupt hook on the context chain
@@ -59,6 +65,17 @@ func (c *Context) FindInterrupt() func() error {
 	for ctx := c; ctx != nil; ctx = ctx.Outer {
 		if ctx.Interrupt != nil {
 			return ctx.Interrupt
+		}
+	}
+	return nil
+}
+
+// FindStats returns the innermost ExecStats accumulator on the context
+// chain (nil-receiver safe; nil when tracing is off).
+func (c *Context) FindStats() *obs.ExecStats {
+	for ctx := c; ctx != nil; ctx = ctx.Outer {
+		if ctx.Stats != nil {
+			return ctx.Stats
 		}
 	}
 	return nil

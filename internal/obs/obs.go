@@ -1,0 +1,317 @@
+// Package obs is the engine's dependency-free observability core:
+// atomic counters, bounded histograms and a span-based statement tracer
+// (trace.go). Every layer of the execution stack reports through it —
+// parse, plan-cache lookup, component-touch analysis, the route decision
+// (componentwise / residual merge / single-eval / refusal), per-alternative
+// evaluation (batch vs. row collects, rows materialized), closure and
+// merge cardinalities, APPROX CONF sampling — and internal/server renders
+// the process-wide registry as Prometheus text on GET /metrics.
+//
+// The package imports nothing outside the standard library, so any engine
+// package may depend on it without cycles. Hot-path cost is one atomic
+// load (the enabled flag) plus one atomic add per counter increment;
+// timing work happens only at statement/stage granularity, never per row.
+// Setting MAYBMS_METRICS=off in the environment (or calling
+// SetEnabled(false)) turns every counter and histogram into a no-op —
+// scripts/check_trace_overhead.sh gates the enabled-vs-disabled delta on
+// the hot benchmarks at 5%.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates every counter and histogram mutation. Default on;
+// MAYBMS_METRICS=off/0/false disables at process start (the overhead
+// harness uses it to measure the instrumented-vs-bare delta).
+var enabled atomic.Bool
+
+func init() {
+	switch strings.ToLower(os.Getenv("MAYBMS_METRICS")) {
+	case "off", "0", "false":
+		enabled.Store(false)
+	default:
+		enabled.Store(true)
+	}
+}
+
+// SetEnabled turns metric collection on or off process-wide, returning the
+// previous setting. Traces (see trace.go) are unaffected: they are
+// per-request opt-in and carry their own cost only when requested.
+func SetEnabled(on bool) bool { return enabled.Swap(on) }
+
+// Enabled reports whether metric collection is on.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil || !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a bounded histogram over float64 observations: fixed,
+// ascending upper bounds with an implicit +Inf overflow bucket, plus a
+// running count and sum — exactly the shape Prometheus histogram text
+// exposition wants. Observations are lock-free; the zero value is unusable
+// (bounds are fixed at construction), a nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sum     atomicFloat
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// atomicFloat is a CAS-loop float64 accumulator; histogram observations
+// happen at statement/stage granularity, so contention is negligible.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Registry is a named collection of counters and histograms. Metric names
+// follow Prometheus conventions and may carry a literal label set, e.g.
+// `maybms_collects_total{path="batch"}`; series of one family (the name up
+// to '{') are grouped under one # HELP/# TYPE header on exposition.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	help     map[string]string // family → help text
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+		help:     map[string]string{},
+	}
+}
+
+// defaultRegistry is the process-wide registry rendered on GET /metrics.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// family is the metric name up to the label set.
+func family(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// Counter returns (creating on first use) the counter under name. help
+// documents the family; the first non-empty help wins.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	if help != "" && r.help[family(name)] == "" {
+		r.help[family(name)] = help
+	}
+	return c
+}
+
+// Histogram returns (creating on first use) the histogram under name with
+// the given bucket upper bounds. Bounds are fixed by the first creation.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	if help != "" && r.help[family(name)] == "" {
+		r.help[family(name)] = help
+	}
+	return h
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (families sorted, one HELP/TYPE header per family).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	counterNames := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		counterNames = append(counterNames, n)
+	}
+	histNames := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		histNames = append(histNames, n)
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Strings(counterNames)
+	sort.Strings(histNames)
+	seen := map[string]bool{}
+	for _, n := range counterNames {
+		fam := family(n)
+		if !seen[fam] {
+			seen[fam] = true
+			writeHeader(w, fam, help[fam], "counter")
+		}
+		fmt.Fprintf(w, "%s %d\n", n, counters[n].Value())
+	}
+	for _, n := range histNames {
+		fam := family(n)
+		if !seen[fam] {
+			seen[fam] = true
+			writeHeader(w, fam, help[fam], "histogram")
+		}
+		h := hists[n]
+		cum := uint64(0)
+		for i, ub := range h.bounds {
+			cum += h.buckets[i].Load()
+			fmt.Fprintf(w, "%s %d\n", seriesWithLabel(fam, n, "le", formatBound(ub)), cum)
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s %d\n", seriesWithLabel(fam, n, "le", "+Inf"), cum)
+		fmt.Fprintf(w, "%s %s\n", suffixed(fam, n, "_sum"), formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s %d\n", suffixed(fam, n, "_count"), h.Count())
+	}
+}
+
+// WriteGauge writes one gauge sample with its HELP/TYPE header — for
+// point-in-time values (sessions, goroutines, uptime) collected at scrape
+// time rather than registered.
+func WriteGauge(w io.Writer, name, help string, v float64) {
+	writeHeader(w, family(name), help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(v))
+}
+
+func writeHeader(w io.Writer, fam, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", fam, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", fam, typ)
+}
+
+// seriesWithLabel appends key="val" to the series name's label set,
+// suffixing the family with _bucket (histogram bucket lines).
+func seriesWithLabel(fam, name, key, val string) string {
+	labels := ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		labels = strings.TrimSuffix(name[i+1:], "}")
+	}
+	if labels != "" {
+		labels += ","
+	}
+	return fmt.Sprintf("%s_bucket{%s%s=%q}", fam, labels, key, val)
+}
+
+// suffixed renames the family part of a series, keeping its labels.
+func suffixed(fam, name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return fam + suffix + name[i:]
+	}
+	return fam + suffix
+}
+
+func formatBound(v float64) string { return formatFloat(v) }
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// DurationBuckets are the default latency bounds (seconds), 100µs — 10s.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// CardinalityBuckets are the default size bounds (rows, alternatives):
+// powers of four up to the default merge limit.
+var CardinalityBuckets = []float64{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536}

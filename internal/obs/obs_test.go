@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNilAndDisabled(t *testing.T) {
+	var nilC *Counter
+	nilC.Inc() // must not panic
+	if nilC.Value() != 0 {
+		t.Fatalf("nil counter value = %d", nilC.Value())
+	}
+	c := &Counter{}
+	c.Add(3)
+	if c.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", c.Value())
+	}
+	prev := SetEnabled(false)
+	c.Inc()
+	SetEnabled(prev)
+	if c.Value() != 3 {
+		t.Fatalf("disabled counter advanced to %d", c.Value())
+	}
+	c.Inc()
+	if c.Value() != 4 {
+		t.Fatalf("re-enabled counter = %d, want 4", c.Value())
+	}
+}
+
+func TestHistogramBucketsAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`lat{backend="compact"}`, "statement latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got < 5.55 || got > 5.56 {
+		t.Fatalf("sum = %g", got)
+	}
+	r.Counter(`req{op="query"}`, "requests").Add(7)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE req counter",
+		`req{op="query"} 7`,
+		"# TYPE lat histogram",
+		`lat_bucket{backend="compact",le="0.01"} 1`,
+		`lat_bucket{backend="compact",le="0.1"} 2`,
+		`lat_bucket{backend="compact",le="1"} 3`,
+		`lat_bucket{backend="compact",le="+Inf"} 4`,
+		`lat_sum{backend="compact"} 5.555`,
+		`lat_count{backend="compact"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBoundaryGoesToLowerBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1) // le="1" is inclusive per Prometheus convention
+	var b strings.Builder
+	r := NewRegistry()
+	r.hists["x"] = h
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `x_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in le=1 bucket:\n%s", b.String())
+	}
+}
+
+func TestCounterSharedByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "")
+	b := r.Counter("c", "")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+}
+
+func TestTraceSpansMonotonic(t *testing.T) {
+	tr := NewTrace("select 1")
+	s1 := tr.Begin("parse")
+	time.Sleep(time.Millisecond)
+	s1.End(tr)
+	s2 := tr.Begin("eval")
+	s2.Set("route", "componentwise")
+	time.Sleep(time.Millisecond)
+	s2.End(tr)
+	tr.Set("route", "componentwise")
+	tr.Stats().Rows.Add(10)
+
+	j := tr.JSON()
+	if len(j.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(j.Spans))
+	}
+	if j.Spans[0].Name != "parse" || j.Spans[1].Name != "eval" {
+		t.Fatalf("span order wrong: %+v", j.Spans)
+	}
+	if j.Spans[1].StartUs < j.Spans[0].StartUs {
+		t.Fatal("span starts not monotonic")
+	}
+	if j.Spans[0].DurUs <= 0 || j.Spans[1].DurUs <= 0 {
+		t.Fatalf("durations not positive: %+v", j.Spans)
+	}
+	if j.TotalUs < j.Spans[1].StartUs+j.Spans[1].DurUs {
+		t.Fatal("total shorter than last span end")
+	}
+	if j.Exec.Rows != 10 {
+		t.Fatalf("exec rows = %d", j.Exec.Rows)
+	}
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round TraceJSON
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Statement != "select 1" || len(round.Spans) != 2 {
+		t.Fatalf("round trip lost data: %+v", round)
+	}
+
+	text := tr.Render()
+	for _, want := range []string{"trace: select 1", "parse", "eval", "route=componentwise", "rows=10", "total"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.Begin("x")
+	sp.Set("k", "v")
+	sp.End(tr)
+	tr.Set("k", "v")
+	if tr.Stats() != nil {
+		t.Fatal("nil trace stats not nil")
+	}
+	if tr.JSON() != nil || tr.Render() != "" {
+		t.Fatal("nil trace rendered something")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("stress")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				sp := tr.Begin("alt")
+				tr.Stats().Rows.Add(1)
+				sp.End(tr)
+				tr.Set("k", j)
+			}
+		}()
+	}
+	wg.Wait()
+	j := tr.JSON()
+	if len(j.Spans) != 1600 {
+		t.Fatalf("spans = %d, want 1600", len(j.Spans))
+	}
+	if j.Exec.Rows != 1600 {
+		t.Fatalf("rows = %d, want 1600", j.Exec.Rows)
+	}
+	for _, sp := range j.Spans {
+		if sp.DurUs < 0 || sp.StartUs < 0 {
+			t.Fatalf("negative timing: %+v", sp)
+		}
+	}
+}

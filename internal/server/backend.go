@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"maybms/internal/core"
+	"maybms/internal/obs"
 )
 
 // A backend executes I-SQL statements for one session. Calls are
@@ -25,6 +26,13 @@ type backend interface {
 	// backends without any). The returned values are read from atomics,
 	// so counters is safe to call without the session's execution lock.
 	counters() *CompactCounters
+	// setTrace installs (or clears, with nil) the statement trace that
+	// subsequent exec calls report spans into. Serialized like exec.
+	setTrace(t *obs.Trace)
+	// planCache returns the session's plan-cache lookup attribution
+	// (hits, misses against the process-wide shared cache). Read from
+	// atomics; safe without the session's execution lock.
+	planCache() (hits, misses uint64)
 }
 
 // naiveBackend is a full I-SQL session over explicitly enumerated worlds.
@@ -46,6 +54,8 @@ func (b *naiveBackend) setInterrupt(f func() error)           { b.s.SetInterrupt
 func (b *naiveBackend) kind() string                          { return "naive" }
 func (b *naiveBackend) worlds() string                        { return fmt.Sprintf("%d", b.s.WorldCount()) }
 func (b *naiveBackend) counters() *CompactCounters            { return nil }
+func (b *naiveBackend) setTrace(t *obs.Trace)                 { b.s.SetTrace(t) }
+func (b *naiveBackend) planCache() (uint64, uint64)           { return b.s.PlanCacheCounts() }
 
 // newBackend builds a backend by name ("" and "naive" select the naive
 // engine, "compact" the world-set-decomposition engine).

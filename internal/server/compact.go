@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"maybms/internal/core"
+	"maybms/internal/obs"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
@@ -85,6 +86,15 @@ var errCompactUnsupported = ErrUnsupported
 //   - ASSERT <condition>                         — filter + renormalize
 //     the merged component (statement form of Example 2.5)
 //   - DROP TABLE [IF EXISTS] t                   — certain relations only
+//   - EXPLAIN <stmt>                             — routing prediction
+//     (single / componentwise / merge / approx_mc / refused, with merge
+//     cardinality against the expansion limit) plus the compiled plan
+//     tree, component-annotated per table scan; predicts without
+//     executing, merging, or touching the decomposition
+//   - EXPLAIN ANALYZE <stmt>                     — the same, then executes
+//     the statement for real (DML side effects included, as in
+//     PostgreSQL) with a statement trace installed and appends the actual
+//     spans, timings and cardinalities
 //
 // Still rejected (use the naive backend):
 //
@@ -116,6 +126,8 @@ func newCompactBackend(weighted bool, workers, mergeLimit int) *compactBackend {
 }
 
 func (b *compactBackend) setInterrupt(f func() error) { b.d.Interrupt = f }
+func (b *compactBackend) setTrace(t *obs.Trace)       { b.d.Trace = t }
+func (b *compactBackend) planCache() (uint64, uint64) { return b.d.PlanCacheCounts() }
 func (b *compactBackend) kind() string                { return "compact" }
 func (b *compactBackend) worlds() string              { return b.d.WorldCount().String() }
 
@@ -143,10 +155,18 @@ func (b *compactBackend) exec(sql string) (*core.Result, error) {
 	if len(trimmed) >= 7 && strings.EqualFold(trimmed[:7], "assert ") {
 		return b.execAssert(trimmed[7:])
 	}
+	sp := b.d.Trace.Begin("parse")
 	stmt, err := sqlparse.Parse(sql)
+	sp.End(b.d.Trace)
 	if err != nil {
 		return nil, err
 	}
+	return b.execParsed(stmt)
+}
+
+// execParsed routes one parsed statement. Split from exec so EXPLAIN
+// ANALYZE can run its inner statement through the identical routing.
+func (b *compactBackend) execParsed(stmt sqlparse.Statement) (*core.Result, error) {
 	switch st := stmt.(type) {
 	case *sqlparse.CreateTable:
 		if len(st.PrimaryKey) > 0 {
@@ -182,9 +202,113 @@ func (b *compactBackend) exec(sql string) (*core.Result, error) {
 			return nil, err
 		}
 		return b.ok("deleted %d representation row(s) from %s across %s world(s)", n, st.Table, b.d.WorldCount())
+	case *sqlparse.Explain:
+		return b.execExplain(st)
 	default:
 		return nil, fmt.Errorf("%w: %T statements", errCompactUnsupported, stmt)
 	}
+}
+
+// execExplain renders the routing prediction and compiled plan for the
+// inner statement; under ANALYZE it then executes the statement for real
+// (through the same execParsed routing, DML side effects included) with a
+// statement trace installed and appends the actual spans.
+func (b *compactBackend) execExplain(st *sqlparse.Explain) (*core.Result, error) {
+	var bld strings.Builder
+	bld.WriteString("engine: compact (world-set decomposition)\n")
+	fmt.Fprintf(&bld, "worlds: %s\n", b.d.WorldCount())
+	if err := b.explainPlan(&bld, st.Stmt); err != nil {
+		return nil, err
+	}
+	if st.Analyze {
+		tr := obs.NewTrace(st.Stmt.String())
+		prev := b.d.Trace
+		b.d.Trace = tr
+		res, err := b.execParsed(st.Stmt)
+		b.d.Trace = prev
+		if err != nil {
+			return nil, err
+		}
+		bld.WriteString("\nactual:\n")
+		for _, line := range strings.Split(strings.TrimRight(tr.Render(), "\n"), "\n") {
+			bld.WriteString("  " + line + "\n")
+		}
+		if res.Kind == core.ResultClosed {
+			n := 0
+			for _, g := range res.Groups {
+				n += g.Rel.Len()
+			}
+			fmt.Fprintf(&bld, "  result rows: %d\n", n)
+		}
+	}
+	return &core.Result{Kind: core.ResultOK, Msg: strings.TrimRight(bld.String(), "\n"), Weighted: b.weighted}, nil
+}
+
+// explainPlan writes the prediction section for one statement. SELECTs get
+// the full routing prediction from the decomposition; DML names the target
+// relation's components; DDL renders a one-line plan.
+func (b *compactBackend) explainPlan(bld *strings.Builder, stmt sqlparse.Statement) error {
+	describeTarget := func(table string) string {
+		comps := b.d.ComponentsFor(table)
+		if len(comps) == 0 {
+			return "certain"
+		}
+		return fmt.Sprintf("components %v", comps)
+	}
+	switch st := stmt.(type) {
+	case *sqlparse.SelectStmt:
+		if st.Repair != nil || st.Choice != nil || st.Assert != nil {
+			return fmt.Errorf("%w: repair/choice/assert inside SELECT (use CREATE TABLE AS … or the ASSERT statement)", errCompactUnsupported)
+		}
+		core_, cl, err := wsd.StripClosure(st)
+		if err != nil {
+			return err
+		}
+		if cl.IsConf() && !b.weighted {
+			return fmt.Errorf("conf requires a probabilistic session: %w", worldset.ErrNotWeighted)
+		}
+		if st.GroupWorlds != nil {
+			bld.WriteString("group worlds by: yes\n")
+			core_.GroupWorlds = nil
+		}
+		text, err := b.d.ExplainSelect(core_, cl)
+		if err != nil {
+			return err
+		}
+		bld.WriteString(text)
+	case *sqlparse.Update:
+		fmt.Fprintf(bld, "plan:\n  Update %s [%s]\n", st.Table, describeTarget(st.Table))
+	case *sqlparse.Delete:
+		fmt.Fprintf(bld, "plan:\n  Delete %s [%s]\n", st.Table, describeTarget(st.Table))
+	case *sqlparse.Insert:
+		fmt.Fprintf(bld, "plan:\n  Insert %s (%d rows, certain part)\n", st.Table, len(st.Rows))
+	case *sqlparse.CreateTableAs:
+		q := st.Query
+		switch {
+		case q.Repair != nil:
+			fmt.Fprintf(bld, "plan:\n  RepairByKey (%s) -> %s\n", strings.Join(q.Repair.Key, ", "), st.Name)
+		case q.Choice != nil:
+			fmt.Fprintf(bld, "plan:\n  ChoiceOf (%s) -> %s\n", strings.Join(q.Choice.Attrs, ", "), st.Name)
+		default:
+			fmt.Fprintf(bld, "materialize: table %s\n", st.Name)
+			core_, cl, err := wsd.StripClosure(q)
+			if err != nil {
+				return err
+			}
+			if q.GroupWorlds != nil {
+				bld.WriteString("group worlds by: yes\n")
+				core_.GroupWorlds = nil
+			}
+			text, err := b.d.ExplainSelect(core_, cl)
+			if err != nil {
+				return err
+			}
+			bld.WriteString(text)
+		}
+	default:
+		fmt.Fprintf(bld, "plan:\n  %s\n", stmt)
+	}
+	return nil
 }
 
 // execInsert appends constant rows to a certain relation. Row

@@ -1,0 +1,176 @@
+package server
+
+// obs_test.go: the server's observability surfaces — GET /metrics,
+// per-request traces (Request.Trace and ?trace=1), the slow-query log,
+// health fields, and per-session plan-cache attribution.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is an io.Writer safe for the concurrent slow-query writes of
+// parallel requests.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestObservabilityEndpoints(t *testing.T) {
+	slow := &syncBuffer{}
+	srv := New(Config{
+		HTTPAddr:           "127.0.0.1:0",
+		SlowQueryThreshold: time.Nanosecond, // everything is slow
+		SlowQueryLog:       slow,
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	base := "http://" + srv.HTTPAddr().String()
+
+	post := func(url string, req Request) *Response {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		httpResp, err := http.Post(url, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer httpResp.Body.Close()
+		var out Response
+		if err := json.NewDecoder(httpResp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if !out.OK {
+			t.Fatalf("%q: %s", req.Query, out.Error)
+		}
+		return &out
+	}
+
+	for _, q := range []string{
+		"create table R (K, A, W)",
+		"insert into R values (1, 'x', 0.5), (1, 'y', 0.5)",
+		"create table Rp as select * from R repair by key K weight W",
+	} {
+		post(base+"/v1/query", Request{Session: "obs", Backend: "compact", Query: q})
+	}
+
+	// Request.Trace returns the span trace; ?trace=1 must too.
+	resp := post(base+"/v1/query", Request{Session: "obs", Backend: "compact", Query: "select possible A from Rp", Trace: true})
+	if resp.Trace == nil || len(resp.Trace.Spans) == 0 {
+		t.Fatalf("traced request returned no trace: %+v", resp.Trace)
+	}
+	resp = post(base+"/v1/query?trace=1", Request{Session: "obs", Backend: "compact", Query: "select possible A from Rp"})
+	if resp.Trace == nil {
+		t.Fatal("?trace=1 returned no trace")
+	}
+	if resp2 := post(base+"/v1/query", Request{Session: "obs", Backend: "compact", Query: "select possible A from Rp"}); resp2.Trace != nil {
+		t.Fatal("untraced request returned a trace")
+	}
+
+	// Every statement above crossed the 1ns threshold: the slow-query log
+	// must hold structured JSON lines with query, timing and trace.
+	logged := strings.TrimSpace(slow.String())
+	if logged == "" {
+		t.Fatal("slow-query log is empty")
+	}
+	for _, line := range strings.Split(logged, "\n") {
+		var entry struct {
+			Msg       string  `json:"msg"`
+			Session   string  `json:"session"`
+			Backend   string  `json:"backend"`
+			Query     string  `json:"query"`
+			ElapsedMs float64 `json:"elapsed_ms"`
+		}
+		if err := json.Unmarshal([]byte(line), &entry); err != nil {
+			t.Fatalf("slow-query line is not JSON: %q: %v", line, err)
+		}
+		if entry.Msg != "slow query" || entry.Session != "obs" || entry.Backend != "compact" || entry.Query == "" {
+			t.Errorf("slow-query entry = %+v", entry)
+		}
+	}
+
+	// GET /metrics renders Prometheus text with the engine and server
+	// families.
+	metricsResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metricsResp.Body.Close()
+	body, err := io.ReadAll(metricsResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, want := range []string{
+		"# TYPE maybms_sessions gauge",
+		"maybms_uptime_seconds",
+		"maybms_goroutines",
+		`maybms_requests_total{op="query"}`,
+		`maybms_statement_seconds_bucket{backend="compact",le="+Inf"}`,
+		"maybms_slow_queries_total",
+		"maybms_route_total{route=\"componentwise\"}",
+		"maybms_collect_rows_total",
+		"maybms_plan_cache_entries",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Health gained goroutines and the Go version.
+	healthResp, err := http.Get(base + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthResp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(healthResp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Goroutines < 1 || !strings.HasPrefix(h.GoVersion, "go") {
+		t.Errorf("health = %+v", h)
+	}
+
+	// Per-session plan-cache attribution appears in stats; the repeated
+	// SELECT above must have hit the shared cache on this session's behalf.
+	statsResp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sessions) != 1 {
+		t.Fatalf("stats sessions = %+v", st.Sessions)
+	}
+	pc := st.Sessions[0].PlanCache
+	if pc == nil || pc.Hits == 0 {
+		t.Errorf("session plan-cache attribution = %+v, want hits > 0", pc)
+	}
+}

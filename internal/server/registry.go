@@ -243,13 +243,15 @@ func (r *registry) list() []SessionInfo {
 			worlds = s.backend.worlds()
 			s.release()
 		}
+		hits, misses := s.backend.planCache()
 		out = append(out, SessionInfo{
 			Name:    s.name,
 			Backend: s.backend.kind(),
 			Worlds:  worlds,
 			IdleMs:  sn.idle.Milliseconds(),
 			// Counters read atomics, so a busy session reports them too.
-			Compact: s.backend.counters(),
+			Compact:   s.backend.counters(),
+			PlanCache: &PlanCacheCounters{Hits: hits, Misses: misses},
 		})
 	}
 	return out

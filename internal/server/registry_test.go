@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"maybms/internal/core"
+	"maybms/internal/obs"
 )
 
 // testBackend is a minimal backend stub with an injectable world-count
@@ -25,9 +26,11 @@ type testBackend struct {
 func (b *testBackend) exec(string) (*core.Result, error) {
 	return &core.Result{Kind: core.ResultOK}, nil
 }
-func (b *testBackend) setInterrupt(func() error) {}
-func (b *testBackend) kind() string              { return "stub" }
-func (b *testBackend) counters() *CompactCounters { return nil }
+func (b *testBackend) setInterrupt(func() error)   {}
+func (b *testBackend) kind() string                { return "stub" }
+func (b *testBackend) counters() *CompactCounters  { return nil }
+func (b *testBackend) setTrace(*obs.Trace)         {}
+func (b *testBackend) planCache() (uint64, uint64) { return 0, 0 }
 func (b *testBackend) worlds() string {
 	if b.worldsFn != nil {
 		return b.worldsFn()

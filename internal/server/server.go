@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -15,6 +18,7 @@ import (
 
 	"maybms/internal/core"
 	"maybms/internal/exec"
+	"maybms/internal/obs"
 	"maybms/internal/plan"
 )
 
@@ -56,6 +60,12 @@ type Config struct {
 	// PlanCacheCapacity, when > 0, re-bounds the process-wide shared plan
 	// cache at server start.
 	PlanCacheCapacity int
+	// SlowQueryThreshold, when > 0, logs every statement that runs longer
+	// than this as one structured JSON line (with its trace) to
+	// SlowQueryLog.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 // Health is the GET /v1/health payload.
@@ -71,7 +81,25 @@ type Health struct {
 	CacheMisses    uint64 `json:"plan_cache_misses"`
 	CacheEvictions uint64 `json:"plan_cache_evictions"`
 	CacheEntries   int    `json:"plan_cache_entries"`
+	Goroutines     int    `json:"goroutines"`
+	GoVersion      string `json:"go_version"`
 }
+
+// Server-side request metrics (process-wide; see GET /metrics).
+var (
+	requestsQuery = obs.Default().Counter(`maybms_requests_total{op="query"}`,
+		"Requests handled, by operation.")
+	requestsOther = obs.Default().Counter(`maybms_requests_total{op="other"}`,
+		"Requests handled, by operation.")
+	requestErrors = obs.Default().Counter("maybms_request_errors_total",
+		"Requests answered with an error response.")
+	stmtSecondsNaive = obs.Default().Histogram(`maybms_statement_seconds{backend="naive"}`,
+		"Statement execution latency in seconds, by backend.", obs.DurationBuckets)
+	stmtSecondsCompact = obs.Default().Histogram(`maybms_statement_seconds{backend="compact"}`,
+		"Statement execution latency in seconds, by backend.", obs.DurationBuckets)
+	slowQueries = obs.Default().Counter("maybms_slow_queries_total",
+		"Statements exceeding the slow-query threshold.")
+)
 
 // Server is a concurrent multi-session I-SQL server. Create with New,
 // start listeners with Start, stop with Shutdown.
@@ -103,6 +131,8 @@ type Server struct {
 
 	connWG sync.WaitGroup
 	loopWG sync.WaitGroup
+	// slowMu serializes slow-query log lines across concurrent requests.
+	slowMu sync.Mutex
 }
 
 // New creates a server from cfg without binding anything.
@@ -113,6 +143,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.IdleTimeout == 0 {
 		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.SlowQueryLog == nil {
+		cfg.SlowQueryLog = os.Stderr
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
@@ -165,6 +198,7 @@ func (s *Server) Start() error {
 		mux.HandleFunc("POST /v1/query", s.handleHTTPQuery)
 		mux.HandleFunc("GET /v1/health", s.handleHTTPHealth)
 		mux.HandleFunc("GET /v1/stats", s.handleHTTPStats)
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
 		s.httpSrv = &http.Server{Handler: mux, BaseContext: func(net.Listener) context.Context { return s.baseCtx }}
 		s.loopWG.Add(1)
 		go func() {
@@ -360,6 +394,9 @@ func (s *Server) handleHTTPQuery(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(errorResponse("", fmt.Errorf("bad request: %w", err)))
 		return
 	}
+	if v := r.URL.Query().Get("trace"); v == "1" || v == "true" {
+		req.Trace = true
+	}
 	resp := s.Handle(r.Context(), &req)
 	w.Header().Set("Content-Type", "application/json")
 	if !resp.OK {
@@ -384,7 +421,26 @@ func (s *Server) health() Health {
 		CacheMisses:    st.Misses,
 		CacheEvictions: st.Evictions,
 		CacheEntries:   plan.SharedCache().Len(),
+		Goroutines:     runtime.NumGoroutine(),
+		GoVersion:      runtime.Version(),
 	}
+}
+
+// handleMetrics is GET /metrics: the process-wide obs registry in
+// Prometheus text format, preceded by scrape-time server gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h := s.health()
+	obs.WriteGauge(w, "maybms_sessions", "Live sessions.", float64(h.Sessions))
+	obs.WriteGauge(w, "maybms_uptime_seconds", "Seconds since server start.", float64(h.UptimeMs)/1000)
+	obs.WriteGauge(w, "maybms_goroutines", "Goroutines in the server process.", float64(h.Goroutines))
+	obs.WriteGauge(w, "maybms_gate_slots", "Admission-gate capacity (concurrent statements).", float64(h.Gate))
+	obs.WriteGauge(w, "maybms_plan_prepares_total", "Plan template compilations.", float64(h.Prepares))
+	obs.WriteGauge(w, "maybms_plan_cache_hits_total", "Shared plan-cache hits.", float64(h.CacheHits))
+	obs.WriteGauge(w, "maybms_plan_cache_misses_total", "Shared plan-cache misses.", float64(h.CacheMisses))
+	obs.WriteGauge(w, "maybms_plan_cache_evictions_total", "Shared plan-cache evictions.", float64(h.CacheEvictions))
+	obs.WriteGauge(w, "maybms_plan_cache_entries", "Shared plan-cache resident templates.", float64(h.CacheEntries))
+	obs.Default().WritePrometheus(w)
 }
 
 // stats extends the health snapshot with per-session backend state.
@@ -415,19 +471,30 @@ func (s *Server) Handle(ctx context.Context, req *Request) *Response {
 	}
 	switch req.Op {
 	case "", OpQuery:
-		return s.handleQuery(ctx, name, req)
+		requestsQuery.Inc()
+		resp := s.handleQuery(ctx, name, req)
+		if !resp.OK {
+			requestErrors.Inc()
+		}
+		return resp
 	case OpClose:
+		requestsOther.Inc()
 		if s.reg.close(name) {
 			return &Response{OK: true, Session: name, Kind: "closed_session"}
 		}
 		return errorResponse(name, fmt.Errorf("no session %q", name))
 	case OpList:
+		requestsOther.Inc()
 		return &Response{OK: true, Kind: "sessions", Sessions: s.reg.list()}
 	case OpStats:
+		requestsOther.Inc()
 		return &Response{OK: true, Kind: "stats", Stats: s.stats()}
 	case OpPing:
+		requestsOther.Inc()
 		return &Response{OK: true, Kind: "pong"}
 	default:
+		requestsOther.Inc()
+		requestErrors.Inc()
 		return errorResponse(name, fmt.Errorf("unknown op %q", req.Op))
 	}
 }
@@ -507,14 +574,32 @@ func (s *Server) handleQuery(ctx context.Context, name string, req *Request) *Re
 	// its next per-world unit of work and the session lock is held until
 	// it actually stops, keeping the session serialized.
 	sess.backend.setInterrupt(ctx.Err)
+	kind := sess.backend.kind()
+
+	// A trace is installed when the client asked for one or a slow-query
+	// threshold is configured (so slow statements always log with spans).
+	// It lives for exactly this statement; the backend serializes
+	// statements per session, so traces never interleave within a session.
+	var tr *obs.Trace
+	if req.Trace || s.cfg.SlowQueryThreshold > 0 {
+		tr = obs.NewTrace(req.Query)
+		sess.backend.setTrace(tr)
+	}
+
 	type outcome struct {
 		res *core.Result
 		err error
 	}
 	ch := make(chan outcome, 1)
+	start := time.Now()
 	go func() {
 		res, err := sess.backend.exec(req.Query)
+		elapsed := time.Since(start)
 		sess.backend.setInterrupt(nil)
+		if tr != nil {
+			sess.backend.setTrace(nil)
+		}
+		s.observeStatement(kind, name, req.Query, elapsed, tr)
 		s.reg.touch(sess)
 		s.gate.Release()
 		sess.release()
@@ -526,8 +611,57 @@ func (s *Server) handleQuery(ctx context.Context, name string, req *Request) *Re
 		if out.err != nil {
 			return errorResponse(name, out.err)
 		}
-		return encodeResult(name, out.res, maxRows, req.Render)
+		// The exec goroutine has finished (outcome received), so the trace
+		// is quiescent: spanning the encode and snapshotting are safe.
+		sp := tr.Begin("encode")
+		resp := encodeResult(name, out.res, maxRows, req.Render)
+		sp.End(tr)
+		if req.Trace && tr != nil {
+			resp.Trace = tr.JSON()
+		}
+		return resp
 	case <-ctx.Done():
 		return errorResponse(name, fmt.Errorf("request aborted: %w", ctx.Err()))
 	}
+}
+
+// observeStatement records a finished statement's latency and, past the
+// configured threshold, emits one structured slow-query JSON line.
+func (s *Server) observeStatement(kind, session, query string, elapsed time.Duration, tr *obs.Trace) {
+	switch kind {
+	case "compact":
+		stmtSecondsCompact.Observe(elapsed.Seconds())
+	default:
+		stmtSecondsNaive.Observe(elapsed.Seconds())
+	}
+	if s.cfg.SlowQueryThreshold <= 0 || elapsed < s.cfg.SlowQueryThreshold {
+		return
+	}
+	slowQueries.Inc()
+	line := struct {
+		Time      string         `json:"time"`
+		Level     string         `json:"level"`
+		Msg       string         `json:"msg"`
+		Session   string         `json:"session"`
+		Backend   string         `json:"backend"`
+		Query     string         `json:"query"`
+		ElapsedMs float64        `json:"elapsed_ms"`
+		Trace     *obs.TraceJSON `json:"trace,omitempty"`
+	}{
+		Time:      time.Now().UTC().Format(time.RFC3339Nano),
+		Level:     "warn",
+		Msg:       "slow query",
+		Session:   session,
+		Backend:   kind,
+		Query:     query,
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+		Trace:     tr.JSON(),
+	}
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	_, _ = s.cfg.SlowQueryLog.Write(append(buf, '\n'))
 }

@@ -1,10 +1,16 @@
 // Package server implements a concurrent multi-session I-SQL server over
 // the MayBMS engine: a session registry of named databases (naive or
 // compact backend per session), a newline-delimited JSON protocol over
-// TCP, an HTTP endpoint (POST /v1/query, GET /v1/health), per-request
-// deadlines with cooperative statement cancellation, bounded result
-// encoding for large answers, idle-session eviction and graceful
-// shutdown.
+// TCP, an HTTP endpoint (POST /v1/query, GET /v1/health, GET /v1/stats,
+// GET /metrics), per-request deadlines with cooperative statement
+// cancellation, bounded result encoding for large answers, idle-session
+// eviction and graceful shutdown.
+//
+// Observability: GET /metrics renders the process-wide internal/obs
+// registry in Prometheus text format alongside server gauges; a request
+// with Trace (or ?trace=1 on POST /v1/query) gets the statement's span
+// trace back in Response.Trace; statements slower than the configured
+// slow-query threshold are logged as structured JSON with their traces.
 //
 // All sessions share the process-wide compiled-statement cache
 // (internal/plan's SharedCache), so concurrent sessions over identical
@@ -19,6 +25,7 @@ import (
 	"strings"
 
 	"maybms/internal/core"
+	"maybms/internal/obs"
 	"maybms/internal/relation"
 	"maybms/internal/value"
 )
@@ -69,6 +76,10 @@ type Request struct {
 	// is marked Truncated and Text is omitted rather than rendering an
 	// unbounded string (raise max_rows to get the full rendering).
 	Render bool `json:"render,omitempty"`
+	// Trace asks for the statement's span trace (stage timings, routing
+	// annotations, evaluation stats) in Response.Trace. Over HTTP,
+	// ?trace=1 on POST /v1/query sets it too.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Rows is one encoded relation: column names plus row values (JSON
@@ -116,6 +127,17 @@ type SessionInfo struct {
 	// Compact carries the compact backend's merge/componentwise counters
 	// (absent for naive sessions).
 	Compact *CompactCounters `json:"compact,omitempty"`
+	// PlanCache attributes shared-plan-cache lookups to this session
+	// (the cache itself is process-wide; see Health for its totals).
+	PlanCache *PlanCacheCounters `json:"plan_cache,omitempty"`
+}
+
+// PlanCacheCounters attribute plan-cache lookups to one session: templates
+// found valid in the process-wide shared cache vs. compiled fresh on the
+// session's behalf.
+type PlanCacheCounters struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // Stats is the GET /v1/stats payload (also returned by the "stats"
@@ -153,6 +175,9 @@ type Response struct {
 	Sessions []SessionInfo `json:"sessions,omitempty"`
 	// Stats carries the server statistics (Kind "stats").
 	Stats *Stats `json:"stats,omitempty"`
+	// Trace carries the statement's span trace when the request asked for
+	// one (Request.Trace / ?trace=1).
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // errorResponse builds a failure response.

@@ -534,6 +534,25 @@ func (s *Drop) String() string {
 	return "DROP TABLE " + quoteIdentIfNeeded(s.Name)
 }
 
+// Explain is EXPLAIN [ANALYZE] <stmt>: render the inner statement's plan
+// tree with routing annotations; with ANALYZE, execute it for real and
+// append the traced timings and cardinalities. Note EXPLAIN ANALYZE of a
+// DML statement performs its side effects, matching PostgreSQL.
+type Explain struct {
+	Analyze bool
+	Stmt    Statement
+}
+
+func (*Explain) stmtNode() {}
+
+func (s *Explain) String() string {
+	out := "EXPLAIN "
+	if s.Analyze {
+		out += "ANALYZE "
+	}
+	return out + s.Stmt.String()
+}
+
 func quoteIdentIfNeeded(s string) string {
 	for _, r := range s {
 		if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {

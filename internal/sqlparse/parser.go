@@ -132,9 +132,27 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case p.tz.Cur().IsKeyword("drop"):
 		return p.parseDrop()
+	case p.tz.Cur().IsKeyword("explain"):
+		return p.parseExplain()
 	default:
 		return nil, p.errorf("expected a statement, found %s", p.tz.Cur())
 	}
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <stmt>. Nested EXPLAIN is rejected.
+func (p *parser) parseExplain() (*Explain, error) {
+	if err := p.tz.ExpectKeyword("explain"); err != nil {
+		return nil, p.errorf("%v", err)
+	}
+	analyze := p.tz.MatchKeyword("analyze")
+	if p.tz.Cur().IsKeyword("explain") {
+		return nil, p.errorf("EXPLAIN cannot be nested")
+	}
+	inner, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Analyze: analyze, Stmt: inner}, nil
 }
 
 // parseSelect parses a full SELECT including I-SQL clauses and UNION chains.

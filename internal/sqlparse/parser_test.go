@@ -639,3 +639,43 @@ func TestSplitScript(t *testing.T) {
 		t.Error("lex error must surface")
 	}
 }
+
+func TestParseExplain(t *testing.T) {
+	stmt, err := Parse("explain select conf() from R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := stmt.(*Explain)
+	if ex.Analyze {
+		t.Error("plain EXPLAIN parsed as ANALYZE")
+	}
+	if _, ok := ex.Stmt.(*SelectStmt); !ok {
+		t.Fatalf("inner stmt = %T", ex.Stmt)
+	}
+	if got := ex.String(); got != "EXPLAIN SELECT conf() FROM R" {
+		t.Errorf("String() = %q", got)
+	}
+
+	stmt, err = Parse("explain analyze update R set B = 1 where A = 'a1'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex = stmt.(*Explain)
+	if !ex.Analyze {
+		t.Error("ANALYZE flag lost")
+	}
+	if _, ok := ex.Stmt.(*Update); !ok {
+		t.Fatalf("inner stmt = %T", ex.Stmt)
+	}
+
+	for _, bad := range []string{
+		"explain",
+		"explain analyze",
+		"explain explain select * from R",
+		"explain analyze explain select * from R",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must error", bad)
+		}
+	}
+}

@@ -9,6 +9,8 @@ package wsd
 // error ≤ 1/(2√samples), mirroring internal/urel's ConfMC over lineage.
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 
 	"maybms/internal/plan"
@@ -32,6 +34,12 @@ func (d *WSD) confMonteCarlo(compIdx []int, eval func(cat plan.Catalog) (*relati
 	if samples <= 0 {
 		samples = DefaultApproxSamples
 	}
+	approxSamples.Add(uint64(samples))
+	sp := d.Trace.Begin("approx_mc")
+	sp.Set("samples", samples)
+	sp.Set("seed", d.ApproxSeed)
+	sp.Set("stderr_bound", fmt.Sprintf("%.4f", 1/(2*math.Sqrt(float64(samples)))))
+	defer sp.End(d.Trace)
 	rng := rand.New(rand.NewSource(d.ApproxSeed))
 
 	counts := map[string]int{}

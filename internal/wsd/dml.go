@@ -47,7 +47,7 @@ func (d *WSD) Update(st *sqlparse.Update) (int, error) {
 		return 0, err
 	}
 	compileCat := d.schemaCatalog()
-	tmpl, err := sharedTemplate(
+	tmpl, err := sharedTemplate(d,
 		fmt.Sprintf("cdu\x00%s\x00%x", st.String(), d.SchemaFingerprint()),
 		func(p *plan.PreparedDML) bool { _, err := p.Bind(compileCat, nil); return err == nil },
 		func() (*plan.PreparedDML, error) { return plan.PrepareUpdateStmt(st, sch, compileCat) })
@@ -66,7 +66,7 @@ func (d *WSD) Delete(st *sqlparse.Delete) (int, error) {
 		return 0, err
 	}
 	compileCat := d.schemaCatalog()
-	tmpl, err := sharedTemplate(
+	tmpl, err := sharedTemplate(d,
 		fmt.Sprintf("cdd\x00%s\x00%x", st.String(), d.SchemaFingerprint()),
 		func(p *plan.PreparedDML) bool { _, err := p.Bind(compileCat, nil); return err == nil },
 		func() (*plan.PreparedDML, error) { return plan.PrepareDeleteStmt(st, sch, compileCat) })

@@ -1,0 +1,167 @@
+package wsd
+
+// EXPLAIN over the decomposition: predict the routing SelectClosure would
+// take — without executing, merging, or touching the world-set — and render
+// the compiled plan tree with per-table component annotations. The
+// prediction applies the same conditions as SelectClosure in the same
+// order, so it names exactly the path a real run takes.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"maybms/internal/algebra"
+	"maybms/internal/plan"
+	"maybms/internal/sqlparse"
+)
+
+// closureName renders a Closure for EXPLAIN output.
+func closureName(cl Closure) string {
+	switch cl {
+	case ClosurePossible:
+		return "possible"
+	case ClosureCertain:
+		return "certain"
+	case ClosureConf:
+		return "conf"
+	case ClosureApproxConf:
+		return "approx conf"
+	default:
+		return "none"
+	}
+}
+
+// ExplainSelect renders the plan and predicted routing of a SELECT whose
+// closure has been stripped by the caller (see StripClosure). The text has
+// three parts: the routing prediction with the closure, the predicted
+// evaluation path (batch vs. row), and the compiled operator tree with
+// component annotations on every table scan.
+func (d *WSD) ExplainSelect(core *sqlparse.SelectStmt, cl Closure) (string, error) {
+	if cl.IsConf() && !d.Weighted {
+		return "", ErrConfUnweighted
+	}
+	prep, _, err := d.prepared(core)
+	if err != nil {
+		return "", err
+	}
+	an, err := d.analyze(prep)
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "route: %s\n", d.predictRoute(an, cl))
+	fmt.Fprintf(&b, "closure: %s\n", closureName(cl))
+	fmt.Fprintf(&b, "eval: %s\n", d.predictEval(prep))
+	b.WriteString("plan:\n")
+	tree := prep.ExplainTree(func(table string) string {
+		comps := d.ComponentsFor(table)
+		if len(comps) == 0 {
+			return "[certain]"
+		}
+		return fmt.Sprintf("[components: %s]", intsBrief(comps))
+	})
+	for _, line := range strings.Split(strings.TrimRight(tree, "\n"), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	return b.String(), nil
+}
+
+// predictRoute names the path SelectClosure would take for this analysis
+// and closure, mirroring its decision order exactly.
+func (d *WSD) predictRoute(an *plan.ComponentAnalysis, cl Closure) string {
+	if len(an.Comps) == 0 {
+		return "single (world-independent)"
+	}
+	if cl == ClosureNone {
+		if !d.DisableComponentwise {
+			allSingleton := true
+			for _, ci := range an.Comps {
+				if len(d.comps[ci].Alts) != 1 {
+					allSingleton = false
+					break
+				}
+			}
+			if allSingleton {
+				return fmt.Sprintf("single (%d components, all singleton alternatives)", len(an.Comps))
+			}
+		}
+		return "refused (per-world answers over uncertain relations)"
+	}
+	if an.Decomposable && !d.DisableComponentwise {
+		return fmt.Sprintf("componentwise (merge-free, %d components, %s alternatives)",
+			len(an.Comps), d.altsBrief(an.Comps))
+	}
+	alts, ok := d.mergedAlternatives(an.Comps)
+	if !ok || alts > d.MergeLimit {
+		if cl == ClosureApproxConf {
+			samples := d.ApproxSamples
+			if samples <= 0 {
+				samples = DefaultApproxSamples
+			}
+			return fmt.Sprintf("approx_mc (merge of %d components exceeds limit %d; %d samples, seed %d, stderr <= %.4f)",
+				len(an.Comps), d.MergeLimit, samples, d.ApproxSeed,
+				1/(2*math.Sqrt(float64(samples))))
+		}
+		return fmt.Sprintf("refused (merge of %d components exceeds limit %d alternatives)",
+			len(an.Comps), d.MergeLimit)
+	}
+	return fmt.Sprintf("merge (partial expansion, %d components, %d alternatives, limit %d)",
+		len(an.Comps), alts, d.MergeLimit)
+}
+
+// predictEval reports whether per-alternative evaluations would take the
+// vectorized batch path, probing the template bound against the certain
+// parts of the catalog (alternative contributions change row counts but
+// rarely the verdict; the real decision is re-made per Collect).
+func (d *WSD) predictEval(prep *plan.Prepared) string {
+	if !algebra.Vectorized() {
+		return "row (vectorization disabled)"
+	}
+	op, err := prep.Bind(newPartsCatalog(d, nil))
+	if err != nil {
+		return "row"
+	}
+	if _, ok := algebra.Vectorize(op); ok {
+		return "batch (vectorized)"
+	}
+	return "row"
+}
+
+// altsBrief summarizes per-component alternative counts, e.g. "2+2+3".
+func (d *WSD) altsBrief(comps []int) string {
+	parts := make([]string, 0, len(comps))
+	for _, ci := range comps {
+		parts = append(parts, fmt.Sprintf("%d", len(d.comps[ci].Alts)))
+	}
+	return strings.Join(parts, "+")
+}
+
+// mergedAlternatives computes the alternative count a merge of comps would
+// produce, without merging; ok is false on overflow.
+func (d *WSD) mergedAlternatives(comps []int) (int, bool) {
+	product := 1
+	for _, ci := range comps {
+		n := len(d.comps[ci].Alts)
+		if n == 0 {
+			continue
+		}
+		if product > (1<<31)/n {
+			return 0, false
+		}
+		product *= n
+	}
+	return product, true
+}
+
+func intsBrief(xs []int) string {
+	s := append([]int(nil), xs...)
+	sort.Ints(s)
+	parts := make([]string, len(s))
+	for i, x := range s {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, " ")
+}

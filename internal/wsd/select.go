@@ -14,6 +14,7 @@ import (
 
 	"maybms/internal/algebra"
 	"maybms/internal/expr"
+	"maybms/internal/obs"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/sqlparse"
@@ -87,12 +88,28 @@ func StripClosure(st *sqlparse.SelectStmt) (*sqlparse.SelectStmt, Closure, error
 	return &core, cl, nil
 }
 
+// Route metrics: one counter per routing decision, incremented once per
+// statement, plus merge/approx cardinality telemetry. Exposed on /metrics.
+var (
+	routeSingle = obs.Default().Counter(`maybms_route_total{route="single"}`,
+		"Statements by routing decision (single = world-independent, componentwise = merge-free, merge = bounded partial expansion, approx_mc = Monte-Carlo CONF, refused = ErrPerWorld).")
+	routeComponentwise = obs.Default().Counter(`maybms_route_total{route="componentwise"}`, "")
+	routeMerge         = obs.Default().Counter(`maybms_route_total{route="merge"}`, "")
+	routeApproxMC      = obs.Default().Counter(`maybms_route_total{route="approx_mc"}`, "")
+	routeRefused       = obs.Default().Counter(`maybms_route_total{route="refused"}`, "")
+	mergeAlternatives  = obs.Default().Histogram("maybms_merge_alternatives",
+		"Alternatives produced by component merges on the classic path.", obs.CardinalityBuckets)
+	approxSamples = obs.Default().Counter("maybms_approx_samples_total",
+		"Monte-Carlo world samples drawn by APPROX CONF.")
+)
+
 // collect drains an operator, polling the decomposition's Interrupt hook
-// from inside the long-running iterators (see internal/algebra).
+// from inside the long-running iterators (see internal/algebra) and
+// accumulating per-alternative evaluation stats when a trace is installed.
 func (d *WSD) collect(op algebra.Operator) (*relation.Relation, error) {
 	var root *expr.Context
-	if d.Interrupt != nil {
-		root = &expr.Context{Interrupt: d.Interrupt}
+	if d.Interrupt != nil || d.Trace != nil {
+		root = &expr.Context{Interrupt: d.Interrupt, Stats: d.Trace.Stats()}
 	}
 	return algebra.Collect(op, root)
 }
@@ -126,13 +143,20 @@ func (d *WSD) SchemaFingerprint() uint64 {
 // sharedTemplate returns the template under key from the process-wide
 // shared plan cache when it still validates, else compiles and caches a
 // fresh one. A stale or fingerprint-colliding entry degrades to a
-// recompile, never a wrong answer.
-func sharedTemplate[T any](key string, valid func(T) bool, compile func() (T, error)) (T, error) {
+// recompile, never a wrong answer. Lookups are attributed to d (per-session
+// hit/miss counters) and to d.Trace when a statement trace is installed.
+func sharedTemplate[T any](d *WSD, key string, valid func(T) bool, compile func() (T, error)) (T, error) {
+	sp := d.Trace.Begin("plan")
+	defer sp.End(d.Trace)
 	if v, ok := plan.SharedCache().Get(key); ok {
 		if p, ok := v.(T); ok && valid(p) {
+			d.planHits.Add(1)
+			sp.Set("cache", "hit")
 			return p, nil
 		}
 	}
+	d.planMisses.Add(1)
+	sp.Set("cache", "miss")
 	p, err := compile()
 	if err != nil {
 		var zero T
@@ -148,7 +172,7 @@ func sharedTemplate[T any](key string, valid func(T) bool, compile func() (T, er
 // compilation on a failed bind, which preserves exactness).
 func (d *WSD) prepared(sel *sqlparse.SelectStmt) (*plan.Prepared, func(cat plan.Catalog) (*relation.Relation, error), error) {
 	compileCat := d.schemaCatalog()
-	prep, err := sharedTemplate(
+	prep, err := sharedTemplate(d,
 		fmt.Sprintf("cq\x00%s\x00%x", sel.String(), d.SchemaFingerprint()),
 		func(p *plan.Prepared) bool { _, err := p.Bind(compileCat); return err == nil },
 		func() (*plan.Prepared, error) { return plan.Prepare(sel, compileCat) })
@@ -182,7 +206,7 @@ func (d *WSD) AssertStmt(e sqlparse.Expr, touching []string) error {
 	touching = append(append([]string(nil), touching...),
 		sqlparse.ReferencedTables(&sqlparse.SelectStmt{Where: e, Limit: -1})...)
 	compileCat := d.schemaCatalog()
-	pp, err := sharedTemplate(
+	pp, err := sharedTemplate(d,
 		fmt.Sprintf("ca\x00%s\x00%x", e.String(), d.SchemaFingerprint()),
 		func(p *plan.PreparedPredicate) bool { _, err := p.Bind(compileCat); return err == nil },
 		func() (*plan.PreparedPredicate, error) { return plan.PreparePredicate(e, compileCat) })
@@ -234,14 +258,23 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 	if err != nil {
 		return nil, err
 	}
+	asp := d.Trace.Begin("analyze")
 	an, err := d.analyze(prep)
 	if err != nil {
+		asp.End(d.Trace)
 		return nil, err
 	}
+	asp.Set("components", len(an.Comps))
+	asp.Set("decomposable", an.Decomposable)
+	asp.End(d.Trace)
 
 	// World-independent core: one evaluation, every closure is (at most) a
 	// dedup of it.
 	if len(an.Comps) == 0 {
+		routeSingle.Inc()
+		d.Trace.Set("route", "single")
+		sp := d.Trace.Begin("eval")
+		defer sp.End(d.Trace)
 		res, err := eval(newPartsCatalog(d, nil))
 		if err != nil {
 			return nil, err
@@ -267,6 +300,8 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 				return nil, err
 			}
 			if len(results) > 1 {
+				routeRefused.Inc()
+				d.Trace.Set("route", "refused")
 				return nil, ErrPerWorld
 			}
 			return results[0], nil
@@ -279,10 +314,16 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 		sel := make(map[int]int, len(an.Comps))
 		for _, ci := range an.Comps {
 			if len(d.comps[ci].Alts) != 1 {
+				routeRefused.Inc()
+				d.Trace.Set("route", "refused")
 				return nil, ErrPerWorld
 			}
 			sel[ci] = 0
 		}
+		routeSingle.Inc()
+		d.Trace.Set("route", "single")
+		sp := d.Trace.Begin("eval")
+		defer sp.End(d.Trace)
 		return eval(newPartsCatalog(d, sel))
 	}
 
@@ -291,11 +332,18 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 	// the classic path would not have merged either, but the parts path
 	// also skips the (noop) restructuring.
 	if an.Decomposable && !d.DisableComponentwise {
+		routeComponentwise.Inc()
+		d.Trace.Set("route", "componentwise")
+		sp := d.Trace.Begin("componentwise")
+		sp.Set("components", len(an.Comps))
 		parts, err := d.QueryByComponent(an.Comps, true, false, eval)
+		sp.End(d.Trace)
 		if err != nil {
 			return nil, err
 		}
 		d.componentwise.Add(1)
+		csp := d.Trace.Begin("closure")
+		defer csp.End(d.Trace)
 		switch cl {
 		case ClosurePossible:
 			return possibleFromParts(parts)
@@ -310,13 +358,26 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 	// expansion), evaluate per merged alternative, close. APPROX CONF — and
 	// only it — survives a merge past MergeLimit by switching to the seeded
 	// Monte-Carlo estimator instead of failing with ErrMergeTooBig.
+	msp := d.Trace.Begin("merge_eval")
+	msp.Set("components", len(an.Comps))
 	results, probs, err := d.queryMerged(an.Comps, eval)
 	if err != nil {
+		msp.End(d.Trace)
 		if cl == ClosureApproxConf && errors.Is(err, ErrMergeTooBig) {
+			routeApproxMC.Inc()
+			d.Trace.Set("route", "approx_mc")
 			return d.confMonteCarlo(an.Comps, eval)
 		}
 		return nil, err
 	}
+	routeMerge.Inc()
+	d.Trace.Set("route", "merge")
+	mergeAlternatives.Observe(float64(len(results)))
+	msp.Set("alternatives", len(results))
+	msp.Set("merge_limit", d.MergeLimit)
+	msp.End(d.Trace)
+	csp := d.Trace.Begin("closure")
+	defer csp.End(d.Trace)
 	switch cl {
 	case ClosurePossible:
 		return worldset.PossibleWorkers(results, d.Workers, d.Interrupt)

@@ -66,6 +66,7 @@ import (
 	"sync/atomic"
 
 	"maybms/internal/exec"
+	"maybms/internal/obs"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
@@ -138,6 +139,12 @@ type WSD struct {
 	// deterministic.
 	ApproxSamples int
 	ApproxSeed    int64
+	// Trace, when non-nil, receives stage spans and routing annotations
+	// for the statement currently executing (plan-cache lookup, analysis,
+	// route, merge cardinalities, approx sampling). Statements on one
+	// decomposition execute serially, so callers install a fresh trace
+	// per statement — like Interrupt — and clear it after.
+	Trace *obs.Trace
 
 	certain map[string]*relation.Relation // lower name → certain tuples
 	schemas map[string]*schema.Schema     // lower name → schema
@@ -152,6 +159,10 @@ type WSD struct {
 	// componentwise counts statements answered by the merge-free
 	// componentwise path.
 	componentwise atomic.Uint64
+	// planHits/planMisses attribute shared-plan-cache lookups to this
+	// decomposition (the cache itself is process-global; see SessionInfo).
+	planHits   atomic.Uint64
+	planMisses atomic.Uint64
 }
 
 // New creates an empty WSD (one world: the empty certain database).
@@ -263,6 +274,13 @@ func (d *WSD) MergeCount() uint64 { return d.merges.Load() }
 // ComponentwiseCount returns the number of statements answered by the
 // merge-free componentwise path.
 func (d *WSD) ComponentwiseCount() uint64 { return d.componentwise.Load() }
+
+// PlanCacheCounts returns this decomposition's shared-plan-cache lookup
+// attribution: templates found valid in the process-wide cache vs. compiled
+// fresh on its behalf.
+func (d *WSD) PlanCacheCounts() (hits, misses uint64) {
+	return d.planHits.Load(), d.planMisses.Load()
+}
 
 // ComponentsFor returns the indexes (into the component list) of the
 // components contributing to relation name. Exposed to the planner's

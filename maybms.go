@@ -94,6 +94,35 @@
 // components. CompactDB.Select runs closures directly;
 // CompactDB.MergeCount and ComponentwiseCount expose the routing.
 //
+// # Observability
+//
+// Every statement can explain and measure itself:
+//
+//   - EXPLAIN <stmt> predicts the routing (which closure, componentwise vs.
+//     merge vs. approximation vs. refusal on the compact engine; world
+//     count on the naive one) and prints the compiled plan tree with
+//     per-relation component annotations. EXPLAIN ANALYZE executes the
+//     statement for real (including DML side effects, as in PostgreSQL)
+//     and appends the actual span trace and result cardinality.
+//   - ExecTraced (on DB and CompactDB) returns the statement's Trace: one
+//     span per execution stage — plan (cache hit/miss), analyze
+//     (components touched), eval / componentwise / merge_eval / closure /
+//     approx_mc — each with monotonic offsets, durations and attributes
+//     (route, worlds, components, alternatives, merge_limit, samples,
+//     seed, stderr_bound), plus batch/row collect and row counts.
+//   - The server adds GET /metrics (Prometheus text format), a per-request
+//     trace in the response ({"trace": true} or ?trace=1), and a
+//     structured JSON slow-query log past a configurable threshold.
+//     Metric families: maybms_collects_total{path}, maybms_collect_rows_total,
+//     maybms_route_total{route}, maybms_merge_alternatives,
+//     maybms_approx_samples_total, maybms_requests_total{op},
+//     maybms_request_errors_total, maybms_statement_seconds{backend},
+//     maybms_slow_queries_total, plus plan-cache and session gauges.
+//   - Metrics collection is on by default and nearly free (one atomic add
+//     per statement stage, never per row); MAYBMS_METRICS=off or
+//     SetMetricsEnabled(false) turns it off. scripts/check_trace_overhead.sh
+//     gates the enabled-vs-disabled overhead at 5% in CI.
+//
 // Benchmarks live in bench_test.go; run and record them with
 //
 //	scripts/bench.sh            # writes BENCH_<date>.json
@@ -102,8 +131,10 @@ package maybms
 
 import (
 	"fmt"
+	"io"
 
 	"maybms/internal/core"
+	"maybms/internal/obs"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/sqlparse"
@@ -118,6 +149,22 @@ type Result = core.Result
 
 // Relation is an in-memory relation (schema + tuples).
 type Relation = relation.Relation
+
+// Trace is a per-statement execution trace: spans with monotonic offsets
+// and durations, statement-level attributes (route, closure), and
+// evaluation stats (batch/row collects, rows). Render returns the
+// human-readable form, JSON the wire snapshot. All methods are nil-safe.
+type Trace = obs.Trace
+
+// SetMetricsEnabled switches process-wide metrics collection (counters
+// and histograms; traces are unaffected). Enabled by default; the
+// MAYBMS_METRICS environment variable (off/0/false) presets it.
+func SetMetricsEnabled(on bool) { obs.SetEnabled(on) }
+
+// WriteMetrics renders the process-wide metrics registry to w in
+// Prometheus text format (the same families GET /metrics serves, minus
+// the server gauges).
+func WriteMetrics(w io.Writer) { obs.Default().WritePrometheus(w) }
 
 // DB is a database whose state is a set of possible worlds, evaluated with
 // the naive (explicitly enumerating) engine.
@@ -136,6 +183,17 @@ func OpenIncomplete() *DB { return &DB{session: core.NewSession(false)} }
 
 // Exec parses and executes one I-SQL statement.
 func (db *DB) Exec(sql string) (*Result, error) { return db.session.Exec(sql) }
+
+// ExecTraced runs one I-SQL statement with a fresh statement trace
+// installed and returns the trace alongside the result. The trace is
+// populated even when the statement errors.
+func (db *DB) ExecTraced(sql string) (*Result, *Trace, error) {
+	tr := obs.NewTrace(sql)
+	db.session.SetTrace(tr)
+	res, err := db.session.Exec(sql)
+	db.session.SetTrace(nil)
+	return res, tr, err
+}
 
 // MustExec is Exec for program initialization; it panics on error.
 func (db *DB) MustExec(sql string) *Result {

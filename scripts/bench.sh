@@ -9,6 +9,10 @@
 #   BENCHFILTER=Repair scripts/bench.sh  # run only benchmarks matching the
 #                                        # regex (go test -bench syntax)
 #
+# A filtered run merges into an existing OUT file by benchmark name
+# (re-measured benchmarks replace their old entries, the rest are kept),
+# so BENCHFILTER reruns never silently drop the other recordings.
+#
 # The JSON records the environment (go version, GOMAXPROCS, benchtime)
 # next to every benchmark's ns/op, B/op and allocs/op, because absolute
 # numbers are only comparable within one environment — the dev container
@@ -24,7 +28,8 @@ DATE="$(date -u +%Y-%m-%d)"
 OUT="${OUT:-BENCH_${DATE}.json}"
 
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+NEW="$(mktemp)"
+trap 'rm -f "$RAW" "$NEW"' EXIT
 
 go test -bench "$BENCHFILTER" -benchmem -benchtime "$BENCHTIME" -run '^$' $PKGS | tee "$RAW" >&2
 
@@ -48,6 +53,29 @@ BEGIN {
     printf "}"
 }
 END { printf "\n  ]\n}\n" }
-' "$RAW" > "$OUT"
+' "$RAW" > "$NEW"
+
+# Merge a filtered run into an existing recording instead of overwriting
+# it: entries re-measured now win, all others survive. (Unfiltered runs
+# and non-file OUTs like /dev/stdout still write the fresh recording.)
+if [ "$BENCHFILTER" != "." ] && [ -f "$OUT" ] && [ -s "$OUT" ]; then
+    python3 - "$OUT" "$NEW" <<'PY'
+import json, sys
+old_path, new_path = sys.argv[1], sys.argv[2]
+with open(old_path) as f:
+    old = json.load(f)
+with open(new_path) as f:
+    new = json.load(f)
+measured = {b["name"] for b in new["benchmarks"]}
+kept = [b for b in old.get("benchmarks", []) if b["name"] not in measured]
+new["benchmarks"] = kept + new["benchmarks"]
+with open(new_path, "w") as f:
+    json.dump(new, f, indent=2)
+    f.write("
+")
+PY
+    echo "merged filtered run into existing $OUT" >&2
+fi
+cat "$NEW" > "$OUT"
 
 echo "wrote $OUT" >&2

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# check_trace_overhead.sh — gate the cost of the observability layer.
+#
+# Runs the two hot-path benchmarks (the per-alternative WSD confidence
+# closure and the algebra join ablation) with metrics collection disabled
+# (MAYBMS_METRICS=off) and enabled (the default), interleaving the two
+# modes across REPS repetitions so machine drift hits both equally, and
+# comparing the min of each mode. Fails if the enabled min is more than
+# MAX_OVERHEAD_PCT above the disabled min — the instrumentation is a few
+# atomic adds per statement stage, so anything above noise means a
+# per-row cost crept in.
+#
+# Usage:
+#   scripts/check_trace_overhead.sh              # gate at 5%
+#   BENCHTIME=1s REPS=8 scripts/check_trace_overhead.sh  # steadier numbers
+#
+# The measured pair is recorded into BENCH_<date>.json (entries named
+# <bench>/metrics=off|on, merged into an existing file like
+# scripts/bench.sh filtered runs do).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-0.5s}"
+REPS="${REPS:-5}"
+MAX_OVERHEAD_PCT="${MAX_OVERHEAD_PCT:-5}"
+DATE="$(date -u +%Y-%m-%d)"
+OUT="${OUT:-BENCH_${DATE}.json}"
+
+OFF_RAW="$(mktemp)"
+ON_RAW="$(mktemp)"
+trap 'rm -f "$OFF_RAW" "$ON_RAW"' EXIT
+
+run_mode() { # $1 = MAYBMS_METRICS value, $2 = output file
+    {
+        MAYBMS_METRICS="$1" go test -run '^$' -bench 'BenchmarkScalingConfWSD/groups=1000$' \
+            -benchtime "$BENCHTIME" -count 1 .
+        MAYBMS_METRICS="$1" go test -run '^$' -bench 'BenchmarkAblationJoinCross/n=512$' \
+            -benchtime "$BENCHTIME" -count 1 ./internal/algebra
+    } | tee -a "$2" >&2
+}
+
+for rep in $(seq "$REPS"); do
+    echo "== rep $rep: metrics disabled ==" >&2
+    run_mode off "$OFF_RAW"
+    echo "== rep $rep: metrics enabled ==" >&2
+    run_mode on "$ON_RAW"
+done
+
+python3 - "$OFF_RAW" "$ON_RAW" "$OUT" "$MAX_OVERHEAD_PCT" \
+    "$DATE" "$(go version)" "$BENCHTIME" <<'PY'
+import json, os, re, sys
+
+off_raw, on_raw, out, max_pct, date, goversion, benchtime = sys.argv[1:8]
+
+def mins(path):
+    best = {}
+    for line in open(path):
+        m = re.match(r"^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op", line)
+        if m:
+            name, ns = m.group(1), float(m.group(3))
+            if name not in best or ns < best[name]:
+                best[name] = ns
+    return best
+
+off, on = mins(off_raw), mins(on_raw)
+if not off or set(off) != set(on):
+    sys.exit(f"benchmark sets differ: off={sorted(off)} on={sorted(on)}")
+
+failed = False
+entries = []
+for name in sorted(off):
+    pct = (on[name] / off[name] - 1) * 100
+    status = "ok" if pct <= float(max_pct) else "FAIL"
+    if status == "FAIL":
+        failed = True
+    print(f"{name}: disabled {off[name]:.0f} ns/op, enabled {on[name]:.0f} ns/op, "
+          f"overhead {pct:+.2f}% [{status}]")
+    entries.append({"name": f"{name}/metrics=off", "ns_per_op": off[name]})
+    entries.append({"name": f"{name}/metrics=on", "ns_per_op": on[name]})
+
+# Record the pair, merging into an existing recording by name.
+doc = {"date": date, "go": goversion, "benchtime": benchtime, "benchmarks": []}
+if os.path.isfile(out) and os.path.getsize(out) > 0:
+    with open(out) as f:
+        doc = json.load(f)
+measured = {e["name"] for e in entries}
+doc["benchmarks"] = [b for b in doc.get("benchmarks", [])
+                     if b["name"] not in measured] + entries
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"recorded metrics on/off pair in {out}")
+
+if failed:
+    sys.exit(f"metrics overhead exceeds {max_pct}% on at least one benchmark")
+PY
+echo "check_trace_overhead: ok" >&2

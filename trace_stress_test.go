@@ -1,0 +1,145 @@
+package maybms
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServerTraceStress drives 64 concurrent clients, each with its own
+// session and per-request tracing enabled, and asserts that every trace
+// is isolated (it describes exactly the client's own statement), its
+// spans carry monotonic non-negative timings, and the whole exchange is
+// race-free (run under -race in CI).
+func TestServerTraceStress(t *testing.T) {
+	srv, err := Serve(ServerConfig{TCPAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	const clients = 64
+	var wg sync.WaitGroup
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			if err := traceClient(srv.TCPAddr().String(), c); err != nil {
+				errc <- fmt.Errorf("client %d: %w", c, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// traceClient runs one session: build a small repair, then query it with
+// tracing on and validate the returned trace.
+func traceClient(addr string, c int) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	session := fmt.Sprintf("stress-%d", c)
+
+	exec := func(query string, trace bool) (*ServerResponse, error) {
+		req := ServerRequest{Session: session, Backend: "compact", Query: query, Trace: trace}
+		if err := enc.Encode(req); err != nil {
+			return nil, err
+		}
+		if !sc.Scan() {
+			return nil, fmt.Errorf("connection closed (%v)", sc.Err())
+		}
+		var resp ServerResponse
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			return nil, err
+		}
+		if !resp.OK {
+			return nil, fmt.Errorf("%q: %s", query, resp.Error)
+		}
+		return &resp, nil
+	}
+
+	setup := []string{
+		"create table R (K, A, W)",
+		fmt.Sprintf("insert into R values (1, 'a%d', 0.5), (1, 'b%d', 0.5), (2, 'c%d', 1.0)", c, c, c),
+		"create table Rp as select * from R repair by key K weight W",
+	}
+	for _, q := range setup {
+		if _, err := exec(q, false); err != nil {
+			return err
+		}
+	}
+
+	// Each client's marker literal makes cross-session trace leakage
+	// detectable: a trace for another client's statement cannot match.
+	marker := fmt.Sprintf("SELECT POSSIBLE A FROM Rp WHERE A <> 'zz%d'", c)
+	for i := 0; i < 5; i++ {
+		resp, err := exec(marker, true)
+		if err != nil {
+			return err
+		}
+		tr := resp.Trace
+		if tr == nil {
+			return fmt.Errorf("no trace on traced request")
+		}
+		if tr.Statement != marker {
+			return fmt.Errorf("trace leaked: statement %q, want %q", tr.Statement, marker)
+		}
+		if len(tr.Spans) == 0 {
+			return fmt.Errorf("trace has no spans")
+		}
+		prev := int64(0)
+		for _, sp := range tr.Spans {
+			if sp.StartUs < prev {
+				return fmt.Errorf("span %q starts at %dµs before previous span's %dµs", sp.Name, sp.StartUs, prev)
+			}
+			if sp.DurUs < 0 {
+				return fmt.Errorf("span %q has negative duration %dµs", sp.Name, sp.DurUs)
+			}
+			prev = sp.StartUs
+		}
+		if tr.TotalUs < prev {
+			return fmt.Errorf("trace total %dµs precedes last span start %dµs", tr.TotalUs, prev)
+		}
+		route := ""
+		for _, a := range tr.Attrs {
+			if a.Key == "route" {
+				route = a.Value
+			}
+		}
+		if route != "componentwise" {
+			return fmt.Errorf("route attr = %q, want componentwise", route)
+		}
+		if tr.Exec.Rows == 0 {
+			return fmt.Errorf("trace counted no rows")
+		}
+	}
+
+	// An untraced request on the same session must not carry a trace.
+	resp, err := exec(marker, false)
+	if err != nil {
+		return err
+	}
+	if resp.Trace != nil {
+		return fmt.Errorf("untraced request returned a trace")
+	}
+	return nil
+}
