@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"math"
 	"testing"
+
+	"maybms/internal/algebra"
 )
 
 const figure1SQL = `
@@ -722,6 +724,108 @@ func BenchmarkCompactRepairUncertain(b *testing.B) {
 		})
 	}
 }
+
+// ---- batch-native closure pipeline: row vs batch past the Collect seam ----
+
+// bulkChoiceDB builds one choice component with alts alternatives of rows
+// tuples each — per-alternative parts far above the vectorization floor, the
+// regime the batch-native closure pipeline targets — plus a tiny independent
+// choice table P for the grouped closure. The Row/Batch benchmark pairs
+// below run identical queries over it: the Row leg is the classic row
+// pipeline (row-at-a-time evaluation, closures over row-backed views), the
+// Batch leg keeps answers columnar end to end — vectorized evaluation plus
+// the batch-native Collect seam (SetBatchClosure).
+func bulkChoiceDB(b *testing.B, alts, rows int) *CompactDB {
+	b.Helper()
+	cdb := OpenCompact()
+	data := make([][]any, 0, alts*rows)
+	for g := 0; g < alts; g++ {
+		for r := 0; r < rows; r++ {
+			data = append(data, []any{g, r, 1})
+		}
+	}
+	if err := cdb.Register("Cand", []string{"G", "V", "W"}, data); err != nil {
+		b.Fatal(err)
+	}
+	if err := cdb.ChoiceOf("Cand", "U", []string{"G"}, ""); err != nil {
+		b.Fatal(err)
+	}
+	if err := cdb.Register("C", []string{"A", "B"}, [][]any{{10, 0}, {20, 1}}); err != nil {
+		b.Fatal(err)
+	}
+	if err := cdb.ChoiceOf("C", "P", []string{"A"}, ""); err != nil {
+		b.Fatal(err)
+	}
+	return cdb
+}
+
+func benchClosureSeam(b *testing.B, batch bool, query string, wantRows int) {
+	prevSeam := SetBatchClosure(batch)
+	defer SetBatchClosure(prevSeam)
+	defer algebra.SetVectorized(algebra.SetVectorized(batch))
+	cdb := bulkChoiceDB(b, 8, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rel, err := cdb.Select(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel.Len() != wantRows {
+			b.Fatalf("wrong answer: %d rows, want %d", rel.Len(), wantRows)
+		}
+	}
+	b.StopTimer()
+	if cdb.MergeCount() != 0 {
+		b.Fatal("closure benchmark merged")
+	}
+}
+
+// BenchmarkBatchClosurePossible / BenchmarkRowClosurePossible: the POSSIBLE
+// union-with-dedup over 8 alternatives × 2048 tuples, columnar vs row-backed.
+func BenchmarkBatchClosurePossible(b *testing.B) {
+	benchClosureSeam(b, true, `select possible V from U where V < 1536`, 1536)
+}
+
+func BenchmarkRowClosurePossible(b *testing.B) {
+	benchClosureSeam(b, false, `select possible V from U where V < 1536`, 1536)
+}
+
+// BenchmarkBatchClosureConf / BenchmarkRowClosureConf: the CONF closure —
+// dedup plus per-alternative probability accumulation — on the same pair.
+func BenchmarkBatchClosureConf(b *testing.B) {
+	benchClosureSeam(b, true, `select conf, V from U where V < 1536`, 1536)
+}
+
+func BenchmarkRowClosureConf(b *testing.B) {
+	benchClosureSeam(b, false, `select conf, V from U where V < 1536`, 1536)
+}
+
+func benchGroupWorldsSeam(b *testing.B, batch bool) {
+	prevSeam := SetBatchClosure(batch)
+	defer SetBatchClosure(prevSeam)
+	defer algebra.SetVectorized(algebra.SetVectorized(batch))
+	cdb := bulkChoiceDB(b, 8, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups, err := cdb.SelectGroups("select possible V from U group worlds by (select B from P)")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(groups) != 2 {
+			b.Fatal("wrong group count")
+		}
+	}
+	b.StopTimer()
+	if cdb.MergeCount() != 0 {
+		b.Fatal("group worlds benchmark merged")
+	}
+}
+
+// BenchmarkBatchClosureGroupWorlds / BenchmarkRowClosureGroupWorlds: the
+// grouped closure — fingerprint fold plus a per-group POSSIBLE run.
+func BenchmarkBatchClosureGroupWorlds(b *testing.B) { benchGroupWorldsSeam(b, true) }
+
+func BenchmarkRowClosureGroupWorlds(b *testing.B) { benchGroupWorldsSeam(b, false) }
 
 // BenchmarkNaiveRepairUncertain is the naive baseline for the chained
 // repair: the enumerating engine re-splits every world (2^n per-world

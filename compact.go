@@ -382,6 +382,16 @@ func (db *CompactDB) ComponentwiseCount() uint64 { return db.w.ComponentwiseCoun
 // the toggle exists for benchmarks and crosschecks.
 func (db *CompactDB) SetComponentwise(enabled bool) { db.w.DisableComponentwise = !enabled }
 
+// SetBatchClosure toggles the batch-native closure seam of the compact
+// engine, process-wide, returning the previous setting (enabled by
+// default). With the seam on, vectorized per-alternative evaluations stay
+// columnar past the Collect seam and the possible/certain/conf and GROUP
+// WORLDS BY closures run over batch keys; with it off, rows materialize at
+// the seam as before the batch-native pipeline. Results are identical
+// either way — the toggle exists for ablation benchmarks and equivalence
+// tests.
+func SetBatchClosure(enabled bool) bool { return wsd.SetBatchClosure(enabled) }
+
 // Expand enumerates the world-set into a naive DB supporting full I-SQL.
 // It fails if more than limit worlds are represented (0 = default limit).
 func (db *CompactDB) Expand(limit int) (*DB, error) {

@@ -395,13 +395,22 @@ func TestCompactApproxConf(t *testing.T) {
 	if est.Len() != exact.Len() {
 		t.Fatalf("estimated rows = %d, want %d", est.Len(), exact.Len())
 	}
+	// The Monte-Carlo route appends the conf estimate plus the cerr
+	// standard-error bound (±1/(2√samples)).
+	n := est.Schema.Len()
+	if got, got2 := est.Schema.At(n-2).Name, est.Schema.At(n-1).Name; got != "conf" || got2 != "cerr" {
+		t.Fatalf("trailing columns = %q, %q, want conf, cerr", got, got2)
+	}
 	for _, tp := range est.Tuples {
 		want := 0.5
 		if tp[0].String() == "k3" {
 			want = 1
 		}
-		if got := tp[len(tp)-1].AsFloat(); math.Abs(got-want) > 0.05 {
+		if got := tp[len(tp)-2].AsFloat(); math.Abs(got-want) > 0.05 {
 			t.Errorf("approx conf(%v) = %v, want %v ± 0.05", tp, got, want)
+		}
+		if got := tp[len(tp)-1].AsFloat(); got != 1/(2*math.Sqrt(4000)) {
+			t.Errorf("cerr(%v) = %v, want %v", tp, got, 1/(2*math.Sqrt(4000)))
 		}
 	}
 	// Same seed, same estimates.

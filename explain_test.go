@@ -161,7 +161,9 @@ plan:
 
 // TestExplainVectorized pins the batch-path prediction: with the
 // vectorization floor lowered the same componentwise plan reports the
-// vectorized evaluator.
+// vectorized evaluator, including whether results stay columnar past the
+// Collect seam (the batch-native closure pipeline) or materialize rows
+// there (the ablation baseline).
 func TestExplainVectorized(t *testing.T) {
 	prev := algebra.SetVectorizeMinRows(0)
 	defer algebra.SetVectorizeMinRows(prev)
@@ -170,12 +172,19 @@ func TestExplainVectorized(t *testing.T) {
 worlds: 2
 route: componentwise (merge-free, 2 components, 2+1 alternatives)
 closure: possible
-eval: batch (vectorized)
+eval: batch (vectorized, batch-native collect)
 plan:
   Project [A]
     Scan Rp [components: 0 1]`
 	if got := explainText(t, db, "EXPLAIN SELECT POSSIBLE A FROM Rp"); got != want {
 		t.Errorf("EXPLAIN mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	prevSeam := SetBatchClosure(false)
+	defer SetBatchClosure(prevSeam)
+	want = strings.Replace(want, "batch-native collect", "rows at collect", 1)
+	if got := explainText(t, db, "EXPLAIN SELECT POSSIBLE A FROM Rp"); got != want {
+		t.Errorf("EXPLAIN mismatch with seam off\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }
 

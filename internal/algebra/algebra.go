@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"maybms/internal/colbatch"
 	"maybms/internal/expr"
 	"maybms/internal/obs"
 	"maybms/internal/relation"
@@ -89,6 +90,59 @@ func Collect(op Operator, outer *expr.Context) (*relation.Relation, error) {
 			return out, nil
 		}
 		out.Tuples = append(out.Tuples, t)
+	}
+}
+
+// CollectBatch drains op into one combined columnar batch — the
+// batch-native Collect variant behind the wsd closure builders. On the
+// vectorized path the pipeline's batches append column-wise into the result
+// and no row tuples are materialized at all; on the row path the collected
+// tuples are wrapped as a row-backed batch (FromRowsShared) with zero
+// copying, so callers always receive a batch and decide themselves when (if
+// ever) to materialize rows. Counter attribution matches Collect: one
+// maybms_collects_total{path=batch|row} tick per call by the path actually
+// taken, rows counted once per call.
+func CollectBatch(op Operator, outer *expr.Context) (*colbatch.Batch, error) {
+	stats := outer.FindStats()
+	if vectorizedOn.Load() {
+		if b, ok := Vectorize(op); ok {
+			batchCollects.Inc()
+			if stats != nil {
+				stats.BatchCollects.Add(1)
+			}
+			out, err := drainToBatch(b, outer)
+			if err != nil {
+				return nil, err
+			}
+			collectRows.Add(uint64(out.Len()))
+			if stats != nil {
+				stats.Rows.Add(uint64(out.Len()))
+			}
+			return out, nil
+		}
+	}
+	rowCollects.Inc()
+	if stats != nil {
+		stats.RowCollects.Add(1)
+	}
+	if err := op.Open(outer); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows []tuple.Tuple
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			collectRows.Add(uint64(len(rows)))
+			if stats != nil {
+				stats.Rows.Add(uint64(len(rows)))
+			}
+			return colbatch.FromRowsShared(op.Schema(), rows), nil
+		}
+		rows = append(rows, t)
 	}
 }
 

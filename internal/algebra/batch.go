@@ -65,6 +65,11 @@ func init() { vectorizeMinRows.Store(32) }
 // random relations still exercise the batch operators.
 func SetVectorizeMinRows(n int64) int64 { return vectorizeMinRows.Swap(n) }
 
+// VectorizeMinRows reports the current scanned-rows floor. Catalog builders
+// (wsd's componentwise path) consult it to skip assembling columnar input
+// views for evaluations Vectorize would decline anyway.
+func VectorizeMinRows() int64 { return vectorizeMinRows.Load() }
+
 // scanRows sums the leaf relation sizes of op's subtree — the static
 // input-cardinality estimate behind vectorizeMinRows.
 func scanRows(op Operator) int64 {

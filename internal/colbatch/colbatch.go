@@ -13,6 +13,16 @@
 // rows it was built from, and AppendKeyOn produces exactly the bytes of
 // tuple.KeyOn / value.Encode. Batches are treated as immutable once handed
 // to a consumer; builders append, consumers only read.
+//
+// Since the batch-native closure seam landed, batches are also the currency
+// past algebra.CollectBatch: the wsd closure builders union/dedup/merge on
+// AppendKey arena keys and assemble outputs with AppendBatch/AppendGather,
+// materializing rows once at the very end (one Rows() slab) instead of per
+// evaluation. Row-backed batches (FromRowsShared) are the lazy row view of
+// that seam — they wrap already-materialized tuples with zero copying, their
+// Rows() is free, and AppendKey degrades to tuple.Encode on the shared rows,
+// so the row path and the naive engine run through the same closure code
+// with identical bytes.
 package colbatch
 
 import (
@@ -359,6 +369,18 @@ func FromRowsShared(sch *schema.Schema, rows []tuple.Tuple) *Batch {
 // Len returns the number of rows.
 func (b *Batch) Len() int { return b.n }
 
+// RowBacked reports whether the batch is a row-backed view (FromRowsShared):
+// its Rows() are the original tuples, returned without materialization.
+func (b *Batch) RowBacked() bool { return b.rows != nil }
+
+// WithSchema returns a shallow view of the batch under a different schema of
+// the same width (the columnar counterpart of Relation.WithSchema).
+func (b *Batch) WithSchema(sch *schema.Schema) *Batch {
+	out := *b
+	out.Schema = sch
+	return &out
+}
+
 // Width returns the number of columns.
 func (b *Batch) Width() int {
 	if b.rows != nil {
@@ -419,6 +441,118 @@ func (b *Batch) AppendBatch(src *Batch) {
 		b.cols[j].appendAll(b.n, &src.cols[j], src.n)
 	}
 	b.n += src.n
+}
+
+// AppendGather appends src's rows at the selected indexes to b, in sel
+// order — the gather-append the closure builders use to keep only
+// first-appearance rows without materializing an intermediate batch. The
+// schemas must have the same width.
+func (b *Batch) AppendGather(src *Batch, sel []int32) {
+	if b.rows != nil {
+		if src.rows != nil {
+			for _, s := range sel {
+				b.rows = append(b.rows, src.rows[s])
+			}
+		} else {
+			for _, s := range sel {
+				b.rows = append(b.rows, src.Row(int(s)))
+			}
+		}
+		b.n += len(sel)
+		return
+	}
+	if src.rows != nil {
+		for _, s := range sel {
+			b.Append(src.rows[s])
+		}
+		return
+	}
+	for j := range b.cols {
+		b.cols[j].appendGather(b.n, &src.cols[j], sel)
+	}
+	b.n += len(sel)
+}
+
+// appendGather appends src's cells at the selected rows to c (whose current
+// length is at).
+func (c *Col) appendGather(at int, src *Col, sel []int32) {
+	if src.Any != nil || c.Any != nil || (c.Kind != value.KindNull && src.Kind != value.KindNull && c.Kind != src.Kind) {
+		// Mixed shapes: degrade to generic and copy cell-wise.
+		if c.Any == nil {
+			c.degrade(at)
+		}
+		for _, s := range sel {
+			c.Any = append(c.Any, src.Value(int(s)))
+		}
+		return
+	}
+	if src.Kind == value.KindNull {
+		if c.Kind == value.KindNull {
+			return
+		}
+		for i := range sel {
+			c.appendNull(at + i)
+		}
+		return
+	}
+	if c.Kind == value.KindNull {
+		if at > 0 {
+			c.Nulls = make([]bool, at)
+			for i := range c.Nulls {
+				c.Nulls[i] = true
+			}
+		}
+		c.Kind = src.Kind
+		c.grow(at)
+	}
+	if c.Nulls != nil || src.Nulls != nil {
+		if c.Nulls == nil {
+			c.Nulls = make([]bool, at)
+		}
+		if src.Nulls != nil {
+			for _, s := range sel {
+				c.Nulls = append(c.Nulls, src.Nulls[s])
+			}
+		} else {
+			c.Nulls = append(c.Nulls, make([]bool, len(sel))...)
+		}
+	}
+	switch c.Kind {
+	case value.KindInt:
+		for _, s := range sel {
+			c.Ints = append(c.Ints, src.Ints[s])
+		}
+	case value.KindFloat:
+		for _, s := range sel {
+			c.Floats = append(c.Floats, src.Floats[s])
+		}
+	case value.KindString:
+		for _, s := range sel {
+			c.Strs = append(c.Strs, src.Strs[s])
+		}
+	case value.KindBool:
+		for _, s := range sel {
+			c.Bools = append(c.Bools, src.Bools[s])
+		}
+	}
+}
+
+// ExtendFloat returns the batch extended with a trailing float column (the
+// closure builders' conf column), under the given output schema. vals must
+// have one entry per row. Row-backed batches extend row-wise (each output
+// row is a fresh tuple); columnar batches share their existing vectors.
+func (b *Batch) ExtendFloat(out *schema.Schema, vals []float64) *Batch {
+	if b.rows != nil {
+		rows := make([]tuple.Tuple, b.n)
+		for i, t := range b.rows {
+			rows[i] = append(t.Clone(), value.Float(vals[i]))
+		}
+		return &Batch{Schema: out, n: b.n, rows: rows}
+	}
+	cols := make([]Col, len(b.cols)+1)
+	copy(cols, b.cols)
+	cols[len(b.cols)] = Col{Kind: value.KindFloat, Floats: vals}
+	return &Batch{Schema: out, cols: cols, n: b.n}
 }
 
 // Slice returns a zero-copy view of rows [lo, hi).

@@ -7,7 +7,6 @@ import (
 
 	"maybms/internal/colbatch"
 	"maybms/internal/schema"
-	"maybms/internal/tuple"
 	"maybms/internal/value"
 )
 
@@ -15,10 +14,11 @@ import (
 // becomes the (unqualified) schema. Field values are interpreted with
 // value.Parse (NULL, booleans, numbers, else text).
 //
-// Records append straight into a columnar batch (with the csv reader's
-// record slice reused across rows), so bulk load allocates per column, not
-// per row; the loaded relation carries the batch as its cached columnar
-// view and its tuples are materialized from one slab.
+// Fields parse straight into per-column builders (with the csv reader's
+// record slice reused across rows) — no per-row tuple is ever built during
+// the load, so bulk ingestion allocates per column, not per row. The loaded
+// relation carries the assembled batch as its cached columnar view and its
+// tuples are materialized from one slab.
 func ReadCSV(r io.Reader) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
@@ -28,9 +28,9 @@ func ReadCSV(r io.Reader) (*Relation, error) {
 		return nil, fmt.Errorf("relation: reading CSV header: %w", err)
 	}
 	sch := schema.New(header...)
-	batch := colbatch.New(sch)
 	width := sch.Len()
-	row := make(tuple.Tuple, width)
+	builders := make([]colbatch.ColBuilder, width)
+	n := 0
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
@@ -43,10 +43,15 @@ func ReadCSV(r io.Reader) (*Relation, error) {
 			return nil, fmt.Errorf("relation: tuple width %d does not match schema %s", len(rec), sch)
 		}
 		for i, field := range rec {
-			row[i] = value.Parse(field)
+			builders[i].Append(value.Parse(field))
 		}
-		batch.Append(row)
+		n++
 	}
+	cols := make([]colbatch.Col, width)
+	for i := range builders {
+		cols[i] = builders[i].Col()
+	}
+	batch := colbatch.FromCols(sch, cols, n)
 	rel := New(sch)
 	rel.Tuples = batch.Rows()
 	rel.SetBatch(batch)

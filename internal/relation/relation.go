@@ -51,9 +51,22 @@ func (r *Relation) Batch() *colbatch.Batch {
 	return b
 }
 
-// SetBatch installs a pre-built columnar view (the CSV loader builds the
-// batch first and materializes rows from it).
+// SetBatch installs a pre-built columnar view (the CSV loader and the
+// batch-native closure seam build the batch first and materialize rows from
+// it).
 func (r *Relation) SetBatch(b *colbatch.Batch) { r.batch.Store(b) }
+
+// BatchView returns a batch over the relation's tuples without ever
+// columnarizing: the cached columnar view when one is valid, else a
+// zero-copy row-backed wrapper. Key-encoding consumers (Distinct, the
+// worldset closure workers) read typed columns when the columnar cache is
+// warm and fall back to tuple encoding otherwise, with identical bytes.
+func (r *Relation) BatchView() *colbatch.Batch {
+	if b := r.batch.Load(); b != nil && b.Len() == len(r.Tuples) {
+		return b
+	}
+	return colbatch.FromRowsShared(r.Schema, r.Tuples)
+}
 
 // New creates an empty relation with the given schema.
 func New(s *schema.Schema) *Relation {
@@ -114,13 +127,15 @@ func (r *Relation) WithSchema(s *schema.Schema) *Relation {
 // occurrence order preserved.
 func (r *Relation) Distinct() *Relation {
 	out := New(r.Schema)
+	bv := r.BatchView()
 	seen := make(map[string]struct{}, len(r.Tuples))
 	var buf []byte
-	for _, t := range r.Tuples {
-		// One scratch buffer for all rows; the string(buf) lookup does not
+	for i, t := range r.Tuples {
+		// One scratch buffer for all rows — encoded from typed columns when
+		// the columnar cache is warm; the string(buf) lookup does not
 		// allocate, and the key string is materialized only on first
 		// occurrence.
-		buf = t.Encode(buf[:0])
+		buf = bv.AppendKey(buf[:0], i)
 		if _, ok := seen[string(buf)]; ok {
 			continue
 		}
@@ -252,9 +267,10 @@ func (r *Relation) EqualSet(s *Relation) bool {
 
 func keySet(r *Relation) map[string]struct{} {
 	out := make(map[string]struct{}, len(r.Tuples))
+	bv := r.BatchView()
 	var buf []byte
-	for _, t := range r.Tuples {
-		buf = t.Encode(buf[:0])
+	for i := range r.Tuples {
+		buf = bv.AppendKey(buf[:0], i)
 		if _, ok := out[string(buf)]; !ok {
 			out[string(buf)] = struct{}{}
 		}

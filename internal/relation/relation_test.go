@@ -2,6 +2,8 @@ package relation
 
 import (
 	"bytes"
+	"encoding/csv"
+	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -236,6 +238,73 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 	if got.Schema.Names()[2] != "C" {
 		t.Error("header lost")
+	}
+}
+
+// TestReadCSVColumnarEquivalence checks the columnar fast path against a
+// reference row-at-a-time loader: identical schema, tuple order and values
+// (mixed types per column force the generic column representation too), and
+// the loaded relation must carry a columnar view whose keys match the
+// materialized tuples byte for byte.
+func TestReadCSVColumnarEquivalence(t *testing.T) {
+	const src = "A,B,C\n" +
+		"a1,10,2.5\n" +
+		"a2,20,NULL\n" +
+		"a3,true,x\n" + // B flips int→generic, C float→generic
+		"a1,10,2.5\n" + // duplicate row preserved
+		",0,-3\n"
+	got, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference loader: parse each record into a tuple, no batch involved.
+	cr := csv.NewReader(strings.NewReader(src))
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := New(schema.New(header...))
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		tp := make(tuple.Tuple, len(rec))
+		for i, f := range rec {
+			tp[i] = value.Parse(f)
+		}
+		want.Tuples = append(want.Tuples, tp)
+	}
+
+	if got.Schema.String() != want.Schema.String() {
+		t.Fatalf("schema = %s, want %s", got.Schema, want.Schema)
+	}
+	if len(got.Tuples) != len(want.Tuples) {
+		t.Fatalf("loaded %d tuples, want %d", len(got.Tuples), len(want.Tuples))
+	}
+	var gk, wk []byte
+	for i := range want.Tuples {
+		gk = got.Tuples[i].Encode(gk[:0])
+		wk = want.Tuples[i].Encode(wk[:0])
+		if string(gk) != string(wk) {
+			t.Fatalf("tuple %d: %v, want %v", i, got.Tuples[i], want.Tuples[i])
+		}
+	}
+	bv := got.BatchView()
+	if bv.RowBacked() {
+		t.Fatal("ReadCSV result should carry a columnar batch")
+	}
+	for i := range want.Tuples {
+		gk = bv.AppendKey(gk[:0], i)
+		wk = want.Tuples[i].Encode(wk[:0])
+		if string(gk) != string(wk) {
+			t.Fatalf("batch key %d diverges from tuple encoding", i)
+		}
 	}
 }
 

@@ -20,7 +20,9 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync/atomic"
 
+	"maybms/internal/colbatch"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/tuple"
@@ -181,6 +183,12 @@ type Row struct {
 type Relation struct {
 	Schema *schema.Schema
 	Rows   []Row
+
+	// batch caches the columnar view of the rows' tuples (descriptors
+	// excluded), built lazily by TupleBatch and validated against the
+	// current row count — appends simply invalidate it. Rows are never
+	// edited in place, so an unchanged count implies an unchanged prefix.
+	batch atomic.Pointer[colbatch.Batch]
 }
 
 // NewRelation creates an empty U-relation.
@@ -304,11 +312,36 @@ func Union(a, b *Relation) (*Relation, error) {
 	return out, nil
 }
 
-// PossibleTuples returns the distinct tuples with satisfiable descriptors.
+// TupleBatch returns the columnar view of the rows' tuples, building and
+// caching it on first use (the lazy row view stays on Rows). Safe for
+// concurrent readers; a lost race rebuilds an identical batch.
+func (r *Relation) TupleBatch() *colbatch.Batch {
+	if b := r.batch.Load(); b != nil && b.Len() == len(r.Rows) {
+		return b
+	}
+	b := colbatch.New(r.Schema)
+	for _, row := range r.Rows {
+		b.Append(row.Tuple)
+	}
+	r.batch.Store(b)
+	return b
+}
+
+// PossibleTuples returns the distinct tuples with satisfiable descriptors,
+// in first-appearance order, deduplicating on the cached columnar view's
+// arena keys.
 func (r *Relation) PossibleTuples() *relation.Relation {
 	out := relation.New(r.Schema)
-	for _, row := range r.Rows {
+	b := r.TupleBatch()
+	seen := make(map[string]struct{}, len(r.Rows))
+	var buf []byte
+	for i, row := range r.Rows {
+		buf = b.AppendKey(buf[:0], i)
+		if _, dup := seen[string(buf)]; dup {
+			continue
+		}
+		seen[string(buf)] = struct{}{}
 		out.Tuples = append(out.Tuples, row.Tuple)
 	}
-	return out.Distinct()
+	return out
 }

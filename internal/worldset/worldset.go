@@ -158,14 +158,28 @@ func PossibleWorkers(results []*relation.Relation, workers int, interrupt func()
 		return nil, err
 	}
 	if exec.Resolve(workers) == 1 || len(results) == 1 {
+		// Direct first-appearance fold — identical to concatenating all
+		// answers and deduplicating, without materializing the concatenation.
+		// Keys come off each relation's columnar view when one is cached
+		// (AppendKey writes tuple.Encode's exact byte stream).
 		out := relation.New(results[0].Schema)
+		seen := map[string]struct{}{}
+		var buf []byte
 		for _, r := range results {
 			if err := poll(interrupt); err != nil {
 				return nil, err
 			}
-			out.Tuples = append(out.Tuples, r.Tuples...)
+			bv := r.BatchView()
+			for i, t := range r.Tuples {
+				buf = bv.AppendKey(buf[:0], i)
+				if _, dup := seen[string(buf)]; dup {
+					continue
+				}
+				seen[string(buf)] = struct{}{}
+				out.Tuples = append(out.Tuples, t)
+			}
 		}
-		return out.Distinct(), nil
+		return out, nil
 	}
 	// Leaves: dedup each world's answer; the tree then merges deduped sets.
 	parts, err := exec.Map(workers, len(results), func(i int) (*relation.Relation, error) {
@@ -184,10 +198,11 @@ func PossibleWorkers(results []*relation.Relation, workers int, interrupt func()
 		out := relation.New(a.Schema)
 		out.Tuples = append(out.Tuples, a.Tuples...)
 		seen := keySetOf(a)
+		bv := b.BatchView()
 		var buf []byte
-		for _, t := range b.Tuples {
+		for i, t := range b.Tuples {
 			// Scratch-encoded probe: no key-string allocation per lookup.
-			buf = t.Encode(buf[:0])
+			buf = bv.AppendKey(buf[:0], i)
 			if _, dup := seen[string(buf)]; !dup {
 				out.Tuples = append(out.Tuples, t)
 			}
@@ -211,9 +226,10 @@ func poll(interrupt func() error) error {
 // keySetOf returns the set of tuple keys of r.
 func keySetOf(r *relation.Relation) map[string]struct{} {
 	out := make(map[string]struct{}, len(r.Tuples))
+	bv := r.BatchView()
 	var buf []byte
-	for _, t := range r.Tuples {
-		buf = t.Encode(buf[:0])
+	for i := range r.Tuples {
+		buf = bv.AppendKey(buf[:0], i)
 		if _, dup := out[string(buf)]; !dup {
 			out[string(buf)] = struct{}{}
 		}
@@ -303,9 +319,10 @@ func ConfWorkers(results []*relation.Relation, probs []float64, workers int, int
 			return nil, err
 		}
 		p := &confPartial{tuples: map[string]tuple.Tuple{}, inWorld: map[string][]int32{}}
+		bv := results[i].BatchView()
 		var buf []byte
-		for _, t := range results[i].Tuples {
-			buf = t.Encode(buf[:0])
+		for j, t := range results[i].Tuples {
+			buf = bv.AppendKey(buf[:0], j)
 			if _, dup := p.tuples[string(buf)]; dup {
 				continue
 			}
@@ -367,8 +384,9 @@ func confSequential(results []*relation.Relation, probs []float64, interrupt fun
 		if err := poll(interrupt); err != nil {
 			return nil, err
 		}
-		for _, t := range r.Tuples {
-			buf = t.Encode(buf[:0])
+		bv := r.BatchView()
+		for j, t := range r.Tuples {
+			buf = bv.AppendKey(buf[:0], j)
 			e, ok := acc[string(buf)]
 			if !ok {
 				k := string(buf)

@@ -6,15 +6,21 @@ package wsd
 // drawing one alternative per involved component according to its
 // probabilities; a tuple's confidence estimate is the fraction of sampled
 // worlds whose answer contains it. The estimator is unbiased with standard
-// error ≤ 1/(2√samples), mirroring internal/urel's ConfMC over lineage.
+// error ≤ 1/(2√samples), mirroring internal/urel's ConfMC over lineage;
+// that bound is surfaced as a trailing "cerr" column next to each
+// estimate (and as the trace's stderr_bound attribute). Sampling runs on
+// the batch-native closure seam: each world's answer comes back as a
+// colbatch batch and is counted on arena-encoded batch keys.
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
 
+	"maybms/internal/colbatch"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
+	"maybms/internal/schema"
 	"maybms/internal/tuple"
 	"maybms/internal/value"
 )
@@ -23,22 +29,26 @@ import (
 // ApproxSamples is unset.
 const DefaultApproxSamples = 1000
 
+func cerrSchema() *schema.Schema { return schema.New("cerr") }
+
 // confMonteCarlo estimates the CONF closure over the worlds spanned by the
 // involved components compIdx without merging them: each sample draws one
 // alternative per component, evaluates the query in that world, and counts
 // the distinct tuples of the answer. Output rows appear in first-appearance
-// order across samples, each extended with its estimated confidence; the
-// estimate is deterministic for a fixed (ApproxSeed, ApproxSamples) pair.
-func (d *WSD) confMonteCarlo(compIdx []int, eval func(cat plan.Catalog) (*relation.Relation, error)) (*relation.Relation, error) {
+// order across samples, each extended with its estimated confidence and the
+// ±1/(2√samples) standard-error bound; the estimate is deterministic for a
+// fixed (ApproxSeed, ApproxSamples) pair.
+func (d *WSD) confMonteCarlo(compIdx []int, eval func(cat plan.Catalog) (*colbatch.Batch, error)) (*relation.Relation, error) {
 	samples := d.ApproxSamples
 	if samples <= 0 {
 		samples = DefaultApproxSamples
 	}
 	approxSamples.Add(uint64(samples))
+	bound := 1 / (2 * math.Sqrt(float64(samples)))
 	sp := d.Trace.Begin("approx_mc")
 	sp.Set("samples", samples)
 	sp.Set("seed", d.ApproxSeed)
-	sp.Set("stderr_bound", fmt.Sprintf("%.4f", 1/(2*math.Sqrt(float64(samples)))))
+	sp.Set("stderr_bound", fmt.Sprintf("%.4f", bound))
 	defer sp.End(d.Trace)
 	rng := rand.New(rand.NewSource(d.ApproxSeed))
 
@@ -61,11 +71,11 @@ func (d *WSD) confMonteCarlo(compIdx []int, eval func(cat plan.Catalog) (*relati
 			return nil, err
 		}
 		if out == nil {
-			out = relation.New(res.Schema.Concat(confSchema()))
+			out = relation.New(res.Schema.Concat(confSchema()).Concat(cerrSchema()))
 		}
 		clear(seen)
-		for _, t := range res.Tuples {
-			buf = t.Encode(buf[:0])
+		for r, n := 0, res.Len(); r < n; r++ {
+			buf = res.AppendKey(buf[:0], r)
 			if _, dup := seen[string(buf)]; dup {
 				continue
 			}
@@ -73,14 +83,16 @@ func (d *WSD) confMonteCarlo(compIdx []int, eval func(cat plan.Catalog) (*relati
 			seen[k] = struct{}{}
 			if _, ok := counts[k]; !ok {
 				order = append(order, k)
-				rep[k] = t.Clone()
+				// Row() of a row-backed batch returns the shared underlying
+				// tuple; clone before extending it below.
+				rep[k] = res.Row(r).Clone()
 			}
 			counts[k]++
 		}
 	}
 	for _, k := range order {
 		conf := float64(counts[k]) / float64(samples)
-		out.Tuples = append(out.Tuples, append(rep[k], value.Float(conf)))
+		out.Tuples = append(out.Tuples, append(rep[k], value.Float(conf), value.Float(bound)))
 	}
 	return out, nil
 }

@@ -66,14 +66,21 @@ func TestApproxConfFallsBackToMonteCarlo(t *testing.T) {
 	if want := k * m; len(est.Tuples) != want {
 		t.Fatalf("estimated %d possible tuples, want %d", len(est.Tuples), want)
 	}
-	if got := est.Schema.At(est.Schema.Len() - 1).Name; got != "conf" {
-		t.Fatalf("trailing column = %q, want conf", got)
+	// The Monte-Carlo route appends the confidence estimate plus the
+	// ±1/(2√samples) standard-error bound.
+	n := est.Schema.Len()
+	if got, got2 := est.Schema.At(n-2).Name, est.Schema.At(n-1).Name; got != "conf" || got2 != "cerr" {
+		t.Fatalf("trailing columns = %q, %q, want conf, cerr", got, got2)
 	}
+	wantBound := 1 / (2 * math.Sqrt(4000))
 	// True confidence of every tuple is 1/m; with 4000 samples the binomial
 	// standard error is ≈ 0.0075, so 0.05 is a ≥ 6σ tolerance.
 	for _, tp := range est.Tuples {
-		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-1.0/m) > 0.05 {
-			t.Fatalf("tuple %v: estimate %v too far from %v", tp[:len(tp)-1], c, 1.0/m)
+		if c := tp[len(tp)-2].AsFloat(); math.Abs(c-1.0/m) > 0.05 {
+			t.Fatalf("tuple %v: estimate %v too far from %v", tp[:len(tp)-2], c, 1.0/m)
+		}
+		if b := tp[len(tp)-1].AsFloat(); b != wantBound {
+			t.Fatalf("tuple %v: cerr = %v, want %v", tp[:len(tp)-2], b, wantBound)
 		}
 	}
 
@@ -89,7 +96,7 @@ func TestApproxConfFallsBackToMonteCarlo(t *testing.T) {
 	other.ApproxSeed = 8
 	moved := false
 	for i, tp := range selectOn(t, other, "select approx conf, A, B from I").Tuples {
-		if tp[len(tp)-1].AsFloat() != est.Tuples[i][len(tp)-1].AsFloat() {
+		if tp[len(tp)-2].AsFloat() != est.Tuples[i][len(tp)-2].AsFloat() {
 			moved = true
 			break
 		}

@@ -1,0 +1,145 @@
+package wsd
+
+// The batch-native closure seam. Per-alternative evaluations hand whole
+// colbatch batches to the closure builders (see algebra.CollectBatch):
+// possible/certain/conf unions, the group-worlds frontier fold and APPROX
+// CONF sampling all dedup/merge on arena-encoded batch keys — byte-identical
+// to tuple.Encode, so grouping, ordering and hash-collision behavior are
+// exactly the row path's — and output rows are materialized once at the very
+// end instead of once per evaluation. This file holds the seam's switch, the
+// per-alternative contribution batch cache (so repeated componentwise
+// evaluations never re-columnarize stored state), and the output builder the
+// closures share.
+
+import (
+	"sync/atomic"
+
+	"maybms/internal/colbatch"
+	"maybms/internal/relation"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// batchClosureOn gates the batch-native closure seam; on by default. With
+// the seam off, per-alternative evaluations materialize rows at the Collect
+// seam and the closures run over zero-copy row-backed batches — the ablation
+// baseline for benchmarks and equivalence tests.
+var batchClosureOn atomic.Bool
+
+func init() { batchClosureOn.Store(true) }
+
+// SetBatchClosure enables or disables the batch-native closure seam,
+// returning the previous setting. Results are identical either way; the
+// switch exists for ablation benchmarks and equivalence tests.
+func SetBatchClosure(on bool) bool { return batchClosureOn.Swap(on) }
+
+// BatchClosure reports whether the batch-native closure seam is enabled.
+func BatchClosure() bool { return batchClosureOn.Load() }
+
+// contribKey identifies one alternative's contribution to one relation.
+// Component IDs are monotonically increasing and never reused, so a key can
+// go stale but never aliased.
+type contribKey struct {
+	comp int // Component.ID
+	alt  int
+	rel  string // lower-case relation name
+}
+
+// contribEntry caches the columnar form of a contribution tuple slice. It is
+// validated by slice identity — same length and same first-element address
+// imply the very same backing array region, and tuples are immutable, so the
+// cached batch cannot be stale without the identity changing.
+type contribEntry struct {
+	n     int
+	head  *tuple.Tuple
+	batch *colbatch.Batch
+}
+
+func (e *contribEntry) valid(ts []tuple.Tuple) bool {
+	return e.n == len(ts) && (e.n == 0 || e.head == &ts[0])
+}
+
+// contributionBatch returns the cached columnar batch of an alternative's
+// contribution to relation rel (building and caching it on first use).
+// Safe for concurrent callers: a lost race rebuilds an identical batch.
+func (d *WSD) contributionBatch(sch *schema.Schema, comp *Component, alt int, rel string, ts []tuple.Tuple) *colbatch.Batch {
+	k := contribKey{comp: comp.ID, alt: alt, rel: rel}
+	if v, ok := d.contrib.Load(k); ok {
+		if e := v.(*contribEntry); e.valid(ts) {
+			return e.batch
+		}
+	}
+	b := colbatch.FromRows(sch, ts)
+	d.contrib.Store(k, &contribEntry{n: len(ts), head: &ts[0], batch: b})
+	return b
+}
+
+// unionBuilder accumulates closure output rows in emission order. The mode
+// follows the first evaluation's batch: columnar results gather column-wise
+// into one output batch whose rows materialize once at finish (and the
+// finished relation carries the batch as its columnar view); row-backed
+// results — the lazy row view of the seam — append tuple references exactly
+// like the classic closures did.
+type unionBuilder struct {
+	colMode bool
+	rows    []tuple.Tuple
+	out     *colbatch.Batch
+}
+
+func newUnionBuilder(model *colbatch.Batch) *unionBuilder {
+	if model.RowBacked() {
+		return &unionBuilder{}
+	}
+	return &unionBuilder{colMode: true, out: colbatch.New(model.Schema)}
+}
+
+// addSel appends b's rows at the selected indexes, in sel order.
+func (ub *unionBuilder) addSel(b *colbatch.Batch, sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	if ub.colMode {
+		if len(sel) == b.Len() {
+			// Every row selected: sel is ascending by construction, so this
+			// is a straight column-wise append.
+			ub.out.AppendBatch(b)
+			return
+		}
+		ub.out.AppendGather(b, sel)
+		return
+	}
+	rows := b.Rows()
+	for _, s := range sel {
+		ub.rows = append(ub.rows, rows[s])
+	}
+}
+
+// finish materializes the accumulated rows as a relation under sch.
+func (ub *unionBuilder) finish(sch *schema.Schema) *relation.Relation {
+	rel := relation.New(sch)
+	if ub.colMode {
+		rel.Tuples = ub.out.Rows()
+		rel.SetBatch(ub.out.WithSchema(sch))
+		return rel
+	}
+	rel.Tuples = ub.rows
+	return rel
+}
+
+// finishConf materializes the accumulated rows extended with a trailing conf
+// column (confs has one entry per accumulated row) under sch.
+func (ub *unionBuilder) finishConf(sch *schema.Schema, confs []float64) *relation.Relation {
+	rel := relation.New(sch)
+	if ub.colMode {
+		final := ub.out.ExtendFloat(sch, confs)
+		rel.Tuples = final.Rows()
+		rel.SetBatch(final)
+		return rel
+	}
+	rel.Tuples = make([]tuple.Tuple, len(ub.rows))
+	for i, t := range ub.rows {
+		rel.Tuples[i] = append(t.Clone(), value.Float(confs[i]))
+	}
+	return rel
+}

@@ -26,16 +26,23 @@ package wsd
 // deviation's new tuples equals their order in the part's own answer,
 // because every supported operator routes rows value- or
 // position-deterministically.
+//
+// Part answers are colbatch batches (the batch-native closure seam; see
+// batchclosure.go): the closures dedup on AppendKey arena keys — the same
+// byte space as tuple.Encode, so first-appearance order, grouping and
+// hash-collision behavior are untouched — and assemble their output by
+// column-wise gather, materializing rows once at the end.
 
 import (
 	"errors"
 	"fmt"
 	"sort"
 
+	"maybms/internal/algebra"
+	"maybms/internal/colbatch"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/tuple"
-	"maybms/internal/value"
 )
 
 // errNotConcat reports that a part evaluation was not certain-prefixed, so
@@ -67,27 +74,73 @@ func newPartsCatalog(d *WSD, sel map[int]int) partsCatalog {
 	return partsCatalog{d: d, sel: sel, order: order}
 }
 
-// Lookup implements plan.Catalog.
+// Lookup implements plan.Catalog. On the batch-native closure path it also
+// installs a columnar view on the returned relation, assembled zero-copy
+// from the certain relation's cached batch and the per-alternative
+// contribution cache, so the vectorized scan never columnarizes per
+// evaluation. Single-source lookups additionally share the tuple slice
+// itself instead of copying it.
 func (pc partsCatalog) Lookup(name string) (*relation.Relation, error) {
 	k := key(name)
 	sch, ok := pc.d.schemas[k]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
 	}
-	out := relation.New(sch)
+	cert := pc.d.certain[k]
+	type contrib struct {
+		ci int
+		ts []tuple.Tuple
+	}
+	var contribs []contrib
 	total := 0
-	if cert, ok := pc.d.certain[k]; ok {
+	if cert != nil {
 		total += len(cert.Tuples)
 	}
 	for _, ci := range pc.order {
-		total += len(pc.d.comps[ci].Alts[pc.sel[ci]].Tuples[k])
+		if ts := pc.d.comps[ci].Alts[pc.sel[ci]].Tuples[k]; len(ts) > 0 {
+			contribs = append(contribs, contrib{ci: ci, ts: ts})
+			total += len(ts)
+		}
+	}
+	out := relation.New(sch)
+	batchSeam := batchClosureOn.Load() && algebra.Vectorized() && int64(total) >= algebra.VectorizeMinRows()
+	// Single-source fast paths: share the stored slice (tuples are
+	// immutable and plan scans never mutate their input).
+	if len(contribs) == 0 {
+		if cert != nil {
+			out.Tuples = cert.Tuples
+			if batchSeam {
+				out.SetBatch(cert.Batch().WithSchema(sch))
+			}
+		}
+		return out, nil
+	}
+	if cert == nil && len(contribs) == 1 {
+		c := contribs[0]
+		out.Tuples = c.ts
+		if batchSeam {
+			comp := pc.d.comps[c.ci]
+			out.SetBatch(pc.d.contributionBatch(sch, comp, pc.sel[c.ci], k, c.ts))
+		}
+		return out, nil
 	}
 	out.Tuples = make([]tuple.Tuple, 0, total)
-	if cert, ok := pc.d.certain[k]; ok {
+	if cert != nil {
 		out.Tuples = append(out.Tuples, cert.Tuples...)
 	}
-	for _, ci := range pc.order {
-		out.Tuples = append(out.Tuples, pc.d.comps[ci].Alts[pc.sel[ci]].Tuples[k]...)
+	for _, c := range contribs {
+		out.Tuples = append(out.Tuples, c.ts...)
+	}
+	if batchSeam {
+		combined := colbatch.New(sch)
+		if cert != nil {
+			combined.AppendBatch(cert.Batch())
+		}
+		for _, c := range contribs {
+			comp := pc.d.comps[c.ci]
+			combined.AppendBatch(pc.d.contributionBatch(sch, comp, pc.sel[c.ci], k, c.ts))
+		}
+		out.SetBatch(combined)
 	}
 	return out, nil
 }
@@ -97,16 +150,18 @@ var _ plan.Catalog = partsCatalog{}
 // componentParts is the componentwise evaluation of one query: the answer
 // of the first world (every involved component at its first alternative)
 // and one answer per (component, alternative) pair, evaluated with only
-// that alternative's contributions visible.
+// that alternative's contributions visible. Answers are batches — columnar
+// when the evaluation ran the vectorized CollectBatch path, row-backed
+// (zero-copy over collected tuples) otherwise.
 type componentParts struct {
 	d       *WSD
 	compIdx []int // indexes into d.comps, ascending
 	// world0 is the first world's full answer; nil unless requested.
-	world0 *relation.Relation
+	world0 *colbatch.Batch
 	// base is the certain-only answer Q(cert); nil unless requested.
-	base *relation.Relation
+	base *colbatch.Batch
 	// parts[i][a] is the answer with component compIdx[i] at alternative a.
-	parts [][]*relation.Relation
+	parts [][]*colbatch.Batch
 	// probs[i][a] is the alternative's probability.
 	probs [][]float64
 }
@@ -117,17 +172,17 @@ type componentParts struct {
 // first world (all listed components at alternative 0); withBase
 // additionally evaluates the certain-only answer. query must be safe for
 // concurrent calls.
-func (d *WSD) QueryByComponent(compIdx []int, withWorld0, withBase bool, query func(cat plan.Catalog) (*relation.Relation, error)) (*componentParts, error) {
+func (d *WSD) QueryByComponent(compIdx []int, withWorld0, withBase bool, query func(cat plan.Catalog) (*colbatch.Batch, error)) (*componentParts, error) {
 	out := &componentParts{
 		d:       d,
 		compIdx: compIdx,
-		parts:   make([][]*relation.Relation, len(compIdx)),
+		parts:   make([][]*colbatch.Batch, len(compIdx)),
 		probs:   make([][]float64, len(compIdx)),
 	}
 	// Flatten every evaluation into one task list for the pool.
 	type task struct {
 		sel map[int]int
-		dst **relation.Relation
+		dst **colbatch.Batch
 	}
 	var tasks []task
 	if withWorld0 {
@@ -142,14 +197,14 @@ func (d *WSD) QueryByComponent(compIdx []int, withWorld0, withBase bool, query f
 	}
 	for i, ci := range compIdx {
 		alts := d.comps[ci].Alts
-		out.parts[i] = make([]*relation.Relation, len(alts))
+		out.parts[i] = make([]*colbatch.Batch, len(alts))
 		out.probs[i] = make([]float64, len(alts))
 		for a := range alts {
 			out.probs[i][a] = alts[a].Prob
 			tasks = append(tasks, task{sel: map[int]int{ci: a}, dst: &out.parts[i][a]})
 		}
 	}
-	results, err := mapAlts(d, len(tasks), func(ti int) (*relation.Relation, error) {
+	results, err := mapAlts(d, len(tasks), func(ti int) (*colbatch.Batch, error) {
 		return query(newPartsCatalog(d, tasks[ti].sel))
 	})
 	if err != nil {
@@ -161,76 +216,95 @@ func (d *WSD) QueryByComponent(compIdx []int, withWorld0, withBase bool, query f
 	return out, nil
 }
 
-// emit walks the closure emission order — the first world's answer, then
-// the remaining alternatives of each component from the last involved
-// component to the first — calling fn for every tuple in sequence.
+// emitParts walks the closure emission order — the first world's answer,
+// then the remaining alternatives of each component from the last involved
+// component to the first — calling fn with every part batch in sequence.
 // Deduplication is the caller's (fn's) business. The Interrupt hook is
 // polled once per part, like the merge path's closure fold, so deadlined
 // requests abort the fold too.
-func (p *componentParts) emit(fn func(t tuple.Tuple)) error {
+func (p *componentParts) emitParts(fn func(b *colbatch.Batch)) error {
 	if err := p.d.interrupted(); err != nil {
 		return err
 	}
-	for _, t := range p.world0.Tuples {
-		fn(t)
-	}
+	fn(p.world0)
 	for i := len(p.compIdx) - 1; i >= 0; i-- {
 		for a := 1; a < len(p.parts[i]); a++ {
 			if err := p.d.interrupted(); err != nil {
 				return err
 			}
-			for _, t := range p.parts[i][a].Tuples {
-				fn(t)
-			}
+			fn(p.parts[i][a])
 		}
 	}
 	return nil
 }
 
-// keySets returns, per component, per alternative, the key set of the
-// part's answer, polling the Interrupt hook once per part.
-func (p *componentParts) keySets() ([][]map[string]struct{}, error) {
-	out := make([][]map[string]struct{}, len(p.parts))
+// keySetIndex interns every distinct tuple key appearing in some part —
+// one key-string allocation per distinct tuple, not per (tuple, part) —
+// and records per component, per alternative, membership of the dense ids.
+type keySetIndex struct {
+	ids  map[string]int32
+	sets [][]map[int32]struct{}
+}
+
+// intern returns the dense id of the scratch-encoded key, materializing
+// the key string only on first sight.
+func (ix *keySetIndex) intern(buf []byte) int32 {
+	if id, ok := ix.ids[string(buf)]; ok {
+		return id
+	}
+	id := int32(len(ix.ids))
+	ix.ids[string(buf)] = id
+	return id
+}
+
+// keySets indexes the key sets of every part's answer, polling the
+// Interrupt hook once per part.
+func (p *componentParts) keySets() (*keySetIndex, error) {
+	ix := &keySetIndex{ids: map[string]int32{}, sets: make([][]map[int32]struct{}, len(p.parts))}
 	var buf []byte
 	for i, alts := range p.parts {
-		out[i] = make([]map[string]struct{}, len(alts))
-		for a, rel := range alts {
+		ix.sets[i] = make([]map[int32]struct{}, len(alts))
+		for a, b := range alts {
 			if err := p.d.interrupted(); err != nil {
 				return nil, err
 			}
-			set := make(map[string]struct{}, len(rel.Tuples))
-			for _, t := range rel.Tuples {
-				buf = t.Encode(buf[:0])
-				if _, dup := set[string(buf)]; !dup {
-					set[string(buf)] = struct{}{}
-				}
+			n := b.Len()
+			set := make(map[int32]struct{}, n)
+			for r := 0; r < n; r++ {
+				buf = b.AppendKey(buf[:0], r)
+				set[ix.intern(buf)] = struct{}{}
 			}
-			out[i][a] = set
+			ix.sets[i][a] = set
 		}
 	}
-	return out, nil
+	return ix, nil
 }
 
 // possibleFromParts computes the POSSIBLE closure: every tuple in some
 // part, in the naive engine's first-appearance order.
 func possibleFromParts(p *componentParts) (*relation.Relation, error) {
-	out := relation.New(p.world0.Schema)
+	ub := newUnionBuilder(p.world0)
 	seen := map[string]struct{}{}
 	var buf []byte
-	err := p.emit(func(t tuple.Tuple) {
-		// Scratch-encode and probe before inserting: duplicate tuples cost
-		// no key-string allocation.
-		buf = t.Encode(buf[:0])
-		if _, dup := seen[string(buf)]; dup {
-			return
+	var sel []int32
+	err := p.emitParts(func(b *colbatch.Batch) {
+		sel = sel[:0]
+		for r, n := 0, b.Len(); r < n; r++ {
+			// Scratch-encode and probe before inserting: duplicate tuples
+			// cost no key-string allocation.
+			buf = b.AppendKey(buf[:0], r)
+			if _, dup := seen[string(buf)]; dup {
+				continue
+			}
+			seen[string(buf)] = struct{}{}
+			sel = append(sel, int32(r))
 		}
-		seen[string(buf)] = struct{}{}
-		out.Tuples = append(out.Tuples, t)
+		ub.addSel(b, sel)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return ub.finish(p.world0.Schema), nil
 }
 
 // certainFromParts computes the CERTAIN closure: a tuple is in every world
@@ -239,35 +313,37 @@ func possibleFromParts(p *componentParts) (*relation.Relation, error) {
 // order is the first world's answer order (the naive engine intersects
 // into the first world's deduplicated answer).
 func certainFromParts(p *componentParts) (*relation.Relation, error) {
-	keys, err := p.keySets()
+	ix, err := p.keySets()
 	if err != nil {
 		return nil, err
 	}
-	out := relation.New(p.world0.Schema)
-	seen := map[string]struct{}{}
+	ub := newUnionBuilder(p.world0)
+	seen := make(map[int32]struct{}, p.world0.Len())
 	var buf []byte
-	for _, t := range p.world0.Tuples {
-		buf = t.Encode(buf[:0])
-		if _, dup := seen[string(buf)]; dup {
+	var sel []int32
+	for r, n := 0, p.world0.Len(); r < n; r++ {
+		buf = p.world0.AppendKey(buf[:0], r)
+		id := ix.intern(buf)
+		if _, dup := seen[id]; dup {
 			continue
 		}
-		seen[string(buf)] = struct{}{}
-		k := string(buf)
-		for i := range keys {
+		seen[id] = struct{}{}
+		for i := range ix.sets {
 			all := true
-			for _, set := range keys[i] {
-				if _, ok := set[k]; !ok {
+			for _, set := range ix.sets[i] {
+				if _, ok := set[id]; !ok {
 					all = false
 					break
 				}
 			}
 			if all {
-				out.Tuples = append(out.Tuples, t)
+				sel = append(sel, int32(r))
 				break
 			}
 		}
 	}
-	return out, nil
+	ub.addSel(p.world0, sel)
+	return ub.finish(p.world0.Schema), nil
 }
 
 // confFromParts computes the CONF closure: every possible tuple extended
@@ -276,47 +352,57 @@ func certainFromParts(p *componentParts) (*relation.Relation, error) {
 // tuple. A tuple in the certain-only answer is in every part, making every
 // p_c = 1 and the confidence 1. Tuple order is the possible order.
 func confFromParts(p *componentParts) (*relation.Relation, error) {
-	keys, err := p.keySets()
+	ix, err := p.keySets()
 	if err != nil {
 		return nil, err
 	}
-	out := relation.New(p.world0.Schema.Concat(confSchema()))
-	seen := map[string]struct{}{}
+	ub := newUnionBuilder(p.world0)
+	seen := make(map[int32]struct{}, len(ix.ids))
 	var buf []byte
-	err = p.emit(func(t tuple.Tuple) {
-		buf = t.Encode(buf[:0])
-		if _, dup := seen[string(buf)]; dup {
-			return
-		}
-		seen[string(buf)] = struct{}{}
-		miss := 1.0
-		last := 0.0
-		for i := range keys {
-			pc := 0.0
-			for a, set := range keys[i] {
-				if _, ok := set[string(buf)]; ok {
-					pc += p.probs[i][a]
-				}
+	var sel []int32
+	var confs []float64
+	err = p.emitParts(func(b *colbatch.Batch) {
+		sel = sel[:0]
+		for r, n := 0, b.Len(); r < n; r++ {
+			// Part rows were interned by keySets, so the probe allocates
+			// only for world0-only tuples.
+			buf = b.AppendKey(buf[:0], r)
+			id := ix.intern(buf)
+			if _, dup := seen[id]; dup {
+				continue
 			}
-			miss *= 1 - pc
-			last = pc
+			seen[id] = struct{}{}
+			miss := 1.0
+			last := 0.0
+			for i := range ix.sets {
+				pc := 0.0
+				for a, set := range ix.sets[i] {
+					if _, ok := set[id]; ok {
+						pc += p.probs[i][a]
+					}
+				}
+				miss *= 1 - pc
+				last = pc
+			}
+			conf := 1 - miss
+			if len(ix.sets) == 1 {
+				// A single component's confidence is the plain probability sum,
+				// accumulated in alternative order — bit-identical to the merge
+				// path and the naive engine (1 − (1 − p) would lose ulps).
+				conf = last
+			}
+			if conf > 1 {
+				conf = 1 // clamp float accumulation noise
+			}
+			sel = append(sel, int32(r))
+			confs = append(confs, conf)
 		}
-		conf := 1 - miss
-		if len(keys) == 1 {
-			// A single component's confidence is the plain probability sum,
-			// accumulated in alternative order — bit-identical to the merge
-			// path and the naive engine (1 − (1 − p) would lose ulps).
-			conf = last
-		}
-		if conf > 1 {
-			conf = 1 // clamp float accumulation noise
-		}
-		out.Tuples = append(out.Tuples, append(t.Clone(), value.Float(conf)))
+		ub.addSel(b, sel)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	return ub.finishConf(p.world0.Schema.Concat(confSchema()), confs), nil
 }
 
 // materializeByComponent stores the answer of a concat-structured
@@ -327,25 +413,28 @@ func confFromParts(p *componentParts) (*relation.Relation, error) {
 // component order — is tuple-for-tuple identical to what the merge path
 // would have stored. The concat structure is verified positionally; a
 // violation returns errNotConcat and the caller falls back to the merge
-// path.
-func (d *WSD) materializeByComponent(dst string, compIdx []int, query func(cat plan.Catalog) (*relation.Relation, error)) error {
+// path. Columnar part answers additionally prime the contribution batch
+// cache with their zero-copy suffix views, so later queries over dst skip
+// re-columnarizing.
+func (d *WSD) materializeByComponent(dst string, compIdx []int, query func(cat plan.Catalog) (*colbatch.Batch, error)) error {
 	p, err := d.QueryByComponent(compIdx, false, true, query)
 	if err != nil {
 		return err
 	}
-	baseKeys := make([]string, len(p.base.Tuples))
-	for i, t := range p.base.Tuples {
-		baseKeys[i] = t.Key()
-	}
+	baseLen := p.base.Len()
+	baseKeys := make([]string, baseLen)
 	var buf []byte
+	for i := 0; i < baseLen; i++ {
+		baseKeys[i] = string(p.base.AppendKey(buf[:0], i))
+	}
 	for i := range p.parts {
 		for _, part := range p.parts[i] {
-			if len(part.Tuples) < len(baseKeys) {
+			if part.Len() < baseLen {
 				return errNotConcat
 			}
 			for j, k := range baseKeys {
 				// string(buf) in a comparison does not allocate.
-				buf = part.Tuples[j].Encode(buf[:0])
+				buf = part.AppendKey(buf[:0], j)
 				if string(buf) != k {
 					return errNotConcat
 				}
@@ -356,16 +445,24 @@ func (d *WSD) materializeByComponent(dst string, compIdx []int, query func(cat p
 		return err
 	}
 	k := key(dst)
-	if len(p.base.Tuples) > 0 {
+	if baseLen > 0 {
 		cert := relation.New(d.schemas[k])
-		cert.Tuples = append(cert.Tuples, p.base.Tuples...)
+		cert.Tuples = append(cert.Tuples, p.base.Rows()...)
 		d.certain[k] = cert
 	}
 	for i, ci := range compIdx {
+		comp := d.comps[ci]
 		for a := range p.parts[i] {
-			contribution := p.parts[i][a].Tuples[len(baseKeys):]
-			if len(contribution) > 0 {
-				d.comps[ci].Alts[a].Tuples[k] = contribution
+			part := p.parts[i][a]
+			if part.Len() <= baseLen {
+				continue
+			}
+			contribution := part.Rows()[baseLen:]
+			comp.Alts[a].Tuples[k] = contribution
+			if !part.RowBacked() {
+				view := part.Slice(baseLen, part.Len()).WithSchema(d.schemas[k])
+				d.contrib.Store(contribKey{comp: comp.ID, alt: a, rel: k},
+					&contribEntry{n: len(contribution), head: &contribution[0], batch: view})
 			}
 		}
 	}

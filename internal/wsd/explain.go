@@ -54,7 +54,7 @@ func (d *WSD) ExplainSelect(core *sqlparse.SelectStmt, cl Closure) (string, erro
 	var b strings.Builder
 	fmt.Fprintf(&b, "route: %s\n", d.predictRoute(an, cl))
 	fmt.Fprintf(&b, "closure: %s\n", closureName(cl))
-	fmt.Fprintf(&b, "eval: %s\n", d.predictEval(prep))
+	fmt.Fprintf(&b, "eval: %s\n", d.predictEval(prep, an.Comps))
 	b.WriteString("plan:\n")
 	tree := prep.ExplainTree(func(table string) string {
 		comps := d.ComponentsFor(table)
@@ -113,19 +113,29 @@ func (d *WSD) predictRoute(an *plan.ComponentAnalysis, cl Closure) string {
 }
 
 // predictEval reports whether per-alternative evaluations would take the
-// vectorized batch path, probing the template bound against the certain
-// parts of the catalog (alternative contributions change row counts but
-// rarely the verdict; the real decision is re-made per Collect).
-func (d *WSD) predictEval(prep *plan.Prepared) string {
+// vectorized batch path, probing the template bound against the first
+// world's instances — every touched component at its first alternative,
+// the same sizes the closures actually evaluate. (Binding against the
+// certain parts alone would size pure-contribution relations like bulk
+// choice tables at zero rows and mispredict row; the real decision is
+// still re-made per Collect.)
+func (d *WSD) predictEval(prep *plan.Prepared, comps []int) string {
 	if !algebra.Vectorized() {
 		return "row (vectorization disabled)"
 	}
-	op, err := prep.Bind(newPartsCatalog(d, nil))
+	sel := make(map[int]int, len(comps))
+	for _, ci := range comps {
+		sel[ci] = 0
+	}
+	op, err := prep.Bind(newPartsCatalog(d, sel))
 	if err != nil {
 		return "row"
 	}
 	if _, ok := algebra.Vectorize(op); ok {
-		return "batch (vectorized)"
+		if BatchClosure() {
+			return "batch (vectorized, batch-native collect)"
+		}
+		return "batch (vectorized, rows at collect)"
 	}
 	return "row"
 }

@@ -40,6 +40,7 @@ import (
 	"fmt"
 	"sort"
 
+	"maybms/internal/colbatch"
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/sqlparse"
@@ -77,7 +78,7 @@ func (d *WSD) GroupWorldsClosure(gw, core *sqlparse.SelectStmt, cl Closure) ([]G
 	if cl.IsConf() && !d.Weighted {
 		return nil, ErrConfUnweighted
 	}
-	gwPrep, gwEval, err := d.prepared(gw)
+	gwPrep, gwEv, err := d.prepared(gw)
 	if err != nil {
 		return nil, err
 	}
@@ -96,7 +97,7 @@ func (d *WSD) GroupWorldsClosure(gw, core *sqlparse.SelectStmt, cl Closure) ([]G
 		return []GroupAnswer{{Prob: oneIfWeighted(d.Weighted), Rel: rel}}, nil
 	}
 
-	qPrep, qEval, err := d.prepared(core)
+	qPrep, qEv, err := d.prepared(core)
 	if err != nil {
 		return nil, err
 	}
@@ -106,14 +107,14 @@ func (d *WSD) GroupWorldsClosure(gw, core *sqlparse.SelectStmt, cl Closure) ([]G
 	}
 
 	if d.DisableComponentwise || intersects(gwAn.Comps, qAn.Comps) {
-		return d.groupWorldsSpanning(gwAn.Comps, qAn.Comps, gwEval, qEval, cl)
+		return d.groupWorldsSpanning(gwAn.Comps, qAn.Comps, gwEv.rel, qEv.rel, cl)
 	}
 
 	// Disjoint component sets: groups from the grouping query alone, the
 	// closure shared across groups.
 	var groups []groupInfo
 	if gwAn.Decomposable {
-		groups, err = d.groupsByComponent(gwAn.Comps, gwEval)
+		groups, err = d.groupsByComponent(gwAn.Comps, gwEv.batch)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +127,7 @@ func (d *WSD) GroupWorldsClosure(gw, core *sqlparse.SelectStmt, cl Closure) ([]G
 		if err != nil {
 			return nil, err
 		}
-		groups, err = d.groupsFromAlternatives(merged, gwEval)
+		groups, err = d.groupsFromAlternatives(merged, gwEv.rel)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +139,7 @@ func (d *WSD) GroupWorldsClosure(gw, core *sqlparse.SelectStmt, cl Closure) ([]G
 	if err != nil {
 		return nil, err
 	}
-	return d.closePerGroup(groups, qAn, qEval, cl)
+	return d.closePerGroup(groups, qAn, qEv, cl)
 }
 
 // intersects reports whether two sorted component-index sets share an
@@ -158,16 +159,21 @@ func intersects(a, b []int) bool {
 	return false
 }
 
-// sortedTupleKeys returns the deduplicated sorted canonical tuple keys of
-// rel — the key set relation.Fingerprint hashes.
-func sortedTupleKeys(rel *relation.Relation) []string {
-	seen := make(map[string]struct{}, len(rel.Tuples))
-	keys := make([]string, 0, len(rel.Tuples))
-	for _, t := range rel.Tuples {
-		k := t.Key()
-		if _, ok := seen[k]; ok {
+// sortedBatchKeys returns the deduplicated sorted canonical tuple keys of
+// a part batch — the key set relation.Fingerprint hashes (AppendKey writes
+// tuple.Encode's exact byte stream). Duplicates are probed on the scratch
+// buffer, so only distinct keys materialize strings.
+func sortedBatchKeys(b *colbatch.Batch) []string {
+	n := b.Len()
+	seen := make(map[string]struct{}, n)
+	keys := make([]string, 0, n)
+	var buf []byte
+	for i := 0; i < n; i++ {
+		buf = b.AppendKey(buf[:0], i)
+		if _, ok := seen[string(buf)]; ok {
 			continue
 		}
+		k := string(buf)
 		seen[k] = struct{}{}
 		keys = append(keys, k)
 	}
@@ -211,7 +217,7 @@ func canonOf(keys []string) string {
 // Groups are returned in the naive engine's first-appearance order (the
 // frontier enumerates alternative selections lexicographically, earlier
 // components more significant, exactly like the world odometer).
-func (d *WSD) groupsByComponent(compIdx []int, eval func(cat plan.Catalog) (*relation.Relation, error)) ([]groupInfo, error) {
+func (d *WSD) groupsByComponent(compIdx []int, eval func(cat plan.Catalog) (*colbatch.Batch, error)) ([]groupInfo, error) {
 	parts, err := d.QueryByComponent(compIdx, false, true, eval)
 	if err != nil {
 		return nil, err
@@ -219,11 +225,11 @@ func (d *WSD) groupsByComponent(compIdx []int, eval func(cat plan.Catalog) (*rel
 	partKeys := make([][][]string, len(parts.parts))
 	for i, alts := range parts.parts {
 		partKeys[i] = make([][]string, len(alts))
-		for a, rel := range alts {
+		for a, b := range alts {
 			if err := d.interrupted(); err != nil {
 				return nil, err
 			}
-			partKeys[i][a] = sortedTupleKeys(rel)
+			partKeys[i][a] = sortedBatchKeys(b)
 		}
 	}
 
@@ -231,7 +237,7 @@ func (d *WSD) groupsByComponent(compIdx []int, eval func(cat plan.Catalog) (*rel
 		keys []string
 		prob float64
 	}
-	frontier := []entry{{keys: sortedTupleKeys(parts.base), prob: oneIfWeighted(d.Weighted)}}
+	frontier := []entry{{keys: sortedBatchKeys(parts.base), prob: oneIfWeighted(d.Weighted)}}
 	for i := range compIdx {
 		var next []entry
 		index := map[string]int{}
@@ -308,12 +314,12 @@ func (d *WSD) groupsFromAlternatives(merged *Component, eval func(cat plan.Catal
 // are disjoint from the grouping components, so the per-group answer is
 // the global one) and attaches it to every group — scaling confidences by
 // each group's probability.
-func (d *WSD) closePerGroup(groups []groupInfo, qAn *plan.ComponentAnalysis, qEval func(cat plan.Catalog) (*relation.Relation, error), cl Closure) ([]GroupAnswer, error) {
+func (d *WSD) closePerGroup(groups []groupInfo, qAn *plan.ComponentAnalysis, qEv evaluator, cl Closure) ([]GroupAnswer, error) {
 	var shared *relation.Relation // possible/certain: identical per group
 	var conf *relation.Relation   // conf: global confidences, scaled per group
 	switch {
 	case len(qAn.Comps) == 0:
-		res, err := qEval(newPartsCatalog(d, nil))
+		res, err := qEv.rel(newPartsCatalog(d, nil))
 		if err != nil {
 			return nil, err
 		}
@@ -329,7 +335,7 @@ func (d *WSD) closePerGroup(groups []groupInfo, qAn *plan.ComponentAnalysis, qEv
 			return nil, err
 		}
 	case qAn.Decomposable && !d.DisableComponentwise:
-		parts, err := d.QueryByComponent(qAn.Comps, true, false, qEval)
+		parts, err := d.QueryByComponent(qAn.Comps, true, false, qEv.batch)
 		if err != nil {
 			return nil, err
 		}
@@ -346,7 +352,7 @@ func (d *WSD) closePerGroup(groups []groupInfo, qAn *plan.ComponentAnalysis, qEv
 			return nil, err
 		}
 	default:
-		results, probs, err := d.queryMerged(append([]int(nil), qAn.Comps...), qEval)
+		results, probs, err := d.queryMerged(append([]int(nil), qAn.Comps...), qEv.rel)
 		if err != nil {
 			return nil, err
 		}
@@ -457,7 +463,7 @@ func (d *WSD) closeAltGroups(merged *Component, groups []groupInfo, qEval func(c
 // each merged alternative references its group's answer: per-group
 // contributions, not per-alternative copies.
 func (d *WSD) materializeGrouped(dst string, gw, core *sqlparse.SelectStmt, cl Closure) error {
-	gwPrep, gwEval, err := d.prepared(gw)
+	gwPrep, gwEv, err := d.prepared(gw)
 	if err != nil {
 		return err
 	}
@@ -476,7 +482,7 @@ func (d *WSD) materializeGrouped(dst string, gw, core *sqlparse.SelectStmt, cl C
 		return d.PutCertain(dst, rel.WithSchema(rel.Schema.Unqualify()))
 	}
 
-	qPrep, qEval, err := d.prepared(core)
+	qPrep, qEv, err := d.prepared(core)
 	if err != nil {
 		return err
 	}
@@ -494,14 +500,14 @@ func (d *WSD) materializeGrouped(dst string, gw, core *sqlparse.SelectStmt, cl C
 	if err != nil {
 		return err
 	}
-	groups, err := d.groupsFromAlternatives(merged, gwEval)
+	groups, err := d.groupsFromAlternatives(merged, gwEv.rel)
 	if err != nil {
 		return err
 	}
 
 	var answers []GroupAnswer
 	if spanning {
-		answers, err = d.closeAltGroups(merged, groups, qEval, cl)
+		answers, err = d.closeAltGroups(merged, groups, qEv.rel, cl)
 	} else {
 		// The merge may have restructured the component list; re-run the
 		// main query's analysis against the current decomposition. Its
@@ -511,7 +517,7 @@ func (d *WSD) materializeGrouped(dst string, gw, core *sqlparse.SelectStmt, cl C
 		if err != nil {
 			return err
 		}
-		answers, err = d.closePerGroup(groups, qAn, qEval, cl)
+		answers, err = d.closePerGroup(groups, qAn, qEv, cl)
 	}
 	if err != nil {
 		return err

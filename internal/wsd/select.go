@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"maybms/internal/algebra"
+	"maybms/internal/colbatch"
 	"maybms/internal/expr"
 	"maybms/internal/obs"
 	"maybms/internal/plan"
@@ -114,6 +115,17 @@ func (d *WSD) collect(op algebra.Operator) (*relation.Relation, error) {
 	return algebra.Collect(op, root)
 }
 
+// collectBatch is collect's batch-native twin: it drains the operator
+// through algebra.CollectBatch, keeping vectorized results columnar past
+// the seam (row evaluations come back as zero-copy row-backed batches).
+func (d *WSD) collectBatch(op algebra.Operator) (*colbatch.Batch, error) {
+	var root *expr.Context
+	if d.Interrupt != nil || d.Trace != nil {
+		root = &expr.Context{Interrupt: d.Interrupt, Stats: d.Trace.Stats()}
+	}
+	return algebra.CollectBatch(op, root)
+}
+
 // schemaCatalog exposes the decomposition's relation schemas (over empty
 // relations) as a compile target: planning needs names and columns only,
 // and the compiled template is stripped of tuples anyway.
@@ -166,33 +178,66 @@ func sharedTemplate[T any](d *WSD, key string, valid func(T) bool, compile func(
 	return p, nil
 }
 
+// evaluator binds a compiled template per catalog (falling back to
+// per-catalog compilation on a failed bind, which preserves exactness) and
+// drains it on either side of the Collect seam: rel materializes row tuples
+// — the currency of the merge and per-world paths — while batch returns the
+// columnar CollectBatch result the closure builders consume natively. With
+// the batch-native seam disabled (SetBatchClosure), batch degrades to rel
+// plus a zero-copy row-backed wrapper — the ablation baseline.
+type evaluator struct {
+	d    *WSD
+	prep *plan.Prepared
+	sel  *sqlparse.SelectStmt
+}
+
+func (e evaluator) bind(cat plan.Catalog) (algebra.Operator, error) {
+	op, err := e.prep.Bind(cat)
+	if err != nil {
+		if !errors.Is(err, plan.ErrRebind) {
+			return nil, err
+		}
+		return plan.Build(e.sel, cat)
+	}
+	return op, nil
+}
+
+func (e evaluator) rel(cat plan.Catalog) (*relation.Relation, error) {
+	op, err := e.bind(cat)
+	if err != nil {
+		return nil, err
+	}
+	return e.d.collect(op)
+}
+
+func (e evaluator) batch(cat plan.Catalog) (*colbatch.Batch, error) {
+	op, err := e.bind(cat)
+	if err != nil {
+		return nil, err
+	}
+	if !batchClosureOn.Load() {
+		res, err := e.d.collect(op)
+		if err != nil {
+			return nil, err
+		}
+		return colbatch.FromRowsShared(res.Schema, res.Tuples), nil
+	}
+	return e.d.collectBatch(op)
+}
+
 // prepared compiles sel once — through the process-wide shared plan cache,
 // keyed like the naive engine's templates — and returns the template plus
-// an evaluator that binds it per catalog (falling back to per-catalog
-// compilation on a failed bind, which preserves exactness).
-func (d *WSD) prepared(sel *sqlparse.SelectStmt) (*plan.Prepared, func(cat plan.Catalog) (*relation.Relation, error), error) {
+// the evaluator that binds it per catalog.
+func (d *WSD) prepared(sel *sqlparse.SelectStmt) (*plan.Prepared, evaluator, error) {
 	compileCat := d.schemaCatalog()
 	prep, err := sharedTemplate(d,
 		fmt.Sprintf("cq\x00%s\x00%x", sel.String(), d.SchemaFingerprint()),
 		func(p *plan.Prepared) bool { _, err := p.Bind(compileCat); return err == nil },
 		func() (*plan.Prepared, error) { return plan.Prepare(sel, compileCat) })
 	if err != nil {
-		return nil, nil, err
+		return nil, evaluator{}, err
 	}
-	eval := func(cat plan.Catalog) (*relation.Relation, error) {
-		op, err := prep.Bind(cat)
-		if err != nil {
-			if !errors.Is(err, plan.ErrRebind) {
-				return nil, err
-			}
-			op, err = plan.Build(sel, cat)
-			if err != nil {
-				return nil, err
-			}
-		}
-		return d.collect(op)
-	}
-	return prep, eval, nil
+	return prep, evaluator{d: d, prep: prep, sel: sel}, nil
 }
 
 // AssertStmt filters the world-set by an ASSERT condition (an I-SQL-free
@@ -254,7 +299,7 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 	if cl.IsConf() && !d.Weighted {
 		return nil, ErrConfUnweighted
 	}
-	prep, eval, err := d.prepared(core)
+	prep, ev, err := d.prepared(core)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +320,7 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 		d.Trace.Set("route", "single")
 		sp := d.Trace.Begin("eval")
 		defer sp.End(d.Trace)
-		res, err := eval(newPartsCatalog(d, nil))
+		res, err := ev.rel(newPartsCatalog(d, nil))
 		if err != nil {
 			return nil, err
 		}
@@ -295,7 +340,7 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 		if d.DisableComponentwise {
 			// Reproduce the classic routing faithfully: merge the involved
 			// components, then notice whether one alternative remains.
-			results, _, err := d.queryMerged(an.Comps, eval)
+			results, _, err := d.queryMerged(an.Comps, ev.rel)
 			if err != nil {
 				return nil, err
 			}
@@ -324,7 +369,7 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 		d.Trace.Set("route", "single")
 		sp := d.Trace.Begin("eval")
 		defer sp.End(d.Trace)
-		return eval(newPartsCatalog(d, sel))
+		return ev.rel(newPartsCatalog(d, sel))
 	}
 
 	// The merge-free fast path: closures from per-alternative part
@@ -336,7 +381,7 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 		d.Trace.Set("route", "componentwise")
 		sp := d.Trace.Begin("componentwise")
 		sp.Set("components", len(an.Comps))
-		parts, err := d.QueryByComponent(an.Comps, true, false, eval)
+		parts, err := d.QueryByComponent(an.Comps, true, false, ev.batch)
 		sp.End(d.Trace)
 		if err != nil {
 			return nil, err
@@ -360,13 +405,13 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 	// Monte-Carlo estimator instead of failing with ErrMergeTooBig.
 	msp := d.Trace.Begin("merge_eval")
 	msp.Set("components", len(an.Comps))
-	results, probs, err := d.queryMerged(an.Comps, eval)
+	results, probs, err := d.queryMerged(an.Comps, ev.rel)
 	if err != nil {
 		msp.End(d.Trace)
 		if cl == ClosureApproxConf && errors.Is(err, ErrMergeTooBig) {
 			routeApproxMC.Inc()
 			d.Trace.Set("route", "approx_mc")
-			return d.confMonteCarlo(an.Comps, eval)
+			return d.confMonteCarlo(an.Comps, ev.batch)
 		}
 		return nil, err
 	}
@@ -395,7 +440,7 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 // anything else merges the involved components and stores one instance per
 // merged alternative, exactly as before.
 func (d *WSD) CreateTableAs(dst string, core *sqlparse.SelectStmt) error {
-	prep, eval, err := d.prepared(core)
+	prep, ev, err := d.prepared(core)
 	if err != nil {
 		return err
 	}
@@ -404,14 +449,14 @@ func (d *WSD) CreateTableAs(dst string, core *sqlparse.SelectStmt) error {
 		return err
 	}
 	if len(an.Comps) == 0 {
-		res, err := eval(newPartsCatalog(d, nil))
+		res, err := ev.rel(newPartsCatalog(d, nil))
 		if err != nil {
 			return err
 		}
 		return d.PutCertain(dst, res.WithSchema(res.Schema.Unqualify()))
 	}
 	if an.Concat && !d.DisableComponentwise {
-		err := d.materializeByComponent(dst, an.Comps, eval)
+		err := d.materializeByComponent(dst, an.Comps, ev.batch)
 		if err == nil {
 			d.componentwise.Add(1)
 			return nil
@@ -422,7 +467,7 @@ func (d *WSD) CreateTableAs(dst string, core *sqlparse.SelectStmt) error {
 		// Structural analysis promised a certain-prefixed answer but the
 		// evaluation disagreed; fall back to the merge path for safety.
 	}
-	return d.materializeMerged(dst, an.Comps, eval)
+	return d.materializeMerged(dst, an.Comps, ev.rel)
 }
 
 // CreateTableAsClosure materializes `SELECT <closure core> [GROUP WORLDS

@@ -2,10 +2,12 @@ package wsd
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"maybms/internal/algebra"
 	"maybms/internal/relation"
+	"maybms/internal/sqlparse"
 )
 
 // TestClosuresRowVsBatch runs the closure suite with the vectorized
@@ -50,6 +52,97 @@ func TestClosuresRowVsBatch(t *testing.T) {
 				if string(rt.Encode(nil)) != string(bt.Encode(nil)) {
 					t.Fatalf("%q (componentwise=%v) row %d diverged: %v vs %v",
 						q, componentwise, i, rt, bt)
+				}
+			}
+		}
+	}
+}
+
+// TestClosuresBatchSeamOnVsOff toggles the batch-native Collect seam with
+// the vectorized executor held on: with the seam off the very same closure
+// code runs over zero-copy row-backed batches (AppendKey delegates to the
+// tuple encoding), so every answer — possible, certain and conf, order
+// included — must be bit-identical, not merely within tolerance.
+func TestClosuresBatchSeamOnVsOff(t *testing.T) {
+	defer SetBatchClosure(SetBatchClosure(true))
+	defer algebra.SetVectorized(algebra.SetVectorized(true))
+	defer algebra.SetVectorizeMinRows(algebra.SetVectorizeMinRows(0))
+	queries := []string{
+		"select possible A, B from I",
+		"select certain A from I",
+		"select possible I.A, R.C from I, R where I.B = R.B",
+		"select possible A, B from I where B >= 15 order by B desc, A",
+		"select possible distinct C from I union select C from R",
+		"select conf, A, B from I",
+		"select conf, I.A from I, R where I.C = R.C",
+	}
+	for _, componentwise := range []bool{true, false} {
+		for _, q := range queries {
+			run := func(seam bool) *relation.Relation {
+				SetBatchClosure(seam)
+				d := newFigure2WSD(t)
+				d.DisableComponentwise = !componentwise
+				return selectOn(t, d, q)
+			}
+			off, on := run(false), run(true)
+			if g, w := renderRel(on), renderRel(off); g != w {
+				t.Fatalf("%q (componentwise=%v): seam on diverged from seam off:\n%s\nwant:\n%s",
+					q, componentwise, g, w)
+			}
+		}
+	}
+}
+
+// TestGroupWorldsBatchSeamOnVsOff covers the grouped closures: the
+// fingerprint frontier fold and the per-group closure runs must produce
+// bit-identical groups (probability bits included) with the batch seam on
+// and off, over randomized decompositions.
+func TestGroupWorldsBatchSeamOnVsOff(t *testing.T) {
+	defer SetBatchClosure(SetBatchClosure(true))
+	defer algebra.SetVectorized(algebra.SetVectorized(true))
+	defer algebra.SetVectorizeMinRows(algebra.SetVectorizeMinRows(0))
+	queries := []string{
+		"select possible K, V from I group worlds by (select V from P)",
+		"select certain K, V from I group worlds by (select V from P)",
+		"select conf, K, V from I group worlds by (select V from P)",
+		"select conf, V from P group worlds by (select K, V from I)",
+		"select possible K from I group worlds by (select Y from S)",
+		"select possible K, V from I group worlds by (select K from I where V = 0)",
+		"select conf, K from I group worlds by (select V from I)",
+	}
+	for trial := 0; trial < 4; trial++ {
+		for qi, q := range queries {
+			stmt, err := sqlparse.Parse(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sel := stmt.(*sqlparse.SelectStmt)
+			gw := sel.GroupWorlds
+			qcore, cl, err := StripClosure(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qcore.GroupWorlds = nil
+			run := func(seam bool) []GroupAnswer {
+				SetBatchClosure(seam)
+				// Same seed both runs: identical decomposition either way.
+				_, d := fuzzPair(t, rand.New(rand.NewSource(int64(100*trial+qi))))
+				groups, err := d.GroupWorldsClosure(gw, qcore, cl)
+				if err != nil {
+					t.Fatalf("%q (seam=%v): %v", q, seam, err)
+				}
+				return groups
+			}
+			off, on := run(false), run(true)
+			if len(on) != len(off) {
+				t.Fatalf("trial %d %q: %d groups with seam on, %d off", trial, q, len(on), len(off))
+			}
+			for gi := range on {
+				if on[gi].Prob != off[gi].Prob {
+					t.Errorf("trial %d %q group %d: prob %v on vs %v off", trial, q, gi, on[gi].Prob, off[gi].Prob)
+				}
+				if g, w := renderRel(on[gi].Rel), renderRel(off[gi].Rel); g != w {
+					t.Errorf("trial %d %q group %d diverged:\n%s\nwant:\n%s", trial, q, gi, g, w)
 				}
 			}
 		}

@@ -54,6 +54,15 @@
 // alternative of the grouping component (factorized storage, see
 // CreateTableAsClosure). MergeCount and ComponentwiseCount make the
 // routing observable.
+//
+// The componentwise path is batch-native past the Collect seam
+// (batchclosure.go): per-alternative evaluations return colbatch batches,
+// the closure builders union/dedup/merge on arena-encoded batch keys
+// (byte-identical to tuple.Encode), per-alternative contributions are
+// cached columnar, and output rows materialize once at the very end. The
+// merge and per-world paths keep the classic row currency; SetBatchClosure
+// switches the seam off to run the closures over zero-copy row-backed
+// batches instead — results are identical either way, order included.
 package wsd
 
 import (
@@ -63,6 +72,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"maybms/internal/exec"
@@ -151,6 +161,12 @@ type WSD struct {
 	names   map[string]string             // lower name → display name
 	comps   []*Component
 	nextID  int
+
+	// contrib caches columnar batches over per-alternative contribution
+	// slices (contribKey → *contribEntry), validated by slice identity, so
+	// componentwise evaluations on the batch-native closure path never
+	// re-columnarize stored state. See batchclosure.go.
+	contrib sync.Map
 
 	// merges counts component merges that actually restructured the
 	// decomposition (≥ 2 components multiplied into one): the observability

@@ -71,8 +71,7 @@ kept = [b for b in old.get("benchmarks", []) if b["name"] not in measured]
 new["benchmarks"] = kept + new["benchmarks"]
 with open(new_path, "w") as f:
     json.dump(new, f, indent=2)
-    f.write("
-")
+    f.write("\n")
 PY
     echo "merged filtered run into existing $OUT" >&2
 fi

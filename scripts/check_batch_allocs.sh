@@ -9,11 +9,20 @@
 # silently eating the win. Ceilings are ~2x the measured steady state
 # (scan 1, filter ~95, join ~185 allocs/op) — loose enough for noise,
 # tight enough that an O(rows) regression (8192 rows/op here) trips them.
+#
+# The closure-path gate does the same for the batch-native closure pipeline
+# past the Collect seam (internal/wsd): the BatchClosure* benchmarks close
+# POSSIBLE/CONF/GROUP WORLDS over 8 alternatives x 2048 tuples, steady state
+# ~2.5-3k allocs/op (one interned key string per distinct answer tuple plus
+# columnar assembly); an accidental per-(tuple,part) allocation (16384
+# rows/op) blows well past the ~2x ceilings.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="$(go test ./internal/algebra/ -bench '^(BenchmarkBatchScan|BenchmarkBatchFilter|BenchmarkHashJoinBatch)$' \
-    -benchmem -benchtime 50x -run '^$' | tee /dev/stderr)"
+    -benchmem -benchtime 50x -run '^$' | tee /dev/stderr)
+$(go test . -bench '^(BenchmarkBatchClosurePossible|BenchmarkBatchClosureConf|BenchmarkBatchClosureGroupWorlds)$' \
+    -benchmem -benchtime 20x -run '^$' | tee /dev/stderr)"
 
 fail=0
 check() {
@@ -31,6 +40,9 @@ check() {
 check BenchmarkBatchScan 8
 check BenchmarkBatchFilter 200
 check BenchmarkHashJoinBatch 400
+check BenchmarkBatchClosurePossible 5000
+check BenchmarkBatchClosureConf 5500
+check BenchmarkBatchClosureGroupWorlds 6000
 
 if [ "$fail" -ne 0 ]; then
     echo "check_batch_allocs: vectorized path regressed (or benchmarks renamed)" >&2
