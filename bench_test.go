@@ -725,6 +725,146 @@ func BenchmarkCompactRepairUncertain(b *testing.B) {
 	}
 }
 
+// ---- conditional decomposition (d-tree) route benchmarks ----
+
+// conditionalCleanerDB is componentwiseDB plus the nesting chained
+// repair: Cleaner's per-key repairs hang as conditional children under
+// Clean's feeding alternatives — the d-tree regime; the flat Clean is
+// the degenerate one-level tree the *Flat legs below query.
+func conditionalCleanerDB(b *testing.B, n int) *CompactDB {
+	b.Helper()
+	cdb := componentwiseDB(b, n, true)
+	if err := cdb.RepairByKey("Clean", "Cleaner", []string{"K", "V"}, ""); err != nil {
+		b.Fatal(err)
+	}
+	return cdb
+}
+
+// naiveCleanerDB is the enumerating counterpart: the chained repair
+// re-splits every one of the 2^n worlds, so sizes stop where
+// enumeration does.
+func naiveCleanerDB(b *testing.B, n int) *DB {
+	b.Helper()
+	db := naiveDirtyDB(b, n)
+	db.MustExec("create table Cleaner as select K, V, W from Clean repair by key K, V")
+	return db
+}
+
+// BenchmarkConditionalRepair measures the nesting split alone: REPAIR BY
+// KEY over the uncertain Clean creates conditional children under every
+// feeding alternative — no merge, no expansion, linear in the
+// representation. The naive leg re-splits 2^n enumerated worlds
+// (see also BenchmarkNaiveRepairUncertain / BenchmarkCompactRepairUncertain,
+// which add the closing CONF query to the same shapes).
+func BenchmarkConditionalRepair(b *testing.B) {
+	for _, n := range []int{4, 18, 1000} {
+		b.Run(fmt.Sprintf("groups=%d/worlds=2^%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cdb := componentwiseDB(b, n, true)
+				b.StartTimer()
+				if err := cdb.RepairByKey("Clean", "Cleaner", []string{"K", "V"}, ""); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				if cdb.MergeCount() != 0 {
+					b.Fatal("nesting split merged")
+				}
+				if cdb.ConditionalCount() == 0 {
+					b.Fatal("split did not nest")
+				}
+				b.StartTimer()
+			}
+		})
+	}
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("naive/groups=%d/worlds=2^%d", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db := naiveDirtyDB(b, n)
+				b.StartTimer()
+				db.MustExec("create table Cleaner as select K, V, W from Clean repair by key K, V")
+			}
+		})
+	}
+}
+
+// benchConditionalSelect runs one query over the nested Cleaner (two-level
+// tree fold), the flat Clean (one-level degenerate case of the same
+// conditional route) and the enumerating engine, asserting the compact
+// legs stay merge-free and actually route conditional.
+func benchConditionalSelect(b *testing.B, confQuery bool) {
+	table := func(nested bool) string {
+		if nested {
+			return "Cleaner"
+		}
+		return "Clean"
+	}
+	query := func(nested bool) string {
+		if confQuery {
+			return "select conf, K, V from " + table(nested)
+		}
+		return "select K, V from " + table(nested)
+	}
+	for _, leg := range []struct {
+		name   string
+		nested bool
+	}{{"flat", false}, {"nested", true}} {
+		for _, n := range []int{4, 18} {
+			b.Run(fmt.Sprintf("%s/groups=%d/worlds=2^%d", leg.name, n, n), func(b *testing.B) {
+				var cdb *CompactDB
+				if leg.nested {
+					cdb = conditionalCleanerDB(b, n)
+				} else {
+					cdb = componentwiseDB(b, n, true)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rel, err := cdb.Select(query(leg.nested))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rel.Len() < 2*n {
+						b.Fatalf("wrong answer: %d rows", rel.Len())
+					}
+				}
+				b.StopTimer()
+				if cdb.MergeCount() != 0 {
+					b.Fatal("conditional query merged")
+				}
+				if !confQuery && cdb.ConditionalCount() == 0 {
+					b.Fatal("query did not route conditional")
+				}
+			})
+		}
+	}
+	for _, n := range []int{4, 8} {
+		b.Run(fmt.Sprintf("naive/groups=%d/worlds=2^%d", n, n), func(b *testing.B) {
+			db := naiveCleanerDB(b, n)
+			q := query(true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := db.MustExec(q)
+				// A plain select renders per world (no closure groups); conf
+				// closes into one group.
+				if confQuery && len(res.Groups) == 0 {
+					b.Fatal("empty naive answer")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConditionalSelect: a plain per-world SELECT answered as a
+// conditional relation (the query schema plus a cond column) — nested
+// tree vs flat product vs the naive engine's per-world enumeration.
+func BenchmarkConditionalSelect(b *testing.B) { benchConditionalSelect(b, false) }
+
+// BenchmarkConditionalConf: the CONF closure as a conditional tree fold —
+// each alternative weighted by its conditioning path — against the flat
+// componentwise fold and the naive 2^n-world sum.
+func BenchmarkConditionalConf(b *testing.B) { benchConditionalSelect(b, true) }
+
 // ---- batch-native closure pipeline: row vs batch past the Collect seam ----
 
 // bulkChoiceDB builds one choice component with alts alternatives of rows

@@ -153,7 +153,8 @@ func (c *compactShell) meta(cmd string, out io.Writer) bool {
 	case "\\stats":
 		fmt.Fprintf(out, "worlds: %s, components: %d, alternatives: %d\n",
 			c.db.WorldCount(), c.db.ComponentCount(), c.db.AlternativeCount())
-		fmt.Fprintf(out, "merges: %d, componentwise: %d\n", c.db.MergeCount(), c.db.ComponentwiseCount())
+		fmt.Fprintf(out, "merges: %d, componentwise: %d, conditional: %d\n",
+			c.db.MergeCount(), c.db.ComponentwiseCount(), c.db.ConditionalCount())
 		printCacheStats(out)
 	default:
 		return false

@@ -376,6 +376,12 @@ func (db *CompactDB) MergeCount() uint64 { return db.w.MergeCount() }
 // merge-free componentwise path.
 func (db *CompactDB) ComponentwiseCount() uint64 { return db.w.ComponentwiseCount() }
 
+// ConditionalCount returns the number of uses of the conditional (d-tree)
+// machinery: statements answered through a conditional route — tree-fold
+// closures and conditional-relation answers — plus repair/choice splits
+// that nested components under feeding alternatives.
+func (db *CompactDB) ConditionalCount() uint64 { return db.w.ConditionalCount() }
+
 // SetComponentwise toggles the merge-free componentwise execution path
 // (enabled by default). Disabling it forces every multi-component query
 // onto the classic bounded-merge path; results are identical either way —

@@ -278,9 +278,18 @@ func TestCompactSelectComponentwise(t *testing.T) {
 	if got := cdb.ComponentCount(); got != 3 {
 		t.Errorf("components = %d, want 3 untouched", got)
 	}
-	// A world-dependent plain SELECT is refused.
-	if _, err := cdb.Select("select K from I"); err == nil {
-		t.Error("plain select over uncertain data must fail")
+	// A world-dependent plain SELECT answers as a conditional relation —
+	// one row per alternative, annotated with its condition — while a
+	// non-decomposable one (an aggregate) stays refused.
+	rel, err = cdb.Select("select K from I")
+	if err != nil {
+		t.Fatalf("plain select over uncertain data = %v, want conditional relation", err)
+	}
+	if rel.Schema.Names()[rel.Schema.Len()-1] != "cond" {
+		t.Errorf("conditional relation schema = %s, want trailing cond", rel.Schema)
+	}
+	if _, err := cdb.Select("select sum(V) from I"); err == nil {
+		t.Error("plain aggregate over uncertain data must fail")
 	}
 	// Forcing the merge path gives the same possible set, restructured.
 	cdb.SetComponentwise(false)

@@ -96,16 +96,29 @@ plan:
       Scan Rp [components: 0 1]`,
 		},
 		{
-			name:  "refused_per_world",
+			name:  "conditional_relation",
 			query: "EXPLAIN SELECT A FROM Rp",
 			want: `engine: compact (world-set decomposition)
 worlds: 2
-route: refused (per-world answers over uncertain relations)
+route: conditional (relation with cond column, 2 components, 0 nested)
 closure: none
 eval: row
 plan:
   Project [A]
     Scan Rp [components: 0 1]`,
+		},
+		{
+			name:  "refused_per_world",
+			query: "EXPLAIN SELECT SUM(A) FROM Rp",
+			want: `engine: compact (world-set decomposition)
+worlds: 2
+route: refused (per-world answers over uncertain relations; uncertain: Rp)
+closure: none
+eval: row
+plan:
+  Project [sum(A)]
+    Aggregate [sum(A)]
+      Scan Rp [components: 0 1]`,
 		},
 	}
 	for _, tc := range cases {

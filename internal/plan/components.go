@@ -2,11 +2,17 @@ package plan
 
 // Component-touch analysis for decomposition-aware query execution.
 //
-// The WSD engine (internal/wsd) represents a world-set as a product of
-// independent components over a certain database. A compiled plan template
-// references base tables through tableScan nodes, so — given a catalog
-// mapping each table to the components feeding it — every subtree can be
-// annotated with the set of components it touches. Subtrees touching zero
+// The WSD engine (internal/wsd) represents a world-set as a forest of
+// components over a certain database: top-level components are
+// independent, and a *conditional* component hangs under one alternative
+// of its parent, existing only in the worlds selecting that alternative
+// (the flat product is the one-level special case). A compiled plan
+// template references base tables through tableScan nodes, so — given a
+// catalog mapping each table to the components feeding it — every subtree
+// can be annotated with the set of components it touches. The analysis
+// itself is conditioning-agnostic: it reports which component IDs a tree
+// touches, and the caller weights each alternative by its conditioning
+// path (internal/wsd's tree folds) when closing over the answers. Subtrees touching zero
 // components are world-independent; subtrees touching one component vary
 // with that component's alternative only; and a whole tree whose operators
 // all distribute over the certain ∪ per-component-contribution structure
@@ -39,7 +45,8 @@ package plan
 // components). A tree containing such a node falls back to the bounded
 // partial expansion (component merge) of the classic path; the analysis
 // reports the full component set so the caller merges exactly the involved
-// components, never more.
+// components — condensing any conditional trees among them first — and
+// never more.
 
 import (
 	"fmt"

@@ -40,15 +40,25 @@ var errCompactUnsupported = ErrUnsupported
 //   - CREATE TABLE t (cols)                      — empty certain relation
 //   - INSERT INTO t [(cols)] VALUES (…), (…)     — append certain tuples
 //     (column lists are reordered, missing columns NULL-filled)
-//   - CREATE TABLE d AS SELECT * FROM s
+//   - CREATE TABLE d AS <plain SQL source>
 //     REPAIR BY KEY k [WEIGHT w] | CHOICE OF u [WEIGHT w]
-//     — for a certain s: one component per key group / one component,
-//     O(tuples) space for exponentially many worlds. An uncertain s
-//     (repair of a repair, choice of a repair, …) splits the feeding
-//     components in place — each alternative spawns its conditional
-//     key-group repairs (Σ-alternatives work, zero merges unless two
+//     — for a certain source: one component per key group / one
+//     component, O(tuples) space for exponentially many worlds. An
+//     uncertain source (repair of a repair, choice of a repair, a
+//     filtered or projected view of either, …) nests each feeding
+//     alternative's conditional key-group repairs as child components
+//     under that alternative (Σ-alternatives work, zero merges unless two
 //     components contribute candidates under a common key; a choice
-//     merges its feeders into one first, none when fed by at most one)
+//     merges its feeders into one first, none when fed by at most one).
+//     `select * from t` splits t directly; any other plain-SQL source is
+//     materialized transiently first (RepairByKeyQuery/ChoiceOfQuery).
+//     Key/weight columns outside the select list resolve against the
+//     source rows (`… select A, B from R repair by key A weight D` — the
+//     naive engine's split-then-project semantics): they ride the
+//     transient materialization and are stripped after the split. Sources
+//     that look across rows (DISTINCT, GROUP BY, aggregates, UNION,
+//     ORDER BY/LIMIT) do not commute with the split and are refused
+//     naming the construct
 //   - CREATE TABLE d AS <plain SQL>              — componentwise (no
 //     merge, linear size) when the compiled plan decomposes and keeps
 //     certain rows in front; else a partial expansion of exactly the
@@ -64,7 +74,22 @@ var errCompactUnsupported = ErrUnsupported
 //     subqueries/aggregates over certain data — over any number of
 //     components); a bounded merge only when the plan genuinely
 //     correlates ≥ 2 components (cross-component joins, aggregates or
-//     predicate subqueries over several components)
+//     predicate subqueries over several components). Components nested
+//     under other components' alternatives (conditional splits) answer
+//     through the conditional tree fold, weighting each alternative by
+//     its parent path — still merge-free
+//   - plain SELECT over uncertain relations    — answered as a
+//     *conditional relation* when the compiled plan decomposes: the
+//     world-independent rows first with an empty trailing cond column,
+//     then each alternative's contribution annotated with its condition
+//     ("c3=1,c7=0" — root first). Plans that do not decompose are
+//     refused (wsd.ErrPerWorld: "per-world answers over uncertain
+//     relations (close with possible, certain or conf)", naming the
+//     uncertain relations read)
+//   - CREATE TABLE d AS SELECT … ASSERT cond   — the durable assert:
+//     filters + renormalizes the world-set first, then materializes the
+//     rest of the query on the surviving worlds (per-world evaluation
+//     commutes with the world filter)
 //   - SELECT <exprs>, CONF <plain SQL core>      — exact confidences, same
 //     routing
 //   - SELECT <exprs>, APPROX CONF <plain SQL core> — exact confidences via
@@ -87,10 +112,10 @@ var errCompactUnsupported = ErrUnsupported
 //     the merged component (statement form of Example 2.5)
 //   - DROP TABLE [IF EXISTS] t                   — certain relations only
 //   - EXPLAIN <stmt>                             — routing prediction
-//     (single / componentwise / merge / approx_mc / refused, with merge
-//     cardinality against the expansion limit) plus the compiled plan
-//     tree, component-annotated per table scan; predicts without
-//     executing, merging, or touching the decomposition
+//     (single / conditional / componentwise / merge / approx_mc /
+//     refused, with merge cardinality against the expansion limit) plus
+//     the compiled plan tree, component-annotated per table scan;
+//     predicts without executing, merging, or touching the decomposition
 //   - EXPLAIN ANALYZE <stmt>                     — the same, then executes
 //     the statement for real (DML side effects included, as in
 //     PostgreSQL) with a statement trace installed and appends the actual
@@ -99,14 +124,16 @@ var errCompactUnsupported = ErrUnsupported
 // Still rejected (use the naive backend):
 //
 //   - per-world answers over uncertain relations (close with possible,
-//     certain or conf)
+//     certain or conf) whose plan does not decompose — aggregates or
+//     cross-component correlation; decomposable plans answer as a
+//     conditional relation, see above
 //   - PRIMARY KEY declarations (use REPAIR BY KEY)
-//   - repair/choice sources other than `select * from t` (materialize the
-//     source first)
 //   - combining repair/choice with other I-SQL constructs
+//   - repair/choice over a source using DISTINCT, GROUP BY, aggregates,
+//     UNION or ORDER BY/LIMIT (the split applies to the source rows;
+//     materialize the source first with CREATE TABLE AS)
 //   - repair/choice/assert inside SELECT (use CREATE TABLE AS … or the
 //     ASSERT statement)
-//   - CREATE TABLE AS with assert (apply the ASSERT statement first)
 //   - I-SQL constructs in assert conditions
 //
 // scripts/lint_compact_errors.sh keeps this list in sync with the
@@ -132,7 +159,11 @@ func (b *compactBackend) kind() string                { return "compact" }
 func (b *compactBackend) worlds() string              { return b.d.WorldCount().String() }
 
 func (b *compactBackend) counters() *CompactCounters {
-	return &CompactCounters{Merges: b.d.MergeCount(), Componentwise: b.d.ComponentwiseCount()}
+	return &CompactCounters{
+		Merges:        b.d.MergeCount(),
+		Componentwise: b.d.ComponentwiseCount(),
+		Conditional:   b.d.ConditionalCount(),
+	}
 }
 
 // ExecCompact runs one I-SQL statement against the decomposition d with
@@ -357,23 +388,52 @@ func (b *compactBackend) execAssert(cond string) (*core.Result, error) {
 func (b *compactBackend) execCreateAs(st *sqlparse.CreateTableAs) (*core.Result, error) {
 	q := st.Query
 	if q.Repair != nil || q.Choice != nil {
-		src, err := plainStarSource(q)
-		if err != nil {
-			return nil, err
+		qc := *q
+		qc.Repair, qc.Choice = nil, nil
+		if qc.HasISQL() {
+			return nil, fmt.Errorf("%w: combining repair/choice with other I-SQL constructs", errCompactUnsupported)
 		}
-		if q.Repair != nil {
-			if err := b.d.RepairByKey(src, st.Name, q.Repair.Key, q.Repair.Weight); err != nil {
+		if src, ok := plainStarSource(q); ok {
+			if q.Repair != nil {
+				if err := b.d.RepairByKey(src, st.Name, q.Repair.Key, q.Repair.Weight); err != nil {
+					return nil, err
+				}
+				return b.ok("created table %s: repair of %s (%s worlds)", st.Name, src, b.d.WorldCount())
+			}
+			if err := b.d.ChoiceOf(src, st.Name, q.Choice.Attrs, q.Choice.Weight); err != nil {
 				return nil, err
 			}
-			return b.ok("created table %s: repair of %s (%s worlds)", st.Name, src, b.d.WorldCount())
+			return b.ok("created table %s: choice over %s (%s worlds)", st.Name, src, b.d.WorldCount())
 		}
-		if err := b.d.ChoiceOf(src, st.Name, q.Choice.Attrs, q.Choice.Weight); err != nil {
+		// Filtered/projected source: materialize it transiently, split, and
+		// drop the transient — the components carry the new relation alone.
+		// Only row-wise projections commute with the split; anything that
+		// looks across rows is refused with the construct named.
+		if c := wsd.SplitSourceBlocker(&qc); c != "" {
+			return nil, fmt.Errorf("%w: repair/choice over a source using %s (the split applies to the source rows; materialize the source first with CREATE TABLE AS)", errCompactUnsupported, c)
+		}
+		if q.Repair != nil {
+			if err := b.d.RepairByKeyQuery(&qc, st.Name, q.Repair.Key, q.Repair.Weight); err != nil {
+				return nil, err
+			}
+			return b.ok("created table %s: repair of a query source (%s worlds)", st.Name, b.d.WorldCount())
+		}
+		if err := b.d.ChoiceOfQuery(&qc, st.Name, q.Choice.Attrs, q.Choice.Weight); err != nil {
 			return nil, err
 		}
-		return b.ok("created table %s: choice over %s (%s worlds)", st.Name, src, b.d.WorldCount())
+		return b.ok("created table %s: choice over a query source (%s worlds)", st.Name, b.d.WorldCount())
 	}
 	if q.Assert != nil {
-		return nil, fmt.Errorf("%w: CREATE TABLE AS with assert (apply the ASSERT statement first)", errCompactUnsupported)
+		// ASSERT inside CREATE TABLE AS: filter + renormalize the world-set
+		// first, then materialize the rest of the query on the survivors —
+		// per-world evaluation commutes with the world filter, so this is
+		// exactly the naive engine's durable assert.
+		if err := b.d.AssertStmt(q.Assert, nil); err != nil {
+			return nil, err
+		}
+		qc := *q
+		qc.Assert = nil
+		q = &qc
 	}
 	qcore, cl, err := wsd.StripClosure(q)
 	if err != nil {
@@ -455,17 +515,11 @@ func (b *compactBackend) execGroupWorlds(gw, core_ *sqlparse.SelectStmt, cl wsd.
 	return out, nil
 }
 
-// plainStarSource checks that a repair/choice query core is exactly
-// `select * from t` and returns t: the decomposition operations work on a
-// whole certain relation (project afterwards with CREATE TABLE AS, or
-// query projections of the result directly — projections of repair/choice
-// sources evaluate componentwise, without expansion).
-func plainStarSource(q *sqlparse.SelectStmt) (string, error) {
-	core := *q
-	core.Repair, core.Choice = nil, nil
-	if core.HasISQL() {
-		return "", fmt.Errorf("%w: combining repair/choice with other I-SQL constructs", errCompactUnsupported)
-	}
+// plainStarSource reports whether a repair/choice query core is exactly
+// `select * from t` — the fast path splitting t directly, with no
+// transient materialization (any other plain-SQL source goes through
+// RepairByKeyQuery/ChoiceOfQuery).
+func plainStarSource(q *sqlparse.SelectStmt) (string, bool) {
 	star := len(q.Items) == 1 && q.Items[0].Alias == ""
 	if star {
 		s, ok := q.Items[0].Expr.(sqlparse.Star)
@@ -473,7 +527,7 @@ func plainStarSource(q *sqlparse.SelectStmt) (string, error) {
 	}
 	if !star || len(q.From) != 1 || q.From[0].Alias != "" || q.Where != nil ||
 		len(q.GroupBy) > 0 || q.Having != nil || len(q.OrderBy) > 0 || q.Limit >= 0 || q.Union != nil {
-		return "", fmt.Errorf("%w: repair/choice sources other than `select * from t` (materialize the source first)", errCompactUnsupported)
+		return "", false
 	}
-	return q.From[0].Name, nil
+	return q.From[0].Name, true
 }

@@ -223,6 +223,109 @@ func TestCompactComponentwiseBeyondMergeLimit(t *testing.T) {
 	}
 }
 
+// rowsApproxEqual compares result rows cell by cell, allowing the
+// last-ulp float drift between the naive product over worlds and the
+// compact per-component fold (conf columns).
+func rowsApproxEqual(a, b [][]any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			fa, aok := a[i][j].(float64)
+			fb, bok := b[i][j].(float64)
+			if aok && bok {
+				if math.Abs(fa-fb) > 1e-9 {
+					return false
+				}
+				continue
+			}
+			if !reflect.DeepEqual(a[i][j], b[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestCompactQuerySourceRepairRoundTrip drives the conditional-
+// decomposition statement forms — repair/choice over filtered and
+// projected sources (transient materialization) and a durable ASSERT
+// inside CREATE TABLE AS — through the full server Handle path, and
+// cross-checks every closure answer against a naive session running the
+// identical script.
+func TestCompactQuerySourceRepairRoundTrip(t *testing.T) {
+	script := []string{
+		"create table R (K, V, W)",
+		"insert into R values (0, 1, 1), (0, 2, 3), (1, 5, 2), (1, 6, 2), (2, 7, 1)",
+		// repair over a filtered + projected source
+		"create table I as select K, V from R where V < 7 repair by key K weight V",
+		// repair whose weight column is outside the select list (the
+		// paper's Figure 1 shape): the split reads the source rows, so the
+		// weight rides the transient materialization and is stripped after
+		"create table J as select K, V from R repair by key K weight W",
+		// choice over a filtered source
+		"create table P as select K, W from R where V >= 5 choice of K weight W",
+		// durable assert inside CREATE TABLE AS: filter + renormalize the
+		// world-set, then materialize the query on the survivors
+		"create table X as select * from I assert exists (select * from I where V = 1)",
+	}
+	queries := []string{
+		"select possible K, V from I",
+		"select certain K, V from I",
+		"select conf, K, V from I",
+		"select possible K, W from P",
+		"select conf, K, W from P",
+		"select possible K, V from J",
+		"select conf, K, V from J",
+		"select possible K, V from X",
+		"select certain K, V from X",
+		"select conf, K, V from X",
+	}
+	srv := New(Config{})
+	for _, backend := range []string{"naive", "compact"} {
+		sess := backend + "-qsrc"
+		for _, stmt := range script {
+			handleOK(t, srv, Request{Session: sess, Backend: backend, Query: stmt})
+		}
+	}
+	for _, q := range queries {
+		naive := handleOK(t, srv, Request{Session: "naive-qsrc", Query: q})
+		compact := handleOK(t, srv, Request{Session: "compact-qsrc", Query: q})
+		if len(naive.Groups) != 1 || len(compact.Groups) != 1 {
+			t.Errorf("%q: %d groups vs %d", q, len(compact.Groups), len(naive.Groups))
+			continue
+		}
+		if !rowsApproxEqual(naive.Groups[0].Rows.Rows, compact.Groups[0].Rows.Rows) {
+			t.Errorf("%q:\ncompact %v\nnaive   %v", q,
+				compact.Groups[0].Rows.Rows, naive.Groups[0].Rows.Rows)
+		}
+	}
+	// The transient source materializations must not leak relations: only
+	// the five created tables remain visible.
+	for _, name := range []string{"__src__I", "__src__J", "__src__P"} {
+		resp := srv.Handle(context.Background(), &Request{Session: "compact-qsrc", Backend: "compact", Query: "select certain K from " + name})
+		if resp.OK {
+			t.Errorf("transient source %s leaked into the catalog", name)
+		}
+	}
+	// The stripped weight column must not leak into J's schema.
+	resp := srv.Handle(context.Background(), &Request{Session: "compact-qsrc", Backend: "compact", Query: "select possible W from J"})
+	if resp.OK {
+		t.Errorf("weight column W leaked into J's schema")
+	}
+	// Sources that look across rows don't commute with the split: the
+	// refusal names the construct.
+	resp = srv.Handle(context.Background(), &Request{Session: "compact-qsrc", Backend: "compact",
+		Query: "create table D as select distinct K, V from R repair by key K weight V"})
+	if resp.OK || !strings.Contains(resp.Error, "DISTINCT") {
+		t.Errorf("distinct split source: ok=%v err=%q, want refusal naming DISTINCT", resp.OK, resp.Error)
+	}
+}
+
 // TestCompactDMLAndGroupWorldsRoundTrip drives the new statement forms
 // through the full server Handle path on a compact session and
 // cross-checks every answer against a naive session running the identical

@@ -91,6 +91,10 @@ func TestObservabilityEndpoints(t *testing.T) {
 		t.Fatal("untraced request returned a trace")
 	}
 
+	// A plain SELECT over the uncertain relation answers as a conditional
+	// relation, driving the conditional route counter.
+	post(base+"/v1/query", Request{Session: "obs", Backend: "compact", Query: "select K, A from Rp"})
+
 	// Every statement above crossed the 1ns threshold: the slow-query log
 	// must hold structured JSON lines with query, timing and trace.
 	logged := strings.TrimSpace(slow.String())
@@ -133,6 +137,7 @@ func TestObservabilityEndpoints(t *testing.T) {
 		`maybms_statement_seconds_bucket{backend="compact",le="+Inf"}`,
 		"maybms_slow_queries_total",
 		"maybms_route_total{route=\"componentwise\"}",
+		"maybms_route_total{route=\"conditional\"}",
 		"maybms_collect_rows_total",
 		"maybms_plan_cache_entries",
 	} {

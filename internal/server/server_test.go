@@ -350,9 +350,16 @@ func TestCompactBackend(t *testing.T) {
 		t.Fatalf("post-assert conf = %v, want 4/9", got)
 	}
 
+	// A plain SELECT over uncertain data answers as a conditional relation:
+	// a trailing cond column names each row's alternative path.
+	resp = mustOK("select * from I")
+	if cols := resp.Groups[0].Rows.Columns; cols[len(cols)-1] != "cond" {
+		t.Fatalf("conditional relation columns = %v, want trailing cond", cols)
+	}
+
 	// Unsupported forms fail with the marker error, not silently.
 	for _, q := range []string{
-		"select * from I",                     // per-world answers over uncertain data
+		"select sum(B) from I",                // per-world answers that do not decompose
 		"select * from I choice of A",         // split inside plain select
 		"create table K (A, primary key (A))", // declared keys
 	} {

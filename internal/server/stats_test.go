@@ -25,8 +25,9 @@ func TestStatsOpReportsCounters(t *testing.T) {
 		"create table R (K, V, W)",
 		"insert into R values (0,0,1),(0,1,1),(1,0,1),(1,1,1)",
 		"create table I as select * from R repair by key K",
-		"create table J as select * from I repair by key K, V",
-		"select possible K, V from J",
+		"select possible K, V from I", // componentwise: flat decomposition
+		"create table J as select * from I repair by key K, V", // nests children
+		"select possible K, V from J", // conditional tree fold
 	} {
 		handleOK(t, srv, Request{Session: "c", Backend: "compact", Query: stmt})
 	}
@@ -58,6 +59,10 @@ func TestStatsOpReportsCounters(t *testing.T) {
 	}
 	if c.Compact.Componentwise == 0 {
 		t.Errorf("componentwise counter = 0 after a componentwise closure")
+	}
+	if c.Compact.Conditional < 2 {
+		t.Errorf("conditional counter = %d after a nesting split and a tree-fold closure, want >= 2",
+			c.Compact.Conditional)
 	}
 }
 
@@ -110,13 +115,11 @@ func TestCompactRefusalsWrapSentinel(t *testing.T) {
 		}
 	}
 	refused := []string{
-		"select K from I",                     // per-world answer (forwarded ErrPerWorld)
+		"select sum(V) from I",                // non-decomposable per-world answer (forwarded ErrPerWorld)
 		"create table X (K, primary key (K))", // PRIMARY KEY
-		"create table X as select K from I where K = 0 repair by key K",                     // non-star source
 		"create table X as select * from I repair by key K assert exists (select * from R)", // combined I-SQL
-		"select K from I repair by key K",                                                   // repair inside SELECT
-		"create table X as select possible K from I assert exists (select * from R)",        // CTAS with assert
-		"assert exists (select K from I repair by key K)",                                   // I-SQL in assert condition
+		"select K from I repair by key K",                 // repair inside SELECT
+		"assert exists (select K from I repair by key K)", // I-SQL in assert condition
 	}
 	for _, stmt := range refused {
 		_, err := b.exec(stmt)

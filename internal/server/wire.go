@@ -113,6 +113,10 @@ type CompactCounters struct {
 	// Componentwise counts statements answered by the merge-free
 	// componentwise path.
 	Componentwise uint64 `json:"componentwise"`
+	// Conditional counts uses of the conditional (d-tree) machinery:
+	// statements answered through a conditional route plus repair/choice
+	// splits that created nested components.
+	Conditional uint64 `json:"conditional"`
 }
 
 // SessionInfo describes one live session.

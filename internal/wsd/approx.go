@@ -56,15 +56,28 @@ func (d *WSD) confMonteCarlo(compIdx []int, eval func(cat plan.Catalog) (*colbat
 	rep := map[string]tuple.Tuple{}
 	var order []string
 	var out *relation.Relation
-	sel := make(map[int]int, len(compIdx))
+	// Sample whole trees: an inactive component (its parent sampled away
+	// from the conditioning alternative) contributes nothing, so walk the
+	// root closure in list order — parents precede children — and draw a
+	// digit only for active components.
+	relevant := d.rootClosure(compIdx)
+	byID := d.compIndexByID()
+	sel := make(map[int]int, len(relevant))
 	seen := map[string]struct{}{}
 	var buf []byte
 	for s := 0; s < samples; s++ {
 		if err := d.interrupted(); err != nil {
 			return nil, err
 		}
-		for _, ci := range compIdx {
-			sel[ci] = sampleAlternative(d.comps[ci], rng)
+		clear(sel)
+		for _, ci := range relevant {
+			c := d.comps[ci]
+			if c.Parent >= 0 {
+				if pa, ok := sel[byID[c.Parent]]; !ok || pa != c.ParentAlt {
+					continue
+				}
+			}
+			sel[ci] = sampleAlternative(c, rng)
 		}
 		res, err := eval(newPartsCatalog(d, sel))
 		if err != nil {

@@ -319,10 +319,24 @@ func TestPlainSelectSingleRemainingWorld(t *testing.T) {
 	if rel.Len() != 3 {
 		t.Fatalf("narrowed plain select rows = %d, want 3", rel.Len())
 	}
-	// Still-uncertain answers stay refused.
+	// Still-uncertain answers come back as a conditional relation: one row
+	// per alternative contribution, annotated with its condition.
 	d3 := newFigure2WSD(t)
-	if _, err := d3.SelectClosure(mustCore(t, "select A from I"), ClosureNone); !errors.Is(err, ErrPerWorld) {
-		t.Fatalf("uncertain plain select = %v, want ErrPerWorld", err)
+	rel, err = d3.SelectClosure(mustCore(t, "select A from I"), ClosureNone)
+	if err != nil {
+		t.Fatalf("uncertain plain select = %v, want conditional relation", err)
+	}
+	if got := rel.Schema.String(); !strings.HasSuffix(got, "cond)") {
+		t.Fatalf("conditional relation schema = %q, want trailing cond column", got)
+	}
+	if rel.Len() != 5 {
+		t.Fatalf("conditional relation rows = %d, want 5 (one per alternative)", rel.Len())
+	}
+	if d3.MergeCount() != 0 {
+		t.Error("conditional relation answer merged")
+	}
+	if d3.ConditionalCount() != 1 {
+		t.Errorf("conditional count = %d, want 1", d3.ConditionalCount())
 	}
 }
 
@@ -363,14 +377,24 @@ func TestComponentwiseFallbacks(t *testing.T) {
 		t.Error("uncertain predicate subquery must merge")
 	}
 
-	// Plain SELECT over uncertain data: refused, and no merge happened.
+	// Plain SELECT over uncertain data: answered as a conditional relation
+	// without merging; only non-concat shapes (here: an aggregate) refuse,
+	// naming the uncertain relation.
 	d3 := newFigure2WSD(t)
 	core, cl := parseCore(t, "select A from I")
-	if _, err := d3.SelectClosure(core, cl); !errors.Is(err, ErrPerWorld) {
-		t.Errorf("plain select over uncertain = %v, want ErrPerWorld", err)
+	if _, err := d3.SelectClosure(core, cl); err != nil {
+		t.Errorf("plain select over uncertain = %v, want conditional relation", err)
 	}
 	if d3.MergeCount() != 0 || d3.ComponentCount() != 3 {
-		t.Error("refusing a per-world answer must not merge")
+		t.Error("a conditional relation answer must not merge")
+	}
+	core, cl = parseCore(t, "select sum(B) from I")
+	_, err := d3.SelectClosure(core, cl)
+	if !errors.Is(err, ErrPerWorld) {
+		t.Errorf("plain aggregate over uncertain = %v, want ErrPerWorld", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "uncertain I") {
+		t.Errorf("refusal %q does not name the uncertain relation", err)
 	}
 
 	// Cross-component join: correlates two components, merges exactly the

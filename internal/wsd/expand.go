@@ -14,11 +14,17 @@ import (
 // testing against the naive engine and for inspecting small WSDs. It
 // refuses to expand beyond limit worlds (pass 0 for the default 1<<16).
 //
-// World wi picks alternative (wi / stride[ci]) % |Alts(ci)| of component
-// ci, with the last component varying fastest — the mixed-radix digits of
-// wi. Every world is therefore independent of the others and the
-// enumeration runs on the worker pool (d.Workers), producing the exact
-// world order and probabilities of the sequential odometer.
+// On a flat decomposition, world wi picks alternative
+// (wi / stride[ci]) % |Alts(ci)| of component ci, with the last component
+// varying fastest — the mixed-radix digits of wi. With nested components
+// the enumeration is the activity-aware odometer: components are visited
+// in list order, the last varying fastest, and a component whose parent
+// does not select its conditioning alternative is inactive — skipped,
+// contributing neither a digit nor tuples. This order reproduces the
+// naive chain's interleaved child-world order after repair/choice of an
+// uncertain source exactly. Every world is independent of the others and
+// the per-world builds run on the worker pool (d.Workers), producing the
+// exact world order and probabilities of the sequential odometer.
 func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 	if limit <= 0 {
 		limit = DefaultMergeLimit
@@ -29,16 +35,11 @@ func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 	}
 	n := int(count.Int64())
 
-	// stride[ci] = product of the sizes of the components after ci.
-	stride := make([]int, len(d.comps))
-	acc := 1
-	for ci := len(d.comps) - 1; ci >= 0; ci-- {
-		stride[ci] = acc
-		acc *= len(d.comps[ci].Alts)
-	}
+	digitsFor := d.expandDigits(n)
 
 	set := &worldset.Set{Weighted: d.Weighted, Workers: d.Workers}
 	worlds, _ := exec.Map(d.Workers, n, func(wi int) (*world.World, error) {
+		digits := digitsFor(wi)
 		w := world.New(fmt.Sprintf("w%d", wi+1))
 		if d.Weighted {
 			w.Prob = 1
@@ -53,7 +54,10 @@ func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 			perRel[k] = rel
 		}
 		for ci, c := range d.comps {
-			a := c.Alts[(wi/stride[ci])%len(c.Alts)]
+			if digits[ci] < 0 {
+				continue // inactive under this world's parent path
+			}
+			a := c.Alts[digits[ci]]
 			if d.Weighted {
 				w.Prob *= a.Prob
 			}
@@ -74,4 +78,59 @@ func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 		}
 	}
 	return set, nil
+}
+
+// expandDigits returns a lookup from world index to the per-component
+// digit vector (-1 marks an inactive component). The flat case computes
+// digits by stride arithmetic; with nested components the activity-aware
+// odometer materializes all n vectors up front (n is already bounded by
+// the expansion limit).
+func (d *WSD) expandDigits(n int) func(wi int) []int {
+	if d.nested == 0 {
+		// stride[ci] = product of the sizes of the components after ci.
+		stride := make([]int, len(d.comps))
+		acc := 1
+		for ci := len(d.comps) - 1; ci >= 0; ci-- {
+			stride[ci] = acc
+			acc *= len(d.comps[ci].Alts)
+		}
+		return func(wi int) []int {
+			digits := make([]int, len(d.comps))
+			for ci, c := range d.comps {
+				digits[ci] = (wi / stride[ci]) % len(c.Alts)
+			}
+			return digits
+		}
+	}
+	all := d.enumerateAssignments(n)
+	return func(wi int) []int { return all[wi] }
+}
+
+// enumerateAssignments lists every valid digit assignment of the d-tree
+// in expansion order: components in list order, last varying fastest,
+// inactive components pinned to -1. cap bounds the allocation (the caller
+// has already verified the world count).
+func (d *WSD) enumerateAssignments(cap int) [][]int {
+	byID := d.compIndexByID()
+	out := make([][]int, 0, cap)
+	digits := make([]int, len(d.comps))
+	var rec func(ci int)
+	rec = func(ci int) {
+		if ci == len(d.comps) {
+			out = append(out, append([]int(nil), digits...))
+			return
+		}
+		c := d.comps[ci]
+		if c.Parent >= 0 && digits[byID[c.Parent]] != c.ParentAlt {
+			digits[ci] = -1
+			rec(ci + 1)
+			return
+		}
+		for a := range c.Alts {
+			digits[ci] = a
+			rec(ci + 1)
+		}
+	}
+	rec(0)
+	return out
 }

@@ -52,7 +52,7 @@ func (d *WSD) ExplainSelect(core *sqlparse.SelectStmt, cl Closure) (string, erro
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "route: %s\n", d.predictRoute(an, cl))
+	fmt.Fprintf(&b, "route: %s\n", d.predictRoute(core, an, cl))
 	fmt.Fprintf(&b, "closure: %s\n", closureName(cl))
 	fmt.Fprintf(&b, "eval: %s\n", d.predictEval(prep, an.Comps))
 	b.WriteString("plan:\n")
@@ -70,27 +70,45 @@ func (d *WSD) ExplainSelect(core *sqlparse.SelectStmt, cl Closure) (string, erro
 }
 
 // predictRoute names the path SelectClosure would take for this analysis
-// and closure, mirroring its decision order exactly.
-func (d *WSD) predictRoute(an *plan.ComponentAnalysis, cl Closure) string {
+// and closure, mirroring its decision order exactly. Refusal predictions
+// carry the blocking construct — the uncertain relations the core reads —
+// as an attribute.
+func (d *WSD) predictRoute(core *sqlparse.SelectStmt, an *plan.ComponentAnalysis, cl Closure) string {
+	refused := func(reason string) string {
+		if names := d.uncertainTables(core); names != "" {
+			return fmt.Sprintf("refused (%s; uncertain: %s)", reason, names)
+		}
+		return fmt.Sprintf("refused (%s)", reason)
+	}
 	if len(an.Comps) == 0 {
 		return "single (world-independent)"
 	}
 	if cl == ClosureNone {
 		if !d.DisableComponentwise {
-			allSingleton := true
-			for _, ci := range an.Comps {
-				if len(d.comps[ci].Alts) != 1 {
-					allSingleton = false
-					break
+			if !d.treeInvolved(an.Comps) {
+				allSingleton := true
+				for _, ci := range an.Comps {
+					if len(d.comps[ci].Alts) != 1 {
+						allSingleton = false
+						break
+					}
+				}
+				if allSingleton {
+					return fmt.Sprintf("single (%d components, all singleton alternatives)", len(an.Comps))
 				}
 			}
-			if allSingleton {
-				return fmt.Sprintf("single (%d components, all singleton alternatives)", len(an.Comps))
+			if an.Concat {
+				return fmt.Sprintf("conditional (relation with cond column, %d components, %d nested)",
+					len(an.Comps), d.nestedAmong(d.rootClosure(an.Comps)))
 			}
 		}
-		return "refused (per-world answers over uncertain relations)"
+		return refused("per-world answers over uncertain relations")
 	}
 	if an.Decomposable && !d.DisableComponentwise {
+		if d.treeInvolved(an.Comps) {
+			return fmt.Sprintf("conditional (tree fold, %d components, %d nested)",
+				len(an.Comps), d.nestedAmong(d.rootClosure(an.Comps)))
+		}
 		return fmt.Sprintf("componentwise (merge-free, %d components, %s alternatives)",
 			len(an.Comps), d.altsBrief(an.Comps))
 	}
@@ -150,18 +168,70 @@ func (d *WSD) altsBrief(comps []int) string {
 }
 
 // mergedAlternatives computes the alternative count a merge of comps would
-// produce, without merging; ok is false on overflow.
+// produce, without merging; ok is false on overflow. Tree-involved
+// components first condense whole trees (see condenseTrees), so the count
+// is the product of the involved trees' world counts — the per-component
+// alternative product in the flat case.
 func (d *WSD) mergedAlternatives(comps []int) (int, bool) {
-	product := 1
-	for _, ci := range comps {
-		n := len(d.comps[ci].Alts)
+	mul := func(product, n int) (int, bool) {
 		if n == 0 {
-			continue
+			return product, true
 		}
 		if product > (1<<31)/n {
 			return 0, false
 		}
-		product *= n
+		return product * n, true
+	}
+	if d.nested == 0 {
+		product := 1
+		ok := true
+		for _, ci := range comps {
+			if product, ok = mul(product, len(d.comps[ci].Alts)); !ok {
+				return 0, false
+			}
+		}
+		return product, true
+	}
+	children := d.childrenIndex()
+	var worldsOf func(ci int) (int, bool)
+	worldsOf = func(ci int) (int, bool) {
+		c := d.comps[ci]
+		total := 0
+		for a := range c.Alts {
+			alt := 1
+			ok := true
+			for _, ch := range children[c.ID] {
+				if d.comps[ch].ParentAlt != a {
+					continue
+				}
+				w, wok := worldsOf(ch)
+				if !wok {
+					return 0, false
+				}
+				if alt, ok = mul(alt, w); !ok {
+					return 0, false
+				}
+			}
+			total += alt
+			if total > 1<<31 {
+				return 0, false
+			}
+		}
+		return total, true
+	}
+	product := 1
+	ok := true
+	for _, ci := range d.rootClosure(comps) {
+		if d.comps[ci].Parent >= 0 {
+			continue
+		}
+		w, wok := worldsOf(ci)
+		if !wok {
+			return 0, false
+		}
+		if product, ok = mul(product, w); !ok {
+			return 0, false
+		}
 	}
 	return product, true
 }

@@ -106,7 +106,12 @@ func (d *WSD) GroupWorldsClosure(gw, core *sqlparse.SelectStmt, cl Closure) ([]G
 		return nil, err
 	}
 
-	if d.DisableComponentwise || intersects(gwAn.Comps, qAn.Comps) {
+	// Tree-involved components route through the spanning merge: the
+	// frontier fold and the disjointness independence argument assume flat
+	// independent components, and the merge path condenses trees exactly
+	// (see condenseTrees).
+	if d.DisableComponentwise || intersects(gwAn.Comps, qAn.Comps) ||
+		d.treeInvolved(append(append([]int(nil), gwAn.Comps...), qAn.Comps...)) {
 		return d.groupWorldsSpanning(gwAn.Comps, qAn.Comps, gwEv.rel, qEv.rel, cl)
 	}
 
@@ -492,7 +497,8 @@ func (d *WSD) materializeGrouped(dst string, gw, core *sqlparse.SelectStmt, cl C
 	}
 
 	idx := append([]int(nil), gwAn.Comps...)
-	spanning := intersects(gwAn.Comps, qAn.Comps)
+	spanning := intersects(gwAn.Comps, qAn.Comps) ||
+		d.treeInvolved(append(append([]int(nil), gwAn.Comps...), qAn.Comps...))
 	if spanning {
 		idx = sortedUniqueInts(append(idx, qAn.Comps...))
 	}

@@ -33,9 +33,21 @@ func (d *WSD) involvedComponents(names []string) []int {
 // and unioned contributions. This is the *partial expansion* at the heart
 // of WSD query processing — bounded by MergeLimit, never the full world
 // count. It returns the merged component (nil when idx is empty).
+//
+// Nested components are handled by first *condensing*: every involved
+// index is expanded to the full d-tree containing it, each multi-node
+// tree is flattened into one flat component (one alternative per valid
+// digit assignment, in expansion order), and only then does the flat
+// product run. Every merge-based route (Assert, Query, Materialize, DML
+// rewrites over uncertain expressions, spanning world groups) is thereby
+// tree-correct without further changes.
 func (d *WSD) mergeComponents(idx []int) (*Component, error) {
 	if len(idx) == 0 {
 		return nil, nil
+	}
+	idx, err := d.condenseTrees(idx)
+	if err != nil {
+		return nil, err
 	}
 	if len(idx) == 1 {
 		return d.comps[idx[0]], nil
@@ -85,9 +97,139 @@ func (d *WSD) mergeComponents(idx []int) (*Component, error) {
 	for i := len(idx) - 1; i >= 0; i-- {
 		d.comps = append(d.comps[:idx[i]], d.comps[idx[i]+1:]...)
 	}
-	out := &Component{ID: d.nextID, Alts: merged}
+	out := &Component{ID: d.nextID, Alts: merged, Parent: -1}
 	d.nextID++
 	d.comps = append(d.comps, out)
+	return out, nil
+}
+
+// condenseTrees prepares component indexes for a flat product: indexes
+// are expanded to the full d-trees containing them, every multi-node tree
+// is condensed into one flat component, and the surviving (now flat)
+// indexes are returned. Flat decompositions pass through untouched.
+func (d *WSD) condenseTrees(idx []int) ([]int, error) {
+	if d.nested == 0 {
+		return idx, nil
+	}
+	closure := d.rootClosure(idx)
+	byID := d.compIndexByID()
+	rootID := func(ci int) int {
+		for d.comps[ci].Parent >= 0 {
+			ci = byID[d.comps[ci].Parent]
+		}
+		return d.comps[ci].ID
+	}
+	// Group the closure by root, keeping member IDs (indexes go stale as
+	// trees condense; IDs of untouched components do not).
+	trees := map[int][]int{}
+	var order []int
+	for _, ci := range closure {
+		r := rootID(ci)
+		if _, ok := trees[r]; !ok {
+			order = append(order, r)
+		}
+		trees[r] = append(trees[r], d.comps[ci].ID)
+	}
+	resultIDs := make([]int, 0, len(order))
+	for _, r := range order {
+		ids := trees[r]
+		if len(ids) == 1 {
+			resultIDs = append(resultIDs, ids[0])
+			continue
+		}
+		c, err := d.condense(ids)
+		if err != nil {
+			return nil, err
+		}
+		resultIDs = append(resultIDs, c.ID)
+	}
+	byID = d.compIndexByID()
+	out := make([]int, len(resultIDs))
+	for i, id := range resultIDs {
+		out[i] = byID[id]
+	}
+	return out, nil
+}
+
+// condense flattens one complete d-tree (given by its member component
+// IDs) into a single flat component: one alternative per valid digit
+// assignment of the tree, enumerated in expansion order, with the
+// assignment's path probability and the union of the active alternatives'
+// contributions in component list order. Bounded by MergeLimit; counts as
+// a merge (it restructures the decomposition). The world-set represented
+// is unchanged.
+func (d *WSD) condense(ids []int) (*Component, error) {
+	byID := d.compIndexByID()
+	idxs := make([]int, len(ids))
+	for i, id := range ids {
+		idxs[i] = byID[id]
+	}
+	sort.Ints(idxs)
+	member := make(map[int]int, len(idxs)) // comp ID → position in idxs
+	for pos, ci := range idxs {
+		member[d.comps[ci].ID] = pos
+	}
+
+	digits := make([]int, len(idxs))
+	var alts []Alternative
+	var build func(pos int, prob float64) error
+	build = func(pos int, prob float64) error {
+		if pos == len(idxs) {
+			if len(alts) >= d.MergeLimit {
+				return fmt.Errorf("%w: conditional tree of %d components exceeds %d alternatives", ErrMergeTooBig, len(idxs), d.MergeLimit)
+			}
+			if err := d.interrupted(); err != nil {
+				return err
+			}
+			na := Alternative{Prob: oneIfWeighted(d.Weighted), Tuples: map[string][]tuple.Tuple{}}
+			if d.Weighted {
+				na.Prob = prob
+			}
+			for p, ci := range idxs {
+				if digits[p] < 0 {
+					continue
+				}
+				for name, ts := range d.comps[ci].Alts[digits[p]].Tuples {
+					na.Tuples[name] = append(na.Tuples[name], ts...)
+				}
+			}
+			alts = append(alts, na)
+			return nil
+		}
+		c := d.comps[idxs[pos]]
+		active := c.Parent < 0
+		if !active {
+			pp, ok := member[c.Parent]
+			active = ok && digits[pp] == c.ParentAlt
+		}
+		if !active {
+			digits[pos] = -1
+			return build(pos+1, prob)
+		}
+		for a := range c.Alts {
+			digits[pos] = a
+			p := prob
+			if d.Weighted {
+				p *= c.Alts[a].Prob
+			}
+			if err := build(pos+1, p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := build(0, 1); err != nil {
+		return nil, err
+	}
+
+	d.merges.Add(1)
+	for i := len(idxs) - 1; i >= 0; i-- {
+		d.comps = append(d.comps[:idxs[i]], d.comps[idxs[i]+1:]...)
+	}
+	out := &Component{ID: d.nextID, Alts: alts, Parent: -1}
+	d.nextID++
+	d.comps = append(d.comps, out)
+	d.recountNested()
 	return out, nil
 }
 

@@ -19,11 +19,12 @@ func confSchema() *schema.Schema { return schema.New("conf") }
 // per key group with one alternative per candidate tuple — linear
 // representation size for Π(group sizes) worlds. An uncertain src (one
 // that varies across worlds) is handled by component splitting
-// (split.go): each feeding component is refined in place, its
-// alternatives spawning their conditional key-group repairs, with merges
-// bounded to components that contribute candidates under a common key —
-// Σ-alternatives work and MergeCount unchanged when the feeding
-// components' keys do not cross.
+// (split.go): each key group becomes its own component, nested as a
+// child under each feeding alternative when the group's candidates are
+// conditional on a feeding component, with merges bounded to components
+// that contribute candidates under a common key — Σ-alternatives work
+// and MergeCount unchanged when the feeding components' keys do not
+// cross, and representation size linear in the candidate tuples.
 //
 // weight names a positive numeric column used for in-group probabilities
 // (w(t)/Σ_group w, Example 2.4); empty means uniform. Weights require a
@@ -82,7 +83,7 @@ func (d *WSD) RepairByKey(src, dst string, keyCols []string, weight string) erro
 		return err
 	}
 	for _, alts := range pending {
-		d.comps = append(d.comps, &Component{ID: d.nextID, Alts: alts})
+		d.comps = append(d.comps, &Component{ID: d.nextID, Alts: alts, Parent: -1})
 		d.nextID++
 	}
 	return nil
@@ -93,9 +94,9 @@ func (d *WSD) RepairByKey(src, dst string, keyCols []string, weight string) erro
 // with one alternative per distinct value (Examples 2.6–2.7). An
 // uncertain src is handled by component splitting (split.go): the
 // partition choice couples everything feeding the source, so the feeding
-// components merge into one (no merge for at most one feeder), which is
-// refined — each alternative spawning one derived alternative per
-// partition of its instance.
+// components merge into one (no merge for at most one feeder), and each
+// of its alternatives gains one nested child component holding the
+// partitions of that alternative's instance.
 func (d *WSD) ChoiceOf(src, dst string, attrs []string, weight string) error {
 	sch, err := d.Schema(src)
 	if err != nil {
@@ -235,9 +236,119 @@ func (d *WSD) contributions(name string, t tuple.Tuple) map[int]float64 {
 	return out
 }
 
+// childAltIndex returns, per parent component ID, the child component
+// indexes grouped by the conditioning alternative (ascending within each
+// group, since components are scanned in list order).
+func (d *WSD) childAltIndex() map[int]map[int][]int {
+	out := map[int]map[int][]int{}
+	for ci, c := range d.comps {
+		if c.Parent < 0 {
+			continue
+		}
+		m := out[c.Parent]
+		if m == nil {
+			m = map[int][]int{}
+			out[c.Parent] = m
+		}
+		m[c.ParentAlt] = append(m[c.ParentAlt], ci)
+	}
+	return out
+}
+
+// treeTupleProb returns the probability that the subtree rooted at
+// component index ci contributes the tuple (by encoded key tkey) to
+// relation k, given the root is active: per alternative a, the tuple is
+// present if contributed by a directly, else if some child conditioned on
+// a contributes it — children are independent given a, so the miss
+// probabilities multiply. Unweighted decompositions count alternatives
+// uniformly, preserving the "1.0 means always" reading.
+func (d *WSD) treeTupleProb(children map[int]map[int][]int, ci int, k, tkey string) float64 {
+	c := d.comps[ci]
+	p := 0.0
+	var buf []byte
+	for ai := range c.Alts {
+		a := &c.Alts[ai]
+		pa := 1 / float64(len(c.Alts))
+		if d.Weighted {
+			pa = a.Prob
+		}
+		in := false
+		for _, u := range a.Tuples[k] {
+			buf = u.Encode(buf[:0])
+			if string(buf) == tkey {
+				in = true
+				break
+			}
+		}
+		if in {
+			p += pa
+			continue
+		}
+		miss := 1.0
+		for _, chi := range children[c.ID][ai] {
+			miss *= 1 - d.treeTupleProb(children, chi, k, tkey)
+		}
+		p += pa * (1 - miss)
+	}
+	return p
+}
+
+// treeAlways reports whether the subtree rooted at component index ci
+// contributes the tuple in every assignment of the subtree (given the
+// root is active): every alternative either contributes it directly or
+// has a child, conditioned on it, that always does (an OR of independent
+// events is always-true iff one of them is — pick a missing assignment
+// per child otherwise).
+func (d *WSD) treeAlways(children map[int]map[int][]int, ci int, k, tkey string) bool {
+	c := d.comps[ci]
+	var buf []byte
+	for ai := range c.Alts {
+		in := false
+		for _, u := range c.Alts[ai].Tuples[k] {
+			buf = u.Encode(buf[:0])
+			if string(buf) == tkey {
+				in = true
+				break
+			}
+		}
+		if in {
+			continue
+		}
+		ok := false
+		for _, chi := range children[c.ID][ai] {
+			if d.treeAlways(children, chi, k, tkey) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rootIndexes returns, per component index, the index of its tree's root
+// (itself for top-level components). Single pass: a parent always
+// precedes its children in the component list.
+func (d *WSD) rootIndexes() []int {
+	byID := d.compIndexByID()
+	rootOf := make([]int, len(d.comps))
+	for ci, c := range d.comps {
+		if c.Parent < 0 {
+			rootOf[ci] = ci
+		} else {
+			rootOf[ci] = rootOf[byID[c.Parent]]
+		}
+	}
+	return rootOf
+}
+
 // Conf returns the exact confidence of tuple t in relation name:
-// 1 for certain tuples, else 1 − Π_c (1 − p_c(t)) by component
-// independence. No world enumeration is performed. Weighted WSDs only.
+// 1 for certain tuples, else 1 − Π_c (1 − p_c(t)) over the independent
+// top-level components, where p_c is the recursive subtree contribution
+// probability (a plain per-component alternative sum on a flat
+// decomposition). No world enumeration is performed. Weighted WSDs only.
 func (d *WSD) Conf(name string, t tuple.Tuple) (float64, error) {
 	if !d.Weighted {
 		return 0, ErrNotWeighted
@@ -248,6 +359,18 @@ func (d *WSD) Conf(name string, t tuple.Tuple) (float64, error) {
 	}
 	if cert, ok := d.certain[k]; ok && cert.Contains(t) {
 		return 1, nil
+	}
+	if d.nested > 0 {
+		children := d.childAltIndex()
+		tkey := t.Key()
+		miss := 1.0
+		for ci, c := range d.comps {
+			if c.Parent >= 0 {
+				continue
+			}
+			miss *= 1 - d.treeTupleProb(children, ci, k, tkey)
+		}
+		return 1 - miss, nil
 	}
 	miss := 1.0
 	for _, p := range d.contributions(name, t) {
@@ -294,6 +417,37 @@ func (d *WSD) Certain(name string) (*relation.Relation, error) {
 	out := relation.New(sch)
 	if cert, ok := d.certain[k]; ok {
 		out.Tuples = append(out.Tuples, cert.Tuples...)
+	}
+	if d.nested > 0 {
+		// Tree fold: a tuple is certain iff some top-level component's
+		// subtree contributes it in every assignment (independence makes
+		// that the exact criterion, as in the flat per-component count).
+		children := d.childAltIndex()
+		rootOf := d.rootIndexes()
+		for ri, rc := range d.comps {
+			if rc.Parent >= 0 {
+				continue
+			}
+			seen := map[string]bool{}
+			for ci, c := range d.comps {
+				if rootOf[ci] != ri {
+					continue
+				}
+				for _, a := range c.Alts {
+					for _, t := range a.Tuples[k] {
+						tk := t.Key()
+						if seen[tk] {
+							continue
+						}
+						seen[tk] = true
+						if d.treeAlways(children, ri, k, tk) {
+							out.Tuples = append(out.Tuples, t)
+						}
+					}
+				}
+			}
+		}
+		return out.Distinct(), nil
 	}
 	perComp, _ := exec.Map(d.Workers, len(d.comps), func(ci int) ([]tuple.Tuple, error) {
 		c := d.comps[ci]
@@ -354,6 +508,39 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 			rep[tk] = t
 			order = append(order, tk)
 		}
+	}
+	if d.nested > 0 {
+		// Tree fold: the same first-appearance scan over the component
+		// list for ordering, with each tuple's confidence folded over the
+		// independent top-level subtrees.
+		children := d.childAltIndex()
+		for _, c := range d.comps {
+			for _, a := range c.Alts {
+				for _, t := range a.Tuples[k] {
+					tk := t.Key()
+					if _, known := rep[tk]; !known {
+						rep[tk] = t
+						order = append(order, tk)
+					}
+				}
+			}
+		}
+		out := relation.New(sch.Concat(confSchema()))
+		for _, tk := range order {
+			conf := 1.0
+			if !certKeys[tk] {
+				missP := 1.0
+				for ci, c := range d.comps {
+					if c.Parent >= 0 {
+						continue
+					}
+					missP *= 1 - d.treeTupleProb(children, ci, k, tk)
+				}
+				conf = 1 - missP
+			}
+			out.Tuples = append(out.Tuples, append(rep[tk].Clone(), value.Float(conf)))
+		}
+		return out, nil
 	}
 	// Per-component contribution probabilities are independent; compute
 	// them on the worker pool and fold the independence product

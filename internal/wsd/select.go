@@ -19,6 +19,7 @@ import (
 	"maybms/internal/plan"
 	"maybms/internal/relation"
 	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
 	"maybms/internal/worldset"
 )
 
@@ -93,8 +94,9 @@ func StripClosure(st *sqlparse.SelectStmt) (*sqlparse.SelectStmt, Closure, error
 // statement, plus merge/approx cardinality telemetry. Exposed on /metrics.
 var (
 	routeSingle = obs.Default().Counter(`maybms_route_total{route="single"}`,
-		"Statements by routing decision (single = world-independent, componentwise = merge-free, merge = bounded partial expansion, approx_mc = Monte-Carlo CONF, refused = ErrPerWorld).")
+		"Statements by routing decision (single = world-independent, componentwise = merge-free, conditional = d-tree fold or conditional relation, merge = bounded partial expansion, approx_mc = Monte-Carlo CONF, refused = ErrPerWorld).")
 	routeComponentwise = obs.Default().Counter(`maybms_route_total{route="componentwise"}`, "")
+	routeConditional   = obs.Default().Counter(`maybms_route_total{route="conditional"}`, "")
 	routeMerge         = obs.Default().Counter(`maybms_route_total{route="merge"}`, "")
 	routeApproxMC      = obs.Default().Counter(`maybms_route_total{route="approx_mc"}`, "")
 	routeRefused       = obs.Default().Counter(`maybms_route_total{route="refused"}`, "")
@@ -347,7 +349,7 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 			if len(results) > 1 {
 				routeRefused.Inc()
 				d.Trace.Set("route", "refused")
-				return nil, ErrPerWorld
+				return nil, d.perWorldError(core)
 			}
 			return results[0], nil
 		}
@@ -355,28 +357,88 @@ func (d *WSD) SelectClosure(core *sqlparse.SelectStmt, cl Closure) (*relation.Re
 		// (singleton key groups, or asserts narrowed the choices away) the
 		// answer is world-independent after all: evaluate that one world
 		// directly — the classic path merged first and then noticed it had
-		// one alternative. Otherwise refuse, before merging anything.
-		sel := make(map[int]int, len(an.Comps))
-		for _, ci := range an.Comps {
-			if len(d.comps[ci].Alts) != 1 {
-				routeRefused.Inc()
-				d.Trace.Set("route", "refused")
-				return nil, ErrPerWorld
+		// one alternative. With tree structure a singleton component's
+		// *activity* still varies, so that shortcut only applies to flat
+		// involvement.
+		if !d.treeInvolved(an.Comps) {
+			allSingleton := true
+			for _, ci := range an.Comps {
+				if len(d.comps[ci].Alts) != 1 {
+					allSingleton = false
+					break
+				}
 			}
-			sel[ci] = 0
+			if allSingleton {
+				sel := make(map[int]int, len(an.Comps))
+				for _, ci := range an.Comps {
+					sel[ci] = 0
+				}
+				routeSingle.Inc()
+				d.Trace.Set("route", "single")
+				sp := d.Trace.Begin("eval")
+				defer sp.End(d.Trace)
+				return ev.rel(newPartsCatalog(d, sel))
+			}
 		}
-		routeSingle.Inc()
-		d.Trace.Set("route", "single")
-		sp := d.Trace.Begin("eval")
-		defer sp.End(d.Trace)
-		return ev.rel(newPartsCatalog(d, sel))
+		// A concat-structured plan's per-world answers are compactly
+		// representable: answer as a conditional relation (trailing `cond`
+		// column; see conditionalRelation) instead of refusing.
+		if an.Concat {
+			routeConditional.Inc()
+			d.Trace.Set("route", "conditional")
+			sp := d.Trace.Begin("conditional")
+			sp.Set("components", len(an.Comps))
+			sp.Set("conditional_splits", d.nestedAmong(d.rootClosure(an.Comps)))
+			res, err := d.conditionalRelation(an.Comps, ev.batch)
+			sp.End(d.Trace)
+			if err == nil {
+				d.conditional.Add(1)
+				return res, nil
+			}
+			if !errors.Is(err, errNotConcat) {
+				return nil, err
+			}
+			// Structural analysis promised a certain-prefixed answer but the
+			// evaluation disagreed; refuse rather than answer wrongly.
+		}
+		routeRefused.Inc()
+		d.Trace.Set("route", "refused")
+		return nil, d.perWorldError(core)
 	}
 
 	// The merge-free fast path: closures from per-alternative part
 	// evaluations. A single component is handled by the same code — there
 	// the classic path would not have merged either, but the parts path
-	// also skips the (noop) restructuring.
+	// also skips the (noop) restructuring. Tree-involved components take
+	// the conditional fold (conditional.go) — the same Σ-sizes shape with
+	// activity-aware weighting; flat decompositions never reach it.
 	if an.Decomposable && !d.DisableComponentwise {
+		if d.treeInvolved(an.Comps) {
+			routeConditional.Inc()
+			d.Trace.Set("route", "conditional")
+			sp := d.Trace.Begin("conditional")
+			sp.Set("components", len(an.Comps))
+			sp.Set("conditional_splits", d.nestedAmong(d.rootClosure(an.Comps)))
+			cp, err := d.queryConditional(an.Comps, ev.batch)
+			sp.End(d.Trace)
+			if err != nil {
+				return nil, err
+			}
+			d.conditional.Add(1)
+			csp := d.Trace.Begin("closure")
+			defer csp.End(d.Trace)
+			if cl == ClosurePossible {
+				return cp.possible()
+			}
+			ix, err := cp.keySets()
+			if err != nil {
+				return nil, err
+			}
+			if cl == ClosureCertain {
+				return cp.certain(ix)
+			}
+			return cp.conf(ix)
+		}
 		routeComponentwise.Inc()
 		d.Trace.Set("route", "componentwise")
 		sp := d.Trace.Begin("componentwise")
@@ -468,6 +530,204 @@ func (d *WSD) CreateTableAs(dst string, core *sqlparse.SelectStmt) error {
 		// evaluation disagreed; fall back to the merge path for safety.
 	}
 	return d.materializeMerged(dst, an.Comps, ev.rel)
+}
+
+// RepairByKeyQuery creates dst as the repair of a plain-SQL source query
+// — REPAIR BY KEY over a filtered or projected source. The source is
+// materialized transiently (componentwise when its plan decomposes, so an
+// uncertain source's contributions ride the feeding alternatives) and the
+// usual split applies: each feeding alternative nests its conditional
+// key-group repairs as child components. The transient source is removed
+// afterwards; only dst remains.
+//
+// The naive engine splits the FROM/WHERE rows and projects per world
+// afterwards, so the key and weight may name source columns outside the
+// select list (`select A, B, C from R repair by key A weight D`). A plain
+// projection commutes with the split, so materializing project-then-split
+// gives the same worlds — any key/weight column missing from the select
+// list is carried through the transient materialization and stripped from
+// dst after the split.
+func (d *WSD) RepairByKeyQuery(core *sqlparse.SelectStmt, dst string, key []string, weight string) error {
+	need := append(append([]string{}, key...), weight)
+	tmp, extra, err := d.materializeSource(core, dst, need)
+	if err != nil {
+		return err
+	}
+	err = d.RepairByKey(tmp, dst, key, weight)
+	d.dropDerived(tmp)
+	if err == nil && extra > 0 {
+		d.projectOutTrailing(dst, extra)
+	}
+	return err
+}
+
+// ChoiceOfQuery creates dst as the choice-of partitioning of a plain-SQL
+// source query; see RepairByKeyQuery for the materialization scheme.
+func (d *WSD) ChoiceOfQuery(core *sqlparse.SelectStmt, dst string, attrs []string, weight string) error {
+	need := append(append([]string{}, attrs...), weight)
+	tmp, extra, err := d.materializeSource(core, dst, need)
+	if err != nil {
+		return err
+	}
+	err = d.ChoiceOf(tmp, dst, attrs, weight)
+	d.dropDerived(tmp)
+	if err == nil && extra > 0 {
+		d.projectOutTrailing(dst, extra)
+	}
+	return err
+}
+
+// SplitSourceBlocker names the construct that stops a repair/choice query
+// source from commuting with the split, or "" when the source is
+// split-safe. The split applies to the source *rows* (the naive engine
+// splits the FROM/WHERE intermediate and evaluates the rest per world), so
+// a row-wise projection can be materialized first with identical worlds —
+// but constructs that look across rows cannot, and are refused rather than
+// silently answered with different worlds than the naive engine.
+func SplitSourceBlocker(core *sqlparse.SelectStmt) string {
+	switch {
+	case core.Distinct:
+		return "DISTINCT"
+	case len(core.GroupBy) > 0:
+		return "GROUP BY"
+	case core.Having != nil:
+		return "HAVING"
+	case core.Union != nil:
+		return "UNION"
+	case len(core.OrderBy) > 0:
+		return "ORDER BY"
+	case core.Limit >= 0:
+		return "LIMIT"
+	}
+	for _, it := range core.Items {
+		if exprAggregates(it.Expr) {
+			return "aggregates"
+		}
+	}
+	return ""
+}
+
+// exprAggregates reports whether e applies an aggregate to the statement's
+// own rows. Subqueries don't count: their aggregates close over their own
+// FROM, so the enclosing item stays row-wise.
+func exprAggregates(e sqlparse.Expr) bool {
+	switch n := e.(type) {
+	case sqlparse.FuncCall:
+		return true // the dialect's only functions are the aggregates
+	case sqlparse.BinaryExpr:
+		return exprAggregates(n.L) || exprAggregates(n.R)
+	case sqlparse.UnaryExpr:
+		return exprAggregates(n.E)
+	case sqlparse.IsNullExpr:
+		return exprAggregates(n.E)
+	}
+	return false
+}
+
+// materializeSource stores a split statement's query source under a
+// transient name derived from dst, after verifying dst itself is free and
+// that the source commutes with the split. Columns in need that the select
+// list doesn't expose are appended to the materialized projection; the
+// returned count tells the caller how many trailing columns to strip from
+// the split result.
+func (d *WSD) materializeSource(core *sqlparse.SelectStmt, dst string, need []string) (string, int, error) {
+	if c := SplitSourceBlocker(core); c != "" {
+		return "", 0, fmt.Errorf("repair/choice over a query source using %s: the split applies to the source rows, so the source must be a row-wise projection (materialize it first with CREATE TABLE AS)", c)
+	}
+	if _, ok := d.schemas[key(dst)]; ok {
+		return "", 0, fmt.Errorf("%w: %s", ErrExists, dst)
+	}
+	tmp := "__src__" + dst
+	if _, ok := d.schemas[key(tmp)]; ok {
+		return "", 0, fmt.Errorf("%w: %s", ErrExists, tmp)
+	}
+	q, extra := extendProjection(core, need)
+	if err := d.CreateTableAs(tmp, q); err != nil {
+		return "", 0, err
+	}
+	return tmp, extra, nil
+}
+
+// extendProjection returns core with every column of need missing from its
+// select list appended as a trailing item, plus the number appended. A
+// star item exposes the source columns already, so nothing is appended.
+func extendProjection(core *sqlparse.SelectStmt, need []string) (*sqlparse.SelectStmt, int) {
+	outs := map[string]bool{}
+	for _, it := range core.Items {
+		if _, ok := it.Expr.(sqlparse.Star); ok {
+			return core, 0
+		}
+		switch {
+		case it.Alias != "":
+			outs[strings.ToLower(it.Alias)] = true
+		default:
+			if cr, ok := it.Expr.(sqlparse.ColumnRef); ok {
+				outs[strings.ToLower(cr.Name)] = true
+			}
+		}
+	}
+	q := *core
+	q.Items = append([]sqlparse.SelectItem{}, core.Items...)
+	extra := 0
+	for _, col := range need {
+		if col == "" || outs[strings.ToLower(col)] {
+			continue
+		}
+		outs[strings.ToLower(col)] = true
+		q.Items = append(q.Items, sqlparse.SelectItem{Expr: sqlparse.ColumnRef{Name: col}})
+		extra++
+	}
+	return &q, extra
+}
+
+// projectOutTrailing drops relation name's last n columns everywhere it is
+// stored — schema, certain part, every alternative's contribution. Used to
+// strip the key/weight columns a split carried through the transient
+// source beyond the statement's own select list.
+func (d *WSD) projectOutTrailing(name string, n int) {
+	k := key(name)
+	sch := d.schemas[k]
+	keep := make([]int, sch.Len()-n)
+	for i := range keep {
+		keep[i] = i
+	}
+	d.schemas[k] = sch.Project(keep)
+	if r, ok := d.certain[k]; ok {
+		pr := relation.New(d.schemas[k])
+		for _, t := range r.Tuples {
+			pr.MustAppend(t.Project(keep))
+		}
+		d.certain[k] = pr
+	}
+	for _, c := range d.comps {
+		for i := range c.Alts {
+			ts, ok := c.Alts[i].Tuples[k]
+			if !ok {
+				continue
+			}
+			out := make([]tuple.Tuple, len(ts))
+			for j, t := range ts {
+				out[j] = t.Project(keep)
+			}
+			c.Alts[i].Tuples[k] = out
+		}
+	}
+}
+
+// dropDerived removes a relation — certain part, schema, and every
+// component contribution — without restructuring components. Safe only
+// when the remaining components' worlds are still meaningful without it
+// (the transient sources of the *Query split forms: their feeders carry
+// their own relations, and the split's children carry dst).
+func (d *WSD) dropDerived(name string) {
+	k := key(name)
+	delete(d.certain, k)
+	for _, c := range d.comps {
+		for i := range c.Alts {
+			delete(c.Alts[i].Tuples, k)
+		}
+	}
+	d.unregister(name)
 }
 
 // CreateTableAsClosure materializes `SELECT <closure core> [GROUP WORLDS

@@ -8,37 +8,46 @@ package wsd
 // instance in world (a1,…,ak) is the certain part plus the selected
 // alternatives' contributions, so a key group's candidate set — and hence
 // the repair's choice within the group — is *conditional* on the
-// components feeding that key. Components are therefore refinable: a
-// component feeding the source is replaced in place by a refined component
-// whose alternatives expand each original alternative a into the repairs
-// of a's conditional key groups (certain candidates under a's keys plus
-// a's contributions), with probability P(a)·P(repair | a) and a's
-// contributions to every other relation carried along. The refined
-// component occupies the original's slot, so component indexes — and with
-// them the planner's component-touch analysis — stay valid, and by
-// construction
+// components feeding that key. The split therefore grows the
+// decomposition tree: each key group becomes its own component whose
+// alternatives are the group's candidates, and a group whose candidates
+// depend on a feeding component C spawns one *child* component per
+// alternative a of C — nested under (C, a) via Component.Parent/ParentAlt
+// and active exactly in the worlds selecting a. Existing components are
+// left untouched (the world-set of every existing relation is preserved
+// bit for bit), the representation stays linear in the number of
+// candidate tuples (no per-alternative product of key groups, hence no
+// MergeLimit bound), and the new components are appended after all
+// existing ones so their digits vary fastest: the expansion reproduces
+// the naive chain's interleaved child-world order after
+// repair-of-uncertain exactly — order, probabilities and all.
 //
-//	Σ_r P(a)·P(r|a) = P(a),
-//
-// the refinement preserves the represented world-set of every existing
-// relation exactly while extending each world with its repairs of the new
-// relation. The work is Σ-alternatives (each alternative enumerates only
-// its own key groups' products, all bounded by MergeLimit), and no
-// component merge happens unless two components contribute candidates
-// under a common key — exactly the coupling case, certified by
-// plan.AnalyzeSplit, in which the crossing components (and only those)
-// merge first. Key groups fed by the certain part alone spawn ordinary
-// independent components (singleton groups go straight to the result's
-// certain part), as in the certain-source repair.
+// Component creation order mirrors the naive engine's per-world group
+// first-appearance order (certain prefix first, then the active
+// alternatives' contributions in component list order): first the key
+// groups anchored in the certain part, in certain-part first-appearance
+// order — a group fed by no component becomes one top-level component
+// (singleton groups included: a one-alternative component keeps the
+// tuple at its naive position instead of shortcutting to dst's certain
+// part), a group also fed by component C becomes |Alts(C)| children, one
+// per (C, a), each repairing the certain candidates followed by a's
+// contributions under the group key; then the contribution-only groups,
+// feeders in component list order, alternatives ascending, groups in the
+// alternative's contribution first-appearance order. No component merge
+// happens unless two components contribute candidates under a common key
+// — exactly the coupling case, certified by plan.AnalyzeSplit, in which
+// the crossing components (and only those) merge first.
 //
 // CHOICE OF picks one partition of the whole instance, a single choice
 // coupling everything that feeds the source: all feeding components merge
-// into one (no merge when the source is fed by at most one), which is then
-// refined — each alternative spawning one derived alternative per
-// partition of its instance.
+// into one (no merge when the source is fed by at most one), and each
+// alternative a of the merged feeder gets one child component whose
+// alternatives are the partitions of a's instance (certain part
+// included) — the naive interleaved order, exactly, for a single feeder.
 //
 // This makes the decomposition closed under its own repair/choice
-// operations (chained repairs, repairs of choices, …) in the spirit of
+// operations (chained repairs, repairs of choices, repairs over filtered
+// and projected sources through CTAS intermediates, …) in the spirit of
 // making compact representations closed under the query language
 // (Grahne's conditional-tables-in-practice line; the paper's Section 2
 // statements compose freely on the naive engine).
@@ -59,16 +68,51 @@ type splitPiece struct {
 	prob   float64
 }
 
+// pendingComp is one component of a split, staged before any mutation so
+// a weight error leaves the decomposition untouched.
+type pendingComp struct {
+	alts      []Alternative
+	parentID  int // -1 for a top-level component
+	parentAlt int
+}
+
+// repairGroupComp builds the alternatives of one key-group component:
+// one alternative per candidate tuple, weight-proportional (or uniform)
+// probabilities.
+func (d *WSD) repairGroupComp(dk string, tuples []tuple.Tuple, weightIdx int) ([]Alternative, error) {
+	probs, err := repairGroupProbs(tuples, weightIdx, d.Weighted)
+	if err != nil {
+		return nil, err
+	}
+	alts := make([]Alternative, len(tuples))
+	for i, t := range tuples {
+		alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{dk: {t}}}
+		if d.Weighted {
+			alts[i].Prob = probs[i]
+		}
+	}
+	return alts, nil
+}
+
 // repairUncertain implements REPAIR BY KEY over a source fed by
 // components (possibly on top of a certain part). See the package comment
 // above for the construction. The decomposition is mutated only by
 // world-set-preserving component merges until every input is validated;
-// the refinement and the new components apply atomically afterwards.
+// the new components and the dst registration apply atomically afterwards.
 func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) error {
 	k := key(src)
 	sch := d.schemas[k]
 	if _, ok := d.schemas[key(dst)]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, dst)
+	}
+
+	var certTuples []tuple.Tuple
+	if cert, ok := d.certain[k]; ok {
+		certTuples = cert.Tuples
+	}
+	certKeySet := map[string]bool{}
+	for _, t := range certTuples {
+		certKeySet[t.KeyOn(keyIdx)] = true
 	}
 
 	// Merge the components whose candidate keys cross — and only those.
@@ -95,104 +139,116 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 			touches = append(touches, plan.KeyTouch{Comp: ci, Keys: keys})
 		}
 		an := plan.AnalyzeSplit(touches)
-		if an.NoMerge {
-			break
+		if !an.NoMerge {
+			if _, err := d.mergeComponents(an.MergeGroups[0]); err != nil {
+				return err
+			}
+			continue
 		}
-		if _, err := d.mergeComponents(an.MergeGroups[0]); err != nil {
-			return err
+		// A *nested* feeder owning a certain-anchored key cannot nest that
+		// group's choice under its alternatives alone: in worlds where the
+		// feeder is inactive the certain candidates still demand a repair.
+		// Condense the offending trees to flat components first (exactness
+		// of the interleaved order is already forfeited to a restructuring
+		// here, as on the crossing-merge path).
+		if d.nested > 0 && len(certKeySet) > 0 {
+			var bad []int
+			for i, tch := range touches {
+				if d.comps[comps[i]].Parent < 0 {
+					continue
+				}
+				for _, kv := range tch.Keys {
+					if certKeySet[kv] {
+						bad = append(bad, comps[i])
+						break
+					}
+				}
+			}
+			if len(bad) > 0 {
+				if _, err := d.condenseTrees(bad); err != nil {
+					return err
+				}
+				continue
+			}
 		}
+		break
 	}
 
-	// ownedBy[i] is the key set component comps[i] feeds; owned their
-	// union — both straight from the certified analysis round.
-	owned := map[string]bool{} // key value → fed by some component
-	ownedBy := make([]map[string]bool, len(comps))
+	// After the loop every key value is fed by at most one component:
+	// owner[kv] is the feeder's position in comps.
+	owner := map[string]int{}
 	for i, tch := range touches {
-		set := make(map[string]bool, len(tch.Keys))
 		for _, kv := range tch.Keys {
-			set[kv] = true
-			owned[kv] = true
-		}
-		ownedBy[i] = set
-	}
-	var certTuples []tuple.Tuple
-	var certKeys []string
-	if cert, ok := d.certain[k]; ok {
-		certTuples = cert.Tuples
-		certKeys = make([]string, len(certTuples))
-		for i, t := range certTuples {
-			certKeys[i] = t.KeyOn(keyIdx)
+			owner[kv] = i
 		}
 	}
-
-	// Key groups fed by the certain part alone: independent choices, like
-	// repairing a certain relation. A singleton group's candidate is in
-	// every repair — it goes to dst's certain part; multi-candidate groups
-	// become fresh components (appended after the refined ones).
 	dk := key(dst)
+	var pending []pendingComp
+
+	// (a) Key groups anchored in the certain part, in certain-part
+	// first-appearance order. An unowned group is an independent top-level
+	// choice; a group owned by feeder C nests one child per alternative of
+	// C, repairing the certain candidates followed by that alternative's
+	// contributions under the group key.
 	certRel := relation.New(sch)
 	certRel.Tuples = certTuples
-	order, groups := certRel.GroupBy(keyIdx)
-	var dstCert []tuple.Tuple
-	var appended [][]Alternative
-	for _, gk := range order {
-		if owned[gk] {
+	certOrder, certGroups := certRel.GroupBy(keyIdx)
+	certAnchored := map[string]bool{}
+	for _, gk := range certOrder {
+		certAnchored[gk] = true
+		certTs := certGroups[gk]
+		fi, isOwned := owner[gk]
+		if !isOwned {
+			alts, err := d.repairGroupComp(dk, certTs, weightIdx)
+			if err != nil {
+				return err
+			}
+			pending = append(pending, pendingComp{alts: alts, parentID: -1})
 			continue
 		}
-		tuples := groups[gk]
-		if len(tuples) == 1 {
-			dstCert = append(dstCert, tuples[0])
-			continue
-		}
-		probs, err := repairGroupProbs(tuples, weightIdx, d.Weighted)
-		if err != nil {
-			return err
-		}
-		alts := make([]Alternative, len(tuples))
-		for i, t := range tuples {
-			alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{dk: {t}}}
-			if d.Weighted {
-				alts[i].Prob = probs[i]
-			}
-		}
-		appended = append(appended, alts)
-	}
-
-	// Refine each feeding component in place: every alternative spawns the
-	// repairs of its conditional key groups — the certain candidates under
-	// the component's keys plus the alternative's own contributions, in
-	// instance order (certain prefix first).
-	refined := make(map[int][]Alternative, len(comps))
-	for i, ci := range comps {
-		var certSub []tuple.Tuple
-		for j, t := range certTuples {
-			if ownedBy[i][certKeys[j]] {
-				certSub = append(certSub, t)
-			}
-		}
-		var alts []Alternative
-		for _, a := range d.comps[ci].Alts {
+		fc := d.comps[comps[fi]]
+		for ai := range fc.Alts {
 			if err := d.interrupted(); err != nil {
 				return err
 			}
-			inst := relation.New(sch)
-			inst.Tuples = append(append([]tuple.Tuple{}, certSub...), a.Tuples[k]...)
-			pieces, err := enumRepairs(inst, keyIdx, weightIdx, d.Weighted, d.MergeLimit-len(alts))
-			if err != nil {
-				return fmt.Errorf("repair of %s: %w", src, err)
+			inst := append([]tuple.Tuple(nil), certTs...)
+			for _, t := range fc.Alts[ai].Tuples[k] {
+				if t.KeyOn(keyIdx) == gk {
+					inst = append(inst, t)
+				}
 			}
-			for _, p := range pieces {
-				na := Alternative{Prob: a.Prob, Tuples: shareTuplesMap(a.Tuples)}
-				if d.Weighted {
-					na.Prob = a.Prob * p.prob
+			alts, err := d.repairGroupComp(dk, inst, weightIdx)
+			if err != nil {
+				return err
+			}
+			pending = append(pending, pendingComp{alts: alts, parentID: fc.ID, parentAlt: ai})
+		}
+	}
+
+	// (b) Contribution-only groups: feeders in component list order,
+	// alternatives ascending, groups in the alternative's contribution
+	// first-appearance order. Each non-empty (feeder, alternative, group)
+	// triple becomes one child component.
+	for _, ci := range comps {
+		fc := d.comps[ci]
+		for ai, a := range fc.Alts {
+			if err := d.interrupted(); err != nil {
+				return err
+			}
+			contrib := relation.New(sch)
+			contrib.Tuples = a.Tuples[k]
+			gOrder, gGroups := contrib.GroupBy(keyIdx)
+			for _, gk := range gOrder {
+				if certAnchored[gk] {
+					continue // handled in (a), certain-prefix position
 				}
-				if len(p.tuples) > 0 {
-					na.Tuples[dk] = p.tuples
+				alts, err := d.repairGroupComp(dk, gGroups[gk], weightIdx)
+				if err != nil {
+					return err
 				}
-				alts = append(alts, na)
+				pending = append(pending, pendingComp{alts: alts, parentID: fc.ID, parentAlt: ai})
 			}
 		}
-		refined[ci] = alts
 	}
 
 	// Apply atomically: nothing above mutated the decomposition beyond
@@ -200,18 +256,21 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 	if err := d.registerUncertain(dst, sch); err != nil {
 		return err
 	}
-	if len(dstCert) > 0 {
-		cert := relation.New(d.schemas[dk])
-		cert.Tuples = dstCert
-		d.certain[dk] = cert
+	nested := false
+	for _, pc := range pending {
+		var err error
+		if pc.parentID >= 0 {
+			nested = true
+			_, err = d.addChildComponent(pc.alts, pc.parentID, pc.parentAlt)
+		} else {
+			_, err = d.addComponent(pc.alts)
+		}
+		if err != nil {
+			return err
+		}
 	}
-	for _, ci := range comps {
-		d.comps[ci] = &Component{ID: d.nextID, Alts: refined[ci]}
-		d.nextID++
-	}
-	for _, alts := range appended {
-		d.comps = append(d.comps, &Component{ID: d.nextID, Alts: alts})
-		d.nextID++
+	if nested {
+		d.conditional.Add(1)
 	}
 	return nil
 }
@@ -219,27 +278,43 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 // choiceUncertain implements CHOICE OF over a source fed by components:
 // the choice picks one partition of the whole per-world instance, a
 // single decision coupling every feeding component, so those merge into
-// one (no merge for a single feeder) and the merged component is refined
-// — each alternative spawning one derived alternative per partition of
-// its instance (certain part included).
+// one (no merge for a single feeder), and each alternative of the merged
+// feeder gets one child component whose alternatives are the partitions
+// of that alternative's instance (certain part included).
 func (d *WSD) choiceUncertain(src, dst string, attrIdx []int, weightIdx int) error {
 	k := key(src)
 	sch := d.schemas[k]
 	if _, ok := d.schemas[key(dst)]; ok {
 		return fmt.Errorf("%w: %s", ErrExists, dst)
 	}
-	if _, err := d.mergeComponents(d.involvedComponents([]string{src})); err != nil {
-		return err
-	}
 	comps := d.involvedComponents([]string{src})
-	ci := comps[0]
+	if len(comps) > 1 {
+		// Multiple feeders: the choice couples them, so they merge (trees
+		// condense first — see condenseTrees). A single top-level feeder —
+		// even one carrying children — is left untouched; the choice nests
+		// under it.
+		if _, err := d.mergeComponents(comps); err != nil {
+			return err
+		}
+		comps = d.involvedComponents([]string{src})
+	} else if d.comps[comps[0]].Parent >= 0 {
+		// A *nested* single feeder is inactive in some worlds; there the
+		// source instance shrinks to its certain part (possibly empty — a
+		// naive error), which children of the feeder alone cannot express.
+		// Condense its tree to a flat component first.
+		if _, err := d.condenseTrees(comps); err != nil {
+			return err
+		}
+		comps = d.involvedComponents([]string{src})
+	}
+	fc := d.comps[comps[0]]
 	var certTuples []tuple.Tuple
 	if cert, ok := d.certain[k]; ok {
 		certTuples = cert.Tuples
 	}
 	dk := key(dst)
-	var alts []Alternative
-	for _, a := range d.comps[ci].Alts {
+	var pending []pendingComp
+	for ai, a := range fc.Alts {
 		if err := d.interrupted(); err != nil {
 			return err
 		}
@@ -249,30 +324,31 @@ func (d *WSD) choiceUncertain(src, dst string, attrIdx []int, weightIdx int) err
 		if err != nil {
 			return fmt.Errorf("choice over %s: %w", src, err)
 		}
-		if len(alts)+len(pieces) > d.MergeLimit {
-			return fmt.Errorf("%w: splitting for choice over %s exceeds %d alternatives", ErrMergeTooBig, src, d.MergeLimit)
-		}
-		for _, p := range pieces {
-			na := Alternative{Prob: a.Prob, Tuples: shareTuplesMap(a.Tuples)}
+		alts := make([]Alternative, len(pieces))
+		for i, p := range pieces {
+			alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{dk: p.tuples}}
 			if d.Weighted {
-				na.Prob = a.Prob * p.prob
+				alts[i].Prob = p.prob
 			}
-			na.Tuples[dk] = p.tuples
-			alts = append(alts, na)
 		}
+		pending = append(pending, pendingComp{alts: alts, parentID: fc.ID, parentAlt: ai})
 	}
 	if err := d.registerUncertain(dst, sch); err != nil {
 		return err
 	}
-	d.comps[ci] = &Component{ID: d.nextID, Alts: alts}
-	d.nextID++
+	for _, pc := range pending {
+		if _, err := d.addChildComponent(pc.alts, pc.parentID, pc.parentAlt); err != nil {
+			return err
+		}
+	}
+	d.conditional.Add(1)
 	return nil
 }
 
 // shareTuplesMap copies an alternative's contribution map, sharing the
-// tuple slices: refinement never mutates contributions in place (and
-// neither does any other engine pass — rewrites replace slices), so the
-// derived alternatives of one parent can share its storage.
+// tuple slices: splits never mutate contributions in place (and neither
+// does any other engine pass — rewrites replace slices), so derived
+// alternatives can share a parent's storage.
 func shareTuplesMap(m map[string][]tuple.Tuple) map[string][]tuple.Tuple {
 	out := make(map[string][]tuple.Tuple, len(m)+1)
 	for name, ts := range m {
@@ -308,56 +384,6 @@ func repairGroupProbs(tuples []tuple.Tuple, weightIdx int, weighted bool) ([]flo
 		probs[i] = w / sum
 	}
 	return probs, nil
-}
-
-// enumRepairs enumerates the repairs of one instance under the key
-// columns: every way of choosing exactly one tuple per key group, groups
-// in first-appearance order with the last group varying fastest — the
-// naive engine's repair odometer (core's world split). limit bounds the
-// number of repairs.
-func enumRepairs(rel *relation.Relation, keyIdx []int, weightIdx int, weighted bool, limit int) ([]splitPiece, error) {
-	order, groups := rel.GroupBy(keyIdx)
-	if len(order) == 0 {
-		// The only repair of an empty instance is the empty relation.
-		return []splitPiece{{prob: oneIfWeighted(weighted)}}, nil
-	}
-	total := 1
-	groupProbs := make([][]float64, len(order))
-	for gi, gk := range order {
-		tuples := groups[gk]
-		if limit < 1 || total > limit/len(tuples) {
-			return nil, fmt.Errorf("%w: key groups multiply beyond %d repairs per component", ErrMergeTooBig, limit)
-		}
-		total *= len(tuples)
-		probs, err := repairGroupProbs(tuples, weightIdx, weighted)
-		if err != nil {
-			return nil, err
-		}
-		groupProbs[gi] = probs
-	}
-	choice := make([]int, len(order))
-	out := make([]splitPiece, 0, total)
-	for {
-		p := splitPiece{prob: oneIfWeighted(weighted), tuples: make([]tuple.Tuple, 0, len(order))}
-		for gi, gk := range order {
-			p.tuples = append(p.tuples, groups[gk][choice[gi]])
-			if weighted {
-				p.prob *= groupProbs[gi][choice[gi]]
-			}
-		}
-		out = append(out, p)
-		i := len(choice) - 1
-		for ; i >= 0; i-- {
-			choice[i]++
-			if choice[i] < len(groups[order[i]]) {
-				break
-			}
-			choice[i] = 0
-		}
-		if i < 0 {
-			return out, nil
-		}
-	}
 }
 
 // enumChoices partitions one instance by the attribute columns: one piece

@@ -24,8 +24,8 @@ func mustSelect(t *testing.T, sql string) *sqlparse.SelectStmt {
 
 // TestRepairOfChoiceSplitsComponent: a choice component contributes
 // several tuples per alternative, so repairing it by key spawns real
-// conditional key-group choices inside the refined component — with no
-// merge and the world multiset identical to the naive engine's.
+// conditional key-group choices nested under the choice's alternatives —
+// with no merge and the world multiset identical to the naive engine's.
 func TestRepairOfChoiceSplitsComponent(t *testing.T) {
 	base := relation.New(schema.New("K", "V", "W"))
 	// Partition attribute K: k=0 → {(0,0),(0,1)}, k=1 → {(1,0),(1,1),(1,2)}.
@@ -62,8 +62,17 @@ func TestRepairOfChoiceSplitsComponent(t *testing.T) {
 	if d.MergeCount() != 0 {
 		t.Errorf("repair of a single choice component merged %d times", d.MergeCount())
 	}
-	if d.ComponentCount() != 1 {
-		t.Errorf("components = %d, want 1 refined in place", d.ComponentCount())
+	// The choice component plus one child per (alternative, key group):
+	// k=0 world has W groups {1},{2}; k=1 world has {1,1},{2} — 4 children.
+	if d.ComponentCount() != 5 {
+		t.Errorf("components = %d, want 5 (choice + 4 conditional children)", d.ComponentCount())
+	}
+	if d.ConditionalCount() == 0 {
+		t.Error("nested repair did not count as conditional")
+	}
+	// Worlds: k=0 world repairs 1 way, k=1 world 2 ways.
+	if got := d.WorldCount().String(); got != "3" {
+		t.Errorf("world count = %s, want 3", got)
 	}
 	if err := d.CheckInvariant(); err != nil {
 		t.Fatal(err)
@@ -74,8 +83,8 @@ func TestRepairOfChoiceSplitsComponent(t *testing.T) {
 }
 
 // TestChainedRepairRefinesInPlace: repairing a repaired relation by a
-// refining key splits each key-group component in place — zero merges,
-// component count preserved, equivalence via expansion.
+// refining key nests one child per (feeder alternative, key group) —
+// zero merges, equivalence via expansion.
 func TestChainedRepairRefinesInPlace(t *testing.T) {
 	base := relation.New(schema.New("K", "V", "W"))
 	for k := 0; k < 3; k++ {
@@ -107,8 +116,13 @@ func TestChainedRepairRefinesInPlace(t *testing.T) {
 	if d.MergeCount() != 0 {
 		t.Errorf("chained repair merged %d times", d.MergeCount())
 	}
-	if d.ComponentCount() != 3 {
-		t.Errorf("components = %d, want 3 refined in place", d.ComponentCount())
+	// 3 repair components, each with one child per alternative (the K
+	// groups are singletons inside each alternative).
+	if d.ComponentCount() != 9 {
+		t.Errorf("components = %d, want 9 (3 repairs + 6 conditional children)", d.ComponentCount())
+	}
+	if got := d.WorldCount().String(); got != "8" {
+		t.Errorf("world count = %s, want 8", got)
 	}
 	if err := d.CheckInvariant(); err != nil {
 		t.Fatal(err)
@@ -156,8 +170,12 @@ func TestRepairUncertainCrossKeyMerges(t *testing.T) {
 	if d.MergeCount() != 1 {
 		t.Errorf("cross-key repair merged %d times, want exactly 1", d.MergeCount())
 	}
-	if d.ComponentCount() != 2 {
-		t.Errorf("components = %d, want 2 (merged pair + untouched singleton)", d.ComponentCount())
+	// The merged pair (4 alternatives) nests 7 children — alternative
+	// (7,7) has one two-candidate V group, the other three have two
+	// singleton groups each — and the untouched K=2 component nests one
+	// child per alternative.
+	if d.ComponentCount() != 11 {
+		t.Errorf("components = %d, want 11 (merged pair + singleton + 9 children)", d.ComponentCount())
 	}
 	if err := d.CheckInvariant(); err != nil {
 		t.Fatal(err)
@@ -331,14 +349,15 @@ func TestRepairUncertainBeyondExpansion(t *testing.T) {
 }
 
 // TestRepairUncertainMergeLimit: a conditional split whose key groups
-// multiply beyond MergeLimit is refused with ErrMergeTooBig, leaving the
-// new relation unregistered.
+// multiply far beyond MergeLimit still succeeds — the children are a
+// linear representation, so no expansion bounds the split — and closures
+// answer by the conditional tree fold without merging.
 func TestRepairUncertainMergeLimit(t *testing.T) {
 	d := New(true)
 	d.MergeLimit = 8
 	base := relation.New(schema.New("K", "V", "W"))
 	// One choice alternative contributes 4 key groups of 2 candidates:
-	// 2^4 = 16 repairs > 8.
+	// 2^4 = 16 repairs > MergeLimit, held as 4 nested children.
 	for v := 0; v < 4; v++ {
 		base.MustAppend(row(0, v, 1))
 		base.MustAppend(row(0, v, 2))
@@ -350,11 +369,30 @@ func TestRepairUncertainMergeLimit(t *testing.T) {
 	if err := d.ChoiceOf("C", "P", []string{"K"}, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.RepairByKey("P", "Q", []string{"V"}, ""); !errors.Is(err, ErrMergeTooBig) {
-		t.Fatalf("oversized split = %v, want ErrMergeTooBig", err)
+	if err := d.RepairByKey("P", "Q", []string{"V"}, ""); err != nil {
+		t.Fatalf("conditional split beyond MergeLimit = %v, want success", err)
 	}
-	if _, err := d.Schema("Q"); !errors.Is(err, ErrUnknown) {
-		t.Errorf("failed split left Q registered: %v", err)
+	if d.MergeCount() != 0 {
+		t.Errorf("conditional split merged %d times", d.MergeCount())
+	}
+	if got := d.WorldCount().String(); got != "17" {
+		t.Errorf("world count = %s, want 17 (16 + 1)", got)
+	}
+	rel, err := d.SelectClosure(mustSelect(t, "select K, V, W from Q"), ClosureConf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MergeCount() != 0 {
+		t.Errorf("conf over the conditional split merged %d times", d.MergeCount())
+	}
+	for _, tp := range rel.Tuples {
+		want := 0.25 // P(K=0)=1/2 times the group's 1/2
+		if tp[0].AsFloat() == 1 {
+			want = 0.5 // the K=1 world's single candidate
+		}
+		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-want) > 1e-9 {
+			t.Fatalf("conf(%s) = %v, want %v", tp[:len(tp)-1].Key(), c, want)
+		}
 	}
 	if err := d.CheckInvariant(); err != nil {
 		t.Fatal(err)

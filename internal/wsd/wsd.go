@@ -15,11 +15,17 @@
 // repair-by-key on a certain relation produces one component per key group
 // (linear size, exponentially many worlds); choice-of produces a single
 // component. Both also accept *uncertain* sources (split.go): components
-// are first-class refinable objects, so a repair of a repaired or chosen
-// relation splits each feeding component in place — every alternative
-// spawns its conditional key-group repairs, Σ-alternatives work, and
-// components merge only when two of them contribute candidates under a
-// common key (certified by the planner's split analysis). The
+// are first-class refinable objects arranged in a *decomposition tree*
+// (a d-tree): a component may hang under a specific alternative of a
+// parent component (Component.Parent/ParentAlt) and is active only in the
+// worlds selecting that alternative — the factorized analogue of
+// c-tables' per-tuple conditions. A repair of a repaired or chosen
+// relation nests each alternative's conditional key-group repairs as
+// child components under that alternative — Σ-alternatives size, exact
+// naive world order — and components merge only when two of them
+// contribute candidates under a common key (certified by the planner's
+// split analysis). A flat product is the degenerate one-level tree, and
+// every flat code path is taken unchanged when no nesting exists. The
 // decomposition is thereby closed under its own repair/choice statements.
 // Confidence, possible and certain are computed exactly without
 // enumeration using component independence:
@@ -103,10 +109,22 @@ type Alternative struct {
 	Tuples map[string][]tuple.Tuple // lower-case relation name → tuples
 }
 
-// Component is an independent finite choice among alternatives.
+// Component is a finite choice among alternatives. A top-level component
+// (Parent < 0) is independent; a *conditional* component hangs under one
+// alternative of a parent component and exists only in the worlds where
+// the parent selects that alternative. Its alternative probabilities are
+// conditional on the parent path (they sum to 1 like any component's).
+// The component list keeps parents before their children, so one forward
+// pass resolves activity.
 type Component struct {
 	ID   int
 	Alts []Alternative
+	// Parent is the ID of the parent component, or -1 for a top-level
+	// component.
+	Parent int
+	// ParentAlt is the index of the parent alternative this component is
+	// conditioned on (meaningful only when Parent >= 0).
+	ParentAlt int
 }
 
 // relations returns the lower-case relation names the component touches.
@@ -168,6 +186,11 @@ type WSD struct {
 	// re-columnarize stored state. See batchclosure.go.
 	contrib sync.Map
 
+	// nested counts the components with a parent edge (Parent >= 0): zero
+	// means the decomposition is a flat product and every flat fast path
+	// applies unchanged.
+	nested int
+
 	// merges counts component merges that actually restructured the
 	// decomposition (≥ 2 components multiplied into one): the observability
 	// hook for "this query ran with no partial expansion".
@@ -175,6 +198,10 @@ type WSD struct {
 	// componentwise counts statements answered by the merge-free
 	// componentwise path.
 	componentwise atomic.Uint64
+	// conditional counts uses of the conditional (d-tree) machinery:
+	// statements answered through a conditional route plus splits that
+	// created nested components.
+	conditional atomic.Uint64
 	// planHits/planMisses attribute shared-plan-cache lookups to this
 	// decomposition (the cache itself is process-global; see SessionInfo).
 	planHits   atomic.Uint64
@@ -291,6 +318,11 @@ func (d *WSD) MergeCount() uint64 { return d.merges.Load() }
 // merge-free componentwise path.
 func (d *WSD) ComponentwiseCount() uint64 { return d.componentwise.Load() }
 
+// ConditionalCount returns the number of uses of the conditional (d-tree)
+// machinery: statements answered through a conditional route plus
+// repair/choice splits that created nested components.
+func (d *WSD) ConditionalCount() uint64 { return d.conditional.Load() }
+
 // PlanCacheCounts returns this decomposition's shared-plan-cache lookup
 // attribution: templates found valid in the process-wide cache vs. compiled
 // fresh on its behalf.
@@ -315,16 +347,46 @@ func (d *WSD) AlternativeCount() int {
 	return n
 }
 
-// WorldCount returns the exact number of represented worlds: the product
-// of the component sizes (1 for a purely certain database). A product
-// tree keeps the big.Int arithmetic near-linear even for millions of
-// components.
+// WorldCount returns the exact number of represented worlds (1 for a
+// purely certain database). For a flat product this is the product of the
+// component sizes, computed with a product tree that keeps the big.Int
+// arithmetic near-linear even for millions of components. With nested
+// components the count is the tree fold
+//
+//	worlds(c) = Σ_a Π_{ch ∈ children(c,a)} worlds(ch)
+//
+// over each root, multiplied across roots.
 func (d *WSD) WorldCount() *big.Int {
-	sizes := make([]int64, len(d.comps))
-	for i, c := range d.comps {
-		sizes[i] = int64(len(c.Alts))
+	if d.nested == 0 {
+		sizes := make([]int64, len(d.comps))
+		for i, c := range d.comps {
+			sizes[i] = int64(len(c.Alts))
+		}
+		return productTree(sizes)
 	}
-	return productTree(sizes)
+	children := d.childrenIndex()
+	var worldsOf func(ci int) *big.Int
+	worldsOf = func(ci int) *big.Int {
+		c := d.comps[ci]
+		total := big.NewInt(0)
+		for a := range c.Alts {
+			alt := big.NewInt(1)
+			for _, ch := range children[c.ID] {
+				if d.comps[ch].ParentAlt == a {
+					alt.Mul(alt, worldsOf(ch))
+				}
+			}
+			total.Add(total, alt)
+		}
+		return total
+	}
+	out := big.NewInt(1)
+	for ci, c := range d.comps {
+		if c.Parent < 0 {
+			out.Mul(out, worldsOf(ci))
+		}
+	}
+	return out
 }
 
 func productTree(sizes []int64) *big.Int {
@@ -339,6 +401,112 @@ func productTree(sizes []int64) *big.Int {
 	l := productTree(sizes[:mid])
 	r := productTree(sizes[mid:])
 	return l.Mul(l, r)
+}
+
+// compIndexByID maps component IDs to indexes in the component list.
+func (d *WSD) compIndexByID() map[int]int {
+	idx := make(map[int]int, len(d.comps))
+	for i, c := range d.comps {
+		idx[c.ID] = i
+	}
+	return idx
+}
+
+// childrenIndex maps a parent component ID to the (ascending) indexes of
+// its child components.
+func (d *WSD) childrenIndex() map[int][]int {
+	out := map[int][]int{}
+	for i, c := range d.comps {
+		if c.Parent >= 0 {
+			out[c.Parent] = append(out[c.Parent], i)
+		}
+	}
+	return out
+}
+
+// rootClosure expands a set of component indexes to the full d-trees
+// containing them: every ancestor up to the root and every descendant.
+// The result is sorted ascending. For a flat decomposition it returns the
+// input set (sorted, deduped).
+func (d *WSD) rootClosure(idxs []int) []int {
+	if len(idxs) == 0 {
+		return nil
+	}
+	if d.nested == 0 {
+		out := append([]int(nil), idxs...)
+		sort.Ints(out)
+		w := 0
+		for i, v := range out {
+			if i == 0 || v != out[w-1] {
+				out[w] = v
+				w++
+			}
+		}
+		return out[:w]
+	}
+	byID := d.compIndexByID()
+	children := d.childrenIndex()
+	roots := map[int]bool{}
+	for _, ci := range idxs {
+		for d.comps[ci].Parent >= 0 {
+			ci = byID[d.comps[ci].Parent]
+		}
+		roots[ci] = true
+	}
+	in := map[int]bool{}
+	var addTree func(ci int)
+	addTree = func(ci int) {
+		if in[ci] {
+			return
+		}
+		in[ci] = true
+		for _, ch := range children[d.comps[ci].ID] {
+			addTree(ch)
+		}
+	}
+	for r := range roots {
+		addTree(r)
+	}
+	out := make([]int, 0, len(in))
+	for ci := range in {
+		out = append(out, ci)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// treeInvolved reports whether any of the components is part of a
+// non-trivial d-tree (has a parent or children). O(1) false on flat
+// decompositions.
+func (d *WSD) treeInvolved(idxs []int) bool {
+	if d.nested == 0 {
+		return false
+	}
+	want := map[int]bool{}
+	for _, ci := range idxs {
+		if d.comps[ci].Parent >= 0 {
+			return true
+		}
+		want[d.comps[ci].ID] = true
+	}
+	for _, c := range d.comps {
+		if c.Parent >= 0 && want[c.Parent] {
+			return true
+		}
+	}
+	return false
+}
+
+// recountNested recomputes the nested-component count after a structural
+// rewrite (merge splices).
+func (d *WSD) recountNested() {
+	n := 0
+	for _, c := range d.comps {
+		if c.Parent >= 0 {
+			n++
+		}
+	}
+	d.nested = n
 }
 
 // isCertain reports whether name is a certain relation (no component
@@ -373,9 +541,22 @@ func (d *WSD) addComponent(alts []Alternative) (*Component, error) {
 			return nil, fmt.Errorf("alternative probabilities sum to %g, want 1", total)
 		}
 	}
-	c := &Component{ID: d.nextID, Alts: alts}
+	c := &Component{ID: d.nextID, Alts: alts, Parent: -1}
 	d.nextID++
 	d.comps = append(d.comps, c)
+	return c, nil
+}
+
+// addChildComponent appends a conditional component nested under the
+// given alternative of the parent component. Alternative probabilities
+// are conditional on the parent path and validated like any component's.
+func (d *WSD) addChildComponent(alts []Alternative, parentID, parentAlt int) (*Component, error) {
+	c, err := d.addComponent(alts)
+	if err != nil {
+		return nil, err
+	}
+	c.Parent, c.ParentAlt = parentID, parentAlt
+	d.nested++
 	return c, nil
 }
 
@@ -391,9 +572,31 @@ func (d *WSD) registerUncertain(name string, sch *schema.Schema) error {
 }
 
 // CheckInvariant validates the decomposition: component probabilities sum
-// to 1 (weighted), schemas exist for every contributed relation, and tuple
-// widths match.
+// to 1 (weighted), schemas exist for every contributed relation, tuple
+// widths match, and the d-tree structure is well-formed (parents precede
+// their children in the component list, parent alternatives exist, and
+// the nested count is in sync).
 func (d *WSD) CheckInvariant() error {
+	byID := d.compIndexByID()
+	nested := 0
+	for ci, c := range d.comps {
+		if c.Parent >= 0 {
+			nested++
+			pi, ok := byID[c.Parent]
+			if !ok {
+				return fmt.Errorf("component %d has unknown parent %d", c.ID, c.Parent)
+			}
+			if pi >= ci {
+				return fmt.Errorf("component %d precedes its parent %d in the component list", c.ID, c.Parent)
+			}
+			if c.ParentAlt < 0 || c.ParentAlt >= len(d.comps[pi].Alts) {
+				return fmt.Errorf("component %d conditioned on missing alternative %d of component %d", c.ID, c.ParentAlt, c.Parent)
+			}
+		}
+	}
+	if nested != d.nested {
+		return fmt.Errorf("nested component count %d out of sync (counted %d)", d.nested, nested)
+	}
 	for _, c := range d.comps {
 		if len(c.Alts) == 0 {
 			return fmt.Errorf("component %d has no alternatives", c.ID)

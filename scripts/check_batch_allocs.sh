@@ -16,12 +16,22 @@
 # ~2.5-3k allocs/op (one interned key string per distinct answer tuple plus
 # columnar assembly); an accidental per-(tuple,part) allocation (16384
 # rows/op) blows well past the ~2x ceilings.
+#
+# The conditional-path gate covers the d-tree routes over a nested
+# decomposition representing 2^18 worlds (18 repair components, one
+# conditional child under every alternative): the conditional relation
+# (cond column) and the tree-fold CONF closure must stay linear in the
+# representation — steady state ~1.4k / ~2.9k allocs/op — so anything
+# scaling with the world count (or even quadratic in the components)
+# trips the ~2x ceilings immediately.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="$(go test ./internal/algebra/ -bench '^(BenchmarkBatchScan|BenchmarkBatchFilter|BenchmarkHashJoinBatch)$' \
     -benchmem -benchtime 50x -run '^$' | tee /dev/stderr)
 $(go test . -bench '^(BenchmarkBatchClosurePossible|BenchmarkBatchClosureConf|BenchmarkBatchClosureGroupWorlds)$' \
+    -benchmem -benchtime 20x -run '^$' | tee /dev/stderr)
+$(go test . -bench 'BenchmarkConditional(Select|Conf)/nested/groups=18' \
     -benchmem -benchtime 20x -run '^$' | tee /dev/stderr)"
 
 fail=0
@@ -43,6 +53,8 @@ check BenchmarkHashJoinBatch 400
 check BenchmarkBatchClosurePossible 5000
 check BenchmarkBatchClosureConf 5500
 check BenchmarkBatchClosureGroupWorlds 6000
+check 'BenchmarkConditionalSelect/nested/groups=18/worlds=2\^18' 3000
+check 'BenchmarkConditionalConf/nested/groups=18/worlds=2\^18' 6000
 
 if [ "$fail" -ne 0 ]; then
     echo "check_batch_allocs: vectorized path regressed (or benchmarks renamed)" >&2
