@@ -14,6 +14,9 @@
 //	\count    print the number of worlds
 //	\stats    print engine counters and shared-plan-cache statistics
 //	\explain <stmt>  shorthand for EXPLAIN <stmt> (routing + plan tree)
+//	\import <table> <file.csv> [options]  shorthand for IMPORT INTO
+//	         <table> FROM '<file.csv>' [options] (bulk CSV load; options
+//	         as in the statement: NULLS AS CHOICE, REPAIR KEY (…) WEIGHT w)
 //	\trace on|off    print each statement's span trace after its result
 //	\help     list commands
 //	\quit     exit
@@ -93,6 +96,8 @@ const helpText = `I-SQL statements end with ';'. Meta commands:
   \count   print the number of worlds
   \stats   print engine counters and shared-plan-cache statistics
   \explain <stmt>  shorthand for EXPLAIN <stmt> (routing + plan tree)
+  \import <table> <file.csv> [options]  bulk CSV load (IMPORT INTO shorthand;
+           options: NULLS AS CHOICE, REPAIR KEY (cols) WEIGHT w)
   \trace on|off    print each statement's span trace after its result
   \quit    exit`
 
@@ -220,6 +225,21 @@ func repl(eng engine, in io.Reader, out io.Writer) {
 					fmt.Fprintln(out, "error:", err)
 				} else {
 					fmt.Fprint(out, res)
+				}
+			case "\\import":
+				if len(fields) < 3 {
+					fmt.Fprintln(out, "usage: \\import <table> <file.csv> [NULLS AS CHOICE] [REPAIR KEY (cols) [WEIGHT w]]")
+				} else {
+					path := strings.ReplaceAll(fields[2], "'", "''")
+					stmt := fmt.Sprintf("IMPORT INTO %s FROM '%s'", fields[1], path)
+					if rest := strings.Join(fields[3:], " "); rest != "" {
+						stmt += " " + strings.TrimSuffix(rest, ";")
+					}
+					if res, err := eng.exec(stmt); err != nil {
+						fmt.Fprintln(out, "error:", err)
+					} else {
+						fmt.Fprint(out, res)
+					}
 				}
 			case "\\trace":
 				switch {

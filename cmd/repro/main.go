@@ -87,8 +87,8 @@ func figure1And2() {
 	if _, err := db.ExecScript(figure1SQL); err != nil {
 		panic(err)
 	}
-	r := db.MustExec("select count(*) from R").First().Tuples[0][0].AsInt()
-	s := db.MustExec("select count(*) from S").First().Tuples[0][0].AsInt()
+	r := db.MustExec("select count(*) from R").First().Rows()[0][0].AsInt()
+	s := db.MustExec("select count(*) from S").First().Rows()[0][0].AsInt()
 	record("Fig.1", "complete DB loads", "R:5, S:3 rows",
 		fmt.Sprintf("R:%d, S:%d rows", r, s), r == 5 && s == 3)
 
@@ -193,7 +193,7 @@ func examples() {
 	db = figure2DB()
 	rel := db.MustExec("select possible sum(B) from I").First()
 	got := []int{}
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		got = append(got, int(tp[0].AsInt()))
 	}
 	sort.Ints(got)
@@ -207,7 +207,7 @@ func examples() {
 	}
 	rel = db.MustExec("select certain E from S choice of C").First()
 	record("Ex.2.9", "select certain E … choice of C", "{e1}",
-		fmt.Sprintf("%v", rel.Tuples), rel.Len() == 1 && rel.Tuples[0][0].AsStr() == "e1")
+		fmt.Sprintf("%v", rel.Rows()), rel.Len() == 1 && rel.Rows()[0][0].AsStr() == "e1")
 
 	// Ex 2.10: conf. With Figure 2's data, sum(B) < 50 holds in worlds A
 	// and B: 1/9 + 1/3 = 4/9. (The paper prints 0.53 = P(A)+P(D) while
@@ -215,11 +215,11 @@ func examples() {
 	// the condition selecting exactly worlds A and D.)
 	db = figure2DB()
 	rel = db.MustExec("select conf from I where 50 > (select sum(B) from I)").First()
-	gotConf := rel.Tuples[0][0].AsFloat()
+	gotConf := rel.Rows()[0][0].AsFloat()
 	record("Ex.2.10a", "conf(sum(B)<50), Figure-2 data", "0.44 (worlds A,B; paper prints 0.53 — see EXPERIMENTS.md)",
 		fmt.Sprintf("%.4f", gotConf), approx(gotConf, 4.0/9))
 	rel = db.MustExec("select conf from I where (select sum(B) from I) = 44 or (select sum(B) from I) = 55").First()
-	gotConf = rel.Tuples[0][0].AsFloat()
+	gotConf = rel.Rows()[0][0].AsFloat()
 	record("Ex.2.10b", "conf over worlds {A,D} (the paper's 0.53)", "0.53",
 		fmt.Sprintf("%.4f", gotConf), approx(gotConf, 19.0/36))
 }
@@ -251,7 +251,7 @@ func whales() {
 
 	rel := db.MustExec("select possible 'yes' from I where Id=1 and Pos='b'").First()
 	record("§3.1 Q", "possible orca-attacks-calf", "{(yes)}",
-		fmt.Sprintf("%v", rel.Tuples), rel.Len() == 1 && rel.Tuples[0][0].AsStr() == "yes")
+		fmt.Sprintf("%v", rel.Rows()), rel.Len() == 1 && rel.Rows()[0][0].AsStr() == "yes")
 
 	db.MustExec(`create view Valid as select * from I assert exists
 		(select * from I where Gender='cow' and Pos='b')`)
@@ -318,7 +318,7 @@ func cleaning() {
 	}
 	rel := db.MustExec("select count(*) from S").First()
 	record("Fig.5", "swap-closure S", "4 rows",
-		fmt.Sprintf("%d rows", rel.Tuples[0][0].AsInt()), rel.Tuples[0][0].AsInt() == 4)
+		fmt.Sprintf("%d rows", rel.Rows()[0][0].AsInt()), rel.Rows()[0][0].AsInt() == 4)
 
 	db.MustExec(`create table T as select "SSN'", "TEL'" from S repair by key SSN, TEL`)
 	record("Fig.6", "possible readings T", "4 worlds",

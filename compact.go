@@ -70,7 +70,7 @@ func (db *CompactDB) Insert(name string, rows [][]any) error {
 	if err != nil {
 		return err
 	}
-	return db.w.InsertCertain(name, rel.Tuples)
+	return db.w.InsertCertain(name, rel.Rows())
 }
 
 // Exec runs one I-SQL statement against the compact database, with the

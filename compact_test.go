@@ -99,8 +99,8 @@ func TestCompactUpdateDeleteAndGroups(t *testing.T) {
 		if got.Len() != want.Len() {
 			t.Fatalf("group %d rows: %d vs %d", gi, got.Len(), want.Len())
 		}
-		for i := range got.Tuples {
-			g, w := got.Tuples[i], want.Tuples[i]
+		for i := range got.Rows() {
+			g, w := got.Rows()[i], want.Rows()[i]
 			if g[:len(g)-1].Key() != w[:len(w)-1].Key() {
 				t.Errorf("group %d row %d: %v vs %v", gi, i, g, w)
 			}
@@ -260,7 +260,7 @@ func TestCompactSelectComponentwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		want := 0.5
 		if tp[0].String() == "k3" {
 			want = 1
@@ -326,8 +326,8 @@ func TestCompactMaterializeQueryAnalyzed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rel.Len() != 1 || rel.Tuples[0][0].String() != "k2" {
-		t.Errorf("certain Big = %v", rel.Tuples)
+	if rel.Len() != 1 || rel.Rows()[0][0].String() != "k2" {
+		t.Errorf("certain Big = %v", rel.Rows())
 	}
 }
 
@@ -383,9 +383,9 @@ func TestCompactApproxConf(t *testing.T) {
 	if exact.Len() != approx.Len() {
 		t.Fatalf("rows: exact %d, approx %d", exact.Len(), approx.Len())
 	}
-	for i := range exact.Tuples {
-		if exact.Tuples[i].Key() != approx.Tuples[i].Key() {
-			t.Errorf("row %d: approx %v, exact %v", i, approx.Tuples[i], exact.Tuples[i])
+	for i := range exact.Rows() {
+		if exact.Rows()[i].Key() != approx.Rows()[i].Key() {
+			t.Errorf("row %d: approx %v, exact %v", i, approx.Rows()[i], exact.Rows()[i])
 		}
 	}
 
@@ -410,7 +410,7 @@ func TestCompactApproxConf(t *testing.T) {
 	if got, got2 := est.Schema.At(n-2).Name, est.Schema.At(n-1).Name; got != "conf" || got2 != "cerr" {
 		t.Fatalf("trailing columns = %q, %q, want conf, cerr", got, got2)
 	}
-	for _, tp := range est.Tuples {
+	for _, tp := range est.Rows() {
 		want := 0.5
 		if tp[0].String() == "k3" {
 			want = 1
@@ -427,9 +427,9 @@ func TestCompactApproxConf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range est.Tuples {
-		if est.Tuples[i].Key() != again.Tuples[i].Key() {
-			t.Errorf("row %d not deterministic: %v vs %v", i, est.Tuples[i], again.Tuples[i])
+	for i := range est.Rows() {
+		if est.Rows()[i].Key() != again.Rows()[i].Key() {
+			t.Errorf("row %d not deterministic: %v vs %v", i, est.Rows()[i], again.Rows()[i])
 		}
 	}
 }

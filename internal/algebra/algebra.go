@@ -60,9 +60,9 @@ func Collect(op Operator, outer *expr.Context) (*relation.Relation, error) {
 			}
 			out, err := collectBatches(b, outer)
 			if out != nil {
-				collectRows.Add(uint64(len(out.Tuples)))
+				collectRows.Add(uint64(out.Len()))
 				if stats != nil {
-					stats.Rows.Add(uint64(len(out.Tuples)))
+					stats.Rows.Add(uint64(out.Len()))
 				}
 			}
 			return out, err
@@ -76,20 +76,20 @@ func Collect(op Operator, outer *expr.Context) (*relation.Relation, error) {
 		return nil, err
 	}
 	defer op.Close()
-	out := relation.New(op.Schema())
+	var rows []tuple.Tuple
 	for {
 		t, ok, err := op.Next()
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
-			collectRows.Add(uint64(len(out.Tuples)))
+			collectRows.Add(uint64(len(rows)))
 			if stats != nil {
-				stats.Rows.Add(uint64(len(out.Tuples)))
+				stats.Rows.Add(uint64(len(rows)))
 			}
-			return out, nil
+			return relation.FromRowsShared(op.Schema(), rows), nil
 		}
-		out.Tuples = append(out.Tuples, t)
+		rows = append(rows, t)
 	}
 }
 
@@ -177,9 +177,10 @@ func (p *poller) poll() error {
 
 // Scan iterates a materialized relation.
 type Scan struct {
-	Rel *relation.Relation
-	pos int
-	ip  poller
+	Rel  *relation.Relation
+	rows []tuple.Tuple
+	pos  int
+	ip   poller
 }
 
 // NewScan creates a scan over rel.
@@ -190,6 +191,7 @@ func (s *Scan) Schema() *schema.Schema { return s.Rel.Schema }
 
 // Open implements Operator.
 func (s *Scan) Open(outer *expr.Context) error {
+	s.rows = s.Rel.Rows()
 	s.pos = 0
 	s.ip.init(outer)
 	return nil
@@ -200,10 +202,10 @@ func (s *Scan) Next() (tuple.Tuple, bool, error) {
 	if err := s.ip.poll(); err != nil {
 		return nil, false, err
 	}
-	if s.pos >= len(s.Rel.Tuples) {
+	if s.pos >= len(s.rows) {
 		return nil, false, nil
 	}
-	t := s.Rel.Tuples[s.pos]
+	t := s.rows[s.pos]
 	s.pos++
 	return t, true, nil
 }
@@ -297,6 +299,7 @@ type CrossJoin struct {
 	Left, Right Operator
 	out         *schema.Schema
 	right       *relation.Relation
+	rightRows   []tuple.Tuple
 	cur         tuple.Tuple
 	rpos        int
 	open        bool
@@ -322,6 +325,7 @@ func (j *CrossJoin) Open(outer *expr.Context) error {
 		return err
 	}
 	j.right = right
+	j.rightRows = right.Rows()
 	j.cur = nil
 	j.rpos = 0
 	j.open = true
@@ -343,8 +347,8 @@ func (j *CrossJoin) Next() (tuple.Tuple, bool, error) {
 			j.cur = t
 			j.rpos = 0
 		}
-		if j.rpos < len(j.right.Tuples) {
-			rt := j.right.Tuples[j.rpos]
+		if j.rpos < len(j.rightRows) {
+			rt := j.rightRows[j.rpos]
 			j.rpos++
 			return j.cur.Concat(rt), true, nil
 		}
@@ -397,7 +401,7 @@ func (j *HashJoin) Open(outer *expr.Context) error {
 		return err
 	}
 	j.table = make(map[string][]tuple.Tuple, right.Len())
-	for _, t := range right.Tuples {
+	for _, t := range right.Rows() {
 		if hasNullAt(t, j.RightKeys) {
 			continue
 		}
@@ -557,7 +561,7 @@ func (s *Sort) Open(outer *expr.Context) error {
 	if err != nil {
 		return err
 	}
-	s.rows = rel.Tuples
+	s.rows = append([]tuple.Tuple(nil), rel.Rows()...)
 	sortTuples(s.rows, s.Keys)
 	s.pos = 0
 	return nil

@@ -110,8 +110,8 @@ func TestProject(t *testing.T) {
 	if out.Len() != 5 || out.Schema.Names()[1] != "D2" {
 		t.Fatalf("project shape wrong: %s", out.Schema)
 	}
-	if out.Tuples[0][1].AsInt() != 4 {
-		t.Errorf("computed column = %v", out.Tuples[0][1])
+	if out.Rows()[0][1].AsInt() != 4 {
+		t.Errorf("computed column = %v", out.Rows()[0][1])
 	}
 }
 
@@ -158,7 +158,7 @@ func TestHashJoin(t *testing.T) {
 	if out.Len() != 3 {
 		t.Errorf("R ⋈ S = %d rows, want 3", out.Len())
 	}
-	for _, tp := range out.Tuples {
+	for _, tp := range out.Rows() {
 		if tp[2].AsStr() != tp[4].AsStr() {
 			t.Errorf("join key mismatch in %v", tp)
 		}
@@ -225,16 +225,16 @@ func TestUnionArityMismatch(t *testing.T) {
 func TestSort(t *testing.T) {
 	r := rel([]string{"A", "B"}, []any{2, "x"}, []any{1, "y"}, []any{2, "a"})
 	out := collect(t, &Sort{Child: NewScan(r), Keys: []SortKey{{Index: 0, Desc: false}}})
-	if out.Tuples[0][0].AsInt() != 1 {
-		t.Errorf("sort asc failed: %v", out.Tuples)
+	if out.Rows()[0][0].AsInt() != 1 {
+		t.Errorf("sort asc failed: %v", out.Rows())
 	}
 	// tie-break by canonical order: (2,"a") before (2,"x")
-	if out.Tuples[1][1].AsStr() != "a" {
-		t.Errorf("tie-break failed: %v", out.Tuples)
+	if out.Rows()[1][1].AsStr() != "a" {
+		t.Errorf("tie-break failed: %v", out.Rows())
 	}
 	desc := collect(t, &Sort{Child: NewScan(r), Keys: []SortKey{{Index: 0, Desc: true}}})
-	if desc.Tuples[0][0].AsInt() != 2 {
-		t.Errorf("sort desc failed: %v", desc.Tuples)
+	if desc.Rows()[0][0].AsInt() != 2 {
+		t.Errorf("sort desc failed: %v", desc.Rows())
 	}
 }
 
@@ -259,8 +259,8 @@ func TestAggregateScalarSum(t *testing.T) {
 		Out:   schema.New("sum"),
 	}
 	out := collect(t, a)
-	if out.Len() != 1 || out.Tuples[0][0].AsInt() != 44 {
-		t.Errorf("sum(B) = %v", out.Tuples)
+	if out.Len() != 1 || out.Rows()[0][0].AsInt() != 44 {
+		t.Errorf("sum(B) = %v", out.Rows())
 	}
 }
 
@@ -278,8 +278,8 @@ func TestAggregateScalarOnEmptyInput(t *testing.T) {
 	if out.Len() != 1 {
 		t.Fatalf("scalar aggregate over empty input must emit one row, got %d", out.Len())
 	}
-	if out.Tuples[0][0].AsInt() != 0 || !out.Tuples[0][1].IsNull() {
-		t.Errorf("empty aggregate = %v", out.Tuples[0])
+	if out.Rows()[0][0].AsInt() != 0 || !out.Rows()[0][1].IsNull() {
+		t.Errorf("empty aggregate = %v", out.Rows()[0])
 	}
 }
 
@@ -299,7 +299,7 @@ func TestAggregateGroupBy(t *testing.T) {
 		t.Fatalf("groups = %d", out.Len())
 	}
 	byKey := map[string][2]int64{}
-	for _, tp := range out.Tuples {
+	for _, tp := range out.Rows() {
 		byKey[tp[0].AsStr()] = [2]int64{tp[1].AsInt(), tp[2].AsInt()}
 	}
 	if byKey["a1"] != [2]int64{2, 15} || byKey["a2"] != [2]int64{2, 20} || byKey["a3"] != [2]int64{1, 20} {
@@ -340,8 +340,8 @@ func TestCorrelatedFilterThroughOuterContext(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out.Len() != 1 || out.Tuples[0][0].AsStr() != "a2" {
-		t.Errorf("correlated filter = %v", out.Tuples)
+	if out.Len() != 1 || out.Rows()[0][0].AsStr() != "a2" {
+		t.Errorf("correlated filter = %v", out.Rows())
 	}
 }
 

@@ -232,17 +232,42 @@ func collectBatches(b BatchOperator, outer *expr.Context) (*relation.Relation, e
 		return nil, err
 	}
 	defer b.Close()
-	out := relation.New(b.Schema())
+	// Single-batch answers — a stored relation scanned in one chunk —
+	// pass through as zero-copy views of the stored columns; longer
+	// pipelines append column-wise into one combined batch. Either way no
+	// row tuple is materialized here: the returned relation is backed by
+	// the batch and rows stay a lazy view.
+	var single *colbatch.Batch
+	var acc *colbatch.Batch
 	for {
 		bt, err := b.NextBatch()
 		if err != nil {
 			return nil, err
 		}
 		if bt == nil {
-			return out, nil
+			break
 		}
-		out.Tuples = append(out.Tuples, bt.Rows()...)
+		switch {
+		case single == nil && acc == nil:
+			// Operators reuse the emitted batch's headers across NextBatch
+			// calls; Slice snapshots them (data stays shared).
+			single = bt.Slice(0, bt.Len())
+		case acc == nil:
+			acc = colbatch.New(b.Schema())
+			acc.AppendBatch(single)
+			single = nil
+			acc.AppendBatch(bt)
+		default:
+			acc.AppendBatch(bt)
+		}
 	}
+	switch {
+	case acc != nil:
+		return relation.FromBatch(acc.WithSchema(b.Schema())), nil
+	case single != nil:
+		return relation.FromBatch(single.WithSchema(b.Schema())), nil
+	}
+	return relation.New(b.Schema()), nil
 }
 
 // interruptHook polls an Interrupt hook once per batch (roughly every
@@ -933,7 +958,9 @@ func (s *batchSort) Open(outer *expr.Context) error {
 	if err != nil {
 		return err
 	}
-	s.rows = rel.Tuples
+	// Collect output may share a stored relation's row slice; copy before
+	// the in-place sort.
+	s.rows = append([]tuple.Tuple(nil), rel.Rows()...)
 	sortTuples(s.rows, s.keys)
 	s.done = false
 	return nil

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"maybms/internal/colbatch"
 	"maybms/internal/expr"
 	"maybms/internal/relation"
 	"maybms/internal/schema"
@@ -160,6 +161,38 @@ func BenchmarkBatchScan(b *testing.B) {
 			rows += bt.Len()
 		}
 		if err := s.Close(); err != nil || rows != r.Len() {
+			b.Fatal(err, rows)
+		}
+	}
+}
+
+// BenchmarkStoredBatchScan scans a relation whose store is columnar — an
+// imported or closure-built table. Open is an identity lookup of the
+// stored batch and every chunk is a zero-copy slice into it, so the whole
+// scan allocates O(1) (the first chunk header), not O(rows): the
+// batches-as-truth contract check_batch_allocs.sh gates on.
+func BenchmarkStoredBatchScan(b *testing.B) {
+	base := benchRelation(8192, 64)
+	stored := relation.FromBatch(colbatch.FromRows(base.Schema, base.Rows()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := &batchScan{rel: stored}
+		if err := s.Open(nil); err != nil {
+			b.Fatal(err)
+		}
+		rows := 0
+		for {
+			bt, err := s.NextBatch()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if bt == nil {
+				break
+			}
+			rows += bt.Len()
+		}
+		if err := s.Close(); err != nil || rows != stored.Len() {
 			b.Fatal(err, rows)
 		}
 	}

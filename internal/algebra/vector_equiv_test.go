@@ -175,7 +175,7 @@ func renderResult(rel *relation.Relation, err error) string {
 		return "error: " + err.Error()
 	}
 	out := rel.Schema.String()
-	for _, t := range rel.Tuples {
+	for _, t := range rel.Rows() {
 		out += "\n" + fmt.Sprintf("%q", string(t.Encode(nil)))
 	}
 	return out

@@ -1,18 +1,22 @@
 // Package colbatch implements typed columnar batches of tuples: the storage
-// format of the vectorized read path. A Batch holds one typed vector per
-// column (int64 / float64 / string / bool payloads plus a null bitmap), with
-// a generic value fallback for mixed-kind columns, and supports the
-// operations batch operators need — batch-at-a-time append, zero-copy
-// column projection and row slicing, selection-vector gather, slab-allocated
-// row materialization, and canonical key encoding into a reusable byte
-// arena.
+// format of relations and of the vectorized read path. A Batch holds one
+// typed vector per column (int64 / float64 / string / bool payloads plus a
+// null bitmap), with a generic value fallback for mixed-kind columns, and
+// supports the operations batch operators need — batch-at-a-time append,
+// zero-copy column projection and row slicing, selection-vector gather,
+// slab-allocated row materialization, and canonical key encoding into a
+// reusable byte arena.
 //
-// Batches are produced from row-oriented relations (FromRows, Relation
-// caches) and converted back with Rows(), so tuple.Tuple stays the
-// interchange format: a batch's Rows() are value-for-value identical to the
-// rows it was built from, and AppendKeyOn produces exactly the bytes of
-// tuple.KeyOn / value.Encode. Batches are treated as immutable once handed
-// to a consumer; builders append, consumers only read.
+// The batch is the truth; rows are a view. relation.Relation stores its
+// contents as a Batch (columnar when built by the loaders and closure
+// builders, row-backed via FromRowsShared when built tuple-at-a-time), and
+// Rows() materializes tuples only when a row path asks: a batch's Rows()
+// are value-for-value identical to the rows it was built from, and
+// AppendKeyOn produces exactly the bytes of tuple.KeyOn / value.Encode.
+// Batches are treated as immutable once handed to a consumer; builders
+// append, consumers only read. Zero-copy slices are capacity-clamped, so a
+// stored batch sliced out of a larger one (factorized CTAS contributions,
+// import conflict groups) never aliases appends with its parent.
 //
 // Since the batch-native closure seam landed, batches are also the currency
 // past algebra.CollectBatch: the wsd closure builders union/dedup/merge on
@@ -225,27 +229,30 @@ func (c *Col) gather(sel []int32) Col {
 	return out
 }
 
-// slice returns a zero-copy view of rows [lo, hi).
+// slice returns a zero-copy view of rows [lo, hi). The sub-slices are
+// capacity-clamped so a later append through the view reallocates instead
+// of clobbering the parent's cells past hi — sliced views are safe to hand
+// out as independent stored batches (copy-on-write).
 func (c *Col) slice(lo, hi int) Col {
 	if c.Any != nil {
-		return Col{Any: c.Any[lo:hi]}
+		return Col{Any: c.Any[lo:hi:hi]}
 	}
 	if c.Kind == value.KindNull {
 		return Col{}
 	}
 	out := Col{Kind: c.Kind}
 	if c.Nulls != nil {
-		out.Nulls = c.Nulls[lo:hi]
+		out.Nulls = c.Nulls[lo:hi:hi]
 	}
 	switch c.Kind {
 	case value.KindInt:
-		out.Ints = c.Ints[lo:hi]
+		out.Ints = c.Ints[lo:hi:hi]
 	case value.KindFloat:
-		out.Floats = c.Floats[lo:hi]
+		out.Floats = c.Floats[lo:hi:hi]
 	case value.KindString:
-		out.Strs = c.Strs[lo:hi]
+		out.Strs = c.Strs[lo:hi:hi]
 	case value.KindBool:
-		out.Bools = c.Bools[lo:hi]
+		out.Bools = c.Bools[lo:hi:hi]
 	}
 	return out
 }
@@ -363,6 +370,11 @@ func FromRows(sch *schema.Schema, rows []tuple.Tuple) *Batch {
 // without columnarizing: Rows() returns the slice as-is. The caller must
 // treat the rows as immutable.
 func FromRowsShared(sch *schema.Schema, rows []tuple.Tuple) *Batch {
+	if rows == nil {
+		// A nil slice would make the batch look columnar (RowBacked is
+		// rows != nil); pin the row-backed representation with an empty one.
+		rows = make([]tuple.Tuple, 0)
+	}
 	return &Batch{Schema: sch, n: len(rows), rows: rows}
 }
 
@@ -558,7 +570,7 @@ func (b *Batch) ExtendFloat(out *schema.Schema, vals []float64) *Batch {
 // Slice returns a zero-copy view of rows [lo, hi).
 func (b *Batch) Slice(lo, hi int) *Batch {
 	if b.rows != nil {
-		return &Batch{Schema: b.Schema, n: hi - lo, rows: b.rows[lo:hi]}
+		return &Batch{Schema: b.Schema, n: hi - lo, rows: b.rows[lo:hi:hi]}
 	}
 	out := &Batch{Schema: b.Schema, cols: make([]Col, len(b.cols)), n: hi - lo}
 	for j := range b.cols {
@@ -576,7 +588,7 @@ func (b *Batch) SliceInto(out *Batch, lo, hi int) *Batch {
 	cols := out.cols[:0]
 	*out = Batch{Schema: b.Schema, n: hi - lo}
 	if b.rows != nil {
-		out.rows = b.rows[lo:hi]
+		out.rows = b.rows[lo:hi:hi]
 		return out
 	}
 	if cap(cols) < len(b.cols) {

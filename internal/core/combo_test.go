@@ -16,8 +16,8 @@ func TestOrderByLimitInsidePossible(t *testing.T) {
 	// Per world, the top-1 B value; possible = union of per-world tops.
 	res := mustExec(t, s, "select possible B from I order by B desc limit 1")
 	rel := res.Groups[0].Rel
-	if rel.Len() != 1 || rel.Tuples[0][0].AsInt() != 20 {
-		t.Errorf("possible top-1 = %v (a3 has B=20 in every world)", rel.Tuples)
+	if rel.Len() != 1 || rel.Rows()[0][0].AsInt() != 20 {
+		t.Errorf("possible top-1 = %v (a3 has B=20 in every world)", rel.Rows())
 	}
 }
 
@@ -26,7 +26,7 @@ func TestDistinctUnderCertain(t *testing.T) {
 	loadFigure1(t, s)
 	res := mustExec(t, s, "select certain distinct E from S choice of C")
 	if res.Groups[0].Rel.Len() != 1 {
-		t.Errorf("certain distinct = %v", res.Groups[0].Rel.Tuples)
+		t.Errorf("certain distinct = %v", res.Groups[0].Rel.Rows())
 	}
 }
 
@@ -39,9 +39,9 @@ func TestAggregateWithGroupByUnderPossible(t *testing.T) {
 	res := mustExec(t, s, "select possible A, count(*) as n from I group by A")
 	rel := res.Groups[0].Rel
 	if rel.Len() != 3 {
-		t.Fatalf("groups = %v", rel.Tuples)
+		t.Fatalf("groups = %v", rel.Rows())
 	}
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		if tp[1].AsInt() != 1 {
 			t.Errorf("repaired key group count = %v", tp)
 		}
@@ -56,7 +56,7 @@ func TestRepairThenAggregateInOneStatement(t *testing.T) {
 	res := mustExec(t, s, "select possible sum(B) from R repair by key A weight D")
 	rel := res.Groups[0].Rel
 	if rel.Len() != 4 {
-		t.Errorf("possible sums over inline repair = %v", rel.Tuples)
+		t.Errorf("possible sums over inline repair = %v", rel.Rows())
 	}
 }
 
@@ -86,7 +86,7 @@ func TestRepairWithWhere(t *testing.T) {
 	}
 	for _, wr := range res.PerWorld {
 		if wr.Rel.Len() != 1 {
-			t.Errorf("repaired slice = %v", wr.Rel.Tuples)
+			t.Errorf("repaired slice = %v", wr.Rel.Rows())
 		}
 	}
 }
@@ -127,7 +127,7 @@ func TestConfInUnionArmRejected(t *testing.T) {
 	res := mustExec(t, s, `select B, conf from I where A = 'a1'
 		union select B from I where A = 'a2'`)
 	if res.Groups[0].Rel.Len() != 4 {
-		t.Errorf("conf over union = %v", res.Groups[0].Rel.Tuples)
+		t.Errorf("conf over union = %v", res.Groups[0].Rel.Rows())
 	}
 }
 
@@ -139,7 +139,7 @@ func TestPossibleOverUnion(t *testing.T) {
 	rel := res.Groups[0].Rel
 	// All possible B values across both arms: 10, 14, 15, 20.
 	if rel.Len() != 4 {
-		t.Errorf("possible union = %v", rel.Tuples)
+		t.Errorf("possible union = %v", rel.Rows())
 	}
 }
 
@@ -154,8 +154,8 @@ func TestCreateTableFromCertain(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if rel.Len() != 1 || rel.Tuples[0][0].AsStr() != "a3" {
-			t.Errorf("world %s CertainI = %v", w.Name, rel.Tuples)
+		if rel.Len() != 1 || rel.Rows()[0][0].AsStr() != "a3" {
+			t.Errorf("world %s CertainI = %v", w.Name, rel.Rows())
 		}
 	}
 }
@@ -170,12 +170,12 @@ func TestCreateTableFromConf(t *testing.T) {
 		t.Fatal(err)
 	}
 	if rel.Len() != 2 || rel.Schema.Names()[1] != "conf" {
-		t.Errorf("materialized conf = %s %v", rel.Schema, rel.Tuples)
+		t.Errorf("materialized conf = %s %v", rel.Schema, rel.Rows())
 	}
 	// The materialized conf table is itself queryable.
 	res := mustExec(t, s, "select B from IConf where conf > 0.5")
-	if res.PerWorld[0].Rel.Len() != 1 || res.PerWorld[0].Rel.Tuples[0][0].AsInt() != 15 {
-		t.Errorf("query over conf table = %v", res.PerWorld[0].Rel.Tuples)
+	if res.PerWorld[0].Rel.Len() != 1 || res.PerWorld[0].Rel.Rows()[0][0].AsInt() != 15 {
+		t.Errorf("query over conf table = %v", res.PerWorld[0].Rel.Rows())
 	}
 }
 
@@ -192,6 +192,6 @@ func TestGroupWorldsByOnMaterializedGroups(t *testing.T) {
 	rel := res.Groups[0].Rel
 	// Two possible sizes: 4 (worlds A–D) and 2 (E–F).
 	if rel.Len() != 2 {
-		t.Errorf("possible group sizes = %v", rel.Tuples)
+		t.Errorf("possible group sizes = %v", rel.Rows())
 	}
 }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"maybms/internal/colbatch"
+	"maybms/internal/relation"
+	"maybms/internal/sqlparse"
+	"maybms/internal/world"
+	"maybms/internal/worldset"
+)
+
+// execImport bulk-loads a CSV file into every world of the session. The
+// loader's plan (relation.LoadCSV) lists certain rows plus uncertainty
+// groups; certain rows land in all worlds, and each group splits every
+// parent world into one child per alternative. Children enumerate groups
+// in first-row order with the last group varying fastest — exactly the
+// order the WSD backend's Expand walks its components — so both engines
+// produce the same world-set for the same file.
+func (s *Session) execImport(st *sqlparse.Import) (*Result, error) {
+	if err := s.checkFresh(st.Table); err != nil {
+		return nil, err
+	}
+	if st.Weight != "" && !s.set.Weighted {
+		return nil, fmt.Errorf("weight requires a probabilistic session: %w", worldset.ErrNotWeighted)
+	}
+	plan, err := relation.LoadCSVFile(st.Path, relation.ImportOptions{
+		NullsChoice: st.NullsChoice,
+		RepairKey:   st.RepairKey,
+		Weight:      st.Weight,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if len(plan.Groups) == 0 {
+		for _, w := range s.set.Worlds {
+			w.Put(st.Table, plan.Certain)
+		}
+		return &Result{
+			Kind:     ResultOK,
+			Msg:      fmt.Sprintf("imported %d row(s) into %s in %d world(s)", plan.Certain.Len(), st.Table, len(s.set.Worlds)),
+			Weighted: s.set.Weighted,
+		}, nil
+	}
+
+	perParent := plan.WorldCount(s.MaxWorlds)
+	if perParent > s.MaxWorlds || len(s.set.Worlds)*perParent > s.MaxWorlds {
+		return nil, ErrTooManyWorlds
+	}
+
+	// stride[gi] = product of the sizes of the groups after gi: world j of
+	// a parent picks alternative (j / stride[gi]) % |group gi|.
+	stride := make([]int, len(plan.Groups))
+	acc := 1
+	for gi := len(plan.Groups) - 1; gi >= 0; gi-- {
+		stride[gi] = acc
+		acc *= plan.Groups[gi].Rel.Len()
+	}
+
+	worlds := make([]*world.World, 0, len(s.set.Worlds)*perParent)
+	for _, parent := range s.set.Worlds {
+		for j := 0; j < perParent; j++ {
+			child := parent.Clone(childName(parent.Name, j))
+			combined := colbatch.New(plan.Schema)
+			combined.AppendBatch(plan.Certain.Batch())
+			for gi, g := range plan.Groups {
+				pick := (j / stride[gi]) % g.Rel.Len()
+				combined.AppendBatch(g.Rel.Batch().Slice(pick, pick+1))
+				if s.set.Weighted {
+					child.Prob *= g.Probs[pick]
+				}
+			}
+			child.Put(st.Table, relation.FromBatch(combined))
+			worlds = append(worlds, child)
+		}
+	}
+	if err := s.set.Replace(worlds); err != nil {
+		return nil, err
+	}
+	return &Result{
+		Kind: ResultOK,
+		Msg: fmt.Sprintf("imported %s: %d certain row(s), %d uncertainty group(s); %d world(s)",
+			st.Table, plan.Certain.Len(), len(plan.Groups), len(s.set.Worlds)),
+		Weighted: s.set.Weighted,
+	}, nil
+}

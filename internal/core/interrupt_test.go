@@ -59,7 +59,7 @@ func TestInterruptAbortsSingleWorldEval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := res.PerWorld[0].Rel.Tuples[0][0].AsInt(); got != 3 {
+	if got := res.PerWorld[0].Rel.Rows()[0][0].AsInt(); got != 3 {
 		t.Errorf("post-interrupt count = %d", got)
 	}
 }

@@ -57,7 +57,7 @@ func probOfWorldWithAB(t *testing.T, s *Session, b1, b2 int64) float64 {
 			t.Fatal(err)
 		}
 		hasB1, hasB2 := false, false
-		for _, tp := range rel.Tuples {
+		for _, tp := range rel.Rows() {
 			if tp[0].AsStr() == "a1" && tp[1].AsInt() == b1 {
 				hasB1 = true
 			}
@@ -143,8 +143,8 @@ func TestExample21SelectDoesNotMaterialize(t *testing.T) {
 		t.Fatalf("result = %+v", res)
 	}
 	for _, wr := range res.PerWorld {
-		if wr.Rel.Len() != 1 || wr.Rel.Tuples[0][0].AsStr() != "a3" {
-			t.Errorf("world %s answer = %v", wr.World, wr.Rel.Tuples)
+		if wr.Rel.Len() != 1 || wr.Rel.Rows()[0][0].AsStr() != "a3" {
+			t.Errorf("world %s answer = %v", wr.World, wr.Rel.Rows())
 		}
 	}
 	// "The answer is not materialized and thus the input world-set not
@@ -172,8 +172,8 @@ func TestExample22CreateTableMaterializes(t *testing.T) {
 		if err != nil {
 			t.Fatalf("world %s: %v", w.Name, err)
 		}
-		if rel.Len() != 1 || rel.Tuples[0][2].AsStr() != "c5" {
-			t.Errorf("world %s D = %v", w.Name, rel.Tuples)
+		if rel.Len() != 1 || rel.Rows()[0][2].AsStr() != "c5" {
+			t.Errorf("world %s D = %v", w.Name, rel.Rows())
 		}
 	}
 }
@@ -208,7 +208,7 @@ func TestExample25AssertAndRenormalization(t *testing.T) {
 		if !j.EqualSet(i) {
 			t.Errorf("world %s: J != I", w.Name)
 		}
-		for _, tp := range i.Tuples {
+		for _, tp := range i.Rows() {
 			if tp[2].AsStr() == "c1" {
 				t.Errorf("world %s still contains c1", w.Name)
 			}
@@ -258,7 +258,7 @@ func TestExample27ChoiceWeight(t *testing.T) {
 	// Weighted by D: a1 → 8/23 ≈ 0.35, a2 → 9/23 ≈ 0.39, a3 → 6/23 ≈ 0.26.
 	want := map[string]float64{"a1": 8.0 / 23, "a2": 9.0 / 23, "a3": 6.0 / 23}
 	for _, wr := range res.PerWorld {
-		a := wr.Rel.Tuples[0][0].AsStr()
+		a := wr.Rel.Rows()[0][0].AsStr()
 		if math.Abs(wr.Prob-want[a]) > eps {
 			t.Errorf("P(world %s) = %.4f, want %.4f", a, wr.Prob, want[a])
 		}
@@ -277,7 +277,7 @@ func TestExample28PossibleSum(t *testing.T) {
 	}
 	gotSums := map[int64]bool{}
 	for _, wr := range res.PerWorld {
-		gotSums[wr.Rel.Tuples[0][0].AsInt()] = true
+		gotSums[wr.Rel.Rows()[0][0].AsInt()] = true
 	}
 	for _, want := range []int64{44, 49, 50, 55} {
 		if !gotSums[want] {
@@ -295,14 +295,14 @@ func TestExample28PossibleSum(t *testing.T) {
 	}
 	rel := res.Groups[0].Rel
 	if rel.Len() != 4 {
-		t.Fatalf("possible sums = %v", rel.Tuples)
+		t.Fatalf("possible sums = %v", rel.Rows())
 	}
 	want := relation.New(rel.Schema)
 	for _, v := range []int64{44, 49, 50, 55} {
 		want.MustAppend(tuple.New(value.Int(v)))
 	}
 	if !rel.EqualSet(want) {
-		t.Errorf("possible sums = %v", rel.Tuples)
+		t.Errorf("possible sums = %v", rel.Rows())
 	}
 }
 
@@ -315,8 +315,8 @@ func TestExample29CertainChoice(t *testing.T) {
 		t.Fatal(err)
 	}
 	rel := res.Groups[0].Rel
-	if rel.Len() != 1 || rel.Tuples[0][0].AsStr() != "e1" {
-		t.Errorf("certain E = %v, want {(e1)}", rel.Tuples)
+	if rel.Len() != 1 || rel.Rows()[0][0].AsStr() != "e1" {
+		t.Errorf("certain E = %v, want {(e1)}", rel.Rows())
 	}
 }
 
@@ -339,7 +339,7 @@ func TestExample210Conf(t *testing.T) {
 	if rel.Len() != 1 {
 		t.Fatalf("conf rows = %d", rel.Len())
 	}
-	if got := rel.Tuples[0][0].AsFloat(); math.Abs(got-4.0/9) > eps {
+	if got := rel.Rows()[0][0].AsFloat(); math.Abs(got-4.0/9) > eps {
 		t.Errorf("conf(sum<50) = %.4f, want %.4f", got, 4.0/9)
 	}
 
@@ -350,7 +350,7 @@ func TestExample210Conf(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := res.Groups[0].Rel.Tuples[0][0].AsFloat(); math.Abs(got-19.0/36) > eps {
+	if got := res.Groups[0].Rel.Rows()[0][0].AsFloat(); math.Abs(got-19.0/36) > eps {
 		t.Errorf("conf(worlds A,D) = %.4f, want %.4f (the paper's 0.53)", got, 19.0/36)
 	}
 }
@@ -367,10 +367,10 @@ func TestConfIsPerTuple(t *testing.T) {
 	}
 	rel := res.Groups[0].Rel
 	if rel.Len() != 2 {
-		t.Fatalf("conf tuples = %v", rel.Tuples)
+		t.Fatalf("conf tuples = %v", rel.Rows())
 	}
 	got := map[int64]float64{}
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		got[tp[0].AsInt()] = tp[1].AsFloat()
 	}
 	// a1→10 in worlds A and C: 1/9 + 5/36 = 1/4; a1→15 in B and D: 3/4.

@@ -63,8 +63,8 @@ func TestWhaleAttackQuery(t *testing.T) {
 		t.Fatal(err)
 	}
 	rel := res.Groups[0].Rel
-	if rel.Len() != 1 || rel.Tuples[0][0].AsStr() != "yes" {
-		t.Errorf("attack possibility = %v, want {(yes)}", rel.Tuples)
+	if rel.Len() != 1 || rel.Rows()[0][0].AsStr() != "yes" {
+		t.Errorf("attack possibility = %v, want {(yes)}", rel.Rows())
 	}
 }
 
@@ -90,7 +90,7 @@ func TestWhaleValidView(t *testing.T) {
 	}
 	// World E: calf at c, cow at b, orca cow at a.
 	if valid.Len() != 3 {
-		t.Fatalf("Valid = %v", valid.Tuples)
+		t.Fatalf("Valid = %v", valid.Rows())
 	}
 	// Q on Valid returns the empty answer: the calf is not at b in E.
 	res, err := s.Exec("select possible 'yes' from Valid where Id=1 and Pos='b';")
@@ -98,7 +98,7 @@ func TestWhaleValidView(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Groups[0].Rel.Empty() {
-		t.Errorf("attack on Valid = %v, want empty", res.Groups[0].Rel.Tuples)
+		t.Errorf("attack on Valid = %v, want empty", res.Groups[0].Rel.Rows())
 	}
 	// select certain * from Valid = I_E (all three tuples).
 	res, err = s.Exec("select certain * from Valid;")
@@ -106,7 +106,7 @@ func TestWhaleValidView(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res.Groups[0].Rel.Len() != 3 {
-		t.Errorf("certain Valid = %v", res.Groups[0].Rel.Tuples)
+		t.Errorf("certain Valid = %v", res.Groups[0].Rel.Rows())
 	}
 }
 
@@ -132,7 +132,7 @@ func TestWhaleValidPrimeView(t *testing.T) {
 		if !rel.Empty() {
 			nonEmpty++
 			if rel.Len() != 3 {
-				t.Errorf("world %s Valid' = %v", w.Name, rel.Tuples)
+				t.Errorf("world %s Valid' = %v", w.Name, rel.Rows())
 			}
 		}
 	}
@@ -146,7 +146,7 @@ func TestWhaleValidPrimeView(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Groups[0].Rel.Empty() {
-		t.Errorf("attack on Valid' = %v", res.Groups[0].Rel.Tuples)
+		t.Errorf("attack on Valid' = %v", res.Groups[0].Rel.Rows())
 	}
 	// ...but certain * differs: empty on Valid' (vs I_E on Valid).
 	res, err = s.Exec("select certain * from ValidP;")
@@ -154,7 +154,7 @@ func TestWhaleValidPrimeView(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !res.Groups[0].Rel.Empty() {
-		t.Errorf("certain Valid' = %v, want empty", res.Groups[0].Rel.Tuples)
+		t.Errorf("certain Valid' = %v, want empty", res.Groups[0].Rel.Rows())
 	}
 }
 
@@ -226,7 +226,7 @@ func TestWhaleIndependenceCheck(t *testing.T) {
 	}
 	for _, wr := range res.PerWorld {
 		if !wr.Rel.Empty() {
-			t.Errorf("world %s: independence violated: %v", wr.World, wr.Rel.Tuples)
+			t.Errorf("world %s: independence violated: %v", wr.World, wr.Rel.Rows())
 		}
 	}
 }
@@ -257,7 +257,7 @@ func TestFigure5SwapClosure(t *testing.T) {
 		t.Fatal(err)
 	}
 	if rel.Len() != 4 {
-		t.Fatalf("S = %v", rel.Tuples)
+		t.Fatalf("S = %v", rel.Rows())
 	}
 	want := relation.New(schema.New("SSN", "TEL", "SSN'", "TEL'"))
 	for _, row := range [][4]int64{

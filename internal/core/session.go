@@ -245,6 +245,8 @@ func (s *Session) ExecStmt(stmt sqlparse.Statement) (*Result, error) {
 		return s.execDrop(st)
 	case *sqlparse.Explain:
 		return s.execExplain(st)
+	case *sqlparse.Import:
+		return s.execImport(st)
 	default:
 		return nil, fmt.Errorf("unsupported statement %T", stmt)
 	}
@@ -348,7 +350,7 @@ func checkKey(rel *relation.Relation, key []string) error {
 		return err
 	}
 	seen := make(map[string]struct{}, rel.Len())
-	for _, t := range rel.Tuples {
+	for _, t := range rel.Rows() {
 		k := t.KeyOn(idx)
 		if _, dup := seen[k]; dup {
 			return fmt.Errorf("%w: duplicate key (%s) value %s", ErrKeyViolation, strings.Join(key, ", "), t.Project(idx))
@@ -500,7 +502,7 @@ func (s *Session) execUpdate(st *sqlparse.Update) (*Result, error) {
 		}
 		next := relation.New(sch)
 		changed := 0
-		for _, t := range cur.Tuples {
+		for _, t := range cur.Rows() {
 			ctx := &expr.Context{Schema: sch, Tuple: t}
 			match := true
 			if pred != nil {
@@ -511,7 +513,7 @@ func (s *Session) execUpdate(st *sqlparse.Update) (*Result, error) {
 				match = v.Truth()
 			}
 			if !match {
-				next.Tuples = append(next.Tuples, t)
+				next.AppendRow(t)
 				continue
 			}
 			nt := t.Clone()
@@ -522,7 +524,7 @@ func (s *Session) execUpdate(st *sqlparse.Update) (*Result, error) {
 				}
 				nt[setIdx[j]] = v
 			}
-			next.Tuples = append(next.Tuples, nt)
+			next.AppendRow(nt)
 			changed++
 		}
 		if len(key) > 0 {
@@ -579,7 +581,7 @@ func (s *Session) execDelete(st *sqlparse.Delete) (*Result, error) {
 		}
 		next := relation.New(sch)
 		changed := 0
-		for _, t := range cur.Tuples {
+		for _, t := range cur.Rows() {
 			if pred != nil {
 				v, err := pred.Eval(&expr.Context{Schema: sch, Tuple: t})
 				if err != nil {
@@ -593,7 +595,7 @@ func (s *Session) execDelete(st *sqlparse.Delete) (*Result, error) {
 				changed++
 				continue
 			}
-			next.Tuples = append(next.Tuples, t)
+			next.AppendRow(t)
 		}
 		return cand{rel: next, changed: changed}, nil
 	})

@@ -37,7 +37,7 @@ func TestInsertColumnListAndDefaults(t *testing.T) {
 	mustExec(t, s, "create table P (A, B, C)")
 	mustExec(t, s, "insert into P (C, A) values (3, 1)")
 	res := mustExec(t, s, "select * from P")
-	row := res.PerWorld[0].Rel.Tuples[0]
+	row := res.PerWorld[0].Rel.Rows()[0]
 	if row[0].AsInt() != 1 || !row[1].IsNull() || row[2].AsInt() != 3 {
 		t.Errorf("row = %v", row)
 	}
@@ -65,9 +65,9 @@ func TestInsertConstantExpressions(t *testing.T) {
 	mustExec(t, s, "create table P (A)")
 	mustExec(t, s, "insert into P values (2 + 3 * 4), (-7)")
 	res := mustExec(t, s, "select * from P order by A")
-	if res.PerWorld[0].Rel.Tuples[0][0].AsInt() != -7 ||
-		res.PerWorld[0].Rel.Tuples[1][0].AsInt() != 14 {
-		t.Errorf("rows = %v", res.PerWorld[0].Rel.Tuples)
+	if res.PerWorld[0].Rel.Rows()[0][0].AsInt() != -7 ||
+		res.PerWorld[0].Rel.Rows()[1][0].AsInt() != 14 {
+		t.Errorf("rows = %v", res.PerWorld[0].Rel.Rows())
 	}
 	if _, err := s.Exec("insert into P values ((select 1 from P))"); err == nil {
 		t.Error("non-constant insert value must fail")
@@ -114,7 +114,7 @@ func TestInsertViolationInOneWorldAbortsAll(t *testing.T) {
 	res := mustExec(t, s, "select * from V")
 	for _, wr := range res.PerWorld {
 		if wr.Rel.Len() != 1 {
-			t.Errorf("world %s V = %v (insert leaked)", wr.World, wr.Rel.Tuples)
+			t.Errorf("world %s V = %v (insert leaked)", wr.World, wr.Rel.Rows())
 		}
 	}
 	// A non-violating insert succeeds in both worlds.
@@ -122,7 +122,7 @@ func TestInsertViolationInOneWorldAbortsAll(t *testing.T) {
 	res = mustExec(t, s, "select * from V")
 	for _, wr := range res.PerWorld {
 		if wr.Rel.Len() != 2 {
-			t.Errorf("world %s V = %v", wr.World, wr.Rel.Tuples)
+			t.Errorf("world %s V = %v", wr.World, wr.Rel.Rows())
 		}
 	}
 }
@@ -138,7 +138,7 @@ func TestUpdatePerWorldSemantics(t *testing.T) {
 	res := mustExec(t, s, "select * from K")
 	vals := map[int64]bool{}
 	for _, wr := range res.PerWorld {
-		vals[wr.Rel.Tuples[0][0].AsInt()] = true
+		vals[wr.Rel.Rows()[0][0].AsInt()] = true
 	}
 	if !vals[10] || !vals[11] {
 		t.Errorf("per-world update values = %v, want {10, 11}", vals)
@@ -338,7 +338,7 @@ func TestRepairAlreadyConsistentIsIdentity(t *testing.T) {
 	}
 	q, _ := s.Set().Worlds[0].Lookup("Q")
 	if q.Len() != 2 {
-		t.Errorf("Q = %v", q.Tuples)
+		t.Errorf("Q = %v", q.Rows())
 	}
 }
 
@@ -446,7 +446,7 @@ func TestGroupWorldsByWithConf(t *testing.T) {
 			t.Fatalf("group sizes = %v", g.Worlds)
 		}
 		sum := 0.0
-		for _, tp := range g.Rel.Tuples {
+		for _, tp := range g.Rel.Rows() {
 			sum += tp[1].AsFloat()
 		}
 		if math.Abs(sum-want) > eps {

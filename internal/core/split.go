@@ -74,7 +74,7 @@ func repairs(rel *relation.Relation, keyIdx []int, weightIdx int, weighted bool,
 		p := piece{rel: relation.New(rel.Schema), prob: oneIf(weighted)}
 		for gi, key := range order {
 			t := groups[key][choice[gi]]
-			p.rel.Tuples = append(p.rel.Tuples, t)
+			p.rel.AppendRow(t)
 			if weighted {
 				p.prob *= groupProbs[gi][choice[gi]]
 			}
@@ -127,7 +127,7 @@ func choices(rel *relation.Relation, attrIdx []int, weightIdx int, weighted bool
 	}
 	for i, key := range order {
 		p := piece{rel: relation.New(rel.Schema), prob: 0}
-		p.rel.Tuples = append(p.rel.Tuples, groups[key]...)
+		p.rel.AppendRows(groups[key])
 		if weighted {
 			if weightIdx >= 0 {
 				p.prob = weights[i] / totalW

@@ -468,7 +468,7 @@ func (e In) Eval(ctx *Context) (value.Value, error) {
 		if rel.Schema.Len() != 1 {
 			return value.Null(), fmt.Errorf("%w: IN subquery must return one column, got %s", ErrEval, rel.Schema)
 		}
-		for _, t := range rel.Tuples {
+		for _, t := range rel.Rows() {
 			if t[0].IsNull() {
 				sawNull = true
 			} else if value.Equal(l, t[0]) {
@@ -532,7 +532,7 @@ func (e Scalar) Eval(ctx *Context) (value.Value, error) {
 	case 0:
 		return value.Null(), nil
 	case 1:
-		return rel.Tuples[0][0], nil
+		return rel.Rows()[0][0], nil
 	default:
 		return value.Null(), fmt.Errorf("%w: scalar subquery returned %d rows", ErrEval, rel.Len())
 	}

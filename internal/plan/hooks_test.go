@@ -82,7 +82,7 @@ func TestBuildOnRelationAggregates(t *testing.T) {
 		t.Fatal(err)
 	}
 	out, err := algebra.Collect(op, nil)
-	if err != nil || out.Tuples[0][0].AsInt() != 79 {
+	if err != nil || out.Rows()[0][0].AsInt() != 79 {
 		t.Errorf("aggregate over relation = %v, %v", out, err)
 	}
 }

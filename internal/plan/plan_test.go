@@ -116,8 +116,8 @@ func planErr(t *testing.T, cat Catalog, q string) error {
 
 func TestSelectStarWhere(t *testing.T) {
 	out := run(t, figure1(), "select * from R where A = 'a3'")
-	if out.Len() != 1 || out.Tuples[0][1].AsInt() != 20 {
-		t.Errorf("result = %v", out.Tuples)
+	if out.Len() != 1 || out.Rows()[0][1].AsInt() != 20 {
+		t.Errorf("result = %v", out.Rows())
 	}
 	if out.Schema.Len() != 4 {
 		t.Errorf("star expansion = %s", out.Schema)
@@ -133,13 +133,13 @@ func TestProjectionAndAlias(t *testing.T) {
 		t.Errorf("rows = %d", out.Len())
 	}
 	found := false
-	for _, tp := range out.Tuples {
+	for _, tp := range out.Rows() {
 		if tp[1].AsInt() == 11 {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("computed column missing: %v", out.Tuples)
+		t.Errorf("computed column missing: %v", out.Rows())
 	}
 }
 
@@ -147,7 +147,7 @@ func TestSelfJoinWithAliases(t *testing.T) {
 	out := run(t, figure1(), "select r1.A, r2.A from R r1, R r2 where r1.B = r2.B and r1.C <> r2.C")
 	// B=20 appears in (a2,c4) and (a3,c5): two ordered pairs.
 	if out.Len() != 2 {
-		t.Errorf("self join rows = %d: %v", out.Len(), out.Tuples)
+		t.Errorf("self join rows = %d: %v", out.Len(), out.Rows())
 	}
 }
 
@@ -162,7 +162,7 @@ func TestExistsSubquery(t *testing.T) {
 	// R rows whose C appears in S.
 	out := run(t, figure1(), "select A, C from R where exists (select * from S where S.C = R.C)")
 	if out.Len() != 2 {
-		t.Errorf("exists rows = %d: %v", out.Len(), out.Tuples)
+		t.Errorf("exists rows = %d: %v", out.Len(), out.Rows())
 	}
 }
 
@@ -184,7 +184,7 @@ func TestNotExists(t *testing.T) {
 func TestScalarSubquery(t *testing.T) {
 	out := run(t, figure1(), "select A from R where B = (select max(B) from R)")
 	if out.Len() != 2 {
-		t.Errorf("rows with max B = %d: %v", out.Len(), out.Tuples)
+		t.Errorf("rows with max B = %d: %v", out.Len(), out.Rows())
 	}
 }
 
@@ -201,8 +201,8 @@ func TestInSubquery(t *testing.T) {
 
 func TestScalarAggregate(t *testing.T) {
 	out := run(t, figure1(), "select sum(B) from R")
-	if out.Len() != 1 || out.Tuples[0][0].AsInt() != 79 {
-		t.Errorf("sum = %v", out.Tuples)
+	if out.Len() != 1 || out.Rows()[0][0].AsInt() != 79 {
+		t.Errorf("sum = %v", out.Rows())
 	}
 	if out.Schema.Names()[0] != "sum" {
 		t.Errorf("agg output name = %s", out.Schema)
@@ -213,27 +213,27 @@ func TestGroupByHavingOrder(t *testing.T) {
 	out := run(t, figure1(), `select A, sum(D) as total, count(*) as n from R
 		group by A having count(*) > 1 order by A`)
 	if out.Len() != 2 {
-		t.Fatalf("groups = %d: %v", out.Len(), out.Tuples)
+		t.Fatalf("groups = %d: %v", out.Len(), out.Rows())
 	}
-	if out.Tuples[0][0].AsStr() != "a1" || out.Tuples[0][1].AsInt() != 8 || out.Tuples[0][2].AsInt() != 2 {
-		t.Errorf("group a1 = %v", out.Tuples[0])
+	if out.Rows()[0][0].AsStr() != "a1" || out.Rows()[0][1].AsInt() != 8 || out.Rows()[0][2].AsInt() != 2 {
+		t.Errorf("group a1 = %v", out.Rows()[0])
 	}
-	if out.Tuples[1][0].AsStr() != "a2" || out.Tuples[1][1].AsInt() != 9 {
-		t.Errorf("group a2 = %v", out.Tuples[1])
+	if out.Rows()[1][0].AsStr() != "a2" || out.Rows()[1][1].AsInt() != 9 {
+		t.Errorf("group a2 = %v", out.Rows()[1])
 	}
 }
 
 func TestAggregateArgExpression(t *testing.T) {
 	out := run(t, figure1(), "select sum(B * D) from R where A = 'a1'")
-	if out.Tuples[0][0].AsInt() != 10*2+15*6 {
-		t.Errorf("sum(B*D) = %v", out.Tuples[0][0])
+	if out.Rows()[0][0].AsInt() != 10*2+15*6 {
+		t.Errorf("sum(B*D) = %v", out.Rows()[0][0])
 	}
 }
 
 func TestRepeatedAggregateSharesColumn(t *testing.T) {
 	out := run(t, figure1(), "select sum(B), sum(B) + 1 from R")
-	if out.Tuples[0][0].AsInt() != 79 || out.Tuples[0][1].AsInt() != 80 {
-		t.Errorf("repeated agg = %v", out.Tuples[0])
+	if out.Rows()[0][0].AsInt() != 79 || out.Rows()[0][1].AsInt() != 80 {
+		t.Errorf("repeated agg = %v", out.Rows()[0])
 	}
 }
 
@@ -253,7 +253,7 @@ func TestFigure5UnionQuery(t *testing.T) {
 	out := run(t, cat, `select SSN, TEL, SSN as "SSN'", TEL as "TEL'" from R
 		union select SSN, TEL, TEL as "SSN'", SSN as "TEL'" from R`)
 	if out.Len() != 4 {
-		t.Errorf("figure 5 S = %d rows: %v", out.Len(), out.Tuples)
+		t.Errorf("figure 5 S = %d rows: %v", out.Len(), out.Rows())
 	}
 	if out.Schema.Names()[2] != "SSN'" {
 		t.Errorf("schema = %s", out.Schema)
@@ -265,15 +265,15 @@ func TestOrderByDescAndLimit(t *testing.T) {
 	if out.Len() != 2 {
 		t.Fatalf("limit = %d", out.Len())
 	}
-	if out.Tuples[0][1].AsInt() != 20 || out.Tuples[0][0].AsStr() != "a2" {
-		t.Errorf("order = %v", out.Tuples)
+	if out.Rows()[0][1].AsInt() != 20 || out.Rows()[0][0].AsStr() != "a2" {
+		t.Errorf("order = %v", out.Rows())
 	}
 }
 
 func TestOrderByPosition(t *testing.T) {
 	out := run(t, figure1(), "select A, B from R order by 2 desc limit 1")
-	if out.Tuples[0][1].AsInt() != 20 {
-		t.Errorf("positional order = %v", out.Tuples)
+	if out.Rows()[0][1].AsInt() != 20 {
+		t.Errorf("positional order = %v", out.Rows())
 	}
 }
 
@@ -286,15 +286,15 @@ func TestSelectDistinct(t *testing.T) {
 
 func TestSelectWithoutFrom(t *testing.T) {
 	out := run(t, figure1(), "select 1 + 1 as two")
-	if out.Len() != 1 || out.Tuples[0][0].AsInt() != 2 {
-		t.Errorf("dual = %v", out.Tuples)
+	if out.Len() != 1 || out.Rows()[0][0].AsInt() != 2 {
+		t.Errorf("dual = %v", out.Rows())
 	}
 }
 
 func TestNullLiteralProjection(t *testing.T) {
 	out := run(t, figure1(), "select null as n from R where A = 'a3'")
-	if out.Len() != 1 || !out.Tuples[0][0].IsNull() {
-		t.Errorf("null projection = %v", out.Tuples)
+	if out.Len() != 1 || !out.Rows()[0][0].IsNull() {
+		t.Errorf("null projection = %v", out.Rows())
 	}
 }
 
@@ -328,7 +328,7 @@ func TestCorrelatedScalarSubquery(t *testing.T) {
 	// For each R row, count S rows with the same C.
 	out := run(t, figure1(), `select A, C, (select count(*) from S where S.C = R.C) as n from R order by A, C`)
 	counts := map[string]int64{}
-	for _, tp := range out.Tuples {
+	for _, tp := range out.Rows() {
 		counts[tp[1].AsStr()] = tp[2].AsInt()
 	}
 	want := map[string]int64{"c1": 0, "c2": 1, "c3": 0, "c4": 2, "c5": 0}
@@ -347,7 +347,7 @@ func TestDoublyNestedSubquery(t *testing.T) {
 	out := run(t, figure1(), q)
 	// e1 appears twice; S rows with e1 have C = c2 and c4 → R rows a1(c2), a2(c4).
 	if out.Len() != 2 {
-		t.Errorf("nested rows = %d: %v", out.Len(), out.Tuples)
+		t.Errorf("nested rows = %d: %v", out.Len(), out.Rows())
 	}
 }
 

@@ -17,8 +17,8 @@ import (
 // Fields parse straight into per-column builders (with the csv reader's
 // record slice reused across rows) — no per-row tuple is ever built during
 // the load, so bulk ingestion allocates per column, not per row. The loaded
-// relation carries the assembled batch as its cached columnar view and its
-// tuples are materialized from one slab.
+// relation is backed by the assembled columnar batch directly; rows, if a
+// caller ever asks for them, materialize lazily from one slab.
 func ReadCSV(r io.Reader) (*Relation, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
@@ -51,22 +51,19 @@ func ReadCSV(r io.Reader) (*Relation, error) {
 	for i := range builders {
 		cols[i] = builders[i].Col()
 	}
-	batch := colbatch.FromCols(sch, cols, n)
-	rel := New(sch)
-	rel.Tuples = batch.Rows()
-	rel.SetBatch(batch)
-	return rel, nil
+	return FromBatch(colbatch.FromCols(sch, cols, n)), nil
 }
 
 // WriteCSV writes the relation as CSV with a header row, tuples in
-// canonical order.
+// canonical order. One record buffer is reused across rows, so the export
+// allocates per column value rendered, not per row.
 func (r *Relation) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(r.Schema.Names()); err != nil {
 		return err
 	}
-	for _, t := range r.Sort().Tuples {
-		rec := make([]string, len(t))
+	rec := make([]string, r.Schema.Len())
+	for _, t := range r.Sort().Rows() {
 		for i, v := range t {
 			rec[i] = v.String()
 		}

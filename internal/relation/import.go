@@ -1,0 +1,318 @@
+package relation
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"maybms/internal/colbatch"
+	"maybms/internal/schema"
+	"maybms/internal/tuple"
+	"maybms/internal/value"
+)
+
+// MaxChoiceAlternatives caps the number of alternatives a single
+// NULLS AS CHOICE row may expand into (the cross product of the active
+// domains of its NULL columns). Dirty rows beyond the cap fail the import
+// rather than silently exploding the decomposition.
+const MaxChoiceAlternatives = 4096
+
+// ImportOptions selects how much uncertainty the loader compiles into the
+// ingested file.
+type ImportOptions struct {
+	// NullsChoice turns every row containing a NULL into a choice
+	// component: one alternative per combination of active-domain fills
+	// for its NULL cells (a column with no non-NULL values anywhere keeps
+	// NULL), uniformly weighted.
+	NullsChoice bool
+	// RepairKey lists key columns; rows that agree on the key (among the
+	// non-choice rows) become mutually exclusive repair alternatives.
+	RepairKey []string
+	// Weight names a positive numeric column providing repair-group
+	// weights (w/Σ_group w); empty means uniform.
+	Weight string
+}
+
+// ImportGroup is one independent component discovered during load: a set
+// of mutually exclusive alternative rows over the file's schema. Rel holds
+// one row per alternative (alternative i is row i), so consumers can slice
+// the backing batch per alternative without copying. Probs are the
+// in-group choice probabilities (they always sum to 1; unweighted
+// consumers simply ignore them).
+type ImportGroup struct {
+	Choice bool // NULL-fill choice group, else repair-key group
+	Rel    *Relation
+	Probs  []float64
+}
+
+// ImportPlan is the backend-agnostic result of classifying a CSV file:
+// the rows that hold in every world plus the uncertainty components, in
+// first-row-appearance order. Both the naive engine (world splitting) and
+// the WSD engine (component registration) consume the same plan, so their
+// represented world-sets agree by construction.
+type ImportPlan struct {
+	Schema  *schema.Schema
+	Certain *Relation
+	Groups  []ImportGroup
+}
+
+// WorldCount returns the number of worlds the plan represents (the
+// product of the group sizes), saturating at lim+1 so callers can bound
+// the naive expansion without overflow.
+func (p *ImportPlan) WorldCount(lim int) int {
+	count := 1
+	for _, g := range p.Groups {
+		count *= g.Rel.Len()
+		if count > lim {
+			return lim + 1
+		}
+	}
+	return count
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func LoadCSVFile(path string, opts ImportOptions) (*ImportPlan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("relation: import: %w", err)
+	}
+	defer f.Close()
+	return LoadCSV(f, opts)
+}
+
+// LoadCSV bulk-loads CSV (header row first, fields interpreted with
+// value.Parse) and classifies the rows into an ImportPlan. The file loads
+// straight into per-column builders — per-column allocation, no per-row
+// tuples — and the certain part of the plan is a columnar gather (or the
+// whole stored batch when the file carries no uncertainty).
+func LoadCSV(r io.Reader, opts ImportOptions) (*ImportPlan, error) {
+	rel, err := ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	return classifyImport(rel, opts)
+}
+
+func classifyImport(rel *Relation, opts ImportOptions) (*ImportPlan, error) {
+	sch := rel.Schema
+	b := rel.Batch()
+	n := b.Len()
+
+	if !opts.NullsChoice && len(opts.RepairKey) == 0 {
+		return &ImportPlan{Schema: sch, Certain: rel}, nil
+	}
+
+	var keyIdx []int
+	if len(opts.RepairKey) > 0 {
+		var err error
+		keyIdx, err = sch.IndexesOf(opts.RepairKey)
+		if err != nil {
+			return nil, fmt.Errorf("relation: import: %w", err)
+		}
+	}
+	weightIdx := -1
+	if opts.Weight != "" {
+		idx, err := sch.Resolve("", opts.Weight)
+		if err != nil {
+			return nil, fmt.Errorf("relation: import: weight: %w", err)
+		}
+		weightIdx = idx
+	}
+
+	// Rows with a NULL become choice groups; everything else is eligible
+	// for repair-key grouping.
+	choiceRow := make([]bool, n)
+	if opts.NullsChoice {
+		allCols := make([]int, sch.Len())
+		for j := range allCols {
+			allCols[j] = j
+		}
+		for i := 0; i < n; i++ {
+			choiceRow[i] = b.HasNullAt(allCols, i)
+		}
+	}
+
+	// Group the remaining rows by repair key (first-appearance order).
+	// Most keys never conflict, so member slices materialize only once a
+	// group gains its second row — singleton groups cost one map insert,
+	// not a slice allocation per distinct key.
+	var groupOf []int32 // row index → key-group id, -1 for choice rows
+	var firstOf []int32 // key-group id → its first row
+	members := map[int32][]int32{}
+	if len(keyIdx) > 0 {
+		groupOf = make([]int32, n)
+		seen := map[string]int32{}
+		var key []byte
+		for i := 0; i < n; i++ {
+			if choiceRow[i] {
+				groupOf[i] = -1
+				continue
+			}
+			key = b.AppendKeyOn(key[:0], keyIdx, i)
+			gi, ok := seen[string(key)]
+			if !ok {
+				gi = int32(len(firstOf))
+				seen[string(key)] = gi
+				firstOf = append(firstOf, int32(i))
+				groupOf[i] = gi
+				continue
+			}
+			groupOf[i] = gi
+			if m, conflicted := members[gi]; conflicted {
+				members[gi] = append(m, int32(i))
+			} else {
+				members[gi] = []int32{firstOf[gi], int32(i)}
+			}
+		}
+	}
+
+	plan := &ImportPlan{Schema: sch}
+	domains := newDomainCache(b)
+	var certSel []int32
+	for i := 0; i < n; i++ {
+		switch {
+		case choiceRow[i]:
+			g, err := choiceGroup(b, i, domains)
+			if err != nil {
+				return nil, err
+			}
+			plan.Groups = append(plan.Groups, g)
+		case groupOf != nil && members[groupOf[i]] != nil:
+			sel := members[groupOf[i]]
+			if sel[0] != int32(i) {
+				continue // group already emitted at its first row
+			}
+			g, err := repairGroup(b, sel, weightIdx)
+			if err != nil {
+				return nil, err
+			}
+			plan.Groups = append(plan.Groups, g)
+		default:
+			certSel = append(certSel, int32(i))
+		}
+	}
+	if len(certSel) == n {
+		plan.Certain = rel
+	} else {
+		plan.Certain = FromBatch(b.Gather(certSel))
+	}
+	return plan, nil
+}
+
+// domainCache lazily computes per-column active domains: the distinct
+// non-NULL values of a column across the whole file, in first-appearance
+// order. Only columns that actually host a NULL fill are ever scanned.
+type domainCache struct {
+	b    *colbatch.Batch
+	cols map[int][]value.Value
+}
+
+func newDomainCache(b *colbatch.Batch) *domainCache {
+	return &domainCache{b: b, cols: map[int][]value.Value{}}
+}
+
+func (dc *domainCache) domain(j int) []value.Value {
+	if d, ok := dc.cols[j]; ok {
+		return d
+	}
+	var d []value.Value
+	seen := map[string]struct{}{}
+	var key []byte
+	col := dc.b.Col(j)
+	for i, n := 0, dc.b.Len(); i < n; i++ {
+		if col.Null(i) {
+			continue
+		}
+		v := col.Value(i)
+		key = v.Encode(key[:0])
+		if _, ok := seen[string(key)]; ok {
+			continue
+		}
+		seen[string(key)] = struct{}{}
+		d = append(d, v)
+	}
+	dc.cols[j] = d
+	return d
+}
+
+// choiceGroup expands row i into one alternative per combination of
+// active-domain fills for its NULL columns, uniformly weighted. The last
+// NULL column varies fastest, and a column whose domain is empty keeps
+// NULL (one option). The expansion is capped at MaxChoiceAlternatives.
+func choiceGroup(b *colbatch.Batch, i int, domains *domainCache) (ImportGroup, error) {
+	sch := b.Schema
+	var nullCols []int
+	for j := 0; j < sch.Len(); j++ {
+		if b.Col(j).Null(i) {
+			nullCols = append(nullCols, j)
+		}
+	}
+	fills := make([][]value.Value, len(nullCols))
+	total := 1
+	for k, j := range nullCols {
+		d := domains.domain(j)
+		if len(d) == 0 {
+			d = []value.Value{value.Null()} // nothing to fill from
+		}
+		fills[k] = d
+		total *= len(d)
+		if total > MaxChoiceAlternatives {
+			return ImportGroup{}, fmt.Errorf(
+				"relation: import: row %d expands to more than %d alternatives; clean the row or drop NULLS AS CHOICE",
+				i+1, MaxChoiceAlternatives)
+		}
+	}
+	rel := New(sch)
+	base := b.Row(i)
+	pick := make([]int, len(nullCols))
+	for a := 0; a < total; a++ {
+		// Appending hands off ownership of the row, so each alternative
+		// needs its own copy of the base tuple.
+		row := append(tuple.Tuple(nil), base...)
+		for k, j := range nullCols {
+			row[j] = fills[k][pick[k]]
+		}
+		rel.MustAppend(row)
+		for k := len(pick) - 1; k >= 0; k-- {
+			pick[k]++
+			if pick[k] < len(fills[k]) {
+				break
+			}
+			pick[k] = 0
+		}
+	}
+	probs := make([]float64, total)
+	for a := range probs {
+		probs[a] = 1 / float64(total)
+	}
+	return ImportGroup{Choice: true, Rel: rel, Probs: probs}, nil
+}
+
+// repairGroup turns the key-conflicting rows sel into mutually exclusive
+// alternatives, weight-proportional when a weight column was given.
+func repairGroup(b *colbatch.Batch, sel []int32, weightIdx int) (ImportGroup, error) {
+	rel := FromBatch(b.Gather(sel))
+	probs := make([]float64, len(sel))
+	if weightIdx < 0 {
+		for a := range probs {
+			probs[a] = 1 / float64(len(sel))
+		}
+		return ImportGroup{Rel: rel, Probs: probs}, nil
+	}
+	sum := 0.0
+	for _, ri := range sel {
+		v := b.At(int(ri), weightIdx)
+		if !v.IsNumeric() {
+			return ImportGroup{}, fmt.Errorf("relation: import: row %d: weight value %v is not numeric", ri+1, v)
+		}
+		w := v.AsFloat()
+		if w <= 0 {
+			return ImportGroup{}, fmt.Errorf("relation: import: row %d: weight value %g must be positive", ri+1, w)
+		}
+		sum += w
+	}
+	for a, ri := range sel {
+		probs[a] = b.At(int(ri), weightIdx).AsFloat() / sum
+	}
+	return ImportGroup{Rel: rel, Probs: probs}, nil
+}

@@ -2,6 +2,14 @@
 // tuples. Relations support the set-level operations the possible-worlds
 // engine needs — deduplication, union, intersection, difference, sorting,
 // order-insensitive fingerprints — plus pretty printing and CSV I/O.
+//
+// Storage invariant: the batch is the truth, rows are a view. A Relation is
+// backed by a colbatch.Batch — columnar when built by the bulk loaders and
+// closure builders (FromBatch), row-backed when built tuple-at-a-time (New,
+// FromRows, Append) — and Rows() materializes tuple.Tuple views lazily, once,
+// only when a row path asks. The vectorized read path (Batch, BatchView) and
+// the key-encoding paths (Distinct, Fingerprint, Contains) never touch
+// tuples on a columnar-backed relation.
 package relation
 
 import (
@@ -18,20 +26,27 @@ import (
 	"maybms/internal/tuple"
 )
 
-// Relation is a schema plus a bag of tuples. Most engine operations treat
-// relations as immutable after construction; Append is only used while
-// building.
+// Relation is a schema plus a bag of tuples backed by a columnar or
+// row-backed batch. Most engine operations treat relations as immutable
+// after construction; Append is only used while building.
 //
-// Two lazily built caches ride along: a columnar view (Batch) feeding the
-// vectorized read path and an encoded-key set (Contains). Both are validated
-// by tuple count, so appending after a cached read rebuilds them; they are
-// safe for concurrent readers.
+// Lazily built caches ride along: a materialized row view (Rows), a columnar
+// view for row-backed stores (Batch) and an encoded-key set (Contains). All
+// are validated by tuple count, so appending after a cached read rebuilds
+// them; they are safe for concurrent readers.
 type Relation struct {
 	Schema *schema.Schema
-	Tuples []tuple.Tuple
 
-	batch atomic.Pointer[colbatch.Batch]
-	keys  atomic.Pointer[keyIndex]
+	store *colbatch.Batch // the truth; nil means empty
+
+	rows atomic.Pointer[rowsView]       // lazy row view of a columnar store
+	col  atomic.Pointer[colbatch.Batch] // lazy columnar view of a row-backed store
+	keys atomic.Pointer[keyIndex]
+}
+
+type rowsView struct {
+	n    int
+	rows []tuple.Tuple
 }
 
 type keyIndex struct {
@@ -39,49 +54,123 @@ type keyIndex struct {
 	set map[string]struct{}
 }
 
-// Batch returns a columnar view of the relation, building and caching it on
-// first use. The view is valid as long as the tuple count is unchanged;
-// callers must treat it as immutable.
-func (r *Relation) Batch() *colbatch.Batch {
-	if b := r.batch.Load(); b != nil && b.Len() == len(r.Tuples) {
-		return b
+// ensure returns the backing store, installing an empty row-backed one on a
+// relation built as a bare literal.
+func (r *Relation) ensure() *colbatch.Batch {
+	if r.store == nil {
+		r.store = colbatch.FromRowsShared(r.Schema, make([]tuple.Tuple, 0))
 	}
-	b := colbatch.FromRows(r.Schema, r.Tuples)
-	r.batch.Store(b)
-	return b
+	return r.store
 }
 
-// SetBatch installs a pre-built columnar view (the CSV loader and the
-// batch-native closure seam build the batch first and materialize rows from
-// it).
-func (r *Relation) SetBatch(b *colbatch.Batch) { r.batch.Store(b) }
-
-// BatchView returns a batch over the relation's tuples without ever
-// columnarizing: the cached columnar view when one is valid, else a
-// zero-copy row-backed wrapper. Key-encoding consumers (Distinct, the
-// worldset closure workers) read typed columns when the columnar cache is
-// warm and fall back to tuple encoding otherwise, with identical bytes.
-func (r *Relation) BatchView() *colbatch.Batch {
-	if b := r.batch.Load(); b != nil && b.Len() == len(r.Tuples) {
-		return b
-	}
-	return colbatch.FromRowsShared(r.Schema, r.Tuples)
-}
-
-// New creates an empty relation with the given schema.
+// New creates an empty relation with the given schema. The store starts
+// row-backed, so tuple-at-a-time building stays allocation-cheap.
 func New(s *schema.Schema) *Relation {
-	return &Relation{Schema: s}
+	return &Relation{Schema: s, store: colbatch.FromRowsShared(s, make([]tuple.Tuple, 0))}
 }
 
 // FromRows builds a relation from a schema and rows, validating widths.
+// The slice is copied; the tuples are shared.
 func FromRows(s *schema.Schema, rows []tuple.Tuple) (*Relation, error) {
-	r := New(s)
 	for _, row := range rows {
-		if err := r.Append(row); err != nil {
-			return nil, err
+		if len(row) != s.Len() {
+			return nil, fmt.Errorf("relation: tuple width %d does not match schema %s", len(row), s)
 		}
 	}
-	return r, nil
+	cp := make([]tuple.Tuple, len(rows))
+	copy(cp, rows)
+	return &Relation{Schema: s, store: colbatch.FromRowsShared(s, cp)}, nil
+}
+
+// FromRowsShared wraps already materialized rows as a row-backed relation
+// without copying: the relation takes ownership of the slice.
+func FromRowsShared(s *schema.Schema, rows []tuple.Tuple) *Relation {
+	return &Relation{Schema: s, store: colbatch.FromRowsShared(s, rows)}
+}
+
+// FromBatch wraps a batch as the relation's backing store, zero-copy. The
+// batch (columnar or row-backed) must be treated as owned by the relation.
+func FromBatch(b *colbatch.Batch) *Relation {
+	return &Relation{Schema: b.Schema, store: b}
+}
+
+// Batch returns a columnar view of the relation. For a columnar-backed
+// relation this is the store itself (identity, zero-copy); for a row-backed
+// one the columnar view is built and cached on first use. The view is valid
+// as long as the tuple count is unchanged; callers must treat it as
+// immutable.
+func (r *Relation) Batch() *colbatch.Batch {
+	if r.store == nil {
+		return colbatch.New(r.Schema)
+	}
+	if !r.store.RowBacked() {
+		return r.store
+	}
+	if b := r.col.Load(); b != nil && b.Len() == r.store.Len() {
+		return b
+	}
+	b := colbatch.FromRows(r.Schema, r.store.Rows())
+	r.col.Store(b)
+	return b
+}
+
+// SetBatch installs a pre-built columnar view for a row-backed relation
+// (builders that assemble the batch first and the relation second use it to
+// avoid a re-encode). On a columnar-backed relation it is a no-op: the
+// store already is the batch.
+func (r *Relation) SetBatch(b *colbatch.Batch) {
+	if r.store != nil && !r.store.RowBacked() {
+		return
+	}
+	r.col.Store(b)
+}
+
+// BatchView returns a batch over the relation's contents without ever
+// columnarizing: the store itself when columnar, the cached columnar view
+// when one is valid, else the row-backed store as-is. Key-encoding
+// consumers (Distinct, the worldset closure workers) read typed columns
+// when available and fall back to tuple encoding otherwise, with identical
+// bytes.
+func (r *Relation) BatchView() *colbatch.Batch {
+	if r.store == nil {
+		return colbatch.FromRowsShared(r.Schema, nil)
+	}
+	if !r.store.RowBacked() {
+		return r.store
+	}
+	if b := r.col.Load(); b != nil && b.Len() == r.store.Len() {
+		return b
+	}
+	return r.store
+}
+
+// Rows returns the relation's tuples as a row view. For a row-backed store
+// this is the underlying slice (free); for a columnar store the rows are
+// materialized once (one slab) and cached. Callers must treat the returned
+// tuples as immutable and must not append through the returned slice.
+func (r *Relation) Rows() []tuple.Tuple {
+	if r == nil || r.store == nil {
+		return nil
+	}
+	if r.store.RowBacked() {
+		return r.store.Rows()
+	}
+	n := r.store.Len()
+	if v := r.rows.Load(); v != nil && v.n == n {
+		return v.rows
+	}
+	rows := r.store.Rows()
+	r.rows.Store(&rowsView{n: n, rows: rows})
+	return rows
+}
+
+// SetRows replaces the relation's contents with the given rows, which the
+// relation takes ownership of (the wholesale-rebuild form of Append).
+func (r *Relation) SetRows(rows []tuple.Tuple) {
+	r.store = colbatch.FromRowsShared(r.Schema, rows)
+	r.rows.Store(nil)
+	r.col.Store(nil)
+	r.keys.Store(nil)
 }
 
 // Append adds a tuple, checking its width against the schema.
@@ -89,7 +178,7 @@ func (r *Relation) Append(t tuple.Tuple) error {
 	if len(t) != r.Schema.Len() {
 		return fmt.Errorf("relation: tuple width %d does not match schema %s", len(t), r.Schema)
 	}
-	r.Tuples = append(r.Tuples, t)
+	r.ensure().Append(t)
 	return nil
 }
 
@@ -100,18 +189,46 @@ func (r *Relation) MustAppend(t tuple.Tuple) {
 	}
 }
 
+// AppendRow adds a tuple without a width check — the builder fast path for
+// callers that constructed the tuple against the schema already.
+func (r *Relation) AppendRow(t tuple.Tuple) {
+	r.ensure().Append(t)
+}
+
+// AppendRows bulk-appends tuples without width checks.
+func (r *Relation) AppendRows(ts []tuple.Tuple) {
+	b := r.ensure()
+	for _, t := range ts {
+		b.Append(t)
+	}
+}
+
 // Len returns the number of tuples (bag cardinality).
-func (r *Relation) Len() int { return len(r.Tuples) }
+func (r *Relation) Len() int {
+	if r == nil || r.store == nil {
+		return 0
+	}
+	return r.store.Len()
+}
 
 // Empty reports whether the relation has no tuples.
-func (r *Relation) Empty() bool { return len(r.Tuples) == 0 }
+func (r *Relation) Empty() bool { return r.Len() == 0 }
 
-// Clone returns a deep-enough copy: the tuple slice is copied; the tuples
-// themselves are immutable and shared.
+// Clone returns a deep-enough copy. A row-backed store's tuple slice is
+// copied (the tuples themselves are immutable and shared); a columnar store
+// is shared zero-copy behind a capacity-clamped slice, so appends to either
+// copy reallocate instead of aliasing.
 func (r *Relation) Clone() *Relation {
-	out := &Relation{Schema: r.Schema, Tuples: make([]tuple.Tuple, len(r.Tuples))}
-	copy(out.Tuples, r.Tuples)
-	return out
+	if r.store == nil {
+		return New(r.Schema)
+	}
+	if r.store.RowBacked() {
+		src := r.store.Rows()
+		cp := make([]tuple.Tuple, len(src))
+		copy(cp, src)
+		return FromRowsShared(r.Schema, cp)
+	}
+	return &Relation{Schema: r.Schema, store: r.store.Slice(0, r.store.Len())}
 }
 
 // WithSchema returns a shallow view of r under a different schema of the
@@ -120,29 +237,47 @@ func (r *Relation) WithSchema(s *schema.Schema) *Relation {
 	if s.Len() != r.Schema.Len() {
 		panic(fmt.Sprintf("relation: WithSchema width mismatch %d vs %d", s.Len(), r.Schema.Len()))
 	}
-	return &Relation{Schema: s, Tuples: r.Tuples}
+	if r.store == nil {
+		return New(s)
+	}
+	// Slice(0, n) gives a capacity-clamped view with its own column headers,
+	// so appends through the view never reach back into r.
+	b := r.store.Slice(0, r.store.Len())
+	b.Schema = s
+	return &Relation{Schema: s, store: b}
 }
 
 // Distinct returns the set version of r: duplicates removed, first
-// occurrence order preserved.
+// occurrence order preserved. On a columnar-backed relation the result is
+// assembled by gather, without touching tuples.
 func (r *Relation) Distinct() *Relation {
-	out := New(r.Schema)
 	bv := r.BatchView()
-	seen := make(map[string]struct{}, len(r.Tuples))
+	n := bv.Len()
+	seen := make(map[string]struct{}, n)
 	var buf []byte
-	for i, t := range r.Tuples {
+	sel := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
 		// One scratch buffer for all rows — encoded from typed columns when
-		// the columnar cache is warm; the string(buf) lookup does not
-		// allocate, and the key string is materialized only on first
-		// occurrence.
+		// the store is columnar; the string(buf) lookup does not allocate,
+		// and the key string is materialized only on first occurrence.
 		buf = bv.AppendKey(buf[:0], i)
 		if _, ok := seen[string(buf)]; ok {
 			continue
 		}
 		seen[string(buf)] = struct{}{}
-		out.Tuples = append(out.Tuples, t)
+		sel = append(sel, int32(i))
 	}
-	return out
+	if bv.RowBacked() {
+		rows := bv.Rows()
+		out := make([]tuple.Tuple, len(sel))
+		for i, s := range sel {
+			out[i] = rows[s]
+		}
+		return FromRowsShared(r.Schema, out)
+	}
+	b := bv.Gather(sel)
+	b.Schema = r.Schema
+	return FromBatch(b)
 }
 
 // Contains reports whether r contains a tuple equal to t. The encoded-key
@@ -151,16 +286,18 @@ func (r *Relation) Distinct() *Relation {
 // re-encodes every candidate.
 func (r *Relation) Contains(t tuple.Tuple) bool {
 	idx := r.keys.Load()
-	if idx == nil || idx.n != len(r.Tuples) {
-		set := make(map[string]struct{}, len(r.Tuples))
+	if idx == nil || idx.n != r.Len() {
+		bv := r.BatchView()
+		n := bv.Len()
+		set := make(map[string]struct{}, n)
 		var buf []byte
-		for _, u := range r.Tuples {
-			buf = u.Encode(buf[:0])
+		for i := 0; i < n; i++ {
+			buf = bv.AppendKey(buf[:0], i)
 			if _, ok := set[string(buf)]; !ok {
 				set[string(buf)] = struct{}{}
 			}
 		}
-		idx = &keyIndex{n: len(r.Tuples), set: set}
+		idx = &keyIndex{n: n, set: set}
 		r.keys.Store(idx)
 	}
 	buf := t.Encode(make([]byte, 0, 48))
@@ -170,11 +307,13 @@ func (r *Relation) Contains(t tuple.Tuple) bool {
 
 // Sort returns a copy of r with tuples in canonical order.
 func (r *Relation) Sort() *Relation {
-	out := r.Clone()
-	sort.SliceStable(out.Tuples, func(i, j int) bool {
-		return tuple.Compare(out.Tuples[i], out.Tuples[j]) < 0
+	src := r.Rows()
+	out := make([]tuple.Tuple, len(src))
+	copy(out, src)
+	sort.SliceStable(out, func(i, j int) bool {
+		return tuple.Compare(out[i], out[j]) < 0
 	})
-	return out
+	return FromRowsShared(r.Schema, out)
 }
 
 // Fingerprint returns an order-insensitive hash of the deduplicated tuple
@@ -182,14 +321,16 @@ func (r *Relation) Sort() *Relation {
 // (up to hash collisions; tuples are canonically encoded and sorted before
 // hashing, so collisions require FNV collisions).
 func (r *Relation) Fingerprint() uint64 {
-	// Encode every tuple into one arena, sort offset indexes by encoded
+	// Encode every row into one arena, sort offset indexes by encoded
 	// bytes, and stream the unique keys straight into the hash — the same
-	// byte stream FingerprintKeys hashes, with no per-tuple key strings.
-	n := len(r.Tuples)
+	// byte stream FingerprintKeys hashes, with no per-tuple key strings and
+	// no tuple materialization on a columnar store.
+	bv := r.BatchView()
+	n := bv.Len()
 	arena := make([]byte, 0, n*16)
 	offs := make([]int32, n+1)
-	for i, t := range r.Tuples {
-		arena = t.Encode(arena)
+	for i := 0; i < n; i++ {
+		arena = bv.AppendKey(arena, i)
 		offs[i+1] = int32(len(arena))
 	}
 	idx := make([]int32, n)
@@ -266,10 +407,11 @@ func (r *Relation) EqualSet(s *Relation) bool {
 }
 
 func keySet(r *Relation) map[string]struct{} {
-	out := make(map[string]struct{}, len(r.Tuples))
 	bv := r.BatchView()
+	n := bv.Len()
+	out := make(map[string]struct{}, n)
 	var buf []byte
-	for i := range r.Tuples {
+	for i := 0; i < n; i++ {
 		buf = bv.AppendKey(buf[:0], i)
 		if _, ok := out[string(buf)]; !ok {
 			out[string(buf)] = struct{}{}
@@ -281,48 +423,48 @@ func keySet(r *Relation) map[string]struct{} {
 // Union returns the set union of r and s (deduplicated). Schemas must have
 // the same width; r's schema is kept.
 func Union(r, s *Relation) *Relation {
-	out := New(r.Schema)
-	out.Tuples = append(out.Tuples, r.Tuples...)
-	out.Tuples = append(out.Tuples, s.Tuples...)
-	return out.Distinct()
+	out := make([]tuple.Tuple, 0, r.Len()+s.Len())
+	out = append(out, r.Rows()...)
+	out = append(out, s.Rows()...)
+	return FromRowsShared(r.Schema, out).Distinct()
 }
 
 // Intersect returns the set intersection of r and s. r's schema is kept.
 func Intersect(r, s *Relation) *Relation {
 	b := keySet(s)
-	out := New(r.Schema)
+	var out []tuple.Tuple
 	seen := map[string]struct{}{}
 	var buf []byte
-	for _, t := range r.Tuples {
+	for _, t := range r.Rows() {
 		buf = t.Encode(buf[:0])
 		if _, dup := seen[string(buf)]; dup {
 			continue
 		}
 		if _, ok := b[string(buf)]; ok {
-			out.Tuples = append(out.Tuples, t)
+			out = append(out, t)
 			seen[string(buf)] = struct{}{}
 		}
 	}
-	return out
+	return FromRowsShared(r.Schema, out)
 }
 
 // Diff returns the set difference r − s. r's schema is kept.
 func Diff(r, s *Relation) *Relation {
 	b := keySet(s)
-	out := New(r.Schema)
+	var out []tuple.Tuple
 	seen := map[string]struct{}{}
 	var buf []byte
-	for _, t := range r.Tuples {
+	for _, t := range r.Rows() {
 		buf = t.Encode(buf[:0])
 		if _, dup := seen[string(buf)]; dup {
 			continue
 		}
 		if _, ok := b[string(buf)]; !ok {
-			out.Tuples = append(out.Tuples, t)
+			out = append(out, t)
 			seen[string(buf)] = struct{}{}
 		}
 	}
-	return out
+	return FromRowsShared(r.Schema, out)
 }
 
 // GroupBy partitions the tuples by their values on the given column indexes.
@@ -335,8 +477,10 @@ func (r *Relation) GroupBy(indexes []int) (order []string, groups map[string][]t
 	idx := make(map[string]int)
 	var members [][]tuple.Tuple
 	var buf []byte
-	for _, t := range r.Tuples {
-		buf = t.EncodeOn(buf[:0], indexes)
+	bv := r.BatchView()
+	rows := r.Rows()
+	for i, t := range rows {
+		buf = bv.AppendKeyOn(buf[:0], indexes, i)
 		gi, ok := idx[string(buf)]
 		if !ok {
 			k := string(buf)
@@ -363,9 +507,9 @@ func (r *Relation) String() string {
 	for i, n := range names {
 		widths[i] = len(n)
 	}
-	sorted := r.Sort()
-	cells := make([][]string, len(sorted.Tuples))
-	for i, t := range sorted.Tuples {
+	sorted := r.Sort().Rows()
+	cells := make([][]string, len(sorted))
+	for i, t := range sorted {
 		cells[i] = make([]string, len(t))
 		for j, v := range t {
 			s := v.String()

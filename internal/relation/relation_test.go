@@ -106,7 +106,7 @@ func TestDistinct(t *testing.T) {
 	if d.Len() != 2 {
 		t.Errorf("Distinct len = %d", d.Len())
 	}
-	if d.Tuples[0][0].AsInt() != 1 || d.Tuples[1][0].AsInt() != 2 {
+	if d.Rows()[0][0].AsInt() != 1 || d.Rows()[1][0].AsInt() != 2 {
 		t.Error("Distinct must preserve first-appearance order")
 	}
 }
@@ -128,12 +128,12 @@ func TestSortCanonical(t *testing.T) {
 	r.MustAppend(row(2))
 	s := r.Sort()
 	for i, want := range []int64{1, 2, 3} {
-		if s.Tuples[i][0].AsInt() != want {
-			t.Fatalf("Sort order wrong: %v", s.Tuples)
+		if s.Rows()[i][0].AsInt() != want {
+			t.Fatalf("Sort order wrong: %v", s.Rows())
 		}
 	}
 	// original untouched
-	if r.Tuples[0][0].AsInt() != 3 {
+	if r.Rows()[0][0].AsInt() != 3 {
 		t.Error("Sort must not mutate receiver")
 	}
 }
@@ -172,12 +172,12 @@ func TestUnionIntersectDiff(t *testing.T) {
 		t.Errorf("Union len = %d", u.Len())
 	}
 	i := Intersect(a, b)
-	if i.Len() != 1 || i.Tuples[0][0].AsInt() != 2 {
-		t.Errorf("Intersect = %v", i.Tuples)
+	if i.Len() != 1 || i.Rows()[0][0].AsInt() != 2 {
+		t.Errorf("Intersect = %v", i.Rows())
 	}
 	d := Diff(a, b)
-	if d.Len() != 1 || d.Tuples[0][0].AsInt() != 1 {
-		t.Errorf("Diff = %v", d.Tuples)
+	if d.Len() != 1 || d.Rows()[0][0].AsInt() != 1 {
+		t.Errorf("Diff = %v", d.Rows())
 	}
 }
 
@@ -278,30 +278,30 @@ func TestReadCSVColumnarEquivalence(t *testing.T) {
 		for i, f := range rec {
 			tp[i] = value.Parse(f)
 		}
-		want.Tuples = append(want.Tuples, tp)
+		want.MustAppend(tp)
 	}
 
 	if got.Schema.String() != want.Schema.String() {
 		t.Fatalf("schema = %s, want %s", got.Schema, want.Schema)
 	}
-	if len(got.Tuples) != len(want.Tuples) {
-		t.Fatalf("loaded %d tuples, want %d", len(got.Tuples), len(want.Tuples))
+	if len(got.Rows()) != len(want.Rows()) {
+		t.Fatalf("loaded %d tuples, want %d", len(got.Rows()), len(want.Rows()))
 	}
 	var gk, wk []byte
-	for i := range want.Tuples {
-		gk = got.Tuples[i].Encode(gk[:0])
-		wk = want.Tuples[i].Encode(wk[:0])
+	for i := range want.Rows() {
+		gk = got.Rows()[i].Encode(gk[:0])
+		wk = want.Rows()[i].Encode(wk[:0])
 		if string(gk) != string(wk) {
-			t.Fatalf("tuple %d: %v, want %v", i, got.Tuples[i], want.Tuples[i])
+			t.Fatalf("tuple %d: %v, want %v", i, got.Rows()[i], want.Rows()[i])
 		}
 	}
 	bv := got.BatchView()
 	if bv.RowBacked() {
 		t.Fatal("ReadCSV result should carry a columnar batch")
 	}
-	for i := range want.Tuples {
+	for i := range want.Rows() {
 		gk = bv.AppendKey(gk[:0], i)
-		wk = want.Tuples[i].Encode(wk[:0])
+		wk = want.Rows()[i].Encode(wk[:0])
 		if string(gk) != string(wk) {
 			t.Fatalf("batch key %d diverges from tuple encoding", i)
 		}
@@ -325,8 +325,8 @@ func TestQuickFingerprintPermutationInvariant(t *testing.T) {
 		}
 		b := a.Clone()
 		r := rand.New(rand.NewSource(seed))
-		r.Shuffle(len(b.Tuples), func(i, j int) {
-			b.Tuples[i], b.Tuples[j] = b.Tuples[j], b.Tuples[i]
+		r.Shuffle(len(b.Rows()), func(i, j int) {
+			b.Rows()[i], b.Rows()[j] = b.Rows()[j], b.Rows()[i]
 		})
 		return a.Fingerprint() == b.Fingerprint() && a.EqualSet(b)
 	}
@@ -361,12 +361,12 @@ func TestQuickUnionContainsBoth(t *testing.T) {
 			b.MustAppend(row(int(v % 8)))
 		}
 		u := Union(a, b)
-		for _, t := range a.Tuples {
+		for _, t := range a.Rows() {
 			if !u.Contains(t) {
 				return false
 			}
 		}
-		for _, t := range b.Tuples {
+		for _, t := range b.Rows() {
 			if !u.Contains(t) {
 				return false
 			}

@@ -168,9 +168,21 @@ func (s *Schema) Qualify(qualifier string) *Schema {
 	return &Schema{attrs: attrs}
 }
 
-// Unqualify returns a copy of s with all qualifiers dropped. Used when a
-// query result is materialized as a base table.
+// Unqualify returns s with all qualifiers dropped — s itself when nothing
+// is qualified (schemas are immutable once built, so sharing is safe and
+// keeps stored relations pointer-identical to their registered schema), a
+// copy otherwise. Used when a query result is materialized as a base table.
 func (s *Schema) Unqualify() *Schema {
+	qualified := false
+	for i := range s.attrs {
+		if s.attrs[i].Qualifier != "" {
+			qualified = true
+			break
+		}
+	}
+	if !qualified {
+		return s
+	}
 	attrs := s.Attributes()
 	for i := range attrs {
 		attrs[i].Qualifier = ""

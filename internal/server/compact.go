@@ -40,6 +40,14 @@ var errCompactUnsupported = ErrUnsupported
 //   - CREATE TABLE t (cols)                      — empty certain relation
 //   - INSERT INTO t [(cols)] VALUES (…), (…)     — append certain tuples
 //     (column lists are reordered, missing columns NULL-filled)
+//   - IMPORT INTO t FROM 'file.csv' [NULLS AS CHOICE]
+//     [REPAIR KEY (cols) [WEIGHT w]] (COPY t FROM '…' is a synonym)
+//     — bulk CSV load compiling uncertainty at ingestion: the certain
+//     rows become the certain part in one columnar batch, and every
+//     NULL-bearing row (NULLS AS CHOICE) or key-conflicting row group
+//     (REPAIR KEY) becomes one independent component whose alternatives
+//     are zero-copy slices of the loaded batch — O(file) space however
+//     many worlds the dirt encodes
 //   - CREATE TABLE d AS <plain SQL source>
 //     REPAIR BY KEY k [WEIGHT w] | CHOICE OF u [WEIGHT w]
 //     — for a certain source: one component per key group / one
@@ -235,6 +243,8 @@ func (b *compactBackend) execParsed(stmt sqlparse.Statement) (*core.Result, erro
 		return b.ok("deleted %d representation row(s) from %s across %s world(s)", n, st.Table, b.d.WorldCount())
 	case *sqlparse.Explain:
 		return b.execExplain(st)
+	case *sqlparse.Import:
+		return b.execImport(st)
 	default:
 		return nil, fmt.Errorf("%w: %T statements", errCompactUnsupported, stmt)
 	}
@@ -340,6 +350,30 @@ func (b *compactBackend) explainPlan(bld *strings.Builder, stmt sqlparse.Stateme
 		fmt.Fprintf(bld, "plan:\n  %s\n", stmt)
 	}
 	return nil
+}
+
+// execImport bulk-loads a CSV file through the shared import classifier
+// and registers the plan on the decomposition (wsd.Import): certain rows
+// in one batch, one component per uncertainty group. Both backends consume
+// the identical relation.ImportPlan, so their world-sets agree by
+// construction.
+func (b *compactBackend) execImport(st *sqlparse.Import) (*core.Result, error) {
+	if st.Weight != "" && !b.weighted {
+		return nil, fmt.Errorf("weight requires a probabilistic session: %w", worldset.ErrNotWeighted)
+	}
+	plan, err := relation.LoadCSVFile(st.Path, relation.ImportOptions{
+		NullsChoice: st.NullsChoice,
+		RepairKey:   st.RepairKey,
+		Weight:      st.Weight,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := b.d.Import(st.Table, plan); err != nil {
+		return nil, err
+	}
+	return b.ok("imported %s: %d certain row(s), %d uncertainty group(s); %s world(s)",
+		st.Table, plan.Certain.Len(), len(plan.Groups), b.d.WorldCount())
 }
 
 // execInsert appends constant rows to a certain relation. Row

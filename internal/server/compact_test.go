@@ -152,7 +152,7 @@ func TestCompactComponentwiseBeyondMergeLimit(t *testing.T) {
 	if rel.Len() != 2*k {
 		t.Fatalf("conf rows = %d, want %d", rel.Len(), 2*k)
 	}
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-0.5) > 1e-9 {
 			t.Fatalf("conf = %v, want 0.5", c)
 		}
@@ -188,7 +188,7 @@ func TestCompactComponentwiseBeyondMergeLimit(t *testing.T) {
 	if rel.Len() != k {
 		t.Fatalf("post-DML conf rows = %d, want %d", rel.Len(), k)
 	}
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		if v := tp[1].AsInt(); v != 11 {
 			t.Fatalf("post-DML V = %d, want 11", v)
 		}

@@ -209,7 +209,7 @@ func encodeValue(v value.Value) any {
 // unlimited).
 func encodeRelation(rel *relation.Relation, maxRows int) Rows {
 	out := Rows{Columns: rel.Schema.Names(), Rows: [][]any{}}
-	for _, t := range rel.Tuples {
+	for _, t := range rel.Rows() {
 		if maxRows >= 0 && len(out.Rows) >= maxRows {
 			out.Truncated = true
 			break

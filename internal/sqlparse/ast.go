@@ -534,6 +534,42 @@ func (s *Drop) String() string {
 	return "DROP TABLE " + quoteIdentIfNeeded(s.Name)
 }
 
+// Import is the bulk CSV ingestion statement:
+//
+//	IMPORT INTO t FROM 'path' [NULLS AS CHOICE] [REPAIR KEY (cols) [WEIGHT col]]
+//
+// (COPY t FROM 'path' … parses to the same node). The file's header row
+// becomes the schema and fields are type-inferred with value.Parse. The
+// optional clauses compile uncertainty at load time: NULLS AS CHOICE turns
+// every NULL-bearing row into a choice component over the active-domain
+// fills of its NULL cells, and REPAIR KEY turns rows conflicting on the key
+// into repair-key alternatives (weighted by the WEIGHT column, else
+// uniform).
+type Import struct {
+	Table       string
+	Path        string
+	NullsChoice bool
+	RepairKey   []string
+	Weight      string // empty when unweighted
+}
+
+func (*Import) stmtNode() {}
+
+func (s *Import) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IMPORT INTO %s FROM '%s'", quoteIdentIfNeeded(s.Table), strings.ReplaceAll(s.Path, "'", "''"))
+	if s.NullsChoice {
+		b.WriteString(" NULLS AS CHOICE")
+	}
+	if len(s.RepairKey) > 0 {
+		b.WriteString(" REPAIR KEY (" + strings.Join(s.RepairKey, ", ") + ")")
+	}
+	if s.Weight != "" {
+		b.WriteString(" WEIGHT " + quoteIdentIfNeeded(s.Weight))
+	}
+	return b.String()
+}
+
 // Explain is EXPLAIN [ANALYZE] <stmt>: render the inner statement's plan
 // tree with routing annotations; with ANALYZE, execute it for real and
 // append the traced timings and cardinalities. Note EXPLAIN ANALYZE of a

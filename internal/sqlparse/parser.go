@@ -134,8 +134,81 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDrop()
 	case p.tz.Cur().IsKeyword("explain"):
 		return p.parseExplain()
+	case p.tz.Cur().IsKeyword("import"), p.tz.Cur().IsKeyword("copy"):
+		return p.parseImport()
 	default:
 		return nil, p.errorf("expected a statement, found %s", p.tz.Cur())
+	}
+}
+
+// parseImport parses the bulk ingestion statement in both spellings:
+//
+//	IMPORT INTO t FROM 'path' [NULLS AS CHOICE] [REPAIR KEY (cols) [WEIGHT col]]
+//	COPY t FROM 'path'        [same options]
+func (p *parser) parseImport() (*Import, error) {
+	isCopy := p.tz.Cur().IsKeyword("copy")
+	p.tz.Advance() // import | copy
+	if !isCopy {
+		if err := p.tz.ExpectKeyword("into"); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrParse, err)
+		}
+	}
+	name, err := p.tz.ExpectIdent()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	if err := p.tz.ExpectKeyword("from"); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	tok := p.tz.Cur()
+	if tok.Kind != sqllex.String {
+		return nil, p.errorf("expected a quoted file path, found %s", tok)
+	}
+	p.tz.Advance()
+	st := &Import{Table: name, Path: tok.Text}
+	for {
+		switch {
+		case p.tz.Cur().IsKeyword("nulls"):
+			if st.NullsChoice {
+				return nil, p.errorf("duplicate NULLS AS CHOICE clause")
+			}
+			p.tz.Advance()
+			if err := p.tz.ExpectKeyword("as"); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrParse, err)
+			}
+			if err := p.tz.ExpectKeyword("choice"); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrParse, err)
+			}
+			st.NullsChoice = true
+		case p.tz.Cur().IsKeyword("repair"):
+			if len(st.RepairKey) > 0 {
+				return nil, p.errorf("duplicate REPAIR KEY clause")
+			}
+			p.tz.Advance()
+			if err := p.tz.ExpectKeyword("key"); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrParse, err)
+			}
+			if err := p.tz.ExpectSymbol("("); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrParse, err)
+			}
+			cols, err := p.parseIdentList()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.tz.ExpectSymbol(")"); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrParse, err)
+			}
+			st.RepairKey = cols
+			if p.tz.MatchKeyword("weight") {
+				w, err := p.tz.ExpectIdent()
+				if err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrParse, err)
+				}
+				st.Weight = w
+			}
+		default:
+			return st, nil
+		}
 	}
 }
 

@@ -26,7 +26,7 @@ func confSchema() *schema.Schema { return schema.New("conf") }
 func (r *Relation) Conf(s *Store, t tuple.Tuple) float64 {
 	key := t.Key()
 	var ds []Descriptor
-	for _, row := range r.Rows {
+	for _, row := range r.Rows() {
 		if row.Tuple.Key() == key {
 			ds = append(ds, row.Cond)
 		}
@@ -38,12 +38,11 @@ func (r *Relation) Conf(s *Store, t tuple.Tuple) float64 {
 // ConfRelation returns every possible tuple extended with its exact
 // confidence.
 func (r *Relation) ConfRelation(s *Store) *relation.Relation {
-	out := relation.New(r.Schema.Concat(confSchema()))
 	solver := &confSolver{store: s, memo: map[string]float64{}}
 	byTuple := map[string][]Descriptor{}
 	rep := map[string]tuple.Tuple{}
 	var order []string
-	for _, row := range r.Rows {
+	for _, row := range r.Rows() {
 		k := row.Tuple.Key()
 		if _, ok := byTuple[k]; !ok {
 			order = append(order, k)
@@ -51,11 +50,12 @@ func (r *Relation) ConfRelation(s *Store) *relation.Relation {
 		}
 		byTuple[k] = append(byTuple[k], row.Cond)
 	}
+	rows := make([]tuple.Tuple, 0, len(order))
 	for _, k := range order {
 		c := solver.orProb(byTuple[k])
-		out.Tuples = append(out.Tuples, append(rep[k].Clone(), value.Float(c)))
+		rows = append(rows, append(rep[k].Clone(), value.Float(c)))
 	}
-	return out
+	return relation.FromRowsShared(r.Schema.Concat(confSchema()), rows)
 }
 
 type confSolver struct {

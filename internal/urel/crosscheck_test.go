@@ -71,7 +71,7 @@ func TestThreeEngineConfAgreement(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		for _, tp := range res.Groups[0].Rel.Tuples {
+		for _, tp := range res.Groups[0].Rel.Rows() {
 			base := tp[:3]
 			naive := tp[3].AsFloat()
 			viaWSD, err := d.Conf("I", base)

@@ -19,7 +19,7 @@ func (r *Relation) ConfMC(s *Store, t tuple.Tuple, samples int, rng *rand.Rand) 
 	}
 	key := t.Key()
 	var ds []Descriptor
-	for _, row := range r.Rows {
+	for _, row := range r.Rows() {
 		if row.Tuple.Key() == key {
 			ds = append(ds, row.Cond)
 		}

@@ -95,7 +95,7 @@ func TestConfExactOnChain(t *testing.T) {
 	// Small chain cross-checked against brute force.
 	s, rel := chainRelation(t, 6)
 	var ds []Descriptor
-	for _, r := range rel.Rows {
+	for _, r := range rel.Rows() {
 		ds = append(ds, r.Cond)
 	}
 	exact := rel.Conf(s, row(1))

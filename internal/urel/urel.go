@@ -12,6 +12,13 @@
 // implements the exact algorithm — independence partitioning plus Shannon
 // expansion on shared variables, with memoization — and is validated
 // against brute-force enumeration and the other two engines.
+//
+// Storage follows the repo-wide invariant: the batch is the truth, rows
+// are a view. A Relation stores its tuples as one colbatch.Batch with a
+// parallel descriptor slice; Rows() materializes the annotated view
+// lazily and the algebra (Select, Project, Join, Union, PossibleTuples)
+// works by columnar gather/slice/append on the stored batch, with
+// TupleBatch an identity lookup.
 package urel
 
 import (
@@ -180,19 +187,35 @@ type Row struct {
 // Relation is a U-relation: a schema plus annotated tuples. Multiple rows
 // may carry the same tuple under different descriptors (their disjunction
 // governs the tuple's presence).
+//
+// The batch is the truth; rows are a view. Tuples live in a columnar batch
+// (the conditions in a parallel per-row descriptor slice), so TupleBatch is
+// an identity lookup and the algebra gathers columns instead of copying
+// tuples. Rows materializes annotated Row values lazily on first use,
+// validated by row count — appends simply invalidate the view.
 type Relation struct {
 	Schema *schema.Schema
-	Rows   []Row
+	store  *colbatch.Batch
+	conds  []Descriptor
 
-	// batch caches the columnar view of the rows' tuples (descriptors
-	// excluded), built lazily by TupleBatch and validated against the
-	// current row count — appends simply invalidate it. Rows are never
-	// edited in place, so an unchanged count implies an unchanged prefix.
-	batch atomic.Pointer[colbatch.Batch]
+	rows atomic.Pointer[rowsView]
+}
+
+type rowsView struct {
+	n    int
+	rows []Row
 }
 
 // NewRelation creates an empty U-relation.
-func NewRelation(s *schema.Schema) *Relation { return &Relation{Schema: s} }
+func NewRelation(s *schema.Schema) *Relation {
+	return &Relation{Schema: s, store: colbatch.New(s)}
+}
+
+// fromParts wraps a batch and its parallel descriptor slice (taking
+// ownership of both).
+func fromParts(s *schema.Schema, b *colbatch.Batch, conds []Descriptor) *Relation {
+	return &Relation{Schema: s, store: b, conds: conds}
+}
 
 // Append adds an annotated tuple, normalizing the descriptor.
 func (r *Relation) Append(t tuple.Tuple, cond Descriptor) error {
@@ -203,20 +226,46 @@ func (r *Relation) Append(t tuple.Tuple, cond Descriptor) error {
 	if err != nil {
 		return err
 	}
-	r.Rows = append(r.Rows, Row{Tuple: t, Cond: d})
+	r.push(t, d)
 	return nil
 }
 
-// Len returns the number of annotated rows.
-func (r *Relation) Len() int { return len(r.Rows) }
+// push appends without re-normalizing (the descriptor is already canonical).
+func (r *Relation) push(t tuple.Tuple, d Descriptor) {
+	r.store.Append(t)
+	r.conds = append(r.conds, d)
+}
 
-// FromCertain lifts a complete relation: every tuple annotated TRUE.
-func FromCertain(rel *relation.Relation) *Relation {
-	out := NewRelation(rel.Schema)
-	for _, t := range rel.Tuples {
-		out.Rows = append(out.Rows, Row{Tuple: t, Cond: True()})
+// Len returns the number of annotated rows.
+func (r *Relation) Len() int { return len(r.conds) }
+
+// Cond returns row i's descriptor.
+func (r *Relation) Cond(i int) Descriptor { return r.conds[i] }
+
+// Rows returns the annotated rows as a lazily materialized view of the
+// stored batch and descriptor slice. Safe for concurrent readers; a lost
+// race rebuilds an identical view.
+func (r *Relation) Rows() []Row {
+	n := r.Len()
+	if v := r.rows.Load(); v != nil && v.n == n {
+		return v.rows
 	}
-	return out
+	ts := r.store.Rows()
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Tuple: ts[i], Cond: r.conds[i]}
+	}
+	r.rows.Store(&rowsView{n: n, rows: rows})
+	return rows
+}
+
+// FromCertain lifts a complete relation: every tuple annotated TRUE. The
+// stored batch is shared zero-copy (a capacity-clamped slice, so later
+// appends to either relation cannot alias).
+func FromCertain(rel *relation.Relation) *Relation {
+	b := rel.Batch()
+	n := b.Len()
+	return fromParts(rel.Schema, b.Slice(0, n), make([]Descriptor, n))
 }
 
 // RepairByKey lifts a dirty relation into a U-relation representing all
@@ -251,33 +300,38 @@ func RepairByKey(s *Store, rel *relation.Relation, keyIdx []int, weightIdx int) 
 			return nil, err
 		}
 		for i, t := range tuples {
-			out.Rows = append(out.Rows, Row{Tuple: t, Cond: Lit(v, i)})
+			out.push(t, Lit(v, i))
 		}
 	}
 	return out, nil
 }
 
 // Select keeps the rows whose tuple satisfies pred (descriptors are
-// untouched — selection is descriptor-free).
+// untouched — selection is descriptor-free). The surviving tuples are
+// gathered column-wise from the stored batch.
 func (r *Relation) Select(pred func(tuple.Tuple) bool) *Relation {
-	out := NewRelation(r.Schema)
-	for _, row := range r.Rows {
-		if pred(row.Tuple) {
-			out.Rows = append(out.Rows, row)
+	ts := r.store.Rows()
+	var sel []int32
+	for i, t := range ts {
+		if pred(t) {
+			sel = append(sel, int32(i))
 		}
 	}
-	return out
+	conds := make([]Descriptor, len(sel))
+	for i, s := range sel {
+		conds[i] = r.conds[s]
+	}
+	return fromParts(r.Schema, r.store.Gather(sel), conds)
 }
 
 // Project projects the tuples onto the given columns, keeping descriptors.
 // Equal projected tuples with different descriptors remain separate rows
-// (their disjunction is resolved by Conf).
+// (their disjunction is resolved by Conf). Both the projected columns and
+// the descriptor slice are shared zero-copy.
 func (r *Relation) Project(indexes []int) *Relation {
-	out := NewRelation(r.Schema.Project(indexes))
-	for _, row := range r.Rows {
-		out.Rows = append(out.Rows, Row{Tuple: row.Tuple.Project(indexes), Cond: row.Cond})
-	}
-	return out
+	sch := r.Schema.Project(indexes)
+	n := len(r.conds)
+	return fromParts(sch, r.store.Project(indexes, sch), r.conds[:n:n])
 }
 
 // Join computes the natural product of two U-relations filtered by on
@@ -286,16 +340,17 @@ func (r *Relation) Project(indexes []int) *Relation {
 // U-relation, whatever the correlation structure.
 func Join(a, b *Relation, on func(l, r tuple.Tuple) bool) *Relation {
 	out := NewRelation(a.Schema.Concat(b.Schema))
-	for _, ra := range a.Rows {
-		for _, rb := range b.Rows {
-			if on != nil && !on(ra.Tuple, rb.Tuple) {
+	ta, tb := a.store.Rows(), b.store.Rows()
+	for i, at := range ta {
+		for j, bt := range tb {
+			if on != nil && !on(at, bt) {
 				continue
 			}
-			cond, ok := And(ra.Cond, rb.Cond)
+			cond, ok := And(a.conds[i], b.conds[j])
 			if !ok {
 				continue
 			}
-			out.Rows = append(out.Rows, Row{Tuple: ra.Tuple.Concat(rb.Tuple), Cond: cond})
+			out.push(at.Concat(bt), cond)
 		}
 	}
 	return out
@@ -307,41 +362,31 @@ func Union(a, b *Relation) (*Relation, error) {
 		return nil, fmt.Errorf("urel: union arity mismatch %s vs %s", a.Schema, b.Schema)
 	}
 	out := NewRelation(a.Schema)
-	out.Rows = append(out.Rows, a.Rows...)
-	out.Rows = append(out.Rows, b.Rows...)
+	out.store.AppendBatch(a.store)
+	out.store.AppendBatch(b.store.WithSchema(a.Schema))
+	out.conds = append(append(out.conds, a.conds...), b.conds...)
 	return out, nil
 }
 
-// TupleBatch returns the columnar view of the rows' tuples, building and
-// caching it on first use (the lazy row view stays on Rows). Safe for
-// concurrent readers; a lost race rebuilds an identical batch.
-func (r *Relation) TupleBatch() *colbatch.Batch {
-	if b := r.batch.Load(); b != nil && b.Len() == len(r.Rows) {
-		return b
-	}
-	b := colbatch.New(r.Schema)
-	for _, row := range r.Rows {
-		b.Append(row.Tuple)
-	}
-	r.batch.Store(b)
-	return b
-}
+// TupleBatch returns the columnar view of the rows' tuples (descriptors
+// excluded) — an identity lookup of the stored batch.
+func (r *Relation) TupleBatch() *colbatch.Batch { return r.store }
 
 // PossibleTuples returns the distinct tuples with satisfiable descriptors,
-// in first-appearance order, deduplicating on the cached columnar view's
-// arena keys.
+// in first-appearance order, deduplicating on the stored batch's arena
+// keys and gathering the survivors column-wise.
 func (r *Relation) PossibleTuples() *relation.Relation {
-	out := relation.New(r.Schema)
-	b := r.TupleBatch()
-	seen := make(map[string]struct{}, len(r.Rows))
+	b := r.store
+	seen := make(map[string]struct{}, r.Len())
+	var sel []int32
 	var buf []byte
-	for i, row := range r.Rows {
+	for i, n := 0, r.Len(); i < n; i++ {
 		buf = b.AppendKey(buf[:0], i)
 		if _, dup := seen[string(buf)]; dup {
 			continue
 		}
 		seen[string(buf)] = struct{}{}
-		out.Tuples = append(out.Tuples, row.Tuple)
+		sel = append(sel, int32(i))
 	}
-	return out
+	return relation.FromBatch(b.Gather(sel))
 }

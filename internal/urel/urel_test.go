@@ -70,8 +70,8 @@ func TestAppendNormalizes(t *testing.T) {
 	if err := r.Append(row(1), Descriptor{{2, 1}, {0, 0}, {2, 1}}); err != nil {
 		t.Fatal(err)
 	}
-	if r.Rows[0].Cond[0].Var != 0 || len(r.Rows[0].Cond) != 2 {
-		t.Errorf("descriptor not normalized: %v", r.Rows[0].Cond)
+	if r.Rows()[0].Cond[0].Var != 0 || len(r.Rows()[0].Cond) != 2 {
+		t.Errorf("descriptor not normalized: %v", r.Rows()[0].Cond)
 	}
 	if err := r.Append(row(1), Descriptor{{0, 0}, {0, 1}}); !errors.Is(err, ErrInconsistent) {
 		t.Errorf("inconsistent descriptor = %v", err)
@@ -352,7 +352,7 @@ func TestFromCertainAndPossible(t *testing.T) {
 		t.Errorf("certain lift conf = %g", got)
 	}
 	if u.PossibleTuples().Len() != 2 {
-		t.Errorf("possible = %v", u.PossibleTuples().Tuples)
+		t.Errorf("possible = %v", u.PossibleTuples().Rows())
 	}
 }
 
@@ -370,7 +370,7 @@ func TestConfRelation(t *testing.T) {
 		t.Fatalf("conf relation = %s, %d rows", cr.Schema, cr.Len())
 	}
 	total := 0.0
-	for _, tp := range cr.Tuples {
+	for _, tp := range cr.Rows() {
 		total += tp[3].AsFloat()
 	}
 	if math.Abs(total-1) > eps {

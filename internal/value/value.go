@@ -319,6 +319,12 @@ func Parse(s string) Value {
 	case strings.EqualFold(s, "FALSE"):
 		return Bool(false)
 	}
+	// Only attempt numeric parsing when the first byte can start a
+	// number: a failed strconv call allocates its error, which would cost
+	// two heap objects per text field on the bulk-load path.
+	if c := s[0]; (c < '0' || c > '9') && c != '-' && c != '+' && c != '.' {
+		return Str(s)
+	}
 	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
 		return Int(i)
 	}

@@ -93,8 +93,8 @@ func equalBits(t *testing.T, a, b *relation.Relation) bool {
 	if a.Len() != b.Len() {
 		return false
 	}
-	for i := range a.Tuples {
-		ta, tb := a.Tuples[i], b.Tuples[i]
+	for i := range a.Rows() {
+		ta, tb := a.Rows()[i], b.Rows()[i]
 		if len(ta) != len(tb) {
 			return false
 		}
@@ -111,6 +111,6 @@ func TestPossibleWorkersSingleWorld(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Len() != 2 {
-		t.Fatalf("possible over one world = %v", got.Tuples)
+		t.Fatalf("possible over one world = %v", got.Rows())
 	}
 }

@@ -162,7 +162,7 @@ func PossibleWorkers(results []*relation.Relation, workers int, interrupt func()
 		// answers and deduplicating, without materializing the concatenation.
 		// Keys come off each relation's columnar view when one is cached
 		// (AppendKey writes tuple.Encode's exact byte stream).
-		out := relation.New(results[0].Schema)
+		var rows []tuple.Tuple
 		seen := map[string]struct{}{}
 		var buf []byte
 		for _, r := range results {
@@ -170,16 +170,16 @@ func PossibleWorkers(results []*relation.Relation, workers int, interrupt func()
 				return nil, err
 			}
 			bv := r.BatchView()
-			for i, t := range r.Tuples {
+			for i, t := range r.Rows() {
 				buf = bv.AppendKey(buf[:0], i)
 				if _, dup := seen[string(buf)]; dup {
 					continue
 				}
 				seen[string(buf)] = struct{}{}
-				out.Tuples = append(out.Tuples, t)
+				rows = append(rows, t)
 			}
 		}
-		return out, nil
+		return relation.FromRowsShared(results[0].Schema, rows), nil
 	}
 	// Leaves: dedup each world's answer; the tree then merges deduped sets.
 	parts, err := exec.Map(workers, len(results), func(i int) (*relation.Relation, error) {
@@ -195,19 +195,18 @@ func PossibleWorkers(results []*relation.Relation, workers int, interrupt func()
 		// a's tuples (already first-appearance ordered) then b's tuples not
 		// in a, in b's order — exactly the first-appearance order of the
 		// concatenated range.
-		out := relation.New(a.Schema)
-		out.Tuples = append(out.Tuples, a.Tuples...)
+		rows := append([]tuple.Tuple(nil), a.Rows()...)
 		seen := keySetOf(a)
 		bv := b.BatchView()
 		var buf []byte
-		for i, t := range b.Tuples {
+		for i, t := range b.Rows() {
 			// Scratch-encoded probe: no key-string allocation per lookup.
 			buf = bv.AppendKey(buf[:0], i)
 			if _, dup := seen[string(buf)]; !dup {
-				out.Tuples = append(out.Tuples, t)
+				rows = append(rows, t)
 			}
 		}
-		return out, nil
+		return relation.FromRowsShared(a.Schema, rows), nil
 	})
 	if err != nil {
 		return nil, err
@@ -225,10 +224,10 @@ func poll(interrupt func() error) error {
 
 // keySetOf returns the set of tuple keys of r.
 func keySetOf(r *relation.Relation) map[string]struct{} {
-	out := make(map[string]struct{}, len(r.Tuples))
+	out := make(map[string]struct{}, r.Len())
 	bv := r.BatchView()
 	var buf []byte
-	for i := range r.Tuples {
+	for i := 0; i < r.Len(); i++ {
 		buf = bv.AppendKey(buf[:0], i)
 		if _, dup := out[string(buf)]; !dup {
 			out[string(buf)] = struct{}{}
@@ -321,7 +320,7 @@ func ConfWorkers(results []*relation.Relation, probs []float64, workers int, int
 		p := &confPartial{tuples: map[string]tuple.Tuple{}, inWorld: map[string][]int32{}}
 		bv := results[i].BatchView()
 		var buf []byte
-		for j, t := range results[i].Tuples {
+		for j, t := range results[i].Rows() {
 			buf = bv.AppendKey(buf[:0], j)
 			if _, dup := p.tuples[string(buf)]; dup {
 				continue
@@ -351,8 +350,7 @@ func ConfWorkers(results []*relation.Relation, probs []float64, workers int, int
 	if err != nil {
 		return nil, err
 	}
-	outSchema := results[0].Schema.Concat(schema.New("conf"))
-	out := relation.New(outSchema)
+	rows := make([]tuple.Tuple, 0, len(merged.order))
 	for _, k := range merged.order {
 		conf := 0.0
 		for _, wi := range merged.inWorld[k] {
@@ -361,9 +359,9 @@ func ConfWorkers(results []*relation.Relation, probs []float64, workers int, int
 		if conf > 1 {
 			conf = 1 // clamp float accumulation noise
 		}
-		out.Tuples = append(out.Tuples, append(merged.tuples[k].Clone(), value.Float(conf)))
+		rows = append(rows, append(merged.tuples[k].Clone(), value.Float(conf)))
 	}
-	return out, nil
+	return relation.FromRowsShared(results[0].Schema.Concat(schema.New("conf")), rows), nil
 }
 
 // confSequential is the single-pass CONF fold: one map pass over all
@@ -385,7 +383,7 @@ func confSequential(results []*relation.Relation, probs []float64, interrupt fun
 			return nil, err
 		}
 		bv := r.BatchView()
-		for j, t := range r.Tuples {
+		for j, t := range r.Rows() {
 			buf = bv.AppendKey(buf[:0], j)
 			e, ok := acc[string(buf)]
 			if !ok {
@@ -401,15 +399,15 @@ func confSequential(results []*relation.Relation, probs []float64, interrupt fun
 			e.conf += probs[i]
 		}
 	}
-	out := relation.New(results[0].Schema.Concat(schema.New("conf")))
+	rows := make([]tuple.Tuple, 0, len(order))
 	for _, k := range order {
 		e := acc[k]
 		if e.conf > 1 {
 			e.conf = 1 // clamp float accumulation noise
 		}
-		out.Tuples = append(out.Tuples, append(e.t.Clone(), value.Float(e.conf)))
+		rows = append(rows, append(e.t.Clone(), value.Float(e.conf)))
 	}
-	return out, nil
+	return relation.FromRowsShared(results[0].Schema.Concat(schema.New("conf")), rows), nil
 }
 
 // treeReduce folds parts pairwise, level by level, merging adjacent pairs

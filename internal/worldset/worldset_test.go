@@ -115,12 +115,12 @@ func TestPossible(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Len() != 4 {
-		t.Errorf("possible = %v", got.Tuples)
+		t.Errorf("possible = %v", got.Rows())
 	}
 	// Duplicates across worlds collapse.
 	got, _ = Possible([]*relation.Relation{rel(1, 2), rel(2, 3)})
 	if got.Len() != 3 {
-		t.Errorf("dedup = %v", got.Tuples)
+		t.Errorf("dedup = %v", got.Rows())
 	}
 }
 
@@ -130,12 +130,12 @@ func TestCertain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Len() != 1 || got.Tuples[0][0].AsInt() != 1 {
-		t.Errorf("certain = %v", got.Tuples)
+	if got.Len() != 1 || got.Rows()[0][0].AsInt() != 1 {
+		t.Errorf("certain = %v", got.Rows())
 	}
 	got, _ = Certain([]*relation.Relation{rel(1), rel(2)})
 	if !got.Empty() {
-		t.Errorf("disjoint certain = %v", got.Tuples)
+		t.Errorf("disjoint certain = %v", got.Rows())
 	}
 }
 
@@ -161,8 +161,8 @@ func TestConf(t *testing.T) {
 	if got.Len() != 1 {
 		t.Fatalf("conf rows = %d", got.Len())
 	}
-	if math.Abs(got.Tuples[0][0].AsFloat()-0.53) > 1e-12 {
-		t.Errorf("conf = %v", got.Tuples[0])
+	if math.Abs(got.Rows()[0][0].AsFloat()-0.53) > 1e-12 {
+		t.Errorf("conf = %v", got.Rows()[0])
 	}
 	if got.Schema.Names()[0] != "conf" {
 		t.Errorf("schema = %s", got.Schema)
@@ -177,7 +177,7 @@ func TestConfPerTuple(t *testing.T) {
 		t.Fatal(err)
 	}
 	conf := map[int64]float64{}
-	for _, tp := range got.Tuples {
+	for _, tp := range got.Rows() {
 		conf[tp[0].AsInt()] = tp[1].AsFloat()
 	}
 	if math.Abs(conf[1]-0.5) > 1e-12 || math.Abs(conf[2]-1.0) > 1e-12 {
@@ -192,7 +192,7 @@ func TestConfClampsAboveOne(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Tuples[0][1].AsFloat() > 1 {
+	if got.Rows()[0][1].AsFloat() > 1 {
 		t.Error("conf must be clamped to 1")
 	}
 }
@@ -278,7 +278,7 @@ func TestQuickCertainSubsetOfPossible(t *testing.T) {
 		if err1 != nil || err2 != nil {
 			return false
 		}
-		for _, t := range cert.Tuples {
+		for _, t := range cert.Rows() {
 			if !poss.Contains(t) {
 				return false
 			}
@@ -317,7 +317,7 @@ func TestQuickConfMatchesPossibleAndCertain(t *testing.T) {
 		}
 		poss, _ := Possible(results)
 		cert, _ := Certain(results)
-		for _, tp := range confRel.Tuples {
+		for _, tp := range confRel.Rows() {
 			base := tp[:1]
 			c := tp[1].AsFloat()
 			if c <= 0 {

@@ -105,7 +105,7 @@ func (d *WSD) confMonteCarlo(compIdx []int, eval func(cat plan.Catalog) (*colbat
 	}
 	for _, k := range order {
 		conf := float64(counts[k]) / float64(samples)
-		out.Tuples = append(out.Tuples, append(rep[k], value.Float(conf), value.Float(bound)))
+		out.MustAppend(append(rep[k], value.Float(conf), value.Float(bound)))
 	}
 	return out, nil
 }

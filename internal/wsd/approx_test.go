@@ -63,8 +63,8 @@ func TestApproxConfFallsBackToMonteCarlo(t *testing.T) {
 	}
 
 	est := selectOn(t, d, "select approx conf, A, B from I")
-	if want := k * m; len(est.Tuples) != want {
-		t.Fatalf("estimated %d possible tuples, want %d", len(est.Tuples), want)
+	if want := k * m; len(est.Rows()) != want {
+		t.Fatalf("estimated %d possible tuples, want %d", len(est.Rows()), want)
 	}
 	// The Monte-Carlo route appends the confidence estimate plus the
 	// ±1/(2√samples) standard-error bound.
@@ -75,7 +75,7 @@ func TestApproxConfFallsBackToMonteCarlo(t *testing.T) {
 	wantBound := 1 / (2 * math.Sqrt(4000))
 	// True confidence of every tuple is 1/m; with 4000 samples the binomial
 	// standard error is ≈ 0.0075, so 0.05 is a ≥ 6σ tolerance.
-	for _, tp := range est.Tuples {
+	for _, tp := range est.Rows() {
 		if c := tp[len(tp)-2].AsFloat(); math.Abs(c-1.0/m) > 0.05 {
 			t.Fatalf("tuple %v: estimate %v too far from %v", tp[:len(tp)-2], c, 1.0/m)
 		}
@@ -95,8 +95,8 @@ func TestApproxConfFallsBackToMonteCarlo(t *testing.T) {
 	other := build()
 	other.ApproxSeed = 8
 	moved := false
-	for i, tp := range selectOn(t, other, "select approx conf, A, B from I").Tuples {
-		if tp[len(tp)-2].AsFloat() != est.Tuples[i][len(tp)-2].AsFloat() {
+	for i, tp := range selectOn(t, other, "select approx conf, A, B from I").Rows() {
+		if tp[len(tp)-2].AsFloat() != est.Rows()[i][len(tp)-2].AsFloat() {
 			moved = true
 			break
 		}

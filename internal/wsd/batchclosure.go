@@ -6,10 +6,12 @@ package wsd
 // CONF sampling all dedup/merge on arena-encoded batch keys — byte-identical
 // to tuple.Encode, so grouping, ordering and hash-collision behavior are
 // exactly the row path's — and output rows are materialized once at the very
-// end instead of once per evaluation. This file holds the seam's switch, the
-// per-alternative contribution batch cache (so repeated componentwise
-// evaluations never re-columnarize stored state), and the output builder the
-// closures share.
+// end instead of once per evaluation. Stored state is batch-backed (the
+// batch is the truth; rows are a lazy view), so the componentwise catalog
+// hands stored batches to the evaluations directly — there is no
+// per-evaluation re-columnarize and no contribution cache to keep coherent.
+// This file holds the seam's switch and the output builder the closures
+// share.
 
 import (
 	"sync/atomic"
@@ -36,44 +38,6 @@ func SetBatchClosure(on bool) bool { return batchClosureOn.Swap(on) }
 
 // BatchClosure reports whether the batch-native closure seam is enabled.
 func BatchClosure() bool { return batchClosureOn.Load() }
-
-// contribKey identifies one alternative's contribution to one relation.
-// Component IDs are monotonically increasing and never reused, so a key can
-// go stale but never aliased.
-type contribKey struct {
-	comp int // Component.ID
-	alt  int
-	rel  string // lower-case relation name
-}
-
-// contribEntry caches the columnar form of a contribution tuple slice. It is
-// validated by slice identity — same length and same first-element address
-// imply the very same backing array region, and tuples are immutable, so the
-// cached batch cannot be stale without the identity changing.
-type contribEntry struct {
-	n     int
-	head  *tuple.Tuple
-	batch *colbatch.Batch
-}
-
-func (e *contribEntry) valid(ts []tuple.Tuple) bool {
-	return e.n == len(ts) && (e.n == 0 || e.head == &ts[0])
-}
-
-// contributionBatch returns the cached columnar batch of an alternative's
-// contribution to relation rel (building and caching it on first use).
-// Safe for concurrent callers: a lost race rebuilds an identical batch.
-func (d *WSD) contributionBatch(sch *schema.Schema, comp *Component, alt int, rel string, ts []tuple.Tuple) *colbatch.Batch {
-	k := contribKey{comp: comp.ID, alt: alt, rel: rel}
-	if v, ok := d.contrib.Load(k); ok {
-		if e := v.(*contribEntry); e.valid(ts) {
-			return e.batch
-		}
-	}
-	b := colbatch.FromRows(sch, ts)
-	d.contrib.Store(k, &contribEntry{n: len(ts), head: &ts[0], batch: b})
-	return b
-}
 
 // unionBuilder accumulates closure output rows in emission order. The mode
 // follows the first evaluation's batch: columnar results gather column-wise
@@ -115,31 +79,24 @@ func (ub *unionBuilder) addSel(b *colbatch.Batch, sel []int32) {
 	}
 }
 
-// finish materializes the accumulated rows as a relation under sch.
+// finish materializes the accumulated rows as a relation under sch. In
+// columnar mode the output batch itself becomes the relation's store.
 func (ub *unionBuilder) finish(sch *schema.Schema) *relation.Relation {
-	rel := relation.New(sch)
 	if ub.colMode {
-		rel.Tuples = ub.out.Rows()
-		rel.SetBatch(ub.out.WithSchema(sch))
-		return rel
+		return relation.FromBatch(ub.out.WithSchema(sch))
 	}
-	rel.Tuples = ub.rows
-	return rel
+	return relation.FromRowsShared(sch, ub.rows)
 }
 
 // finishConf materializes the accumulated rows extended with a trailing conf
 // column (confs has one entry per accumulated row) under sch.
 func (ub *unionBuilder) finishConf(sch *schema.Schema, confs []float64) *relation.Relation {
-	rel := relation.New(sch)
 	if ub.colMode {
-		final := ub.out.ExtendFloat(sch, confs)
-		rel.Tuples = final.Rows()
-		rel.SetBatch(final)
-		return rel
+		return relation.FromBatch(ub.out.ExtendFloat(sch, confs))
 	}
-	rel.Tuples = make([]tuple.Tuple, len(ub.rows))
+	rows := make([]tuple.Tuple, len(ub.rows))
 	for i, t := range ub.rows {
-		rel.Tuples[i] = append(t.Clone(), value.Float(confs[i]))
+		rows[i] = append(t.Clone(), value.Float(confs[i]))
 	}
-	return rel
+	return relation.FromRowsShared(sch, rows)
 }

@@ -74,12 +74,12 @@ func newPartsCatalog(d *WSD, sel map[int]int) partsCatalog {
 	return partsCatalog{d: d, sel: sel, order: order}
 }
 
-// Lookup implements plan.Catalog. On the batch-native closure path it also
-// installs a columnar view on the returned relation, assembled zero-copy
-// from the certain relation's cached batch and the per-alternative
-// contribution cache, so the vectorized scan never columnarizes per
-// evaluation. Single-source lookups additionally share the tuple slice
-// itself instead of copying it.
+// Lookup implements plan.Catalog. Stored state is batch-backed, so
+// single-source lookups pass the stored batch through zero-copy — the
+// vectorized scan reads stored columns directly, with no per-evaluation
+// re-encode — and multi-source lookups assemble one combined batch from
+// the stored parts (columnar on the batch-native closure path, a shared
+// row slice otherwise).
 func (pc partsCatalog) Lookup(name string) (*relation.Relation, error) {
 	k := key(name)
 	sch, ok := pc.d.schemas[k]
@@ -87,62 +87,59 @@ func (pc partsCatalog) Lookup(name string) (*relation.Relation, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
 	}
 	cert := pc.d.certain[k]
-	type contrib struct {
-		ci int
-		ts []tuple.Tuple
-	}
-	var contribs []contrib
-	total := 0
-	if cert != nil {
-		total += len(cert.Tuples)
-	}
+	// The first contribution is tracked outside the slice: most lookups see
+	// zero or one (part evaluations select a single component), and the
+	// fast paths below must not pay a slice allocation to find that out.
+	var first *relation.Relation
+	var rest []*relation.Relation
+	total := cert.Len()
 	for _, ci := range pc.order {
-		if ts := pc.d.comps[ci].Alts[pc.sel[ci]].Tuples[k]; len(ts) > 0 {
-			contribs = append(contribs, contrib{ci: ci, ts: ts})
-			total += len(ts)
-		}
-	}
-	out := relation.New(sch)
-	batchSeam := batchClosureOn.Load() && algebra.Vectorized() && int64(total) >= algebra.VectorizeMinRows()
-	// Single-source fast paths: share the stored slice (tuples are
-	// immutable and plan scans never mutate their input).
-	if len(contribs) == 0 {
-		if cert != nil {
-			out.Tuples = cert.Tuples
-			if batchSeam {
-				out.SetBatch(cert.Batch().WithSchema(sch))
+		if c := pc.d.comps[ci].Alts[pc.sel[ci]].Contrib[k]; c.Len() > 0 {
+			if first == nil {
+				first = c
+			} else {
+				rest = append(rest, c)
 			}
+			total += c.Len()
 		}
-		return out, nil
 	}
-	if cert == nil && len(contribs) == 1 {
-		c := contribs[0]
-		out.Tuples = c.ts
-		if batchSeam {
-			comp := pc.d.comps[c.ci]
-			out.SetBatch(pc.d.contributionBatch(sch, comp, pc.sel[c.ci], k, c.ts))
-		}
-		return out, nil
-	}
-	out.Tuples = make([]tuple.Tuple, 0, total)
-	if cert != nil {
-		out.Tuples = append(out.Tuples, cert.Tuples...)
-	}
-	for _, c := range contribs {
-		out.Tuples = append(out.Tuples, c.ts...)
-	}
-	if batchSeam {
-		combined := colbatch.New(sch)
+	// Single-source fast paths: share the stored relation itself when its
+	// schema is already the registered one (then even the lazy row cache
+	// is shared across parts), else a zero-copy reschema of its batch.
+	// Stored state is immutable and plan scans never mutate their input.
+	if first == nil {
 		if cert != nil {
+			if cert.Schema == sch {
+				return cert, nil
+			}
+			return cert.WithSchema(sch), nil
+		}
+		return relation.New(sch), nil
+	}
+	if cert.Len() == 0 && len(rest) == 0 {
+		if first.Schema == sch {
+			return first, nil
+		}
+		return first.WithSchema(sch), nil
+	}
+	if batchClosureOn.Load() && algebra.Vectorized() && int64(total) >= algebra.VectorizeMinRows() {
+		combined := colbatch.New(sch)
+		if cert.Len() > 0 {
 			combined.AppendBatch(cert.Batch())
 		}
-		for _, c := range contribs {
-			comp := pc.d.comps[c.ci]
-			combined.AppendBatch(pc.d.contributionBatch(sch, comp, pc.sel[c.ci], k, c.ts))
+		combined.AppendBatch(first.Batch())
+		for _, c := range rest {
+			combined.AppendBatch(c.Batch())
 		}
-		out.SetBatch(combined)
+		return relation.FromBatch(combined), nil
 	}
-	return out, nil
+	rows := make([]tuple.Tuple, 0, total)
+	rows = append(rows, cert.Rows()...)
+	rows = append(rows, first.Rows()...)
+	for _, c := range rest {
+		rows = append(rows, c.Rows()...)
+	}
+	return relation.FromRowsShared(sch, rows), nil
 }
 
 var _ plan.Catalog = partsCatalog{}
@@ -413,9 +410,9 @@ func confFromParts(p *componentParts) (*relation.Relation, error) {
 // component order — is tuple-for-tuple identical to what the merge path
 // would have stored. The concat structure is verified positionally; a
 // violation returns errNotConcat and the caller falls back to the merge
-// path. Columnar part answers additionally prime the contribution batch
-// cache with their zero-copy suffix views, so later queries over dst skip
-// re-columnarizing.
+// path. Part answers are stored as the new relations' backing batches —
+// columnar parts land as zero-copy columnar slices (identity for later
+// scans), row-backed parts as shared row slices.
 func (d *WSD) materializeByComponent(dst string, compIdx []int, query func(cat plan.Catalog) (*colbatch.Batch, error)) error {
 	p, err := d.QueryByComponent(compIdx, false, true, query)
 	if err != nil {
@@ -446,9 +443,9 @@ func (d *WSD) materializeByComponent(dst string, compIdx []int, query func(cat p
 	}
 	k := key(dst)
 	if baseLen > 0 {
-		cert := relation.New(d.schemas[k])
-		cert.Tuples = append(cert.Tuples, p.base.Rows()...)
-		d.certain[k] = cert
+		base := p.base.Slice(0, baseLen)
+		base.Schema = d.schemas[k]
+		d.certain[k] = relation.FromBatch(base)
 	}
 	for i, ci := range compIdx {
 		comp := d.comps[ci]
@@ -457,13 +454,12 @@ func (d *WSD) materializeByComponent(dst string, compIdx []int, query func(cat p
 			if part.Len() <= baseLen {
 				continue
 			}
-			contribution := part.Rows()[baseLen:]
-			comp.Alts[a].Tuples[k] = contribution
-			if !part.RowBacked() {
-				view := part.Slice(baseLen, part.Len()).WithSchema(d.schemas[k])
-				d.contrib.Store(contribKey{comp: comp.ID, alt: a, rel: k},
-					&contribEntry{n: len(contribution), head: &contribution[0], batch: view})
+			view := part.Slice(baseLen, part.Len())
+			view.Schema = d.schemas[k]
+			if comp.Alts[a].Contrib == nil {
+				comp.Alts[a].Contrib = map[string]*relation.Relation{}
 			}
+			comp.Alts[a].Contrib[k] = relation.FromBatch(view)
 		}
 	}
 	return nil

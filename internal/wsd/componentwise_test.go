@@ -39,7 +39,7 @@ func parseCore(t *testing.T, sql string) (*sqlparse.SelectStmt, Closure) {
 func renderRel(r *relation.Relation) string {
 	var b strings.Builder
 	b.WriteString(r.Schema.String())
-	for _, t := range r.Tuples {
+	for _, t := range r.Rows() {
 		b.WriteString("\n")
 		b.WriteString(fmt.Sprintf("%q", t.Key()))
 	}
@@ -53,7 +53,7 @@ func renderRelTol(t *testing.T, r *relation.Relation) string {
 	t.Helper()
 	var b strings.Builder
 	b.WriteString(r.Schema.String())
-	for _, tp := range r.Tuples {
+	for _, tp := range r.Rows() {
 		b.WriteString("\n")
 		b.WriteString(fmt.Sprintf("%q|conf=%.9f", tp[:len(tp)-1].Key(), tp[len(tp)-1].AsFloat()))
 	}
@@ -195,7 +195,7 @@ func TestComponentwiseScalesWithSum(t *testing.T) {
 	}
 	// Each tuple appears in exactly one alternative of one component with
 	// probability 1/m.
-	for _, tp := range selectOn(t, fast, "select conf, A, B from I").Tuples {
+	for _, tp := range selectOn(t, fast, "select conf, A, B from I").Rows() {
 		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-1.0/m) > 1e-9 {
 			t.Fatalf("conf = %v, want %v", c, 1.0/m)
 		}

@@ -59,6 +59,7 @@ import (
 	"maybms/internal/relation"
 	"maybms/internal/schema"
 	"maybms/internal/sqlparse"
+	"maybms/internal/tuple"
 	"maybms/internal/value"
 )
 
@@ -423,9 +424,10 @@ func (d *WSD) conditionalRelation(touched []int, query func(cat plan.Catalog) (*
 		}
 	}
 	byID := d.compIndexByID()
-	out := relation.New(p.base.Schema.Concat(condSchema()))
+	outSch := p.base.Schema.Concat(condSchema())
+	rows := make([]tuple.Tuple, 0, baseLen)
 	for _, t := range p.base.Rows() {
-		out.Tuples = append(out.Tuples, append(t.Clone(), value.Str("")))
+		rows = append(rows, append(t.Clone(), value.Str("")))
 	}
 	for i, ci := range relevant {
 		c := d.comps[ci]
@@ -438,11 +440,11 @@ func (d *WSD) conditionalRelation(touched []int, query func(cat plan.Catalog) (*
 			}
 			cond := value.Str(d.condFor(byID, c, a))
 			for _, t := range part.Rows()[baseLen:] {
-				out.Tuples = append(out.Tuples, append(t.Clone(), cond))
+				rows = append(rows, append(t.Clone(), cond))
 			}
 		}
 	}
-	return out, nil
+	return relation.FromRowsShared(outSch, rows), nil
 }
 
 // uncertainTables names the referenced tables that vary across worlds —

@@ -64,7 +64,7 @@ func Decompose(set *worldset.Set, name string) (*WSD, error) {
 	rep := map[string]tuple.Tuple{}
 	present := map[string][]bool{}
 	for i, inst := range insts {
-		for _, t := range inst.Tuples {
+		for _, t := range inst.Rows() {
 			k := t.Key()
 			if _, ok := present[k]; !ok {
 				order = append(order, k)
@@ -88,7 +88,7 @@ func Decompose(set *worldset.Set, name string) (*WSD, error) {
 			}
 		}
 		if all {
-			cert.Tuples = append(cert.Tuples, rep[k])
+			cert.AppendRow(rep[k])
 		} else {
 			uncertain = append(uncertain, k)
 		}
@@ -210,15 +210,20 @@ func buildComponents(d *WSD, name string, groups [][]int, keys []string,
 			mass[st] += probs[w]
 		}
 		alts := make([]Alternative, 0, len(stateOrder))
+		sch := insts[0].Schema.Unqualify()
 		for _, st := range stateOrder {
-			alt := Alternative{Tuples: map[string][]tuple.Tuple{}}
+			alt := Alternative{Contrib: map[string]*relation.Relation{}}
 			if weighted {
 				alt.Prob = mass[st]
 			}
+			var ts []tuple.Tuple
 			for gi, ti := range group {
 				if st[gi] == '1' {
-					alt.Tuples[k] = append(alt.Tuples[k], rep[keys[ti]])
+					ts = append(ts, rep[keys[ti]])
 				}
+			}
+			if len(ts) > 0 {
+				alt.Contrib[k] = relation.FromRowsShared(sch, ts)
 			}
 			alts = append(alts, alt)
 		}

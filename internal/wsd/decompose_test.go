@@ -37,7 +37,7 @@ func TestDecomposeRoundTripFigure2(t *testing.T) {
 		t.Errorf("certain part = %v, %v", cert, err)
 	}
 	// Confidences agree with the original decomposition.
-	for _, tp := range figure1R().Tuples {
+	for _, tp := range figure1R().Rows() {
 		proj := tp[:3] // I has columns A, B, C
 		want, err := d.Conf("I", tp)
 		if err != nil {
@@ -220,7 +220,7 @@ func TestDecomposeRandomProductsRecoverFactorization(t *testing.T) {
 			t.Fatalf("trial %d: world counts %s vs %s", trial, back.WorldCount(), fwd.WorldCount())
 		}
 		// Confidences of every tuple agree.
-		for _, tp := range rel.Tuples {
+		for _, tp := range rel.Rows() {
 			want, _ := fwd.Conf("I", tp)
 			got, err := back.Conf("I", tp)
 			if err != nil || math.Abs(got-want) > 1e-9 {

@@ -127,11 +127,11 @@ func (d *WSD) rewritePieces(table string, tmpl *plan.PreparedDML) (int, error) {
 	}
 	var pieces []piece
 	if cert, ok := d.certain[k]; ok {
-		pieces = append(pieces, piece{ci: -1, tuples: cert.Tuples})
+		pieces = append(pieces, piece{ci: -1, tuples: cert.Rows()})
 	}
 	for _, ci := range target {
 		for a := range d.comps[ci].Alts {
-			pieces = append(pieces, piece{ci: ci, alt: a, tuples: d.comps[ci].Alts[a].Tuples[k]})
+			pieces = append(pieces, piece{ci: ci, alt: a, tuples: d.comps[ci].Alts[a].contribRows(k)})
 		}
 	}
 
@@ -162,15 +162,13 @@ func (d *WSD) rewritePieces(table string, tmpl *plan.PreparedDML) (int, error) {
 	for i, p := range pieces {
 		total += outs[i].changed
 		if p.ci < 0 {
-			next := relation.New(d.schemas[k])
-			next.Tuples = append(next.Tuples, outs[i].tuples...)
-			d.certain[k] = next
+			d.certain[k] = relation.FromRowsShared(d.schemas[k], outs[i].tuples)
 			continue
 		}
 		if len(outs[i].tuples) == 0 {
-			delete(d.comps[p.ci].Alts[p.alt].Tuples, k)
+			delete(d.comps[p.ci].Alts[p.alt].Contrib, k)
 		} else {
-			d.comps[p.ci].Alts[p.alt].Tuples[k] = outs[i].tuples
+			d.comps[p.ci].Alts[p.alt].Contrib[k] = relation.FromRowsShared(d.schemas[k], outs[i].tuples)
 		}
 	}
 	return total, nil
@@ -190,7 +188,7 @@ func (d *WSD) rewriteMerged(table string, tmpl *plan.PreparedDML, idx []int) (in
 	}
 	var certTuples []tuple.Tuple
 	if cert, ok := d.certain[k]; ok {
-		certTuples = cert.Tuples
+		certTuples = cert.Rows()
 	}
 	type rewritten struct {
 		tuples  []tuple.Tuple
@@ -201,9 +199,10 @@ func (d *WSD) rewriteMerged(table string, tmpl *plan.PreparedDML, idx []int) (in
 		if err != nil {
 			return rewritten{}, err
 		}
-		content := make([]tuple.Tuple, 0, len(certTuples)+len(merged.Alts[i].Tuples[k]))
+		contrib := merged.Alts[i].contribRows(k)
+		content := make([]tuple.Tuple, 0, len(certTuples)+len(contrib))
 		content = append(content, certTuples...)
-		content = append(content, merged.Alts[i].Tuples[k]...)
+		content = append(content, contrib...)
 		kept, n, err := bound.Apply(content)
 		if err != nil {
 			return rewritten{}, err
@@ -218,9 +217,9 @@ func (d *WSD) rewriteMerged(table string, tmpl *plan.PreparedDML, idx []int) (in
 	for i := range merged.Alts {
 		total += outs[i].changed
 		if len(outs[i].tuples) == 0 {
-			delete(merged.Alts[i].Tuples, k)
+			delete(merged.Alts[i].Contrib, k)
 		} else {
-			merged.Alts[i].Tuples[k] = outs[i].tuples
+			merged.Alts[i].Contrib[k] = relation.FromRowsShared(d.schemas[k], outs[i].tuples)
 		}
 	}
 	return total, nil

@@ -141,7 +141,7 @@ func TestRepairEquivalenceRandomized(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, tp := range res.Groups[0].Rel.Tuples {
+		for _, tp := range res.Groups[0].Rel.Rows() {
 			base := tp[:3]
 			want := tp[3].AsFloat()
 			got, err := d.Conf("I", base)
@@ -307,8 +307,8 @@ func compareConfRelations(t *testing.T, trial int, sql string, got, want *relati
 		t.Errorf("trial %d %q: %d rows, want %d", trial, sql, got.Len(), want.Len())
 		return
 	}
-	for i := range got.Tuples {
-		g, w := got.Tuples[i], want.Tuples[i]
+	for i := range got.Rows() {
+		g, w := got.Rows()[i], want.Rows()[i]
 		if g[:len(g)-1].Key() != w[:len(w)-1].Key() {
 			t.Errorf("trial %d %q row %d: tuple %v, want %v", trial, sql, i, g, w)
 			return
@@ -616,7 +616,7 @@ func TestGroupWorldsBeyondMergeLimit(t *testing.T) {
 		if g.Rel.Len() != 2*k {
 			t.Fatalf("group %d rows = %d, want %d", gi, g.Rel.Len(), 2*k)
 		}
-		for _, tp := range g.Rel.Tuples {
+		for _, tp := range g.Rel.Rows() {
 			// Global conf 1/2 per tuple, scaled by the group's 1/2.
 			if c := tp[len(tp)-1].AsFloat(); math.Abs(c-0.25) > 1e-9 {
 				t.Fatalf("group %d conf = %v, want 0.25", gi, c)
@@ -653,7 +653,7 @@ func TestAssertEquivalenceRandomized(t *testing.T) {
 			if err != nil {
 				return false, err
 			}
-			for _, tp := range i.Tuples {
+			for _, tp := range i.Rows() {
 				if tp[0].AsInt() == 0 && tp[1].AsInt() == 0 {
 					return false, nil
 				}

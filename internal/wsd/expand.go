@@ -49,7 +49,7 @@ func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 		for k, sch := range d.schemas {
 			rel := relation.New(sch)
 			if cert, ok := d.certain[k]; ok {
-				rel.Tuples = append(rel.Tuples, cert.Tuples...)
+				rel.AppendRows(cert.Rows())
 			}
 			perRel[k] = rel
 		}
@@ -61,8 +61,8 @@ func (d *WSD) Expand(limit int) (*worldset.Set, error) {
 			if d.Weighted {
 				w.Prob *= a.Prob
 			}
-			for name, ts := range a.Tuples {
-				perRel[name].Tuples = append(perRel[name].Tuples, ts...)
+			for name, rel := range a.Contrib {
+				perRel[name].AppendRows(rel.Rows())
 			}
 		}
 		for k, rel := range perRel {

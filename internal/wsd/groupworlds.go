@@ -395,14 +395,13 @@ func (d *WSD) closePerGroup(groups []groupInfo, qAn *plan.ComponentAnalysis, qEv
 // scaleConf multiplies the trailing conf column by f (a group's
 // probability), preserving tuple order.
 func scaleConf(rel *relation.Relation, f float64) *relation.Relation {
-	out := relation.New(rel.Schema)
-	out.Tuples = make([]tuple.Tuple, 0, len(rel.Tuples))
-	for _, t := range rel.Tuples {
+	rows := make([]tuple.Tuple, 0, rel.Len())
+	for _, t := range rel.Rows() {
 		nt := t.Clone()
 		nt[len(nt)-1] = value.Float(f * nt[len(nt)-1].AsFloat())
-		out.Tuples = append(out.Tuples, nt)
+		rows = append(rows, nt)
 	}
-	return out
+	return relation.FromRowsShared(rel.Schema, rows)
 }
 
 // groupWorldsSpanning is the bounded residual merge: the grouping and
@@ -534,12 +533,16 @@ func (d *WSD) materializeGrouped(dst string, gw, core *sqlparse.SelectStmt, cl C
 	}
 	k := key(dst)
 	for gi, g := range groups {
-		ts := answers[gi].Rel.Tuples
-		if len(ts) == 0 {
+		rel := answers[gi].Rel
+		if rel.Empty() {
 			continue
 		}
+		contribution := rel.WithSchema(d.schemas[k])
 		for _, ai := range g.alts {
-			merged.Alts[ai].Tuples[k] = ts
+			if merged.Alts[ai].Contrib == nil {
+				merged.Alts[ai].Contrib = map[string]*relation.Relation{}
+			}
+			merged.Alts[ai].Contrib[k] = contribution
 		}
 	}
 	if len(idx) <= 1 {

@@ -6,7 +6,6 @@ import (
 
 	"maybms/internal/plan"
 	"maybms/internal/relation"
-	"maybms/internal/tuple"
 )
 
 // involvedComponents returns the indexes (into d.comps) of the components
@@ -62,7 +61,7 @@ func (d *WSD) mergeComponents(idx []int) (*Component, error) {
 		size *= n
 	}
 
-	merged := []Alternative{{Prob: oneIfWeighted(d.Weighted), Tuples: map[string][]tuple.Tuple{}}}
+	merged := []Alternative{{Prob: oneIfWeighted(d.Weighted), Contrib: map[string]*relation.Relation{}}}
 	for _, ci := range idx {
 		c := d.comps[ci]
 		next := make([]Alternative, 0, len(merged)*len(c.Alts))
@@ -75,15 +74,19 @@ func (d *WSD) mergeComponents(idx []int) (*Component, error) {
 				return nil, err
 			}
 			for _, a := range c.Alts {
-				na := Alternative{Prob: base.Prob, Tuples: map[string][]tuple.Tuple{}}
+				na := Alternative{Prob: base.Prob, Contrib: map[string]*relation.Relation{}}
 				if d.Weighted {
 					na.Prob = base.Prob * a.Prob
 				}
-				for name, ts := range base.Tuples {
-					na.Tuples[name] = append([]tuple.Tuple(nil), ts...)
+				for name, rel := range base.Contrib {
+					na.Contrib[name] = rel.Clone()
 				}
-				for name, ts := range a.Tuples {
-					na.Tuples[name] = append(na.Tuples[name], ts...)
+				for name, rel := range a.Contrib {
+					if dst, ok := na.Contrib[name]; ok {
+						dst.AppendRows(rel.Rows())
+					} else {
+						na.Contrib[name] = rel.Clone()
+					}
 				}
 				next = append(next, na)
 			}
@@ -181,7 +184,7 @@ func (d *WSD) condense(ids []int) (*Component, error) {
 			if err := d.interrupted(); err != nil {
 				return err
 			}
-			na := Alternative{Prob: oneIfWeighted(d.Weighted), Tuples: map[string][]tuple.Tuple{}}
+			na := Alternative{Prob: oneIfWeighted(d.Weighted), Contrib: map[string]*relation.Relation{}}
 			if d.Weighted {
 				na.Prob = prob
 			}
@@ -189,8 +192,12 @@ func (d *WSD) condense(ids []int) (*Component, error) {
 				if digits[p] < 0 {
 					continue
 				}
-				for name, ts := range d.comps[ci].Alts[digits[p]].Tuples {
-					na.Tuples[name] = append(na.Tuples[name], ts...)
+				for name, rel := range d.comps[ci].Alts[digits[p]].Contrib {
+					if dst, ok := na.Contrib[name]; ok {
+						dst.AppendRows(rel.Rows())
+					} else {
+						na.Contrib[name] = rel.Clone()
+					}
 				}
 			}
 			alts = append(alts, na)
@@ -257,13 +264,25 @@ func (ac altCatalog) Lookup(name string) (*relation.Relation, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknown, name)
 	}
-	out := relation.New(sch)
-	if cert, ok := ac.d.certain[k]; ok {
-		out.Tuples = append(out.Tuples, cert.Tuples...)
-	}
+	cert := ac.d.certain[k]
+	var contrib *relation.Relation
 	if ac.alt != nil {
-		out.Tuples = append(out.Tuples, ac.alt.Tuples[k]...)
+		contrib = ac.alt.Contrib[k]
 	}
+	// The common single-source cases pass stored state through zero-copy:
+	// the evaluation reads the stored batch directly.
+	if contrib.Empty() {
+		if cert != nil {
+			return cert.WithSchema(sch), nil
+		}
+		return relation.New(sch), nil
+	}
+	if cert.Empty() {
+		return contrib.WithSchema(sch), nil
+	}
+	out := relation.New(sch)
+	out.AppendRows(cert.Rows())
+	out.AppendRows(contrib.Rows())
 	return out, nil
 }
 
@@ -403,7 +422,10 @@ func (d *WSD) materializeMerged(dst string, idx []int, query func(cat plan.Catal
 		return err
 	}
 	for i := range merged.Alts {
-		merged.Alts[i].Tuples[k] = results[i].Tuples
+		if merged.Alts[i].Contrib == nil {
+			merged.Alts[i].Contrib = map[string]*relation.Relation{}
+		}
+		merged.Alts[i].Contrib[k] = results[i]
 	}
 	return nil
 }

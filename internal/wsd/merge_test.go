@@ -54,8 +54,8 @@ func TestMergeProductProbabilities(t *testing.T) {
 	for _, a := range merged.Alts {
 		total += a.Prob
 		// Each merged alternative contributes one full repair (3 tuples).
-		if len(a.Tuples["i"]) != 3 {
-			t.Errorf("merged alt has %d I tuples", len(a.Tuples["i"]))
+		if a.Contrib["i"].Len() != 3 {
+			t.Errorf("merged alt has %d I tuples", a.Contrib["i"].Len())
 		}
 	}
 	if math.Abs(total-1) > eps {
@@ -147,9 +147,9 @@ func TestMaterializeThenConfPipeline(t *testing.T) {
 			return nil, err
 		}
 		out := relation.New(i.Schema)
-		for _, tp := range i.Tuples {
+		for _, tp := range i.Rows() {
 			if tp[1].AsInt() >= 15 {
-				out.Tuples = append(out.Tuples, tp)
+				out.MustAppend(tp)
 			}
 		}
 		return out, nil
@@ -185,12 +185,16 @@ func TestCheckInvariantFailures(t *testing.T) {
 		t.Error("empty component must fail the invariant")
 	}
 	d3 := newFigure2WSD(t)
-	d3.comps[0].Alts[0].Tuples["ghost"] = d3.comps[0].Alts[0].Tuples["i"]
+	d3.comps[0].Alts[0].Contrib["ghost"] = d3.comps[0].Alts[0].Contrib["i"]
 	if err := d3.CheckInvariant(); err == nil {
 		t.Error("contribution to unknown relation must fail the invariant")
 	}
 	d4 := newFigure2WSD(t)
-	d4.comps[0].Alts[0].Tuples["i"] = append(d4.comps[0].Alts[0].Tuples["i"], row("too", 1))
+	// Contributions are schema-checked relations now, so a wrong-width
+	// tuple cannot be appended; corrupt the stored relation wholesale.
+	bad := relation.New(schema.New("A", "B"))
+	bad.MustAppend(row("too", 1))
+	d4.comps[0].Alts[0].Contrib["i"] = bad
 	if err := d4.CheckInvariant(); err == nil {
 		t.Error("width mismatch must fail the invariant")
 	}

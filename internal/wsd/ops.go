@@ -72,7 +72,7 @@ func (d *WSD) RepairByKey(src, dst string, keyCols []string, weight string) erro
 		}
 		alts := make([]Alternative, len(tuples))
 		for i, t := range tuples {
-			alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{k: {t}}}
+			alts[i] = Alternative{Contrib: contribRel(sch, k, []tuple.Tuple{t})}
 			if d.Weighted {
 				alts[i].Prob = probs[i]
 			}
@@ -147,11 +147,11 @@ func (d *WSD) ChoiceOf(src, dst string, attrs []string, weight string) error {
 			total += sums[i]
 		}
 		for i, gk := range order {
-			alts[i] = Alternative{Prob: sums[i] / total, Tuples: map[string][]tuple.Tuple{k: groups[gk]}}
+			alts[i] = Alternative{Prob: sums[i] / total, Contrib: contribRel(sch, k, groups[gk])}
 		}
 	} else {
 		for i, gk := range order {
-			alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{k: groups[gk]}}
+			alts[i] = Alternative{Contrib: contribRel(sch, k, groups[gk])}
 			if d.Weighted {
 				alts[i].Prob = 1 / float64(len(order))
 			}
@@ -212,11 +212,11 @@ func (d *WSD) contributions(name string, t tuple.Tuple) map[int]float64 {
 		p := 0.0
 		touches := false
 		for _, a := range c.Alts {
-			tuples, ok := a.Tuples[k]
+			contrib, ok := a.Contrib[k]
 			if ok {
 				touches = true
 			}
-			for _, u := range tuples {
+			for _, u := range contrib.Rows() {
 				// string(buf) in a comparison does not allocate.
 				buf = u.Encode(buf[:0])
 				if string(buf) == tkey {
@@ -273,7 +273,7 @@ func (d *WSD) treeTupleProb(children map[int]map[int][]int, ci int, k, tkey stri
 			pa = a.Prob
 		}
 		in := false
-		for _, u := range a.Tuples[k] {
+		for _, u := range a.contribRows(k) {
 			buf = u.Encode(buf[:0])
 			if string(buf) == tkey {
 				in = true
@@ -304,7 +304,7 @@ func (d *WSD) treeAlways(children map[int]map[int][]int, ci int, k, tkey string)
 	var buf []byte
 	for ai := range c.Alts {
 		in := false
-		for _, u := range c.Alts[ai].Tuples[k] {
+		for _, u := range c.Alts[ai].contribRows(k) {
 			buf = u.Encode(buf[:0])
 			if string(buf) == tkey {
 				in = true
@@ -389,17 +389,17 @@ func (d *WSD) Possible(name string) (*relation.Relation, error) {
 	}
 	out := relation.New(sch)
 	if cert, ok := d.certain[k]; ok {
-		out.Tuples = append(out.Tuples, cert.Tuples...)
+		out.AppendRows(cert.Rows())
 	}
 	perComp, _ := exec.Map(d.Workers, len(d.comps), func(ci int) ([]tuple.Tuple, error) {
 		var ts []tuple.Tuple
 		for _, a := range d.comps[ci].Alts {
-			ts = append(ts, a.Tuples[k]...)
+			ts = append(ts, a.contribRows(k)...)
 		}
 		return ts, nil
 	})
 	for _, ts := range perComp {
-		out.Tuples = append(out.Tuples, ts...)
+		out.AppendRows(ts)
 	}
 	return out.Distinct(), nil
 }
@@ -416,7 +416,7 @@ func (d *WSD) Certain(name string) (*relation.Relation, error) {
 	}
 	out := relation.New(sch)
 	if cert, ok := d.certain[k]; ok {
-		out.Tuples = append(out.Tuples, cert.Tuples...)
+		out.AppendRows(cert.Rows())
 	}
 	if d.nested > 0 {
 		// Tree fold: a tuple is certain iff some top-level component's
@@ -434,14 +434,14 @@ func (d *WSD) Certain(name string) (*relation.Relation, error) {
 					continue
 				}
 				for _, a := range c.Alts {
-					for _, t := range a.Tuples[k] {
+					for _, t := range a.contribRows(k) {
 						tk := t.Key()
 						if seen[tk] {
 							continue
 						}
 						seen[tk] = true
 						if d.treeAlways(children, ri, k, tk) {
-							out.Tuples = append(out.Tuples, t)
+							out.AppendRow(t)
 						}
 					}
 				}
@@ -458,7 +458,7 @@ func (d *WSD) Certain(name string) (*relation.Relation, error) {
 		var buf []byte
 		for _, a := range c.Alts {
 			seen := map[string]bool{}
-			for _, t := range a.Tuples[k] {
+			for _, t := range a.contribRows(k) {
 				buf = t.Encode(buf[:0])
 				if seen[string(buf)] {
 					continue
@@ -478,7 +478,7 @@ func (d *WSD) Certain(name string) (*relation.Relation, error) {
 		return ts, nil
 	})
 	for _, ts := range perComp {
-		out.Tuples = append(out.Tuples, ts...)
+		out.AppendRows(ts)
 	}
 	return out.Distinct(), nil
 }
@@ -502,7 +502,7 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 	rep := map[string]tuple.Tuple{}
 	miss := map[string]float64{} // tupleKey → Π(1 − p_c)
 	if cert, ok := d.certain[k]; ok {
-		for _, t := range cert.Distinct().Tuples {
+		for _, t := range cert.Distinct().Rows() {
 			tk := t.Key()
 			certKeys[tk] = true
 			rep[tk] = t
@@ -516,7 +516,7 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 		children := d.childAltIndex()
 		for _, c := range d.comps {
 			for _, a := range c.Alts {
-				for _, t := range a.Tuples[k] {
+				for _, t := range a.contribRows(k) {
 					tk := t.Key()
 					if _, known := rep[tk]; !known {
 						rep[tk] = t
@@ -538,7 +538,7 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 				}
 				conf = 1 - missP
 			}
-			out.Tuples = append(out.Tuples, append(rep[tk].Clone(), value.Float(conf)))
+			out.AppendRow(append(rep[tk].Clone(), value.Float(conf)))
 		}
 		return out, nil
 	}
@@ -556,7 +556,7 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 		var buf []byte
 		for _, a := range d.comps[ci].Alts {
 			seen := map[string]bool{}
-			for _, t := range a.Tuples[k] {
+			for _, t := range a.contribRows(k) {
 				buf = t.Encode(buf[:0])
 				if seen[string(buf)] {
 					continue
@@ -592,7 +592,7 @@ func (d *WSD) ConfRelation(name string) (*relation.Relation, error) {
 		if !certKeys[tk] {
 			conf = 1 - miss[tk]
 		}
-		out.Tuples = append(out.Tuples, append(rep[tk].Clone(), value.Float(conf)))
+		out.AppendRow(append(rep[tk].Clone(), value.Float(conf)))
 	}
 	return out, nil
 }

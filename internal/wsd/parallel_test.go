@@ -85,7 +85,7 @@ func TestWorkersSettingsAgree(t *testing.T) {
 				return false, err
 			}
 			seen := 0
-			for _, tp := range rel.Tuples {
+			for _, tp := range rel.Rows() {
 				if tp[1].AsInt() < 1000 {
 					seen++
 				}
@@ -162,7 +162,7 @@ func TestInsertCertainAndDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got.Len() != 3 {
-		t.Fatalf("after insert: %v", got.Tuples)
+		t.Fatalf("after insert: %v", got.Rows())
 	}
 	// Width mismatch rejected.
 	if err := d.InsertCertain("T", rowList(row("w"))); err == nil {

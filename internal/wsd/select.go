@@ -222,7 +222,7 @@ func (e evaluator) batch(cat plan.Catalog) (*colbatch.Batch, error) {
 		if err != nil {
 			return nil, err
 		}
-		return colbatch.FromRowsShared(res.Schema, res.Tuples), nil
+		return colbatch.FromRowsShared(res.Schema, res.Rows()), nil
 	}
 	return e.d.collectBatch(op)
 }
@@ -694,22 +694,22 @@ func (d *WSD) projectOutTrailing(name string, n int) {
 	d.schemas[k] = sch.Project(keep)
 	if r, ok := d.certain[k]; ok {
 		pr := relation.New(d.schemas[k])
-		for _, t := range r.Tuples {
+		for _, t := range r.Rows() {
 			pr.MustAppend(t.Project(keep))
 		}
 		d.certain[k] = pr
 	}
 	for _, c := range d.comps {
 		for i := range c.Alts {
-			ts, ok := c.Alts[i].Tuples[k]
+			contrib, ok := c.Alts[i].Contrib[k]
 			if !ok {
 				continue
 			}
-			out := make([]tuple.Tuple, len(ts))
-			for j, t := range ts {
+			out := make([]tuple.Tuple, contrib.Len())
+			for j, t := range contrib.Rows() {
 				out[j] = t.Project(keep)
 			}
-			c.Alts[i].Tuples[k] = out
+			c.Alts[i].Contrib[k] = relation.FromRowsShared(d.schemas[k], out)
 		}
 	}
 }
@@ -724,7 +724,7 @@ func (d *WSD) dropDerived(name string) {
 	delete(d.certain, k)
 	for _, c := range d.comps {
 		for i := range c.Alts {
-			delete(c.Alts[i].Tuples, k)
+			delete(c.Alts[i].Contrib, k)
 		}
 	}
 	d.unregister(name)

@@ -57,6 +57,7 @@ import (
 
 	"maybms/internal/plan"
 	"maybms/internal/relation"
+	"maybms/internal/schema"
 	"maybms/internal/tuple"
 )
 
@@ -79,14 +80,14 @@ type pendingComp struct {
 // repairGroupComp builds the alternatives of one key-group component:
 // one alternative per candidate tuple, weight-proportional (or uniform)
 // probabilities.
-func (d *WSD) repairGroupComp(dk string, tuples []tuple.Tuple, weightIdx int) ([]Alternative, error) {
+func (d *WSD) repairGroupComp(sch *schema.Schema, dk string, tuples []tuple.Tuple, weightIdx int) ([]Alternative, error) {
 	probs, err := repairGroupProbs(tuples, weightIdx, d.Weighted)
 	if err != nil {
 		return nil, err
 	}
 	alts := make([]Alternative, len(tuples))
 	for i, t := range tuples {
-		alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{dk: {t}}}
+		alts[i] = Alternative{Contrib: contribRel(sch, dk, []tuple.Tuple{t})}
 		if d.Weighted {
 			alts[i].Prob = probs[i]
 		}
@@ -108,7 +109,7 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 
 	var certTuples []tuple.Tuple
 	if cert, ok := d.certain[k]; ok {
-		certTuples = cert.Tuples
+		certTuples = cert.Rows()
 	}
 	certKeySet := map[string]bool{}
 	for _, t := range certTuples {
@@ -128,7 +129,7 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 			seen := map[string]struct{}{}
 			var keys []string
 			for _, a := range d.comps[ci].Alts {
-				for _, t := range a.Tuples[k] {
+				for _, t := range a.contribRows(k) {
 					kv := t.KeyOn(keyIdx)
 					if _, dup := seen[kv]; !dup {
 						seen[kv] = struct{}{}
@@ -190,8 +191,7 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 	// choice; a group owned by feeder C nests one child per alternative of
 	// C, repairing the certain candidates followed by that alternative's
 	// contributions under the group key.
-	certRel := relation.New(sch)
-	certRel.Tuples = certTuples
+	certRel := relation.FromRowsShared(sch, certTuples)
 	certOrder, certGroups := certRel.GroupBy(keyIdx)
 	certAnchored := map[string]bool{}
 	for _, gk := range certOrder {
@@ -199,7 +199,7 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 		certTs := certGroups[gk]
 		fi, isOwned := owner[gk]
 		if !isOwned {
-			alts, err := d.repairGroupComp(dk, certTs, weightIdx)
+			alts, err := d.repairGroupComp(sch, dk, certTs, weightIdx)
 			if err != nil {
 				return err
 			}
@@ -212,12 +212,12 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 				return err
 			}
 			inst := append([]tuple.Tuple(nil), certTs...)
-			for _, t := range fc.Alts[ai].Tuples[k] {
+			for _, t := range fc.Alts[ai].contribRows(k) {
 				if t.KeyOn(keyIdx) == gk {
 					inst = append(inst, t)
 				}
 			}
-			alts, err := d.repairGroupComp(dk, inst, weightIdx)
+			alts, err := d.repairGroupComp(sch, dk, inst, weightIdx)
 			if err != nil {
 				return err
 			}
@@ -235,14 +235,16 @@ func (d *WSD) repairUncertain(src, dst string, keyIdx []int, weightIdx int) erro
 			if err := d.interrupted(); err != nil {
 				return err
 			}
-			contrib := relation.New(sch)
-			contrib.Tuples = a.Tuples[k]
+			contrib := a.Contrib[k]
+			if contrib == nil {
+				contrib = relation.New(sch)
+			}
 			gOrder, gGroups := contrib.GroupBy(keyIdx)
 			for _, gk := range gOrder {
 				if certAnchored[gk] {
 					continue // handled in (a), certain-prefix position
 				}
-				alts, err := d.repairGroupComp(dk, gGroups[gk], weightIdx)
+				alts, err := d.repairGroupComp(sch, dk, gGroups[gk], weightIdx)
 				if err != nil {
 					return err
 				}
@@ -310,7 +312,7 @@ func (d *WSD) choiceUncertain(src, dst string, attrIdx []int, weightIdx int) err
 	fc := d.comps[comps[0]]
 	var certTuples []tuple.Tuple
 	if cert, ok := d.certain[k]; ok {
-		certTuples = cert.Tuples
+		certTuples = cert.Rows()
 	}
 	dk := key(dst)
 	var pending []pendingComp
@@ -318,15 +320,14 @@ func (d *WSD) choiceUncertain(src, dst string, attrIdx []int, weightIdx int) err
 		if err := d.interrupted(); err != nil {
 			return err
 		}
-		inst := relation.New(sch)
-		inst.Tuples = append(append([]tuple.Tuple{}, certTuples...), a.Tuples[k]...)
+		inst := relation.FromRowsShared(sch, append(append([]tuple.Tuple{}, certTuples...), a.contribRows(k)...))
 		pieces, err := enumChoices(inst, attrIdx, weightIdx, d.Weighted)
 		if err != nil {
 			return fmt.Errorf("choice over %s: %w", src, err)
 		}
 		alts := make([]Alternative, len(pieces))
 		for i, p := range pieces {
-			alts[i] = Alternative{Tuples: map[string][]tuple.Tuple{dk: p.tuples}}
+			alts[i] = Alternative{Contrib: contribRel(sch, dk, p.tuples)}
 			if d.Weighted {
 				alts[i].Prob = p.prob
 			}
@@ -345,14 +346,14 @@ func (d *WSD) choiceUncertain(src, dst string, attrIdx []int, weightIdx int) err
 	return nil
 }
 
-// shareTuplesMap copies an alternative's contribution map, sharing the
-// tuple slices: splits never mutate contributions in place (and neither
-// does any other engine pass — rewrites replace slices), so derived
-// alternatives can share a parent's storage.
-func shareTuplesMap(m map[string][]tuple.Tuple) map[string][]tuple.Tuple {
-	out := make(map[string][]tuple.Tuple, len(m)+1)
-	for name, ts := range m {
-		out[name] = ts
+// shareContribMap copies an alternative's contribution map, sharing the
+// contribution relations: splits never mutate contributions in place (and
+// neither does any other engine pass — rewrites replace relations), so
+// derived alternatives can share a parent's storage.
+func shareContribMap(m map[string]*relation.Relation) map[string]*relation.Relation {
+	out := make(map[string]*relation.Relation, len(m)+1)
+	for name, rel := range m {
+		out[name] = rel
 	}
 	return out
 }

@@ -48,8 +48,8 @@ import (
 // trailing conf column when asked (two engines accumulate conf floats in
 // different orders).
 func sortedRows(rel *relation.Relation, confLast bool) []string {
-	out := make([]string, 0, len(rel.Tuples))
-	for _, tp := range rel.Tuples {
+	out := make([]string, 0, len(rel.Rows()))
+	for _, tp := range rel.Rows() {
 		if confLast {
 			out = append(out, fmt.Sprintf("%q|conf=%.9f", tp[:len(tp)-1].Key(), tp[len(tp)-1].AsFloat()))
 		} else {
@@ -386,7 +386,7 @@ func checkConditionalRelation(t *testing.T, label string, s *core.Session, d *WS
 		}
 		digits := digitsFor(wi)
 		var decoded []string
-		for _, tp := range got.Tuples {
+		for _, tp := range got.Rows() {
 			if !hasCond {
 				decoded = append(decoded, tp.Key())
 				continue
@@ -396,7 +396,7 @@ func checkConditionalRelation(t *testing.T, label string, s *core.Session, d *WS
 			}
 		}
 		var naive []string
-		for _, tp := range want.Tuples {
+		for _, tp := range want.Rows() {
 			naive = append(naive, tp.Key())
 		}
 		if fmt.Sprintf("%q", decoded) != fmt.Sprintf("%q", naive) {

@@ -338,7 +338,7 @@ func TestRepairUncertainBeyondExpansion(t *testing.T) {
 	if rel.Len() != 2*k {
 		t.Fatalf("conf rows = %d, want %d", rel.Len(), 2*k)
 	}
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		if c := tp[len(tp)-1].AsFloat(); math.Abs(c-0.5) > 1e-9 {
 			t.Fatalf("conf = %v, want 0.5", c)
 		}
@@ -385,7 +385,7 @@ func TestRepairUncertainMergeLimit(t *testing.T) {
 	if d.MergeCount() != 0 {
 		t.Errorf("conf over the conditional split merged %d times", d.MergeCount())
 	}
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		want := 0.25 // P(K=0)=1/2 times the group's 1/2
 		if tp[0].AsFloat() == 1 {
 			want = 0.5 // the K=1 world's single candidate

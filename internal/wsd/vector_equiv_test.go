@@ -40,8 +40,8 @@ func TestClosuresRowVsBatch(t *testing.T) {
 					q, componentwise, row.Schema, row.Len(), batch.Schema, batch.Len())
 			}
 			conf := row.Schema.At(row.Schema.Len()-1).Name == "conf"
-			for i := range row.Tuples {
-				rt, bt := row.Tuples[i], batch.Tuples[i]
+			for i := range row.Rows() {
+				rt, bt := row.Rows()[i], batch.Rows()[i]
 				if conf {
 					if math.Abs(rt[len(rt)-1].AsFloat()-bt[len(bt)-1].AsFloat()) > 1e-9 {
 						t.Fatalf("%q (componentwise=%v) row %d: conf %v vs %v",

@@ -78,7 +78,6 @@ import (
 	"math/big"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"maybms/internal/exec"
@@ -103,10 +102,25 @@ var (
 const DefaultMergeLimit = 1 << 16
 
 // Alternative is one local choice of a component: a probability (in
-// weighted WSDs) and the tuples it contributes per relation.
+// weighted WSDs) and the tuples it contributes per relation. Contributions
+// are stored as relations — batch-backed, so the componentwise closures
+// read stored columnar state directly (and tiny row-built contributions
+// stay row-backed).
 type Alternative struct {
-	Prob   float64
-	Tuples map[string][]tuple.Tuple // lower-case relation name → tuples
+	Prob    float64
+	Contrib map[string]*relation.Relation // lower-case relation name → contribution
+}
+
+// contribRows returns the alternative's contribution rows for relation k
+// (nil when it contributes nothing).
+func (a *Alternative) contribRows(k string) []tuple.Tuple {
+	return a.Contrib[k].Rows()
+}
+
+// contribRel builds a single-relation contribution map around rows that the
+// relation takes ownership of.
+func contribRel(sch *schema.Schema, k string, rows []tuple.Tuple) map[string]*relation.Relation {
+	return map[string]*relation.Relation{k: relation.FromRowsShared(sch, rows)}
 }
 
 // Component is a finite choice among alternatives. A top-level component
@@ -131,7 +145,7 @@ type Component struct {
 func (c *Component) relations() map[string]bool {
 	out := map[string]bool{}
 	for _, a := range c.Alts {
-		for name := range a.Tuples {
+		for name := range a.Contrib {
 			out[name] = true
 		}
 	}
@@ -179,12 +193,6 @@ type WSD struct {
 	names   map[string]string             // lower name → display name
 	comps   []*Component
 	nextID  int
-
-	// contrib caches columnar batches over per-alternative contribution
-	// slices (contribKey → *contribEntry), validated by slice identity, so
-	// componentwise evaluations on the batch-native closure path never
-	// re-columnarize stored state. See batchclosure.go.
-	contrib sync.Map
 
 	// nested counts the components with a parent edge (Parent >= 0): zero
 	// means the decomposition is a flat product and every flat fast path
@@ -604,12 +612,12 @@ func (d *WSD) CheckInvariant() error {
 		total := 0.0
 		for _, a := range c.Alts {
 			total += a.Prob
-			for name, tuples := range a.Tuples {
+			for name, contrib := range a.Contrib {
 				sch, ok := d.schemas[name]
 				if !ok {
 					return fmt.Errorf("component %d contributes to unknown relation %q", c.ID, name)
 				}
-				for _, t := range tuples {
+				for _, t := range contrib.Rows() {
 					if len(t) != sch.Len() {
 						return fmt.Errorf("component %d contributes width-%d tuple to %s%s", c.ID, len(t), name, sch)
 					}

@@ -117,8 +117,8 @@ func TestPossibleAndCertain(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Only the a3 tuple (singleton group) is certain.
-	if cert.Len() != 1 || cert.Tuples[0][0].AsStr() != "a3" {
-		t.Errorf("certain I = %v", cert.Tuples)
+	if cert.Len() != 1 || cert.Rows()[0][0].AsStr() != "a3" {
+		t.Errorf("certain I = %v", cert.Rows())
 	}
 	// R itself is certain everywhere.
 	certR, err := d.Certain("R")
@@ -140,7 +140,7 @@ func TestConfRelation(t *testing.T) {
 		t.Fatalf("conf relation shape: %s, %d rows", rel.Schema, rel.Len())
 	}
 	total := 0.0
-	for _, tp := range rel.Tuples {
+	for _, tp := range rel.Rows() {
 		c := tp[4].AsFloat()
 		if c <= 0 || c > 1+eps {
 			t.Errorf("conf out of range: %v", tp)
@@ -170,7 +170,7 @@ func TestChoiceOf(t *testing.T) {
 	comp := d.comps[0]
 	probs := map[string]float64{}
 	for _, a := range comp.Alts {
-		probs[a.Tuples["p"][0][0].AsStr()] = a.Prob
+		probs[a.contribRows("p")[0][0].AsStr()] = a.Prob
 	}
 	want := map[string]float64{"a1": 8.0 / 23, "a2": 9.0 / 23, "a3": 6.0 / 23}
 	for k, w := range want {
@@ -323,7 +323,7 @@ func TestAssertLocalFiltering(t *testing.T) {
 		if err != nil {
 			return false, err
 		}
-		for _, tp := range rel.Tuples {
+		for _, tp := range rel.Rows() {
 			if tp[2].AsStr() == "c1" {
 				return false, nil
 			}
@@ -396,9 +396,9 @@ func TestMaterializePerWorld(t *testing.T) {
 			return nil, err
 		}
 		out := relation.New(i.Schema)
-		for _, tp := range i.Tuples {
+		for _, tp := range i.Rows() {
 			if tp[0].AsStr() == "a3" {
-				out.Tuples = append(out.Tuples, tp)
+				out.MustAppend(tp)
 			}
 		}
 		return out, nil
@@ -412,7 +412,7 @@ func TestMaterializePerWorld(t *testing.T) {
 		t.Fatal(err)
 	}
 	if cert.Len() != 1 {
-		t.Errorf("certain D = %v", cert.Tuples)
+		t.Errorf("certain D = %v", cert.Rows())
 	}
 	// World count unchanged (merge collapsed the I components into one).
 	if d.WorldCount().Cmp(big.NewInt(4)) != 0 {

@@ -23,7 +23,7 @@ func TestQuickstartFlow(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res.First().Len() != 4 {
-		t.Errorf("possible sums = %v", res.First().Tuples)
+		t.Errorf("possible sums = %v", res.First().Rows())
 	}
 }
 
@@ -132,7 +132,7 @@ func TestCompactParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := res.First().Tuples[0][0].AsFloat(); math.Abs(got-0.25) > 1e-9 {
+	if got := res.First().Rows()[0][0].AsFloat(); math.Abs(got-0.25) > 1e-9 {
 		t.Errorf("expanded conf = %g", got)
 	}
 }
@@ -222,7 +222,7 @@ func TestCoalesceAfterCollapsingUpdate(t *testing.T) {
 	}
 	// Queries still work.
 	res, err := db.Exec("select conf from Q where exists (select * from Q)")
-	if err != nil || res.First().Tuples[0][0].AsFloat() != 1 {
+	if err != nil || res.First().Rows()[0][0].AsFloat() != 1 {
 		t.Errorf("post-coalesce query = %v, %v", res, err)
 	}
 }

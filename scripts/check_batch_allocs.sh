@@ -17,6 +17,19 @@
 # columnar assembly); an accidental per-(tuple,part) allocation (16384
 # rows/op) blows well past the ~2x ceilings.
 #
+# The stored-batch-scan gate pins the columnar-first storage contract:
+# scanning a relation whose store is columnar (imported or closure-built)
+# is an identity lookup plus zero-copy slices — O(1) allocations per scan
+# (measured 1 alloc/op over 8192 rows), so any per-row re-encode sneaking
+# back into batchScan.Open trips the ceiling of 8 instantly.
+#
+# The bulk-load gates hold the IMPORT loader to per-column allocation:
+# 1M-row CSVs must stay at ~1 alloc/row for a clean load (the csv
+# reader's one record string per row — nothing per cell), ~2.4 with
+# repair-key classification (plus one interned key per distinct key) and
+# ~1.1 with NULL-choice expansion. The ceilings are ~1.5x those steady
+# states: one extra per-row allocation adds a full 1M and blows through.
+#
 # The conditional-path gate covers the d-tree routes over a nested
 # decomposition representing 2^18 worlds (18 repair components, one
 # conditional child under every alternative): the conditional relation
@@ -27,8 +40,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="$(go test ./internal/algebra/ -bench '^(BenchmarkBatchScan|BenchmarkBatchFilter|BenchmarkHashJoinBatch)$' \
+OUT="$(go test ./internal/algebra/ -bench '^(BenchmarkBatchScan|BenchmarkStoredBatchScan|BenchmarkBatchFilter|BenchmarkHashJoinBatch)$' \
     -benchmem -benchtime 50x -run '^$' | tee /dev/stderr)
+$(go test ./internal/relation/ -bench '^BenchmarkImport(Certain|RepairKey|Choice)$' \
+    -benchmem -benchtime 1x -run '^$' | tee /dev/stderr)
 $(go test . -bench '^(BenchmarkBatchClosurePossible|BenchmarkBatchClosureConf|BenchmarkBatchClosureGroupWorlds)$' \
     -benchmem -benchtime 20x -run '^$' | tee /dev/stderr)
 $(go test . -bench 'BenchmarkConditional(Select|Conf)/nested/groups=18' \
@@ -48,8 +63,12 @@ check() {
 }
 
 check BenchmarkBatchScan 8
+check BenchmarkStoredBatchScan 8
 check BenchmarkBatchFilter 200
 check BenchmarkHashJoinBatch 400
+check BenchmarkImportCertain 1500000
+check BenchmarkImportRepairKey 3500000
+check BenchmarkImportChoice 1700000
 check BenchmarkBatchClosurePossible 5000
 check BenchmarkBatchClosureConf 5500
 check BenchmarkBatchClosureGroupWorlds 6000
